@@ -1,0 +1,46 @@
+//! Ablation: Backward Euler versus Trapezoidal integration for the
+//! `h` evaluation (DESIGN.md's "BE vs TRAP" design choice). TRAP is second
+//! order and can use the same step count with less discretization error,
+//! but costs an extra residual history term per step; BE is the robust
+//! default for these stiff latch circuits.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use shc_bench::{Cell, Timing};
+use shc_core::CharacterizationProblem;
+use shc_spice::transient::Integrator;
+use shc_spice::waveform::Params;
+
+fn problem_with(method: Integrator) -> CharacterizationProblem {
+    CharacterizationProblem::builder(Cell::Tspc.register(Timing::Fast))
+        .integrator(method)
+        .build()
+        .expect("fixture")
+}
+
+fn bench_integrators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_integrator");
+    group.sample_size(10);
+
+    for (name, method) in [
+        ("backward_euler", Integrator::BackwardEuler),
+        ("trapezoidal", Integrator::Trapezoidal),
+    ] {
+        let problem = problem_with(method);
+        group.bench_with_input(
+            BenchmarkId::new("h_with_jacobian", name),
+            &problem,
+            |b, problem| {
+                b.iter(|| {
+                    problem
+                        .evaluate_with_jacobian(&Params::new(300e-12, 200e-12))
+                        .expect("simulates")
+                })
+            },
+        );
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_integrators);
+criterion_main!(benches);

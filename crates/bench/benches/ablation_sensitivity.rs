@@ -1,0 +1,56 @@
+//! Ablation: forward vs adjoint sensitivity analysis for the h-Jacobian.
+//!
+//! Forward sensitivities (the paper's choice, eqs. (9)-(13)) cost one extra
+//! solve per step per parameter but need no state storage; the discrete
+//! adjoint costs one transposed solve per step total plus a re-stamping
+//! backward sweep over the recorded trajectory. For the 2-parameter
+//! setup/hold problem the forward method should win; the adjoint becomes
+//! attractive for many-parameter extensions.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use shc_bench::{Cell, Timing};
+use shc_spice::adjoint;
+use shc_spice::transient::{RecordMode, TransientAnalysis, TransientOptions};
+use shc_spice::waveform::{Param, Params};
+
+fn bench_sensitivity_methods(c: &mut Criterion) {
+    let register = Cell::Tspc.register(Timing::Fast);
+    let tstop = register.active_edge_time() + 0.3e-9;
+    let params = Params::new(300e-12, 200e-12);
+    let out = register.output_unknown();
+
+    let mut group = c.benchmark_group("ablation_sensitivity");
+    group.sample_size(10);
+
+    group.bench_function("forward_2_params", |b| {
+        let opts = TransientOptions::builder(tstop)
+            .dt(4e-12)
+            .sensitivities(&Param::ALL)
+            .record(RecordMode::FinalOnly)
+            .build();
+        b.iter(|| {
+            TransientAnalysis::new(register.circuit(), opts.clone())
+                .run(&params)
+                .expect("simulates")
+        })
+    });
+
+    group.bench_function("adjoint_2_params", |b| {
+        let opts = TransientOptions::builder(tstop)
+            .dt(4e-12)
+            .record(RecordMode::Full)
+            .build();
+        b.iter(|| {
+            let res = TransientAnalysis::new(register.circuit(), opts.clone())
+                .run(&params)
+                .expect("simulates");
+            adjoint::backward_sensitivities(register.circuit(), &res, &params, out, &Param::ALL)
+                .expect("adjoint")
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_sensitivity_methods);
+criterion_main!(benches);

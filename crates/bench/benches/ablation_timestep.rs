@@ -1,0 +1,38 @@
+//! Ablation: fixed transient step size for the h evaluation.
+//!
+//! The paper's step 2.a.i fixes N time points over [0, t_f]; this bench
+//! sweeps the step so the cost/accuracy tradeoff behind the default (4 ps,
+//! 25 points per 0.1 ns edge) is visible.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use shc_bench::{Cell, Timing};
+use shc_core::CharacterizationProblem;
+use shc_spice::waveform::Params;
+
+fn bench_timesteps(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_timestep");
+    group.sample_size(10);
+
+    for dt_ps in [2.0_f64, 4.0, 8.0, 16.0] {
+        let problem = CharacterizationProblem::builder(Cell::Tspc.register(Timing::Fast))
+            .dt(dt_ps * 1e-12)
+            .build()
+            .expect("problem");
+        group.bench_with_input(
+            BenchmarkId::new("h_evaluation_dt_ps", dt_ps as u64),
+            &problem,
+            |b, problem| {
+                b.iter(|| {
+                    problem
+                        .evaluate(&Params::new(300e-12, 200e-12))
+                        .expect("simulates")
+                })
+            },
+        );
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_timesteps);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Ablation: Euler predictor step length α (DESIGN.md's tracer design
+//! choice). Short steps waste corrector calls; long steps leave the MPNR
+//! convergence basin and trigger step halving. The adaptive default should
+//! sit near the sweet spot.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use shc_bench::{Cell, Timing};
+use shc_core::{seed, tracer, SeedOptions, TracerOptions};
+
+fn bench_step_lengths(c: &mut Criterion) {
+    let problem = Cell::Tspc.problem(Timing::Fast).expect("fixture");
+    let first = seed::find_first_point(&problem, &SeedOptions::default()).expect("seed");
+
+    let mut group = c.benchmark_group("ablation_tracer_step");
+    group.sample_size(10);
+
+    for alpha_ps in [2.0_f64, 10.0, 40.0] {
+        let opts = TracerOptions {
+            alpha: alpha_ps * 1e-12,
+            alpha_min: 0.25e-12,
+            alpha_max: alpha_ps * 1e-12, // pin the step: no adaptation upward
+            ..TracerOptions::default()
+        };
+        group.bench_with_input(
+            BenchmarkId::new("fixed_alpha_ps", alpha_ps as u64),
+            &opts,
+            |b, opts| {
+                b.iter(|| {
+                    tracer::trace(&problem, first.params, 12, opts).expect("traces")
+                })
+            },
+        );
+    }
+
+    group.bench_function("adaptive_default", |b| {
+        b.iter(|| {
+            tracer::trace(&problem, first.params, 12, &TracerOptions::default())
+                .expect("traces")
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_step_lengths);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! FIG 12: the C²MOS register with delayed clk̄ — contour tracing under the
+//! 90% capture criterion, plus the same trace on the extra TG cell to show
+//! the method is cell-agnostic.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use shc_bench::{Cell, Timing};
+
+fn bench_fig12(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig12_c2mos");
+    group.sample_size(10);
+
+    let c2mos = Cell::C2mos.problem(Timing::Fast).expect("fixture");
+    group.bench_function("trace_contour_20pts", |b| {
+        b.iter(|| c2mos.trace_contour(20).expect("traces"))
+    });
+
+    let tg = Cell::Tg.problem(Timing::Fast).expect("fixture");
+    group.bench_function("tg_trace_contour_20pts", |b| {
+        b.iter(|| tg.trace_contour(20).expect("traces"))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig12);
+criterion_main!(benches);

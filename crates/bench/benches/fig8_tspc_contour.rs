@@ -1,0 +1,41 @@
+//! FIG 8: Euler-Newton tracing of the TSPC constant clock-to-Q contour.
+//!
+//! Measures the cost of the headline operation — seeding plus a full
+//! contour trace — and of its building blocks (one `h` evaluation with and
+//! without sensitivities). Uses the compressed clock; run the `experiments`
+//! binary for the paper-clock numbers.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use shc_bench::{Cell, Timing};
+use shc_spice::waveform::Params;
+
+fn bench_fig8(c: &mut Criterion) {
+    let problem = Cell::Tspc.problem(Timing::Fast).expect("fixture");
+    let mut group = c.benchmark_group("fig8_tspc");
+    group.sample_size(10);
+
+    group.bench_function("h_evaluation", |b| {
+        b.iter(|| {
+            problem
+                .evaluate(&Params::new(300e-12, 200e-12))
+                .expect("simulates")
+        })
+    });
+
+    group.bench_function("h_with_jacobian", |b| {
+        b.iter(|| {
+            problem
+                .evaluate_with_jacobian(&Params::new(300e-12, 200e-12))
+                .expect("simulates")
+        })
+    });
+
+    group.bench_function("trace_contour_20pts", |b| {
+        b.iter(|| problem.trace_contour(20).expect("traces"))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig8);
+criterion_main!(benches);

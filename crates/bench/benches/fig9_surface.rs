@@ -1,0 +1,38 @@
+//! FIG 9 / FIG 1(a): brute-force output-surface generation for the TSPC
+//! register (the prior-art baseline), plus the marching-squares contour
+//! extraction of FIG 10.
+//!
+//! The surface cost scales as n²; a reduced grid keeps the bench under a
+//! minute while still exposing the scaling against `fig8_tspc_contour`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use shc_bench::{Cell, Timing};
+use shc_core::{surface, SurfaceOptions};
+
+fn bench_fig9(c: &mut Criterion) {
+    let problem = Cell::Tspc.problem(Timing::Fast).expect("fixture");
+    let contour = problem.trace_contour(8).expect("contour for grid bounds");
+
+    let mut group = c.benchmark_group("fig9_surface");
+    group.sample_size(10);
+
+    for n in [6usize, 10] {
+        let grid = SurfaceOptions::around_contour(&contour, n);
+        group.bench_with_input(BenchmarkId::new("generate", n), &grid, |b, grid| {
+            b.iter(|| surface::generate(&problem, grid).expect("surface"))
+        });
+    }
+
+    // Contour extraction alone (post-processing cost of the baseline).
+    let grid = SurfaceOptions::around_contour(&contour, 10);
+    let surf = surface::generate(&problem, &grid).expect("surface");
+    let r = problem.r();
+    group.bench_function("contour_extraction_10x10", |b| {
+        b.iter(|| surf.contour_at(r))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig9);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! TBL-INDEP (paper Sec. III-B / ref \[6\], Fig. 7): independent setup-time
+//! characterization by industry-practice binary search versus
+//! sensitivity-based scalar Newton (warm-started, as in a PVT-corner sweep).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use shc_bench::{Cell, Timing};
+use shc_core::independent::{binary_search, newton, IndependentOptions, SkewAxis};
+
+fn bench_independent(c: &mut Criterion) {
+    let mut group = c.benchmark_group("independent_char");
+    group.sample_size(10);
+
+    for cell in Cell::PAPER {
+        let problem = cell.problem(Timing::Fast).expect("fixture");
+        let opts = IndependentOptions {
+            tol: 0.1e-12,
+            ..IndependentOptions::default()
+        };
+        // Reference value for the warm start.
+        let setup = binary_search(&problem, SkewAxis::Setup, &opts)
+            .expect("bisection")
+            .skew;
+
+        group.bench_with_input(
+            BenchmarkId::new("binary_search", cell.name()),
+            &opts,
+            |b, opts| b.iter(|| binary_search(&problem, SkewAxis::Setup, opts).expect("solves")),
+        );
+
+        let warm = IndependentOptions {
+            initial_guess: Some(setup * 0.85),
+            ..opts
+        };
+        group.bench_with_input(
+            BenchmarkId::new("newton_warm", cell.name()),
+            &warm,
+            |b, warm| b.iter(|| newton(&problem, SkewAxis::Setup, warm).expect("solves")),
+        );
+
+        group.bench_with_input(
+            BenchmarkId::new("newton_cold", cell.name()),
+            &opts,
+            |b, opts| b.iter(|| newton(&problem, SkewAxis::Setup, opts).expect("solves")),
+        );
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_independent);
+criterion_main!(benches);

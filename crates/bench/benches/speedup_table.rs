@@ -1,0 +1,37 @@
+//! TBL-SPEEDUP: Euler-Newton trace versus brute-force surface at matched
+//! contour resolution, for both paper cells. The paper reports ~26x at
+//! n = 40; this bench exposes the same trace-vs-surface gap at a reduced n
+//! (the ratio grows linearly with n, so the paper's scale follows).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use shc_bench::{Cell, Timing};
+use shc_core::{surface, SurfaceOptions};
+
+fn bench_speedup(c: &mut Criterion) {
+    let mut group = c.benchmark_group("speedup_table");
+    group.sample_size(10);
+
+    for cell in Cell::PAPER {
+        let problem = cell.problem(Timing::Fast).expect("fixture");
+        let n = 10usize;
+
+        group.bench_with_input(
+            BenchmarkId::new("euler_newton_trace", cell.name()),
+            &n,
+            |b, &n| b.iter(|| problem.trace_contour(n).expect("traces")),
+        );
+
+        let contour = problem.trace_contour(n).expect("grid bounds");
+        let grid = SurfaceOptions::around_contour(&contour, n);
+        group.bench_with_input(
+            BenchmarkId::new("surface_nxn", cell.name()),
+            &grid,
+            |b, grid| b.iter(|| surface::generate(&problem, grid).expect("surface")),
+        );
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_speedup);
+criterion_main!(benches);

@@ -1,0 +1,165 @@
+//! Regenerates every table and figure of the paper's evaluation section and
+//! prints paper-vs-measured rows (the source for EXPERIMENTS.md).
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p shc-bench --bin experiments            # paper clock (minutes)
+//! cargo run --release -p shc-bench --bin experiments -- --fast  # compressed clock (seconds)
+//! cargo run --release -p shc-bench --bin experiments -- --fast --surface-n 20
+//! ```
+
+use std::time::Instant;
+
+use shc_bench::{Cell, Timing};
+use shc_core::independent::{binary_search, newton, IndependentOptions, SkewAxis};
+use shc_core::report::{CellReport, ContourTable, OverlayReport, SpeedupRow};
+use shc_core::{surface, CharacterizationProblem, SeedOptions, SurfaceOptions, TracerOptions};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().collect();
+    let timing = if args.iter().any(|a| a == "--fast") {
+        Timing::Fast
+    } else {
+        Timing::Paper
+    };
+    let surface_n: usize = args
+        .iter()
+        .position(|a| a == "--surface-n")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(40);
+    let n_points = 40;
+
+    println!("=== shc experiments: DAC 2007 reproduction ({timing:?} clock) ===\n");
+
+    // ---------------------------------------------------------------- //
+    // Characteristic delays (paper Sec. IV-A/IV-B prose).
+    // ---------------------------------------------------------------- //
+    println!("--- Characterization targets (paper: TSPC t_CQ = 298 ps @50%, r = 1.25 V;");
+    println!("---                          C2MOS 90% criterion, r = 0.25 V) ---");
+    let mut problems: Vec<(Cell, CharacterizationProblem)> = Vec::new();
+    for cell in Cell::ALL {
+        let problem = cell.problem(timing)?;
+        let report = CellReport {
+            cell: cell.name().to_string(),
+            t_cq: problem.characteristic_delay(),
+            t_f: problem.t_f(),
+            r: problem.r(),
+            degradation: problem.degradation(),
+        };
+        println!("{report}");
+        problems.push((cell, problem));
+    }
+
+    // ---------------------------------------------------------------- //
+    // FIG 8 / FIG 12a: Euler-Newton contours.
+    // FIG 9/10, 12b: surface + overlay.
+    // TBL-SPEEDUP: trace vs surface, simulations and wall clock.
+    // ---------------------------------------------------------------- //
+    println!("\n--- Contours, overlays, speedups (paper: ~26x at n = 40; 2-3 MPNR iters/pt) ---");
+    // Figure contours stop at the pure-setup asymptote (the paper's plots
+    // cover the bend region: setup 150-350 ps in its Fig. 8).
+    let figure_tracer = TracerOptions {
+        min_tangent_hold: 0.05,
+        ..TracerOptions::default()
+    };
+    for (cell, problem) in &problems {
+        problem.reset_simulation_count();
+        let t0 = Instant::now();
+        let contour = problem.trace_contour_with(n_points, &SeedOptions::default(), &figure_tracer)?;
+        let trace_seconds = t0.elapsed().as_secs_f64();
+        let trace_sims = problem.simulation_count();
+
+        println!("\n{}", ContourTable::from_contour(cell.name(), &contour));
+
+        problem.reset_simulation_count();
+        let grid = SurfaceOptions::around_contour(&contour, surface_n);
+        let t0 = Instant::now();
+        let surf = surface::generate(problem, &grid)?;
+        let surface_seconds = t0.elapsed().as_secs_f64();
+        let surface_contour = surf.contour_at(problem.r());
+
+        let row = SpeedupRow {
+            cell: cell.name().to_string(),
+            n_points,
+            points_traced: contour.points().len(),
+            trace_simulations: trace_sims,
+            surface_simulations: surf.simulations(),
+            trace_seconds: Some(trace_seconds),
+            surface_seconds: Some(surface_seconds),
+            mean_corrector_iterations: contour.mean_corrector_iterations(),
+        };
+        println!("{row}");
+        let overlay = OverlayReport::compare(cell.name(), &contour, &surface_contour, surface_n);
+        println!("overlay: {overlay}");
+    }
+
+    // ---------------------------------------------------------------- //
+    // Speedup scaling: linear in n (paper Sec. I: O(n) vs O(n^2)).
+    // ---------------------------------------------------------------- //
+    println!("\n--- Speedup vs contour resolution n (paper: speedup grows linearly in n) ---");
+    println!(
+        "{:<8} {:>4} {:>12} {:>14} {:>10}",
+        "cell", "n", "trace sims", "surface sims", "speedup"
+    );
+    for (cell, problem) in &problems {
+        if !Cell::PAPER.iter().any(|c| c.name() == cell.name()) {
+            continue;
+        }
+        for n in [10usize, 20, 40] {
+            problem.reset_simulation_count();
+            let contour = problem.trace_contour(n)?;
+            let trace_sims = problem.simulation_count();
+            let surface_sims = n * n; // by construction of the baseline
+            println!(
+                "{:<8} {:>4} {:>12} {:>14} {:>9.1}x",
+                cell.name(),
+                n,
+                trace_sims,
+                surface_sims,
+                surface_sims as f64 / trace_sims as f64,
+            );
+            let _ = contour;
+        }
+    }
+
+    // ---------------------------------------------------------------- //
+    // TBL-INDEP: independent characterization, bisection vs Newton
+    // (paper ref [6]: 4-10x).
+    // ---------------------------------------------------------------- //
+    println!("\n--- Independent characterization (paper ref [6]: Newton 4-10x over bisection) ---");
+    println!(
+        "{:<8} {:>6} {:>12} {:>6} {:>12} {:>6} {:>9}",
+        "cell", "axis", "bisect(ps)", "sims", "newton(ps)", "sims", "speedup"
+    );
+    for (cell, problem) in &problems {
+        for axis in [SkewAxis::Setup, SkewAxis::Hold] {
+            let opts = IndependentOptions {
+                tol: 0.1e-12,
+                ..IndependentOptions::default()
+            };
+            problem.reset_simulation_count();
+            let bis = binary_search(problem, axis, &opts)?;
+            let warm = IndependentOptions {
+                initial_guess: Some(bis.skew * 0.85),
+                ..opts
+            };
+            problem.reset_simulation_count();
+            let nwt = newton(problem, axis, &warm)?;
+            println!(
+                "{:<8} {:>6} {:>12.2} {:>6} {:>12.2} {:>6} {:>8.1}x",
+                cell.name(),
+                format!("{axis:?}"),
+                bis.skew * 1e12,
+                bis.simulations,
+                nwt.skew * 1e12,
+                nwt.simulations,
+                bis.simulations as f64 / nwt.simulations as f64,
+            );
+        }
+    }
+
+    println!("\ndone.");
+    Ok(())
+}

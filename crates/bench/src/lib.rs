@@ -1,0 +1,109 @@
+//! # shc-bench
+//!
+//! Benchmark harness regenerating every table and figure of the DAC 2007
+//! paper's evaluation section, plus ablations of this implementation's
+//! design choices.
+//!
+//! Two entry points:
+//!
+//! - the Criterion benches under `benches/` (one per figure/table, run with
+//!   `cargo bench`), which use the compressed test clock so a full run
+//!   stays in the minutes range;
+//! - the `experiments` binary (`cargo run --release -p shc-bench --bin
+//!   experiments`), which runs the full paper-scale experiments (the exact
+//!   10 ns clock) and prints the paper-vs-measured rows that EXPERIMENTS.md
+//!   records. Pass `--fast` to use the compressed clock.
+
+use shc_cells::{
+    c2mos_register_with, tg_register_with, tspc_register_with, ClockSpec, Register, Technology,
+    C2MOS_CLKB_SKEW,
+};
+use shc_core::{CharError, CharacterizationProblem};
+
+/// Which clock timing a fixture uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Timing {
+    /// The paper's exact clock: 10 ns period, active edge at 11.05 ns.
+    Paper,
+    /// Compressed clock for quick runs: 3 ns period, edge at 3.25 ns.
+    Fast,
+}
+
+impl Timing {
+    /// The corresponding clock specification.
+    pub fn clock(self) -> ClockSpec {
+        match self {
+            Timing::Paper => ClockSpec::paper(),
+            Timing::Fast => ClockSpec::fast(),
+        }
+    }
+}
+
+/// The cells the paper evaluates (plus one extra validation cell).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Cell {
+    /// True single-phase clocked register (paper Sec. IV-A).
+    Tspc,
+    /// C²MOS master-slave register with 0.3 ns clk̄ delay (Sec. IV-B).
+    C2mos,
+    /// Static transmission-gate flip-flop (extra validation cell).
+    Tg,
+}
+
+impl Cell {
+    /// All benchmarked cells.
+    pub const ALL: [Cell; 3] = [Cell::Tspc, Cell::C2mos, Cell::Tg];
+
+    /// The paper's two cells.
+    pub const PAPER: [Cell; 2] = [Cell::Tspc, Cell::C2mos];
+
+    /// Cell name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Cell::Tspc => "tspc",
+            Cell::C2mos => "c2mos",
+            Cell::Tg => "tg",
+        }
+    }
+
+    /// Builds the register fixture.
+    pub fn register(self, timing: Timing) -> Register {
+        let tech = Technology::default_250nm();
+        match self {
+            Cell::Tspc => tspc_register_with(&tech, timing.clock()),
+            Cell::C2mos => c2mos_register_with(&tech, timing.clock(), C2MOS_CLKB_SKEW),
+            Cell::Tg => tg_register_with(&tech, timing.clock()),
+        }
+    }
+
+    /// Builds the characterization problem (runs the reference simulation).
+    ///
+    /// # Errors
+    ///
+    /// Propagates problem-construction failures.
+    pub fn problem(self, timing: Timing) -> Result<CharacterizationProblem, CharError> {
+        CharacterizationProblem::builder(self.register(timing))
+            .degradation(0.10)
+            .build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_build_for_all_cells() {
+        for cell in Cell::ALL {
+            let problem = cell.problem(Timing::Fast).expect("fixture builds");
+            assert!(problem.characteristic_delay() > 0.0, "{}", cell.name());
+        }
+    }
+
+    #[test]
+    fn paper_cells_are_subset_of_all() {
+        for c in Cell::PAPER {
+            assert!(Cell::ALL.contains(&c));
+        }
+    }
+}

@@ -1,0 +1,42 @@
+//! Prints the internal stage waveforms of the TSPC register around a
+//! successful capture — useful for understanding how the 9T topology
+//! latches (stage X samples, Y evaluates, Q is clock-protected).
+//!
+//! Run with: `cargo run -p shc-cells --release --example stage_waveforms`
+
+use shc_cells::{tspc_register_with, ClockSpec, Technology};
+use shc_spice::transient::{TransientAnalysis, TransientOptions};
+use shc_spice::waveform::Params;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let tech = Technology::default_250nm();
+    let reg = tspc_register_with(&tech, ClockSpec::fast());
+    let edge = reg.active_edge_time();
+    println!("active edge at {:.3} ns; data pulse: Vdd -> 0 -> Vdd (capture 0)\n", edge * 1e9);
+
+    let opts = TransientOptions::builder(edge + 1.0e-9).dt(4e-12).build();
+    let res = TransientAnalysis::new(reg.circuit(), opts).run(&Params::new(0.5e-9, 0.5e-9))?;
+    let names = ["d", "clk", "x", "y", "q"];
+    let idx: Vec<usize> = names
+        .iter()
+        .map(|n| {
+            reg.node(n)
+                .and_then(|node| node.unknown())
+                .expect("known internal node")
+        })
+        .collect();
+    print!("{:>9}", "t(ns)");
+    for n in &names {
+        print!("{n:>8}");
+    }
+    println!();
+    let times = res.times();
+    for k in (0..times.len()).step_by((times.len() / 48).max(1)) {
+        print!("{:9.3}", times[k] * 1e9);
+        for &i in &idx {
+            print!("{:8.3}", res.states()[k][i]);
+        }
+        println!();
+    }
+    Ok(())
+}

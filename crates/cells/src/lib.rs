@@ -1,0 +1,41 @@
+//! # shc-cells
+//!
+//! Latch and register cell library for setup/hold characterization.
+//!
+//! Each builder returns a [`Register`]: a complete transistor-level netlist
+//! with embedded clock and τs/τh-parameterized data sources, plus the
+//! metadata (output node, active-edge time, expected output transition) the
+//! characterization core needs.
+//!
+//! Cells provided:
+//!
+//! - [`tspc_register`] — the true single-phase-clocked positive
+//!   edge-triggered register of the paper's Fig. 6 (three dynamic stages
+//!   plus a static output buffer);
+//! - [`c2mos_register`] — the C²MOS master-slave positive edge-triggered
+//!   register of the paper's Fig. 11(a), with the 0.3 ns delayed `clk̄`
+//!   that creates clock overlap and a positive hold time;
+//! - [`tg_register`] — a static transmission-gate master-slave flip-flop
+//!   (extra validation cell beyond the paper's two);
+//! - [`d_latch`] — a level-sensitive dynamic D latch.
+//!
+//! # Example
+//!
+//! ```rust
+//! use shc_cells::{tspc_register, ClockSpec, Technology};
+//!
+//! let tech = Technology::default_250nm();
+//! let reg = tspc_register(&tech).with_clock(ClockSpec::fast());
+//! assert!(reg.active_edge_time() > 0.0);
+//! ```
+
+mod extra;
+mod register;
+mod tech;
+
+pub use extra::{pulsed_latch, pulsed_latch_with, saff_register, saff_register_with};
+pub use register::{
+    c2mos_register, c2mos_register_with, d_latch, d_latch_with, tg_register, tg_register_with,
+    tspc_register, tspc_register_with, ClockSpec, OutputTransition, Register, C2MOS_CLKB_SKEW,
+};
+pub use tech::Technology;

@@ -1,0 +1,75 @@
+use serde::{Deserialize, Serialize};
+use shc_spice::MosParams;
+
+/// A technology card: device model parameters, supply, and default
+/// geometry/parasitics for cell construction.
+///
+/// The default card is a generic 0.25 µm-class, 2.5 V process — the same
+/// supply and clock era as the DAC 2007 paper's experiments. Absolute
+/// delays depend on these values, but the characterization algorithm and
+/// the contour *shape* do not.
+///
+/// # Example
+///
+/// ```rust
+/// use shc_cells::Technology;
+///
+/// let tech = Technology::default_250nm();
+/// assert_eq!(tech.vdd, 2.5);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Technology {
+    /// NMOS model card.
+    pub nmos: MosParams,
+    /// PMOS model card.
+    pub pmos: MosParams,
+    /// Supply voltage in volts.
+    pub vdd: f64,
+    /// Minimum (default) channel length in meters.
+    pub lmin: f64,
+    /// Default NMOS width in meters.
+    pub wn: f64,
+    /// Default PMOS width in meters (wider to balance mobility).
+    pub wp: f64,
+    /// Parasitic capacitance added to every internal node, in farads.
+    pub cnode: f64,
+    /// Load capacitance at the register output, in farads.
+    pub cload: f64,
+}
+
+impl Technology {
+    /// The default 0.25 µm / 2.5 V technology.
+    pub fn default_250nm() -> Self {
+        Technology {
+            nmos: MosParams::nmos_250nm(),
+            pmos: MosParams::pmos_250nm(),
+            vdd: 2.5,
+            lmin: 0.25e-6,
+            wn: 1.0e-6,
+            wp: 2.5e-6,
+            cnode: 3e-15,
+            cload: 20e-15,
+        }
+    }
+}
+
+impl Default for Technology {
+    fn default() -> Self {
+        Technology::default_250nm()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_card_is_sane() {
+        let t = Technology::default();
+        assert!(t.vdd > 0.0);
+        assert!(t.wn > 0.0 && t.wp > t.wn, "pmos should be wider");
+        assert!(t.nmos.vt0 > 0.0 && t.nmos.vt0 < t.vdd / 2.0);
+        assert!(t.cload > t.cnode);
+        assert_eq!(t, Technology::default_250nm());
+    }
+}

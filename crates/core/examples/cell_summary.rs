@@ -1,0 +1,44 @@
+//! One-line characterization summary (t_CQ, setup, hold) for every cell in
+//! the library — a quick smoke report over the whole flow.
+//!
+//! Run with: `cargo run -p shc-core --release --example cell_summary`
+
+use shc_cells::{
+    c2mos_register_with, pulsed_latch_with, saff_register_with, tg_register_with,
+    tspc_register_with, ClockSpec, Technology, C2MOS_CLKB_SKEW,
+};
+use shc_core::independent::{binary_search, IndependentOptions, SkewAxis};
+use shc_core::CharacterizationProblem;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let tech = Technology::default_250nm();
+    let clock = ClockSpec::fast();
+    println!(
+        "{:<8} {:>10} {:>11} {:>10}",
+        "cell", "t_CQ(ps)", "setup(ps)", "hold(ps)"
+    );
+    for reg in [
+        tspc_register_with(&tech, clock),
+        c2mos_register_with(&tech, clock, C2MOS_CLKB_SKEW),
+        tg_register_with(&tech, clock),
+        saff_register_with(&tech, clock),
+        pulsed_latch_with(&tech, clock),
+    ] {
+        let name = reg.name();
+        let problem = CharacterizationProblem::builder(reg).build()?;
+        let opts = IndependentOptions {
+            tol: 0.5e-12,
+            ..IndependentOptions::default()
+        };
+        let setup = binary_search(&problem, SkewAxis::Setup, &opts)?;
+        let hold = binary_search(&problem, SkewAxis::Hold, &opts)?;
+        println!(
+            "{:<8} {:>10.1} {:>11.1} {:>10.1}",
+            name,
+            problem.characteristic_delay() * 1e12,
+            setup.skew * 1e12,
+            hold.skew * 1e12
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,195 @@
+//! Multi-corner (PVT) characterization sweeps.
+//!
+//! The paper's motivation (Sec. I): setup/hold must be characterized "for
+//! every register/cell of every standard cell library … for all
+//! process-voltage-temperature (PVT) corners or statistical process
+//! samples", which is why characterization takes "weeks or months even on
+//! large dedicated computer clusters". This module implements that outer
+//! loop over the Euler-Newton kernel, with the warm-start the paper's
+//! Sec. III-E step 1a recommends: each corner's trace is seeded from the
+//! previous corner's first contour point, skipping the bracketing search
+//! entirely whenever the corners are adjacent enough.
+
+use serde::{Deserialize, Serialize};
+use shc_cells::Register;
+use shc_spice::waveform::Params;
+
+use crate::mpnr::{self, MpnrOptions};
+use crate::seed::{self, SeedOptions};
+use crate::tracer::{self, TracerOptions};
+use crate::{CharacterizationProblem, Contour, Result};
+
+/// One corner's characterization outcome.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CornerResult {
+    /// Corner label (e.g. `"ss_2.3V"`).
+    pub label: String,
+    /// Characteristic clock-to-Q delay at this corner, seconds.
+    pub t_cq: f64,
+    /// The traced constant clock-to-Q contour.
+    pub contour: Contour,
+    /// Transient simulations this corner consumed (seeding + tracing).
+    pub simulations: usize,
+    /// Whether the warm start from the previous corner succeeded (false
+    /// for the first corner and after warm-start fallbacks).
+    pub warm_started: bool,
+}
+
+/// Options for a corner sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SweepOptions {
+    /// Contour points per corner.
+    pub points: usize,
+    /// Tracer settings.
+    pub tracer: TracerOptions,
+    /// Seeding settings (used for the first corner and as fallback).
+    pub seed: SeedOptions,
+    /// MPNR settings for warm-start polishing.
+    pub mpnr: MpnrOptions,
+}
+
+impl Default for SweepOptions {
+    fn default() -> Self {
+        SweepOptions {
+            points: 20,
+            tracer: TracerOptions::default(),
+            seed: SeedOptions::default(),
+            mpnr: MpnrOptions::default(),
+        }
+    }
+}
+
+/// Characterizes one register fixture per corner, warm-starting each corner
+/// from the previous one.
+///
+/// `corners` yields `(label, register)` pairs — typically the same cell
+/// rebuilt with shifted [`shc_cells::Technology`] parameters.
+///
+/// # Errors
+///
+/// Propagates the first corner's failures directly; later corners fall
+/// back to full (cold) seeding before giving up.
+///
+/// # Example
+///
+/// ```rust,no_run
+/// use shc_cells::{tspc_register, Technology};
+/// use shc_core::corners::{sweep, SweepOptions};
+///
+/// # fn main() -> Result<(), shc_core::CharError> {
+/// let mut corners = Vec::new();
+/// for (label, vdd) in [("slow_2.3V", 2.3), ("typ_2.5V", 2.5), ("fast_2.7V", 2.7)] {
+///     let mut tech = Technology::default_250nm();
+///     tech.vdd = vdd;
+///     corners.push((label.to_string(), tspc_register(&tech)));
+/// }
+/// let results = sweep(corners, &SweepOptions::default())?;
+/// for r in &results {
+///     println!("{}: t_CQ {:.1} ps, {} sims", r.label, r.t_cq * 1e12, r.simulations);
+/// }
+/// # Ok(())
+/// # }
+/// ```
+pub fn sweep(
+    corners: impl IntoIterator<Item = (String, Register)>,
+    opts: &SweepOptions,
+) -> Result<Vec<CornerResult>> {
+    let mut results = Vec::new();
+    let mut previous_first: Option<Params> = None;
+
+    for (label, register) in corners {
+        let problem = CharacterizationProblem::builder(register).build()?;
+        problem.reset_simulation_count();
+
+        // Try the warm start: polish the previous corner's first point onto
+        // this corner's contour with MPNR alone.
+        let mut warm_started = false;
+        let first_point = match previous_first {
+            Some(guess) => match mpnr::solve(&problem, guess, &opts.mpnr) {
+                Ok(polished) => {
+                    warm_started = true;
+                    polished
+                }
+                Err(_) => seed::find_first_point(&problem, &opts.seed)?,
+            },
+            None => seed::find_first_point(&problem, &opts.seed)?,
+        };
+
+        let contour = tracer::trace(&problem, first_point.params, opts.points, &opts.tracer)?;
+        previous_first = Some(first_point.params);
+        results.push(CornerResult {
+            label,
+            t_cq: problem.characteristic_delay(),
+            contour,
+            simulations: problem.simulation_count(),
+            warm_started,
+        });
+    }
+    Ok(results)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shc_cells::{tspc_register_with, ClockSpec, Technology};
+
+    fn corner_registers() -> Vec<(String, shc_cells::Register)> {
+        [2.3, 2.5, 2.7]
+            .iter()
+            .map(|&vdd| {
+                let mut tech = Technology::default_250nm();
+                tech.vdd = vdd;
+                (
+                    format!("vdd_{vdd}"),
+                    tspc_register_with(&tech, ClockSpec::fast()),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn sweep_characterizes_every_corner() {
+        let opts = SweepOptions {
+            points: 6,
+            ..SweepOptions::default()
+        };
+        let results = sweep(corner_registers(), &opts).unwrap();
+        assert_eq!(results.len(), 3);
+        for r in &results {
+            assert!(r.contour.points().len() >= 3, "{}: thin contour", r.label);
+            assert!(r.t_cq > 0.0);
+        }
+        // Lower supply ⇒ slower cell.
+        assert!(
+            results[0].t_cq > results[2].t_cq,
+            "slow corner {:.1} ps should exceed fast corner {:.1} ps",
+            results[0].t_cq * 1e12,
+            results[2].t_cq * 1e12
+        );
+    }
+
+    #[test]
+    fn warm_start_saves_simulations_on_later_corners() {
+        let opts = SweepOptions {
+            points: 6,
+            ..SweepOptions::default()
+        };
+        let results = sweep(corner_registers(), &opts).unwrap();
+        assert!(!results[0].warm_started, "first corner has nothing to reuse");
+        let warm_count = results[1..].iter().filter(|r| r.warm_started).count();
+        assert!(
+            warm_count >= 1,
+            "adjacent corners should warm-start (got {warm_count}/2)"
+        );
+        // Warm-started corners must be cheaper than the cold first corner.
+        for r in results[1..].iter().filter(|r| r.warm_started) {
+            assert!(
+                r.simulations < results[0].simulations,
+                "{}: warm start did not save work ({} vs {} sims)",
+                r.label,
+                r.simulations,
+                results[0].simulations
+            );
+        }
+    }
+}

@@ -1,0 +1,119 @@
+use std::fmt;
+
+use shc_spice::SpiceError;
+
+/// Errors produced by the characterization algorithms.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CharError {
+    /// An underlying circuit simulation failed.
+    Simulation(SpiceError),
+    /// The characteristic clock-to-Q delay could not be measured (the
+    /// output never crossed the target level with generous skews).
+    NoCharacteristicDelay {
+        /// The level that was never crossed, in volts.
+        level: f64,
+    },
+    /// MPNR failed to converge.
+    MpnrDiverged {
+        /// Iterations performed.
+        iterations: usize,
+        /// Last |h| value.
+        h_value: f64,
+    },
+    /// The MPNR Jacobian vanished (flat region of the output surface) —
+    /// the iterate is too far from the transition boundary.
+    VanishingJacobian {
+        /// Setup skew at the failure, in seconds.
+        tau_s: f64,
+        /// Hold skew at the failure, in seconds.
+        tau_h: f64,
+    },
+    /// Seeding could not bracket the setup time.
+    SeedBracketFailed {
+        /// Description of what went wrong.
+        reason: &'static str,
+    },
+    /// Curve tracing aborted before reaching the requested point count.
+    TraceAborted {
+        /// Points successfully traced.
+        points_found: usize,
+        /// Description of why tracing stopped.
+        reason: &'static str,
+    },
+    /// An option value was invalid.
+    BadOption {
+        /// Description of the offending option.
+        reason: &'static str,
+    },
+}
+
+impl fmt::Display for CharError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CharError::Simulation(e) => write!(f, "simulation failure: {e}"),
+            CharError::NoCharacteristicDelay { level } => write!(
+                f,
+                "characteristic clock-to-Q not measurable: output never crossed {level:.3} V"
+            ),
+            CharError::MpnrDiverged { iterations, h_value } => write!(
+                f,
+                "mpnr diverged after {iterations} iterations (|h| = {h_value:.3e})"
+            ),
+            CharError::VanishingJacobian { tau_s, tau_h } => write!(
+                f,
+                "mpnr jacobian vanished at (τs, τh) = ({:.1} ps, {:.1} ps)",
+                tau_s * 1e12,
+                tau_h * 1e12
+            ),
+            CharError::SeedBracketFailed { reason } => {
+                write!(f, "seed bracketing failed: {reason}")
+            }
+            CharError::TraceAborted {
+                points_found,
+                reason,
+            } => write!(f, "trace aborted after {points_found} points: {reason}"),
+            CharError::BadOption { reason } => write!(f, "bad option: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for CharError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CharError::Simulation(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SpiceError> for CharError {
+    fn from(e: SpiceError) -> Self {
+        CharError::Simulation(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        use std::error::Error;
+        let e = CharError::MpnrDiverged {
+            iterations: 15,
+            h_value: 0.3,
+        };
+        assert!(e.to_string().contains("15"));
+        assert!(e.source().is_none());
+
+        let e = CharError::from(SpiceError::NumericalBlowup { time: 1e-9 });
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CharError>();
+    }
+}

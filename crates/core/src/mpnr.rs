@@ -1,0 +1,199 @@
+//! Moore-Penrose pseudo-inverse Newton-Raphson (MPNR) for the
+//! underdetermined equation `h(τs, τh) = 0` — the paper's Sec. III-C.
+//!
+//! Each iteration runs one transient simulation with forward sensitivities
+//! to obtain `h` and its 1×2 Jacobian `H`, then updates
+//! `τ ← τ − h·H⁺` with `H⁺ = Hᵀ(H Hᵀ)⁻¹` (paper eqs. (15), (23), (24)).
+//! Under mild conditions MPNR converges to the point of the solution curve
+//! *nearest* the initial guess (paper Fig. 4).
+
+use serde::{Deserialize, Serialize};
+use shc_spice::waveform::Params;
+
+use crate::{CharError, CharacterizationProblem, Result};
+
+/// Convergence settings for MPNR.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MpnrOptions {
+    /// Relative tolerance on the skew update.
+    pub reltol: f64,
+    /// Absolute tolerance on the skew update, in seconds. The paper quotes
+    /// contour points "accurate up to 5 digits"; the default (0.01 ps
+    /// against ~100 ps skews) comfortably achieves that.
+    pub abstol: f64,
+    /// Maximum iterations.
+    pub max_iters: usize,
+    /// Cap on a single update's length, in seconds (guards against wild
+    /// steps from a nearly flat `h`).
+    pub max_step: f64,
+}
+
+impl Default for MpnrOptions {
+    fn default() -> Self {
+        MpnrOptions {
+            reltol: 1e-5,
+            abstol: 1e-14,
+            max_iters: 15,
+            max_step: 100e-12,
+        }
+    }
+}
+
+/// A converged MPNR solve.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MpnrResult {
+    /// The converged point on the constant clock-to-Q curve.
+    pub params: Params,
+    /// Iterations (= transient simulations with sensitivities) used.
+    pub iterations: usize,
+    /// `|h|` at the converged point, in volts.
+    pub residual: f64,
+    /// Jacobian at the converged point, `[∂h/∂τs, ∂h/∂τh]`.
+    pub jacobian: [f64; 2],
+}
+
+/// Solves `h(τs, τh) = 0` by MPNR from the given initial guess.
+///
+/// # Errors
+///
+/// - [`CharError::VanishingJacobian`] if the Jacobian vanishes (iterate in
+///   a flat region of the output surface — pick a better initial guess, or
+///   seed via [`crate::seed`]);
+/// - [`CharError::MpnrDiverged`] if `max_iters` is exhausted;
+/// - propagated simulation failures.
+pub fn solve(
+    problem: &CharacterizationProblem,
+    initial: Params,
+    opts: &MpnrOptions,
+) -> Result<MpnrResult> {
+    let mut tau = initial;
+    let mut last_h = f64::INFINITY;
+
+    for iter in 1..=opts.max_iters {
+        let ev = problem.evaluate_with_jacobian(&tau)?;
+        last_h = ev.h.abs();
+        let (mut ds, mut dh) = ev.mpnr_step().ok_or(CharError::VanishingJacobian {
+            tau_s: tau.tau_s,
+            tau_h: tau.tau_h,
+        })?;
+        let step_len = (ds * ds + dh * dh).sqrt();
+        if step_len > opts.max_step {
+            let scale = opts.max_step / step_len;
+            ds *= scale;
+            dh *= scale;
+        }
+        tau = Params::new(tau.tau_s + ds, tau.tau_h + dh);
+
+        let tol_s = opts.reltol * tau.tau_s.abs() + opts.abstol;
+        let tol_h = opts.reltol * tau.tau_h.abs() + opts.abstol;
+        if ds.abs() <= tol_s && dh.abs() <= tol_h {
+            // Converged on the update criterion; report the residual and
+            // Jacobian of the *last evaluated* point (ε-close to τ).
+            return Ok(MpnrResult {
+                params: tau,
+                iterations: iter,
+                residual: ev.h.abs(),
+                jacobian: [ev.dh_dtau_s, ev.dh_dtau_h],
+            });
+        }
+    }
+
+    Err(CharError::MpnrDiverged {
+        iterations: opts.max_iters,
+        h_value: last_h,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shc_cells::{tspc_register_with, ClockSpec, Technology};
+
+    #[test]
+    fn default_options_target_five_digits() {
+        let o = MpnrOptions::default();
+        // 1e-5 relative on a 100 ps skew = 1 fs — five significant digits.
+        assert!(o.reltol <= 1e-5);
+        assert!(o.abstol <= 1e-13);
+    }
+
+    /// End-to-end: from a guess near the transition region, MPNR must land
+    /// on a point with |h| tiny and the pass/fail boundary nearby.
+    #[test]
+    fn converges_to_contour_point_on_tspc() {
+        let tech = Technology::default_250nm();
+        let problem =
+            CharacterizationProblem::builder(tspc_register_with(&tech, ClockSpec::fast()))
+                .build()
+                .unwrap();
+        // Seed by shrinking the hold skew until h becomes responsive.
+        let tau_s = 0.35e-9;
+        let mut guess = None;
+        let mut tau_h = 0.3e-9;
+        for _ in 0..20 {
+            let ev = problem
+                .evaluate_with_jacobian(&Params::new(tau_s, tau_h))
+                .unwrap();
+            if ev.jacobian_norm() > 1e7 {
+                guess = Some(Params::new(tau_s, tau_h));
+                break;
+            }
+            tau_h -= 0.015e-9;
+        }
+        let guess = guess.expect("responsive guess found");
+        let result = solve(&problem, guess, &MpnrOptions::default()).unwrap();
+        assert!(
+            result.residual < 1e-3,
+            "converged residual |h| = {}",
+            result.residual
+        );
+        assert!(result.iterations <= 15);
+        // The point is genuinely on the boundary: probing a few ps along
+        // the reported gradient direction must change h monotonically.
+        let gnorm = (result.jacobian[0].powi(2) + result.jacobian[1].powi(2)).sqrt();
+        let (gs, gh) = (result.jacobian[0] / gnorm, result.jacobian[1] / gnorm);
+        let eps = 5e-12;
+        let h_plus = problem
+            .evaluate(&Params::new(
+                result.params.tau_s + eps * gs,
+                result.params.tau_h + eps * gh,
+            ))
+            .unwrap();
+        let h_minus = problem
+            .evaluate(&Params::new(
+                result.params.tau_s - eps * gs,
+                result.params.tau_h - eps * gh,
+            ))
+            .unwrap();
+        assert!(
+            h_plus > h_minus,
+            "h must increase along its gradient ({h_plus} vs {h_minus})"
+        );
+    }
+
+    #[test]
+    fn flat_region_reports_vanishing_jacobian_or_divergence() {
+        let tech = Technology::default_250nm();
+        let problem =
+            CharacterizationProblem::builder(tspc_register_with(&tech, ClockSpec::fast()))
+                .build()
+                .unwrap();
+        // Deep in the pass region the surface is flat: h > 0 everywhere and
+        // the Jacobian ~ 0 ⇒ either error is acceptable, but not success.
+        let err = solve(
+            &problem,
+            problem.reference_params(),
+            &MpnrOptions {
+                max_iters: 4,
+                ..MpnrOptions::default()
+            },
+        );
+        assert!(
+            matches!(
+                err,
+                Err(CharError::VanishingJacobian { .. }) | Err(CharError::MpnrDiverged { .. })
+            ),
+            "expected failure, got {err:?}"
+        );
+    }
+}

@@ -1,0 +1,257 @@
+//! Serializable experiment reports and table formatting.
+//!
+//! These types carry exactly what the paper's evaluation section reports:
+//! contour points, simulation counts for the Euler-Newton trace versus
+//! brute-force surface generation, corrector-iteration statistics, and the
+//! accuracy overlay deviation — so EXPERIMENTS.md can be regenerated
+//! mechanically.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Contour, SurfaceContour};
+
+/// Characterization summary for one register.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CellReport {
+    /// Cell name.
+    pub cell: String,
+    /// Characteristic clock-to-Q delay, seconds.
+    pub t_cq: f64,
+    /// Evaluation time `t_f`, seconds.
+    pub t_f: f64,
+    /// Target level `r`, volts.
+    pub r: f64,
+    /// Degradation fraction defining the contour.
+    pub degradation: f64,
+}
+
+impl fmt::Display for CellReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: t_CQ = {:.1} ps, t_f = {:.4} ns, r = {:.3} V ({}% criterion)",
+            self.cell,
+            self.t_cq * 1e12,
+            self.t_f * 1e9,
+            self.r,
+            (self.degradation * 100.0).round()
+        )
+    }
+}
+
+/// Speedup comparison between Euler-Newton tracing and brute-force surface
+/// generation for one contour-resolution setting (the paper's headline
+/// numbers: ~26× at n = 40, growing linearly with n).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpeedupRow {
+    /// Cell name.
+    pub cell: String,
+    /// Contour points requested.
+    pub n_points: usize,
+    /// Contour points actually traced.
+    pub points_traced: usize,
+    /// Transient simulations used by seeding + tracing.
+    pub trace_simulations: usize,
+    /// Transient simulations used by the n×n surface.
+    pub surface_simulations: usize,
+    /// Wall-clock seconds for the trace (if timed).
+    pub trace_seconds: Option<f64>,
+    /// Wall-clock seconds for the surface (if timed).
+    pub surface_seconds: Option<f64>,
+    /// Mean MPNR corrector iterations per traced point.
+    pub mean_corrector_iterations: f64,
+}
+
+impl SpeedupRow {
+    /// Simulation-count speedup (surface / trace).
+    pub fn simulation_speedup(&self) -> f64 {
+        self.surface_simulations as f64 / self.trace_simulations.max(1) as f64
+    }
+
+    /// Wall-clock speedup, when both timings are available.
+    pub fn time_speedup(&self) -> Option<f64> {
+        match (self.trace_seconds, self.surface_seconds) {
+            (Some(t), Some(s)) if t > 0.0 => Some(s / t),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for SpeedupRow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:<8} n={:<3} trace: {:>4} sims   surface: {:>6} sims   speedup: {:>6.1}x   corrector: {:.1} iters/pt",
+            self.cell,
+            self.n_points,
+            self.trace_simulations,
+            self.surface_simulations,
+            self.simulation_speedup(),
+            self.mean_corrector_iterations,
+        )?;
+        if let Some(ts) = self.time_speedup() {
+            write!(f, "   wall-clock: {ts:.1}x")?;
+        }
+        Ok(())
+    }
+}
+
+/// Accuracy comparison between a traced contour and the
+/// surface-intersection contour (the paper's Fig. 10 / Fig. 12b overlays).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OverlayReport {
+    /// Cell name.
+    pub cell: String,
+    /// Maximum |Δτh| between the two contours over the shared τs range,
+    /// seconds.
+    pub max_deviation: f64,
+    /// Surface grid resolution used for the comparison.
+    pub surface_n: usize,
+    /// Traced contour points that fell inside the surface range.
+    pub compared_points: usize,
+}
+
+impl OverlayReport {
+    /// Builds the overlay report from the two contours.
+    pub fn compare(cell: &str, contour: &Contour, surface: &SurfaceContour, n: usize) -> Self {
+        let compared = contour
+            .points()
+            .iter()
+            .filter(|p| surface.hold_at_setup(p.tau_s).is_some())
+            .count();
+        OverlayReport {
+            cell: cell.to_string(),
+            max_deviation: surface.max_deviation_from(contour).unwrap_or(f64::NAN),
+            surface_n: n,
+            compared_points: compared,
+        }
+    }
+}
+
+impl fmt::Display for OverlayReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: max |Δτh| = {:.2} ps against a {}x{} surface ({} points compared)",
+            self.cell,
+            self.max_deviation * 1e12,
+            self.surface_n,
+            self.surface_n,
+            self.compared_points,
+        )
+    }
+}
+
+/// A contour serialized as plain (ps, ps) rows for external plotting.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ContourTable {
+    /// Cell name.
+    pub cell: String,
+    /// `(setup_ps, hold_ps)` rows in trace order.
+    pub rows: Vec<(f64, f64)>,
+}
+
+impl ContourTable {
+    /// Extracts the table from a traced contour.
+    pub fn from_contour(cell: &str, contour: &Contour) -> Self {
+        ContourTable {
+            cell: cell.to_string(),
+            rows: contour
+                .points()
+                .iter()
+                .map(|p| (p.tau_s * 1e12, p.tau_h * 1e12))
+                .collect(),
+        }
+    }
+}
+
+impl fmt::Display for ContourTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "# {} constant clock-to-Q contour", self.cell)?;
+        writeln!(f, "{:>12} {:>12}", "setup(ps)", "hold(ps)")?;
+        for (s, h) in &self.rows {
+            writeln!(f, "{s:>12.2} {h:>12.2}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ContourPoint;
+
+    fn toy_contour() -> Contour {
+        Contour {
+            points: vec![
+                ContourPoint {
+                    tau_s: 100e-12,
+                    tau_h: 200e-12,
+                    corrector_iterations: 0,
+                    residual: 0.0,
+                },
+                ContourPoint {
+                    tau_s: 150e-12,
+                    tau_h: 150e-12,
+                    corrector_iterations: 2,
+                    residual: 1e-6,
+                },
+            ],
+            simulations: 7,
+            total_corrector_iterations: 2,
+        }
+    }
+
+    #[test]
+    fn speedup_row_math_and_display() {
+        let row = SpeedupRow {
+            cell: "tspc".into(),
+            n_points: 40,
+            points_traced: 40,
+            trace_simulations: 130,
+            surface_simulations: 1600,
+            trace_seconds: Some(2.0),
+            surface_seconds: Some(52.0),
+            mean_corrector_iterations: 2.5,
+        };
+        assert!((row.simulation_speedup() - 12.307).abs() < 0.01);
+        assert_eq!(row.time_speedup(), Some(26.0));
+        let s = row.to_string();
+        assert!(s.contains("tspc"));
+        assert!(s.contains("26.0x"));
+    }
+
+    #[test]
+    fn contour_table_roundtrips_units() {
+        let table = ContourTable::from_contour("tspc", &toy_contour());
+        assert_eq!(table.rows.len(), 2);
+        assert!((table.rows[0].0 - 100.0).abs() < 1e-9);
+        let text = table.to_string();
+        assert!(text.contains("setup(ps)"));
+        assert!(text.contains("100.00"));
+    }
+
+    #[test]
+    fn reports_are_serializable_and_comparable() {
+        fn assert_serializable<T: serde::Serialize + PartialEq>() {}
+        assert_serializable::<SpeedupRow>();
+        assert_serializable::<OverlayReport>();
+        assert_serializable::<ContourTable>();
+        assert_serializable::<CellReport>();
+    }
+
+    #[test]
+    fn overlay_report_compare_counts_points() {
+        let contour = toy_contour();
+        // Surface contour covering only part of the τs range.
+        let sc = crate::SurfaceContour {
+            points: vec![(90e-12, 210e-12), (120e-12, 180e-12)],
+        };
+        let report = OverlayReport::compare("tspc", &contour, &sc, 10);
+        assert_eq!(report.compared_points, 1);
+        assert!(report.max_deviation.is_finite());
+        assert!(report.to_string().contains("tspc"));
+    }
+}

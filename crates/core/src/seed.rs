@@ -1,0 +1,195 @@
+//! Finding the first point on the contour (paper Sec. IV-A).
+//!
+//! The hold skew is pinned to a generous value so the setup time becomes
+//! (nearly) independent of it; a coarse binary search then brackets the
+//! setup time between a passing and a failing skew until the interval is
+//! small enough to lie inside MPNR's convergence basin (paper Fig. 7), and
+//! MPNR polishes the midpoint onto the curve.
+
+use serde::{Deserialize, Serialize};
+use shc_spice::waveform::Params;
+
+use crate::independent::{self, IndependentOptions, SkewAxis};
+use crate::mpnr::{self, MpnrOptions};
+use crate::{CharError, CharacterizationProblem, MpnrResult, Result};
+
+/// Options for seeding.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SeedOptions {
+    /// Stop the bracketing binary search when the interval shrinks below
+    /// this width, in seconds (the MPNR convergence-range estimate).
+    pub bracket_tol: f64,
+    /// Lower end of the initial setup-skew search range, in seconds.
+    pub tau_s_min: f64,
+    /// Upper end of the initial setup-skew search range; `None` uses the
+    /// problem's generous reference skew.
+    pub tau_s_max: Option<f64>,
+    /// Hold skew pinned during seeding. `None` (the default) estimates the
+    /// hold time by a coarse bisection and pins the hold skew
+    /// `hold_margin` above it, so the trace starts near the contour's
+    /// interesting bend instead of far up its flat asymptote.
+    pub tau_h: Option<f64>,
+    /// Margin added above the estimated hold time when `tau_h` is `None`.
+    pub hold_margin: f64,
+    /// MPNR settings for the polish step.
+    pub mpnr: MpnrOptions,
+}
+
+impl Default for SeedOptions {
+    fn default() -> Self {
+        SeedOptions {
+            bracket_tol: 10e-12,
+            // Pulsed latches can have substantially negative setup times
+            // (the capture window opens after the clock edge).
+            tau_s_min: -300e-12,
+            tau_s_max: None,
+            tau_h: None,
+            hold_margin: 100e-12,
+            mpnr: MpnrOptions::default(),
+        }
+    }
+}
+
+/// Finds one point on the constant clock-to-Q contour.
+///
+/// # Errors
+///
+/// - [`CharError::SeedBracketFailed`] if both bracket ends pass (setup time
+///   below the search range) or both fail (range too small / cell broken);
+/// - propagated MPNR and simulation failures.
+///
+/// # Example
+///
+/// ```rust,no_run
+/// use shc_cells::{tspc_register, Technology};
+/// use shc_core::{seed, CharacterizationProblem, SeedOptions};
+///
+/// # fn main() -> Result<(), shc_core::CharError> {
+/// let problem =
+///     CharacterizationProblem::builder(tspc_register(&Technology::default_250nm()))
+///         .build()?;
+/// let first = seed::find_first_point(&problem, &SeedOptions::default())?;
+/// println!("setup time at large hold skew: {:.1} ps", first.params.tau_s * 1e12);
+/// # Ok(())
+/// # }
+/// ```
+pub fn find_first_point(
+    problem: &CharacterizationProblem,
+    opts: &SeedOptions,
+) -> Result<MpnrResult> {
+    let reference = problem.reference_params();
+    let tau_h = match opts.tau_h {
+        Some(t) => t,
+        None => {
+            // Coarse hold-time estimate at a generous setup skew.
+            let hold = independent::binary_search(
+                problem,
+                SkewAxis::Hold,
+                &IndependentOptions {
+                    range: (-150e-12, reference.tau_h),
+                    tol: 20e-12,
+                    max_iters: 40,
+                    initial_guess: None,
+                },
+            )?;
+            hold.skew + opts.hold_margin
+        }
+    };
+    let mut lo = opts.tau_s_min;
+    let mut hi = opts.tau_s_max.unwrap_or(reference.tau_s);
+    if !(hi > lo) {
+        return Err(CharError::SeedBracketFailed {
+            reason: "empty search range",
+        });
+    }
+
+    let pass_at = |tau_s: f64| -> Result<bool> {
+        let h = problem.evaluate(&Params::new(tau_s, tau_h))?;
+        Ok(problem.is_pass(h))
+    };
+
+    if !pass_at(hi)? {
+        return Err(CharError::SeedBracketFailed {
+            reason: "generous setup skew does not latch; cell or target level broken",
+        });
+    }
+    if pass_at(lo)? {
+        return Err(CharError::SeedBracketFailed {
+            reason: "lower search bound already latches; decrease tau_s_min",
+        });
+    }
+
+    // Coarse binary search until the bracket fits the NR convergence range.
+    while hi - lo > opts.bracket_tol {
+        let mid = 0.5 * (lo + hi);
+        if pass_at(mid)? {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+
+    // Polish the midpoint onto the curve with MPNR.
+    mpnr::solve(problem, Params::new(0.5 * (lo + hi), tau_h), &opts.mpnr)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shc_cells::{tspc_register_with, ClockSpec, Technology};
+
+    fn fast_problem() -> CharacterizationProblem {
+        let tech = Technology::default_250nm();
+        CharacterizationProblem::builder(tspc_register_with(&tech, ClockSpec::fast()))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn finds_setup_time_at_large_hold_skew() {
+        let problem = fast_problem();
+        let seed = find_first_point(&problem, &SeedOptions::default()).unwrap();
+        // Positive setup time, well under the clock period.
+        assert!(
+            seed.params.tau_s > 0.0 && seed.params.tau_s < 1e-9,
+            "setup time {:.1} ps",
+            seed.params.tau_s * 1e12
+        );
+        assert!(seed.residual < 1e-3);
+        // The point truly separates pass from fail along τs.
+        let h_lo = problem
+            .evaluate(&Params::new(seed.params.tau_s - 20e-12, seed.params.tau_h))
+            .unwrap();
+        let h_hi = problem
+            .evaluate(&Params::new(seed.params.tau_s + 20e-12, seed.params.tau_h))
+            .unwrap();
+        assert!(!problem.is_pass(h_lo));
+        assert!(problem.is_pass(h_hi));
+    }
+
+    #[test]
+    fn rejects_empty_range() {
+        let problem = fast_problem();
+        let opts = SeedOptions {
+            tau_s_max: Some(-1e-9),
+            ..SeedOptions::default()
+        };
+        assert!(matches!(
+            find_first_point(&problem, &opts),
+            Err(CharError::SeedBracketFailed { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_range_entirely_in_pass_region() {
+        let problem = fast_problem();
+        let opts = SeedOptions {
+            tau_s_min: 0.5e-9, // far above the setup time: always passes
+            ..SeedOptions::default()
+        };
+        assert!(matches!(
+            find_first_point(&problem, &opts),
+            Err(CharError::SeedBracketFailed { .. })
+        ));
+    }
+}

@@ -1,0 +1,285 @@
+//! SHIA-STA interface: consuming interdependent setup/hold contours.
+//!
+//! The paper's point of building contours at all (its refs \[1\], \[2\]) is
+//! **Setup/Hold-Interdependence-Aware static timing analysis**: when a path
+//! has a hold violation, the STA engine picks a *different* (τs, τh) pair
+//! on the same constant clock-to-Q contour — shorter hold, longer setup —
+//! and the violation disappears with zero circuit changes. This module
+//! packages a traced [`Contour`] into the query model such a flow needs:
+//!
+//! - [`SetupHoldModel::min_setup_for_hold`] — the smallest setup time that
+//!   guarantees correct capture at a given hold time;
+//! - [`SetupHoldModel::min_hold_for_setup`] — the dual query;
+//! - [`SetupHoldModel::pairs`] — the monotone staircase envelope suitable
+//!   for table-driven timers (Liberty-style lookup rows).
+//!
+//! The raw contour may be locally non-monotone (real cells are); a timing
+//! model must be conservative, so the envelope keeps, for every hold
+//! level, the *largest* setup seen at or below it — guaranteeing that any
+//! returned pair is on or above the curve.
+
+use serde::{Deserialize, Serialize};
+
+use crate::Contour;
+
+/// A conservative, monotone setup/hold tradeoff model built from a traced
+/// contour.
+///
+/// # Example
+///
+/// ```rust,no_run
+/// use shc_cells::{tspc_register, Technology};
+/// use shc_core::{shia::SetupHoldModel, CharacterizationProblem};
+///
+/// # fn main() -> Result<(), shc_core::CharError> {
+/// let problem =
+///     CharacterizationProblem::builder(tspc_register(&Technology::default_250nm()))
+///         .build()?;
+/// let contour = problem.trace_contour(20)?;
+/// let model = SetupHoldModel::from_contour(&contour).expect("nonempty contour");
+/// // A hold violation wants the hold requirement down to 45 ps; what setup
+/// // must the path then honour?
+/// if let Some(setup) = model.min_setup_for_hold(45e-12) {
+///     println!("trade: hold 45 ps needs setup {:.1} ps", setup * 1e12);
+/// }
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SetupHoldModel {
+    /// `(setup, hold)` pairs, sorted by increasing setup and strictly
+    /// decreasing hold — the conservative staircase envelope.
+    pairs: Vec<(f64, f64)>,
+}
+
+impl SetupHoldModel {
+    /// Builds the model from a traced contour.
+    ///
+    /// Returns `None` for contours with fewer than two points.
+    pub fn from_contour(contour: &Contour) -> Option<Self> {
+        if contour.points().len() < 2 {
+            return None;
+        }
+        // Sort by hold descending, then sweep keeping the running max of
+        // setup: each kept pair is conservative for its hold level.
+        let mut pts: Vec<(f64, f64)> = contour
+            .points()
+            .iter()
+            .map(|p| (p.tau_s, p.tau_h))
+            .collect();
+        pts.sort_by(|a, b| b.1.total_cmp(&a.1));
+        let mut pairs: Vec<(f64, f64)> = Vec::with_capacity(pts.len());
+        let mut max_setup = f64::NEG_INFINITY;
+        for (s, h) in pts {
+            max_setup = max_setup.max(s);
+            match pairs.last_mut() {
+                // Same hold level: keep only the conservative (max) setup.
+                Some((ps, ph)) if (*ph - h).abs() < 1e-18 => *ps = max_setup,
+                _ => pairs.push((max_setup, h)),
+            }
+        }
+        // `pairs` is now hold-descending with nondecreasing setup; drop
+        // entries that add setup without reducing hold (redundant rows).
+        pairs.dedup_by(|next, prev| next.0 <= prev.0 + 1e-18);
+        Some(SetupHoldModel { pairs })
+    }
+
+    /// The staircase rows, sorted by increasing setup / decreasing hold.
+    pub fn pairs(&self) -> &[(f64, f64)] {
+        &self.pairs
+    }
+
+    /// Smallest setup time that guarantees capture when the data is held
+    /// for `hold` seconds, by conservative interpolation on the envelope.
+    ///
+    /// Returns `None` if `hold` is below the smallest characterized hold
+    /// (no amount of setup rescues it within this contour).
+    pub fn min_setup_for_hold(&self, hold: f64) -> Option<f64> {
+        let (first, last) = (self.pairs.first()?, self.pairs.last()?);
+        if hold >= first.1 {
+            return Some(first.0); // generous hold: the asymptotic setup
+        }
+        if hold < last.1 {
+            return None;
+        }
+        // pairs: hold descending. Find the bracketing segment and
+        // interpolate; the envelope is conservative by construction.
+        for w in self.pairs.windows(2) {
+            let ((s0, h0), (s1, h1)) = (w[0], w[1]);
+            if hold <= h0 && hold >= h1 {
+                if (h0 - h1).abs() < 1e-30 {
+                    return Some(s1);
+                }
+                let frac = (h0 - hold) / (h0 - h1);
+                return Some(s0 + frac * (s1 - s0));
+            }
+        }
+        Some(last.0)
+    }
+
+    /// Smallest hold time that guarantees capture when the data arrives
+    /// `setup` seconds early — the dual query.
+    ///
+    /// Returns `None` if `setup` is below the smallest characterized setup.
+    pub fn min_hold_for_setup(&self, setup: f64) -> Option<f64> {
+        let (first, last) = (self.pairs.first()?, self.pairs.last()?);
+        if setup >= last.0 {
+            return Some(last.1);
+        }
+        if setup < first.0 {
+            return None;
+        }
+        for w in self.pairs.windows(2) {
+            let ((s0, h0), (s1, h1)) = (w[0], w[1]);
+            if setup >= s0 && setup <= s1 {
+                if (s1 - s0).abs() < 1e-30 {
+                    return Some(h1);
+                }
+                // Conservative: within the segment, use the *larger* hold
+                // of the bracketing rows' interpolation.
+                let frac = (setup - s0) / (s1 - s0);
+                return Some(h0 + frac * (h1 - h0));
+            }
+        }
+        Some(first.1)
+    }
+
+    /// The classic single-point characterization this model generalizes:
+    /// `(setup at most generous hold, hold at most generous setup)`.
+    pub fn independent_times(&self) -> (f64, f64) {
+        let first = self.pairs.first().expect("model is nonempty");
+        let last = self.pairs.last().expect("model is nonempty");
+        (first.0, last.1)
+    }
+
+    /// Renders Liberty-flavoured lookup rows (`index_1` = hold, values =
+    /// setup), ready to paste into a `.lib` prototype.
+    pub fn to_liberty_rows(&self) -> String {
+        let holds: Vec<String> = self
+            .pairs
+            .iter()
+            .map(|(_, h)| format!("{:.4}", h * 1e9))
+            .collect();
+        let setups: Vec<String> = self
+            .pairs
+            .iter()
+            .map(|(s, _)| format!("{:.4}", s * 1e9))
+            .collect();
+        format!(
+            "/* interdependent setup/hold (ns) */\nindex_1(\"{}\");\nvalues(\"{}\");\n",
+            holds.join(", "),
+            setups.join(", ")
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ContourPoint;
+
+    fn contour_from(pairs: &[(f64, f64)]) -> Contour {
+        Contour {
+            points: pairs
+                .iter()
+                .map(|&(tau_s, tau_h)| ContourPoint {
+                    tau_s,
+                    tau_h,
+                    corrector_iterations: 2,
+                    residual: 0.0,
+                })
+                .collect(),
+            simulations: pairs.len(),
+            total_corrector_iterations: 2 * pairs.len(),
+        }
+    }
+
+    #[test]
+    fn envelope_is_monotone() {
+        // A locally non-monotone contour (the TSPC dip).
+        let c = contour_from(&[
+            (160e-12, 140e-12),
+            (155e-12, 100e-12), // dip: less setup at less hold
+            (165e-12, 60e-12),
+            (200e-12, 50e-12),
+            (300e-12, 42e-12),
+        ]);
+        let m = SetupHoldModel::from_contour(&c).unwrap();
+        for w in m.pairs().windows(2) {
+            assert!(w[1].0 > w[0].0, "setup must increase");
+            assert!(w[1].1 < w[0].1, "hold must decrease");
+        }
+        // The dip is absorbed conservatively: setup for hold 100 ps is the
+        // asymptotic 160 ps, not the dipped 155 ps.
+        let s = m.min_setup_for_hold(100e-12).unwrap();
+        assert!(s >= 160e-12 - 1e-15, "conservative envelope, got {s:e}");
+    }
+
+    #[test]
+    fn queries_interpolate_and_clamp() {
+        let c = contour_from(&[(100e-12, 200e-12), (200e-12, 100e-12), (400e-12, 50e-12)]);
+        let m = SetupHoldModel::from_contour(&c).unwrap();
+        // Generous hold: asymptotic setup.
+        assert_eq!(m.min_setup_for_hold(1e-9), Some(100e-12));
+        // Interpolated mid-segment.
+        let s = m.min_setup_for_hold(150e-12).unwrap();
+        assert!((s - 150e-12).abs() < 1e-15, "got {s:e}");
+        // Below the characterized range: impossible.
+        assert_eq!(m.min_setup_for_hold(10e-12), None);
+        // Dual queries.
+        assert_eq!(m.min_hold_for_setup(1e-9), Some(50e-12));
+        assert_eq!(m.min_hold_for_setup(50e-12), None);
+        let h = m.min_hold_for_setup(150e-12).unwrap();
+        assert!((h - 150e-12).abs() < 1e-15, "got {h:e}");
+    }
+
+    #[test]
+    fn independent_times_are_the_extremes() {
+        let c = contour_from(&[(100e-12, 200e-12), (400e-12, 50e-12)]);
+        let m = SetupHoldModel::from_contour(&c).unwrap();
+        let (setup, hold) = m.independent_times();
+        assert_eq!(setup, 100e-12);
+        assert_eq!(hold, 50e-12);
+    }
+
+    #[test]
+    fn degenerate_contour_is_rejected() {
+        let c = contour_from(&[(100e-12, 200e-12)]);
+        assert!(SetupHoldModel::from_contour(&c).is_none());
+    }
+
+    #[test]
+    fn liberty_rows_render() {
+        let c = contour_from(&[(100e-12, 200e-12), (400e-12, 50e-12)]);
+        let m = SetupHoldModel::from_contour(&c).unwrap();
+        let lib = m.to_liberty_rows();
+        assert!(lib.contains("index_1"));
+        assert!(lib.contains("0.2000"));
+        assert!(lib.contains("0.4000"));
+    }
+
+    /// The headline SHIA-STA use case: a hold violation is repaired by
+    /// walking the contour.
+    #[test]
+    fn hold_violation_repair_scenario() {
+        let c = contour_from(&[
+            (120e-12, 180e-12),
+            (150e-12, 120e-12),
+            (220e-12, 70e-12),
+            (380e-12, 45e-12),
+        ]);
+        let m = SetupHoldModel::from_contour(&c).unwrap();
+        let (indep_setup, _) = m.independent_times();
+        // STA says the path only holds data for 80 ps — a violation against
+        // the independent hold-at-generous-setup row of 180 ps.
+        let needed_setup = m.min_setup_for_hold(80e-12).expect("repairable");
+        assert!(
+            needed_setup > indep_setup,
+            "the repair must cost setup margin"
+        );
+        assert!(
+            needed_setup < 380e-12,
+            "and stay within the characterized range"
+        );
+    }
+}

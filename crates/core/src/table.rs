@@ -1,0 +1,318 @@
+//! Liberty-style table characterization over clock slew and output load.
+//!
+//! Production `.lib` characterization indexes constraints and delays by
+//! **input/clock transition time** and **output capacitance** — the grid a
+//! timer interpolates at runtime. This module runs the characterization
+//! kernel over that grid, warm-starting each cell from its grid neighbor
+//! (the same reuse the paper's Sec. III-E step 1a recommends for corners),
+//! and renders the result as Liberty-flavoured lookup tables.
+
+use serde::{Deserialize, Serialize};
+use shc_cells::{ClockSpec, Register, Technology};
+
+use crate::independent::{binary_search, newton, IndependentOptions, SkewAxis};
+use crate::{CharError, CharacterizationProblem, Result};
+
+/// One grid point's characterization.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TableEntry {
+    /// Clock transition (rise/fall) time, seconds.
+    pub clock_slew: f64,
+    /// Output load capacitance, farads.
+    pub load: f64,
+    /// Characteristic clock-to-Q delay, seconds.
+    pub t_cq: f64,
+    /// Setup time (at generous hold), seconds.
+    pub setup: f64,
+    /// Hold time (at generous setup), seconds.
+    pub hold: f64,
+    /// Transient simulations this entry consumed.
+    pub simulations: usize,
+}
+
+/// A slew × load characterization table for one cell.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CellTable {
+    cell: String,
+    clock_slews: Vec<f64>,
+    loads: Vec<f64>,
+    /// Row-major: `entries[slew_index * loads.len() + load_index]`.
+    entries: Vec<TableEntry>,
+}
+
+impl CellTable {
+    /// Cell name.
+    pub fn cell(&self) -> &str {
+        &self.cell
+    }
+
+    /// The clock-slew axis.
+    pub fn clock_slews(&self) -> &[f64] {
+        &self.clock_slews
+    }
+
+    /// The load axis.
+    pub fn loads(&self) -> &[f64] {
+        &self.loads
+    }
+
+    /// All entries, row-major over (slew, load).
+    pub fn entries(&self) -> &[TableEntry] {
+        &self.entries
+    }
+
+    /// The entry at a grid coordinate.
+    pub fn entry(&self, slew_index: usize, load_index: usize) -> Option<&TableEntry> {
+        self.entries.get(slew_index * self.loads.len() + load_index)
+    }
+
+    /// Total simulations across the grid.
+    pub fn total_simulations(&self) -> usize {
+        self.entries.iter().map(|e| e.simulations).sum()
+    }
+
+    /// Renders Liberty-flavoured `values(...)` blocks for clock-to-Q,
+    /// setup, and hold, indexed by slew (`index_1`, ns) and load
+    /// (`index_2`, pF).
+    pub fn to_liberty(&self) -> String {
+        let idx1: Vec<String> = self
+            .clock_slews
+            .iter()
+            .map(|s| format!("{:.4}", s * 1e9))
+            .collect();
+        let idx2: Vec<String> = self.loads.iter().map(|l| format!("{:.4}", l * 1e12)).collect();
+        let render = |f: &dyn Fn(&TableEntry) -> f64| -> String {
+            self.clock_slews
+                .iter()
+                .enumerate()
+                .map(|(i, _)| {
+                    let row: Vec<String> = self
+                        .loads
+                        .iter()
+                        .enumerate()
+                        .map(|(j, _)| {
+                            format!("{:.4}", f(self.entry(i, j).expect("dense grid")) * 1e9)
+                        })
+                        .collect();
+                    format!("  \"{}\"", row.join(", "))
+                })
+                .collect::<Vec<_>>()
+                .join(", \\\n")
+        };
+        format!(
+            "/* cell {} — ns over index_1 = clock slew (ns), index_2 = load (pF) */\n\
+             index_1(\"{}\");\nindex_2(\"{}\");\n\
+             cell_rise_clk_to_q: values( \\\n{} );\n\
+             setup_rising: values( \\\n{} );\n\
+             hold_rising: values( \\\n{} );\n",
+            self.cell,
+            idx1.join(", "),
+            idx2.join(", "),
+            render(&|e| e.t_cq),
+            render(&|e| e.setup),
+            render(&|e| e.hold),
+        )
+    }
+}
+
+/// Options for table characterization.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TableOptions {
+    /// Solution tolerance for setup/hold, seconds.
+    pub tol: f64,
+}
+
+impl Default for TableOptions {
+    fn default() -> Self {
+        TableOptions { tol: 0.5e-12 }
+    }
+}
+
+/// Characterizes a cell over a clock-slew × load grid.
+///
+/// `build` constructs the register for a (technology, clock) pair — e.g.
+/// `|tech, clock| tspc_register_with(tech, clock)`. The base technology's
+/// `cload` and the base clock's `rise`/`fall` are overridden per grid
+/// point. After the first (cold) entry, setup/hold solve by warm-started
+/// Newton from the previous entry's values.
+///
+/// # Errors
+///
+/// - [`CharError::BadOption`] for empty axes;
+/// - propagated characterization failures.
+pub fn characterize<F>(
+    cell_name: &str,
+    base_tech: &Technology,
+    base_clock: ClockSpec,
+    build: F,
+    clock_slews: &[f64],
+    loads: &[f64],
+    opts: &TableOptions,
+) -> Result<CellTable>
+where
+    F: Fn(&Technology, ClockSpec) -> Register,
+{
+    if clock_slews.is_empty() || loads.is_empty() {
+        return Err(CharError::BadOption {
+            reason: "table axes must be nonempty",
+        });
+    }
+    let mut entries = Vec::with_capacity(clock_slews.len() * loads.len());
+    let mut previous: Option<(f64, f64)> = None;
+
+    for (si, &slew) in clock_slews.iter().enumerate() {
+        // Boustrophedon (snake) traversal: the warm-start neighbor stays
+        // grid-adjacent across slew-row boundaries.
+        let row: Vec<f64> = if si % 2 == 0 {
+            loads.to_vec()
+        } else {
+            loads.iter().rev().copied().collect()
+        };
+        for &load in &row {
+            let mut tech = *base_tech;
+            tech.cload = load;
+            let mut clock = base_clock;
+            clock.rise = slew;
+            clock.fall = slew;
+            let problem = CharacterizationProblem::builder(build(&tech, clock)).build()?;
+            problem.reset_simulation_count();
+
+            let solve = |axis: SkewAxis, guess: Option<f64>| -> Result<f64> {
+                let base = IndependentOptions {
+                    tol: opts.tol,
+                    ..IndependentOptions::default()
+                };
+                match guess {
+                    Some(g) => {
+                        let warm = IndependentOptions {
+                            initial_guess: Some(g),
+                            // A good neighbor converges in a handful of
+                            // steps; cap the attempt so a bad neighbor
+                            // falls back to bisection cheaply.
+                            max_iters: 8,
+                            ..base
+                        };
+                        match newton(&problem, axis, &warm) {
+                            Ok(r) => Ok(r.skew),
+                            // Neighbor too far off: fall back to bisection.
+                            Err(_) => Ok(binary_search(&problem, axis, &base)?.skew),
+                        }
+                    }
+                    None => Ok(binary_search(&problem, axis, &base)?.skew),
+                }
+            };
+            let setup = solve(SkewAxis::Setup, previous.map(|(s, _)| s))?;
+            let hold = solve(SkewAxis::Hold, previous.map(|(_, h)| h))?;
+            previous = Some((setup, hold));
+
+            entries.push(TableEntry {
+                clock_slew: slew,
+                load,
+                t_cq: problem.characteristic_delay(),
+                setup,
+                hold,
+                simulations: problem.simulation_count(),
+            });
+        }
+    }
+
+    // Restore row-major order for indexed access.
+    entries.sort_by(|a, b| {
+        a.clock_slew
+            .total_cmp(&b.clock_slew)
+            .then(a.load.total_cmp(&b.load))
+    });
+
+    Ok(CellTable {
+        cell: cell_name.to_string(),
+        clock_slews: clock_slews.to_vec(),
+        loads: loads.to_vec(),
+        entries,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shc_cells::tspc_register_with;
+
+    fn small_table() -> CellTable {
+        let tech = Technology::default_250nm();
+        characterize(
+            "tspc",
+            &tech,
+            ClockSpec::fast(),
+            |t, c| tspc_register_with(t, c),
+            &[0.05e-9, 0.2e-9],
+            &[10e-15, 40e-15],
+            &TableOptions::default(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn grid_is_dense_and_physical() {
+        let table = small_table();
+        assert_eq!(table.entries().len(), 4);
+        for e in table.entries() {
+            assert!(e.t_cq > 10e-12 && e.t_cq < 1e-9, "t_CQ {:.1} ps", e.t_cq * 1e12);
+            assert!(e.setup.abs() < 1e-9 && e.hold.abs() < 1e-9);
+        }
+        // More load ⇒ slower clock-to-Q, at both slews.
+        for i in 0..2 {
+            let light = table.entry(i, 0).unwrap();
+            let heavy = table.entry(i, 1).unwrap();
+            assert!(
+                heavy.t_cq > light.t_cq,
+                "load should slow the cell: {:.1} vs {:.1} ps",
+                heavy.t_cq * 1e12,
+                light.t_cq * 1e12
+            );
+        }
+    }
+
+    #[test]
+    fn warm_start_cheapens_later_entries() {
+        let table = small_table();
+        let first = table.entries()[0].simulations;
+        let later_min = table.entries()[1..]
+            .iter()
+            .map(|e| e.simulations)
+            .min()
+            .unwrap();
+        assert!(
+            later_min < first,
+            "warm start never helped: first {first}, later min {later_min}"
+        );
+    }
+
+    #[test]
+    fn liberty_rendering_contains_axes_and_values() {
+        let table = small_table();
+        let lib = table.to_liberty();
+        assert!(lib.contains("index_1"));
+        assert!(lib.contains("index_2"));
+        assert!(lib.contains("setup_rising"));
+        assert!(lib.contains("hold_rising"));
+        // Load axis in pF: 0.01 and 0.04.
+        assert!(lib.contains("0.0100"));
+        assert!(lib.contains("0.0400"));
+    }
+
+    #[test]
+    fn empty_axes_rejected() {
+        let tech = Technology::default_250nm();
+        assert!(matches!(
+            characterize(
+                "x",
+                &tech,
+                ClockSpec::fast(),
+                |t, c| tspc_register_with(t, c),
+                &[],
+                &[1e-15],
+                &TableOptions::default(),
+            ),
+            Err(CharError::BadOption { .. })
+        ));
+    }
+}

@@ -1,0 +1,373 @@
+//! Euler-Newton curve tracing of the constant clock-to-Q contour
+//! (paper Secs. III-D and III-E).
+//!
+//! A standard predictor-corrector continuation: from a point on the curve,
+//! extrapolate along the unit tangent `T = (−∂h/∂τh, ∂h/∂τs)/‖·‖`
+//! (paper eq. (16)) by a step length α (the Euler predictor), then correct
+//! back onto the curve with MPNR. The step length adapts: it shrinks when
+//! the corrector struggles and grows after easy corrections.
+
+use serde::{Deserialize, Serialize};
+use shc_spice::waveform::Params;
+
+use crate::mpnr::{self, MpnrOptions};
+use crate::{CharError, CharacterizationProblem, Result};
+
+/// Which way to walk the contour from the seed point.
+///
+/// The contour in the (τs, τh) plane runs from large-setup/small-hold to
+/// small-setup/large-hold. Seeding (at a generous hold skew) lands at the
+/// small-setup end, so the default walks toward *decreasing* hold skew.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum TraceDirection {
+    /// Walk so that the hold skew decreases (default).
+    #[default]
+    DecreasingHold,
+    /// Walk so that the hold skew increases.
+    IncreasingHold,
+}
+
+/// Options for the Euler-Newton tracer.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TracerOptions {
+    /// Initial Euler step length, in seconds of skew-plane arc length.
+    pub alpha: f64,
+    /// Lower bound on the adaptive step length.
+    pub alpha_min: f64,
+    /// Upper bound on the adaptive step length.
+    pub alpha_max: f64,
+    /// Corrector iteration count above which the step length is halved.
+    pub easy_iters: usize,
+    /// Initial walking direction.
+    pub direction: TraceDirection,
+    /// Abort if τs or τh leaves `[-bound, bound]`, in seconds.
+    pub skew_bound: f64,
+    /// Stop when the unit tangent's hold component falls below this value,
+    /// i.e. when the walk has reached the pure-setup asymptote where the
+    /// contour carries no more interdependence information. `0.0` disables
+    /// the check (the default: trace as far as requested).
+    pub min_tangent_hold: f64,
+    /// MPNR corrector settings.
+    pub mpnr: MpnrOptions,
+}
+
+impl Default for TracerOptions {
+    fn default() -> Self {
+        TracerOptions {
+            alpha: 10e-12,
+            alpha_min: 0.5e-12,
+            alpha_max: 50e-12,
+            easy_iters: 3,
+            direction: TraceDirection::default(),
+            skew_bound: 2e-9,
+            min_tangent_hold: 0.0,
+            mpnr: MpnrOptions::default(),
+        }
+    }
+}
+
+/// One traced contour point.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ContourPoint {
+    /// Setup skew, in seconds.
+    pub tau_s: f64,
+    /// Hold skew, in seconds.
+    pub tau_h: f64,
+    /// MPNR corrector iterations this point needed (0 for the seed).
+    pub corrector_iterations: usize,
+    /// `|h|` at the point, in volts.
+    pub residual: f64,
+}
+
+/// A traced constant clock-to-Q contour.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Contour {
+    pub(crate) points: Vec<ContourPoint>,
+    pub(crate) simulations: usize,
+    pub(crate) total_corrector_iterations: usize,
+}
+
+impl Contour {
+    /// The traced points, in walking order (starting at the seed).
+    pub fn points(&self) -> &[ContourPoint] {
+        &self.points
+    }
+
+    /// Number of transient simulations the trace consumed (excluding
+    /// seeding).
+    pub fn simulations(&self) -> usize {
+        self.simulations
+    }
+
+    /// Total MPNR corrector iterations across all points.
+    pub fn total_corrector_iterations(&self) -> usize {
+        self.total_corrector_iterations
+    }
+
+    /// Mean corrector iterations per traced point (the paper reports 2–3).
+    pub fn mean_corrector_iterations(&self) -> f64 {
+        let corrected = self.points.len().saturating_sub(1);
+        if corrected == 0 {
+            return 0.0;
+        }
+        self.total_corrector_iterations as f64 / corrected as f64
+    }
+
+    /// Interpolates the contour's hold skew at a given setup skew, if the
+    /// setup skew lies inside the traced range.
+    pub fn hold_at_setup(&self, tau_s: f64) -> Option<f64> {
+        let mut pts: Vec<(f64, f64)> =
+            self.points.iter().map(|p| (p.tau_s, p.tau_h)).collect();
+        pts.sort_by(|a, b| a.0.total_cmp(&b.0));
+        if pts.len() < 2 || tau_s < pts[0].0 || tau_s > pts[pts.len() - 1].0 {
+            return None;
+        }
+        for w in pts.windows(2) {
+            let ((s0, h0), (s1, h1)) = (w[0], w[1]);
+            if tau_s >= s0 && tau_s <= s1 {
+                if s1 == s0 {
+                    return Some(h1);
+                }
+                return Some(h0 + (h1 - h0) * (tau_s - s0) / (s1 - s0));
+            }
+        }
+        None
+    }
+}
+
+/// Traces `n` points of the constant clock-to-Q contour starting from a
+/// point already on the curve (use [`crate::seed`] to obtain it).
+///
+/// # Errors
+///
+/// Returns [`CharError::TraceAborted`] if fewer than two points could be
+/// traced; otherwise a shorter-than-requested contour is *not* an error —
+/// tracing stops cleanly at the skew bounds.
+pub fn trace(
+    problem: &CharacterizationProblem,
+    seed: Params,
+    n: usize,
+    opts: &TracerOptions,
+) -> Result<Contour> {
+    let sims_before = problem.simulation_count();
+    let mut points: Vec<ContourPoint> = Vec::with_capacity(n);
+    let mut total_iters = 0usize;
+
+    // Evaluate at the seed to obtain the starting tangent.
+    let ev0 = problem.evaluate_with_jacobian(&seed)?;
+    let mut tangent = ev0.tangent().ok_or(CharError::VanishingJacobian {
+        tau_s: seed.tau_s,
+        tau_h: seed.tau_h,
+    })?;
+    // Orient the starting tangent.
+    let want_negative_hold = matches!(opts.direction, TraceDirection::DecreasingHold);
+    if (tangent.1 < 0.0) != want_negative_hold {
+        tangent = (-tangent.0, -tangent.1);
+    }
+    points.push(ContourPoint {
+        tau_s: seed.tau_s,
+        tau_h: seed.tau_h,
+        corrector_iterations: 0,
+        residual: ev0.h.abs(),
+    });
+
+    let mut current = seed;
+    let mut alpha = opts.alpha;
+
+    while points.len() < n {
+        if alpha < opts.alpha_min {
+            break;
+        }
+        // Euler predictor along the tangent.
+        let predicted = Params::new(
+            current.tau_s + alpha * tangent.0,
+            current.tau_h + alpha * tangent.1,
+        );
+        if predicted.tau_s.abs() > opts.skew_bound || predicted.tau_h.abs() > opts.skew_bound
+        {
+            break; // walked out of the characterization window
+        }
+
+        // MPNR corrector.
+        match mpnr::solve(problem, predicted, &opts.mpnr) {
+            Ok(corrected) => {
+                // Refresh the tangent from the corrected point's Jacobian,
+                // keeping the walking orientation consistent.
+                let ev = crate::HEvaluation {
+                    h: 0.0,
+                    dh_dtau_s: corrected.jacobian[0],
+                    dh_dtau_h: corrected.jacobian[1],
+                };
+                let mut t_new = match ev.tangent() {
+                    Some(t) => t,
+                    None => break,
+                };
+                if t_new.0 * tangent.0 + t_new.1 * tangent.1 < 0.0 {
+                    t_new = (-t_new.0, -t_new.1);
+                }
+                tangent = t_new;
+                if tangent.1.abs() < opts.min_tangent_hold {
+                    // Reached the flat asymptote: record the point, stop.
+                    total_iters += corrected.iterations;
+                    points.push(ContourPoint {
+                        tau_s: corrected.params.tau_s,
+                        tau_h: corrected.params.tau_h,
+                        corrector_iterations: corrected.iterations,
+                        residual: corrected.residual,
+                    });
+                    break;
+                }
+                current = corrected.params;
+                total_iters += corrected.iterations;
+                points.push(ContourPoint {
+                    tau_s: current.tau_s,
+                    tau_h: current.tau_h,
+                    corrector_iterations: corrected.iterations,
+                    residual: corrected.residual,
+                });
+                // Step-length adaptation.
+                if corrected.iterations <= opts.easy_iters {
+                    alpha = (alpha * 1.25).min(opts.alpha_max);
+                } else {
+                    alpha = (alpha * 0.5).max(opts.alpha_min);
+                }
+            }
+            Err(CharError::Simulation(e)) => return Err(CharError::Simulation(e)),
+            Err(_) => {
+                // Corrector failed: retry with a shorter predictor step.
+                alpha *= 0.5;
+            }
+        }
+    }
+
+    if points.len() < 2 {
+        return Err(CharError::TraceAborted {
+            points_found: points.len(),
+            reason: "could not trace beyond the seed point",
+        });
+    }
+
+    Ok(Contour {
+        points,
+        simulations: problem.simulation_count() - sims_before,
+        total_corrector_iterations: total_iters,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seed::{find_first_point, SeedOptions};
+    use shc_cells::{tspc_register_with, ClockSpec, Technology};
+
+    fn fast_problem() -> CharacterizationProblem {
+        let tech = Technology::default_250nm();
+        CharacterizationProblem::builder(tspc_register_with(&tech, ClockSpec::fast()))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn traces_contour_with_setup_hold_tradeoff() {
+        let problem = fast_problem();
+        let seed = find_first_point(&problem, &SeedOptions::default()).unwrap();
+        let contour = trace(&problem, seed.params, 12, &TracerOptions::default()).unwrap();
+        let pts = contour.points();
+        assert!(pts.len() >= 6, "traced only {} points", pts.len());
+        // Walking direction: hold skew decreases from the seed.
+        assert!(
+            pts.last().unwrap().tau_h < pts[0].tau_h,
+            "hold skew should decrease along the walk"
+        );
+        // Interdependence: as hold decreases, setup must increase
+        // (monotone tradeoff) over the traced stretch.
+        let first = &pts[1];
+        let last = pts.last().unwrap();
+        assert!(
+            last.tau_s > first.tau_s,
+            "setup should grow as hold shrinks: {:.1} ps → {:.1} ps",
+            first.tau_s * 1e12,
+            last.tau_s * 1e12
+        );
+        // Every point satisfies h ≈ 0 to tight tolerance.
+        for p in pts {
+            assert!(p.residual < 5e-3, "loose point: |h| = {}", p.residual);
+        }
+        // Corrector efficiency: the paper reports 2–3 MPNR iterations.
+        assert!(
+            contour.mean_corrector_iterations() <= 6.0,
+            "mean corrector iterations {}",
+            contour.mean_corrector_iterations()
+        );
+        // O(n) simulations: a modest multiple of the point count.
+        assert!(
+            contour.simulations() <= 8 * pts.len(),
+            "{} sims for {} points",
+            contour.simulations(),
+            pts.len()
+        );
+    }
+
+    #[test]
+    fn increasing_hold_direction_walks_up_the_asymptote() {
+        let problem = fast_problem();
+        let seed = find_first_point(&problem, &SeedOptions::default()).unwrap();
+        let opts = TracerOptions {
+            direction: TraceDirection::IncreasingHold,
+            ..TracerOptions::default()
+        };
+        let contour = trace(&problem, seed.params, 6, &opts).unwrap();
+        let pts = contour.points();
+        assert!(pts.len() >= 3);
+        for w in pts.windows(2) {
+            assert!(
+                w[1].tau_h >= w[0].tau_h - 1e-12,
+                "hold skew decreased despite IncreasingHold"
+            );
+        }
+        // Going up the setup asymptote, the required setup stays near the
+        // seed's (already asymptotic) value.
+        let drift = (pts.last().unwrap().tau_s - pts[0].tau_s).abs();
+        assert!(drift < 30e-12, "setup drifted {:.1} ps", drift * 1e12);
+    }
+
+    #[test]
+    fn hold_at_setup_interpolates() {
+        let contour = Contour {
+            points: vec![
+                ContourPoint {
+                    tau_s: 1.0,
+                    tau_h: 10.0,
+                    corrector_iterations: 0,
+                    residual: 0.0,
+                },
+                ContourPoint {
+                    tau_s: 3.0,
+                    tau_h: 6.0,
+                    corrector_iterations: 2,
+                    residual: 0.0,
+                },
+            ],
+            simulations: 0,
+            total_corrector_iterations: 2,
+        };
+        assert_eq!(contour.hold_at_setup(2.0), Some(8.0));
+        assert_eq!(contour.hold_at_setup(0.5), None);
+        assert_eq!(contour.hold_at_setup(3.5), None);
+    }
+
+    #[test]
+    fn mean_iterations_handles_seed_only() {
+        let c = Contour {
+            points: vec![ContourPoint {
+                tau_s: 0.0,
+                tau_h: 0.0,
+                corrector_iterations: 0,
+                residual: 0.0,
+            }],
+            simulations: 1,
+            total_corrector_iterations: 0,
+        };
+        assert_eq!(c.mean_corrector_iterations(), 0.0);
+    }
+}

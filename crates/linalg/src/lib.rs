@@ -1,0 +1,52 @@
+//! # shc-linalg
+//!
+//! Dense linear-algebra substrate for the setup/hold characterization tool.
+//!
+//! The circuit matrices in this project are small (tens of unknowns), so a
+//! compact, dependency-free dense implementation is both sufficient and easy
+//! to audit. The crate provides:
+//!
+//! - [`Matrix`] and [`Vector`]: row-major dense storage with the usual
+//!   arithmetic and iteration APIs;
+//! - [`LuFactor`]: LU factorization with partial pivoting, solves, the
+//!   determinant, and a cheap condition-number estimate — this backs every
+//!   Newton-Raphson linear solve in the simulator;
+//! - [`QrFactor`]: Householder QR, used for least-squares and for the
+//!   general Moore-Penrose pseudo-inverse;
+//! - [`pinv`]: Moore-Penrose pseudo-inverse for full-row-rank "fat"
+//!   matrices, the key ingredient of the MPNR solver of the DAC 2007 paper
+//!   (its eq. (15): `H⁺ = Hᵀ (H Hᵀ)⁻¹`).
+//!
+//! # Example
+//!
+//! ```rust
+//! use shc_linalg::{Matrix, Vector};
+//!
+//! # fn main() -> Result<(), shc_linalg::LinalgError> {
+//! let a = Matrix::from_rows(&[&[4.0, 1.0], &[2.0, 3.0]])?;
+//! let b = Vector::from_slice(&[1.0, 5.0]);
+//! let lu = a.lu()?;
+//! let x = lu.solve(&b)?;
+//! assert!(a.mul_vec(&x).sub(&b).norm_inf() < 1e-12);
+//! # Ok(())
+//! # }
+//! ```
+
+mod error;
+mod lu;
+mod matrix;
+mod pinv;
+mod qr;
+mod sparse;
+mod vector;
+
+pub use error::LinalgError;
+pub use lu::LuFactor;
+pub use matrix::Matrix;
+pub use pinv::{pinv, pinv_fat, PseudoInverse};
+pub use qr::QrFactor;
+pub use sparse::{gmres, CsrMatrix, GmresOptions, GmresResult, Ilu0};
+pub use vector::Vector;
+
+/// Result alias used throughout this crate.
+pub type Result<T> = std::result::Result<T, LinalgError>;

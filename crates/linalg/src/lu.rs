@@ -1,0 +1,295 @@
+use crate::{LinalgError, Matrix, Result, Vector};
+
+/// Pivot magnitude below which a matrix is declared numerically singular.
+const SINGULARITY_THRESHOLD: f64 = 1e-300;
+
+/// LU factorization with partial (row) pivoting: `P·A = L·U`.
+///
+/// The factorization is computed once and can then be reused for many
+/// right-hand sides. This pattern is central to the paper's efficiency
+/// argument: the transient Newton step factors `(C/Δt + G)` once, and the
+/// two sensitivity solves (its eqs. (11) and (13)) reuse the factors.
+///
+/// # Example
+///
+/// ```rust
+/// use shc_linalg::{Matrix, Vector};
+///
+/// # fn main() -> Result<(), shc_linalg::LinalgError> {
+/// let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 3.0]])?;
+/// let lu = a.lu()?;
+/// let x1 = lu.solve(&Vector::from_slice(&[3.0, 4.0]))?;
+/// let x2 = lu.solve(&Vector::from_slice(&[1.0, 0.0]))?; // factors reused
+/// assert!(x1.is_finite() && x2.is_finite());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct LuFactor {
+    /// Combined L (unit lower, below diagonal) and U (upper) factors.
+    lu: Matrix,
+    /// Row permutation: row `i` of the factored matrix came from `perm[i]`.
+    perm: Vec<usize>,
+    /// Sign of the permutation, ±1 (used by the determinant).
+    perm_sign: f64,
+}
+
+impl LuFactor {
+    /// Factors a square matrix.
+    ///
+    /// # Errors
+    ///
+    /// - [`LinalgError::NotSquare`] if `a` is not square;
+    /// - [`LinalgError::Singular`] if a pivot magnitude falls below the
+    ///   numerical-singularity threshold.
+    pub fn new(a: &Matrix) -> Result<Self> {
+        if !a.is_square() {
+            return Err(LinalgError::NotSquare { shape: a.shape() });
+        }
+        let n = a.rows();
+        let mut lu = a.clone();
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut perm_sign = 1.0;
+
+        for k in 0..n {
+            // Partial pivoting: largest magnitude in column k at/below row k.
+            let mut pivot_row = k;
+            let mut pivot_mag = lu[(k, k)].abs();
+            for i in (k + 1)..n {
+                let mag = lu[(i, k)].abs();
+                if mag > pivot_mag {
+                    pivot_mag = mag;
+                    pivot_row = i;
+                }
+            }
+            if pivot_mag < SINGULARITY_THRESHOLD || !pivot_mag.is_finite() {
+                return Err(LinalgError::Singular {
+                    pivot: k,
+                    value: pivot_mag,
+                });
+            }
+            if pivot_row != k {
+                for j in 0..n {
+                    let tmp = lu[(k, j)];
+                    lu[(k, j)] = lu[(pivot_row, j)];
+                    lu[(pivot_row, j)] = tmp;
+                }
+                perm.swap(k, pivot_row);
+                perm_sign = -perm_sign;
+            }
+            let pivot = lu[(k, k)];
+            for i in (k + 1)..n {
+                let factor = lu[(i, k)] / pivot;
+                lu[(i, k)] = factor;
+                if factor != 0.0 {
+                    for j in (k + 1)..n {
+                        let delta = factor * lu[(k, j)];
+                        lu[(i, j)] -= delta;
+                    }
+                }
+            }
+        }
+
+        Ok(LuFactor { lu, perm, perm_sign })
+    }
+
+    /// Dimension of the factored matrix.
+    pub fn dim(&self) -> usize {
+        self.lu.rows()
+    }
+
+    /// Solves `A·x = b` using the stored factors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if `b.len() != dim()`.
+    pub fn solve(&self, b: &Vector) -> Result<Vector> {
+        let n = self.dim();
+        if b.len() != n {
+            return Err(LinalgError::ShapeMismatch {
+                op: "lu_solve",
+                lhs: (n, n),
+                rhs: (b.len(), 1),
+            });
+        }
+        // Apply permutation, then forward-substitute L·y = P·b.
+        let mut x = Vector::zeros(n);
+        for i in 0..n {
+            x[i] = b[self.perm[i]];
+        }
+        for i in 1..n {
+            let mut acc = x[i];
+            for j in 0..i {
+                acc -= self.lu[(i, j)] * x[j];
+            }
+            x[i] = acc;
+        }
+        // Back-substitute U·x = y.
+        for i in (0..n).rev() {
+            let mut acc = x[i];
+            for j in (i + 1)..n {
+                acc -= self.lu[(i, j)] * x[j];
+            }
+            x[i] = acc / self.lu[(i, i)];
+        }
+        Ok(x)
+    }
+
+    /// Solves `Aᵀ·x = b` using the stored factors (no re-factorization).
+    ///
+    /// Useful for adjoint computations.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if `b.len() != dim()`.
+    pub fn solve_transposed(&self, b: &Vector) -> Result<Vector> {
+        let n = self.dim();
+        if b.len() != n {
+            return Err(LinalgError::ShapeMismatch {
+                op: "lu_solve_transposed",
+                lhs: (n, n),
+                rhs: (b.len(), 1),
+            });
+        }
+        // Aᵀ = Uᵀ·Lᵀ·P, so solve Uᵀ·y = b, then Lᵀ·z = y, then x = Pᵀ·z.
+        let mut y = Vector::zeros(n);
+        for i in 0..n {
+            let mut acc = b[i];
+            for j in 0..i {
+                acc -= self.lu[(j, i)] * y[j];
+            }
+            y[i] = acc / self.lu[(i, i)];
+        }
+        for i in (0..n).rev() {
+            let mut acc = y[i];
+            for j in (i + 1)..n {
+                acc -= self.lu[(j, i)] * y[j];
+            }
+            y[i] = acc;
+        }
+        let mut x = Vector::zeros(n);
+        for i in 0..n {
+            x[self.perm[i]] = y[i];
+        }
+        Ok(x)
+    }
+
+    /// Determinant of the original matrix.
+    pub fn det(&self) -> f64 {
+        let mut d = self.perm_sign;
+        for i in 0..self.dim() {
+            d *= self.lu[(i, i)];
+        }
+        d
+    }
+
+    /// Cheap lower bound on the infinity-norm condition number:
+    /// `‖A‖∞ · max|1/u_ii| · n`-free estimate based on diagonal extremes.
+    ///
+    /// This is a heuristic health indicator (SPICE uses similar pivot-ratio
+    /// checks), not a rigorous condition number.
+    pub fn condition_estimate(&self) -> f64 {
+        let n = self.dim();
+        if n == 0 {
+            return 1.0;
+        }
+        let mut max_u = 0.0_f64;
+        let mut min_u = f64::INFINITY;
+        for i in 0..n {
+            let u = self.lu[(i, i)].abs();
+            max_u = max_u.max(u);
+            min_u = min_u.min(u);
+        }
+        if min_u == 0.0 {
+            f64::INFINITY
+        } else {
+            max_u / min_u
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solves_known_system() {
+        let a = Matrix::from_rows(&[&[2.0, 1.0, 1.0], &[4.0, -6.0, 0.0], &[-2.0, 7.0, 2.0]])
+            .unwrap();
+        let b = Vector::from_slice(&[5.0, -2.0, 9.0]);
+        let x = a.lu().unwrap().solve(&b).unwrap();
+        let r = a.mul_vec(&x).sub(&b);
+        assert!(r.norm_inf() < 1e-12, "residual {}", r.norm_inf());
+    }
+
+    #[test]
+    fn pivoting_handles_zero_leading_entry() {
+        let a = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]).unwrap();
+        let b = Vector::from_slice(&[2.0, 3.0]);
+        let x = a.lu().unwrap().solve(&b).unwrap();
+        assert_eq!(x.as_slice(), &[3.0, 2.0]);
+    }
+
+    #[test]
+    fn detects_singularity() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]).unwrap();
+        match a.lu() {
+            Err(LinalgError::Singular { .. }) => {}
+            other => panic!("expected Singular, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_non_square() {
+        let a = Matrix::zeros(2, 3);
+        assert!(matches!(a.lu(), Err(LinalgError::NotSquare { .. })));
+    }
+
+    #[test]
+    fn determinant_with_permutation_sign() {
+        // det = -2 and requires a row swap for stability.
+        let a = Matrix::from_rows(&[&[0.0, 1.0], &[2.0, 0.0]]).unwrap();
+        let d = a.lu().unwrap().det();
+        assert!((d + 2.0).abs() < 1e-12, "det = {d}");
+    }
+
+    #[test]
+    fn transposed_solve_matches_explicit_transpose() {
+        let a = Matrix::from_rows(&[&[3.0, 1.0], &[2.0, 5.0]]).unwrap();
+        let b = Vector::from_slice(&[1.0, 2.0]);
+        let x1 = a.lu().unwrap().solve_transposed(&b).unwrap();
+        let x2 = a.transpose().lu().unwrap().solve(&b).unwrap();
+        assert!(x1.sub(&x2).norm_inf() < 1e-12);
+    }
+
+    #[test]
+    fn factor_reuse_many_rhs() {
+        let a = Matrix::from_rows(&[&[4.0, 1.0], &[1.0, 3.0]]).unwrap();
+        let lu = a.lu().unwrap();
+        for k in 0..5 {
+            let b = Vector::from_slice(&[k as f64, 1.0 - k as f64]);
+            let x = lu.solve(&b).unwrap();
+            assert!(a.mul_vec(&x).sub(&b).norm_inf() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn rhs_length_checked() {
+        let a = Matrix::identity(2);
+        let lu = a.lu().unwrap();
+        assert!(lu.solve(&Vector::zeros(3)).is_err());
+        assert!(lu.solve_transposed(&Vector::zeros(1)).is_err());
+    }
+
+    #[test]
+    fn condition_estimate_flags_ill_conditioning() {
+        let well = Matrix::identity(3).lu().unwrap().condition_estimate();
+        assert!((well - 1.0).abs() < 1e-12);
+        let ill = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1e-12]])
+            .unwrap()
+            .lu()
+            .unwrap()
+            .condition_estimate();
+        assert!(ill > 1e11);
+    }
+}

@@ -1,0 +1,556 @@
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+use serde::{Deserialize, Serialize};
+
+use crate::{LinalgError, LuFactor, QrFactor, Result, Vector};
+
+/// A dense, row-major matrix of `f64`.
+///
+/// This is the storage used for MNA conductance/capacitance matrices and for
+/// the small Jacobians of the MPNR solver.
+///
+/// # Example
+///
+/// ```rust
+/// use shc_linalg::{Matrix, Vector};
+///
+/// # fn main() -> Result<(), shc_linalg::LinalgError> {
+/// let a = Matrix::identity(2);
+/// let v = Vector::from_slice(&[3.0, -1.0]);
+/// assert_eq!(a.mul_vec(&v), v);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates a `rows × cols` zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates the `n × n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Builds a matrix from row slices.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::InvalidInput`] if `rows` is empty or ragged.
+    pub fn from_rows(rows: &[&[f64]]) -> Result<Self> {
+        if rows.is_empty() {
+            return Err(LinalgError::InvalidInput {
+                reason: "from_rows: no rows",
+            });
+        }
+        let cols = rows[0].len();
+        if cols == 0 {
+            return Err(LinalgError::InvalidInput {
+                reason: "from_rows: zero columns",
+            });
+        }
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for r in rows {
+            if r.len() != cols {
+                return Err(LinalgError::InvalidInput {
+                    reason: "from_rows: ragged rows",
+                });
+            }
+            data.extend_from_slice(r);
+        }
+        Ok(Matrix {
+            rows: rows.len(),
+            cols,
+            data,
+        })
+    }
+
+    /// Builds a matrix from a flat row-major buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::InvalidInput`] if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Result<Self> {
+        if data.len() != rows * cols {
+            return Err(LinalgError::InvalidInput {
+                reason: "from_vec: buffer length does not match shape",
+            });
+        }
+        Ok(Matrix { rows, cols, data })
+    }
+
+    /// Builds a matrix whose columns are the given vectors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::InvalidInput`] if `cols` is empty or the
+    /// vectors have differing lengths.
+    pub fn from_cols(cols: &[Vector]) -> Result<Self> {
+        if cols.is_empty() {
+            return Err(LinalgError::InvalidInput {
+                reason: "from_cols: no columns",
+            });
+        }
+        let n = cols[0].len();
+        if cols.iter().any(|c| c.len() != n) {
+            return Err(LinalgError::InvalidInput {
+                reason: "from_cols: ragged columns",
+            });
+        }
+        let mut m = Matrix::zeros(n, cols.len());
+        for (j, c) in cols.iter().enumerate() {
+            for i in 0..n {
+                m[(i, j)] = c[i];
+            }
+        }
+        Ok(m)
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Shape as `(rows, cols)`.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Whether the matrix is square.
+    pub fn is_square(&self) -> bool {
+        self.rows == self.cols
+    }
+
+    /// Checked element access.
+    pub fn get(&self, i: usize, j: usize) -> Option<f64> {
+        if i < self.rows && j < self.cols {
+            Some(self.data[i * self.cols + j])
+        } else {
+            None
+        }
+    }
+
+    /// Borrows row `i` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= rows`.
+    pub fn row(&self, i: usize) -> &[f64] {
+        assert!(i < self.rows, "row index {i} out of range");
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Copies column `j` into a new [`Vector`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j >= cols`.
+    pub fn col(&self, j: usize) -> Vector {
+        assert!(j < self.cols, "column index {j} out of range");
+        (0..self.rows).map(|i| self[(i, j)]).collect()
+    }
+
+    /// Sets every entry to zero, keeping the allocation.
+    pub fn fill_zero(&mut self) {
+        self.data.iter_mut().for_each(|x| *x = 0.0);
+    }
+
+    /// Adds `value` to entry `(i, j)` — the MNA "stamp" primitive.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of range.
+    pub fn add_at(&mut self, i: usize, j: usize, value: f64) {
+        let c = self.cols;
+        assert!(i < self.rows && j < c, "add_at: index ({i},{j}) out of range");
+        self.data[i * c + j] += value;
+    }
+
+    /// Matrix–vector product `A·v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.len() != cols`.
+    pub fn mul_vec(&self, v: &Vector) -> Vector {
+        assert_eq!(v.len(), self.cols, "mul_vec: dimension mismatch");
+        let mut out = Vector::zeros(self.rows);
+        for i in 0..self.rows {
+            let row = self.row(i);
+            let mut acc = 0.0;
+            for (a, b) in row.iter().zip(v.iter()) {
+                acc += a * b;
+            }
+            out[i] = acc;
+        }
+        out
+    }
+
+    /// Transposed matrix–vector product `Aᵀ·v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.len() != rows`.
+    pub fn mul_vec_transposed(&self, v: &Vector) -> Vector {
+        assert_eq!(v.len(), self.rows, "mul_vec_transposed: dimension mismatch");
+        let mut out = Vector::zeros(self.cols);
+        for i in 0..self.rows {
+            let vi = v[i];
+            for j in 0..self.cols {
+                out[j] += self[(i, j)] * vi;
+            }
+        }
+        out
+    }
+
+    /// Matrix product `A·B`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if `self.cols != other.rows`.
+    pub fn mul(&self, other: &Matrix) -> Result<Matrix> {
+        if self.cols != other.rows {
+            return Err(LinalgError::ShapeMismatch {
+                op: "mul",
+                lhs: self.shape(),
+                rhs: other.shape(),
+            });
+        }
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let aik = self[(i, k)];
+                if aik == 0.0 {
+                    continue;
+                }
+                for j in 0..other.cols {
+                    out[(i, j)] += aik * other[(k, j)];
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Entrywise sum `A + B`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if shapes differ.
+    pub fn add(&self, other: &Matrix) -> Result<Matrix> {
+        if self.shape() != other.shape() {
+            return Err(LinalgError::ShapeMismatch {
+                op: "add",
+                lhs: self.shape(),
+                rhs: other.shape(),
+            });
+        }
+        let data = self
+            .data
+            .iter()
+            .zip(other.data.iter())
+            .map(|(a, b)| a + b)
+            .collect();
+        Ok(Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        })
+    }
+
+    /// Entrywise difference `A − B`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if shapes differ.
+    pub fn sub(&self, other: &Matrix) -> Result<Matrix> {
+        if self.shape() != other.shape() {
+            return Err(LinalgError::ShapeMismatch {
+                op: "sub",
+                lhs: self.shape(),
+                rhs: other.shape(),
+            });
+        }
+        let data = self
+            .data
+            .iter()
+            .zip(other.data.iter())
+            .map(|(a, b)| a - b)
+            .collect();
+        Ok(Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        })
+    }
+
+    /// Scaled copy `s·A`.
+    pub fn scale(&self, s: f64) -> Matrix {
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|a| a * s).collect(),
+        }
+    }
+
+    /// In-place scaled accumulation `self += alpha * other`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if shapes differ.
+    pub fn axpy(&mut self, alpha: f64, other: &Matrix) -> Result<()> {
+        if self.shape() != other.shape() {
+            return Err(LinalgError::ShapeMismatch {
+                op: "axpy",
+                lhs: self.shape(),
+                rhs: other.shape(),
+            });
+        }
+        for (a, b) in self.data.iter_mut().zip(other.data.iter()) {
+            *a += alpha * b;
+        }
+        Ok(())
+    }
+
+    /// Returns the transpose `Aᵀ`.
+    pub fn transpose(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                out[(j, i)] = self[(i, j)];
+            }
+        }
+        out
+    }
+
+    /// Frobenius norm.
+    pub fn norm_frobenius(&self) -> f64 {
+        self.data.iter().map(|x| x * x).sum::<f64>().sqrt()
+    }
+
+    /// Infinity norm (max absolute row sum); `0.0` for an empty matrix.
+    pub fn norm_inf(&self) -> f64 {
+        (0..self.rows)
+            .map(|i| self.row(i).iter().map(|x| x.abs()).sum::<f64>())
+            .fold(0.0_f64, f64::max)
+    }
+
+    /// Returns `true` if every entry is finite.
+    pub fn is_finite(&self) -> bool {
+        self.data.iter().all(|x| x.is_finite())
+    }
+
+    /// LU factorization with partial pivoting.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::NotSquare`] for non-square input or
+    /// [`LinalgError::Singular`] if a pivot underflows.
+    pub fn lu(&self) -> Result<LuFactor> {
+        LuFactor::new(self)
+    }
+
+    /// Householder QR factorization.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::InvalidInput`] if the matrix has more columns
+    /// than rows (use the transpose for underdetermined systems).
+    pub fn qr(&self) -> Result<QrFactor> {
+        QrFactor::new(self)
+    }
+
+    /// Solves `A·x = b` via LU.
+    ///
+    /// # Errors
+    ///
+    /// Propagates factorization errors; see [`Matrix::lu`].
+    pub fn solve(&self, b: &Vector) -> Result<Vector> {
+        self.lu()?.solve(b)
+    }
+
+    /// Computes the inverse `A⁻¹` via LU.
+    ///
+    /// # Errors
+    ///
+    /// Propagates factorization errors; see [`Matrix::lu`].
+    pub fn inverse(&self) -> Result<Matrix> {
+        let lu = self.lu()?;
+        let n = self.rows;
+        let mut inv = Matrix::zeros(n, n);
+        for j in 0..n {
+            let x = lu.solve(&Vector::unit(n, j))?;
+            for i in 0..n {
+                inv[(i, j)] = x[i];
+            }
+        }
+        Ok(inv)
+    }
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = f64;
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+impl fmt::Display for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for i in 0..self.rows {
+            write!(f, "[")?;
+            for j in 0..self.cols {
+                if j > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{:.6e}", self[(i, j)])?;
+            }
+            writeln!(f, "]")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn approx_eq(a: f64, b: f64, tol: f64) -> bool {
+        (a - b).abs() <= tol
+    }
+
+    #[test]
+    fn construction_shapes() {
+        let m = Matrix::zeros(2, 3);
+        assert_eq!(m.shape(), (2, 3));
+        assert!(!m.is_square());
+        assert!(Matrix::identity(3).is_square());
+        assert!(Matrix::from_rows(&[]).is_err());
+        assert!(Matrix::from_rows(&[&[1.0], &[1.0, 2.0]]).is_err());
+        assert!(Matrix::from_vec(2, 2, vec![1.0; 3]).is_err());
+    }
+
+    #[test]
+    fn from_cols_builds_column_major() {
+        let c0 = Vector::from_slice(&[1.0, 2.0]);
+        let c1 = Vector::from_slice(&[3.0, 4.0]);
+        let m = Matrix::from_cols(&[c0, c1]).unwrap();
+        assert_eq!(m[(0, 0)], 1.0);
+        assert_eq!(m[(1, 0)], 2.0);
+        assert_eq!(m[(0, 1)], 3.0);
+        assert_eq!(m[(1, 1)], 4.0);
+    }
+
+    #[test]
+    fn identity_is_mul_neutral() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]).unwrap();
+        let i = Matrix::identity(2);
+        assert_eq!(a.mul(&i).unwrap(), a);
+        assert_eq!(i.mul(&a).unwrap(), a);
+    }
+
+    #[test]
+    fn mul_vec_matches_manual() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]).unwrap();
+        let v = Vector::from_slice(&[1.0, 1.0]);
+        assert_eq!(a.mul_vec(&v).as_slice(), &[3.0, 7.0]);
+        assert_eq!(a.mul_vec_transposed(&v).as_slice(), &[4.0, 6.0]);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]).unwrap();
+        assert_eq!(a.transpose().transpose(), a);
+        assert_eq!(a.transpose().shape(), (3, 2));
+    }
+
+    #[test]
+    fn inverse_roundtrip() {
+        let a = Matrix::from_rows(&[&[4.0, 7.0], &[2.0, 6.0]]).unwrap();
+        let inv = a.inverse().unwrap();
+        let prod = a.mul(&inv).unwrap();
+        for i in 0..2 {
+            for j in 0..2 {
+                let expect = if i == j { 1.0 } else { 0.0 };
+                assert!(approx_eq(prod[(i, j)], expect, 1e-12));
+            }
+        }
+    }
+
+    #[test]
+    fn add_sub_scale_axpy() {
+        let a = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0]]).unwrap();
+        let b = Matrix::from_rows(&[&[0.0, 2.0], &[3.0, 0.0]]).unwrap();
+        let s = a.add(&b).unwrap();
+        assert_eq!(s[(0, 1)], 2.0);
+        let d = s.sub(&b).unwrap();
+        assert_eq!(d, a);
+        assert_eq!(a.scale(3.0)[(1, 1)], 3.0);
+        let mut c = a.clone();
+        c.axpy(2.0, &b).unwrap();
+        assert_eq!(c[(1, 0)], 6.0);
+        assert!(a.add(&Matrix::zeros(3, 3)).is_err());
+    }
+
+    #[test]
+    fn norms() {
+        let a = Matrix::from_rows(&[&[3.0, 4.0], &[0.0, 0.0]]).unwrap();
+        assert_eq!(a.norm_frobenius(), 5.0);
+        assert_eq!(a.norm_inf(), 7.0);
+    }
+
+    #[test]
+    fn stamp_primitive_accumulates() {
+        let mut m = Matrix::zeros(2, 2);
+        m.add_at(0, 0, 1.5);
+        m.add_at(0, 0, 0.5);
+        assert_eq!(m[(0, 0)], 2.0);
+    }
+
+    #[test]
+    fn checked_get() {
+        let m = Matrix::identity(2);
+        assert_eq!(m.get(1, 1), Some(1.0));
+        assert_eq!(m.get(2, 0), None);
+    }
+
+    #[test]
+    fn row_col_views() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]).unwrap();
+        assert_eq!(a.row(1), &[3.0, 4.0]);
+        assert_eq!(a.col(0).as_slice(), &[1.0, 3.0]);
+    }
+
+    #[test]
+    fn finiteness() {
+        let mut a = Matrix::identity(2);
+        assert!(a.is_finite());
+        a[(0, 1)] = f64::NAN;
+        assert!(!a.is_finite());
+    }
+}

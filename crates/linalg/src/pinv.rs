@@ -1,0 +1,184 @@
+//! Moore-Penrose pseudo-inverse.
+//!
+//! The MPNR solver of the DAC 2007 paper needs `H⁺` for the 1×2 Jacobian
+//! `H = [∂h/∂τs, ∂h/∂τh]` (its eq. (15)): `H⁺ = Hᵀ (H Hᵀ)⁻¹`. This module
+//! implements that formula for general full-row-rank fat matrices and a
+//! dispatching [`pinv`] that also covers tall full-column-rank matrices via
+//! `(AᵀA)⁻¹Aᵀ` computed stably through QR.
+
+use crate::{LinalgError, Matrix, Result, Vector};
+
+/// The Moore-Penrose pseudo-inverse of a matrix, together with metadata
+/// about which branch produced it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PseudoInverse {
+    /// The pseudo-inverse matrix `A⁺` (shape `n × m` for an `m × n` input).
+    pub matrix: Matrix,
+    /// Whether the input was treated as fat (`m < n`, full row rank) or
+    /// tall/square (`m ≥ n`, full column rank).
+    pub fat: bool,
+}
+
+/// Computes the pseudo-inverse of a *fat* full-row-rank matrix
+/// (`m ≤ n`): `A⁺ = Aᵀ (A Aᵀ)⁻¹`.
+///
+/// This is exactly the paper's eq. (15); for the 1×2 MPNR Jacobian the inner
+/// inverse is a scalar.
+///
+/// # Errors
+///
+/// - [`LinalgError::InvalidInput`] if `m > n`;
+/// - [`LinalgError::RankDeficient`] if `A Aᵀ` is singular (rows dependent).
+///
+/// # Example
+///
+/// ```rust
+/// use shc_linalg::{pinv_fat, Matrix};
+///
+/// # fn main() -> Result<(), shc_linalg::LinalgError> {
+/// let h = Matrix::from_rows(&[&[3.0, 4.0]])?; // 1x2 Jacobian
+/// let hp = pinv_fat(&h)?;
+/// // H·H⁺ = 1 for full-row-rank H.
+/// let prod = h.mul(&hp)?;
+/// assert!((prod[(0, 0)] - 1.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+pub fn pinv_fat(a: &Matrix) -> Result<Matrix> {
+    let (m, n) = a.shape();
+    if m > n {
+        return Err(LinalgError::InvalidInput {
+            reason: "pinv_fat: matrix has more rows than columns",
+        });
+    }
+    let at = a.transpose();
+    let aat = a.mul(&at)?;
+    let inv = aat.inverse().map_err(|e| match e {
+        LinalgError::Singular { pivot, .. } => LinalgError::RankDeficient {
+            rank: pivot,
+            required: m,
+        },
+        other => other,
+    })?;
+    at.mul(&inv)
+}
+
+/// Computes the Moore-Penrose pseudo-inverse of a full-rank matrix,
+/// dispatching on shape:
+///
+/// - fat (`m < n`): `Aᵀ (A Aᵀ)⁻¹` (right inverse);
+/// - tall or square (`m ≥ n`): least-squares left inverse via Householder QR.
+///
+/// # Errors
+///
+/// Returns [`LinalgError::RankDeficient`] if the matrix does not have full
+/// rank, or construction errors for empty input.
+pub fn pinv(a: &Matrix) -> Result<PseudoInverse> {
+    let (m, n) = a.shape();
+    if m < n {
+        Ok(PseudoInverse {
+            matrix: pinv_fat(a)?,
+            fat: true,
+        })
+    } else {
+        // Solve A⁺ column-by-column: A⁺ e_i = argmin ‖A x − e_i‖.
+        let qr = a.qr()?;
+        let mut cols = Vec::with_capacity(m);
+        for i in 0..m {
+            cols.push(qr.solve_least_squares(&Vector::unit(m, i))?);
+        }
+        Ok(PseudoInverse {
+            matrix: Matrix::from_cols(&cols)?,
+            fat: false,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_penrose(a: &Matrix, ap: &Matrix, tol: f64) {
+        // The four Penrose conditions.
+        let a_ap = a.mul(ap).unwrap();
+        let ap_a = ap.mul(a).unwrap();
+        // 1) A A⁺ A = A
+        let c1 = a_ap.mul(a).unwrap().sub(a).unwrap().norm_inf();
+        // 2) A⁺ A A⁺ = A⁺
+        let c2 = ap_a.mul(ap).unwrap().sub(ap).unwrap().norm_inf();
+        // 3) (A A⁺)ᵀ = A A⁺
+        let c3 = a_ap.transpose().sub(&a_ap).unwrap().norm_inf();
+        // 4) (A⁺ A)ᵀ = A⁺ A
+        let c4 = ap_a.transpose().sub(&ap_a).unwrap().norm_inf();
+        assert!(c1 < tol, "Penrose 1 violated: {c1}");
+        assert!(c2 < tol, "Penrose 2 violated: {c2}");
+        assert!(c3 < tol, "Penrose 3 violated: {c3}");
+        assert!(c4 < tol, "Penrose 4 violated: {c4}");
+    }
+
+    #[test]
+    fn fat_1x2_matches_paper_formula() {
+        // H = [a, b] => H⁺ = [a; b] / (a² + b²).
+        let h = Matrix::from_rows(&[&[3.0, 4.0]]).unwrap();
+        let hp = pinv_fat(&h).unwrap();
+        assert!((hp[(0, 0)] - 3.0 / 25.0).abs() < 1e-15);
+        assert!((hp[(1, 0)] - 4.0 / 25.0).abs() < 1e-15);
+        check_penrose(&h, &hp, 1e-12);
+    }
+
+    #[test]
+    fn fat_2x4_penrose_conditions() {
+        let a =
+            Matrix::from_rows(&[&[1.0, 0.0, 2.0, -1.0], &[0.0, 1.0, 1.0, 3.0]]).unwrap();
+        let p = pinv(&a).unwrap();
+        assert!(p.fat);
+        check_penrose(&a, &p.matrix, 1e-10);
+    }
+
+    #[test]
+    fn tall_3x2_penrose_conditions() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[0.0, 1.0], &[1.0, 0.0]]).unwrap();
+        let p = pinv(&a).unwrap();
+        assert!(!p.fat);
+        check_penrose(&a, &p.matrix, 1e-10);
+    }
+
+    #[test]
+    fn square_pinv_equals_inverse() {
+        let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 3.0]]).unwrap();
+        let p = pinv(&a).unwrap();
+        let inv = a.inverse().unwrap();
+        assert!(p.matrix.sub(&inv).unwrap().norm_inf() < 1e-12);
+    }
+
+    #[test]
+    fn rank_deficient_fat_rejected() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[2.0, 4.0, 6.0]]).unwrap();
+        assert!(matches!(
+            pinv_fat(&a),
+            Err(LinalgError::RankDeficient { .. }) | Err(LinalgError::Singular { .. })
+        ));
+    }
+
+    #[test]
+    fn pinv_fat_rejects_tall_input() {
+        let a = Matrix::zeros(3, 2);
+        assert!(pinv_fat(&a).is_err());
+    }
+
+    #[test]
+    fn mpnr_step_moves_to_nearest_solution() {
+        // For scalar h(τ) = Hτ − c with H fat, the MPNR step from τ0 lands on
+        // the solution closest to τ0 — the geometric property (point B in the
+        // paper's Fig. 4) that makes MPNR attractive.
+        let h = Matrix::from_rows(&[&[1.0, 1.0]]).unwrap(); // h(τ) = τ1 + τ2 − 2
+        let hp = pinv_fat(&h).unwrap();
+        let tau0 = Vector::from_slice(&[3.0, 1.0]);
+        let hval = tau0[0] + tau0[1] - 2.0;
+        let step = hp.mul_vec(&Vector::from_slice(&[hval]));
+        let tau1 = tau0.sub(&step);
+        // Solution line: τ1 + τ2 = 2; closest point to (3,1) is (2,0).
+        assert!((tau1[0] - 2.0).abs() < 1e-12);
+        assert!((tau1[1] - 0.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,261 @@
+use crate::{LinalgError, Matrix, Result, Vector};
+
+/// Householder QR factorization `A = Q·R` for `m × n` matrices with `m ≥ n`.
+///
+/// Used for least-squares solves and as the rank-revealing workhorse behind
+/// the general Moore-Penrose pseudo-inverse in [`crate::pinv`].
+///
+/// # Example
+///
+/// ```rust
+/// use shc_linalg::{Matrix, Vector};
+///
+/// # fn main() -> Result<(), shc_linalg::LinalgError> {
+/// // Overdetermined least squares: fit y = a + b·t to three points.
+/// let a = Matrix::from_rows(&[&[1.0, 0.0], &[1.0, 1.0], &[1.0, 2.0]])?;
+/// let y = Vector::from_slice(&[1.0, 2.0, 3.0]);
+/// let coeffs = a.qr()?.solve_least_squares(&y)?;
+/// assert!((coeffs[0] - 1.0).abs() < 1e-12); // intercept
+/// assert!((coeffs[1] - 1.0).abs() < 1e-12); // slope
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct QrFactor {
+    /// Householder vectors stored below the diagonal; R on and above it.
+    qr: Matrix,
+    /// Scaling factors `beta_k = 2 / (v_kᵀ v_k)` for each reflector.
+    betas: Vec<f64>,
+}
+
+impl QrFactor {
+    /// Factors an `m × n` matrix with `m ≥ n`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::InvalidInput`] if `m < n` (transpose the matrix
+    /// first for underdetermined systems) or the matrix is empty.
+    pub fn new(a: &Matrix) -> Result<Self> {
+        let (m, n) = a.shape();
+        if m == 0 || n == 0 {
+            return Err(LinalgError::InvalidInput {
+                reason: "qr: empty matrix",
+            });
+        }
+        if m < n {
+            return Err(LinalgError::InvalidInput {
+                reason: "qr: requires rows >= cols; transpose for fat matrices",
+            });
+        }
+        let mut qr = a.clone();
+        let mut betas = Vec::with_capacity(n);
+
+        for k in 0..n {
+            // Build the Householder reflector annihilating column k below the diagonal.
+            let mut norm2 = 0.0;
+            for i in k..m {
+                norm2 += qr[(i, k)] * qr[(i, k)];
+            }
+            let norm = norm2.sqrt();
+            if norm == 0.0 {
+                // Column already zero; identity reflector.
+                betas.push(0.0);
+                continue;
+            }
+            let alpha = if qr[(k, k)] >= 0.0 { -norm } else { norm };
+            // v = x - alpha*e1; store v (normalized so v[k] carries the update).
+            let vkk = qr[(k, k)] - alpha;
+            let mut vtv = vkk * vkk;
+            for i in (k + 1)..m {
+                vtv += qr[(i, k)] * qr[(i, k)];
+            }
+            let beta = if vtv == 0.0 { 0.0 } else { 2.0 / vtv };
+            qr[(k, k)] = vkk;
+            // Apply reflector to trailing columns.
+            for j in (k + 1)..n {
+                let mut dot = 0.0;
+                for i in k..m {
+                    dot += qr[(i, k)] * qr[(i, j)];
+                }
+                let s = beta * dot;
+                for i in k..m {
+                    let delta = s * qr[(i, k)];
+                    qr[(i, j)] -= delta;
+                }
+            }
+            // Record R's diagonal in place of x after storing v:
+            // we keep v in the column and remember alpha separately by
+            // overwriting after application. Store alpha at (k,k) and keep v
+            // in a scratch area: to stay single-buffer we normalize v so that
+            // only entries below the diagonal are needed plus beta.
+            // Normalize v by vkk so v[k] = 1 implicitly.
+            if vkk != 0.0 {
+                for i in (k + 1)..m {
+                    qr[(i, k)] /= vkk;
+                }
+                betas.push(beta * vkk * vkk);
+            } else {
+                betas.push(0.0);
+            }
+            qr[(k, k)] = alpha;
+        }
+
+        Ok(QrFactor { qr, betas })
+    }
+
+    /// Shape `(m, n)` of the factored matrix.
+    pub fn shape(&self) -> (usize, usize) {
+        self.qr.shape()
+    }
+
+    /// Applies `Qᵀ` to a length-`m` vector in place.
+    fn apply_qt(&self, b: &mut Vector) {
+        let (m, n) = self.qr.shape();
+        for k in 0..n {
+            let beta = self.betas[k];
+            if beta == 0.0 {
+                continue;
+            }
+            // v = [1, qr[k+1..m, k]]
+            let mut dot = b[k];
+            for i in (k + 1)..m {
+                dot += self.qr[(i, k)] * b[i];
+            }
+            let s = beta * dot;
+            b[k] -= s;
+            for i in (k + 1)..m {
+                let delta = s * self.qr[(i, k)];
+                b[i] -= delta;
+            }
+        }
+    }
+
+    /// Solves the least-squares problem `min ‖A·x − b‖₂`.
+    ///
+    /// For square nonsingular `A` this is the exact solution.
+    ///
+    /// # Errors
+    ///
+    /// - [`LinalgError::ShapeMismatch`] if `b.len() != m`;
+    /// - [`LinalgError::RankDeficient`] if `R` has a zero diagonal entry.
+    pub fn solve_least_squares(&self, b: &Vector) -> Result<Vector> {
+        let (m, n) = self.qr.shape();
+        if b.len() != m {
+            return Err(LinalgError::ShapeMismatch {
+                op: "qr_solve",
+                lhs: (m, n),
+                rhs: (b.len(), 1),
+            });
+        }
+        let mut y = b.clone();
+        self.apply_qt(&mut y);
+        // Back-substitute R·x = y[0..n]. Diagonal entries are compared
+        // against the largest one so that rank deficiency is detected even
+        // when rounding leaves a tiny nonzero residue.
+        let max_diag = (0..n)
+            .map(|i| self.qr[(i, i)].abs())
+            .fold(0.0_f64, f64::max);
+        let diag_tol = (1e-13 * max_diag).max(1e-300);
+        let mut x = Vector::zeros(n);
+        for i in (0..n).rev() {
+            let rii = self.qr[(i, i)];
+            if rii.abs() < diag_tol {
+                return Err(LinalgError::RankDeficient {
+                    rank: i,
+                    required: n,
+                });
+            }
+            let mut acc = y[i];
+            for j in (i + 1)..n {
+                acc -= self.qr[(i, j)] * x[j];
+            }
+            x[i] = acc / rii;
+        }
+        Ok(x)
+    }
+
+    /// Numerical rank: the number of `|R_ii|` above `tol * max|R_jj|`.
+    pub fn rank(&self, tol: f64) -> usize {
+        let n = self.qr.cols();
+        let max_diag = (0..n)
+            .map(|i| self.qr[(i, i)].abs())
+            .fold(0.0_f64, f64::max);
+        if max_diag == 0.0 {
+            return 0;
+        }
+        (0..n)
+            .filter(|&i| self.qr[(i, i)].abs() > tol * max_diag)
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn square_solve_matches_lu() {
+        let a = Matrix::from_rows(&[&[3.0, 1.0], &[1.0, 2.0]]).unwrap();
+        let b = Vector::from_slice(&[9.0, 8.0]);
+        let x_qr = a.qr().unwrap().solve_least_squares(&b).unwrap();
+        let x_lu = a.lu().unwrap().solve(&b).unwrap();
+        assert!(x_qr.sub(&x_lu).norm_inf() < 1e-12);
+    }
+
+    #[test]
+    fn least_squares_fits_line() {
+        // y = 2 + 3t with noise-free data: exact fit expected.
+        let t = [0.0, 1.0, 2.0, 3.0];
+        let rows: Vec<Vec<f64>> = t.iter().map(|&ti| vec![1.0, ti]).collect();
+        let row_refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+        let a = Matrix::from_rows(&row_refs).unwrap();
+        let y: Vector = t.iter().map(|&ti| 2.0 + 3.0 * ti).collect();
+        let c = a.qr().unwrap().solve_least_squares(&y).unwrap();
+        assert!((c[0] - 2.0).abs() < 1e-12);
+        assert!((c[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn least_squares_minimizes_residual() {
+        // Inconsistent system: residual must be orthogonal to the column space.
+        let a = Matrix::from_rows(&[&[1.0, 0.0], &[1.0, 1.0], &[1.0, 2.0]]).unwrap();
+        let b = Vector::from_slice(&[0.0, 1.0, 0.5]);
+        let x = a.qr().unwrap().solve_least_squares(&b).unwrap();
+        let r = a.mul_vec(&x).sub(&b);
+        let atr = a.mul_vec_transposed(&r);
+        assert!(atr.norm_inf() < 1e-12, "normal equations violated: {atr}");
+    }
+
+    #[test]
+    fn rejects_fat_matrix() {
+        let a = Matrix::zeros(2, 3);
+        assert!(a.qr().is_err());
+    }
+
+    #[test]
+    fn rank_detection() {
+        let full = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 2.0], &[0.0, 0.0]]).unwrap();
+        assert_eq!(full.qr().unwrap().rank(1e-12), 2);
+        let deficient =
+            Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0], &[3.0, 6.0]]).unwrap();
+        assert_eq!(deficient.qr().unwrap().rank(1e-9), 1);
+    }
+
+    #[test]
+    fn rank_deficient_solve_errors() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0], &[3.0, 6.0]]).unwrap();
+        let b = Vector::from_slice(&[1.0, 2.0, 3.0]);
+        let qr = a.qr().unwrap();
+        assert!(matches!(
+            qr.solve_least_squares(&b),
+            Err(LinalgError::RankDeficient { .. })
+        ));
+    }
+
+    #[test]
+    fn wrong_rhs_length_rejected() {
+        let a = Matrix::identity(3);
+        let qr = a.qr().unwrap();
+        assert!(qr.solve_least_squares(&Vector::zeros(2)).is_err());
+    }
+}

@@ -1,0 +1,279 @@
+//! DC operating-point analysis.
+//!
+//! Solves `f(x, t₀) = 0` (charges do not enter DC). Plain Newton-Raphson is
+//! attempted first; if it diverges, two classic homotopies are tried in
+//! order — **gmin stepping** (a shunt conductance from every node to ground,
+//! progressively reduced) and **source stepping** (all independent sources
+//! ramped from 0 to full value). Both are, fittingly, simple continuation
+//! methods — the same family of ideas as the Euler-Newton contour tracing
+//! this simulator exists to support.
+
+use shc_linalg::Vector;
+
+use crate::circuit::Circuit;
+use crate::newton::{self, NewtonOptions};
+use crate::waveform::Params;
+use crate::{Result, SpiceError};
+
+/// Options for DC operating-point analysis.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DcOptions {
+    /// Newton settings for each inner solve.
+    pub newton: NewtonOptions,
+    /// Initial gmin for gmin stepping, in siemens.
+    pub gmin_start: f64,
+    /// Final (residual) gmin left in place for numerical robustness.
+    pub gmin_final: f64,
+    /// Multiplicative reduction per gmin step.
+    pub gmin_factor: f64,
+    /// Number of source-stepping increments.
+    pub source_steps: usize,
+    /// Time at which source waveforms are evaluated (usually `0.0`).
+    pub time: f64,
+}
+
+impl Default for DcOptions {
+    fn default() -> Self {
+        DcOptions {
+            newton: NewtonOptions::default(),
+            gmin_start: 1e-2,
+            gmin_final: 1e-12,
+            gmin_factor: 0.1,
+            source_steps: 20,
+            time: 0.0,
+        }
+    }
+}
+
+/// Result of a DC operating-point solve.
+#[derive(Debug, Clone)]
+pub struct DcSolution {
+    /// The operating point (node voltages then branch currents).
+    pub x: Vector,
+    /// Which strategy succeeded.
+    pub strategy: DcStrategy,
+    /// Total Newton iterations across all homotopy steps.
+    pub total_iterations: usize,
+}
+
+/// The homotopy (if any) that produced the operating point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DcStrategy {
+    /// Plain Newton from the initial guess.
+    Direct,
+    /// Gmin stepping.
+    GminStepping,
+    /// Source stepping.
+    SourceStepping,
+}
+
+/// Computes the DC operating point of a circuit.
+///
+/// # Errors
+///
+/// Returns [`SpiceError::NewtonDiverged`] if all strategies fail, or other
+/// simulation errors from the inner solves.
+///
+/// # Example
+///
+/// ```rust
+/// use shc_spice::{Circuit, Resistor, VoltageSource, Waveform};
+/// use shc_spice::dcop::{solve_dc, DcOptions};
+/// use shc_spice::waveform::Params;
+///
+/// # fn main() -> Result<(), shc_spice::SpiceError> {
+/// let mut ckt = Circuit::new();
+/// let a = ckt.node("a");
+/// let b = ckt.node("b");
+/// ckt.add(VoltageSource::new("V1", a, Circuit::GROUND, Waveform::dc(2.0)));
+/// ckt.add(Resistor::new("R1", a, b, 1e3));
+/// ckt.add(Resistor::new("R2", b, Circuit::GROUND, 1e3));
+/// let sol = solve_dc(&ckt, &Params::default(), &DcOptions::default())?;
+/// let vb = sol.x[ckt.unknown_of(b).expect("not ground")];
+/// assert!((vb - 1.0).abs() < 1e-6);
+/// # Ok(())
+/// # }
+/// ```
+pub fn solve_dc(circuit: &Circuit, params: &Params, opts: &DcOptions) -> Result<DcSolution> {
+    let n = circuit.unknown_count();
+    let x0 = Vector::zeros(n);
+
+    // Strategy 1: plain Newton with the residual gmin.
+    if let Ok(sol) = dc_newton(circuit, params, opts, &x0, opts.gmin_final, 1.0) {
+        return Ok(DcSolution {
+            x: sol.0,
+            strategy: DcStrategy::Direct,
+            total_iterations: sol.1,
+        });
+    }
+
+    // Strategy 2: gmin stepping.
+    if let Ok(sol) = gmin_stepping(circuit, params, opts, &x0) {
+        return Ok(sol);
+    }
+
+    // Strategy 3: source stepping.
+    source_stepping(circuit, params, opts, &x0)
+}
+
+fn dc_newton(
+    circuit: &Circuit,
+    params: &Params,
+    opts: &DcOptions,
+    x0: &Vector,
+    gmin: f64,
+    source_scale: f64,
+) -> Result<(Vector, usize)> {
+    let n_nodes = circuit.node_count();
+    let sol = newton::solve(x0, &opts.newton, |x| {
+        let mut stamps = circuit.assemble(x, opts.time, params, source_scale);
+        // Shunt gmin on every node (not on branch equations).
+        for i in 0..n_nodes {
+            stamps.f[i] += gmin * x[i];
+            stamps.g.add_at(i, i, gmin);
+        }
+        Ok((stamps.f, stamps.g))
+    })?;
+    Ok((sol.x, sol.iterations))
+}
+
+fn gmin_stepping(
+    circuit: &Circuit,
+    params: &Params,
+    opts: &DcOptions,
+    x0: &Vector,
+) -> Result<DcSolution> {
+    let mut x = x0.clone();
+    let mut gmin = opts.gmin_start;
+    let mut total = 0;
+    loop {
+        let (xn, iters) = dc_newton(circuit, params, opts, &x, gmin, 1.0)?;
+        x = xn;
+        total += iters;
+        if gmin <= opts.gmin_final {
+            return Ok(DcSolution {
+                x,
+                strategy: DcStrategy::GminStepping,
+                total_iterations: total,
+            });
+        }
+        gmin = (gmin * opts.gmin_factor).max(opts.gmin_final);
+    }
+}
+
+fn source_stepping(
+    circuit: &Circuit,
+    params: &Params,
+    opts: &DcOptions,
+    x0: &Vector,
+) -> Result<DcSolution> {
+    let mut x = x0.clone();
+    let mut total = 0;
+    let steps = opts.source_steps.max(1);
+    for k in 1..=steps {
+        let scale = k as f64 / steps as f64;
+        match dc_newton(circuit, params, opts, &x, opts.gmin_final, scale) {
+            Ok((xn, iters)) => {
+                x = xn;
+                total += iters;
+            }
+            Err(_) => {
+                return Err(SpiceError::NewtonDiverged {
+                    context: "dc operating point (all strategies)",
+                    iterations: total,
+                    residual: f64::NAN,
+                })
+            }
+        }
+    }
+    Ok(DcSolution {
+        x,
+        strategy: DcStrategy::SourceStepping,
+        total_iterations: total,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::devices::{Mosfet, Resistor, VoltageSource};
+    use crate::devices::MosParams;
+    use crate::waveform::Waveform;
+
+    #[test]
+    fn divider_direct() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        let b = c.node("b");
+        c.add(VoltageSource::new("V1", a, Circuit::GROUND, Waveform::dc(2.0)));
+        c.add(Resistor::new("R1", a, b, 1e3));
+        c.add(Resistor::new("R2", b, Circuit::GROUND, 3e3));
+        let sol = solve_dc(&c, &Params::default(), &DcOptions::default()).unwrap();
+        assert_eq!(sol.strategy, DcStrategy::Direct);
+        assert!((sol.x[0] - 2.0).abs() < 1e-6);
+        assert!((sol.x[1] - 1.5).abs() < 1e-6);
+        // Branch current: 2V across 4k total = 0.5 mA, flowing out of +.
+        assert!((sol.x[2] + 0.5e-3).abs() < 1e-8);
+    }
+
+    #[test]
+    fn inverter_transfer_points() {
+        // CMOS inverter: input low → output at vdd; input high → output ~0.
+        let tech_n = MosParams::nmos_250nm();
+        let tech_p = MosParams::pmos_250nm();
+        for (vin, vout_expect) in [(0.0, 2.5), (2.5, 0.0)] {
+            let mut c = Circuit::new();
+            let vdd = c.node("vdd");
+            let inp = c.node("in");
+            let out = c.node("out");
+            c.add(VoltageSource::new("Vdd", vdd, Circuit::GROUND, Waveform::dc(2.5)));
+            c.add(VoltageSource::new("Vin", inp, Circuit::GROUND, Waveform::dc(vin)));
+            c.add(Mosfet::new("MN", out, inp, Circuit::GROUND, tech_n, 1e-6, 0.25e-6));
+            c.add(Mosfet::new("MP", out, inp, vdd, tech_p, 2e-6, 0.25e-6));
+            let sol = solve_dc(&c, &Params::default(), &DcOptions::default()).unwrap();
+            let vout = sol.x[c.unknown_of(out).unwrap()];
+            assert!(
+                (vout - vout_expect).abs() < 0.1,
+                "vin={vin}: vout={vout}, expected ~{vout_expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn cross_coupled_inverters_find_stable_state() {
+        // A bistable pair — the classic hard DC case that needs homotopy or
+        // luck; whatever strategy wins, the result must be a valid solution.
+        let tech_n = MosParams::nmos_250nm();
+        let tech_p = MosParams::pmos_250nm();
+        let mut c = Circuit::new();
+        let vdd = c.node("vdd");
+        let q = c.node("q");
+        let qb = c.node("qb");
+        c.add(VoltageSource::new("Vdd", vdd, Circuit::GROUND, Waveform::dc(2.5)));
+        c.add(Mosfet::new("MN1", q, qb, Circuit::GROUND, tech_n, 1e-6, 0.25e-6));
+        c.add(Mosfet::new("MP1", q, qb, vdd, tech_p, 2e-6, 0.25e-6));
+        c.add(Mosfet::new("MN2", qb, q, Circuit::GROUND, tech_n, 1e-6, 0.25e-6));
+        c.add(Mosfet::new("MP2", qb, q, vdd, tech_p, 2e-6, 0.25e-6));
+        let sol = solve_dc(&c, &Params::default(), &DcOptions::default()).unwrap();
+        // Verify it is a genuine root: residual small at the solution.
+        let stamps = c.assemble(&sol.x, 0.0, &Params::default(), 1.0);
+        assert!(stamps.f.norm_inf() < 1e-6, "residual {}", stamps.f.norm_inf());
+    }
+
+    #[test]
+    fn source_stepping_recovers_when_asked_directly() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        c.add(VoltageSource::new("V1", a, Circuit::GROUND, Waveform::dc(1.0)));
+        c.add(Resistor::new("R1", a, Circuit::GROUND, 1e3));
+        let sol = source_stepping(
+            &c,
+            &Params::default(),
+            &DcOptions::default(),
+            &Vector::zeros(c.unknown_count()),
+        )
+        .unwrap();
+        assert_eq!(sol.strategy, DcStrategy::SourceStepping);
+        assert!((sol.x[0] - 1.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,178 @@
+//! Linear controlled sources: VCVS (`E`) and VCCS (`G`), in SPICE letters.
+//!
+//! These are handy for behavioural modelling around a cell under test —
+//! ideal clock buffers, gain blocks for waveform shaping, and test
+//! fixtures — and exercise the MNA machinery's branch-equation path.
+
+use crate::devices::Device;
+use crate::stamp::{EvalContext, Stamper};
+use crate::Node;
+
+/// Voltage-controlled voltage source: `v(p, n) = gain · v(cp, cn)`.
+///
+/// Uses one branch-current unknown, like an independent voltage source.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Vcvs {
+    name: String,
+    p: Node,
+    n: Node,
+    cp: Node,
+    cn: Node,
+    gain: f64,
+    branch: usize,
+}
+
+impl Vcvs {
+    /// Creates a VCVS with output `(p, n)` controlled by `(cp, cn)`.
+    pub fn new(name: &str, p: Node, n: Node, cp: Node, cn: Node, gain: f64) -> Self {
+        Vcvs {
+            name: name.to_string(),
+            p,
+            n,
+            cp,
+            cn,
+            gain,
+            branch: usize::MAX,
+        }
+    }
+
+    /// Voltage gain.
+    pub fn gain(&self) -> f64 {
+        self.gain
+    }
+}
+
+impl Device for Vcvs {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn branch_count(&self) -> usize {
+        1
+    }
+
+    fn set_branch_start(&mut self, start: usize) {
+        self.branch = start;
+    }
+
+    fn stamp(&self, stamper: &mut Stamper<'_>, ctx: &EvalContext<'_>) {
+        debug_assert_ne!(self.branch, usize::MAX, "vcvs not added to a circuit");
+        let (ep, en) = (self.p.unknown(), self.n.unknown());
+        let (ecp, ecn) = (self.cp.unknown(), self.cn.unknown());
+        let br = Some(ctx.branch_index(self.branch));
+        let i = ctx.branch_current(self.branch);
+
+        stamper.add_f(ep, i);
+        stamper.add_f(en, -i);
+        stamper.add_g(ep, br, 1.0);
+        stamper.add_g(en, br, -1.0);
+
+        // Branch equation: v_p − v_n − gain·(v_cp − v_cn) = 0.
+        let residual = ctx.voltage(self.p) - ctx.voltage(self.n)
+            - self.gain * (ctx.voltage(self.cp) - ctx.voltage(self.cn));
+        stamper.add_f(br, residual);
+        stamper.add_g(br, ep, 1.0);
+        stamper.add_g(br, en, -1.0);
+        stamper.add_g(br, ecp, -self.gain);
+        stamper.add_g(br, ecn, self.gain);
+    }
+}
+
+/// Voltage-controlled current source: `i(p→n) = gm · v(cp, cn)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Vccs {
+    name: String,
+    p: Node,
+    n: Node,
+    cp: Node,
+    cn: Node,
+    gm: f64,
+}
+
+impl Vccs {
+    /// Creates a VCCS drawing `gm·v(cp,cn)` out of `p` into `n`.
+    pub fn new(name: &str, p: Node, n: Node, cp: Node, cn: Node, gm: f64) -> Self {
+        Vccs {
+            name: name.to_string(),
+            p,
+            n,
+            cp,
+            cn,
+            gm,
+        }
+    }
+
+    /// Transconductance in siemens.
+    pub fn gm(&self) -> f64 {
+        self.gm
+    }
+}
+
+impl Device for Vccs {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn stamp(&self, stamper: &mut Stamper<'_>, ctx: &EvalContext<'_>) {
+        let (ep, en) = (self.p.unknown(), self.n.unknown());
+        let (ecp, ecn) = (self.cp.unknown(), self.cn.unknown());
+        let vc = ctx.voltage(self.cp) - ctx.voltage(self.cn);
+        let i = self.gm * vc;
+        stamper.add_f(ep, i);
+        stamper.add_f(en, -i);
+        stamper.add_g(ep, ecp, self.gm);
+        stamper.add_g(ep, ecn, -self.gm);
+        stamper.add_g(en, ecp, -self.gm);
+        stamper.add_g(en, ecn, self.gm);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dcop::{solve_dc, DcOptions};
+    use crate::devices::{Resistor, VoltageSource};
+    use crate::waveform::{Params, Waveform};
+    use crate::Circuit;
+
+    #[test]
+    fn vcvs_amplifies_dc() {
+        let mut c = Circuit::new();
+        let vin = c.node("in");
+        let vout = c.node("out");
+        c.add(VoltageSource::new("V1", vin, Circuit::GROUND, Waveform::dc(0.5)));
+        c.add(Vcvs::new("E1", vout, Circuit::GROUND, vin, Circuit::GROUND, 4.0));
+        c.add(Resistor::new("RL", vout, Circuit::GROUND, 1e3));
+        let sol = solve_dc(&c, &Params::default(), &DcOptions::default()).unwrap();
+        let v = sol.x[c.unknown_of(vout).unwrap()];
+        assert!((v - 2.0).abs() < 1e-9, "vcvs output {v}");
+    }
+
+    #[test]
+    fn vccs_injects_proportional_current() {
+        // VCCS with gm = 1 mS driving a 1k load from a 1 V control: the
+        // current out of p is 1 mA, so the load at n rises to +1 V.
+        let mut c = Circuit::new();
+        let vin = c.node("in");
+        let vout = c.node("out");
+        c.add(VoltageSource::new("V1", vin, Circuit::GROUND, Waveform::dc(1.0)));
+        c.add(Vccs::new("G1", Circuit::GROUND, vout, vin, Circuit::GROUND, 1e-3));
+        c.add(Resistor::new("RL", vout, Circuit::GROUND, 1e3));
+        let sol = solve_dc(&c, &Params::default(), &DcOptions::default()).unwrap();
+        let v = sol.x[c.unknown_of(vout).unwrap()];
+        assert!((v - 1.0).abs() < 1e-9, "vccs load voltage {v}");
+    }
+
+    #[test]
+    fn vcvs_branch_bookkeeping() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        let b = c.node("b");
+        c.add(Vcvs::new("E1", a, Circuit::GROUND, b, Circuit::GROUND, 2.0));
+        c.add(Resistor::new("R1", a, b, 1e3));
+        c.add(Resistor::new("R2", b, Circuit::GROUND, 1e3));
+        assert_eq!(c.branch_count(), 1);
+        assert_eq!(c.unknown_count(), 3);
+        c.validate().unwrap();
+    }
+}

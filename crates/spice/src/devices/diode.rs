@@ -1,0 +1,183 @@
+use serde::{Deserialize, Serialize};
+
+use crate::devices::Device;
+use crate::stamp::{EvalContext, Stamper};
+use crate::Node;
+
+/// Diode model card.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DiodeParams {
+    /// Saturation current `I_S` in amperes.
+    pub i_s: f64,
+    /// Thermal voltage `V_T` (kT/q) in volts.
+    pub v_t: f64,
+    /// Emission coefficient `n`.
+    pub n: f64,
+    /// Junction capacitance in farads (constant approximation).
+    pub cj: f64,
+    /// Forward voltage beyond which the exponential is linearized to keep
+    /// Newton iterations bounded (SPICE-style limiting), in volts.
+    pub v_crit: f64,
+}
+
+impl Default for DiodeParams {
+    fn default() -> Self {
+        DiodeParams {
+            i_s: 1e-14,
+            v_t: 0.02585,
+            n: 1.0,
+            cj: 1e-15,
+            v_crit: 0.8,
+        }
+    }
+}
+
+/// A junction diode with exponential I-V and linearized overflow guard.
+///
+/// Above `v_crit`, the exponential is continued linearly (value and slope
+/// match at the junction), which keeps the Jacobian finite for wild Newton
+/// trial points — the classic SPICE junction-limiting trick, done in the
+/// model instead of the iteration.
+///
+/// # Example
+///
+/// ```rust
+/// use shc_spice::{Circuit, Diode};
+/// use shc_spice::devices::DiodeParams;
+///
+/// let mut ckt = Circuit::new();
+/// let a = ckt.node("a");
+/// ckt.add(Diode::new("D1", a, Circuit::GROUND, DiodeParams::default()));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Diode {
+    name: String,
+    anode: Node,
+    cathode: Node,
+    params: DiodeParams,
+}
+
+impl Diode {
+    /// Creates a diode from `anode` to `cathode`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the parameters are non-physical (non-positive `i_s`,
+    /// `v_t`, or `n`).
+    pub fn new(name: &str, anode: Node, cathode: Node, params: DiodeParams) -> Self {
+        assert!(
+            params.i_s > 0.0 && params.v_t > 0.0 && params.n > 0.0,
+            "diode {name}: i_s, v_t, n must be positive"
+        );
+        Diode {
+            name: name.to_string(),
+            anode,
+            cathode,
+            params,
+        }
+    }
+
+    /// Diode current and conductance at junction voltage `v`.
+    pub fn current(&self, v: f64) -> (f64, f64) {
+        let DiodeParams {
+            i_s, v_t, n, v_crit, ..
+        } = self.params;
+        let nvt = n * v_t;
+        if v <= v_crit {
+            let e = (v / nvt).exp();
+            (i_s * (e - 1.0), i_s * e / nvt)
+        } else {
+            // Linear continuation: match value and slope at v_crit.
+            let e_crit = (v_crit / nvt).exp();
+            let i_crit = i_s * (e_crit - 1.0);
+            let g_crit = i_s * e_crit / nvt;
+            (i_crit + g_crit * (v - v_crit), g_crit)
+        }
+    }
+}
+
+impl Device for Diode {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn stamp(&self, stamper: &mut Stamper<'_>, ctx: &EvalContext<'_>) {
+        let (ea, ec) = (self.anode.unknown(), self.cathode.unknown());
+        let v = ctx.voltage(self.anode) - ctx.voltage(self.cathode);
+        let (i, g) = self.current(v);
+        stamper.add_f(ea, i);
+        stamper.add_f(ec, -i);
+        stamper.stamp_conductance(ea, ec, g);
+
+        let q = self.params.cj * v;
+        stamper.add_q(ea, q);
+        stamper.add_q(ec, -q);
+        stamper.stamp_capacitance(ea, ec, self.params.cj);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dcop::{solve_dc, DcOptions};
+    use crate::devices::{Resistor, VoltageSource};
+    use crate::waveform::{Params, Waveform};
+    use crate::Circuit;
+
+    fn diode() -> Diode {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        Diode::new("D", a, Circuit::GROUND, DiodeParams::default())
+    }
+
+    #[test]
+    fn exponential_region_and_reverse_bias() {
+        let d = diode();
+        let (i_rev, g_rev) = d.current(-5.0);
+        assert!((i_rev + 1e-14).abs() < 1e-20, "reverse current {i_rev}");
+        assert!(g_rev >= 0.0);
+        let (i_06, _) = d.current(0.6);
+        let (i_07, _) = d.current(0.7);
+        assert!(i_07 > 10.0 * i_06, "exponential growth expected");
+    }
+
+    #[test]
+    fn conductance_matches_finite_difference() {
+        let d = diode();
+        for &v in &[-1.0, 0.0, 0.3, 0.6, 0.79, 0.81, 1.5] {
+            let h = 1e-7;
+            let (_, g) = d.current(v);
+            let fd = (d.current(v + h).0 - d.current(v - h).0) / (2.0 * h);
+            assert!(
+                (g - fd).abs() <= 1e-5 * fd.abs().max(1e-12),
+                "v = {v}: g = {g:.4e}, fd = {fd:.4e}"
+            );
+        }
+    }
+
+    #[test]
+    fn limiting_is_continuous_at_v_crit() {
+        let d = diode();
+        let eps = 1e-9;
+        let below = d.current(0.8 - eps).0;
+        let above = d.current(0.8 + eps).0;
+        assert!((above - below).abs() < 1e-6 * above.abs());
+    }
+
+    #[test]
+    fn rectifier_dc_solves() {
+        // V(2V) — R(1k) — D to ground: forward drop ≈ 0.6-0.8 V.
+        let mut c = Circuit::new();
+        let vin = c.node("in");
+        let mid = c.node("mid");
+        c.add(VoltageSource::new("V1", vin, Circuit::GROUND, Waveform::dc(2.0)));
+        c.add(Resistor::new("R1", vin, mid, 1e3));
+        c.add(Diode::new("D1", mid, Circuit::GROUND, DiodeParams::default()));
+        let sol = solve_dc(&c, &Params::default(), &DcOptions::default()).unwrap();
+        let v_d = sol.x[c.unknown_of(mid).unwrap()];
+        assert!(
+            (0.5..0.85).contains(&v_d),
+            "diode forward voltage {v_d} out of range"
+        );
+    }
+}

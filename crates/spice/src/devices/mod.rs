@@ -1,0 +1,56 @@
+//! Device models.
+//!
+//! Every device implements [`Device`]: it stamps its constitutive relation
+//! (charge, current, and their Jacobians) into the MNA system, and — for
+//! sources whose waveforms depend on the skew parameters — the parameter
+//! derivative of the residual needed by forward sensitivity analysis.
+
+mod capacitor;
+mod controlled;
+mod diode;
+mod inductor;
+mod isource;
+mod mosfet;
+mod resistor;
+mod vsource;
+
+pub use capacitor::Capacitor;
+pub use controlled::{Vccs, Vcvs};
+pub use diode::{Diode, DiodeParams};
+pub use inductor::Inductor;
+pub use isource::CurrentSource;
+pub use mosfet::{MosParams, MosPolarity, Mosfet};
+pub use resistor::Resistor;
+pub use vsource::VoltageSource;
+
+use shc_linalg::Vector;
+
+use crate::stamp::{EvalContext, Stamper};
+use crate::waveform::Param;
+
+/// A circuit element that contributes MNA stamps.
+///
+/// Implementors must be deterministic functions of `(x, t, params)`; the
+/// simulator may evaluate them at arbitrary trial points during Newton
+/// iterations.
+pub trait Device: std::fmt::Debug + Send + Sync {
+    /// Instance name (diagnostics only).
+    fn name(&self) -> &str;
+
+    /// Number of branch-current unknowns this device needs (e.g. `1` for a
+    /// voltage source).
+    fn branch_count(&self) -> usize {
+        0
+    }
+
+    /// Called once when the device is added to a circuit; `start` is the
+    /// first branch slot allocated to this device.
+    fn set_branch_start(&mut self, _start: usize) {}
+
+    /// Stamps `q`, `f`, `C`, and `G` contributions at the evaluation point.
+    fn stamp(&self, stamper: &mut Stamper<'_>, ctx: &EvalContext<'_>);
+
+    /// Adds this device's contribution to `∂f/∂param` (the paper's
+    /// `b_d · z(t)`). Default: no dependence.
+    fn stamp_param_derivative(&self, _dfdp: &mut Vector, _ctx: &EvalContext<'_>, _param: Param) {}
+}

@@ -1,0 +1,202 @@
+//! Damped Newton-Raphson driver shared by DC and transient analyses.
+
+use shc_linalg::{LuFactor, Matrix, Vector};
+
+use crate::{Result, SpiceError};
+
+/// Convergence and robustness settings for Newton-Raphson.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NewtonOptions {
+    /// Relative tolerance on the solution update.
+    pub reltol: f64,
+    /// Absolute tolerance on the solution update (volts/amps).
+    pub abstol: f64,
+    /// Maximum iterations before declaring divergence.
+    pub max_iters: usize,
+    /// Per-iteration cap on any single unknown's update magnitude
+    /// (voltage limiting); `f64::INFINITY` disables damping.
+    pub max_step: f64,
+}
+
+impl Default for NewtonOptions {
+    fn default() -> Self {
+        NewtonOptions {
+            reltol: 1e-6,
+            abstol: 1e-9,
+            max_iters: 60,
+            max_step: 0.5,
+        }
+    }
+}
+
+/// Outcome of a converged Newton solve.
+#[derive(Debug)]
+pub struct NewtonSolution {
+    /// The converged state.
+    pub x: Vector,
+    /// Iterations used.
+    pub iterations: usize,
+    /// LU factors of the last Jacobian — reusable for sensitivity solves
+    /// without re-factoring (the efficiency trick of the paper's eq. (11)).
+    pub jacobian_lu: LuFactor,
+}
+
+/// Solves `F(x) = 0` with damped Newton-Raphson.
+///
+/// `assemble` must return the residual `F(x)` and Jacobian `∂F/∂x` at the
+/// trial point. Convergence is declared when the weighted update norm
+/// `max_i |Δx_i| / (reltol·|x_i| + abstol)` drops to `≤ 1`.
+///
+/// # Errors
+///
+/// - [`SpiceError::NewtonDiverged`] after `max_iters` iterations;
+/// - [`SpiceError::NumericalBlowup`] if a non-finite value appears;
+/// - propagated linear-solver failures.
+pub fn solve<F>(x0: &Vector, opts: &NewtonOptions, mut assemble: F) -> Result<NewtonSolution>
+where
+    F: FnMut(&Vector) -> Result<(Vector, Matrix)>,
+{
+    let mut x = x0.clone();
+    let mut last_norm = f64::INFINITY;
+
+    for iter in 1..=opts.max_iters {
+        let (residual, jacobian) = assemble(&x)?;
+        if !residual.is_finite() || !jacobian.is_finite() {
+            return Err(SpiceError::NumericalBlowup { time: f64::NAN });
+        }
+        let lu = jacobian.lu()?;
+        let mut delta = lu.solve(&residual)?;
+        // Newton step is x ← x − J⁻¹F.
+        for d in delta.iter_mut() {
+            *d = -*d;
+            if d.abs() > opts.max_step {
+                *d = d.signum() * opts.max_step;
+            }
+        }
+        let norm = delta.weighted_norm(&x, opts.reltol, opts.abstol);
+        x = x.add(&delta);
+        if !x.is_finite() {
+            return Err(SpiceError::NumericalBlowup { time: f64::NAN });
+        }
+        last_norm = norm;
+        if norm <= 1.0 {
+            return Ok(NewtonSolution {
+                x,
+                iterations: iter,
+                jacobian_lu: lu,
+            });
+        }
+    }
+
+    Err(SpiceError::NewtonDiverged {
+        context: "newton solve",
+        iterations: opts.max_iters,
+        residual: last_norm,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solves_scalar_quadratic() {
+        // F(x) = x² − 4 = 0 from x0 = 3 → x = 2.
+        let x0 = Vector::from_slice(&[3.0]);
+        let opts = NewtonOptions {
+            max_step: f64::INFINITY,
+            ..NewtonOptions::default()
+        };
+        let sol = solve(&x0, &opts, |x| {
+            let f = Vector::from_slice(&[x[0] * x[0] - 4.0]);
+            let j = Matrix::from_rows(&[&[2.0 * x[0]]]).unwrap();
+            Ok((f, j))
+        })
+        .unwrap();
+        assert!((sol.x[0] - 2.0).abs() < 1e-8);
+        assert!(sol.iterations <= 10);
+    }
+
+    #[test]
+    fn solves_2d_nonlinear_system() {
+        // x² + y² = 5, x·y = 2 → (2, 1) from a nearby start.
+        let x0 = Vector::from_slice(&[2.5, 0.5]);
+        let opts = NewtonOptions {
+            max_step: f64::INFINITY,
+            ..NewtonOptions::default()
+        };
+        let sol = solve(&x0, &opts, |x| {
+            let f = Vector::from_slice(&[x[0] * x[0] + x[1] * x[1] - 5.0, x[0] * x[1] - 2.0]);
+            let j = Matrix::from_rows(&[&[2.0 * x[0], 2.0 * x[1]], &[x[1], x[0]]]).unwrap();
+            Ok((f, j))
+        })
+        .unwrap();
+        assert!((sol.x[0] - 2.0).abs() < 1e-8);
+        assert!((sol.x[1] - 1.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn damping_caps_update_magnitude() {
+        // A huge first step would overshoot; damping keeps |Δ| ≤ max_step.
+        let x0 = Vector::from_slice(&[100.0]);
+        let opts = NewtonOptions {
+            max_step: 1.0,
+            max_iters: 300,
+            ..NewtonOptions::default()
+        };
+        let sol = solve(&x0, &opts, |x| {
+            let f = Vector::from_slice(&[x[0]]);
+            let j = Matrix::identity(1);
+            Ok((f, j))
+        })
+        .unwrap();
+        assert!(sol.x[0].abs() < 1e-6);
+        // Pure linear problem with unit slope and damping 1.0 needs ~100 steps.
+        assert!(sol.iterations >= 99);
+    }
+
+    #[test]
+    fn reports_divergence() {
+        // F(x) = 1 (no root): Newton cannot converge because J is tiny.
+        let x0 = Vector::from_slice(&[0.0]);
+        let opts = NewtonOptions {
+            max_iters: 5,
+            ..NewtonOptions::default()
+        };
+        let err = solve(&x0, &opts, |_x| {
+            Ok((
+                Vector::from_slice(&[1.0]),
+                Matrix::from_rows(&[&[1e-3]]).unwrap(),
+            ))
+        })
+        .unwrap_err();
+        assert!(matches!(err, SpiceError::NewtonDiverged { .. }));
+    }
+
+    #[test]
+    fn detects_nan_blowup() {
+        let x0 = Vector::from_slice(&[1.0]);
+        let err = solve(&x0, &NewtonOptions::default(), |_x| {
+            Ok((Vector::from_slice(&[f64::NAN]), Matrix::identity(1)))
+        })
+        .unwrap_err();
+        assert!(matches!(err, SpiceError::NumericalBlowup { .. }));
+    }
+
+    #[test]
+    fn jacobian_lu_is_reusable() {
+        let x0 = Vector::from_slice(&[3.0]);
+        let opts = NewtonOptions {
+            max_step: f64::INFINITY,
+            ..NewtonOptions::default()
+        };
+        let sol = solve(&x0, &opts, |x| {
+            let f = Vector::from_slice(&[x[0] - 1.0]);
+            let j = Matrix::from_rows(&[&[1.0]]).unwrap();
+            Ok((f, j))
+        })
+        .unwrap();
+        let y = sol.jacobian_lu.solve(&Vector::from_slice(&[5.0])).unwrap();
+        assert_eq!(y[0], 5.0);
+    }
+}

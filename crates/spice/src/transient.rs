@@ -1,0 +1,859 @@
+//! Transient analysis with forward sensitivity propagation.
+//!
+//! Integrates the circuit DAE `d/dt q(x) + f(x, t) = 0` with Backward Euler
+//! or the Trapezoidal rule, fixed or LTE-adaptive steps. Alongside the state,
+//! it can propagate the forward sensitivities `m_p(t) = ∂x/∂p` for the skew
+//! parameters, using the recursions of the paper's eqs. (11) and (13):
+//!
+//! ```text
+//! BE:   (C_i + Δt·G_i) m_i = C_{i−1} m_{i−1} − Δt·(∂f/∂p)_i
+//! TRAP: (C_i + Δt/2·G_i) m_i = (C_{i−1} − Δt/2·G_{i−1}) m_{i−1}
+//!                               − Δt/2·[(∂f/∂p)_i + (∂f/∂p)_{i−1}]
+//! ```
+//!
+//! The step Jacobian is factored once per accepted step and **reused** for
+//! every sensitivity solve, so the 1×2 characterization Jacobian costs only
+//! two extra back-substitutions per step — the paper's key efficiency
+//! observation.
+
+use shc_linalg::Vector;
+
+use crate::circuit::Circuit;
+use crate::dcop::{self, DcOptions};
+use crate::newton::{self, NewtonOptions};
+use crate::waveform::{Param, Params};
+use crate::{Result, SpiceError};
+
+/// Time-integration method.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Integrator {
+    /// Backward Euler: L-stable, first order — robust default for stiff
+    /// latch circuits.
+    #[default]
+    BackwardEuler,
+    /// Trapezoidal rule: A-stable, second order.
+    Trapezoidal,
+    /// Gear-2 (BDF2): L-stable, second order; variable-step coefficients.
+    /// Falls back to Backward Euler on the first step (no history yet).
+    Gear2,
+}
+
+/// What state history to retain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RecordMode {
+    /// Keep every state vector (small circuits only).
+    #[default]
+    Full,
+    /// Keep only one unknown's trajectory.
+    Probe(usize),
+    /// Keep nothing but the final state.
+    FinalOnly,
+}
+
+/// How the initial condition is obtained.
+#[derive(Debug, Clone, Default)]
+pub enum InitialCondition {
+    /// Solve the DC operating point at `t = 0` (the default).
+    #[default]
+    DcOperatingPoint,
+    /// Start from the given state vector.
+    Given(Vector),
+}
+
+/// Transient analysis options. Build with [`TransientOptions::builder`].
+#[derive(Debug, Clone)]
+pub struct TransientOptions {
+    /// Stop time in seconds.
+    pub tstop: f64,
+    /// (Initial) time step in seconds.
+    pub dt: f64,
+    /// Minimum step before aborting (adaptive mode).
+    pub dt_min: f64,
+    /// Maximum step (adaptive mode).
+    pub dt_max: f64,
+    /// Use LTE-based adaptive stepping.
+    pub adaptive: bool,
+    /// Integration method.
+    pub integrator: Integrator,
+    /// Newton settings per time step.
+    pub newton: NewtonOptions,
+    /// DC operating-point settings (for the initial condition).
+    pub dc: DcOptions,
+    /// Parameters whose sensitivities `∂x/∂p` to propagate.
+    pub sensitivities: Vec<Param>,
+    /// History retention.
+    pub record: RecordMode,
+    /// Initial condition.
+    pub initial: InitialCondition,
+    /// LTE relative tolerance (adaptive mode).
+    pub lte_reltol: f64,
+    /// LTE absolute tolerance in volts (adaptive mode).
+    pub lte_abstol: f64,
+}
+
+impl TransientOptions {
+    /// Starts a builder with the mandatory stop time.
+    pub fn builder(tstop: f64) -> TransientOptionsBuilder {
+        TransientOptionsBuilder {
+            opts: TransientOptions {
+                tstop,
+                dt: tstop / 1000.0,
+                dt_min: tstop * 1e-9,
+                dt_max: tstop / 100.0,
+                adaptive: false,
+                integrator: Integrator::default(),
+                newton: NewtonOptions::default(),
+                dc: DcOptions::default(),
+                sensitivities: Vec::new(),
+                record: RecordMode::default(),
+                initial: InitialCondition::default(),
+                lte_reltol: 1e-3,
+                lte_abstol: 1e-4,
+            },
+        }
+    }
+}
+
+/// Builder for [`TransientOptions`].
+#[derive(Debug, Clone)]
+pub struct TransientOptionsBuilder {
+    opts: TransientOptions,
+}
+
+impl TransientOptionsBuilder {
+    /// Sets the (initial) time step.
+    pub fn dt(mut self, dt: f64) -> Self {
+        self.opts.dt = dt;
+        self
+    }
+
+    /// Enables LTE-adaptive stepping with the given bounds.
+    pub fn adaptive(mut self, dt_min: f64, dt_max: f64) -> Self {
+        self.opts.adaptive = true;
+        self.opts.dt_min = dt_min;
+        self.opts.dt_max = dt_max;
+        self
+    }
+
+    /// Selects the integration method.
+    pub fn integrator(mut self, method: Integrator) -> Self {
+        self.opts.integrator = method;
+        self
+    }
+
+    /// Requests sensitivity propagation for the given parameters.
+    pub fn sensitivities(mut self, params: &[Param]) -> Self {
+        self.opts.sensitivities = params.to_vec();
+        self
+    }
+
+    /// Sets the history retention mode.
+    pub fn record(mut self, mode: RecordMode) -> Self {
+        self.opts.record = mode;
+        self
+    }
+
+    /// Sets the initial condition.
+    pub fn initial(mut self, ic: InitialCondition) -> Self {
+        self.opts.initial = ic;
+        self
+    }
+
+    /// Overrides the per-step Newton options.
+    pub fn newton(mut self, newton: NewtonOptions) -> Self {
+        self.opts.newton = newton;
+        self
+    }
+
+    /// Finalizes the options.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tstop` or `dt` is not positive and finite.
+    pub fn build(self) -> TransientOptions {
+        let o = &self.opts;
+        assert!(
+            o.tstop.is_finite() && o.tstop > 0.0 && o.dt.is_finite() && o.dt > 0.0,
+            "transient options: tstop and dt must be positive and finite"
+        );
+        self.opts
+    }
+}
+
+/// Counters describing the work a transient run performed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TransientStats {
+    /// Accepted time steps.
+    pub steps: usize,
+    /// Total Newton iterations across all steps.
+    pub newton_iterations: usize,
+    /// Steps rejected by LTE control.
+    pub rejected_steps: usize,
+}
+
+/// Result of a transient run.
+#[derive(Debug, Clone)]
+pub struct TransientResult {
+    times: Vec<f64>,
+    states: Vec<Vector>,
+    probe: Vec<f64>,
+    probe_index: Option<usize>,
+    final_state: Vector,
+    final_sensitivities: Vec<(Param, Vector)>,
+    stats: TransientStats,
+}
+
+impl TransientResult {
+    /// Accepted time points (includes `t = 0`).
+    pub fn times(&self) -> &[f64] {
+        &self.times
+    }
+
+    /// Full state history (empty unless [`RecordMode::Full`]).
+    pub fn states(&self) -> &[Vector] {
+        &self.states
+    }
+
+    /// The state at `tstop`.
+    pub fn final_state(&self) -> &Vector {
+        &self.final_state
+    }
+
+    /// Final sensitivity `∂x/∂p (tstop)` for a propagated parameter.
+    pub fn final_sensitivity(&self, param: Param) -> Option<&Vector> {
+        self.final_sensitivities
+            .iter()
+            .find(|(p, _)| *p == param)
+            .map(|(_, v)| v)
+    }
+
+    /// Work counters.
+    pub fn stats(&self) -> &TransientStats {
+        &self.stats
+    }
+
+    /// The trajectory of one unknown.
+    ///
+    /// Works in [`RecordMode::Full`] (any index) and [`RecordMode::Probe`]
+    /// (the probed index); returns `None` otherwise.
+    pub fn trajectory(&self, unknown: usize) -> Option<Vec<f64>> {
+        self.series(unknown).map(|s| s.into_owned())
+    }
+
+    /// Borrowing access to a trajectory: the probe series is returned
+    /// without copying; full-record series are extracted column-wise.
+    fn series(&self, unknown: usize) -> Option<std::borrow::Cow<'_, [f64]>> {
+        if let Some(p) = self.probe_index {
+            if p == unknown {
+                return Some(std::borrow::Cow::Borrowed(&self.probe));
+            }
+        }
+        if !self.states.is_empty() {
+            return Some(std::borrow::Cow::Owned(
+                self.states.iter().map(|x| x[unknown]).collect(),
+            ));
+        }
+        None
+    }
+
+    /// Linearly interpolates one unknown's value at time `t`.
+    ///
+    /// Returns `None` if the trajectory is unavailable or `t` is outside the
+    /// simulated range.
+    pub fn value_at(&self, unknown: usize, t: f64) -> Option<f64> {
+        let traj = self.series(unknown)?;
+        let times = &self.times;
+        if times.is_empty() || t < times[0] || t > *times.last()? {
+            return None;
+        }
+        let idx = times.partition_point(|&ti| ti < t);
+        if idx == 0 {
+            return Some(traj[0]);
+        }
+        let (t0, t1) = (times[idx - 1], times[idx.min(times.len() - 1)]);
+        let (v0, v1) = (traj[idx - 1], traj[idx.min(traj.len() - 1)]);
+        if t1 == t0 {
+            return Some(v1);
+        }
+        Some(v0 + (v1 - v0) * (t - t0) / (t1 - t0))
+    }
+
+    /// First time after `t_after` at which the unknown crosses `level` in
+    /// the given direction, found by linear interpolation.
+    pub fn crossing_time(
+        &self,
+        unknown: usize,
+        level: f64,
+        t_after: f64,
+        direction: CrossingDirection,
+    ) -> Option<f64> {
+        let traj = self.series(unknown)?;
+        for i in 1..self.times.len() {
+            if self.times[i] <= t_after {
+                continue;
+            }
+            let (v0, v1) = (traj[i - 1], traj[i]);
+            let rising = v0 < level && v1 >= level;
+            let falling = v0 > level && v1 <= level;
+            let hit = match direction {
+                CrossingDirection::Rising => rising,
+                CrossingDirection::Falling => falling,
+                CrossingDirection::Any => rising || falling,
+            };
+            if hit {
+                let (t0, t1) = (self.times[i - 1], self.times[i]);
+                let frac = if v1 == v0 { 0.0 } else { (level - v0) / (v1 - v0) };
+                return Some(t0 + frac * (t1 - t0));
+            }
+        }
+        None
+    }
+}
+
+/// Direction selector for [`TransientResult::crossing_time`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrossingDirection {
+    /// Upward crossing.
+    Rising,
+    /// Downward crossing.
+    Falling,
+    /// Either direction.
+    Any,
+}
+
+/// A configured transient analysis, ready to run for any skew values.
+#[derive(Debug)]
+pub struct TransientAnalysis<'a> {
+    circuit: &'a Circuit,
+    opts: TransientOptions,
+}
+
+impl<'a> TransientAnalysis<'a> {
+    /// Binds options to a circuit.
+    pub fn new(circuit: &'a Circuit, opts: TransientOptions) -> Self {
+        TransientAnalysis { circuit, opts }
+    }
+
+    /// The options in effect.
+    pub fn options(&self) -> &TransientOptions {
+        &self.opts
+    }
+
+    /// Runs the transient for the given skew parameters.
+    ///
+    /// # Errors
+    ///
+    /// Propagates DC, Newton, and step-control failures.
+    pub fn run(&self, params: &Params) -> Result<TransientResult> {
+        let circuit = self.circuit;
+        let opts = &self.opts;
+        let n = circuit.unknown_count();
+
+        let x0 = match &opts.initial {
+            InitialCondition::DcOperatingPoint => dcop::solve_dc(circuit, params, &opts.dc)?.x,
+            InitialCondition::Given(x) => {
+                if x.len() != n {
+                    return Err(SpiceError::BadCircuit {
+                        reason: format!(
+                            "initial condition has {} entries, circuit has {n} unknowns",
+                            x.len()
+                        ),
+                    });
+                }
+                x.clone()
+            }
+        };
+
+        let mut stats = TransientStats::default();
+        let mut times = vec![0.0];
+        let mut states = Vec::new();
+        let mut probe = Vec::new();
+        let probe_index = match opts.record {
+            RecordMode::Probe(i) => Some(i),
+            _ => None,
+        };
+        match opts.record {
+            RecordMode::Full => states.push(x0.clone()),
+            RecordMode::Probe(i) => probe.push(x0[i]),
+            RecordMode::FinalOnly => {}
+        }
+
+        // Sensitivities start at zero: x(0) is held fixed across skews
+        // (the data pulse is at its rest level at t = 0).
+        let mut sens: Vec<(Param, Vector)> = opts
+            .sensitivities
+            .iter()
+            .map(|&p| (p, Vector::zeros(n)))
+            .collect();
+
+        // Previous-step quantities for the recursions.
+        let mut x_prev = x0;
+        let mut t_prev = 0.0;
+        let mut stamps_prev = circuit.assemble(&x_prev, 0.0, params, 1.0);
+        let mut dfdp_prev: Vec<Vector> = opts
+            .sensitivities
+            .iter()
+            .map(|&p| circuit.assemble_dfdp(0.0, params, p))
+            .collect();
+        // Two-steps-ago history: (t, x, q, C, m_p list) — the LTE predictor
+        // needs (t, x); Gear-2 needs q, C, and the old sensitivities.
+        let mut hist2: Option<(f64, Vector, Vector, shc_linalg::Matrix, Vec<Vector>)> = None;
+
+        let mut dt = opts.dt.min(opts.tstop);
+        // Reusable assembly workspace for the Newton iterations: avoids
+        // reallocating two n x n matrices on every iteration of the hot loop.
+        let mut nr_ws = crate::stamp::Stamps::new(n);
+
+        while t_prev < opts.tstop - 1e-18 * opts.tstop.max(1.0) {
+            let t_new = (t_prev + dt).min(opts.tstop);
+            let dt_eff = t_new - t_prev;
+
+            let q_prev = stamps_prev.q.clone();
+            let f_prev = stamps_prev.f.clone();
+            // Gear-2 history: q two steps ago and the step-size ratio.
+            let gear_hist = hist2.as_ref().map(|(t2, _, q2, _, _)| {
+                let h0 = t_prev - t2;
+                (q2.clone(), dt_eff / h0)
+            });
+
+            // Newton solve of the discretized step equation.
+            let integ = opts.integrator;
+            let solve_result = newton::solve(&x_prev, &opts.newton, |x| {
+                circuit.assemble_into(&mut nr_ws, x, t_new, params, 1.0);
+                let s = &nr_ws;
+                let (residual, jac) = match integ {
+                    Integrator::BackwardEuler => {
+                        let mut r = s.q.sub(&q_prev);
+                        r.axpy(dt_eff, &s.f);
+                        let mut j = s.c.clone();
+                        j.axpy(dt_eff, &s.g).expect("shapes match by construction");
+                        (r, j)
+                    }
+                    Integrator::Trapezoidal => {
+                        let half = 0.5 * dt_eff;
+                        let mut r = s.q.sub(&q_prev);
+                        r.axpy(half, &s.f);
+                        r.axpy(half, &f_prev);
+                        let mut j = s.c.clone();
+                        j.axpy(half, &s.g).expect("shapes match by construction");
+                        (r, j)
+                    }
+                    Integrator::Gear2 => match &gear_hist {
+                        Some((q_prev2, ratio)) => {
+                            // Variable-step BDF2 with r = h1/h0:
+                            // c0·q_i − c1·q_{i−1} + c2·q_{i−2} + h1·f_i = 0,
+                            // c0 = (1+2r)/(1+r), c1 = 1+r, c2 = r²/(1+r).
+                            let r_ = *ratio;
+                            let c0 = (1.0 + 2.0 * r_) / (1.0 + r_);
+                            let c1 = 1.0 + r_;
+                            let c2 = r_ * r_ / (1.0 + r_);
+                            let mut r = s.q.scale(c0);
+                            r.axpy(-c1, &q_prev);
+                            r.axpy(c2, q_prev2);
+                            r.axpy(dt_eff, &s.f);
+                            let mut j = s.c.scale(c0);
+                            j.axpy(dt_eff, &s.g).expect("shapes match by construction");
+                            (r, j)
+                        }
+                        None => {
+                            // First step: Backward Euler.
+                            let mut r = s.q.sub(&q_prev);
+                            r.axpy(dt_eff, &s.f);
+                            let mut j = s.c.clone();
+                            j.axpy(dt_eff, &s.g).expect("shapes match by construction");
+                            (r, j)
+                        }
+                    },
+                };
+                Ok((residual, jac))
+            });
+
+            let sol = match solve_result {
+                Ok(s) => s,
+                Err(SpiceError::NewtonDiverged { .. }) if dt_eff > opts.dt_min => {
+                    dt = (dt_eff / 4.0).max(opts.dt_min);
+                    stats.rejected_steps += 1;
+                    continue;
+                }
+                Err(e) => return Err(e),
+            };
+            stats.newton_iterations += sol.iterations;
+            let x_new = sol.x;
+            if !x_new.is_finite() {
+                return Err(SpiceError::NumericalBlowup { time: t_new });
+            }
+
+            // LTE control (adaptive only, needs two history points).
+            if opts.adaptive {
+                if let Some((t2, ref x2, _, _, _)) = hist2 {
+                    let dt_old = t_prev - t2;
+                    if dt_old > 0.0 {
+                        let mut pred = x_prev.clone();
+                        let slope = x_prev.sub(x2).scale(dt_eff / dt_old);
+                        pred = pred.add(&slope);
+                        let err = x_new.sub(&pred);
+                        let norm = err.weighted_norm(&x_new, opts.lte_reltol, opts.lte_abstol);
+                        if norm > 1.0 && dt_eff > opts.dt_min {
+                            dt = (dt_eff * 0.5).max(opts.dt_min);
+                            stats.rejected_steps += 1;
+                            continue;
+                        }
+                        if norm < 0.2 {
+                            dt = (dt_eff * 1.5).min(opts.dt_max);
+                        }
+                    }
+                }
+            }
+
+            // Accepted: re-stamp at the converged point for exact C_i, G_i,
+            // q_i, f_i and the sensitivity solves.
+            let stamps_new = circuit.assemble(&x_new, t_new, params, 1.0);
+            let mut sens_snapshot: Vec<Vector> = Vec::new();
+            if !sens.is_empty() {
+                sens_snapshot = sens.iter().map(|(_, m)| m.clone()).collect();
+                let gear = matches!(opts.integrator, Integrator::Gear2);
+                let gear_coeffs = if gear {
+                    hist2.as_ref().map(|(t2, ..)| {
+                        let r_ = dt_eff / (t_prev - t2);
+                        (
+                            (1.0 + 2.0 * r_) / (1.0 + r_),
+                            1.0 + r_,
+                            r_ * r_ / (1.0 + r_),
+                        )
+                    })
+                } else {
+                    None
+                };
+                let (c_scale, a) = match (opts.integrator, &gear_coeffs) {
+                    (Integrator::BackwardEuler, _) => (1.0, dt_eff),
+                    (Integrator::Trapezoidal, _) => (1.0, 0.5 * dt_eff),
+                    (Integrator::Gear2, Some((c0, _, _))) => (*c0, dt_eff),
+                    (Integrator::Gear2, None) => (1.0, dt_eff), // first step: BE
+                };
+                let mut jac = stamps_new.c.scale(c_scale);
+                jac.axpy(a, &stamps_new.g)
+                    .expect("shapes match by construction");
+                let lu = jac.lu()?;
+                for (k, (param, m)) in sens.iter_mut().enumerate() {
+                    let dfdp_new = circuit.assemble_dfdp(t_new, params, *param);
+                    let rhs = match (opts.integrator, &gear_coeffs) {
+                        (Integrator::BackwardEuler, _) | (Integrator::Gear2, None) => {
+                            let mut r = stamps_prev.c.mul_vec(m);
+                            r.axpy(-dt_eff, &dfdp_new);
+                            r
+                        }
+                        (Integrator::Trapezoidal, _) => {
+                            let half = 0.5 * dt_eff;
+                            let mut r = stamps_prev.c.mul_vec(m);
+                            r.axpy(-half, &stamps_prev.g.mul_vec(m));
+                            r.axpy(-half, &dfdp_new);
+                            r.axpy(-half, &dfdp_prev[k]);
+                            r
+                        }
+                        (Integrator::Gear2, Some((_, c1, c2))) => {
+                            let (_, _, _, ref c_prev2, ref m_prev2) =
+                                *hist2.as_ref().expect("gear coefficients imply history");
+                            let mut r = stamps_prev.c.mul_vec(m).scale(*c1);
+                            r.axpy(-*c2, &c_prev2.mul_vec(&m_prev2[k]));
+                            r.axpy(-dt_eff, &dfdp_new);
+                            r
+                        }
+                    };
+                    *m = lu.solve(&rhs)?;
+                    dfdp_prev[k] = dfdp_new;
+                }
+            }
+
+            stats.steps += 1;
+            times.push(t_new);
+            match opts.record {
+                RecordMode::Full => states.push(x_new.clone()),
+                RecordMode::Probe(i) => probe.push(x_new[i]),
+                RecordMode::FinalOnly => {}
+            }
+
+            hist2 = Some((
+                t_prev,
+                x_prev,
+                q_prev,
+                stamps_prev.c.clone(),
+                sens_snapshot,
+            ));
+            x_prev = x_new;
+            t_prev = t_new;
+            stamps_prev = stamps_new;
+
+            // In fixed-step mode a Newton-failure cut must not persist:
+            // recover toward the configured step after each accepted step.
+            if !opts.adaptive && dt < opts.dt {
+                dt = (dt * 2.0).min(opts.dt);
+            }
+
+            if opts.adaptive && dt < opts.dt_min {
+                return Err(SpiceError::TimestepTooSmall { time: t_prev, dt });
+            }
+        }
+
+        Ok(TransientResult {
+            times,
+            states,
+            probe,
+            probe_index,
+            final_state: x_prev,
+            final_sensitivities: sens,
+            stats,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::devices::{Capacitor, Resistor, VoltageSource};
+    use crate::waveform::{DataPulse, RampShape, Waveform};
+    use crate::Circuit;
+
+    fn rc_circuit() -> (Circuit, usize) {
+        let mut c = Circuit::new();
+        let vin = c.node("in");
+        let vout = c.node("out");
+        c.add(VoltageSource::new("V1", vin, Circuit::GROUND, Waveform::dc(1.0)));
+        c.add(Resistor::new("R1", vin, vout, 1e3));
+        c.add(Capacitor::new("C1", vout, Circuit::GROUND, 1e-9));
+        let out = c.unknown_of(vout).unwrap();
+        (c, out)
+    }
+
+    #[test]
+    fn rc_charging_matches_analytic_be() {
+        let (c, out) = rc_circuit();
+        // Start from v_out = 0 explicitly (DC would give the charged state).
+        let mut x0 = Vector::zeros(c.unknown_count());
+        x0[c.unknown_of(c.find_node("in").unwrap()).unwrap()] = 1.0;
+        let opts = TransientOptions::builder(2e-6)
+            .dt(2e-9)
+            .initial(InitialCondition::Given(x0))
+            .build();
+        let res = TransientAnalysis::new(&c, opts).run(&Params::default()).unwrap();
+        // tau = 1us; at t = 1us, v = 1 - e^{-1} ≈ 0.6321.
+        let v = res.value_at(out, 1e-6).unwrap();
+        assert!((v - 0.6321).abs() < 5e-3, "v(tau) = {v}");
+        let v_end = res.final_state()[out];
+        assert!((v_end - (1.0 - (-2.0f64).exp())).abs() < 5e-3);
+    }
+
+    #[test]
+    fn gear2_matches_analytic_rc_decay() {
+        let (c, out) = rc_circuit();
+        let mut x0 = Vector::zeros(c.unknown_count());
+        x0[0] = 1.0;
+        let opts = TransientOptions::builder(1e-6)
+            .dt(2e-8)
+            .integrator(Integrator::Gear2)
+            .initial(InitialCondition::Given(x0))
+            .build();
+        let res = TransientAnalysis::new(&c, opts).run(&Params::default()).unwrap();
+        let exact = 1.0 - (-1.0f64).exp();
+        let err = (res.final_state()[out] - exact).abs();
+        // Second order: visibly better than BE at the same step.
+        assert!(err < 2e-3, "gear2 error {err}");
+    }
+
+    #[test]
+    fn gear2_is_more_accurate_than_be() {
+        let (c, out) = rc_circuit();
+        let mut x0 = Vector::zeros(c.unknown_count());
+        x0[0] = 1.0;
+        let exact = 1.0 - (-1.0f64).exp();
+        let mut errs = Vec::new();
+        for method in [Integrator::BackwardEuler, Integrator::Gear2] {
+            let opts = TransientOptions::builder(1e-6)
+                .dt(2e-8)
+                .integrator(method)
+                .initial(InitialCondition::Given(x0.clone()))
+                .build();
+            let res = TransientAnalysis::new(&c, opts).run(&Params::default()).unwrap();
+            errs.push((res.final_state()[out] - exact).abs());
+        }
+        assert!(
+            errs[1] < errs[0] / 3.0,
+            "gear2 err {} should beat BE err {}",
+            errs[1],
+            errs[0]
+        );
+    }
+
+    #[test]
+    fn trapezoidal_is_more_accurate_than_be() {
+        let (c, out) = rc_circuit();
+        let mut x0 = Vector::zeros(c.unknown_count());
+        x0[0] = 1.0;
+        let exact = 1.0 - (-1.0f64).exp();
+        let mut errs = Vec::new();
+        for method in [Integrator::BackwardEuler, Integrator::Trapezoidal] {
+            let opts = TransientOptions::builder(1e-6)
+                .dt(2e-8)
+                .integrator(method)
+                .initial(InitialCondition::Given(x0.clone()))
+                .build();
+            let res = TransientAnalysis::new(&c, opts).run(&Params::default()).unwrap();
+            errs.push((res.final_state()[out] - exact).abs());
+        }
+        assert!(
+            errs[1] < errs[0] / 5.0,
+            "trap err {} should beat BE err {}",
+            errs[1],
+            errs[0]
+        );
+    }
+
+    #[test]
+    fn dc_initial_condition_starts_settled() {
+        let (c, out) = rc_circuit();
+        let opts = TransientOptions::builder(1e-7).dt(1e-9).build();
+        let res = TransientAnalysis::new(&c, opts).run(&Params::default()).unwrap();
+        // Already charged at t=0 from the DC solution: stays at 1V.
+        assert!((res.final_state()[out] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn adaptive_takes_fewer_steps_on_smooth_problem() {
+        let (c, _) = rc_circuit();
+        let opts_fixed = TransientOptions::builder(2e-6).dt(1e-9).build();
+        let fixed = TransientAnalysis::new(&c, opts_fixed)
+            .run(&Params::default())
+            .unwrap();
+        let opts_adaptive = TransientOptions::builder(2e-6)
+            .dt(1e-9)
+            .adaptive(1e-11, 1e-7)
+            .build();
+        let adaptive = TransientAnalysis::new(&c, opts_adaptive)
+            .run(&Params::default())
+            .unwrap();
+        assert!(adaptive.stats().steps < fixed.stats().steps / 2);
+    }
+
+    /// RC driven by the data pulse: sensitivity of the final state w.r.t.
+    /// τs/τh must match a finite-difference estimate.
+    #[test]
+    fn forward_sensitivity_matches_finite_difference() {
+        let mut c = Circuit::new();
+        let vin = c.node("in");
+        let vout = c.node("out");
+        let pulse = DataPulse {
+            v_rest: 0.0,
+            v_active: 1.0,
+            t_edge: 5e-7,
+            rise: 1e-7,
+            fall: 1e-7,
+            shape: RampShape::Smoothstep,
+        };
+        c.add(VoltageSource::new("Vd", vin, Circuit::GROUND, Waveform::Data(pulse)));
+        c.add(Resistor::new("R1", vin, vout, 1e3));
+        c.add(Capacitor::new("C1", vout, Circuit::GROUND, 1e-10));
+        let out = c.unknown_of(vout).unwrap();
+
+        for method in [
+            Integrator::BackwardEuler,
+            Integrator::Trapezoidal,
+            Integrator::Gear2,
+        ] {
+            let make_opts = || {
+                TransientOptions::builder(8e-7)
+                    .dt(1e-9)
+                    .integrator(method)
+                    .sensitivities(&Param::ALL)
+                    .record(RecordMode::FinalOnly)
+                    .build()
+            };
+            let base = Params::new(1e-7, 1e-7);
+            let res = TransientAnalysis::new(&c, make_opts()).run(&base).unwrap();
+            for param in Param::ALL {
+                let analytic = res.final_sensitivity(param).unwrap()[out];
+                let h = 1e-12;
+                let plus = TransientAnalysis::new(&c, make_opts())
+                    .run(&base.with(param, base.get(param) + h))
+                    .unwrap()
+                    .final_state()[out];
+                let minus = TransientAnalysis::new(&c, make_opts())
+                    .run(&base.with(param, base.get(param) - h))
+                    .unwrap()
+                    .final_state()[out];
+                let fd = (plus - minus) / (2.0 * h);
+                assert!(
+                    (analytic - fd).abs() <= 2e-3 * fd.abs().max(1e3),
+                    "{method:?} {param:?}: analytic {analytic:.6e}, fd {fd:.6e}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn crossing_time_and_interpolation() {
+        let (c, out) = rc_circuit();
+        let mut x0 = Vector::zeros(c.unknown_count());
+        x0[0] = 1.0;
+        let opts = TransientOptions::builder(5e-6)
+            .dt(5e-9)
+            .initial(InitialCondition::Given(x0))
+            .build();
+        let res = TransientAnalysis::new(&c, opts).run(&Params::default()).unwrap();
+        // v crosses 0.5 at t = tau·ln2 ≈ 0.693 µs.
+        let t50 = res
+            .crossing_time(out, 0.5, 0.0, CrossingDirection::Rising)
+            .unwrap();
+        assert!((t50 - 0.693e-6).abs() < 1e-8, "t50 = {t50:e}");
+        assert!(res
+            .crossing_time(out, 0.5, 4e-6, CrossingDirection::Rising)
+            .is_none());
+        assert!(res
+            .crossing_time(out, 0.5, 0.0, CrossingDirection::Falling)
+            .is_none());
+        assert!(res.value_at(out, -1.0).is_none());
+        assert!(res.value_at(out, 9e-6).is_none());
+    }
+
+    #[test]
+    fn probe_mode_records_single_trajectory() {
+        let (c, out) = rc_circuit();
+        let opts = TransientOptions::builder(1e-7)
+            .dt(1e-9)
+            .record(RecordMode::Probe(out))
+            .build();
+        let res = TransientAnalysis::new(&c, opts).run(&Params::default()).unwrap();
+        assert!(res.states().is_empty());
+        assert!(res.trajectory(out).is_some());
+        assert!(res.trajectory(out + 1).is_none());
+        assert_eq!(res.trajectory(out).unwrap().len(), res.times().len());
+    }
+
+    #[test]
+    fn final_only_mode_keeps_nothing_but_final() {
+        let (c, out) = rc_circuit();
+        let opts = TransientOptions::builder(1e-7)
+            .dt(1e-9)
+            .record(RecordMode::FinalOnly)
+            .build();
+        let res = TransientAnalysis::new(&c, opts).run(&Params::default()).unwrap();
+        assert!(res.states().is_empty());
+        assert!(res.trajectory(out).is_none());
+        assert_eq!(res.final_state().len(), c.unknown_count());
+    }
+
+    #[test]
+    fn bad_initial_condition_length_rejected() {
+        let (c, _) = rc_circuit();
+        let opts = TransientOptions::builder(1e-7)
+            .dt(1e-9)
+            .initial(InitialCondition::Given(Vector::zeros(1)))
+            .build();
+        let err = TransientAnalysis::new(&c, opts).run(&Params::default()).unwrap_err();
+        assert!(matches!(err, SpiceError::BadCircuit { .. }));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn builder_rejects_bad_tstop() {
+        let _ = TransientOptions::builder(-1.0).build();
+    }
+}

@@ -1,0 +1,48 @@
+//! Liberty-style characterization table: setup, hold, and clock-to-Q over
+//! the clock-slew × output-load grid a `.lib` timer interpolates — the
+//! production wrapper around the characterization kernel, with
+//! neighbor-warm-started solves across the grid.
+//!
+//! Run with: `cargo run --release --example liberty_table`
+
+use shc::cells::{tspc_register_with, ClockSpec, Technology};
+use shc::core::table::{characterize, TableOptions};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let tech = Technology::default_250nm();
+    let clock_slews = [0.05e-9, 0.1e-9, 0.2e-9];
+    let loads = [10e-15, 20e-15, 40e-15];
+
+    let table = characterize(
+        "tspc",
+        &tech,
+        ClockSpec::fast(),
+        |t, c| tspc_register_with(t, c),
+        &clock_slews,
+        &loads,
+        &TableOptions::default(),
+    )?;
+
+    println!(
+        "{:>10} {:>9} {:>10} {:>11} {:>10} {:>6}",
+        "slew(ps)", "load(fF)", "t_CQ(ps)", "setup(ps)", "hold(ps)", "sims"
+    );
+    for e in table.entries() {
+        println!(
+            "{:>10.0} {:>9.0} {:>10.1} {:>11.1} {:>10.1} {:>6}",
+            e.clock_slew * 1e12,
+            e.load * 1e15,
+            e.t_cq * 1e12,
+            e.setup * 1e12,
+            e.hold * 1e12,
+            e.simulations,
+        );
+    }
+    println!(
+        "\n{} grid points in {} simulations (neighbor warm-starting)\n",
+        table.entries().len(),
+        table.total_simulations()
+    );
+    println!("{}", table.to_liberty());
+    Ok(())
+}

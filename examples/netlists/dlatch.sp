@@ -1,0 +1,27 @@
+* Dynamic D latch: transmission gate + two inverters.
+* Transparent while clk is high; captures at the falling clock edge.
+* Characterize with:
+*   cargo run --release --bin shc-char -- examples/netlists/dlatch.sp \
+*     --output q --edge 4.75n --period 3n --transition rising
+.model n1 NMOS
+.model p1 PMOS
+
+Vdd  vdd  0 DC 2.5
+Vclk clk  0 PULSE(0 2.5 0.2n 0.1n 0.1n 1.4n 3n)
+Vckb clkb 0 PULSE(2.5 0 0.2n 0.1n 0.1n 1.4n 3n)
+* Data pulse centered on the second falling clock edge (4.75 ns).
+Vd   d    0 DATA(0 2.5 4.75n 0.1n 0.1n)
+
+* Transmission gate d -> x, conducting while clk is high.
+Mtgn x clk  d n1 W=1u   L=0.25u
+Mtgp x clkb d p1 W=2.5u L=0.25u
+
+* Storage node and output buffer.
+Cx   x  0 3f
+Mi1p qb x vdd p1 W=2.5u L=0.25u
+Mi1n qb x 0   n1 W=1u   L=0.25u
+Cqb  qb 0 3f
+Mi2p q qb vdd p1 W=2.5u L=0.25u
+Mi2n q qb 0   n1 W=1u   L=0.25u
+Cq   q  0 20f
+.end

@@ -1,0 +1,35 @@
+* 9T true single-phase clocked register (Yuan-Svensson), built
+* hierarchically with .SUBCKT stages. Paper clock timing: active edge at
+* 11.05 ns, falling data pulse (capture 0, q rises).
+* Characterize with:
+*   cargo run --release --bin shc-char -- examples/netlists/tspc.sp \
+*     --output q --edge 11.05n --period 10n
+.model n1 NMOS
+.model p1 PMOS
+
+* p-latch stage: transparent inverter while clk low; pull-up clock-gated.
+.subckt platch in out clk vdd
+Mpa mid clk vdd p1 W=2.5u L=0.25u
+Mpb out in  mid p1 W=2.5u L=0.25u
+Mn  out in  0   n1 W=1u   L=0.25u
+.ends
+
+* n-latch stage: full inverter while clk high; pulldown clock-gated.
+.subckt nlatch in out clk vdd
+Mp  out in vdd p1 W=2.5u L=0.25u
+Mna out in s   n1 W=2u   L=0.25u
+Mnb s  clk 0   n1 W=2u   L=0.25u
+.ends
+
+Vdd  vdd 0 DC 2.5
+Vclk clk 0 PULSE(0 2.5 1n 0.1n 0.1n 4.9n 10n)
+Vd   d   0 DATA(2.5 0 11.05n 0.1n 0.1n)
+
+X1 d x clk vdd platch
+X2 x y clk vdd nlatch
+X3 y q clk vdd nlatch
+
+Cx x 0 6f
+Cy y 0 3f
+Cq q 0 20f
+.end

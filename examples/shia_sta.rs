@@ -1,0 +1,74 @@
+//! The paper's motivating application (its Sec. I example): repairing a
+//! hold violation via Setup/Hold-Interdependence-Aware STA — trade a
+//! shorter hold requirement for a longer (non-critical) setup along the
+//! constant clock-to-Q contour, with zero circuit changes.
+//!
+//! Run with: `cargo run --release --example shia_sta`
+
+use shc::cells::{tspc_register, ClockSpec, Technology};
+use shc::core::shia::SetupHoldModel;
+use shc::core::CharacterizationProblem;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let tech = Technology::default_250nm();
+    let problem = CharacterizationProblem::builder(
+        tspc_register(&tech).with_clock(ClockSpec::fast()),
+    )
+    .build()?;
+
+    let contour = problem.trace_contour(20)?;
+    let model = SetupHoldModel::from_contour(&contour).expect("contour traced");
+    let (indep_setup, indep_hold) = model.independent_times();
+    println!(
+        "classical (independent) characterization: setup {:.1} ps, hold {:.1} ps",
+        indep_setup * 1e12,
+        indep_hold * 1e12
+    );
+
+    // The paper's optimism warning: the two independent numbers were each
+    // measured with the *other* skew generous. Used together they are
+    // optimistic — verify by direct simulation at exactly that pair.
+    let h = problem.evaluate(&shc::spice::waveform::Params::new(indep_setup, indep_hold))?;
+    println!(
+        "using both simultaneously: h = {h:+.3e} V → {}",
+        if problem.is_pass(h) {
+            "passes (unusually benign cell)"
+        } else {
+            "FAILS — independent numbers are optimistic, as the paper warns"
+        }
+    );
+
+    // The STA scenario: a short path can only guarantee the data stable
+    // for 45 ps after the capture edge. The interdependent model tells the
+    // timer exactly what setup buys that hold back.
+    let available_hold = 45e-12;
+    println!(
+        "\nSTA reports: path holds data only {:.0} ps after the edge",
+        available_hold * 1e12
+    );
+    match model.min_setup_for_hold(available_hold) {
+        Some(required_setup) => {
+            println!(
+                "SHIA-STA repair: accept hold {:.0} ps by requiring setup {:.1} ps \
+                 (asymptotic setup was {:.1} ps) — no circuit change",
+                available_hold * 1e12,
+                required_setup * 1e12,
+                indep_setup * 1e12
+            );
+            // Verify the repaired pair by direct simulation.
+            let h = problem
+                .evaluate(&shc::spice::waveform::Params::new(required_setup, available_hold))?;
+            println!(
+                "direct simulation at the repaired pair: h = {h:+.3e} V → {}",
+                if problem.is_pass(h) { "captures correctly" } else { "fails" }
+            );
+        }
+        None => println!(
+            "hold {:.0} ps is below the characterized contour — a real violation",
+            available_hold * 1e12
+        ),
+    }
+
+    println!("\nLiberty-style interdependent rows:\n{}", model.to_liberty_rows());
+    Ok(())
+}

@@ -1,0 +1,41 @@
+//! Reproduces the paper's Fig. 8: the constant clock-to-Q delay contour of
+//! the TSPC register with the paper's exact clock timing (10 ns period,
+//! active edge at 11.05 ns), traced by Euler-Newton continuation.
+//!
+//! Run with: `cargo run --release --example tspc_contour`
+
+use shc::cells::{tspc_register, Technology};
+use shc::core::report::{CellReport, ContourTable};
+use shc::core::{CharacterizationProblem, SeedOptions, TracerOptions};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let tech = Technology::default_250nm();
+    let problem = CharacterizationProblem::builder(tspc_register(&tech))
+        .degradation(0.10)
+        .build()?;
+
+    let report = CellReport {
+        cell: "tspc".into(),
+        t_cq: problem.characteristic_delay(),
+        t_f: problem.t_f(),
+        r: problem.r(),
+        degradation: problem.degradation(),
+    };
+    println!("{report}");
+    println!("(the paper measured t_CQ = 298 ps, t_f = 11.3778 ns, r = 1.25 V on its process)");
+
+    // Stop at the pure-setup asymptote, like the paper's figure window.
+    let tracer = TracerOptions {
+        min_tangent_hold: 0.05,
+        ..TracerOptions::default()
+    };
+    let contour = problem.trace_contour_with(40, &SeedOptions::default(), &tracer)?;
+    println!("\n{}", ContourTable::from_contour("tspc", &contour));
+    println!(
+        "{} contour points from {} transient simulations; {:.1} MPNR corrector iterations/point (paper: 2-3)",
+        contour.points().len(),
+        contour.simulations(),
+        contour.mean_corrector_iterations(),
+    );
+    Ok(())
+}

@@ -1,0 +1,61 @@
+//! Reproduces the paper's Fig. 3: the family of register output waveforms
+//! as the hold skew shrinks at a fixed setup skew — the clock-to-Q delay
+//! degrades smoothly, which is exactly why a constant clock-to-Q contour
+//! exists in the (τs, τh) plane.
+//!
+//! Run with: `cargo run --release --example waveform_family`
+
+use shc::cells::{tspc_register, ClockSpec, Technology};
+use shc::core::CharacterizationProblem;
+use shc::spice::transient::{
+    CrossingDirection, RecordMode, TransientAnalysis, TransientOptions,
+};
+use shc::spice::waveform::Params;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let tech = Technology::default_250nm();
+    let register = tspc_register(&tech).with_clock(ClockSpec::fast());
+    let edge = register.active_edge_time();
+    let out = register.output_unknown();
+    let problem_probe = register.output_unknown();
+
+    // Reference: the characteristic clock-to-Q with generous skews.
+    let problem = CharacterizationProblem::builder(
+        tspc_register(&tech).with_clock(ClockSpec::fast()),
+    )
+    .build()?;
+    println!(
+        "characteristic clock-to-Q: {:.1} ps; 10% degraded target: {:.1} ps\n",
+        problem.characteristic_delay() * 1e12,
+        problem.characteristic_delay() * 1.1e12,
+    );
+
+    let tau_s = 450e-12;
+    println!("output Q vs hold skew at fixed setup skew {:.0} ps:", tau_s * 1e12);
+    println!(
+        "{:>10} {:>14} {:>12}  waveform (0 → 2.5 V, '#' per 0.25 V at t_f + margin)",
+        "hold(ps)", "clk-to-Q(ps)", "Q(t_f) V"
+    );
+    for tau_h_ps in [300.0, 120.0, 60.0, 45.0, 40.0, 35.0, 30.0] {
+        let opts = TransientOptions::builder(edge + 0.6e-9)
+            .dt(4e-12)
+            .record(RecordMode::Probe(problem_probe))
+            .build();
+        let res = TransientAnalysis::new(register.circuit(), opts)
+            .run(&Params::new(tau_s, tau_h_ps * 1e-12))?;
+        let ckq = res
+            .crossing_time(out, 1.25, edge, CrossingDirection::Rising)
+            .map(|t| (t - edge) * 1e12);
+        let v_tf = res.value_at(out, problem.t_f()).unwrap_or(f64::NAN);
+        let bar = "#".repeat((v_tf.clamp(0.0, 2.5) / 0.25).round() as usize);
+        match ckq {
+            Some(d) => println!("{tau_h_ps:10.0} {d:14.1} {v_tf:12.2}  {bar}"),
+            None => println!("{tau_h_ps:10.0} {:>14} {v_tf:12.2}  {bar}", "no capture"),
+        }
+    }
+    println!(
+        "\nas in Fig. 3: shrinking the hold skew delays the output transition until the\n\
+         capture fails entirely; the 10% degradation level defines the setup/hold pair"
+    );
+    Ok(())
+}

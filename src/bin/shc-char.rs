@@ -1,0 +1,37 @@
+//! `shc-char`: characterize interdependent setup/hold times of a cell
+//! described by a SPICE-subset deck.
+//!
+//! See `shc::cli::USAGE` (printed on error) for the flag reference, and
+//! `examples/netlists/` for sample decks.
+
+use std::process::ExitCode;
+
+use shc::cli;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cfg = match cli::parse_args(&args) {
+        Ok(cfg) => cfg,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{}", cli::USAGE);
+            return ExitCode::FAILURE;
+        }
+    };
+    let deck = match std::fs::read_to_string(&cfg.netlist_path) {
+        Ok(deck) => deck,
+        Err(e) => {
+            eprintln!("error: cannot read '{}': {e}", cfg.netlist_path);
+            return ExitCode::FAILURE;
+        }
+    };
+    match cli::run(&deck, &cfg) {
+        Ok(report) => {
+            print!("{report}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,293 @@
+//! Command-line front end: characterize a cell described by a SPICE deck.
+//!
+//! Backs the `shc-char` binary; the argument parsing and the run pipeline
+//! live here so they are unit-testable.
+
+use std::fmt;
+
+use shc_cells::{OutputTransition, Register};
+use shc_core::report::ContourTable;
+use shc_core::CharacterizationProblem;
+use shc_spice::netlist;
+
+/// Parsed command-line configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CliConfig {
+    /// Path to the SPICE deck.
+    pub netlist_path: String,
+    /// Name of the monitored output node.
+    pub output: String,
+    /// Supply voltage, volts.
+    pub vdd: f64,
+    /// Time of the active clock edge's 50% crossing, seconds.
+    pub edge: f64,
+    /// Clock period, seconds.
+    pub period: f64,
+    /// Monitored output transition.
+    pub transition: OutputTransition,
+    /// Capture fraction (0.5 = the 50% criterion).
+    pub fraction: f64,
+    /// Clock-to-Q degradation defining the contour.
+    pub degradation: f64,
+    /// Contour points to trace.
+    pub points: usize,
+    /// Reference setup skew override (needed for transparent latches).
+    pub reference_setup: Option<f64>,
+}
+
+/// A CLI usage error.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UsageError(pub String);
+
+impl fmt::Display for UsageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for UsageError {}
+
+/// The usage banner printed on argument errors.
+pub const USAGE: &str = "\
+usage: shc-char <netlist.sp> --output <node> --edge <time> [options]
+
+The deck must contain the clock source and a DATA(...) source whose t_edge
+equals --edge (see `shc_spice::netlist` for the accepted grammar).
+
+required:
+  --output <node>       monitored output node name
+  --edge <time>         active clock edge 50% time (e.g. 11.05n)
+options:
+  --vdd <volts>         supply voltage            [2.5]
+  --period <time>       clock period              [10n]
+  --transition <dir>    rising | falling          [rising]
+  --fraction <frac>     capture fraction          [0.5]
+  --degradation <frac>  clock-to-Q degradation    [0.1]
+  --points <n>          contour points to trace   [20]
+  --reference-setup <t> reference setup skew (transparent latches need a
+                        near-edge value, e.g. 0.12n)";
+
+/// Parses CLI arguments (without the program name).
+///
+/// # Errors
+///
+/// Returns [`UsageError`] on unknown flags, missing values, or unparsable
+/// numbers; the message is user-facing.
+pub fn parse_args(args: &[String]) -> Result<CliConfig, UsageError> {
+    let mut cfg = CliConfig {
+        netlist_path: String::new(),
+        output: String::new(),
+        vdd: 2.5,
+        edge: 0.0,
+        period: 10e-9,
+        transition: OutputTransition::Rising,
+        fraction: 0.5,
+        degradation: 0.1,
+        points: 20,
+        reference_setup: None,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value_for = |flag: &str| -> Result<String, UsageError> {
+            it.next()
+                .cloned()
+                .ok_or_else(|| UsageError(format!("{flag} needs a value")))
+        };
+        match arg.as_str() {
+            "--output" => cfg.output = value_for("--output")?,
+            "--edge" => {
+                let v = value_for("--edge")?;
+                cfg.edge = netlist::parse_value(&v)
+                    .ok_or_else(|| UsageError(format!("bad --edge value '{v}'")))?;
+            }
+            "--vdd" => {
+                let v = value_for("--vdd")?;
+                cfg.vdd = netlist::parse_value(&v)
+                    .ok_or_else(|| UsageError(format!("bad --vdd value '{v}'")))?;
+            }
+            "--period" => {
+                let v = value_for("--period")?;
+                cfg.period = netlist::parse_value(&v)
+                    .ok_or_else(|| UsageError(format!("bad --period value '{v}'")))?;
+            }
+            "--transition" => {
+                cfg.transition = match value_for("--transition")?.as_str() {
+                    "rising" => OutputTransition::Rising,
+                    "falling" => OutputTransition::Falling,
+                    other => {
+                        return Err(UsageError(format!(
+                            "--transition must be rising or falling, got '{other}'"
+                        )))
+                    }
+                };
+            }
+            "--fraction" => {
+                let v = value_for("--fraction")?;
+                cfg.fraction = v
+                    .parse()
+                    .map_err(|_| UsageError(format!("bad --fraction value '{v}'")))?;
+            }
+            "--degradation" => {
+                let v = value_for("--degradation")?;
+                cfg.degradation = v
+                    .parse()
+                    .map_err(|_| UsageError(format!("bad --degradation value '{v}'")))?;
+            }
+            "--reference-setup" => {
+                let v = value_for("--reference-setup")?;
+                cfg.reference_setup = Some(
+                    netlist::parse_value(&v)
+                        .ok_or_else(|| UsageError(format!("bad --reference-setup value '{v}'")))?,
+                );
+            }
+            "--points" => {
+                let v = value_for("--points")?;
+                cfg.points = v
+                    .parse()
+                    .map_err(|_| UsageError(format!("bad --points value '{v}'")))?;
+            }
+            flag if flag.starts_with("--") => {
+                return Err(UsageError(format!("unknown flag '{flag}'")));
+            }
+            path => {
+                if cfg.netlist_path.is_empty() {
+                    cfg.netlist_path = path.to_string();
+                } else {
+                    return Err(UsageError(format!("unexpected argument '{path}'")));
+                }
+            }
+        }
+    }
+    if cfg.netlist_path.is_empty() {
+        return Err(UsageError("missing netlist path".to_string()));
+    }
+    if cfg.output.is_empty() {
+        return Err(UsageError("missing --output".to_string()));
+    }
+    if cfg.edge <= 0.0 {
+        return Err(UsageError("missing or non-positive --edge".to_string()));
+    }
+    if cfg.points < 2 {
+        return Err(UsageError("--points must be at least 2".to_string()));
+    }
+    Ok(cfg)
+}
+
+/// Builds the fixture from a deck string and the configuration.
+///
+/// # Errors
+///
+/// Returns a user-facing error for parse failures or an unknown output
+/// node.
+pub fn build_register(deck: &str, cfg: &CliConfig) -> Result<Register, Box<dyn std::error::Error>> {
+    let circuit = netlist::parse(deck)?;
+    let output = circuit
+        .find_node(&cfg.output.to_ascii_lowercase())
+        .ok_or_else(|| UsageError(format!("output node '{}' not found in deck", cfg.output)))?;
+    Ok(Register::custom(
+        circuit,
+        output,
+        cfg.vdd,
+        cfg.transition,
+        cfg.fraction,
+        cfg.edge,
+        cfg.period,
+    ))
+}
+
+/// Runs the full characterization pipeline and renders the report.
+///
+/// # Errors
+///
+/// Propagates netlist, configuration, and characterization failures.
+pub fn run(deck: &str, cfg: &CliConfig) -> Result<String, Box<dyn std::error::Error>> {
+    let register = build_register(deck, cfg)?;
+    let mut builder =
+        CharacterizationProblem::builder(register).degradation(cfg.degradation);
+    if let Some(rs) = cfg.reference_setup {
+        builder = builder.reference_setup(rs);
+    }
+    let problem = builder.build()?;
+    let mut out = format!(
+        "characteristic clock-to-Q: {:.2} ps  (t_f = {:.6} ns, r = {:.3} V)\n\n",
+        problem.characteristic_delay() * 1e12,
+        problem.t_f() * 1e9,
+        problem.r(),
+    );
+    let contour = problem.trace_contour(cfg.points)?;
+    out.push_str(&ContourTable::from_contour("custom", &contour).to_string());
+    out.push_str(&format!(
+        "\n{} points, {} transient simulations, {:.1} MPNR iterations/point\n",
+        contour.points().len(),
+        problem.simulation_count(),
+        contour.mean_corrector_iterations(),
+    ));
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_full_flag_set() {
+        let cfg = parse_args(&args(&[
+            "cell.sp",
+            "--output",
+            "q",
+            "--edge",
+            "11.05n",
+            "--vdd",
+            "2.5",
+            "--period",
+            "10n",
+            "--transition",
+            "falling",
+            "--fraction",
+            "0.9",
+            "--degradation",
+            "0.2",
+            "--points",
+            "8",
+        ]))
+        .unwrap();
+        assert_eq!(cfg.netlist_path, "cell.sp");
+        assert_eq!(cfg.output, "q");
+        assert!((cfg.edge - 11.05e-9).abs() < 1e-20);
+        assert_eq!(cfg.transition, OutputTransition::Falling);
+        assert_eq!(cfg.points, 8);
+        assert_eq!(cfg.fraction, 0.9);
+        assert_eq!(cfg.degradation, 0.2);
+    }
+
+    #[test]
+    fn rejects_degenerate_point_counts() {
+        let e = parse_args(&args(&[
+            "cell.sp", "--output", "q", "--edge", "1n", "--points", "1",
+        ]))
+        .unwrap_err();
+        assert!(e.to_string().contains("at least 2"));
+    }
+
+    #[test]
+    fn rejects_missing_required() {
+        assert!(parse_args(&args(&["--output", "q"])).is_err());
+        assert!(parse_args(&args(&["cell.sp", "--edge", "1n"])).is_err());
+        assert!(parse_args(&args(&["cell.sp", "--output", "q"])).is_err());
+        assert!(parse_args(&args(&["cell.sp", "--output"])).is_err());
+        assert!(parse_args(&args(&["cell.sp", "--bogus", "1"])).is_err());
+        assert!(parse_args(&args(&["a.sp", "b.sp", "--output", "q", "--edge", "1n"])).is_err());
+    }
+
+    #[test]
+    fn build_register_reports_unknown_output() {
+        let cfg = parse_args(&args(&["x.sp", "--output", "nope", "--edge", "1n"])).unwrap();
+        let deck = "R1 a 0 1k\n.end";
+        let e = build_register(deck, &cfg).unwrap_err();
+        assert!(e.to_string().contains("nope"));
+    }
+}

@@ -1,0 +1,38 @@
+//! # shc — setup/hold characterization toolkit
+//!
+//! Umbrella crate re-exporting the workspace: a full reproduction of
+//! *"Interdependent Latch Setup/Hold Time Characterization via Euler-Newton
+//! Curve Tracing on State-Transition Equations"* (Srivastava & Roychowdhury,
+//! DAC 2007).
+//!
+//! See the individual crates for details:
+//!
+//! - [`linalg`]: dense LU/QR and the Moore-Penrose pseudo-inverse;
+//! - [`spice`]: SPICE-class circuit simulator with forward sensitivities;
+//! - [`cells`]: TSPC, C²MOS and other register netlists;
+//! - [`core`]: MPNR + Euler-Newton contour tracing and all baselines.
+//!
+//! # Quickstart
+//!
+//! ```rust,no_run
+//! use shc::cells::{tspc_register, Technology};
+//! use shc::core::CharacterizationProblem;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let tech = Technology::default_250nm();
+//! let cell = tspc_register(&tech);
+//! let problem = CharacterizationProblem::builder(cell)
+//!     .degradation(0.10)
+//!     .build()?;
+//! let contour = problem.trace_contour(8)?;
+//! assert!(contour.points().len() >= 2);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod cli;
+
+pub use shc_cells as cells;
+pub use shc_core as core;
+pub use shc_linalg as linalg;
+pub use shc_spice as spice;

@@ -1,0 +1,137 @@
+//! Cross-cell integration tests: every register in the library must
+//! characterize cleanly, with positive setup/hold windows and a traceable
+//! interdependence contour — the paper's claim that the method "is
+//! generally applicable to any kind of latch or register".
+
+use shc::cells::{
+    c2mos_register, d_latch, pulsed_latch_with, saff_register_with, tg_register, tspc_register,
+    ClockSpec, Register, Technology,
+};
+use shc::core::independent::{binary_search, IndependentOptions, SkewAxis};
+use shc::core::CharacterizationProblem;
+
+fn all_cells(tech: &Technology) -> Vec<Register> {
+    let clock = ClockSpec::fast();
+    vec![
+        tspc_register(tech).with_clock(clock),
+        c2mos_register(tech).with_clock(clock),
+        tg_register(tech).with_clock(clock),
+        d_latch(tech).with_clock(clock),
+        saff_register_with(tech, clock),
+        pulsed_latch_with(tech, clock),
+    ]
+}
+
+#[test]
+fn every_cell_has_measurable_characteristic_delay() {
+    let tech = Technology::default_250nm();
+    for register in all_cells(&tech) {
+        let name = register.name();
+        let problem = CharacterizationProblem::builder(register)
+            .build()
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        let t_cq = problem.characteristic_delay();
+        assert!(
+            t_cq > 10e-12 && t_cq < 1.5e-9,
+            "{name}: implausible t_CQ = {:.1} ps",
+            t_cq * 1e12
+        );
+    }
+}
+
+#[test]
+fn every_cell_has_finite_setup_and_hold_times() {
+    let tech = Technology::default_250nm();
+    for register in all_cells(&tech) {
+        let name = register.name();
+        let problem = CharacterizationProblem::builder(register)
+            .build()
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        let opts = IndependentOptions {
+            tol: 1e-12,
+            ..IndependentOptions::default()
+        };
+        let setup = binary_search(&problem, SkewAxis::Setup, &opts)
+            .unwrap_or_else(|e| panic!("{name} setup: {e}"));
+        let hold = binary_search(&problem, SkewAxis::Hold, &opts)
+            .unwrap_or_else(|e| panic!("{name} hold: {e}"));
+        assert!(
+            setup.skew > -100e-12 && setup.skew < 1e-9,
+            "{name}: setup {:.1} ps out of range",
+            setup.skew * 1e12
+        );
+        assert!(
+            hold.skew > -100e-12 && hold.skew < 1e-9,
+            "{name}: hold {:.1} ps out of range",
+            hold.skew * 1e12
+        );
+        // The minimum data pulse (setup + hold window) must be positive.
+        assert!(
+            setup.skew + hold.skew > 0.0,
+            "{name}: non-positive setup+hold window"
+        );
+    }
+}
+
+#[test]
+fn every_edge_triggered_cell_traces_an_interdependence_contour() {
+    let tech = Technology::default_250nm();
+    for register in all_cells(&tech) {
+        let name = register.name();
+        let problem = CharacterizationProblem::builder(register)
+            .build()
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        let contour = problem
+            .trace_contour(8)
+            .unwrap_or_else(|e| panic!("{name} contour: {e}"));
+        assert!(
+            contour.points().len() >= 4,
+            "{name}: only {} contour points",
+            contour.points().len()
+        );
+        // The contour must actually move in the (τs, τh) plane.
+        let first = contour.points().first().unwrap();
+        let last = contour.points().last().unwrap();
+        let arc = ((last.tau_s - first.tau_s).powi(2) + (last.tau_h - first.tau_h).powi(2))
+            .sqrt();
+        assert!(
+            arc > 10e-12,
+            "{name}: contour degenerate (arc {:.2} ps)",
+            arc * 1e12
+        );
+    }
+}
+
+#[test]
+fn c2mos_clkb_overlap_creates_hold_time() {
+    // The paper's Sec. IV-B: without the delayed clk̄ the C²MOS register
+    // has (near-)zero hold time; the 0.3 ns overlap creates a positive one.
+    let tech = Technology::default_250nm();
+    let clock = ClockSpec::fast();
+    let with_overlap = shc::cells::c2mos_register_with(&tech, clock, 0.3e-9);
+    let without_overlap = shc::cells::c2mos_register_with(&tech, clock, 0.0);
+    let opts = IndependentOptions {
+        tol: 1e-12,
+        ..IndependentOptions::default()
+    };
+    let hold_with = binary_search(
+        &CharacterizationProblem::builder(with_overlap).build().unwrap(),
+        SkewAxis::Hold,
+        &opts,
+    )
+    .unwrap()
+    .skew;
+    let hold_without = binary_search(
+        &CharacterizationProblem::builder(without_overlap).build().unwrap(),
+        SkewAxis::Hold,
+        &opts,
+    )
+    .unwrap()
+    .skew;
+    assert!(
+        hold_with > hold_without + 50e-12,
+        "overlap must add hold time: {:.1} ps vs {:.1} ps",
+        hold_with * 1e12,
+        hold_without * 1e12
+    );
+}

@@ -1,0 +1,182 @@
+//! End-to-end test of the netlist-driven CLI pipeline: SPICE deck text →
+//! parser → custom register fixture → characterization → report.
+
+use shc::cells::OutputTransition;
+use shc::cli::{self, CliConfig};
+
+const DLATCH_DECK: &str = "\
+* dynamic D latch, closes at the falling clock edge (4.75 ns)
+.model n1 NMOS
+.model p1 PMOS
+Vdd  vdd  0 DC 2.5
+Vclk clk  0 PULSE(0 2.5 0.2n 0.1n 0.1n 1.4n 3n)
+Vckb clkb 0 PULSE(2.5 0 0.2n 0.1n 0.1n 1.4n 3n)
+Vd   d    0 DATA(0 2.5 4.75n 0.1n 0.1n)
+Mtgn x clk  d n1 W=1u   L=0.25u
+Mtgp x clkb d p1 W=2.5u L=0.25u
+Cx   x  0 3f
+Mi1p qb x vdd p1 W=2.5u L=0.25u
+Mi1n qb x 0   n1 W=1u   L=0.25u
+Cqb  qb 0 3f
+Mi2p q qb vdd p1 W=2.5u L=0.25u
+Mi2n q qb 0   n1 W=1u   L=0.25u
+Cq   q  0 20f
+.end";
+
+fn latch_config() -> CliConfig {
+    CliConfig {
+        netlist_path: "inline".to_string(),
+        output: "q".to_string(),
+        vdd: 2.5,
+        edge: 4.75e-9,
+        period: 3e-9,
+        transition: OutputTransition::Rising,
+        fraction: 0.5,
+        degradation: 0.1,
+        points: 8,
+        reference_setup: Some(0.12e-9),
+    }
+}
+
+#[test]
+fn netlist_deck_characterizes_through_cli_pipeline() {
+    let report = cli::run(DLATCH_DECK, &latch_config()).expect("pipeline runs");
+    assert!(report.contains("characteristic clock-to-Q"));
+    assert!(report.contains("setup(ps)"));
+    assert!(
+        report.contains("MPNR iterations/point"),
+        "report: {report}"
+    );
+    // At least a handful of contour rows.
+    let rows = report
+        .lines()
+        .filter(|l| {
+            let fields: Vec<&str> = l.split_whitespace().collect();
+            fields.len() == 2 && fields.iter().all(|f| f.parse::<f64>().is_ok())
+        })
+        .count();
+    assert!(rows >= 4, "only {rows} contour rows in report: {report}");
+}
+
+#[test]
+fn cli_matches_builtin_dlatch_fixture() {
+    // The same topology built via shc-cells must give a setup time within
+    // a few ps of the netlist-driven custom fixture.
+    use shc::cells::{d_latch, ClockSpec, Technology};
+    use shc::core::independent::{binary_search, IndependentOptions, SkewAxis};
+    use shc::core::CharacterizationProblem;
+
+    let custom_register = cli::build_register(DLATCH_DECK, &latch_config()).expect("builds");
+    let custom_problem = CharacterizationProblem::builder(custom_register)
+        .reference_setup(0.12e-9)
+        .build()
+        .expect("custom problem");
+    let builtin_problem = CharacterizationProblem::builder(
+        d_latch(&Technology::default_250nm()).with_clock(ClockSpec::fast()),
+    )
+    .build()
+    .expect("builtin problem");
+
+    let opts = IndependentOptions {
+        tol: 0.5e-12,
+        ..IndependentOptions::default()
+    };
+    let custom_setup = binary_search(&custom_problem, SkewAxis::Setup, &opts)
+        .expect("custom setup")
+        .skew;
+    let builtin_setup = binary_search(&builtin_problem, SkewAxis::Setup, &opts)
+        .expect("builtin setup")
+        .skew;
+    assert!(
+        (custom_setup - builtin_setup).abs() < 10e-12,
+        "netlist latch setup {:.1} ps vs builtin {:.1} ps",
+        custom_setup * 1e12,
+        builtin_setup * 1e12
+    );
+}
+
+#[test]
+fn bad_deck_is_reported_with_line() {
+    let err = cli::run("R1 a 0 garbage\n.end", &latch_config()).unwrap_err();
+    assert!(err.to_string().contains("line 1"), "got: {err}");
+}
+
+
+/// The 9T TSPC written as a hierarchical SPICE deck (fast clock) must
+/// characterize like the built-in `tspc_register` fixture — this
+/// cross-validates the netlist parser, .SUBCKT flattening, custom
+/// fixtures, and the characterization core in one shot.
+const TSPC_DECK_FAST: &str = "\
+.model n1 NMOS
+.model p1 PMOS
+.subckt platch in out clk vdd
+Mpa mid clk vdd p1 W=2.5u L=0.25u
+Mpb out in  mid p1 W=2.5u L=0.25u
+Mn  out in  0   n1 W=1u   L=0.25u
+.ends
+.subckt nlatch in out clk vdd
+Mp  out in vdd p1 W=2.5u L=0.25u
+Mna out in s   n1 W=2u   L=0.25u
+Mnb s  clk 0   n1 W=2u   L=0.25u
+.ends
+Vdd  vdd 0 DC 2.5
+Vclk clk 0 PULSE(0 2.5 0.2n 0.1n 0.1n 1.4n 3n)
+Vd   d   0 DATA(2.5 0 3.25n 0.1n 0.1n)
+X1 d x clk vdd platch
+X2 x y clk vdd nlatch
+X3 y q clk vdd nlatch
+Cx x 0 6f
+Cy y 0 3f
+Cq q 0 20f
+.end";
+
+#[test]
+fn hierarchical_tspc_deck_matches_builtin_fixture() {
+    use shc::cells::{tspc_register, ClockSpec, Technology};
+    use shc::core::independent::{binary_search, IndependentOptions, SkewAxis};
+    use shc::core::CharacterizationProblem;
+
+    let cfg = CliConfig {
+        netlist_path: "inline".to_string(),
+        output: "q".to_string(),
+        vdd: 2.5,
+        edge: 3.25e-9,
+        period: 3e-9,
+        transition: OutputTransition::Rising,
+        fraction: 0.5,
+        degradation: 0.1,
+        points: 4,
+        reference_setup: None,
+    };
+    let deck_problem =
+        CharacterizationProblem::builder(cli::build_register(TSPC_DECK_FAST, &cfg).unwrap())
+            .build()
+            .unwrap();
+    let builtin_problem = CharacterizationProblem::builder(
+        tspc_register(&Technology::default_250nm()).with_clock(ClockSpec::fast()),
+    )
+    .build()
+    .unwrap();
+
+    // Characteristic delays within a few ps (the deck omits the tiny
+    // internal-stack parasitics the builder adds).
+    let d_cq = (deck_problem.characteristic_delay()
+        - builtin_problem.characteristic_delay())
+    .abs();
+    assert!(d_cq < 10e-12, "t_CQ differs by {:.1} ps", d_cq * 1e12);
+
+    let opts = IndependentOptions {
+        tol: 0.5e-12,
+        ..IndependentOptions::default()
+    };
+    for axis in [SkewAxis::Setup, SkewAxis::Hold] {
+        let a = binary_search(&deck_problem, axis, &opts).unwrap().skew;
+        let b = binary_search(&builtin_problem, axis, &opts).unwrap().skew;
+        assert!(
+            (a - b).abs() < 15e-12,
+            "{axis:?} differs: deck {:.1} ps vs builtin {:.1} ps",
+            a * 1e12,
+            b * 1e12
+        );
+    }
+}

@@ -1,0 +1,144 @@
+//! End-to-end pipeline test on the TSPC register: problem setup → seeding →
+//! MPNR → Euler-Newton contour tracing, with every claim re-verified by
+//! direct simulation.
+
+use shc::cells::{tspc_register, ClockSpec, Technology};
+use shc::core::{seed, CharacterizationProblem, SeedOptions, TracerOptions};
+use shc::spice::waveform::Params;
+
+fn fast_problem() -> CharacterizationProblem {
+    let tech = Technology::default_250nm();
+    CharacterizationProblem::builder(tspc_register(&tech).with_clock(ClockSpec::fast()))
+        .build()
+        .expect("problem builds")
+}
+
+#[test]
+fn traced_contour_points_lie_on_the_level_set() {
+    let problem = fast_problem();
+    let contour = problem.trace_contour(10).expect("contour traces");
+    assert!(contour.points().len() >= 6);
+    // Each point re-verified with an independent h evaluation.
+    for p in contour.points() {
+        let h = problem
+            .evaluate(&Params::new(p.tau_s, p.tau_h))
+            .expect("evaluation");
+        assert!(
+            h.abs() < 5e-3,
+            "point ({:.2}, {:.2}) ps is off the contour: h = {h:.2e}",
+            p.tau_s * 1e12,
+            p.tau_h * 1e12
+        );
+    }
+}
+
+#[test]
+fn contour_shows_monotone_setup_hold_tradeoff() {
+    let problem = fast_problem();
+    let contour = problem.trace_contour(16).expect("contour traces");
+    let pts = contour.points();
+    // Hold decreases along the walk (the tracer's configured direction).
+    for w in pts.windows(2) {
+        assert!(
+            w[1].tau_h <= w[0].tau_h + 1e-12,
+            "hold skew increased along the walk"
+        );
+    }
+    // Net tradeoff across the whole contour: squeezing the hold skew costs
+    // setup skew overall. (Locally the contour may be non-monotone — the
+    // trailing data edge landing just before vs. after t_f changes its
+    // effect — and the tracer must follow that too.)
+    let first = pts.first().unwrap();
+    let last = pts.last().unwrap();
+    assert!(last.tau_h < first.tau_h - 20e-12, "hold did not shrink");
+    assert!(
+        last.tau_s > first.tau_s + 20e-12,
+        "setup did not grow: {:.1} ps -> {:.1} ps",
+        first.tau_s * 1e12,
+        last.tau_s * 1e12
+    );
+}
+
+#[test]
+fn seed_matches_independent_setup_characterization() {
+    let problem = fast_problem();
+    let seed_pt = seed::find_first_point(&problem, &SeedOptions::default()).expect("seed");
+    // At the seed's pinned hold skew, the contour's τs equals the setup
+    // time from plain bisection at that same hold skew.
+    let mut lo = -50e-12;
+    let mut hi = 0.5e-9;
+    while hi - lo > 0.5e-12 {
+        let mid = 0.5 * (lo + hi);
+        let h = problem
+            .evaluate(&Params::new(mid, seed_pt.params.tau_h))
+            .unwrap();
+        if problem.is_pass(h) {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    let bisected = 0.5 * (lo + hi);
+    assert!(
+        (seed_pt.params.tau_s - bisected).abs() < 2e-12,
+        "seed τs {:.2} ps vs bisected {:.2} ps",
+        seed_pt.params.tau_s * 1e12,
+        bisected * 1e12
+    );
+}
+
+#[test]
+fn simulation_count_is_linear_in_points() {
+    let problem = fast_problem();
+    let seed_pt = seed::find_first_point(&problem, &SeedOptions::default()).expect("seed");
+
+    problem.reset_simulation_count();
+    let short = shc::core::tracer::trace(
+        &problem,
+        seed_pt.params,
+        6,
+        &TracerOptions::default(),
+    )
+    .expect("short trace");
+    let short_sims = short.simulations();
+
+    let long = shc::core::tracer::trace(
+        &problem,
+        seed_pt.params,
+        18,
+        &TracerOptions::default(),
+    )
+    .expect("long trace");
+    let long_sims = long.simulations();
+
+    // Tripling the points should roughly triple the simulations — and must
+    // never look quadratic.
+    let ratio = long_sims as f64 / short_sims as f64;
+    assert!(
+        ratio < 6.0,
+        "simulation growth looks superlinear: {short_sims} → {long_sims}"
+    );
+}
+
+#[test]
+fn five_digit_accuracy_of_traced_points() {
+    let problem = fast_problem();
+    let contour = problem.trace_contour(6).expect("contour");
+    // Re-polish one mid-trace point with a 10x tighter MPNR tolerance: the
+    // point must not move by more than ~1 part in 1e5 of its magnitude.
+    let p = contour.points()[contour.points().len() / 2];
+    let tight = shc::core::mpnr::solve(
+        &problem,
+        Params::new(p.tau_s, p.tau_h),
+        &shc::core::MpnrOptions {
+            reltol: 1e-6,
+            abstol: 1e-16,
+            ..Default::default()
+        },
+    )
+    .expect("tight polish");
+    let ds = (tight.params.tau_s - p.tau_s).abs() / p.tau_s.abs().max(1e-12);
+    let dh = (tight.params.tau_h - p.tau_h).abs() / p.tau_h.abs().max(1e-12);
+    assert!(ds < 1e-4, "τs moved by {ds:.2e} under tighter tolerance");
+    assert!(dh < 1e-4, "τh moved by {dh:.2e} under tighter tolerance");
+}

@@ -1,0 +1,120 @@
+//! Large-circuit scaling: an RC-ladder parasitic network with hundreds of
+//! nodes, assembled by the MNA engine and solved through the sparse
+//! iterative stack — the path a post-layout characterization run would
+//! take.
+
+use shc::linalg::{gmres, CsrMatrix, GmresOptions, Ilu0, Vector};
+use shc::spice::waveform::Params;
+use shc::spice::{Capacitor, Circuit, CurrentSource, Resistor, VoltageSource, Waveform};
+
+/// RC ladder driven by a current source: a *pure nodal* system, so every
+/// MNA diagonal is structurally nonzero (ILU(0), like most zero-fill
+/// preconditioners, requires that; voltage-source branch rows would need a
+/// reordering pass first).
+fn rc_ladder_nodal(n: usize) -> Circuit {
+    let mut c = Circuit::new();
+    let mut prev = c.node("in");
+    c.add(CurrentSource::new("I1", Circuit::GROUND, prev, Waveform::dc(1e-3)));
+    c.add(Resistor::new("Rin", prev, Circuit::GROUND, 1e3));
+    for k in 0..n {
+        let next = c.node(&format!("n{k}"));
+        c.add(Resistor::new(&format!("R{k}"), prev, next, 100.0));
+        c.add(Capacitor::new(&format!("C{k}"), next, Circuit::GROUND, 1e-15));
+        prev = next;
+    }
+    c
+}
+
+/// The same ladder driven by an ideal voltage source (for the transient).
+fn rc_ladder_vsrc(n: usize) -> Circuit {
+    let mut c = Circuit::new();
+    let mut prev = c.node("in");
+    c.add(VoltageSource::new("V1", prev, Circuit::GROUND, Waveform::dc(1.0)));
+    for k in 0..n {
+        let next = c.node(&format!("n{k}"));
+        c.add(Resistor::new(&format!("R{k}"), prev, next, 100.0));
+        c.add(Capacitor::new(&format!("C{k}"), next, Circuit::GROUND, 1e-15));
+        prev = next;
+    }
+    c
+}
+
+#[test]
+fn ladder_jacobian_solves_sparse_and_dense_agree() {
+    let n_sections = 300;
+    let circuit = rc_ladder_nodal(n_sections);
+    let n = circuit.unknown_count();
+    assert!(n > 300);
+
+    // Assemble the Backward-Euler step Jacobian C/dt·1 + G at a bias point.
+    let x = Vector::filled(n, 0.5);
+    let stamps = circuit.assemble(&x, 0.0, &Params::default(), 1.0);
+    let dt = 1e-12;
+    let jac = Circuit::combine_jacobian(&stamps.c, &stamps.g, 1.0 / dt);
+
+    let rhs: Vector = (0..n).map(|i| ((i % 7) as f64 - 3.0) * 1e-4).collect();
+    let dense_x = jac.lu().expect("dense factorization").solve(&rhs).expect("dense solve");
+
+    let sparse = CsrMatrix::from_dense(&jac, 0.0).expect("sparse conversion");
+    // The ladder Jacobian is extremely sparse: ~3 entries per row.
+    assert!(
+        sparse.nnz() < 6 * n,
+        "nnz {} too dense for a ladder of {} unknowns",
+        sparse.nnz(),
+        n
+    );
+    let ilu = Ilu0::new(&sparse).expect("ilu0");
+    let result = gmres(
+        &sparse,
+        &rhs,
+        &Vector::zeros(n),
+        |v| ilu.apply(v),
+        &GmresOptions {
+            tol: 1e-12,
+            max_iters: 2000,
+            ..GmresOptions::default()
+        },
+    )
+    .expect("gmres converges");
+
+    let dev = result.x.sub(&dense_x).norm_inf() / dense_x.norm_inf().max(1e-300);
+    assert!(dev < 1e-8, "sparse vs dense relative deviation {dev:.2e}");
+    // Tridiagonal-ish system + ILU(0): convergence should be immediate.
+    assert!(
+        result.iterations <= 10,
+        "ILU(0)-preconditioned ladder took {} iterations",
+        result.iterations
+    );
+}
+
+#[test]
+fn ladder_transient_behaves_like_a_delay_line() {
+    use shc::spice::transient::{CrossingDirection, RecordMode, TransientAnalysis, TransientOptions};
+    // A shorter ladder, simulated end to end: the far end lags the near end.
+    let circuit = rc_ladder_vsrc(40);
+    let first = circuit.find_node("n0").unwrap().unknown().unwrap();
+    let last = circuit.find_node("n39").unwrap().unknown().unwrap();
+    let mut x0 = Vector::zeros(circuit.unknown_count());
+    x0[circuit.find_node("in").unwrap().unknown().unwrap()] = 1.0;
+    // Elmore delay of the full ladder ~ R·C·n²/2 ≈ 80 ps: simulate 0.5 ns.
+    let opts = TransientOptions::builder(5e-10)
+        .dt(5e-13)
+        .initial(shc::spice::transient::InitialCondition::Given(x0))
+        .build();
+    let res = TransientAnalysis::new(&circuit, opts)
+        .run(&Params::default())
+        .expect("transient");
+    let t_first = res
+        .crossing_time(first, 0.5, 0.0, CrossingDirection::Rising)
+        .expect("near end rises");
+    let t_last = res
+        .crossing_time(last, 0.5, 0.0, CrossingDirection::Rising)
+        .expect("far end rises");
+    assert!(
+        t_last > 3.0 * t_first,
+        "far end should lag: {:.2e} vs {:.2e}",
+        t_last,
+        t_first
+    );
+    let _ = RecordMode::Full;
+}

@@ -1,0 +1,71 @@
+//! The paper's Fig. 10 check as a test: the Euler-Newton contour must lie
+//! on top of the brute-force surface-intersection contour.
+
+use shc::cells::{tspc_register, ClockSpec, Technology};
+use shc::core::{surface, CharacterizationProblem, SurfaceOptions};
+
+#[test]
+fn traced_contour_matches_surface_intersection() {
+    let tech = Technology::default_250nm();
+    let problem =
+        CharacterizationProblem::builder(tspc_register(&tech).with_clock(ClockSpec::fast()))
+            .build()
+            .expect("problem");
+
+    let contour = problem.trace_contour(10).expect("trace");
+    // Restrict the comparison window to the bend (skip the flat asymptote
+    // where the surface grid wastes most of its points).
+    let grid = SurfaceOptions::around_contour(&contour, 12);
+    let surf = surface::generate(&problem, &grid).expect("surface");
+    let sc = surf.contour_at(problem.r());
+    assert!(
+        sc.points().len() >= 4,
+        "surface contour too sparse: {} points",
+        sc.points().len()
+    );
+
+    let max_dev = sc.max_deviation_from(&contour).expect("nonempty contours");
+    // The surface is grid-interpolated; every traced point must lie within
+    // about one grid cell of the extracted contour point set.
+    let cell_h = (grid.tau_h_range.1 - grid.tau_h_range.0) / (grid.n - 1) as f64;
+    let cell_s = (grid.tau_s_range.1 - grid.tau_s_range.0) / (grid.n - 1) as f64;
+    let cell = cell_h.max(cell_s);
+    assert!(
+        max_dev < 1.5 * cell,
+        "max deviation {:.2} ps exceeds 1.5 grid cells ({:.2} ps)",
+        max_dev * 1e12,
+        1.5 * cell * 1e12
+    );
+}
+
+#[test]
+fn surface_is_monotone_in_setup_skew() {
+    // Physical sanity: at fixed hold skew, giving the data more setup time
+    // can only help the output along the monitored direction. (The hold
+    // direction is *not* globally monotone: a trailing data edge landing
+    // just before t_f can couple into the output — real latch physics the
+    // contour tracer must and does handle.)
+    let tech = Technology::default_250nm();
+    let problem =
+        CharacterizationProblem::builder(tspc_register(&tech).with_clock(ClockSpec::fast()))
+            .build()
+            .expect("problem");
+    let contour = problem.trace_contour(6).expect("trace");
+    let grid = SurfaceOptions::around_contour(&contour, 6);
+    let surf = surface::generate(&problem, &grid).expect("surface");
+    let v = surf.values();
+    for j in 0..v[0].len() {
+        for i in 1..v.len() {
+            assert!(
+                v[i][j] >= v[i - 1][j] - 5e-3,
+                "output not monotone in setup skew at ({i}, {j})"
+            );
+        }
+    }
+    // All sampled outputs stay within the rails.
+    for row in v {
+        for &val in row {
+            assert!((-0.3..=2.8).contains(&val), "output {val} outside rails");
+        }
+    }
+}
