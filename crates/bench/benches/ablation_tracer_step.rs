@@ -24,18 +24,13 @@ fn bench_step_lengths(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::new("fixed_alpha_ps", alpha_ps as u64),
             &opts,
-            |b, opts| {
-                b.iter(|| {
-                    tracer::trace(&problem, first.params, 12, opts).expect("traces")
-                })
-            },
+            |b, opts| b.iter(|| tracer::trace(&problem, first.params, 12, opts).expect("traces")),
         );
     }
 
     group.bench_function("adaptive_default", |b| {
         b.iter(|| {
-            tracer::trace(&problem, first.params, 12, &TracerOptions::default())
-                .expect("traces")
+            tracer::trace(&problem, first.params, 12, &TracerOptions::default()).expect("traces")
         })
     });
 

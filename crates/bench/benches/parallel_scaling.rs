@@ -1,0 +1,54 @@
+//! Parallel-scaling bench: the same small TSPC surface generated with 1,
+//! 2, and all available worker threads.
+//!
+//! The surface cells are independent transients, so the fan-out in
+//! `shc_core::parallel` should scale near-linearly on a multi-core host;
+//! on a single-core host the threaded variants measure the (small)
+//! scheduling overhead instead. Either way the values are bitwise
+//! identical to the serial surface — asserted once before timing.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use shc_bench::{Cell, Timing};
+use shc_core::{surface, Parallelism, SurfaceOptions};
+
+fn bench_parallel_scaling(c: &mut Criterion) {
+    let problem = Cell::Tspc.problem(Timing::Fast).expect("fixture");
+    let contour = problem.trace_contour(8).expect("contour for grid bounds");
+    let grid = SurfaceOptions::around_contour(&contour, 8);
+
+    let available = Parallelism::Auto.thread_count();
+    let mut thread_counts = vec![1usize, 2];
+    if available > 2 {
+        thread_counts.push(available);
+    }
+
+    // Correctness gate: every policy must reproduce the serial surface.
+    let serial = surface::generate(&problem, &grid).expect("serial surface");
+    for &threads in &thread_counts {
+        let fanned = surface::generate(
+            &problem,
+            &grid.with_parallelism(Parallelism::from_thread_arg(threads)),
+        )
+        .expect("parallel surface");
+        assert_eq!(
+            serial.values(),
+            fanned.values(),
+            "{threads}-thread surface differs"
+        );
+    }
+
+    let mut group = c.benchmark_group("parallel_scaling");
+    group.sample_size(10);
+    for threads in thread_counts {
+        let opts = grid.with_parallelism(Parallelism::from_thread_arg(threads));
+        group.bench_with_input(
+            BenchmarkId::new("surface_8x8", threads),
+            &opts,
+            |b, opts| b.iter(|| surface::generate(&problem, opts).expect("surface")),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_parallel_scaling);
+criterion_main!(benches);

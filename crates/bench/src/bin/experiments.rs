@@ -7,14 +7,21 @@
 //! cargo run --release -p shc-bench --bin experiments            # paper clock (minutes)
 //! cargo run --release -p shc-bench --bin experiments -- --fast  # compressed clock (seconds)
 //! cargo run --release -p shc-bench --bin experiments -- --fast --surface-n 20
+//! cargo run --release -p shc-bench --bin experiments -- --fast --threads 0  # 0 = all CPUs
 //! ```
+//!
+//! `--threads N` sets the fan-out for the parallel-scaling section
+//! (`0` = all CPUs, `1` = serial, the default); the section also writes
+//! `BENCH_parallel.json` to the repository root.
 
 use std::time::Instant;
 
 use shc_bench::{Cell, Timing};
 use shc_core::independent::{binary_search, newton, IndependentOptions, SkewAxis};
 use shc_core::report::{CellReport, ContourTable, OverlayReport, SpeedupRow};
-use shc_core::{surface, CharacterizationProblem, SeedOptions, SurfaceOptions, TracerOptions};
+use shc_core::{
+    surface, CharacterizationProblem, Parallelism, SeedOptions, SurfaceOptions, TracerOptions,
+};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args: Vec<String> = std::env::args().collect();
@@ -29,6 +36,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .and_then(|i| args.get(i + 1))
         .and_then(|v| v.parse().ok())
         .unwrap_or(40);
+    let threads_arg: usize = args
+        .iter()
+        .position(|a| a == "--threads")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0);
+    let parallelism = Parallelism::from_thread_arg(threads_arg);
     let n_points = 40;
 
     println!("=== shc experiments: DAC 2007 reproduction ({timing:?} clock) ===\n");
@@ -67,7 +81,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for (cell, problem) in &problems {
         problem.reset_simulation_count();
         let t0 = Instant::now();
-        let contour = problem.trace_contour_with(n_points, &SeedOptions::default(), &figure_tracer)?;
+        let contour =
+            problem.trace_contour_with(n_points, &SeedOptions::default(), &figure_tracer)?;
         let trace_seconds = t0.elapsed().as_secs_f64();
         let trace_sims = problem.simulation_count();
 
@@ -159,6 +174,54 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             );
         }
     }
+
+    // ---------------------------------------------------------------- //
+    // BENCH-PARALLEL: serial vs fanned-out surface generation.
+    // ---------------------------------------------------------------- //
+    let worker_threads = parallelism.thread_count();
+    println!(
+        "\n--- Parallel scaling: TSPC surface, serial vs {} worker thread(s) ---",
+        worker_threads
+    );
+    let parallel_n = 20usize;
+    let (_, tspc) = problems
+        .iter()
+        .find(|(cell, _)| cell.name() == "tspc")
+        .expect("tspc fixture exists");
+    let contour = tspc.trace_contour(8)?;
+    let grid = SurfaceOptions::around_contour(&contour, parallel_n);
+
+    let t0 = Instant::now();
+    let serial_surface = surface::generate(tspc, &grid)?;
+    let serial_seconds = t0.elapsed().as_secs_f64();
+
+    let t0 = Instant::now();
+    let fanned_surface = surface::generate(tspc, &grid.with_parallelism(parallelism))?;
+    let parallel_seconds = t0.elapsed().as_secs_f64();
+
+    let bitwise_identical = serial_surface.values() == fanned_surface.values();
+    let speedup = serial_seconds / parallel_seconds;
+    println!(
+        "n = {parallel_n} ({sims} sims): serial {serial_seconds:.3} s, \
+         {worker_threads} thread(s) {parallel_seconds:.3} s, speedup {speedup:.2}x, \
+         bitwise identical: {bitwise_identical}",
+        sims = serial_surface.simulations(),
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"parallel_surface_generation\",\n  \"cell\": \"tspc\",\n  \
+         \"clock\": \"{timing:?}\",\n  \"surface_n\": {parallel_n},\n  \
+         \"grid_simulations\": {sims},\n  \"host_cpus\": {cpus},\n  \
+         \"worker_threads\": {worker_threads},\n  \
+         \"serial_seconds\": {serial_seconds:.6},\n  \
+         \"parallel_seconds\": {parallel_seconds:.6},\n  \"speedup\": {speedup:.3},\n  \
+         \"bitwise_identical\": {bitwise_identical}\n}}\n",
+        sims = serial_surface.simulations(),
+        cpus = Parallelism::Auto.thread_count(),
+    );
+    let json_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_parallel.json");
+    std::fs::write(json_path, json)?;
+    println!("wrote {json_path}");
 
     println!("\ndone.");
     Ok(())

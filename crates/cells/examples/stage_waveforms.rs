@@ -12,7 +12,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let tech = Technology::default_250nm();
     let reg = tspc_register_with(&tech, ClockSpec::fast());
     let edge = reg.active_edge_time();
-    println!("active edge at {:.3} ns; data pulse: Vdd -> 0 -> Vdd (capture 0)\n", edge * 1e9);
+    println!(
+        "active edge at {:.3} ns; data pulse: Vdd -> 0 -> Vdd (capture 0)\n",
+        edge * 1e9
+    );
 
     let opts = TransientOptions::builder(edge + 1.0e-9).dt(4e-12).build();
     let res = TransientAnalysis::new(reg.circuit(), opts).run(&Params::new(0.5e-9, 0.5e-9))?;

@@ -17,7 +17,14 @@ fn pmos(tech: &Technology, name: &str, d: Node, g: Node, s: Node, w: f64) -> shc
 }
 
 fn inverter(c: &mut Circuit, tech: &Technology, name: &str, input: Node, output: Node, vdd: Node) {
-    c.add(pmos(tech, &format!("{name}.mp"), output, input, vdd, tech.wp));
+    c.add(pmos(
+        tech,
+        &format!("{name}.mp"),
+        output,
+        input,
+        vdd,
+        tech.wp,
+    ));
     c.add(nmos(
         tech,
         &format!("{name}.mn"),
@@ -28,19 +35,18 @@ fn inverter(c: &mut Circuit, tech: &Technology, name: &str, input: Node, output:
     ));
 }
 
-fn nand2(
-    c: &mut Circuit,
-    tech: &Technology,
-    name: &str,
-    a: Node,
-    b: Node,
-    out: Node,
-    vdd: Node,
-) {
+fn nand2(c: &mut Circuit, tech: &Technology, name: &str, a: Node, b: Node, out: Node, vdd: Node) {
     c.add(pmos(tech, &format!("{name}.mpa"), out, a, vdd, tech.wp));
     c.add(pmos(tech, &format!("{name}.mpb"), out, b, vdd, tech.wp));
     let mid = c.node(&format!("{name}.mid"));
-    c.add(nmos(tech, &format!("{name}.mna"), out, a, mid, 2.0 * tech.wn));
+    c.add(nmos(
+        tech,
+        &format!("{name}.mna"),
+        out,
+        a,
+        mid,
+        2.0 * tech.wn,
+    ));
     c.add(nmos(
         tech,
         &format!("{name}.mnb"),
@@ -70,7 +76,12 @@ pub fn saff_register_with(tech: &Technology, clock: ClockSpec) -> Register {
     // Local inverted data.
     let db = c.node("db");
     inverter(c, tech, "inv_d", d, db, vdd);
-    c.add(Capacitor::new("cpar_db", db, Circuit::GROUND, tech.cnode / 2.0));
+    c.add(Capacitor::new(
+        "cpar_db",
+        db,
+        Circuit::GROUND,
+        tech.cnode / 2.0,
+    ));
 
     // StrongARM first stage: sb/rb precharge high while clock is low and
     // race to discharge at the rising edge; the data side wins.
@@ -79,7 +90,14 @@ pub fn saff_register_with(tech: &Technology, clock: ClockSpec) -> Register {
     let n1 = c.node("n1");
     let n2 = c.node("n2");
     let tail = c.node("tail");
-    c.add(nmos(tech, "mtail", tail, clk, Circuit::GROUND, 3.0 * tech.wn));
+    c.add(nmos(
+        tech,
+        "mtail",
+        tail,
+        clk,
+        Circuit::GROUND,
+        3.0 * tech.wn,
+    ));
     c.add(nmos(tech, "min1", n1, d, tail, 2.0 * tech.wn));
     c.add(nmos(tech, "min2", n2, db, tail, 2.0 * tech.wn));
     // Cross-coupled pair on top of the input devices.
@@ -106,7 +124,7 @@ pub fn saff_register_with(tech: &Technology, clock: ClockSpec) -> Register {
         (qb, tech.cnode),
     ] {
         c.add(Capacitor::new(
-            &format!("cpar_{}", c.node_name(node).to_string()),
+            &format!("cpar_{}", c.node_name(node)),
             node,
             Circuit::GROUND,
             cap,
@@ -159,7 +177,7 @@ pub fn pulsed_latch_with(tech: &Technology, clock: ClockSpec) -> Register {
     // Slow the delay chain slightly so the pulse is wide enough to latch.
     for node in [c1, c2, c3] {
         c.add(Capacitor::new(
-            &format!("cpg_{}", c.node_name(node).to_string()),
+            &format!("cpg_{}", c.node_name(node)),
             node,
             Circuit::GROUND,
             2.0 * tech.cnode,
@@ -177,7 +195,7 @@ pub fn pulsed_latch_with(tech: &Technology, clock: ClockSpec) -> Register {
 
     for (node, cap) in [(x, tech.cnode), (qb, tech.cnode), (pulse, tech.cnode)] {
         c.add(Capacitor::new(
-            &format!("cpar_{}", c.node_name(node).to_string()),
+            &format!("cpar_{}", c.node_name(node)),
             node,
             Circuit::GROUND,
             cap,
@@ -240,7 +258,10 @@ mod tests {
         let reg = pulsed_latch_with(&tech, ClockSpec::fast());
         reg.circuit().validate().unwrap();
         let v = final_q(&reg, 0.5e-9, 0.5e-9, 0.6e-9);
-        assert!(v > 0.9 * tech.vdd, "pulsed latch failed to capture: q = {v}");
+        assert!(
+            v > 0.9 * tech.vdd,
+            "pulsed latch failed to capture: q = {v}"
+        );
     }
 
     #[test]

@@ -384,7 +384,13 @@ pub(crate) fn cell_base(
     data_rest: f64,
     data_active: f64,
 ) -> CellBase {
-    cell_base_at(tech, clock, data_rest, data_active, clock.active_edge_time())
+    cell_base_at(
+        tech,
+        clock,
+        data_rest,
+        data_active,
+        clock.active_edge_time(),
+    )
 }
 
 /// [`cell_base`] with an explicit data-pulse center time (latches close on
@@ -443,7 +449,14 @@ fn add_inverter(
     output: Node,
     vdd: Node,
 ) {
-    c.add(pmos(tech, &format!("{name}.mp"), output, input, vdd, tech.wp));
+    c.add(pmos(
+        tech,
+        &format!("{name}.mp"),
+        output,
+        input,
+        vdd,
+        tech.wp,
+    ));
     c.add(nmos(
         tech,
         &format!("{name}.mn"),
@@ -507,7 +520,7 @@ pub fn tspc_register_with(tech: &Technology, clock: ClockSpec) -> Register {
         (s3, tech.cnode / 3.0),
     ] {
         c.add(Capacitor::new(
-            &format!("cpar_{}", c.node_name(node).to_string()),
+            &format!("cpar_{}", c.node_name(node)),
             node,
             Circuit::GROUND,
             cap,
@@ -582,7 +595,7 @@ pub fn c2mos_register_with(tech: &Technology, clock: ClockSpec, clkb_skew: f64) 
         (ns, tech.cnode / 3.0),
     ] {
         c.add(Capacitor::new(
-            &format!("cpar_{}", c.node_name(node).to_string()),
+            &format!("cpar_{}", c.node_name(node)),
             node,
             Circuit::GROUND,
             cap,
@@ -663,7 +676,7 @@ pub fn tg_register_with(tech: &Technology, clock: ClockSpec) -> Register {
 
     for node in [xm, xmb, xmf, ys, qf] {
         c.add(Capacitor::new(
-            &format!("cpar_{}", c.node_name(node).to_string()),
+            &format!("cpar_{}", c.node_name(node)),
             node,
             Circuit::GROUND,
             tech.cnode,

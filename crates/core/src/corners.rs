@@ -10,11 +10,14 @@
 //! previous corner's first contour point, skipping the bracketing search
 //! entirely whenever the corners are adjacent enough.
 
+use std::sync::Mutex;
+
 use serde::{Deserialize, Serialize};
 use shc_cells::Register;
 use shc_spice::waveform::Params;
 
 use crate::mpnr::{self, MpnrOptions};
+use crate::parallel::{self, Parallelism};
 use crate::seed::{self, SeedOptions};
 use crate::tracer::{self, TracerOptions};
 use crate::{CharacterizationProblem, Contour, Result};
@@ -46,6 +49,12 @@ pub struct SweepOptions {
     pub seed: SeedOptions,
     /// MPNR settings for warm-start polishing.
     pub mpnr: MpnrOptions,
+    /// Fan-out policy for the corner loop. Serial keeps the paper's
+    /// corner-to-corner warm-start chain; parallel policies solve the
+    /// first corner cold and warm-start every remaining corner from it
+    /// concurrently.
+    #[serde(skip)]
+    pub parallelism: Parallelism,
 }
 
 impl Default for SweepOptions {
@@ -55,12 +64,18 @@ impl Default for SweepOptions {
             tracer: TracerOptions::default(),
             seed: SeedOptions::default(),
             mpnr: MpnrOptions::default(),
+            parallelism: Parallelism::default(),
         }
     }
 }
 
-/// Characterizes one register fixture per corner, warm-starting each corner
-/// from the previous one.
+/// Characterizes one register fixture per corner.
+///
+/// Serial sweeps warm-start each corner from the previous one (the paper's
+/// Sec. III-E chaining). With a parallel [`SweepOptions::parallelism`]
+/// policy, the first corner runs cold and the remaining corners run
+/// concurrently, each warm-started from the first corner's contour point;
+/// results are always returned in input order.
 ///
 /// `corners` yields `(label, register)` pairs — typically the same cell
 /// rebuilt with shifted [`shc_cells::Technology`] parameters.
@@ -94,38 +109,75 @@ pub fn sweep(
     corners: impl IntoIterator<Item = (String, Register)>,
     opts: &SweepOptions,
 ) -> Result<Vec<CornerResult>> {
-    let mut results = Vec::new();
-    let mut previous_first: Option<Params> = None;
-
-    for (label, register) in corners {
-        let problem = CharacterizationProblem::builder(register).build()?;
-        problem.reset_simulation_count();
-
-        // Try the warm start: polish the previous corner's first point onto
-        // this corner's contour with MPNR alone.
-        let mut warm_started = false;
-        let first_point = match previous_first {
-            Some(guess) => match mpnr::solve(&problem, guess, &opts.mpnr) {
-                Ok(polished) => {
-                    warm_started = true;
-                    polished
-                }
-                Err(_) => seed::find_first_point(&problem, &opts.seed)?,
-            },
-            None => seed::find_first_point(&problem, &opts.seed)?,
-        };
-
-        let contour = tracer::trace(&problem, first_point.params, opts.points, &opts.tracer)?;
-        previous_first = Some(first_point.params);
-        results.push(CornerResult {
-            label,
-            t_cq: problem.characteristic_delay(),
-            contour,
-            simulations: problem.simulation_count(),
-            warm_started,
-        });
+    if opts.parallelism.is_serial() {
+        let mut results = Vec::new();
+        let mut previous_first: Option<Params> = None;
+        for (label, register) in corners {
+            let (result, first) = run_corner(label, register, opts, previous_first)?;
+            previous_first = Some(first);
+            results.push(result);
+        }
+        return Ok(results);
     }
+
+    // Parallel sweep: concurrent corners cannot chain corner-to-corner, so
+    // the first corner is solved cold on the calling thread and its first
+    // contour point anchors the warm start of every remaining corner.
+    // Registers are not `Clone`, so the fan-out claims each one by `take`.
+    let mut rest = corners.into_iter();
+    let Some((label, register)) = rest.next() else {
+        return Ok(Vec::new());
+    };
+    let (anchor, anchor_params) = run_corner(label, register, opts, None)?;
+    let slots: Vec<Mutex<Option<(String, Register)>>> =
+        rest.map(|corner| Mutex::new(Some(corner))).collect();
+    let mut results = vec![anchor];
+    results.extend(parallel::run_indexed(opts.parallelism, slots.len(), |i| {
+        let (label, register) = slots[i]
+            .lock()
+            .expect("corner slot poisoned")
+            .take()
+            .expect("corner job ran twice");
+        run_corner(label, register, opts, Some(anchor_params)).map(|(result, _)| result)
+    })?);
     Ok(results)
+}
+
+/// Characterizes one corner, optionally polishing a warm-start guess onto
+/// its contour with MPNR (falling back to cold seeding). Returns the
+/// corner's result plus its first contour point, which seeds the next
+/// corner in serial sweeps.
+fn run_corner(
+    label: String,
+    register: Register,
+    opts: &SweepOptions,
+    warm_start: Option<Params>,
+) -> Result<(CornerResult, Params)> {
+    let problem = CharacterizationProblem::builder(register).build()?;
+    problem.reset_simulation_count();
+
+    let mut warm_started = false;
+    let first_point = match warm_start {
+        Some(guess) => match mpnr::solve(&problem, guess, &opts.mpnr) {
+            Ok(polished) => {
+                warm_started = true;
+                polished
+            }
+            Err(_) => seed::find_first_point(&problem, &opts.seed)?,
+        },
+        None => seed::find_first_point(&problem, &opts.seed)?,
+    };
+
+    let contour = tracer::trace(&problem, first_point.params, opts.points, &opts.tracer)?;
+    let first_params = first_point.params;
+    let result = CornerResult {
+        label,
+        t_cq: problem.characteristic_delay(),
+        contour,
+        simulations: problem.simulation_count(),
+        warm_started,
+    };
+    Ok((result, first_params))
 }
 
 #[cfg(test)]
@@ -169,13 +221,37 @@ mod tests {
     }
 
     #[test]
+    fn parallel_sweep_covers_all_corners_in_order() {
+        let opts = SweepOptions {
+            points: 6,
+            parallelism: Parallelism::Threads(3),
+            ..SweepOptions::default()
+        };
+        let results = sweep(corner_registers(), &opts).unwrap();
+        let labels: Vec<&str> = results.iter().map(|r| r.label.as_str()).collect();
+        assert_eq!(labels, ["vdd_2.3", "vdd_2.5", "vdd_2.7"]);
+        assert!(!results[0].warm_started, "anchor corner runs cold");
+        for r in &results {
+            assert!(r.contour.points().len() >= 3, "{}: thin contour", r.label);
+            assert!(r.t_cq > 0.0);
+        }
+        assert!(
+            results[0].t_cq > results[2].t_cq,
+            "corner ordering lost in the parallel merge"
+        );
+    }
+
+    #[test]
     fn warm_start_saves_simulations_on_later_corners() {
         let opts = SweepOptions {
             points: 6,
             ..SweepOptions::default()
         };
         let results = sweep(corner_registers(), &opts).unwrap();
-        assert!(!results[0].warm_started, "first corner has nothing to reuse");
+        assert!(
+            !results[0].warm_started,
+            "first corner has nothing to reuse"
+        );
         let warm_count = results[1..].iter().filter(|r| r.warm_started).count();
         assert!(
             warm_count >= 1,

@@ -56,7 +56,10 @@ impl fmt::Display for CharError {
                 f,
                 "characteristic clock-to-Q not measurable: output never crossed {level:.3} V"
             ),
-            CharError::MpnrDiverged { iterations, h_value } => write!(
+            CharError::MpnrDiverged {
+                iterations,
+                h_value,
+            } => write!(
                 f,
                 "mpnr diverged after {iterations} iterations (|h| = {h_value:.3e})"
             ),

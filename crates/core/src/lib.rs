@@ -54,6 +54,7 @@ mod error;
 pub mod independent;
 pub mod montecarlo;
 pub mod mpnr;
+pub mod parallel;
 mod problem;
 pub mod report;
 pub mod seed;
@@ -65,10 +66,13 @@ pub mod tracer;
 
 pub use error::CharError;
 pub use mpnr::{MpnrOptions, MpnrResult};
+pub use parallel::Parallelism;
 pub use problem::{CharacterizationProblem, HEvaluation, ProblemBuilder};
 pub use seed::SeedOptions;
 pub use surface::{OutputSurface, SurfaceContour, SurfaceOptions};
-pub use tracer::{Contour, ContourPoint, TraceDirection, TracerOptions};
+pub use tracer::{
+    trace_batch, BatchContour, BatchOptions, Contour, ContourPoint, TraceDirection, TracerOptions,
+};
 
 /// Result alias used throughout this crate.
 pub type Result<T> = std::result::Result<T, CharError>;

@@ -11,8 +11,10 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 use shc_cells::{Register, Technology};
+use shc_spice::waveform::Params;
 
 use crate::mpnr::{self, MpnrOptions};
+use crate::parallel::{self, Parallelism};
 use crate::seed::{self, SeedOptions};
 use crate::{CharacterizationProblem, Result};
 
@@ -100,6 +102,11 @@ pub struct MonteCarloOptions {
     pub seed: SeedOptions,
     /// MPNR options for warm-started samples.
     pub mpnr: MpnrOptions,
+    /// Fan-out policy for samples 1.. (sample 0 always runs first as the
+    /// warm-start anchor). Results are independent of the policy: each
+    /// sample draws from its own index-derived RNG stream.
+    #[serde(skip)]
+    pub parallelism: Parallelism,
 }
 
 impl Default for MonteCarloOptions {
@@ -110,60 +117,103 @@ impl Default for MonteCarloOptions {
             variation: ProcessVariation::default(),
             seed: SeedOptions::default(),
             mpnr: MpnrOptions::default(),
+            parallelism: Parallelism::default(),
         }
     }
 }
 
+/// Decorrelates a per-sample RNG seed from the run seed and sample index
+/// (SplitMix64 finalizer over a golden-ratio index stride), so each sample
+/// owns an independent, order-free random stream.
+fn sample_seed(rng_seed: u64, index: u64) -> u64 {
+    let mut z = rng_seed ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Characterizes one process sample, optionally warm-starting MPNR from an
+/// anchor solution (falling back to cold seeding on MPNR failure).
+fn run_sample<F>(
+    base: &Technology,
+    build: &F,
+    opts: &MonteCarloOptions,
+    index: usize,
+    warm_start: Option<Params>,
+) -> Result<SampleResult>
+where
+    F: Fn(&Technology) -> Register,
+{
+    let mut rng = StdRng::seed_from_u64(sample_seed(opts.rng_seed, index as u64));
+    let tech = opts.variation.sample(base, &mut rng);
+    let problem = CharacterizationProblem::builder(build(&tech)).build()?;
+    problem.reset_simulation_count();
+    let point = match warm_start {
+        Some(guess) => match mpnr::solve(&problem, guess, &opts.mpnr) {
+            Ok(p) => p,
+            Err(_) => seed::find_first_point(&problem, &opts.seed)?,
+        },
+        None => seed::find_first_point(&problem, &opts.seed)?,
+    };
+    Ok(SampleResult {
+        index,
+        t_cq: problem.characteristic_delay(),
+        tau_s: point.params.tau_s,
+        tau_h: point.params.tau_h,
+        simulations: problem.simulation_count(),
+    })
+}
+
 /// Runs a Monte Carlo characterization: for each process sample, finds the
-/// interdependent setup/hold point at the seed's pinned hold skew, reusing
-/// the previous sample's solution as the MPNR warm start.
+/// interdependent setup/hold point at the seed's pinned hold skew.
+///
+/// Sample 0 is always solved first, from a cold seed; it anchors the MPNR
+/// warm start for every later sample. Each sample draws its technology from
+/// an RNG derived from `(rng_seed, index)`, so samples are independent of
+/// execution order: a parallel run (`opts.parallelism`) is identical,
+/// sample for sample, to a serial run with the same seed.
 ///
 /// `build` constructs the register for a sampled technology (e.g.
-/// `|tech| tspc_register_with(tech, clock)`).
+/// `|tech| tspc_register_with(tech, clock)`); it must be `Sync` so samples
+/// can fan out across threads.
 ///
 /// # Errors
 ///
-/// Propagates the first sample's failures; later samples fall back to cold
-/// seeding before giving up.
+/// Propagates the anchor sample's failures; later samples fall back to
+/// cold seeding before giving up.
 pub fn run<F>(
     base: &Technology,
     build: F,
     opts: &MonteCarloOptions,
 ) -> Result<(Vec<SampleResult>, MonteCarloStats)>
 where
-    F: Fn(&Technology) -> Register,
+    F: Fn(&Technology) -> Register + Sync,
 {
-    let mut rng = StdRng::seed_from_u64(opts.rng_seed);
     let mut results: Vec<SampleResult> = Vec::with_capacity(opts.samples);
-    let mut previous = None;
-
-    for index in 0..opts.samples {
-        let tech = opts.variation.sample(base, &mut rng);
-        let problem = CharacterizationProblem::builder(build(&tech)).build()?;
-        problem.reset_simulation_count();
-        let point = match previous {
-            Some(guess) => match mpnr::solve(&problem, guess, &opts.mpnr) {
-                Ok(p) => p,
-                Err(_) => seed::find_first_point(&problem, &opts.seed)?,
-            },
-            None => seed::find_first_point(&problem, &opts.seed)?,
-        };
-        previous = Some(point.params);
-        results.push(SampleResult {
-            index,
-            t_cq: problem.characteristic_delay(),
-            tau_s: point.params.tau_s,
-            tau_h: point.params.tau_h,
-            simulations: problem.simulation_count(),
-        });
+    if opts.samples > 0 {
+        let anchor = run_sample(base, &build, opts, 0, None)?;
+        let anchor_params = Params::new(anchor.tau_s, anchor.tau_h);
+        results.push(anchor);
+        results.extend(parallel::run_indexed(
+            opts.parallelism,
+            opts.samples - 1,
+            |k| run_sample(base, &build, opts, k + 1, Some(anchor_params)),
+        )?);
     }
 
     let n = results.len().max(1) as f64;
     let mean_tau_s = results.iter().map(|r| r.tau_s).sum::<f64>() / n;
     let mean_t_cq = results.iter().map(|r| r.t_cq).sum::<f64>() / n;
-    let var_tau_s =
-        results.iter().map(|r| (r.tau_s - mean_tau_s).powi(2)).sum::<f64>() / n;
-    let var_t_cq = results.iter().map(|r| (r.t_cq - mean_t_cq).powi(2)).sum::<f64>() / n;
+    let var_tau_s = results
+        .iter()
+        .map(|r| (r.tau_s - mean_tau_s).powi(2))
+        .sum::<f64>()
+        / n;
+    let var_t_cq = results
+        .iter()
+        .map(|r| (r.t_cq - mean_t_cq).powi(2))
+        .sum::<f64>()
+        / n;
     let stats = MonteCarloStats {
         samples: results.len(),
         mean_tau_s,
@@ -201,7 +251,11 @@ mod tests {
         assert_eq!(results.len(), 6);
         assert_eq!(stats.samples, 6);
         // Process variation must actually move the numbers.
-        assert!(stats.std_tau_s > 0.2e-12, "σ(τs) = {:.2} ps", stats.std_tau_s * 1e12);
+        assert!(
+            stats.std_tau_s > 0.2e-12,
+            "σ(τs) = {:.2} ps",
+            stats.std_tau_s * 1e12
+        );
         assert!(stats.std_t_cq > 0.2e-12);
         for r in &results {
             assert!(r.t_cq > 10e-12 && r.t_cq < 1e-9);
@@ -215,6 +269,25 @@ mod tests {
         assert_eq!(a, b);
         let (c, _) = small_run(4, 43);
         assert_ne!(a, c, "different seeds should differ");
+    }
+
+    #[test]
+    fn parallel_run_matches_serial_sample_for_sample() {
+        let base = Technology::default_250nm();
+        let build = |tech: &Technology| tspc_register_with(tech, ClockSpec::fast());
+        let serial_opts = MonteCarloOptions {
+            samples: 5,
+            rng_seed: 42,
+            ..MonteCarloOptions::default()
+        };
+        let parallel_opts = MonteCarloOptions {
+            parallelism: Parallelism::Threads(4),
+            ..serial_opts
+        };
+        let (serial, serial_stats) = run(&base, build, &serial_opts).expect("serial runs");
+        let (parallel, parallel_stats) = run(&base, build, &parallel_opts).expect("parallel runs");
+        assert_eq!(serial, parallel);
+        assert_eq!(serial_stats, parallel_stats);
     }
 
     #[test]

@@ -1,0 +1,195 @@
+//! First-party parallel fan-out for the embarrassingly parallel layers of
+//! the characterization flow: surface generation cells, Monte Carlo
+//! samples, PVT corners, and batch contour tracing.
+//!
+//! A work-stealing thread pool crate (rayon) would be the natural choice,
+//! but this project must build in fully offline environments, so the
+//! fan-out is implemented directly on `std::thread::scope`. The shape is
+//! the same as a `par_iter().map().collect()`: a shared atomic cursor
+//! hands out indices, each worker runs the job closure, and results are
+//! merged back **in index order**, which makes parallel runs bitwise
+//! identical to serial runs for independent jobs. Errors are deterministic
+//! too: the error with the lowest job index wins, exactly as in a serial
+//! left-to-right loop.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Thread-count policy for parallel sweeps.
+///
+/// The default is [`Parallelism::Serial`], so every existing call site
+/// keeps its exact single-threaded behavior unless a caller opts in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Parallelism {
+    /// Run all jobs on the calling thread; no worker threads are spawned.
+    #[default]
+    Serial,
+    /// One worker per available CPU (`std::thread::available_parallelism`).
+    Auto,
+    /// Exactly this many worker threads; `0` and `1` behave like `Serial`.
+    Threads(usize),
+}
+
+impl Parallelism {
+    /// Maps a user-facing `--threads N` argument: `0` means [`Auto`]
+    /// (use all CPUs), `1` means [`Serial`], anything else is an explicit
+    /// thread count.
+    ///
+    /// [`Auto`]: Parallelism::Auto
+    /// [`Serial`]: Parallelism::Serial
+    pub fn from_thread_arg(n: usize) -> Self {
+        match n {
+            0 => Parallelism::Auto,
+            1 => Parallelism::Serial,
+            n => Parallelism::Threads(n),
+        }
+    }
+
+    /// The number of worker threads this policy resolves to on this host.
+    pub fn thread_count(self) -> usize {
+        match self {
+            Parallelism::Serial => 1,
+            Parallelism::Auto => std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            Parallelism::Threads(n) => n.max(1),
+        }
+    }
+
+    /// `true` when no worker threads would be spawned.
+    pub fn is_serial(self) -> bool {
+        self.thread_count() <= 1
+    }
+}
+
+/// Runs `count` independent fallible jobs, returning their results in job
+/// order.
+///
+/// Serial policies run a plain left-to-right loop with early exit on the
+/// first error. Parallel policies fan the indices out over worker threads
+/// and merge by index, so for jobs with no shared mutable state the
+/// returned `Vec` is bitwise identical to the serial one. On failure the
+/// error with the *lowest* index is returned (matching the serial early
+/// exit) and in-flight workers stop claiming further jobs.
+///
+/// # Errors
+///
+/// Propagates the first (lowest-index) job error.
+///
+/// # Panics
+///
+/// Panics propagate from job closures when the scope joins.
+pub fn run_indexed<T, E, F>(
+    parallelism: Parallelism,
+    count: usize,
+    job: F,
+) -> std::result::Result<Vec<T>, E>
+where
+    T: Send,
+    E: Send,
+    F: Fn(usize) -> std::result::Result<T, E> + Sync,
+{
+    let threads = parallelism.thread_count().min(count).max(1);
+    if threads <= 1 {
+        return (0..count).map(job).collect();
+    }
+
+    let cursor = AtomicUsize::new(0);
+    let failed = AtomicBool::new(false);
+    let slots: Mutex<Vec<Option<std::result::Result<T, E>>>> = Mutex::new({
+        let mut v = Vec::new();
+        v.resize_with(count, || None);
+        v
+    });
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| {
+                let mut local: Vec<(usize, std::result::Result<T, E>)> = Vec::new();
+                loop {
+                    if failed.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= count {
+                        break;
+                    }
+                    let result = job(i);
+                    if result.is_err() {
+                        failed.store(true, Ordering::Relaxed);
+                    }
+                    local.push((i, result));
+                }
+                let mut slots = slots.lock().expect("worker panicked holding results");
+                for (i, r) in local {
+                    slots[i] = Some(r);
+                }
+            });
+        }
+    });
+
+    let slots = slots.into_inner().expect("worker panicked holding results");
+    let mut out = Vec::with_capacity(count);
+    for (i, slot) in slots.into_iter().enumerate() {
+        // Indices are claimed monotonically, so a never-run slot can only
+        // appear after the lowest-index error has been recorded; the scan
+        // below therefore always hits `Some(Err)` before any `None`.
+        match slot {
+            Some(Ok(value)) => out.push(value),
+            Some(Err(e)) => return Err(e),
+            None => unreachable!("job {i} skipped without a preceding error"),
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serial_and_parallel_agree_elementwise() {
+        let serial: Vec<u64> =
+            run_indexed(Parallelism::Serial, 100, |i| Ok::<u64, ()>((i as u64) * 3)).unwrap();
+        let parallel = run_indexed(Parallelism::Threads(4), 100, |i| {
+            Ok::<u64, ()>((i as u64) * 3)
+        })
+        .unwrap();
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn lowest_index_error_wins() {
+        let result = run_indexed(Parallelism::Threads(4), 64, |i| {
+            if i % 7 == 3 {
+                Err(i)
+            } else {
+                Ok(i)
+            }
+        });
+        assert_eq!(result.unwrap_err(), 3);
+    }
+
+    #[test]
+    fn zero_jobs_is_fine() {
+        let out: Vec<u8> = run_indexed(Parallelism::Auto, 0, |_| Ok::<u8, ()>(0)).unwrap();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn thread_arg_mapping() {
+        assert_eq!(Parallelism::from_thread_arg(0), Parallelism::Auto);
+        assert_eq!(Parallelism::from_thread_arg(1), Parallelism::Serial);
+        assert_eq!(Parallelism::from_thread_arg(8), Parallelism::Threads(8));
+        assert!(Parallelism::Serial.is_serial());
+        assert!(Parallelism::Threads(1).is_serial());
+        assert!(!Parallelism::Threads(2).is_serial());
+        assert!(Parallelism::Auto.thread_count() >= 1);
+    }
+
+    #[test]
+    fn more_threads_than_jobs_is_fine() {
+        let out = run_indexed(Parallelism::Threads(16), 3, Ok::<usize, ()>).unwrap();
+        assert_eq!(out, vec![0, 1, 2]);
+    }
+}

@@ -77,6 +77,16 @@ pub struct CharacterizationProblem {
     sim_count: AtomicUsize,
 }
 
+// The parallel sweeps in [`crate::parallel`] share problems across worker
+// threads by reference: every field is plain data except `sim_count`,
+// whose atomic updates make `evaluate` callable from many threads at once.
+// This assertion turns any future non-thread-safe field (e.g. a `RefCell`
+// scratch cache) into a compile error instead of a broken sweep.
+const _: fn() = || {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<CharacterizationProblem>();
+};
+
 impl CharacterizationProblem {
     /// Starts building a problem around a register fixture.
     pub fn builder(register: Register) -> ProblemBuilder {
@@ -165,9 +175,8 @@ impl CharacterizationProblem {
     /// Propagates simulation failures.
     pub fn evaluate(&self, params: &Params) -> Result<f64> {
         self.sim_count.fetch_add(1, Ordering::Relaxed);
-        let res =
-            TransientAnalysis::new(self.register.circuit(), self.transient_options(false))
-                .run(params)?;
+        let res = TransientAnalysis::new(self.register.circuit(), self.transient_options(false))
+            .run(params)?;
         Ok(res.final_state()[self.register.output_unknown()] - self.r)
     }
 
@@ -179,9 +188,8 @@ impl CharacterizationProblem {
     /// Propagates simulation failures.
     pub fn evaluate_with_jacobian(&self, params: &Params) -> Result<HEvaluation> {
         self.sim_count.fetch_add(1, Ordering::Relaxed);
-        let res =
-            TransientAnalysis::new(self.register.circuit(), self.transient_options(true))
-                .run(params)?;
+        let res = TransientAnalysis::new(self.register.circuit(), self.transient_options(true))
+            .run(params)?;
         let out = self.register.output_unknown();
         let ms = res
             .final_sensitivity(Param::Setup)
@@ -238,7 +246,11 @@ impl CharacterizationProblem {
     ///
     /// Propagates seeding, MPNR, and tracing failures.
     pub fn trace_contour(&self, n: usize) -> Result<crate::Contour> {
-        self.trace_contour_with(n, &crate::SeedOptions::default(), &crate::TracerOptions::default())
+        self.trace_contour_with(
+            n,
+            &crate::SeedOptions::default(),
+            &crate::TracerOptions::default(),
+        )
     }
 
     /// Like [`Self::trace_contour`] with explicit seeding and tracing
@@ -438,10 +450,16 @@ mod tests {
     fn h_sign_separates_pass_and_fail() {
         let p = fast_problem();
         let generous = p.evaluate(&p.reference_params()).unwrap();
-        assert!(p.is_pass(generous), "generous skews must pass: h = {generous}");
+        assert!(
+            p.is_pass(generous),
+            "generous skews must pass: h = {generous}"
+        );
         // A data pulse entirely before the edge cannot be captured.
         let hopeless = p.evaluate(&Params::new(0.9e-9, -0.6e-9)).unwrap();
-        assert!(!p.is_pass(hopeless), "hopeless skews must fail: h = {hopeless}");
+        assert!(
+            !p.is_pass(hopeless),
+            "hopeless skews must fail: h = {hopeless}"
+        );
     }
 
     #[test]
@@ -527,7 +545,9 @@ mod tests {
         let tech = Technology::default_250nm();
         let reg = tspc_register_with(&tech, ClockSpec::fast());
         assert!(matches!(
-            CharacterizationProblem::builder(reg).degradation(1.5).build(),
+            CharacterizationProblem::builder(reg)
+                .degradation(1.5)
+                .build(),
             Err(CharError::BadOption { .. })
         ));
         let reg = tspc_register_with(&tech, ClockSpec::fast());

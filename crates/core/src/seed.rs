@@ -97,7 +97,9 @@ pub fn find_first_point(
     };
     let mut lo = opts.tau_s_min;
     let mut hi = opts.tau_s_max.unwrap_or(reference.tau_s);
-    if !(hi > lo) {
+    // NaN bounds must fail too, so the comparison accepts, not rejects.
+    let range_ok = hi > lo;
+    if !range_ok {
         return Err(CharError::SeedBracketFailed {
             reason: "empty search range",
         });

@@ -15,7 +15,7 @@ use shc_cells::Register;
 use crate::mpnr::{self};
 use crate::seed::{self};
 use crate::tracer::{self};
-use crate::{CharacterizationProblem, CharError, Contour, Result, SeedOptions, TracerOptions};
+use crate::{CharError, CharacterizationProblem, Contour, Result, SeedOptions, TracerOptions};
 
 /// One degradation level's contour.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]

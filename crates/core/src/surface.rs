@@ -11,6 +11,7 @@
 use serde::{Deserialize, Serialize};
 use shc_spice::waveform::Params;
 
+use crate::parallel::{self, Parallelism};
 use crate::{CharError, CharacterizationProblem, Result};
 
 /// Grid specification for surface generation.
@@ -22,6 +23,11 @@ pub struct SurfaceOptions {
     pub tau_h_range: (f64, f64),
     /// Grid points per axis (the paper uses 40×40).
     pub n: usize,
+    /// Fan-out policy for the n² independent cell simulations. Serial by
+    /// default; parallel runs produce bitwise-identical surfaces (each
+    /// cell is an independent transient, merged in grid order).
+    #[serde(skip)]
+    pub parallelism: Parallelism,
 }
 
 impl SurfaceOptions {
@@ -42,7 +48,14 @@ impl SurfaceOptions {
             tau_s_range: (s_min - pad_s, s_max + pad_s),
             tau_h_range: (h_min - pad_h, h_max + pad_h),
             n,
+            parallelism: Parallelism::default(),
         }
+    }
+
+    /// Sets the fan-out policy (builder style).
+    pub fn with_parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.parallelism = parallelism;
+        self
     }
 }
 
@@ -133,20 +146,40 @@ impl SurfaceContour {
     }
 
     /// Interpolates the contour's hold skew at a setup skew within range.
+    ///
+    /// Queries an ulp or two outside the stored τs range — the common case
+    /// when the query point was computed through a different floating-point
+    /// path, e.g. a traced contour endpoint — are snapped to the nearest
+    /// endpoint instead of rejected; anything farther out returns `None`.
+    /// Degenerate contours still answer where they can: a single-segment
+    /// (two-point) contour interpolates normally, and a single-point
+    /// contour answers exactly at (within snap tolerance of) its own τs.
     pub fn hold_at_setup(&self, tau_s: f64) -> Option<f64> {
-        if self.points.len() < 2 {
+        if self.points.is_empty() || !tau_s.is_finite() {
             return None;
         }
-        if tau_s < self.points[0].0 || tau_s > self.points[self.points.len() - 1].0 {
+        let s_first = self.points[0].0;
+        let s_last = self.points[self.points.len() - 1].0;
+        // Relative snap tolerance: picoseconds-scale skews make any
+        // absolute epsilon meaningless.
+        let scale = (s_last - s_first)
+            .abs()
+            .max(s_first.abs().max(s_last.abs()));
+        let tol = 1e-9 * scale;
+        if tau_s < s_first - tol || tau_s > s_last + tol {
             return None;
+        }
+        let t = tau_s.clamp(s_first, s_last);
+        if self.points.len() == 1 {
+            return Some(self.points[0].1);
         }
         for w in self.points.windows(2) {
             let ((s0, h0), (s1, h1)) = (w[0], w[1]);
-            if tau_s >= s0 && tau_s <= s1 {
+            if t >= s0 && t <= s1 {
                 if s1 == s0 {
                     return Some(0.5 * (h0 + h1));
                 }
-                return Some(h0 + (h1 - h0) * (tau_s - s0) / (s1 - s0));
+                return Some(h0 + (h1 - h0) * (t - s0) / (s1 - s0));
             }
         }
         None
@@ -180,14 +213,15 @@ impl SurfaceContour {
 
 /// Generates the output surface with n² transient simulations.
 ///
+/// The grid cells are independent transients, so they are fanned out
+/// according to `opts.parallelism`; rows are merged back in grid order,
+/// making the parallel surface bitwise identical to the serial one.
+///
 /// # Errors
 ///
 /// - [`CharError::BadOption`] for degenerate grids;
 /// - propagated simulation failures.
-pub fn generate(
-    problem: &CharacterizationProblem,
-    opts: &SurfaceOptions,
-) -> Result<OutputSurface> {
+pub fn generate(problem: &CharacterizationProblem, opts: &SurfaceOptions) -> Result<OutputSurface> {
     if opts.n < 2 {
         return Err(CharError::BadOption {
             reason: "surface grid needs at least 2 points per axis",
@@ -195,7 +229,10 @@ pub fn generate(
     }
     let (s0, s1) = opts.tau_s_range;
     let (h0, h1) = opts.tau_h_range;
-    if !(s1 > s0) || !(h1 > h0) {
+    // NaN bounds must fail too, so the comparisons accept, not reject.
+    let s_ok = s1 > s0;
+    let h_ok = h1 > h0;
+    if !s_ok || !h_ok {
         return Err(CharError::BadOption {
             reason: "surface ranges must be nonempty",
         });
@@ -204,15 +241,17 @@ pub fn generate(
     let lin = |a: f64, b: f64, k: usize| a + (b - a) * k as f64 / (opts.n - 1) as f64;
     let tau_s: Vec<f64> = (0..opts.n).map(|k| lin(s0, s1, k)).collect();
     let tau_h: Vec<f64> = (0..opts.n).map(|k| lin(h0, h1, k)).collect();
-    let mut values = Vec::with_capacity(opts.n);
-    for &s in &tau_s {
+    // One job per grid row: big enough to amortize scheduling, small
+    // enough to balance n >> threads rows across workers.
+    let values = parallel::run_indexed(opts.parallelism, opts.n, |i| {
+        let s = tau_s[i];
         let mut row = Vec::with_capacity(opts.n);
         for &h in &tau_h {
             let hval = problem.evaluate(&Params::new(s, h))?;
             row.push(hval + problem.r()); // store the raw output level
         }
-        values.push(row);
-    }
+        Ok::<Vec<f64>, CharError>(row)
+    })?;
     Ok(OutputSurface {
         tau_s,
         tau_h,
@@ -282,6 +321,76 @@ mod tests {
         };
         let dev = sc.max_deviation_from(&exact).unwrap();
         assert!(dev < 1e-12, "deviation {dev}");
+    }
+
+    #[test]
+    fn parallel_surface_is_bitwise_identical_to_serial() {
+        use shc_cells::{tspc_register_with, ClockSpec, Technology};
+
+        let tech = Technology::default_250nm();
+        let problem =
+            CharacterizationProblem::builder(tspc_register_with(&tech, ClockSpec::fast()))
+                .build()
+                .unwrap();
+        let r = problem.reference_params();
+        let opts = SurfaceOptions {
+            tau_s_range: (r.tau_s - 50e-12, r.tau_s),
+            tau_h_range: (r.tau_h - 50e-12, r.tau_h),
+            n: 4,
+            parallelism: Parallelism::Serial,
+        };
+        let serial = generate(&problem, &opts).unwrap();
+        let fanned = generate(&problem, &opts.with_parallelism(Parallelism::Threads(4))).unwrap();
+        assert_eq!(
+            serial.values(),
+            fanned.values(),
+            "surfaces must match bitwise"
+        );
+        assert_eq!(serial.tau_s_grid(), fanned.tau_s_grid());
+        assert_eq!(serial.tau_h_grid(), fanned.tau_h_grid());
+        assert_eq!(serial.simulations(), 16);
+        assert_eq!(fanned.simulations(), 16);
+    }
+
+    #[test]
+    fn hold_at_setup_snaps_endpoint_queries_within_tolerance() {
+        let contour = synthetic_surface().contour_at(1.0);
+        let s_last = contour.points().last().unwrap().0;
+        // An endpoint computed through another floating-point path may sit
+        // a few ulps outside the stored range: answer, don't reject.
+        let h = contour.hold_at_setup(s_last + 1e-11).unwrap();
+        assert!((h - contour.points().last().unwrap().1).abs() < 1e-12);
+        let s_first = contour.points()[0].0;
+        assert!(contour.hold_at_setup(s_first - 1e-11).is_some());
+        // Clearly outside stays rejected.
+        assert!(contour.hold_at_setup(s_last + 0.1).is_none());
+        assert!(contour.hold_at_setup(s_first - 0.1).is_none());
+        assert!(contour.hold_at_setup(f64::NAN).is_none());
+    }
+
+    #[test]
+    fn hold_at_setup_single_segment_contour() {
+        let contour = SurfaceContour {
+            points: vec![(0.2, 0.8), (0.6, 0.4)],
+        };
+        assert!((contour.hold_at_setup(0.4).unwrap() - 0.6).abs() < 1e-12);
+        assert_eq!(contour.hold_at_setup(0.2), Some(0.8));
+        assert_eq!(contour.hold_at_setup(0.6), Some(0.4));
+        assert!(contour.hold_at_setup(0.0).is_none());
+        assert!(contour.hold_at_setup(1.0).is_none());
+    }
+
+    #[test]
+    fn hold_at_setup_single_point_contour() {
+        let contour = SurfaceContour {
+            points: vec![(0.3, 0.7)],
+        };
+        assert_eq!(contour.hold_at_setup(0.3), Some(0.7));
+        // Within snap tolerance of the lone point.
+        assert_eq!(contour.hold_at_setup(0.3 + 1e-11), Some(0.7));
+        assert!(contour.hold_at_setup(0.4).is_none());
+        let empty = SurfaceContour { points: Vec::new() };
+        assert!(empty.hold_at_setup(0.3).is_none());
     }
 
     #[test]

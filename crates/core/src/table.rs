@@ -80,7 +80,11 @@ impl CellTable {
             .iter()
             .map(|s| format!("{:.4}", s * 1e9))
             .collect();
-        let idx2: Vec<String> = self.loads.iter().map(|l| format!("{:.4}", l * 1e12)).collect();
+        let idx2: Vec<String> = self
+            .loads
+            .iter()
+            .map(|l| format!("{:.4}", l * 1e12))
+            .collect();
         let render = |f: &dyn Fn(&TableEntry) -> f64| -> String {
             self.clock_slews
                 .iter()
@@ -242,7 +246,7 @@ mod tests {
             "tspc",
             &tech,
             ClockSpec::fast(),
-            |t, c| tspc_register_with(t, c),
+            tspc_register_with,
             &[0.05e-9, 0.2e-9],
             &[10e-15, 40e-15],
             &TableOptions::default(),
@@ -255,7 +259,11 @@ mod tests {
         let table = small_table();
         assert_eq!(table.entries().len(), 4);
         for e in table.entries() {
-            assert!(e.t_cq > 10e-12 && e.t_cq < 1e-9, "t_CQ {:.1} ps", e.t_cq * 1e12);
+            assert!(
+                e.t_cq > 10e-12 && e.t_cq < 1e-9,
+                "t_CQ {:.1} ps",
+                e.t_cq * 1e12
+            );
             assert!(e.setup.abs() < 1e-9 && e.hold.abs() < 1e-9);
         }
         // More load ⇒ slower clock-to-Q, at both slews.
@@ -307,7 +315,7 @@ mod tests {
                 "x",
                 &tech,
                 ClockSpec::fast(),
-                |t, c| tspc_register_with(t, c),
+                tspc_register_with,
                 &[],
                 &[1e-15],
                 &TableOptions::default(),

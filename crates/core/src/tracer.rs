@@ -8,9 +8,12 @@
 //! the corrector struggles and grows after easy corrections.
 
 use serde::{Deserialize, Serialize};
+use shc_cells::Register;
 use shc_spice::waveform::Params;
 
 use crate::mpnr::{self, MpnrOptions};
+use crate::parallel::{self, Parallelism};
+use crate::seed::SeedOptions;
 use crate::{CharError, CharacterizationProblem, Result};
 
 /// Which way to walk the contour from the seed point.
@@ -116,8 +119,7 @@ impl Contour {
     /// Interpolates the contour's hold skew at a given setup skew, if the
     /// setup skew lies inside the traced range.
     pub fn hold_at_setup(&self, tau_s: f64) -> Option<f64> {
-        let mut pts: Vec<(f64, f64)> =
-            self.points.iter().map(|p| (p.tau_s, p.tau_h)).collect();
+        let mut pts: Vec<(f64, f64)> = self.points.iter().map(|p| (p.tau_s, p.tau_h)).collect();
         pts.sort_by(|a, b| a.0.total_cmp(&b.0));
         if pts.len() < 2 || tau_s < pts[0].0 || tau_s > pts[pts.len() - 1].0 {
             return None;
@@ -183,8 +185,7 @@ pub fn trace(
             current.tau_s + alpha * tangent.0,
             current.tau_h + alpha * tangent.1,
         );
-        if predicted.tau_s.abs() > opts.skew_bound || predicted.tau_h.abs() > opts.skew_bound
-        {
+        if predicted.tau_s.abs() > opts.skew_bound || predicted.tau_h.abs() > opts.skew_bound {
             break; // walked out of the characterization window
         }
 
@@ -254,10 +255,86 @@ pub fn trace(
     })
 }
 
+/// One degradation level's contour from [`trace_batch`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BatchContour {
+    /// The clock-to-Q degradation fraction defining this contour.
+    pub degradation: f64,
+    /// Characteristic clock-to-Q delay, seconds.
+    pub t_cq: f64,
+    /// The traced contour.
+    pub contour: Contour,
+    /// Transient simulations this level consumed (seeding + tracing).
+    pub simulations: usize,
+}
+
+/// Options for [`trace_batch`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BatchOptions {
+    /// Contour points per degradation level.
+    pub points: usize,
+    /// Seeding settings (each level seeds independently).
+    pub seed: SeedOptions,
+    /// Tracer settings.
+    pub tracer: TracerOptions,
+    /// Fan-out policy across degradation levels. Levels are fully
+    /// independent, so parallel results are identical to serial ones.
+    #[serde(skip)]
+    pub parallelism: Parallelism,
+}
+
+impl Default for BatchOptions {
+    fn default() -> Self {
+        BatchOptions {
+            points: 20,
+            seed: SeedOptions::default(),
+            tracer: TracerOptions::default(),
+            parallelism: Parallelism::default(),
+        }
+    }
+}
+
+/// Traces one constant clock-to-Q contour per degradation level — the
+/// library-characterization shape where a cell is characterized at several
+/// delay-degradation criteria (e.g. 2%, 10%, 50%) at once.
+///
+/// Every level rebuilds the cell through `build` because `t_f` and `r` are
+/// fixed when a [`CharacterizationProblem`] is constructed; the factory
+/// must be `Sync` so levels can fan out across threads. Results are
+/// returned in the order of `degradations` regardless of the policy.
+///
+/// # Errors
+///
+/// Propagates the lowest-index level's failure (problem construction,
+/// seeding, MPNR, or tracing).
+pub fn trace_batch<F>(
+    build: F,
+    degradations: &[f64],
+    opts: &BatchOptions,
+) -> Result<Vec<BatchContour>>
+where
+    F: Fn() -> Register + Sync,
+{
+    parallel::run_indexed(opts.parallelism, degradations.len(), |i| {
+        let degradation = degradations[i];
+        let problem = CharacterizationProblem::builder(build())
+            .degradation(degradation)
+            .build()?;
+        problem.reset_simulation_count();
+        let contour = problem.trace_contour_with(opts.points, &opts.seed, &opts.tracer)?;
+        Ok(BatchContour {
+            degradation,
+            t_cq: problem.characteristic_delay(),
+            contour,
+            simulations: problem.simulation_count(),
+        })
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::seed::{find_first_point, SeedOptions};
+    use crate::seed::find_first_point;
     use shc_cells::{tspc_register_with, ClockSpec, Technology};
 
     fn fast_problem() -> CharacterizationProblem {
@@ -329,6 +406,29 @@ mod tests {
         // seed's (already asymptotic) value.
         let drift = (pts.last().unwrap().tau_s - pts[0].tau_s).abs();
         assert!(drift < 30e-12, "setup drifted {:.1} ps", drift * 1e12);
+    }
+
+    #[test]
+    fn batch_levels_are_independent_and_order_free() {
+        let build = || tspc_register_with(&Technology::default_250nm(), ClockSpec::fast());
+        let levels = [0.05, 0.10];
+        let serial_opts = BatchOptions {
+            points: 5,
+            ..BatchOptions::default()
+        };
+        let parallel_opts = BatchOptions {
+            parallelism: Parallelism::Threads(2),
+            ..serial_opts
+        };
+        let serial = trace_batch(build, &levels, &serial_opts).unwrap();
+        let fanned = trace_batch(build, &levels, &parallel_opts).unwrap();
+        assert_eq!(serial, fanned);
+        assert_eq!(serial.len(), 2);
+        assert_eq!(serial[0].degradation, 0.05);
+        assert_eq!(serial[1].degradation, 0.10);
+        // A looser degradation criterion gives a later capture deadline,
+        // so the two levels must land on genuinely different contours.
+        assert_ne!(serial[0].contour.points()[0], serial[1].contour.points()[0]);
     }
 
     #[test]

@@ -53,7 +53,10 @@ impl fmt::Display for LinalgError {
                 lhs.0, lhs.1, rhs.0, rhs.1
             ),
             LinalgError::Singular { pivot, value } => {
-                write!(f, "singular matrix: pivot {pivot} has magnitude {value:.3e}")
+                write!(
+                    f,
+                    "singular matrix: pivot {pivot} has magnitude {value:.3e}"
+                )
             }
             LinalgError::NotSquare { shape } => {
                 write!(f, "matrix must be square, got {}x{}", shape.0, shape.1)
@@ -84,7 +87,10 @@ mod tests {
         assert!(s.contains("2x3"));
         assert!(s.contains("4x5"));
 
-        let e = LinalgError::Singular { pivot: 3, value: 1e-30 };
+        let e = LinalgError::Singular {
+            pivot: 3,
+            value: 1e-30,
+        };
         assert!(e.to_string().contains("pivot 3"));
     }
 

@@ -42,7 +42,7 @@ mod vector;
 
 pub use error::LinalgError;
 pub use lu::LuFactor;
-pub use matrix::Matrix;
+pub use matrix::{matrix_allocations, Matrix};
 pub use pinv::{pinv, pinv_fat, PseudoInverse};
 pub use qr::QrFactor;
 pub use sparse::{gmres, CsrMatrix, GmresOptions, GmresResult, Ilu0};

@@ -47,10 +47,52 @@ impl LuFactor {
             return Err(LinalgError::NotSquare { shape: a.shape() });
         }
         let n = a.rows();
-        let mut lu = a.clone();
-        let mut perm: Vec<usize> = (0..n).collect();
-        let mut perm_sign = 1.0;
+        let mut factor = LuFactor {
+            lu: a.clone(),
+            perm: (0..n).collect(),
+            perm_sign: 1.0,
+        };
+        factor.factor_in_place()?;
+        Ok(factor)
+    }
 
+    /// Re-factors `a` reusing this factor's existing buffers.
+    ///
+    /// Equivalent to `*self = LuFactor::new(a)?` but allocation-free when
+    /// `a` has the same dimension as the previously factored matrix — the
+    /// case in transient Newton loops, where the Jacobian shape is fixed
+    /// and only its entries change step to step.
+    ///
+    /// On error the factor contents are unspecified; call `refactor` again
+    /// (or rebuild with [`LuFactor::new`]) before the next solve.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`LuFactor::new`].
+    pub fn refactor(&mut self, a: &Matrix) -> Result<()> {
+        if !a.is_square() {
+            return Err(LinalgError::NotSquare { shape: a.shape() });
+        }
+        let n = a.rows();
+        if self.dim() == n {
+            self.lu.copy_from(a)?;
+        } else {
+            self.lu = a.clone();
+            self.perm.resize(n, 0);
+        }
+        for (i, p) in self.perm.iter_mut().enumerate() {
+            *p = i;
+        }
+        self.perm_sign = 1.0;
+        self.factor_in_place()
+    }
+
+    /// Gaussian elimination with partial pivoting over the prepared
+    /// `(lu, perm, perm_sign)` state; `lu` must hold the matrix entries on
+    /// entry and holds the packed L/U factors on successful exit.
+    fn factor_in_place(&mut self) -> Result<()> {
+        let n = self.lu.rows();
+        let lu = &mut self.lu;
         for k in 0..n {
             // Partial pivoting: largest magnitude in column k at/below row k.
             let mut pivot_row = k;
@@ -74,8 +116,8 @@ impl LuFactor {
                     lu[(k, j)] = lu[(pivot_row, j)];
                     lu[(pivot_row, j)] = tmp;
                 }
-                perm.swap(k, pivot_row);
-                perm_sign = -perm_sign;
+                self.perm.swap(k, pivot_row);
+                self.perm_sign = -self.perm_sign;
             }
             let pivot = lu[(k, k)];
             for i in (k + 1)..n {
@@ -89,8 +131,7 @@ impl LuFactor {
                 }
             }
         }
-
-        Ok(LuFactor { lu, perm, perm_sign })
+        Ok(())
     }
 
     /// Dimension of the factored matrix.
@@ -104,16 +145,29 @@ impl LuFactor {
     ///
     /// Returns [`LinalgError::ShapeMismatch`] if `b.len() != dim()`.
     pub fn solve(&self, b: &Vector) -> Result<Vector> {
+        let mut x = Vector::zeros(self.dim());
+        self.solve_into(b, &mut x)?;
+        Ok(x)
+    }
+
+    /// Solves `A·x = b` into a caller-provided buffer (no allocation).
+    ///
+    /// `b` and `x` may not alias (distinct `&`/`&mut` borrows enforce this).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if `b` or `x` has length
+    /// other than `dim()`.
+    pub fn solve_into(&self, b: &Vector, x: &mut Vector) -> Result<()> {
         let n = self.dim();
-        if b.len() != n {
+        if b.len() != n || x.len() != n {
             return Err(LinalgError::ShapeMismatch {
                 op: "lu_solve",
                 lhs: (n, n),
-                rhs: (b.len(), 1),
+                rhs: (b.len().max(x.len()), 1),
             });
         }
         // Apply permutation, then forward-substitute L·y = P·b.
-        let mut x = Vector::zeros(n);
         for i in 0..n {
             x[i] = b[self.perm[i]];
         }
@@ -132,7 +186,7 @@ impl LuFactor {
             }
             x[i] = acc / self.lu[(i, i)];
         }
-        Ok(x)
+        Ok(())
     }
 
     /// Solves `Aᵀ·x = b` using the stored factors (no re-factorization).
@@ -214,8 +268,8 @@ mod tests {
 
     #[test]
     fn solves_known_system() {
-        let a = Matrix::from_rows(&[&[2.0, 1.0, 1.0], &[4.0, -6.0, 0.0], &[-2.0, 7.0, 2.0]])
-            .unwrap();
+        let a =
+            Matrix::from_rows(&[&[2.0, 1.0, 1.0], &[4.0, -6.0, 0.0], &[-2.0, 7.0, 2.0]]).unwrap();
         let b = Vector::from_slice(&[5.0, -2.0, 9.0]);
         let x = a.lu().unwrap().solve(&b).unwrap();
         let r = a.mul_vec(&x).sub(&b);
@@ -279,6 +333,60 @@ mod tests {
         let lu = a.lu().unwrap();
         assert!(lu.solve(&Vector::zeros(3)).is_err());
         assert!(lu.solve_transposed(&Vector::zeros(1)).is_err());
+    }
+
+    #[test]
+    fn refactor_matches_fresh_factorization_without_alloc() {
+        let a = Matrix::from_rows(&[&[0.0, 1.0, 2.0], &[3.0, 4.0, 5.0], &[6.0, 8.0, 1.0]]).unwrap();
+        let b_mat =
+            Matrix::from_rows(&[&[2.0, 1.0, 0.0], &[1.0, 3.0, 1.0], &[0.0, 1.0, 4.0]]).unwrap();
+        let mut lu = LuFactor::new(&a).unwrap();
+        let rhs = Vector::from_slice(&[1.0, -2.0, 3.0]);
+
+        let before = crate::matrix_allocations();
+        lu.refactor(&b_mat).unwrap();
+        let mut x = Vector::zeros(3);
+        lu.solve_into(&rhs, &mut x).unwrap();
+        assert_eq!(crate::matrix_allocations(), before, "refactor allocated");
+
+        let fresh = LuFactor::new(&b_mat).unwrap().solve(&rhs).unwrap();
+        assert!(
+            x.sub(&fresh).norm_inf() == 0.0,
+            "refactor diverged from new"
+        );
+        assert!((lu.det() - LuFactor::new(&b_mat).unwrap().det()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn refactor_recovers_after_singular_input() {
+        let good = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 3.0]]).unwrap();
+        let singular = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]).unwrap();
+        let mut lu = LuFactor::new(&good).unwrap();
+        assert!(lu.refactor(&singular).is_err());
+        lu.refactor(&good).unwrap();
+        let b = Vector::from_slice(&[3.0, 4.0]);
+        let x = lu.solve(&b).unwrap();
+        assert!(good.mul_vec(&x).sub(&b).norm_inf() < 1e-12);
+    }
+
+    #[test]
+    fn refactor_handles_dimension_change() {
+        let small = Matrix::identity(2);
+        let big =
+            Matrix::from_rows(&[&[2.0, 0.0, 1.0], &[0.0, 3.0, 0.0], &[1.0, 0.0, 2.0]]).unwrap();
+        let mut lu = LuFactor::new(&small).unwrap();
+        lu.refactor(&big).unwrap();
+        assert_eq!(lu.dim(), 3);
+        let b = Vector::from_slice(&[1.0, 2.0, 3.0]);
+        let x = lu.solve(&b).unwrap();
+        assert!(big.mul_vec(&x).sub(&b).norm_inf() < 1e-12);
+    }
+
+    #[test]
+    fn solve_into_checks_output_length() {
+        let lu = Matrix::identity(2).lu().unwrap();
+        let mut wrong = Vector::zeros(3);
+        assert!(lu.solve_into(&Vector::zeros(2), &mut wrong).is_err());
     }
 
     #[test]

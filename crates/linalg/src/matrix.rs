@@ -1,9 +1,29 @@
+use std::cell::Cell;
 use std::fmt;
 use std::ops::{Index, IndexMut};
 
 use serde::{Deserialize, Serialize};
 
 use crate::{LinalgError, LuFactor, QrFactor, Result, Vector};
+
+thread_local! {
+    /// Per-thread count of matrix buffer allocations.
+    static MATRIX_ALLOCATIONS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Number of `Matrix` buffer allocations performed by the *current thread*
+/// so far.
+///
+/// Every constructor that allocates a fresh backing buffer (`zeros`,
+/// `from_*`, `identity`, the out-of-place arithmetic ops, and `Clone`)
+/// increments this counter; in-place operations (`copy_from`, `axpy`,
+/// `scale_mut`, `fill_zero`, …) do not. Tests use the difference between
+/// two readings to pin down "no allocation in this hot loop" guarantees.
+/// The counter is thread-local so concurrent tests and parallel sweep
+/// workers cannot perturb each other's readings.
+pub fn matrix_allocations() -> u64 {
+    MATRIX_ALLOCATIONS.with(|c| c.get())
+}
 
 /// A dense, row-major matrix of `f64`.
 ///
@@ -22,21 +42,39 @@ use crate::{LinalgError, LuFactor, QrFactor, Result, Vector};
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, PartialEq, Serialize, Deserialize)]
 pub struct Matrix {
     rows: usize,
     cols: usize,
     data: Vec<f64>,
 }
 
+// `Clone` is implemented by hand (not derived) so that clones pass through
+// the allocation counter like every other buffer-allocating constructor.
+impl Clone for Matrix {
+    fn clone(&self) -> Self {
+        Matrix::tracked(self.rows, self.cols, self.data.clone())
+    }
+
+    fn clone_from(&mut self, source: &Self) {
+        if self.shape() == source.shape() {
+            self.data.copy_from_slice(&source.data);
+        } else {
+            *self = source.clone();
+        }
+    }
+}
+
 impl Matrix {
+    /// Single funnel for freshly allocated backing buffers.
+    fn tracked(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        MATRIX_ALLOCATIONS.with(|c| c.set(c.get() + 1));
+        Matrix { rows, cols, data }
+    }
+
     /// Creates a `rows × cols` zero matrix.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Matrix {
-            rows,
-            cols,
-            data: vec![0.0; rows * cols],
-        }
+        Matrix::tracked(rows, cols, vec![0.0; rows * cols])
     }
 
     /// Creates the `n × n` identity matrix.
@@ -74,11 +112,7 @@ impl Matrix {
             }
             data.extend_from_slice(r);
         }
-        Ok(Matrix {
-            rows: rows.len(),
-            cols,
-            data,
-        })
+        Ok(Matrix::tracked(rows.len(), cols, data))
     }
 
     /// Builds a matrix from a flat row-major buffer.
@@ -92,7 +126,7 @@ impl Matrix {
                 reason: "from_vec: buffer length does not match shape",
             });
         }
-        Ok(Matrix { rows, cols, data })
+        Ok(Matrix::tracked(rows, cols, data))
     }
 
     /// Builds a matrix whose columns are the given vectors.
@@ -183,7 +217,10 @@ impl Matrix {
     /// Panics if the indices are out of range.
     pub fn add_at(&mut self, i: usize, j: usize, value: f64) {
         let c = self.cols;
-        assert!(i < self.rows && j < c, "add_at: index ({i},{j}) out of range");
+        assert!(
+            i < self.rows && j < c,
+            "add_at: index ({i},{j}) out of range"
+        );
         self.data[i * c + j] += value;
     }
 
@@ -193,8 +230,20 @@ impl Matrix {
     ///
     /// Panics if `v.len() != cols`.
     pub fn mul_vec(&self, v: &Vector) -> Vector {
-        assert_eq!(v.len(), self.cols, "mul_vec: dimension mismatch");
         let mut out = Vector::zeros(self.rows);
+        self.mul_vec_into(v, &mut out);
+        out
+    }
+
+    /// Matrix–vector product `A·v` into a caller-provided buffer
+    /// (no allocation). `v` and `out` may not alias.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.len() != cols` or `out.len() != rows`.
+    pub fn mul_vec_into(&self, v: &Vector, out: &mut Vector) {
+        assert_eq!(v.len(), self.cols, "mul_vec: dimension mismatch");
+        assert_eq!(out.len(), self.rows, "mul_vec: output length mismatch");
         for i in 0..self.rows {
             let row = self.row(i);
             let mut acc = 0.0;
@@ -203,7 +252,6 @@ impl Matrix {
             }
             out[i] = acc;
         }
-        out
     }
 
     /// Transposed matrix–vector product `Aᵀ·v`.
@@ -270,11 +318,7 @@ impl Matrix {
             .zip(other.data.iter())
             .map(|(a, b)| a + b)
             .collect();
-        Ok(Matrix {
-            rows: self.rows,
-            cols: self.cols,
-            data,
-        })
+        Ok(Matrix::tracked(self.rows, self.cols, data))
     }
 
     /// Entrywise difference `A − B`.
@@ -296,20 +340,40 @@ impl Matrix {
             .zip(other.data.iter())
             .map(|(a, b)| a - b)
             .collect();
-        Ok(Matrix {
-            rows: self.rows,
-            cols: self.cols,
-            data,
-        })
+        Ok(Matrix::tracked(self.rows, self.cols, data))
     }
 
     /// Scaled copy `s·A`.
     pub fn scale(&self, s: f64) -> Matrix {
-        Matrix {
-            rows: self.rows,
-            cols: self.cols,
-            data: self.data.iter().map(|a| a * s).collect(),
+        Matrix::tracked(
+            self.rows,
+            self.cols,
+            self.data.iter().map(|a| a * s).collect(),
+        )
+    }
+
+    /// In-place scaling `self *= s`.
+    pub fn scale_mut(&mut self, s: f64) {
+        for a in &mut self.data {
+            *a *= s;
         }
+    }
+
+    /// Copies `other`'s entries into `self` without reallocating.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if shapes differ.
+    pub fn copy_from(&mut self, other: &Matrix) -> Result<()> {
+        if self.shape() != other.shape() {
+            return Err(LinalgError::ShapeMismatch {
+                op: "copy_from",
+                lhs: self.shape(),
+                rhs: other.shape(),
+            });
+        }
+        self.data.copy_from_slice(&other.data);
+        Ok(())
     }
 
     /// In-place scaled accumulation `self += alpha * other`.
@@ -552,5 +616,27 @@ mod tests {
         assert!(a.is_finite());
         a[(0, 1)] = f64::NAN;
         assert!(!a.is_finite());
+    }
+
+    #[test]
+    fn copy_from_and_scale_mut_do_not_allocate() {
+        let src = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]).unwrap();
+        let mut dst = Matrix::zeros(2, 2);
+        let before = matrix_allocations();
+        dst.copy_from(&src).unwrap();
+        dst.scale_mut(2.0);
+        assert_eq!(matrix_allocations(), before);
+        assert_eq!(dst[(1, 0)], 6.0);
+        assert!(dst.copy_from(&Matrix::zeros(3, 3)).is_err());
+    }
+
+    #[test]
+    fn allocation_counter_tracks_constructors_and_clone() {
+        let before = matrix_allocations();
+        let a = Matrix::zeros(2, 2);
+        let _b = a.clone();
+        let _c = a.scale(2.0);
+        let _d = a.add(&a).unwrap();
+        assert_eq!(matrix_allocations(), before + 4);
     }
 }

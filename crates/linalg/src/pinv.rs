@@ -128,8 +128,7 @@ mod tests {
 
     #[test]
     fn fat_2x4_penrose_conditions() {
-        let a =
-            Matrix::from_rows(&[&[1.0, 0.0, 2.0, -1.0], &[0.0, 1.0, 1.0, 3.0]]).unwrap();
+        let a = Matrix::from_rows(&[&[1.0, 0.0, 2.0, -1.0], &[0.0, 1.0, 1.0, 3.0]]).unwrap();
         let p = pinv(&a).unwrap();
         assert!(p.fat);
         check_penrose(&a, &p.matrix, 1e-10);

@@ -236,8 +236,7 @@ mod tests {
     fn rank_detection() {
         let full = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 2.0], &[0.0, 0.0]]).unwrap();
         assert_eq!(full.qr().unwrap().rank(1e-12), 2);
-        let deficient =
-            Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0], &[3.0, 6.0]]).unwrap();
+        let deficient = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0], &[3.0, 6.0]]).unwrap();
         assert_eq!(deficient.qr().unwrap().rank(1e-9), 1);
     }
 

@@ -41,7 +41,11 @@ impl CsrMatrix {
     ///
     /// Returns [`LinalgError::InvalidInput`] for out-of-range indices or a
     /// zero-sized shape.
-    pub fn from_triplets(rows: usize, cols: usize, triplets: &[(usize, usize, f64)]) -> Result<Self> {
+    pub fn from_triplets(
+        rows: usize,
+        cols: usize,
+        triplets: &[(usize, usize, f64)],
+    ) -> Result<Self> {
         if rows == 0 || cols == 0 {
             return Err(LinalgError::InvalidInput {
                 reason: "csr: zero-sized matrix",
@@ -189,14 +193,17 @@ impl Ilu0 {
         let mut lu = a.clone();
         // Locate diagonals.
         let mut diag_ptr = vec![usize::MAX; n];
-        for i in 0..n {
+        for (i, diag) in diag_ptr.iter_mut().enumerate() {
             for k in lu.row_ptr[i]..lu.row_ptr[i + 1] {
                 if lu.col_idx[k] == i {
-                    diag_ptr[i] = k;
+                    *diag = k;
                 }
             }
-            if diag_ptr[i] == usize::MAX {
-                return Err(LinalgError::Singular { pivot: i, value: 0.0 });
+            if *diag == usize::MAX {
+                return Err(LinalgError::Singular {
+                    pivot: i,
+                    value: 0.0,
+                });
             }
         }
         // IKJ factorization restricted to the pattern.
@@ -441,7 +448,13 @@ mod tests {
         let a = CsrMatrix::from_triplets(
             2,
             3,
-            &[(0, 0, 1.0), (0, 2, 2.0), (1, 1, 3.0), (0, 0, 1.0), (1, 0, 0.0)],
+            &[
+                (0, 0, 1.0),
+                (0, 2, 2.0),
+                (1, 1, 3.0),
+                (0, 0, 1.0),
+                (1, 0, 0.0),
+            ],
         )
         .unwrap();
         assert_eq!(a.nnz(), 3); // duplicate summed, zero dropped
@@ -452,8 +465,7 @@ mod tests {
 
     #[test]
     fn dense_roundtrip() {
-        let d = Matrix::from_rows(&[&[1.0, 0.0, 2.0], &[0.0, 3.0, 0.0], &[4.0, 0.0, 5.0]])
-            .unwrap();
+        let d = Matrix::from_rows(&[&[1.0, 0.0, 2.0], &[0.0, 3.0, 0.0], &[4.0, 0.0, 5.0]]).unwrap();
         let s = CsrMatrix::from_dense(&d, 0.0).unwrap();
         assert_eq!(s.nnz(), 5);
         assert_eq!(s.to_dense(), d);
@@ -509,7 +521,9 @@ mod tests {
         let mut dense = Matrix::zeros(n, n);
         let mut seed = 123u64;
         let mut rnd = || {
-            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((seed >> 33) as f64 / (1u64 << 31) as f64) - 1.0
         };
         for i in 0..n {
@@ -548,7 +562,6 @@ mod tests {
             restart: 2,
             tol: 1e-14,
             max_iters: 3,
-            ..GmresOptions::default()
         };
         assert!(matches!(
             gmres(&a, &b, &Vector::zeros(50), |v| v.clone(), &opts),

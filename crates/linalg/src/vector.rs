@@ -179,6 +179,23 @@ impl Vector {
         }
     }
 
+    /// In-place scaling `self *= s`.
+    pub fn scale_mut(&mut self, s: f64) {
+        for a in &mut self.data {
+            *a *= s;
+        }
+    }
+
+    /// Copies `other`'s entries into `self` without reallocating.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ.
+    pub fn copy_from(&mut self, other: &Vector) {
+        assert_eq!(self.len(), other.len(), "copy_from: length mismatch");
+        self.data.copy_from_slice(&other.data);
+    }
+
     /// Checked element access.
     pub fn get(&self, i: usize) -> Option<f64> {
         self.data.get(i).copied()
@@ -198,7 +215,11 @@ impl Vector {
     ///
     /// Panics if lengths differ.
     pub fn weighted_norm(&self, reference: &Vector, reltol: f64, abstol: f64) -> f64 {
-        assert_eq!(self.len(), reference.len(), "weighted_norm: length mismatch");
+        assert_eq!(
+            self.len(),
+            reference.len(),
+            "weighted_norm: length mismatch"
+        );
         self.data
             .iter()
             .zip(reference.data.iter())

@@ -73,8 +73,7 @@ pub fn backward_sensitivities(
     let n = circuit.unknown_count();
     if states.len() != times.len() || states.len() < 2 {
         return Err(SpiceError::BadCircuit {
-            reason: "adjoint needs a RecordMode::Full transient with at least one step"
-                .to_string(),
+            reason: "adjoint needs a RecordMode::Full transient with at least one step".to_string(),
         });
     }
     if output >= n {
@@ -94,8 +93,7 @@ pub fn backward_sensitivities(
         let dt = t_i - times[i - 1];
         let stamps = circuit.assemble(&states[i], t_i, params_at, 1.0);
         let mut jac = stamps.c.clone();
-        jac.axpy(dt, &stamps.g)
-            .map_err(SpiceError::from)?;
+        jac.axpy(dt, &stamps.g).map_err(SpiceError::from)?;
         let lu = jac.lu()?;
 
         let rhs = match &lambda_next {
@@ -122,9 +120,7 @@ pub fn backward_sensitivities(
 mod tests {
     use super::*;
     use crate::devices::{Capacitor, Resistor, VoltageSource};
-    use crate::transient::{
-        Integrator, RecordMode, TransientAnalysis, TransientOptions,
-    };
+    use crate::transient::{Integrator, RecordMode, TransientAnalysis, TransientOptions};
     use crate::waveform::{DataPulse, RampShape, Waveform};
     use crate::Circuit;
 
@@ -140,7 +136,12 @@ mod tests {
             fall: 1e-7,
             shape: RampShape::Smoothstep,
         };
-        c.add(VoltageSource::new("Vd", vin, Circuit::GROUND, Waveform::Data(pulse)));
+        c.add(VoltageSource::new(
+            "Vd",
+            vin,
+            Circuit::GROUND,
+            Waveform::Data(pulse),
+        ));
         c.add(Resistor::new("R1", vin, vout, 1e3));
         c.add(Capacitor::new("C1", vout, Circuit::GROUND, 1e-10));
         let out = c.unknown_of(vout).unwrap();
@@ -227,8 +228,7 @@ mod tests {
             .build();
         let params = Params::default();
         let res = TransientAnalysis::new(&c, opts).run(&params).unwrap();
-        let err =
-            backward_sensitivities(&c, &res, &params, 99, &Param::ALL).unwrap_err();
+        let err = backward_sensitivities(&c, &res, &params, 99, &Param::ALL).unwrap_err();
         assert!(matches!(err, SpiceError::BadCircuit { .. }));
     }
 

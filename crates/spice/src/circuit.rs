@@ -231,17 +231,48 @@ impl Circuit {
     pub fn assemble_dfdp(&self, t: f64, params: &Params, param: Param) -> Vector {
         let mut dfdp = Vector::zeros(self.unknown_count());
         let x = Vector::zeros(self.unknown_count());
+        self.assemble_dfdp_into(&mut dfdp, &x, t, params, param);
+        dfdp
+    }
+
+    /// Like [`Circuit::assemble_dfdp`] but writes into caller-provided
+    /// buffers (zeroing `dfdp` first) to avoid allocation in inner loops.
+    /// `x_zero` must be an all-zero vector of the unknown count; it only
+    /// feeds the evaluation context, whose state is unused by source
+    /// derivatives.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a buffer dimension does not match the circuit.
+    pub fn assemble_dfdp_into(
+        &self,
+        dfdp: &mut Vector,
+        x_zero: &Vector,
+        t: f64,
+        params: &Params,
+        param: Param,
+    ) {
+        assert_eq!(
+            dfdp.len(),
+            self.unknown_count(),
+            "dfdp workspace has wrong dimension"
+        );
+        assert_eq!(
+            x_zero.len(),
+            self.unknown_count(),
+            "x workspace has wrong dimension"
+        );
+        dfdp.fill_zero();
         let ctx = EvalContext {
-            x: &x,
+            x: x_zero,
             t,
             params,
             source_scale: 1.0,
             node_offset: self.node_count(),
         };
         for device in &self.devices {
-            device.stamp_param_derivative(&mut dfdp, &ctx, param);
+            device.stamp_param_derivative(dfdp, &ctx, param);
         }
-        dfdp
     }
 
     /// Builds the combined Jacobian `C·a + G` used by implicit integrators
@@ -283,7 +314,12 @@ mod tests {
         let mut c = Circuit::new();
         let a = c.node("a");
         let b = c.node("b");
-        c.add(VoltageSource::new("V1", a, Circuit::GROUND, Waveform::dc(1.0)));
+        c.add(VoltageSource::new(
+            "V1",
+            a,
+            Circuit::GROUND,
+            Waveform::dc(1.0),
+        ));
         c.add(Resistor::new("R1", a, b, 1e3));
         c.add(Resistor::new("R2", b, Circuit::GROUND, 1e3));
         assert_eq!(c.node_count(), 2);
@@ -314,7 +350,12 @@ mod tests {
         let mut c = Circuit::new();
         let a = c.node("a");
         let b = c.node("b");
-        c.add(VoltageSource::new("V1", a, Circuit::GROUND, Waveform::dc(2.0)));
+        c.add(VoltageSource::new(
+            "V1",
+            a,
+            Circuit::GROUND,
+            Waveform::dc(2.0),
+        ));
         c.add(Resistor::new("R1", a, b, 1e3));
         c.add(Resistor::new("R2", b, Circuit::GROUND, 1e3));
         // Solution: v_a = 2, v_b = 1, i_v = -(current out of + terminal) = -1mA.

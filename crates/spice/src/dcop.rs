@@ -196,8 +196,8 @@ fn source_stepping(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::devices::{Mosfet, Resistor, VoltageSource};
     use crate::devices::MosParams;
+    use crate::devices::{Mosfet, Resistor, VoltageSource};
     use crate::waveform::Waveform;
 
     #[test]
@@ -205,7 +205,12 @@ mod tests {
         let mut c = Circuit::new();
         let a = c.node("a");
         let b = c.node("b");
-        c.add(VoltageSource::new("V1", a, Circuit::GROUND, Waveform::dc(2.0)));
+        c.add(VoltageSource::new(
+            "V1",
+            a,
+            Circuit::GROUND,
+            Waveform::dc(2.0),
+        ));
         c.add(Resistor::new("R1", a, b, 1e3));
         c.add(Resistor::new("R2", b, Circuit::GROUND, 3e3));
         let sol = solve_dc(&c, &Params::default(), &DcOptions::default()).unwrap();
@@ -226,9 +231,27 @@ mod tests {
             let vdd = c.node("vdd");
             let inp = c.node("in");
             let out = c.node("out");
-            c.add(VoltageSource::new("Vdd", vdd, Circuit::GROUND, Waveform::dc(2.5)));
-            c.add(VoltageSource::new("Vin", inp, Circuit::GROUND, Waveform::dc(vin)));
-            c.add(Mosfet::new("MN", out, inp, Circuit::GROUND, tech_n, 1e-6, 0.25e-6));
+            c.add(VoltageSource::new(
+                "Vdd",
+                vdd,
+                Circuit::GROUND,
+                Waveform::dc(2.5),
+            ));
+            c.add(VoltageSource::new(
+                "Vin",
+                inp,
+                Circuit::GROUND,
+                Waveform::dc(vin),
+            ));
+            c.add(Mosfet::new(
+                "MN",
+                out,
+                inp,
+                Circuit::GROUND,
+                tech_n,
+                1e-6,
+                0.25e-6,
+            ));
             c.add(Mosfet::new("MP", out, inp, vdd, tech_p, 2e-6, 0.25e-6));
             let sol = solve_dc(&c, &Params::default(), &DcOptions::default()).unwrap();
             let vout = sol.x[c.unknown_of(out).unwrap()];
@@ -249,22 +272,52 @@ mod tests {
         let vdd = c.node("vdd");
         let q = c.node("q");
         let qb = c.node("qb");
-        c.add(VoltageSource::new("Vdd", vdd, Circuit::GROUND, Waveform::dc(2.5)));
-        c.add(Mosfet::new("MN1", q, qb, Circuit::GROUND, tech_n, 1e-6, 0.25e-6));
+        c.add(VoltageSource::new(
+            "Vdd",
+            vdd,
+            Circuit::GROUND,
+            Waveform::dc(2.5),
+        ));
+        c.add(Mosfet::new(
+            "MN1",
+            q,
+            qb,
+            Circuit::GROUND,
+            tech_n,
+            1e-6,
+            0.25e-6,
+        ));
         c.add(Mosfet::new("MP1", q, qb, vdd, tech_p, 2e-6, 0.25e-6));
-        c.add(Mosfet::new("MN2", qb, q, Circuit::GROUND, tech_n, 1e-6, 0.25e-6));
+        c.add(Mosfet::new(
+            "MN2",
+            qb,
+            q,
+            Circuit::GROUND,
+            tech_n,
+            1e-6,
+            0.25e-6,
+        ));
         c.add(Mosfet::new("MP2", qb, q, vdd, tech_p, 2e-6, 0.25e-6));
         let sol = solve_dc(&c, &Params::default(), &DcOptions::default()).unwrap();
         // Verify it is a genuine root: residual small at the solution.
         let stamps = c.assemble(&sol.x, 0.0, &Params::default(), 1.0);
-        assert!(stamps.f.norm_inf() < 1e-6, "residual {}", stamps.f.norm_inf());
+        assert!(
+            stamps.f.norm_inf() < 1e-6,
+            "residual {}",
+            stamps.f.norm_inf()
+        );
     }
 
     #[test]
     fn source_stepping_recovers_when_asked_directly() {
         let mut c = Circuit::new();
         let a = c.node("a");
-        c.add(VoltageSource::new("V1", a, Circuit::GROUND, Waveform::dc(1.0)));
+        c.add(VoltageSource::new(
+            "V1",
+            a,
+            Circuit::GROUND,
+            Waveform::dc(1.0),
+        ));
         c.add(Resistor::new("R1", a, Circuit::GROUND, 1e3));
         let sol = source_stepping(
             &c,

@@ -68,7 +68,8 @@ impl Device for Vcvs {
         stamper.add_g(en, br, -1.0);
 
         // Branch equation: v_p − v_n − gain·(v_cp − v_cn) = 0.
-        let residual = ctx.voltage(self.p) - ctx.voltage(self.n)
+        let residual = ctx.voltage(self.p)
+            - ctx.voltage(self.n)
             - self.gain * (ctx.voltage(self.cp) - ctx.voltage(self.cn));
         stamper.add_f(br, residual);
         stamper.add_g(br, ep, 1.0);
@@ -140,8 +141,20 @@ mod tests {
         let mut c = Circuit::new();
         let vin = c.node("in");
         let vout = c.node("out");
-        c.add(VoltageSource::new("V1", vin, Circuit::GROUND, Waveform::dc(0.5)));
-        c.add(Vcvs::new("E1", vout, Circuit::GROUND, vin, Circuit::GROUND, 4.0));
+        c.add(VoltageSource::new(
+            "V1",
+            vin,
+            Circuit::GROUND,
+            Waveform::dc(0.5),
+        ));
+        c.add(Vcvs::new(
+            "E1",
+            vout,
+            Circuit::GROUND,
+            vin,
+            Circuit::GROUND,
+            4.0,
+        ));
         c.add(Resistor::new("RL", vout, Circuit::GROUND, 1e3));
         let sol = solve_dc(&c, &Params::default(), &DcOptions::default()).unwrap();
         let v = sol.x[c.unknown_of(vout).unwrap()];
@@ -155,8 +168,20 @@ mod tests {
         let mut c = Circuit::new();
         let vin = c.node("in");
         let vout = c.node("out");
-        c.add(VoltageSource::new("V1", vin, Circuit::GROUND, Waveform::dc(1.0)));
-        c.add(Vccs::new("G1", Circuit::GROUND, vout, vin, Circuit::GROUND, 1e-3));
+        c.add(VoltageSource::new(
+            "V1",
+            vin,
+            Circuit::GROUND,
+            Waveform::dc(1.0),
+        ));
+        c.add(Vccs::new(
+            "G1",
+            Circuit::GROUND,
+            vout,
+            vin,
+            Circuit::GROUND,
+            1e-3,
+        ));
         c.add(Resistor::new("RL", vout, Circuit::GROUND, 1e3));
         let sol = solve_dc(&c, &Params::default(), &DcOptions::default()).unwrap();
         let v = sol.x[c.unknown_of(vout).unwrap()];

@@ -80,7 +80,11 @@ impl Diode {
     /// Diode current and conductance at junction voltage `v`.
     pub fn current(&self, v: f64) -> (f64, f64) {
         let DiodeParams {
-            i_s, v_t, n, v_crit, ..
+            i_s,
+            v_t,
+            n,
+            v_crit,
+            ..
         } = self.params;
         let nvt = n * v_t;
         if v <= v_crit {
@@ -170,9 +174,19 @@ mod tests {
         let mut c = Circuit::new();
         let vin = c.node("in");
         let mid = c.node("mid");
-        c.add(VoltageSource::new("V1", vin, Circuit::GROUND, Waveform::dc(2.0)));
+        c.add(VoltageSource::new(
+            "V1",
+            vin,
+            Circuit::GROUND,
+            Waveform::dc(2.0),
+        ));
         c.add(Resistor::new("R1", vin, mid, 1e3));
-        c.add(Diode::new("D1", mid, Circuit::GROUND, DiodeParams::default()));
+        c.add(Diode::new(
+            "D1",
+            mid,
+            Circuit::GROUND,
+            DiodeParams::default(),
+        ));
         let sol = solve_dc(&c, &Params::default(), &DcOptions::default()).unwrap();
         let v_d = sol.x[c.unknown_of(mid).unwrap()];
         assert!(

@@ -95,9 +95,7 @@ impl Device for Inductor {
 mod tests {
     use super::*;
     use crate::devices::{Capacitor, Resistor, VoltageSource};
-    use crate::transient::{
-        InitialCondition, Integrator, TransientAnalysis, TransientOptions,
-    };
+    use crate::transient::{InitialCondition, Integrator, TransientAnalysis, TransientOptions};
     use crate::waveform::{Params, Waveform};
     use crate::Circuit;
     use shc_linalg::Vector;
@@ -127,7 +125,9 @@ mod tests {
             .integrator(Integrator::Trapezoidal)
             .initial(InitialCondition::Given(x0))
             .build();
-        let res = TransientAnalysis::new(&c, opts).run(&Params::default()).unwrap();
+        let res = TransientAnalysis::new(&c, opts)
+            .run(&Params::default())
+            .unwrap();
         // Count zero crossings of the voltage: 2 per period.
         use crate::transient::CrossingDirection;
         let mut crossings = 0;
@@ -158,7 +158,9 @@ mod tests {
                 .integrator(method)
                 .initial(InitialCondition::Given(x0))
                 .build();
-            let res = TransientAnalysis::new(&c, opts).run(&Params::default()).unwrap();
+            let res = TransientAnalysis::new(&c, opts)
+                .run(&Params::default())
+                .unwrap();
             let x = res.final_state();
             drift.push(energy(x[v_idx], x[i_idx]) / energy(1.0, 0.0));
         }
@@ -173,17 +175,21 @@ mod tests {
         let mut c = Circuit::new();
         let a = c.node("a");
         let b = c.node("b");
-        c.add(VoltageSource::new("V1", a, Circuit::GROUND, Waveform::dc(1.0)));
+        c.add(VoltageSource::new(
+            "V1",
+            a,
+            Circuit::GROUND,
+            Waveform::dc(1.0),
+        ));
         c.add(Resistor::new("R1", a, b, 1e3));
         c.add(Inductor::new("L1", b, Circuit::GROUND, 1e-6));
-        let sol = crate::dcop::solve_dc(
-            &c,
-            &Params::default(),
-            &crate::dcop::DcOptions::default(),
-        )
-        .unwrap();
+        let sol = crate::dcop::solve_dc(&c, &Params::default(), &crate::dcop::DcOptions::default())
+            .unwrap();
         let vb = sol.x[c.unknown_of(b).unwrap()];
-        assert!(vb.abs() < 1e-6, "inductor should look like a short at DC, v = {vb}");
+        assert!(
+            vb.abs() < 1e-6,
+            "inductor should look like a short at DC, v = {vb}"
+        );
     }
 
     #[test]

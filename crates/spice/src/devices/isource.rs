@@ -82,7 +82,12 @@ mod tests {
     fn source_scale_applies() {
         let mut c = Circuit::new();
         let a = c.node("a");
-        c.add(CurrentSource::new("I1", a, Circuit::GROUND, Waveform::dc(2e-3)));
+        c.add(CurrentSource::new(
+            "I1",
+            a,
+            Circuit::GROUND,
+            Waveform::dc(2e-3),
+        ));
         let x = Vector::zeros(1);
         let s = c.assemble(&x, 0.0, &Params::default(), 0.25);
         assert_eq!(s.f[0], 0.5e-3);

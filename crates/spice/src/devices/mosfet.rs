@@ -390,14 +390,11 @@ mod tests {
             let h = 1e-7;
             for &(vd, vg, vs) in &cases {
                 let (_, dg, dd, ds) = m.drain_current(vd, vg, vs);
-                let fd_g = (m.drain_current(vd, vg + h, vs).0
-                    - m.drain_current(vd, vg - h, vs).0)
+                let fd_g = (m.drain_current(vd, vg + h, vs).0 - m.drain_current(vd, vg - h, vs).0)
                     / (2.0 * h);
-                let fd_d = (m.drain_current(vd + h, vg, vs).0
-                    - m.drain_current(vd - h, vg, vs).0)
+                let fd_d = (m.drain_current(vd + h, vg, vs).0 - m.drain_current(vd - h, vg, vs).0)
                     / (2.0 * h);
-                let fd_s = (m.drain_current(vd, vg, vs + h).0
-                    - m.drain_current(vd, vg, vs - h).0)
+                let fd_s = (m.drain_current(vd, vg, vs + h).0 - m.drain_current(vd, vg, vs - h).0)
                     / (2.0 * h);
                 let scale = fd_g.abs().max(fd_d.abs()).max(fd_s.abs()).max(1e-9);
                 assert!(

@@ -55,7 +55,11 @@ impl Device for VoltageSource {
     }
 
     fn stamp(&self, stamper: &mut Stamper<'_>, ctx: &EvalContext<'_>) {
-        debug_assert_ne!(self.branch, usize::MAX, "voltage source not added to a circuit");
+        debug_assert_ne!(
+            self.branch,
+            usize::MAX,
+            "voltage source not added to a circuit"
+        );
         let (ep, en) = (self.p.unknown(), self.n.unknown());
         let br = Some(ctx.branch_index(self.branch));
         let i = ctx.branch_current(self.branch);
@@ -91,7 +95,12 @@ mod tests {
     fn branch_equation_enforces_voltage() {
         let mut c = Circuit::new();
         let a = c.node("a");
-        c.add(VoltageSource::new("V1", a, Circuit::GROUND, Waveform::dc(3.0)));
+        c.add(VoltageSource::new(
+            "V1",
+            a,
+            Circuit::GROUND,
+            Waveform::dc(3.0),
+        ));
         // x = [v_a, i_branch]
         let x = Vector::from_slice(&[3.0, 0.25]);
         let s = c.assemble(&x, 0.0, &Params::default(), 1.0);
@@ -106,7 +115,12 @@ mod tests {
     fn source_scale_scales_value_and_derivative() {
         let mut c = Circuit::new();
         let a = c.node("a");
-        c.add(VoltageSource::new("V1", a, Circuit::GROUND, Waveform::dc(4.0)));
+        c.add(VoltageSource::new(
+            "V1",
+            a,
+            Circuit::GROUND,
+            Waveform::dc(4.0),
+        ));
         let x = Vector::zeros(2);
         let s = c.assemble(&x, 0.0, &Params::default(), 0.5);
         assert_eq!(s.f[1], -2.0); // 0 − 0 − 4·0.5
@@ -124,7 +138,12 @@ mod tests {
             fall: 1e-9,
             shape: RampShape::Smoothstep,
         };
-        c.add(VoltageSource::new("Vd", d, Circuit::GROUND, Waveform::Data(pulse)));
+        c.add(VoltageSource::new(
+            "Vd",
+            d,
+            Circuit::GROUND,
+            Waveform::Data(pulse),
+        ));
         let params = Params::new(2e-9, 2e-9);
         // Mid leading edge: t = t_edge − τs = 8 ns.
         let dfdp = c.assemble_dfdp(8e-9, &params, Param::Setup);

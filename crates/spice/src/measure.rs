@@ -44,6 +44,9 @@ impl std::error::Error for MeasureError {}
 ///
 /// [`MeasureError`] if the trajectory is missing or the thresholds are
 /// never crossed after `t_after`.
+// The argument list mirrors a SPICE .MEASURE TRIG/TARG statement; bundling
+// it into an options struct would only rename the same eight knobs.
+#[allow(clippy::too_many_arguments)]
 pub fn slew(
     result: &TransientResult,
     unknown: usize,
@@ -187,15 +190,16 @@ mod tests {
         c.add(Resistor::new("R1", vin, vout, 1e3));
         c.add(Capacitor::new("C1", vout, Circuit::GROUND, 2e-11)); // tau = 20 ns
         (
-            c,
-            0, // in
+            c, 0, // in
             1, // out
         )
     }
 
     fn run(c: &Circuit) -> TransientResult {
         let opts = TransientOptions::builder(6e-7).dt(2e-10).build();
-        TransientAnalysis::new(c, opts).run(&Params::default()).unwrap()
+        TransientAnalysis::new(c, opts)
+            .run(&Params::default())
+            .unwrap()
     }
 
     #[test]
@@ -203,7 +207,17 @@ mod tests {
         let (c, _vin, vout) = pulsed_rc();
         let res = run(&c);
         // 10-90% rise of a first-order RC: tau·ln(9) ≈ 2.197·tau = 43.9 ns.
-        let s = slew(&res, vout, 0.0, 1.0, 0.1, 0.9, 0.0, CrossingDirection::Rising).unwrap();
+        let s = slew(
+            &res,
+            vout,
+            0.0,
+            1.0,
+            0.1,
+            0.9,
+            0.0,
+            CrossingDirection::Rising,
+        )
+        .unwrap();
         assert!(
             (s - 43.9e-9).abs() < 2e-9,
             "slew {:.2} ns vs 43.9 ns",
@@ -260,7 +274,9 @@ mod tests {
         // A run truncated before the pulse ends is settled at the top.
         let (c, _, _) = pulsed_rc();
         let opts = TransientOptions::builder(4.5e-7).dt(2e-10).build();
-        let charged = TransientAnalysis::new(&c, opts).run(&Params::default()).unwrap();
+        let charged = TransientAnalysis::new(&c, opts)
+            .run(&Params::default())
+            .unwrap();
         assert!(settles_to(&charged, vout, 1.0, 0.05, 4.0e-7).unwrap());
     }
 
@@ -271,7 +287,9 @@ mod tests {
             .dt(1e-9)
             .record(RecordMode::FinalOnly)
             .build();
-        let res = TransientAnalysis::new(&c, opts).run(&Params::default()).unwrap();
+        let res = TransientAnalysis::new(&c, opts)
+            .run(&Params::default())
+            .unwrap();
         let e = swing(&res, vout, 0.0).unwrap_err();
         assert!(matches!(e, MeasureError::TrajectoryUnavailable { .. }));
         assert!(e.to_string().contains("not recorded"));
@@ -281,8 +299,17 @@ mod tests {
     fn never_crossing_is_reported() {
         let (c, _vin, vout) = pulsed_rc();
         let res = run(&c);
-        let e = slew(&res, vout, 0.0, 5.0, 0.1, 0.9, 0.0, CrossingDirection::Rising)
-            .unwrap_err();
+        let e = slew(
+            &res,
+            vout,
+            0.0,
+            5.0,
+            0.1,
+            0.9,
+            0.0,
+            CrossingDirection::Rising,
+        )
+        .unwrap_err();
         assert!(matches!(e, MeasureError::ConditionNeverMet { .. }));
     }
 }

@@ -238,7 +238,10 @@ fn parse_waveform(tokens: &[String], line: usize) -> Result<Waveform, NetlistErr
     if first.starts_with("pulse") {
         let a = args_of(first, "pulse")?;
         if a.len() != 7 {
-            return Err(err(line, "PULSE needs 7 arguments: v0 v1 delay rise fall width period"));
+            return Err(err(
+                line,
+                "PULSE needs 7 arguments: v0 v1 delay rise fall width period",
+            ));
         }
         return Ok(Waveform::Pulse(Pulse {
             v0: a[0],
@@ -286,10 +289,7 @@ fn parse_waveform(tokens: &[String], line: usize) -> Result<Waveform, NetlistErr
     Err(err(line, format!("unrecognized source spec '{first}'")))
 }
 
-fn parse_model(
-    tokens: &[String],
-    line: usize,
-) -> Result<(String, MosParams), NetlistError> {
+fn parse_model(tokens: &[String], line: usize) -> Result<(String, MosParams), NetlistError> {
     // .model <name> nmos|pmos [params]
     if tokens.len() < 3 {
         return Err(err(line, ".MODEL needs a name and a type"));
@@ -320,9 +320,7 @@ struct Subckt {
 
 /// Extracts `.subckt … .ends` blocks, returning them plus the remaining
 /// top-level lines.
-fn extract_subckts(
-    lines: Vec<Line>,
-) -> Result<(HashMap<String, Subckt>, Vec<Line>), NetlistError> {
+fn extract_subckts(lines: Vec<Line>) -> Result<(HashMap<String, Subckt>, Vec<Line>), NetlistError> {
     let mut subckts = HashMap::new();
     let mut top = Vec::new();
     let mut current: Option<(String, Subckt)> = None;
@@ -334,7 +332,10 @@ fn extract_subckts(
                     return Err(err(line.number, "nested .SUBCKT definitions not supported"));
                 }
                 if tokens.len() < 3 {
-                    return Err(err(line.number, ".SUBCKT needs a name and at least one port"));
+                    return Err(err(
+                        line.number,
+                        ".SUBCKT needs a name and at least one port",
+                    ));
                 }
                 current = Some((
                     tokens[1].clone(),
@@ -413,9 +414,9 @@ fn expand_instance(
     let Some((sub_name, actual_nodes)) = positional.split_last() else {
         return Err(err(line_no, "X card needs nodes and a subckt name"));
     };
-    let sub = subckts.get(sub_name.as_str()).ok_or_else(|| {
-        err(line_no, format!("unknown subcircuit '{sub_name}'"))
-    })?;
+    let sub = subckts
+        .get(sub_name.as_str())
+        .ok_or_else(|| err(line_no, format!("unknown subcircuit '{sub_name}'")))?;
     if actual_nodes.len() != sub.ports.len() {
         return Err(err(
             line_no,
@@ -442,7 +443,9 @@ fn expand_instance(
 
     for body_line in &sub.body {
         let mut btokens = tokenize(&body_line.text);
-        let Some(first) = btokens.first().cloned() else { continue };
+        let Some(first) = btokens.first().cloned() else {
+            continue;
+        };
         let letter = first.chars().next().expect("nonempty token");
         if letter == '.' {
             // .model cards are collected globally; other directives are
@@ -462,7 +465,14 @@ fn expand_instance(
         btokens[0] = format!("{first}@{inst}");
         if letter == 'x' {
             let nested_inst = btokens[0].clone();
-            expand_instance(&nested_inst, body_line.number, &btokens, subckts, depth + 1, out)?;
+            expand_instance(
+                &nested_inst,
+                body_line.number,
+                &btokens,
+                subckts,
+                depth + 1,
+                out,
+            )?;
         } else {
             out.push(Line {
                 number: body_line.number,
@@ -479,7 +489,9 @@ fn flatten(lines: Vec<Line>) -> Result<Vec<Line>, NetlistError> {
     let mut out = Vec::new();
     for line in top {
         let tokens = tokenize(&line.text);
-        let Some(first) = tokens.first() else { continue };
+        let Some(first) = tokens.first() else {
+            continue;
+        };
         if first.starts_with('x') {
             let inst = first.clone();
             expand_instance(&inst, line.number, &tokens, &subckts, 0, &mut out)?;
@@ -535,33 +547,48 @@ pub fn parse(deck: &str) -> Result<Circuit, NetlistError> {
                 need(4)?;
                 let value = parse_value(&tokens[3])
                     .ok_or_else(|| err(ln, format!("bad resistance '{}'", tokens[3])))?;
-                let (a, b) = (node(&mut circuit, &tokens[1]), node(&mut circuit, &tokens[2]));
+                let (a, b) = (
+                    node(&mut circuit, &tokens[1]),
+                    node(&mut circuit, &tokens[2]),
+                );
                 circuit.add(Resistor::new(card, a, b, value));
             }
             'c' => {
                 need(4)?;
                 let value = parse_value(&tokens[3])
                     .ok_or_else(|| err(ln, format!("bad capacitance '{}'", tokens[3])))?;
-                let (a, b) = (node(&mut circuit, &tokens[1]), node(&mut circuit, &tokens[2]));
+                let (a, b) = (
+                    node(&mut circuit, &tokens[1]),
+                    node(&mut circuit, &tokens[2]),
+                );
                 circuit.add(Capacitor::new(card, a, b, value));
             }
             'l' => {
                 need(4)?;
                 let value = parse_value(&tokens[3])
                     .ok_or_else(|| err(ln, format!("bad inductance '{}'", tokens[3])))?;
-                let (a, b) = (node(&mut circuit, &tokens[1]), node(&mut circuit, &tokens[2]));
+                let (a, b) = (
+                    node(&mut circuit, &tokens[1]),
+                    node(&mut circuit, &tokens[2]),
+                );
                 circuit.add(Inductor::new(card, a, b, value));
             }
             'v' => {
                 need(4)?;
                 let wf = parse_waveform(&tokens[3..], ln)?;
-                let (p, n) = (node(&mut circuit, &tokens[1]), node(&mut circuit, &tokens[2]));
+                let (p, n) = (
+                    node(&mut circuit, &tokens[1]),
+                    node(&mut circuit, &tokens[2]),
+                );
                 circuit.add(VoltageSource::new(card, p, n, wf));
             }
             'i' => {
                 need(4)?;
                 let wf = parse_waveform(&tokens[3..], ln)?;
-                let (p, n) = (node(&mut circuit, &tokens[1]), node(&mut circuit, &tokens[2]));
+                let (p, n) = (
+                    node(&mut circuit, &tokens[1]),
+                    node(&mut circuit, &tokens[2]),
+                );
                 circuit.add(CurrentSource::new(card, p, n, wf));
             }
             'd' => {
@@ -574,7 +601,10 @@ pub fn parse(deck: &str) -> Result<Circuit, NetlistError> {
                     cj: kv_value(&kv, "cj", DiodeParams::default().cj, ln)?,
                     v_crit: DiodeParams::default().v_crit,
                 };
-                let (a, c) = (node(&mut circuit, &tokens[1]), node(&mut circuit, &tokens[2]));
+                let (a, c) = (
+                    node(&mut circuit, &tokens[1]),
+                    node(&mut circuit, &tokens[2]),
+                );
                 circuit.add(Diode::new(card, a, c, params));
             }
             'm' => {
@@ -585,7 +615,10 @@ pub fn parse(deck: &str) -> Result<Circuit, NetlistError> {
                 }
                 let model_name = &positional[3];
                 let params = *models.get(model_name).ok_or_else(|| {
-                    err(ln, format!("unknown model '{model_name}' (missing .MODEL?)"))
+                    err(
+                        ln,
+                        format!("unknown model '{model_name}' (missing .MODEL?)"),
+                    )
                 })?;
                 let w = kv_value(&kv, "w", 1e-6, ln)?;
                 let l = kv_value(&kv, "l", 0.25e-6, ln)?;
@@ -714,7 +747,10 @@ Cout out 0 10f
         let c = parse(deck).unwrap();
         let sol = solve_dc(&c, &Params::default(), &DcOptions::default()).unwrap();
         let out = c.find_node("out").unwrap().unknown().unwrap();
-        assert!((sol.x[out] - 2.5).abs() < 0.1, "inverter with low input → high out");
+        assert!(
+            (sol.x[out] - 2.5).abs() < 0.1,
+            "inverter with low input → high out"
+        );
     }
 
     #[test]
@@ -805,22 +841,35 @@ Cl out 0 10f
         // And it simulates: buffer of a low input is low.
         let sol = solve_dc(&c, &Params::default(), &DcOptions::default()).unwrap();
         let out = c.find_node("out").unwrap().unknown().unwrap();
-        assert!(sol.x[out] < 0.1, "buffered low input should stay low, got {}", sol.x[out]);
+        assert!(
+            sol.x[out] < 0.1,
+            "buffered low input should stay low, got {}",
+            sol.x[out]
+        );
     }
 
     #[test]
     fn subckt_errors_are_descriptive() {
-        let e = parse(".subckt a in
+        let e = parse(
+            ".subckt a in
 R1 in 0 1k
-.end").unwrap_err();
+.end",
+        )
+        .unwrap_err();
         assert!(e.message.contains("missing .ENDS"), "{e}");
 
-        let e = parse(".ends
-.end").unwrap_err();
+        let e = parse(
+            ".ends
+.end",
+        )
+        .unwrap_err();
         assert!(e.message.contains("without .SUBCKT"));
 
-        let e = parse("X1 a b missing
-.end").unwrap_err();
+        let e = parse(
+            "X1 a b missing
+.end",
+        )
+        .unwrap_err();
         assert!(e.message.contains("unknown subcircuit"));
 
         let deck = "\

@@ -95,6 +95,116 @@ where
     })
 }
 
+/// Reusable buffers for [`solve_in_place`].
+///
+/// A transient analysis performs one Newton solve per time step with a
+/// fixed system dimension; allocating the iterate, update, residual,
+/// Jacobian, and LU factors once per *run* instead of once per *iteration*
+/// removes every per-step heap allocation from the Newton path.
+#[derive(Debug)]
+pub struct NewtonWorkspace {
+    x: Vector,
+    delta: Vector,
+    residual: Vector,
+    jacobian: Matrix,
+    lu: Option<LuFactor>,
+}
+
+impl NewtonWorkspace {
+    /// Creates a workspace for systems of dimension `n`.
+    pub fn new(n: usize) -> Self {
+        NewtonWorkspace {
+            x: Vector::zeros(n),
+            delta: Vector::zeros(n),
+            residual: Vector::zeros(n),
+            jacobian: Matrix::zeros(n, n),
+            lu: None,
+        }
+    }
+
+    /// System dimension this workspace was sized for.
+    pub fn dim(&self) -> usize {
+        self.x.len()
+    }
+
+    /// The iterate; after a successful [`solve_in_place`] this is the
+    /// converged state.
+    pub fn x(&self) -> &Vector {
+        &self.x
+    }
+
+    /// LU factors of the most recently factored Jacobian, if any —
+    /// reusable for sensitivity solves without re-factoring.
+    pub fn jacobian_lu(&self) -> Option<&LuFactor> {
+        self.lu.as_ref()
+    }
+}
+
+/// Allocation-free variant of [`solve`] operating on a [`NewtonWorkspace`].
+///
+/// `assemble` writes the residual `F(x)` and Jacobian `∂F/∂x` into the
+/// provided buffers (which arrive zeroed only on the first call — overwrite,
+/// don't accumulate). On success the converged state is in `ws.x()` and the
+/// iteration count is returned. Apart from the first call (which populates
+/// the LU buffers), no heap allocation occurs inside the iteration loop.
+///
+/// # Errors
+///
+/// Same conditions as [`solve`].
+///
+/// # Panics
+///
+/// Panics if `x0.len() != ws.dim()`.
+pub fn solve_in_place<F>(
+    ws: &mut NewtonWorkspace,
+    x0: &Vector,
+    opts: &NewtonOptions,
+    mut assemble: F,
+) -> Result<usize>
+where
+    F: FnMut(&Vector, &mut Vector, &mut Matrix) -> Result<()>,
+{
+    ws.x.copy_from(x0);
+    let mut last_norm = f64::INFINITY;
+
+    for iter in 1..=opts.max_iters {
+        assemble(&ws.x, &mut ws.residual, &mut ws.jacobian)?;
+        if !ws.residual.is_finite() || !ws.jacobian.is_finite() {
+            return Err(SpiceError::NumericalBlowup { time: f64::NAN });
+        }
+        let lu = match ws.lu.as_mut() {
+            Some(lu) => {
+                lu.refactor(&ws.jacobian)?;
+                lu
+            }
+            None => ws.lu.insert(LuFactor::new(&ws.jacobian)?),
+        };
+        lu.solve_into(&ws.residual, &mut ws.delta)?;
+        // Newton step is x ← x − J⁻¹F.
+        for d in ws.delta.iter_mut() {
+            *d = -*d;
+            if d.abs() > opts.max_step {
+                *d = d.signum() * opts.max_step;
+            }
+        }
+        let norm = ws.delta.weighted_norm(&ws.x, opts.reltol, opts.abstol);
+        ws.x.axpy(1.0, &ws.delta);
+        if !ws.x.is_finite() {
+            return Err(SpiceError::NumericalBlowup { time: f64::NAN });
+        }
+        last_norm = norm;
+        if norm <= 1.0 {
+            return Ok(iter);
+        }
+    }
+
+    Err(SpiceError::NewtonDiverged {
+        context: "newton solve",
+        iterations: opts.max_iters,
+        residual: last_norm,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -181,6 +291,41 @@ mod tests {
         })
         .unwrap_err();
         assert!(matches!(err, SpiceError::NumericalBlowup { .. }));
+    }
+
+    #[test]
+    fn in_place_solve_matches_allocating_solve_without_iteration_allocs() {
+        let x0 = Vector::from_slice(&[2.5, 0.5]);
+        let opts = NewtonOptions {
+            max_step: f64::INFINITY,
+            ..NewtonOptions::default()
+        };
+        let reference = solve(&x0, &opts, |x| {
+            let f = Vector::from_slice(&[x[0] * x[0] + x[1] * x[1] - 5.0, x[0] * x[1] - 2.0]);
+            let j = Matrix::from_rows(&[&[2.0 * x[0], 2.0 * x[1]], &[x[1], x[0]]]).unwrap();
+            Ok((f, j))
+        })
+        .unwrap();
+
+        let mut ws = NewtonWorkspace::new(2);
+        let fill = |x: &Vector, f: &mut Vector, j: &mut Matrix| {
+            f.as_mut_slice()[0] = x[0] * x[0] + x[1] * x[1] - 5.0;
+            f.as_mut_slice()[1] = x[0] * x[1] - 2.0;
+            j[(0, 0)] = 2.0 * x[0];
+            j[(0, 1)] = 2.0 * x[1];
+            j[(1, 0)] = x[1];
+            j[(1, 1)] = x[0];
+            Ok(())
+        };
+        // First solve may allocate (LU buffers are created lazily).
+        let iters = solve_in_place(&mut ws, &x0, &opts, fill).unwrap();
+        assert_eq!(iters, reference.iterations);
+        assert_eq!(ws.x().as_slice(), reference.x.as_slice());
+
+        // A second solve with warm buffers must not allocate a single matrix.
+        let before = shc_linalg::matrix_allocations();
+        solve_in_place(&mut ws, &x0, &opts, fill).unwrap();
+        assert_eq!(shc_linalg::matrix_allocations(), before);
     }
 
     #[test]

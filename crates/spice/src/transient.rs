@@ -16,11 +16,14 @@
 //! two extra back-substitutions per step — the paper's key efficiency
 //! observation.
 
-use shc_linalg::Vector;
+use std::mem;
+
+use shc_linalg::{LuFactor, Matrix, Vector};
 
 use crate::circuit::Circuit;
 use crate::dcop::{self, DcOptions};
 use crate::newton::{self, NewtonOptions};
+use crate::stamp::Stamps;
 use crate::waveform::{Param, Params};
 use crate::{Result, SpiceError};
 
@@ -302,7 +305,11 @@ impl TransientResult {
             };
             if hit {
                 let (t0, t1) = (self.times[i - 1], self.times[i]);
-                let frac = if v1 == v0 { 0.0 } else { (level - v0) / (v1 - v0) };
+                let frac = if v1 == v0 {
+                    0.0
+                } else {
+                    (level - v0) / (v1 - v0)
+                };
                 return Some(t0 + frac * (t1 - t0));
             }
         }
@@ -341,13 +348,39 @@ impl<'a> TransientAnalysis<'a> {
 
     /// Runs the transient for the given skew parameters.
     ///
+    /// Allocates a fresh [`TransientScratch`] for the run; callers that
+    /// perform many runs on the same circuit (characterization sweeps)
+    /// should hold one scratch per thread and use
+    /// [`TransientAnalysis::run_with_scratch`] instead.
+    ///
     /// # Errors
     ///
     /// Propagates DC, Newton, and step-control failures.
     pub fn run(&self, params: &Params) -> Result<TransientResult> {
+        let mut scratch = TransientScratch::new(self.circuit.unknown_count());
+        self.run_with_scratch(params, &mut scratch)
+    }
+
+    /// Runs the transient reusing a caller-owned workspace.
+    ///
+    /// After the scratch buffers are warm (one prior step anywhere in the
+    /// scratch's lifetime), the stepping loop performs no matrix
+    /// allocation: Newton residual/Jacobian/LU, the per-step stamps, and
+    /// every sensitivity temporary live in `scratch`. The scratch is
+    /// resized automatically if the circuit dimension changed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates DC, Newton, and step-control failures.
+    pub fn run_with_scratch(
+        &self,
+        params: &Params,
+        scratch: &mut TransientScratch,
+    ) -> Result<TransientResult> {
         let circuit = self.circuit;
         let opts = &self.opts;
         let n = circuit.unknown_count();
+        scratch.ensure(n, opts.sensitivities.len());
 
         let x0 = match &opts.initial {
             InitialCondition::DcOperatingPoint => dcop::solve_dc(circuit, params, &opts.dc)?.x,
@@ -386,90 +419,111 @@ impl<'a> TransientAnalysis<'a> {
             .map(|&p| (p, Vector::zeros(n)))
             .collect();
 
+        // Borrow every workspace buffer up front as disjoint fields so the
+        // Newton closure (which mutates `nr_stamps`) can coexist with the
+        // shared borrows of the history stamps.
+        let TransientScratch {
+            newton: nw,
+            nr_stamps,
+            stamps_prev,
+            stamps_new,
+            stamps_hist,
+            sens_jac,
+            sens_lu,
+            sens_rhs,
+            sens_tmp,
+            cg_tmp,
+            dfdp_tmp,
+            zero_x,
+            lte_pred,
+            lte_err,
+            hist_x,
+            hist_sens,
+        } = scratch;
+
         // Previous-step quantities for the recursions.
         let mut x_prev = x0;
         let mut t_prev = 0.0;
-        let mut stamps_prev = circuit.assemble(&x_prev, 0.0, params, 1.0);
+        circuit.assemble_into(stamps_prev, &x_prev, 0.0, params, 1.0);
         let mut dfdp_prev: Vec<Vector> = opts
             .sensitivities
             .iter()
             .map(|&p| circuit.assemble_dfdp(0.0, params, p))
             .collect();
-        // Two-steps-ago history: (t, x, q, C, m_p list) — the LTE predictor
-        // needs (t, x); Gear-2 needs q, C, and the old sensitivities.
-        let mut hist2: Option<(f64, Vector, Vector, shc_linalg::Matrix, Vec<Vector>)> = None;
+        // Time of the two-steps-ago state. While `Some`, that state lives
+        // in the workspace history buffers: `hist_x` (the LTE predictor),
+        // `stamps_hist` (Gear-2's q and C), and `hist_sens` (the old
+        // sensitivities).
+        let mut hist_t: Option<f64> = None;
 
         let mut dt = opts.dt.min(opts.tstop);
-        // Reusable assembly workspace for the Newton iterations: avoids
-        // reallocating two n x n matrices on every iteration of the hot loop.
-        let mut nr_ws = crate::stamp::Stamps::new(n);
 
         while t_prev < opts.tstop - 1e-18 * opts.tstop.max(1.0) {
             let t_new = (t_prev + dt).min(opts.tstop);
             let dt_eff = t_new - t_prev;
 
-            let q_prev = stamps_prev.q.clone();
-            let f_prev = stamps_prev.f.clone();
-            // Gear-2 history: q two steps ago and the step-size ratio.
-            let gear_hist = hist2.as_ref().map(|(t2, _, q2, _, _)| {
-                let h0 = t_prev - t2;
-                (q2.clone(), dt_eff / h0)
+            // Variable-step BDF2 coefficients for r = h1/h0:
+            // c0·q_i − c1·q_{i−1} + c2·q_{i−2} + h1·f_i = 0,
+            // c0 = (1+2r)/(1+r), c1 = 1+r, c2 = r²/(1+r).
+            let gear_coeffs = hist_t.map(|t2| {
+                let r_ = dt_eff / (t_prev - t2);
+                (
+                    (1.0 + 2.0 * r_) / (1.0 + r_),
+                    1.0 + r_,
+                    r_ * r_ / (1.0 + r_),
+                )
             });
 
-            // Newton solve of the discretized step equation.
+            // Newton solve of the discretized step equation. Residual and
+            // Jacobian are built directly in the workspace buffers; no
+            // allocation happens per iteration.
             let integ = opts.integrator;
-            let solve_result = newton::solve(&x_prev, &opts.newton, |x| {
-                circuit.assemble_into(&mut nr_ws, x, t_new, params, 1.0);
-                let s = &nr_ws;
-                let (residual, jac) = match integ {
+            let solve_result = newton::solve_in_place(nw, &x_prev, &opts.newton, |x, r, j| {
+                circuit.assemble_into(nr_stamps, x, t_new, params, 1.0);
+                let s = &*nr_stamps;
+                match integ {
                     Integrator::BackwardEuler => {
-                        let mut r = s.q.sub(&q_prev);
+                        r.copy_from(&s.q);
+                        r.axpy(-1.0, &stamps_prev.q);
                         r.axpy(dt_eff, &s.f);
-                        let mut j = s.c.clone();
+                        j.copy_from(&s.c).expect("shapes match by construction");
                         j.axpy(dt_eff, &s.g).expect("shapes match by construction");
-                        (r, j)
                     }
                     Integrator::Trapezoidal => {
                         let half = 0.5 * dt_eff;
-                        let mut r = s.q.sub(&q_prev);
+                        r.copy_from(&s.q);
+                        r.axpy(-1.0, &stamps_prev.q);
                         r.axpy(half, &s.f);
-                        r.axpy(half, &f_prev);
-                        let mut j = s.c.clone();
+                        r.axpy(half, &stamps_prev.f);
+                        j.copy_from(&s.c).expect("shapes match by construction");
                         j.axpy(half, &s.g).expect("shapes match by construction");
-                        (r, j)
                     }
-                    Integrator::Gear2 => match &gear_hist {
-                        Some((q_prev2, ratio)) => {
-                            // Variable-step BDF2 with r = h1/h0:
-                            // c0·q_i − c1·q_{i−1} + c2·q_{i−2} + h1·f_i = 0,
-                            // c0 = (1+2r)/(1+r), c1 = 1+r, c2 = r²/(1+r).
-                            let r_ = *ratio;
-                            let c0 = (1.0 + 2.0 * r_) / (1.0 + r_);
-                            let c1 = 1.0 + r_;
-                            let c2 = r_ * r_ / (1.0 + r_);
-                            let mut r = s.q.scale(c0);
-                            r.axpy(-c1, &q_prev);
-                            r.axpy(c2, q_prev2);
+                    Integrator::Gear2 => match gear_coeffs {
+                        Some((c0, c1, c2)) => {
+                            r.copy_from(&s.q);
+                            r.scale_mut(c0);
+                            r.axpy(-c1, &stamps_prev.q);
+                            r.axpy(c2, &stamps_hist.q);
                             r.axpy(dt_eff, &s.f);
-                            let mut j = s.c.scale(c0);
+                            j.copy_from(&s.c).expect("shapes match by construction");
+                            j.scale_mut(c0);
                             j.axpy(dt_eff, &s.g).expect("shapes match by construction");
-                            (r, j)
                         }
                         None => {
                             // First step: Backward Euler.
-                            let mut r = s.q.sub(&q_prev);
+                            r.copy_from(&s.q);
+                            r.axpy(-1.0, &stamps_prev.q);
                             r.axpy(dt_eff, &s.f);
-                            let mut j = s.c.clone();
+                            j.copy_from(&s.c).expect("shapes match by construction");
                             j.axpy(dt_eff, &s.g).expect("shapes match by construction");
-                            (r, j)
                         }
                     },
-                };
-                Ok((residual, jac))
+                }
+                Ok(())
             });
 
-            let sol = match solve_result {
-                Ok(s) => s,
+            let iterations = match solve_result {
+                Ok(iters) => iters,
                 Err(SpiceError::NewtonDiverged { .. }) if dt_eff > opts.dt_min => {
                     dt = (dt_eff / 4.0).max(opts.dt_min);
                     stats.rejected_steps += 1;
@@ -477,22 +531,25 @@ impl<'a> TransientAnalysis<'a> {
                 }
                 Err(e) => return Err(e),
             };
-            stats.newton_iterations += sol.iterations;
-            let x_new = sol.x;
+            stats.newton_iterations += iterations;
+            let x_new = nw.x();
             if !x_new.is_finite() {
                 return Err(SpiceError::NumericalBlowup { time: t_new });
             }
 
             // LTE control (adaptive only, needs two history points).
             if opts.adaptive {
-                if let Some((t2, ref x2, _, _, _)) = hist2 {
+                if let Some(t2) = hist_t {
                     let dt_old = t_prev - t2;
                     if dt_old > 0.0 {
-                        let mut pred = x_prev.clone();
-                        let slope = x_prev.sub(x2).scale(dt_eff / dt_old);
-                        pred = pred.add(&slope);
-                        let err = x_new.sub(&pred);
-                        let norm = err.weighted_norm(&x_new, opts.lte_reltol, opts.lte_abstol);
+                        // pred = x_prev + (x_prev − x_hist)·(Δt_new/Δt_old)
+                        lte_err.copy_from(&x_prev);
+                        lte_err.axpy(-1.0, hist_x);
+                        lte_pred.copy_from(&x_prev);
+                        lte_pred.axpy(dt_eff / dt_old, lte_err);
+                        lte_err.copy_from(x_new);
+                        lte_err.axpy(-1.0, lte_pred);
+                        let norm = lte_err.weighted_norm(x_new, opts.lte_reltol, opts.lte_abstol);
                         if norm > 1.0 && dt_eff > opts.dt_min {
                             dt = (dt_eff * 0.5).max(opts.dt_min);
                             stats.rejected_steps += 1;
@@ -507,60 +564,61 @@ impl<'a> TransientAnalysis<'a> {
 
             // Accepted: re-stamp at the converged point for exact C_i, G_i,
             // q_i, f_i and the sensitivity solves.
-            let stamps_new = circuit.assemble(&x_new, t_new, params, 1.0);
-            let mut sens_snapshot: Vec<Vector> = Vec::new();
+            circuit.assemble_into(stamps_new, x_new, t_new, params, 1.0);
             if !sens.is_empty() {
-                sens_snapshot = sens.iter().map(|(_, m)| m.clone()).collect();
-                let gear = matches!(opts.integrator, Integrator::Gear2);
-                let gear_coeffs = if gear {
-                    hist2.as_ref().map(|(t2, ..)| {
-                        let r_ = dt_eff / (t_prev - t2);
-                        (
-                            (1.0 + 2.0 * r_) / (1.0 + r_),
-                            1.0 + r_,
-                            r_ * r_ / (1.0 + r_),
-                        )
-                    })
+                let gear_sens_coeffs = if matches!(opts.integrator, Integrator::Gear2) {
+                    gear_coeffs
                 } else {
                     None
                 };
-                let (c_scale, a) = match (opts.integrator, &gear_coeffs) {
+                let (c_scale, a) = match (opts.integrator, &gear_sens_coeffs) {
                     (Integrator::BackwardEuler, _) => (1.0, dt_eff),
                     (Integrator::Trapezoidal, _) => (1.0, 0.5 * dt_eff),
                     (Integrator::Gear2, Some((c0, _, _))) => (*c0, dt_eff),
                     (Integrator::Gear2, None) => (1.0, dt_eff), // first step: BE
                 };
-                let mut jac = stamps_new.c.scale(c_scale);
-                jac.axpy(a, &stamps_new.g)
+                sens_jac
+                    .copy_from(&stamps_new.c)
                     .expect("shapes match by construction");
-                let lu = jac.lu()?;
+                sens_jac.scale_mut(c_scale);
+                sens_jac
+                    .axpy(a, &stamps_new.g)
+                    .expect("shapes match by construction");
+                let lu = match sens_lu.as_mut() {
+                    Some(lu) => {
+                        lu.refactor(sens_jac)?;
+                        lu
+                    }
+                    None => sens_lu.insert(LuFactor::new(sens_jac)?),
+                };
                 for (k, (param, m)) in sens.iter_mut().enumerate() {
-                    let dfdp_new = circuit.assemble_dfdp(t_new, params, *param);
-                    let rhs = match (opts.integrator, &gear_coeffs) {
+                    circuit.assemble_dfdp_into(dfdp_tmp, zero_x, t_new, params, *param);
+                    match (opts.integrator, &gear_sens_coeffs) {
                         (Integrator::BackwardEuler, _) | (Integrator::Gear2, None) => {
-                            let mut r = stamps_prev.c.mul_vec(m);
-                            r.axpy(-dt_eff, &dfdp_new);
-                            r
+                            stamps_prev.c.mul_vec_into(m, sens_rhs);
+                            sens_rhs.axpy(-dt_eff, dfdp_tmp);
                         }
                         (Integrator::Trapezoidal, _) => {
                             let half = 0.5 * dt_eff;
-                            let mut r = stamps_prev.c.mul_vec(m);
-                            r.axpy(-half, &stamps_prev.g.mul_vec(m));
-                            r.axpy(-half, &dfdp_new);
-                            r.axpy(-half, &dfdp_prev[k]);
-                            r
+                            stamps_prev.c.mul_vec_into(m, sens_rhs);
+                            stamps_prev.g.mul_vec_into(m, cg_tmp);
+                            sens_rhs.axpy(-half, cg_tmp);
+                            sens_rhs.axpy(-half, dfdp_tmp);
+                            sens_rhs.axpy(-half, &dfdp_prev[k]);
                         }
                         (Integrator::Gear2, Some((_, c1, c2))) => {
-                            let (_, _, _, ref c_prev2, ref m_prev2) =
-                                *hist2.as_ref().expect("gear coefficients imply history");
-                            let mut r = stamps_prev.c.mul_vec(m).scale(*c1);
-                            r.axpy(-*c2, &c_prev2.mul_vec(&m_prev2[k]));
-                            r.axpy(-dt_eff, &dfdp_new);
-                            r
+                            stamps_prev.c.mul_vec_into(m, sens_rhs);
+                            sens_rhs.scale_mut(*c1);
+                            stamps_hist.c.mul_vec_into(&hist_sens[k], cg_tmp);
+                            sens_rhs.axpy(-*c2, cg_tmp);
+                            sens_rhs.axpy(-dt_eff, dfdp_tmp);
                         }
-                    };
-                    *m = lu.solve(&rhs)?;
-                    dfdp_prev[k] = dfdp_new;
+                    }
+                    lu.solve_into(sens_rhs, sens_tmp)?;
+                    // Rotate: the pre-update m becomes the two-ago history.
+                    mem::swap(&mut hist_sens[k], m);
+                    m.copy_from(sens_tmp);
+                    mem::swap(&mut dfdp_prev[k], dfdp_tmp);
                 }
             }
 
@@ -572,16 +630,16 @@ impl<'a> TransientAnalysis<'a> {
                 RecordMode::FinalOnly => {}
             }
 
-            hist2 = Some((
-                t_prev,
-                x_prev,
-                q_prev,
-                stamps_prev.c.clone(),
-                sens_snapshot,
-            ));
-            x_prev = x_new;
+            // History rotation, allocation-free: the previous step's state
+            // and stamps become the two-ago buffers, and the freshly
+            // stamped step becomes the previous one. The displaced two-ago
+            // buffers are recycled as the next step's assembly targets.
+            hist_t = Some(t_prev);
+            mem::swap(hist_x, &mut x_prev);
+            x_prev.copy_from(x_new);
+            mem::swap(stamps_hist, stamps_prev);
+            mem::swap(stamps_prev, stamps_new);
             t_prev = t_new;
-            stamps_prev = stamps_new;
 
             // In fixed-step mode a Newton-failure cut must not persist:
             // recover toward the configured step after each accepted step.
@@ -606,6 +664,75 @@ impl<'a> TransientAnalysis<'a> {
     }
 }
 
+/// Reusable per-run workspace for [`TransientAnalysis::run_with_scratch`].
+///
+/// A characterization sweep performs thousands of transient runs over a
+/// fixed-dimension circuit; this workspace owns every per-step buffer —
+/// the Newton iterate/residual/Jacobian/LU factors, the assembly stamps
+/// for the current, previous, and two-steps-ago time points, the
+/// sensitivity solve temporaries, and the LTE predictor scratch — so the
+/// stepping loop performs no matrix allocation once the buffers are warm.
+/// Not `Sync`: create one per thread when running sweeps in parallel.
+#[derive(Debug)]
+pub struct TransientScratch {
+    newton: newton::NewtonWorkspace,
+    nr_stamps: Stamps,
+    stamps_prev: Stamps,
+    stamps_new: Stamps,
+    stamps_hist: Stamps,
+    sens_jac: Matrix,
+    sens_lu: Option<LuFactor>,
+    sens_rhs: Vector,
+    sens_tmp: Vector,
+    cg_tmp: Vector,
+    dfdp_tmp: Vector,
+    zero_x: Vector,
+    lte_pred: Vector,
+    lte_err: Vector,
+    hist_x: Vector,
+    hist_sens: Vec<Vector>,
+}
+
+impl TransientScratch {
+    /// Creates a workspace for circuits with `n` MNA unknowns.
+    pub fn new(n: usize) -> Self {
+        TransientScratch {
+            newton: newton::NewtonWorkspace::new(n),
+            nr_stamps: Stamps::new(n),
+            stamps_prev: Stamps::new(n),
+            stamps_new: Stamps::new(n),
+            stamps_hist: Stamps::new(n),
+            sens_jac: Matrix::zeros(n, n),
+            sens_lu: None,
+            sens_rhs: Vector::zeros(n),
+            sens_tmp: Vector::zeros(n),
+            cg_tmp: Vector::zeros(n),
+            dfdp_tmp: Vector::zeros(n),
+            zero_x: Vector::zeros(n),
+            lte_pred: Vector::zeros(n),
+            lte_err: Vector::zeros(n),
+            hist_x: Vector::zeros(n),
+            hist_sens: Vec::new(),
+        }
+    }
+
+    /// The MNA dimension this workspace is currently sized for.
+    pub fn dim(&self) -> usize {
+        self.zero_x.len()
+    }
+
+    /// Resizes (re-allocating) only when the circuit dimension or
+    /// sensitivity count changed since the last run.
+    fn ensure(&mut self, n: usize, n_sens: usize) {
+        if self.dim() != n {
+            *self = TransientScratch::new(n);
+        }
+        if self.hist_sens.len() != n_sens {
+            self.hist_sens = (0..n_sens).map(|_| Vector::zeros(n)).collect();
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -617,7 +744,12 @@ mod tests {
         let mut c = Circuit::new();
         let vin = c.node("in");
         let vout = c.node("out");
-        c.add(VoltageSource::new("V1", vin, Circuit::GROUND, Waveform::dc(1.0)));
+        c.add(VoltageSource::new(
+            "V1",
+            vin,
+            Circuit::GROUND,
+            Waveform::dc(1.0),
+        ));
         c.add(Resistor::new("R1", vin, vout, 1e3));
         c.add(Capacitor::new("C1", vout, Circuit::GROUND, 1e-9));
         let out = c.unknown_of(vout).unwrap();
@@ -634,7 +766,9 @@ mod tests {
             .dt(2e-9)
             .initial(InitialCondition::Given(x0))
             .build();
-        let res = TransientAnalysis::new(&c, opts).run(&Params::default()).unwrap();
+        let res = TransientAnalysis::new(&c, opts)
+            .run(&Params::default())
+            .unwrap();
         // tau = 1us; at t = 1us, v = 1 - e^{-1} ≈ 0.6321.
         let v = res.value_at(out, 1e-6).unwrap();
         assert!((v - 0.6321).abs() < 5e-3, "v(tau) = {v}");
@@ -652,7 +786,9 @@ mod tests {
             .integrator(Integrator::Gear2)
             .initial(InitialCondition::Given(x0))
             .build();
-        let res = TransientAnalysis::new(&c, opts).run(&Params::default()).unwrap();
+        let res = TransientAnalysis::new(&c, opts)
+            .run(&Params::default())
+            .unwrap();
         let exact = 1.0 - (-1.0f64).exp();
         let err = (res.final_state()[out] - exact).abs();
         // Second order: visibly better than BE at the same step.
@@ -672,7 +808,9 @@ mod tests {
                 .integrator(method)
                 .initial(InitialCondition::Given(x0.clone()))
                 .build();
-            let res = TransientAnalysis::new(&c, opts).run(&Params::default()).unwrap();
+            let res = TransientAnalysis::new(&c, opts)
+                .run(&Params::default())
+                .unwrap();
             errs.push((res.final_state()[out] - exact).abs());
         }
         assert!(
@@ -696,7 +834,9 @@ mod tests {
                 .integrator(method)
                 .initial(InitialCondition::Given(x0.clone()))
                 .build();
-            let res = TransientAnalysis::new(&c, opts).run(&Params::default()).unwrap();
+            let res = TransientAnalysis::new(&c, opts)
+                .run(&Params::default())
+                .unwrap();
             errs.push((res.final_state()[out] - exact).abs());
         }
         assert!(
@@ -711,7 +851,9 @@ mod tests {
     fn dc_initial_condition_starts_settled() {
         let (c, out) = rc_circuit();
         let opts = TransientOptions::builder(1e-7).dt(1e-9).build();
-        let res = TransientAnalysis::new(&c, opts).run(&Params::default()).unwrap();
+        let res = TransientAnalysis::new(&c, opts)
+            .run(&Params::default())
+            .unwrap();
         // Already charged at t=0 from the DC solution: stays at 1V.
         assert!((res.final_state()[out] - 1.0).abs() < 1e-6);
     }
@@ -748,7 +890,12 @@ mod tests {
             fall: 1e-7,
             shape: RampShape::Smoothstep,
         };
-        c.add(VoltageSource::new("Vd", vin, Circuit::GROUND, Waveform::Data(pulse)));
+        c.add(VoltageSource::new(
+            "Vd",
+            vin,
+            Circuit::GROUND,
+            Waveform::Data(pulse),
+        ));
         c.add(Resistor::new("R1", vin, vout, 1e3));
         c.add(Capacitor::new("C1", vout, Circuit::GROUND, 1e-10));
         let out = c.unknown_of(vout).unwrap();
@@ -788,6 +935,91 @@ mod tests {
         }
     }
 
+    /// Acceptance guard for the hot-loop optimization: once the scratch is
+    /// warm, a full transient run — Newton iterations, sensitivity solves,
+    /// LU refactorizations, history rotation — must allocate zero matrices,
+    /// for every integrator.
+    #[test]
+    fn warm_stepping_loop_allocates_no_matrices() {
+        let mut c = Circuit::new();
+        let vin = c.node("in");
+        let vout = c.node("out");
+        let pulse = DataPulse {
+            v_rest: 0.0,
+            v_active: 1.0,
+            t_edge: 2e-7,
+            rise: 1e-7,
+            fall: 1e-7,
+            shape: RampShape::Smoothstep,
+        };
+        c.add(VoltageSource::new(
+            "Vd",
+            vin,
+            Circuit::GROUND,
+            Waveform::Data(pulse),
+        ));
+        c.add(Resistor::new("R1", vin, vout, 1e3));
+        c.add(Capacitor::new("C1", vout, Circuit::GROUND, 1e-10));
+
+        for method in [
+            Integrator::BackwardEuler,
+            Integrator::Trapezoidal,
+            Integrator::Gear2,
+        ] {
+            let opts = TransientOptions::builder(6e-7)
+                .dt(1e-9)
+                .integrator(method)
+                .sensitivities(&Param::ALL)
+                .record(RecordMode::FinalOnly)
+                .initial(InitialCondition::Given(Vector::zeros(c.unknown_count())))
+                .build();
+            let analysis = TransientAnalysis::new(&c, opts);
+            let params = Params::new(1e-7, 1e-7);
+            let mut scratch = TransientScratch::new(c.unknown_count());
+            let warm = analysis.run_with_scratch(&params, &mut scratch).unwrap();
+            assert!(warm.stats().steps > 100, "test wants a real stepping loop");
+
+            let before = shc_linalg::matrix_allocations();
+            let res = analysis.run_with_scratch(&params, &mut scratch).unwrap();
+            let allocated = shc_linalg::matrix_allocations() - before;
+            assert_eq!(
+                allocated,
+                0,
+                "{method:?}: {} steps allocated {allocated} matrices",
+                res.stats().steps
+            );
+        }
+    }
+
+    /// `run` and `run_with_scratch` must be observably identical.
+    #[test]
+    fn scratch_reuse_is_bitwise_identical_to_fresh_runs() {
+        let (c, out) = rc_circuit();
+        let make_opts = || {
+            TransientOptions::builder(2e-6)
+                .dt(2e-9)
+                .adaptive(1e-10, 5e-8)
+                .integrator(Integrator::Gear2)
+                .build()
+        };
+        let fresh = TransientAnalysis::new(&c, make_opts())
+            .run(&Params::default())
+            .unwrap();
+        let mut scratch = TransientScratch::new(c.unknown_count());
+        let analysis = TransientAnalysis::new(&c, make_opts());
+        for _ in 0..2 {
+            let reused = analysis
+                .run_with_scratch(&Params::default(), &mut scratch)
+                .unwrap();
+            assert_eq!(reused.times(), fresh.times());
+            assert_eq!(
+                reused.final_state().as_slice(),
+                fresh.final_state().as_slice()
+            );
+            assert_eq!(reused.series(out), fresh.series(out));
+        }
+    }
+
     #[test]
     fn crossing_time_and_interpolation() {
         let (c, out) = rc_circuit();
@@ -797,7 +1029,9 @@ mod tests {
             .dt(5e-9)
             .initial(InitialCondition::Given(x0))
             .build();
-        let res = TransientAnalysis::new(&c, opts).run(&Params::default()).unwrap();
+        let res = TransientAnalysis::new(&c, opts)
+            .run(&Params::default())
+            .unwrap();
         // v crosses 0.5 at t = tau·ln2 ≈ 0.693 µs.
         let t50 = res
             .crossing_time(out, 0.5, 0.0, CrossingDirection::Rising)
@@ -820,7 +1054,9 @@ mod tests {
             .dt(1e-9)
             .record(RecordMode::Probe(out))
             .build();
-        let res = TransientAnalysis::new(&c, opts).run(&Params::default()).unwrap();
+        let res = TransientAnalysis::new(&c, opts)
+            .run(&Params::default())
+            .unwrap();
         assert!(res.states().is_empty());
         assert!(res.trajectory(out).is_some());
         assert!(res.trajectory(out + 1).is_none());
@@ -834,7 +1070,9 @@ mod tests {
             .dt(1e-9)
             .record(RecordMode::FinalOnly)
             .build();
-        let res = TransientAnalysis::new(&c, opts).run(&Params::default()).unwrap();
+        let res = TransientAnalysis::new(&c, opts)
+            .run(&Params::default())
+            .unwrap();
         assert!(res.states().is_empty());
         assert!(res.trajectory(out).is_none());
         assert_eq!(res.final_state().len(), c.unknown_count());
@@ -847,7 +1085,9 @@ mod tests {
             .dt(1e-9)
             .initial(InitialCondition::Given(Vector::zeros(1)))
             .build();
-        let err = TransientAnalysis::new(&c, opts).run(&Params::default()).unwrap_err();
+        let err = TransientAnalysis::new(&c, opts)
+            .run(&Params::default())
+            .unwrap_err();
         assert!(matches!(err, SpiceError::BadCircuit { .. }));
     }
 

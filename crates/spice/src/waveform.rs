@@ -191,7 +191,7 @@ impl DataPulse {
                 // Leading-edge center is t_edge − τs: d center/d τs = −1.
                 let lead_center = self.t_edge - params.tau_s;
                 let (_, dv_dc) = edge(self.shape, t, lead_center, self.rise);
-                swing * dv_dc * (-1.0)
+                -(swing * dv_dc)
             }
             Param::Hold => {
                 // Trailing-edge center is t_edge + τh: d center/d τh = +1.

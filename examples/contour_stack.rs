@@ -15,7 +15,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let degradations = [0.05, 0.10, 0.20, 0.40];
     let stack = trace_stack(&register, &degradations, 12, &TracerOptions::default())?;
 
-    println!("{:>12} {:>10} {:>12} {:>10}", "degradation", "t_f(ns)", "seed setup", "sims");
+    println!(
+        "{:>12} {:>10} {:>12} {:>10}",
+        "degradation", "t_f(ns)", "seed setup", "sims"
+    );
     for level in stack.levels() {
         let seed = level.contour.points()[0];
         println!(

@@ -17,7 +17,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "tspc",
         &tech,
         ClockSpec::fast(),
-        |t, c| tspc_register_with(t, c),
+        tspc_register_with,
         &clock_slews,
         &loads,
         &TableOptions::default(),

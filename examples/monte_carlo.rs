@@ -13,8 +13,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let opts = MonteCarloOptions {
         samples: 15,
         variation: ProcessVariation {
-            sigma_vt: 0.02,      // 20 mV threshold sigma
-            sigma_kp_rel: 0.05,  // 5% transconductance sigma
+            sigma_vt: 0.02,     // 20 mV threshold sigma
+            sigma_kp_rel: 0.05, // 5% transconductance sigma
         },
         ..MonteCarloOptions::default()
     };
@@ -24,7 +24,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &opts,
     )?;
 
-    println!("{:>6} {:>10} {:>11} {:>10}", "sample", "t_CQ(ps)", "setup(ps)", "sims");
+    println!(
+        "{:>6} {:>10} {:>11} {:>10}",
+        "sample", "t_CQ(ps)", "setup(ps)", "sims"
+    );
     for s in &samples {
         println!(
             "{:>6} {:>10.1} {:>11.1} {:>10}",

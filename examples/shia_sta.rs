@@ -11,10 +11,9 @@ use shc::core::CharacterizationProblem;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let tech = Technology::default_250nm();
-    let problem = CharacterizationProblem::builder(
-        tspc_register(&tech).with_clock(ClockSpec::fast()),
-    )
-    .build()?;
+    let problem =
+        CharacterizationProblem::builder(tspc_register(&tech).with_clock(ClockSpec::fast()))
+            .build()?;
 
     let contour = problem.trace_contour(20)?;
     let model = SetupHoldModel::from_contour(&contour).expect("contour traced");
@@ -56,11 +55,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 indep_setup * 1e12
             );
             // Verify the repaired pair by direct simulation.
-            let h = problem
-                .evaluate(&shc::spice::waveform::Params::new(required_setup, available_hold))?;
+            let h = problem.evaluate(&shc::spice::waveform::Params::new(
+                required_setup,
+                available_hold,
+            ))?;
             println!(
                 "direct simulation at the repaired pair: h = {h:+.3e} V → {}",
-                if problem.is_pass(h) { "captures correctly" } else { "fails" }
+                if problem.is_pass(h) {
+                    "captures correctly"
+                } else {
+                    "fails"
+                }
             );
         }
         None => println!(
@@ -69,6 +74,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ),
     }
 
-    println!("\nLiberty-style interdependent rows:\n{}", model.to_liberty_rows());
+    println!(
+        "\nLiberty-style interdependent rows:\n{}",
+        model.to_liberty_rows()
+    );
     Ok(())
 }

@@ -62,8 +62,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let overlay = OverlayReport::compare("tspc", &contour, &surface_contour, n);
     println!("\nFig. 10 overlay check — {overlay}");
-    println!(
-        "traced points are MPNR-refined (|h| < 1e-3 V); surface points are grid-interpolated"
-    );
+    println!("traced points are MPNR-refined (|h| < 1e-3 V); surface points are grid-interpolated");
     Ok(())
 }

@@ -7,9 +7,7 @@
 
 use shc::cells::{tspc_register, ClockSpec, Technology};
 use shc::core::CharacterizationProblem;
-use shc::spice::transient::{
-    CrossingDirection, RecordMode, TransientAnalysis, TransientOptions,
-};
+use shc::spice::transient::{CrossingDirection, RecordMode, TransientAnalysis, TransientOptions};
 use shc::spice::waveform::Params;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -20,10 +18,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let problem_probe = register.output_unknown();
 
     // Reference: the characteristic clock-to-Q with generous skews.
-    let problem = CharacterizationProblem::builder(
-        tspc_register(&tech).with_clock(ClockSpec::fast()),
-    )
-    .build()?;
+    let problem =
+        CharacterizationProblem::builder(tspc_register(&tech).with_clock(ClockSpec::fast()))
+            .build()?;
     println!(
         "characteristic clock-to-Q: {:.1} ps; 10% degraded target: {:.1} ps\n",
         problem.characteristic_delay() * 1e12,
@@ -31,7 +28,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     let tau_s = 450e-12;
-    println!("output Q vs hold skew at fixed setup skew {:.0} ps:", tau_s * 1e12);
+    println!(
+        "output Q vs hold skew at fixed setup skew {:.0} ps:",
+        tau_s * 1e12
+    );
     println!(
         "{:>10} {:>14} {:>12}  waveform (0 → 2.5 V, '#' per 0.25 V at t_f + margin)",
         "hold(ps)", "clk-to-Q(ps)", "Q(t_f) V"

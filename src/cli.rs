@@ -202,8 +202,7 @@ pub fn build_register(deck: &str, cfg: &CliConfig) -> Result<Register, Box<dyn s
 /// Propagates netlist, configuration, and characterization failures.
 pub fn run(deck: &str, cfg: &CliConfig) -> Result<String, Box<dyn std::error::Error>> {
     let register = build_register(deck, cfg)?;
-    let mut builder =
-        CharacterizationProblem::builder(register).degradation(cfg.degradation);
+    let mut builder = CharacterizationProblem::builder(register).degradation(cfg.degradation);
     if let Some(rs) = cfg.reference_setup {
         builder = builder.reference_setup(rs);
     }

@@ -92,8 +92,7 @@ fn every_edge_triggered_cell_traces_an_interdependence_contour() {
         // The contour must actually move in the (τs, τh) plane.
         let first = contour.points().first().unwrap();
         let last = contour.points().last().unwrap();
-        let arc = ((last.tau_s - first.tau_s).powi(2) + (last.tau_h - first.tau_h).powi(2))
-            .sqrt();
+        let arc = ((last.tau_s - first.tau_s).powi(2) + (last.tau_h - first.tau_h).powi(2)).sqrt();
         assert!(
             arc > 10e-12,
             "{name}: contour degenerate (arc {:.2} ps)",
@@ -115,14 +114,18 @@ fn c2mos_clkb_overlap_creates_hold_time() {
         ..IndependentOptions::default()
     };
     let hold_with = binary_search(
-        &CharacterizationProblem::builder(with_overlap).build().unwrap(),
+        &CharacterizationProblem::builder(with_overlap)
+            .build()
+            .unwrap(),
         SkewAxis::Hold,
         &opts,
     )
     .unwrap()
     .skew;
     let hold_without = binary_search(
-        &CharacterizationProblem::builder(without_overlap).build().unwrap(),
+        &CharacterizationProblem::builder(without_overlap)
+            .build()
+            .unwrap(),
         SkewAxis::Hold,
         &opts,
     )

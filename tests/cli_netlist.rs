@@ -43,10 +43,7 @@ fn netlist_deck_characterizes_through_cli_pipeline() {
     let report = cli::run(DLATCH_DECK, &latch_config()).expect("pipeline runs");
     assert!(report.contains("characteristic clock-to-Q"));
     assert!(report.contains("setup(ps)"));
-    assert!(
-        report.contains("MPNR iterations/point"),
-        "report: {report}"
-    );
+    assert!(report.contains("MPNR iterations/point"), "report: {report}");
     // At least a handful of contour rows.
     let rows = report
         .lines()
@@ -100,7 +97,6 @@ fn bad_deck_is_reported_with_line() {
     let err = cli::run("R1 a 0 garbage\n.end", &latch_config()).unwrap_err();
     assert!(err.to_string().contains("line 1"), "got: {err}");
 }
-
 
 /// The 9T TSPC written as a hierarchical SPICE deck (fast clock) must
 /// characterize like the built-in `tspc_register` fixture — this
@@ -160,9 +156,7 @@ fn hierarchical_tspc_deck_matches_builtin_fixture() {
 
     // Characteristic delays within a few ps (the deck omits the tiny
     // internal-stack parasitics the builder adds).
-    let d_cq = (deck_problem.characteristic_delay()
-        - builtin_problem.characteristic_delay())
-    .abs();
+    let d_cq = (deck_problem.characteristic_delay() - builtin_problem.characteristic_delay()).abs();
     assert!(d_cq < 10e-12, "t_CQ differs by {:.1} ps", d_cq * 1e12);
 
     let opts = IndependentOptions {

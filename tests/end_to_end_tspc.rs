@@ -93,22 +93,12 @@ fn simulation_count_is_linear_in_points() {
     let seed_pt = seed::find_first_point(&problem, &SeedOptions::default()).expect("seed");
 
     problem.reset_simulation_count();
-    let short = shc::core::tracer::trace(
-        &problem,
-        seed_pt.params,
-        6,
-        &TracerOptions::default(),
-    )
-    .expect("short trace");
+    let short = shc::core::tracer::trace(&problem, seed_pt.params, 6, &TracerOptions::default())
+        .expect("short trace");
     let short_sims = short.simulations();
 
-    let long = shc::core::tracer::trace(
-        &problem,
-        seed_pt.params,
-        18,
-        &TracerOptions::default(),
-    )
-    .expect("long trace");
+    let long = shc::core::tracer::trace(&problem, seed_pt.params, 18, &TracerOptions::default())
+        .expect("long trace");
     let long_sims = long.simulations();
 
     // Tripling the points should roughly triple the simulations — and must

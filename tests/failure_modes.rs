@@ -6,7 +6,7 @@ use shc::core::{CharError, CharacterizationProblem};
 use shc::linalg::{LinalgError, Matrix, Vector};
 use shc::spice::newton::{self, NewtonOptions};
 use shc::spice::transient::{Integrator, RecordMode, TransientAnalysis, TransientOptions};
-use shc::spice::waveform::{Param, Params, Waveform};
+use shc::spice::waveform::{Params, Waveform};
 use shc::spice::{Circuit, Resistor, SpiceError, Vcvs, VoltageSource};
 
 #[test]
@@ -88,7 +88,10 @@ fn transient_survives_newton_failure_by_cutting_dt_then_reports() {
     let err = TransientAnalysis::new(&c, opts)
         .run(&Params::default())
         .unwrap_err();
-    assert!(matches!(err, SpiceError::NewtonDiverged { .. }), "got {err}");
+    assert!(
+        matches!(err, SpiceError::NewtonDiverged { .. }),
+        "got {err}"
+    );
 }
 
 #[test]

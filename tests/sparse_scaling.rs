@@ -14,12 +14,22 @@ use shc::spice::{Capacitor, Circuit, CurrentSource, Resistor, VoltageSource, Wav
 fn rc_ladder_nodal(n: usize) -> Circuit {
     let mut c = Circuit::new();
     let mut prev = c.node("in");
-    c.add(CurrentSource::new("I1", Circuit::GROUND, prev, Waveform::dc(1e-3)));
+    c.add(CurrentSource::new(
+        "I1",
+        Circuit::GROUND,
+        prev,
+        Waveform::dc(1e-3),
+    ));
     c.add(Resistor::new("Rin", prev, Circuit::GROUND, 1e3));
     for k in 0..n {
         let next = c.node(&format!("n{k}"));
         c.add(Resistor::new(&format!("R{k}"), prev, next, 100.0));
-        c.add(Capacitor::new(&format!("C{k}"), next, Circuit::GROUND, 1e-15));
+        c.add(Capacitor::new(
+            &format!("C{k}"),
+            next,
+            Circuit::GROUND,
+            1e-15,
+        ));
         prev = next;
     }
     c
@@ -29,11 +39,21 @@ fn rc_ladder_nodal(n: usize) -> Circuit {
 fn rc_ladder_vsrc(n: usize) -> Circuit {
     let mut c = Circuit::new();
     let mut prev = c.node("in");
-    c.add(VoltageSource::new("V1", prev, Circuit::GROUND, Waveform::dc(1.0)));
+    c.add(VoltageSource::new(
+        "V1",
+        prev,
+        Circuit::GROUND,
+        Waveform::dc(1.0),
+    ));
     for k in 0..n {
         let next = c.node(&format!("n{k}"));
         c.add(Resistor::new(&format!("R{k}"), prev, next, 100.0));
-        c.add(Capacitor::new(&format!("C{k}"), next, Circuit::GROUND, 1e-15));
+        c.add(Capacitor::new(
+            &format!("C{k}"),
+            next,
+            Circuit::GROUND,
+            1e-15,
+        ));
         prev = next;
     }
     c
@@ -53,7 +73,11 @@ fn ladder_jacobian_solves_sparse_and_dense_agree() {
     let jac = Circuit::combine_jacobian(&stamps.c, &stamps.g, 1.0 / dt);
 
     let rhs: Vector = (0..n).map(|i| ((i % 7) as f64 - 3.0) * 1e-4).collect();
-    let dense_x = jac.lu().expect("dense factorization").solve(&rhs).expect("dense solve");
+    let dense_x = jac
+        .lu()
+        .expect("dense factorization")
+        .solve(&rhs)
+        .expect("dense solve");
 
     let sparse = CsrMatrix::from_dense(&jac, 0.0).expect("sparse conversion");
     // The ladder Jacobian is extremely sparse: ~3 entries per row.
@@ -89,7 +113,9 @@ fn ladder_jacobian_solves_sparse_and_dense_agree() {
 
 #[test]
 fn ladder_transient_behaves_like_a_delay_line() {
-    use shc::spice::transient::{CrossingDirection, RecordMode, TransientAnalysis, TransientOptions};
+    use shc::spice::transient::{
+        CrossingDirection, RecordMode, TransientAnalysis, TransientOptions,
+    };
     // A shorter ladder, simulated end to end: the far end lags the near end.
     let circuit = rc_ladder_vsrc(40);
     let first = circuit.find_node("n0").unwrap().unknown().unwrap();

@@ -1,0 +1,426 @@
+//! Offline mini property-testing harness.
+//!
+//! Implements exactly the `proptest` surface the workspace's tests consume:
+//! the [`proptest!`] macro with an optional `#![proptest_config(..)]`
+//! header, strategies for `f64` ranges with `prop_filter`, fixed-length
+//! `prop::collection::vec`, `any::<T>()` for primitives, and the
+//! `prop_assert!`/`prop_assume!` failure plumbing. Sampling is plain Monte
+//! Carlo from a per-test deterministic seed — no shrinking, no persistence
+//! (`.proptest-regressions` files are ignored) — which keeps the harness a
+//! few hundred lines while preserving the tests' semantics: each named
+//! property is checked on `cases` pseudo-random inputs and panics with the
+//! offending message on the first violation.
+
+use std::ops::Range;
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+/// Deterministic per-test generator (re-exported for the macro expansion).
+pub type TestRng = StdRng;
+
+/// Run-time configuration, mirroring `proptest::test_runner::ProptestConfig`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of pseudo-random cases per property.
+    pub cases: u32,
+    /// Cap on consecutive `prop_filter`/`prop_assume` rejections.
+    pub max_global_rejects: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 256,
+            max_global_rejects: 65_536,
+        }
+    }
+}
+
+impl ProptestConfig {
+    /// Configuration running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig {
+            cases,
+            ..ProptestConfig::default()
+        }
+    }
+}
+
+/// Failure signal produced inside a property body.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// Assertion failure: the property is violated.
+    Fail(String),
+    /// Input rejected by `prop_assume!`: resample, don't fail.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// Builds an assertion failure.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// Builds an input rejection.
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TestCaseError::Fail(m) => write!(f, "assertion failed: {m}"),
+            TestCaseError::Reject(m) => write!(f, "input rejected: {m}"),
+        }
+    }
+}
+
+/// A source of pseudo-random values of one type.
+pub trait Strategy {
+    /// The value type produced.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Keeps only samples satisfying `pred`, resampling otherwise
+    /// (mirrors `proptest::strategy::Strategy::prop_filter`).
+    fn prop_filter<F>(self, reason: impl Into<String>, pred: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter {
+            inner: self,
+            reason: reason.into(),
+            pred,
+        }
+    }
+
+    /// Maps samples through `f` (mirrors `prop_map`).
+    fn prop_map<F, U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy adapter produced by [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    inner: S,
+    reason: String,
+    pred: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+
+    fn sample(&self, rng: &mut TestRng) -> S::Value {
+        // Resampling bound: a filter that rejects this often is a test bug.
+        for _ in 0..10_000 {
+            let v = self.inner.sample(rng);
+            if (self.pred)(&v) {
+                return v;
+            }
+        }
+        panic!(
+            "prop_filter '{}' rejected 10000 consecutive samples",
+            self.reason
+        );
+    }
+}
+
+/// Strategy adapter produced by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, F: Fn(S::Value) -> U, U> Strategy for Map<S, F> {
+    type Value = U;
+
+    fn sample(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        rng.gen_range(self.start..self.end)
+    }
+}
+
+impl Strategy for Range<i32> {
+    type Value = i32;
+
+    fn sample(&self, rng: &mut TestRng) -> i32 {
+        rng.gen_range(self.start..self.end)
+    }
+}
+
+impl Strategy for Range<usize> {
+    type Value = usize;
+
+    fn sample(&self, rng: &mut TestRng) -> usize {
+        rng.gen_range(self.start..self.end)
+    }
+}
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    /// Draws one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.gen()
+    }
+}
+
+impl Arbitrary for f64 {
+    // Finite, sign-symmetric, wide dynamic range; the exotic values real
+    // proptest mixes in (NaN, infinities) are filtered out by every caller
+    // in this workspace anyway.
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        let mag = 10f64.powf(rng.gen_range(-12.0..12.0));
+        let sign = if rng.gen::<bool>() { 1.0 } else { -1.0 };
+        sign * mag
+    }
+}
+
+impl Arbitrary for u64 {
+    fn arbitrary(rng: &mut TestRng) -> u64 {
+        rng.gen()
+    }
+}
+
+impl Arbitrary for usize {
+    fn arbitrary(rng: &mut TestRng) -> usize {
+        rng.gen::<u64>() as usize
+    }
+}
+
+/// Strategy returned by [`any`].
+pub struct AnyStrategy<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// `any::<T>()` — the canonical strategy for `T`.
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy(std::marker::PhantomData)
+}
+
+/// Collection strategies (`prop::collection::*`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+
+    /// Fixed-length `Vec` strategy.
+    pub struct VecStrategy<S> {
+        element: S,
+        len: usize,
+    }
+
+    /// `vec(element, len)` — samples `len` independent elements.
+    pub fn vec<S: Strategy>(element: S, len: usize) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            (0..self.len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Namespace mirror so `prop::collection::vec(..)` resolves as upstream.
+pub mod prop {
+    pub use crate::collection;
+}
+
+/// The prelude every property-test file imports.
+pub mod prelude {
+    pub use crate::{
+        any, prop, prop_assert, prop_assert_eq, prop_assume, proptest, Arbitrary, ProptestConfig,
+        Strategy, TestCaseError,
+    };
+}
+
+/// FNV-1a over the test's module path and name: a stable per-test seed so
+/// failures reproduce across runs without a persistence file.
+pub fn fnv1a(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Creates the deterministic generator for one named test.
+pub fn test_rng(test_path: &str) -> TestRng {
+    TestRng::seed_from_u64(fnv1a(test_path))
+}
+
+/// Extra entropy injected per case so later cases don't correlate with a
+/// restarted earlier stream.
+pub fn reseed(rng: &mut TestRng, case: u32) -> TestRng {
+    TestRng::seed_from_u64(rng.next_u64() ^ (case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("prop_assert!(", stringify!($cond), ")"));
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        // Bind first so `!` applies to a plain bool, not the user's
+        // comparison expression (keeps clippy::neg_cmp_op_on_partial_ord
+        // out of caller code).
+        let prop_assert_cond: bool = $cond;
+        if !prop_assert_cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, "prop_assert_eq! failed: {:?} != {:?}", l, r);
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::reject(stringify!($cond)));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr) ) => {};
+    ( ($cfg:expr)
+      $(#[$meta:meta])*
+      fn $name:ident( $($arg:ident in $strat:expr),* $(,)? ) $body:block
+      $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let mut seeder =
+                $crate::test_rng(concat!(module_path!(), "::", stringify!($name)));
+            let mut rejects: u32 = 0;
+            let mut case: u32 = 0;
+            while case < config.cases {
+                let mut rng = $crate::reseed(&mut seeder, case);
+                $(let $arg = $crate::Strategy::sample(&($strat), &mut rng);)*
+                let outcome = (|| -> ::std::result::Result<(), $crate::TestCaseError> {
+                    $body
+                    #[allow(unreachable_code)]
+                    ::std::result::Result::Ok(())
+                })();
+                match outcome {
+                    Ok(()) => case += 1,
+                    Err($crate::TestCaseError::Reject(_)) => {
+                        rejects += 1;
+                        if rejects > config.max_global_rejects {
+                            panic!(
+                                "proptest {}: too many prop_assume rejections",
+                                stringify!($name)
+                            );
+                        }
+                    }
+                    Err($crate::TestCaseError::Fail(msg)) => {
+                        panic!(
+                            "proptest {} failed at case {}: {}",
+                            stringify!($name),
+                            case,
+                            msg
+                        );
+                    }
+                }
+            }
+        }
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// The harness samples within the requested range.
+        #[test]
+        fn range_strategy_in_bounds(x in 0.0..1.0f64) {
+            prop_assert!((0.0..1.0).contains(&x), "x = {x}");
+        }
+
+        #[test]
+        fn filtered_values_satisfy_predicate(
+            x in (-1.0..1.0f64).prop_filter("nonneg", |v| *v >= 0.0),
+        ) {
+            prop_assert!(x >= 0.0);
+        }
+
+        #[test]
+        fn vec_strategy_has_fixed_len(v in prop::collection::vec(0.0..1.0f64, 7)) {
+            prop_assert_eq!(v.len(), 7);
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(x in 0.0..1.0f64, flag in any::<bool>()) {
+            prop_assume!(flag);
+            prop_assert!(x < 1.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn failing_property_panics() {
+        proptest! {
+            fn inner(x in 0.0..1.0f64) {
+                prop_assert!(x < 0.0, "x = {x} is not negative");
+            }
+        }
+        inner();
+    }
+
+    #[test]
+    fn seeds_are_stable() {
+        assert_eq!(super::fnv1a("abc"), super::fnv1a("abc"));
+        assert_ne!(super::fnv1a("abc"), super::fnv1a("abd"));
+    }
+}

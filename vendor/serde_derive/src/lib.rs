@@ -1,0 +1,54 @@
+//! Minimal derive macros mirroring `serde_derive`'s surface.
+//!
+//! This build environment has no registry access, and the offline `serde`
+//! stand-in defines `Serialize`/`Deserialize` as method-free marker traits,
+//! so the derives only need to emit the corresponding empty `impl` blocks.
+//! The input is scanned token-by-token (no `syn` dependency) for the type
+//! name following `struct`/`enum`/`union`; generic targets are not needed
+//! by this workspace and are rejected with a clear error. The `serde(...)`
+//! helper attribute is accepted and ignored so field annotations such as
+//! `#[serde(skip)]` stay legal.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extracts the identifier of the type being derived for.
+fn type_name(input: TokenStream) -> String {
+    let mut tokens = input.into_iter();
+    while let Some(tt) = tokens.next() {
+        if let TokenTree::Ident(ident) = &tt {
+            let kw = ident.to_string();
+            if kw == "struct" || kw == "enum" || kw == "union" {
+                match tokens.next() {
+                    Some(TokenTree::Ident(name)) => {
+                        if let Some(TokenTree::Punct(p)) = tokens.next() {
+                            if p.as_char() == '<' {
+                                panic!(
+                                    "offline serde_derive stub does not support generic type `{name}`"
+                                );
+                            }
+                        }
+                        return name.to_string();
+                    }
+                    other => panic!("expected type name after `{kw}`, found {other:?}"),
+                }
+            }
+        }
+    }
+    panic!("offline serde_derive stub: no struct/enum/union found in derive input");
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl ::serde::Serialize for {name} {{}}")
+        .parse()
+        .expect("generated impl parses")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}")
+        .parse()
+        .expect("generated impl parses")
+}
