@@ -1,0 +1,61 @@
+//! Telemetry overhead bench: the same short TSPC contour trace with no
+//! collector, with a counting collector, and with a journaling collector.
+//!
+//! The observability layer's contract (DESIGN.md §8) is that every
+//! instrumentation site hides behind a thread-local `enabled()` check and
+//! the transient stepper flushes per *run*, not per step — so the "off"
+//! and "on" columns here should be indistinguishable within noise, and
+//! the journaling column should add only the per-contour-point event
+//! cost. Contours are asserted identical across all three modes before
+//! timing.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use shc_bench::{Cell, Timing};
+use shc_core::{Contour, SeedOptions, TracerOptions};
+use shc_obs::{Collector, MemorySink, Sink};
+
+fn bench_telemetry_overhead(c: &mut Criterion) {
+    let problem = Cell::Tspc.problem(Timing::Fast).expect("fixture");
+    let seed =
+        shc_core::seed::find_first_point(&problem, &SeedOptions::default()).expect("seed point");
+    let trace = || -> Contour {
+        shc_core::tracer::trace(&problem, seed.params, 6, &TracerOptions::default()).expect("trace")
+    };
+
+    // Correctness gate: telemetry must not perturb the numerics.
+    let quiet = trace();
+    {
+        let collector = Collector::new();
+        let _guard = shc_obs::install_scoped(&collector);
+        assert_eq!(quiet, trace(), "counting collector changed the contour");
+    }
+    {
+        let collector = Collector::with_sink(Arc::new(MemorySink::new()) as Arc<dyn Sink>);
+        let _guard = shc_obs::install_scoped(&collector);
+        assert_eq!(quiet, trace(), "journaling collector changed the contour");
+    }
+
+    let mut group = c.benchmark_group("telemetry_overhead");
+    group.sample_size(10);
+    group.bench_function("trace_6pt_off", |b| b.iter(trace));
+    group.bench_function("trace_6pt_counters", |b| {
+        let collector = Collector::new();
+        let _guard = shc_obs::install_scoped(&collector);
+        b.iter(trace)
+    });
+    group.bench_function("trace_6pt_journal", |b| {
+        let sink = Arc::new(MemorySink::new());
+        let collector = Collector::with_sink(Arc::clone(&sink) as Arc<dyn Sink>);
+        let _guard = shc_obs::install_scoped(&collector);
+        b.iter(|| {
+            sink.drain();
+            trace()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_telemetry_overhead);
+criterion_main!(benches);

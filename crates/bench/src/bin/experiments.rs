@@ -8,13 +8,23 @@
 //! cargo run --release -p shc-bench --bin experiments -- --fast  # compressed clock (seconds)
 //! cargo run --release -p shc-bench --bin experiments -- --fast --surface-n 20
 //! cargo run --release -p shc-bench --bin experiments -- --fast --threads 0  # 0 = all CPUs
+//! cargo run --release -p shc-bench --bin experiments -- --fast \
+//!     --journal experiments.jsonl --metrics experiments-metrics.json
 //! ```
 //!
 //! `--threads N` sets the fan-out for the parallel-scaling section
 //! (`0` = all CPUs, `1` = serial, the default); the section also writes
 //! `BENCH_parallel.json` to the repository root.
+//!
+//! `--journal <path>` records every traced contour point as one JSONL
+//! event; `--metrics <path>` dumps end-of-run solver counters, histograms,
+//! and span timings as JSON (and prints the human-readable summary).
 
+use std::path::Path;
+use std::sync::Arc;
 use std::time::Instant;
+
+use shc_obs::{Collector, FileSink, Sink};
 
 use shc_bench::{Cell, Timing};
 use shc_core::independent::{binary_search, newton, IndependentOptions, SkewAxis};
@@ -43,6 +53,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .and_then(|v| v.parse().ok())
         .unwrap_or(0);
     let parallelism = Parallelism::from_thread_arg(threads_arg);
+    let flag_value = |flag: &str| {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let journal_path = flag_value("--journal");
+    let metrics_path = flag_value("--metrics");
+    let collector = if journal_path.is_some() || metrics_path.is_some() {
+        Some(match &journal_path {
+            Some(path) => {
+                let sink: Arc<dyn Sink> = Arc::new(FileSink::create(Path::new(path))?);
+                Collector::with_sink(sink)
+            }
+            None => Collector::new(),
+        })
+    } else {
+        None
+    };
+    let _telemetry = collector.as_ref().map(shc_obs::install_scoped);
     let n_points = 40;
 
     println!("=== shc experiments: DAC 2007 reproduction ({timing:?} clock) ===\n");
@@ -222,6 +252,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let json_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_parallel.json");
     std::fs::write(json_path, json)?;
     println!("wrote {json_path}");
+
+    if let Some(collector) = &collector {
+        collector.flush()?;
+        let snapshot = collector.snapshot();
+        if let Some(path) = &metrics_path {
+            std::fs::write(path, snapshot.to_json())?;
+            println!("\nwrote {path}");
+        }
+        if let Some(path) = &journal_path {
+            println!("wrote {path}");
+        }
+        println!("\n{snapshot}");
+    }
 
     println!("\ndone.");
     Ok(())

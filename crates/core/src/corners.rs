@@ -109,6 +109,7 @@ pub fn sweep(
     corners: impl IntoIterator<Item = (String, Register)>,
     opts: &SweepOptions,
 ) -> Result<Vec<CornerResult>> {
+    let _span = shc_obs::span(shc_obs::SpanKind::Corners);
     if opts.parallelism.is_serial() {
         let mut results = Vec::new();
         let mut previous_first: Option<Params> = None;

@@ -189,6 +189,7 @@ pub fn run<F>(
 where
     F: Fn(&Technology) -> Register + Sync,
 {
+    let _span = shc_obs::span(shc_obs::SpanKind::MonteCarlo);
     let mut results: Vec<SampleResult> = Vec::with_capacity(opts.samples);
     if opts.samples > 0 {
         let anchor = run_sample(base, &build, opts, 0, None)?;

@@ -8,6 +8,7 @@
 //! *nearest* the initial guess (paper Fig. 4).
 
 use serde::{Deserialize, Serialize};
+use shc_spice::transient::TransientStats;
 use shc_spice::waveform::Params;
 
 use crate::{CharError, CharacterizationProblem, Result};
@@ -50,6 +51,8 @@ pub struct MpnrResult {
     pub residual: f64,
     /// Jacobian at the converged point, `[∂h/∂τs, ∂h/∂τh]`.
     pub jacobian: [f64; 2],
+    /// Transient work accumulated over every iteration of this solve.
+    pub transient: TransientStats,
 }
 
 /// Solves `h(τs, τh) = 0` by MPNR from the given initial guess.
@@ -66,11 +69,17 @@ pub fn solve(
     initial: Params,
     opts: &MpnrOptions,
 ) -> Result<MpnrResult> {
+    let _span = shc_obs::span(shc_obs::SpanKind::MpnrSolve);
+    shc_obs::count(shc_obs::Metric::MpnrSolves, 1);
     let mut tau = initial;
     let mut last_h = f64::INFINITY;
+    let mut transient = TransientStats::default();
 
     for iter in 1..=opts.max_iters {
         let ev = problem.evaluate_with_jacobian(&tau)?;
+        transient.steps += ev.stats.steps;
+        transient.newton_iterations += ev.stats.newton_iterations;
+        transient.rejected_steps += ev.stats.rejected_steps;
         last_h = ev.h.abs();
         let (mut ds, mut dh) = ev.mpnr_step().ok_or(CharError::VanishingJacobian {
             tau_s: tau.tau_s,
@@ -89,15 +98,18 @@ pub fn solve(
         if ds.abs() <= tol_s && dh.abs() <= tol_h {
             // Converged on the update criterion; report the residual and
             // Jacobian of the *last evaluated* point (ε-close to τ).
+            shc_obs::observe(shc_obs::Metric::MpnrIterations, iter as u64);
             return Ok(MpnrResult {
                 params: tau,
                 iterations: iter,
                 residual: ev.h.abs(),
                 jacobian: [ev.dh_dtau_s, ev.dh_dtau_h],
+                transient,
             });
         }
     }
 
+    shc_obs::count(shc_obs::Metric::MpnrFailures, 1);
     Err(CharError::MpnrDiverged {
         iterations: opts.max_iters,
         h_value: last_h,

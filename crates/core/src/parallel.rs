@@ -101,10 +101,15 @@ where
         v.resize_with(count, || None);
         v
     });
+    // Telemetry follows the work: capture the caller's collector (if any)
+    // and install it on every worker so counters, spans, and journal
+    // events from parallel jobs land in the same collector as serial runs.
+    let collector = shc_obs::current();
 
     std::thread::scope(|scope| {
         for _ in 0..threads {
             scope.spawn(|| {
+                let _telemetry = collector.as_ref().map(shc_obs::install_scoped);
                 let mut local: Vec<(usize, std::result::Result<T, E>)> = Vec::new();
                 loop {
                     if failed.load(Ordering::Relaxed) {

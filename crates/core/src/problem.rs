@@ -4,7 +4,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 
 use shc_cells::{OutputTransition, Register};
 use shc_spice::transient::{
-    CrossingDirection, Integrator, RecordMode, TransientAnalysis, TransientOptions,
+    CrossingDirection, Integrator, RecordMode, TransientAnalysis, TransientOptions, TransientStats,
 };
 use shc_spice::waveform::{Param, Params};
 
@@ -19,6 +19,8 @@ pub struct HEvaluation {
     pub dh_dtau_s: f64,
     /// `∂h/∂τh` from forward sensitivity analysis.
     pub dh_dtau_h: f64,
+    /// Work counters of the transient run behind this evaluation.
+    pub stats: TransientStats,
 }
 
 impl HEvaluation {
@@ -75,6 +77,7 @@ pub struct CharacterizationProblem {
     tf: f64,
     r: f64,
     sim_count: AtomicUsize,
+    calibration_sims: usize,
 }
 
 // The parallel sweeps in [`crate::parallel`] share problems across worker
@@ -147,8 +150,20 @@ impl CharacterizationProblem {
 
     /// Number of transient simulations performed through this problem since
     /// construction (or the last [`Self::reset_simulation_count`]).
+    ///
+    /// This is the user-visible simulation budget; the reference
+    /// (calibration) run performed by the builder is accounted separately
+    /// in [`Self::calibration_simulations`].
     pub fn simulation_count(&self) -> usize {
         self.sim_count.load(Ordering::Relaxed)
+    }
+
+    /// Number of transient simulations spent measuring the characteristic
+    /// delay at build time (currently always 1). Reported separately so
+    /// the per-contour budget in [`Self::simulation_count`] stays an
+    /// honest O(n) figure.
+    pub fn calibration_simulations(&self) -> usize {
+        self.calibration_sims
     }
 
     /// Resets the simulation counter to zero.
@@ -201,6 +216,7 @@ impl CharacterizationProblem {
             h: res.final_state()[out] - self.r,
             dh_dtau_s: ms[out],
             dh_dtau_h: mh[out],
+            stats: *res.stats(),
         })
     }
 
@@ -236,6 +252,7 @@ impl CharacterizationProblem {
             h: res.final_state()[out] - self.r,
             dh_dtau_s: adj.gradient(Param::Setup).expect("setup requested"),
             dh_dtau_h: adj.gradient(Param::Hold).expect("hold requested"),
+            stats: *res.stats(),
         })
     }
 
@@ -382,7 +399,10 @@ impl ProblemBuilder {
             .record(RecordMode::Probe(register.output_unknown()))
             .build();
         let params = Params::new(reference_setup, reference_hold);
-        let res = TransientAnalysis::new(register.circuit(), opts).run(&params)?;
+        let res = {
+            let _span = shc_obs::span(shc_obs::SpanKind::Calibration);
+            TransientAnalysis::new(register.circuit(), opts).run(&params)?
+        };
         let direction = match register.transition() {
             OutputTransition::Rising => CrossingDirection::Rising,
             OutputTransition::Falling => CrossingDirection::Falling,
@@ -403,7 +423,10 @@ impl ProblemBuilder {
             t_cq,
             tf,
             r,
-            sim_count: AtomicUsize::new(1),
+            // The calibration run above is accounted in `calibration_sims`,
+            // not in the user-visible budget.
+            sim_count: AtomicUsize::new(0),
+            calibration_sims: 1,
         })
     }
 }
@@ -443,7 +466,9 @@ mod tests {
         );
         assert!(p.t_f() > p.register().active_edge_time());
         assert!((p.r() - 1.25).abs() < 1e-12); // 50% of 2.5 V, rising
-        assert_eq!(p.simulation_count(), 1);
+                                               // Calibration is accounted separately from the user budget.
+        assert_eq!(p.simulation_count(), 0);
+        assert_eq!(p.calibration_simulations(), 1);
     }
 
     #[test]
@@ -509,6 +534,7 @@ mod tests {
             h: 0.1,
             dh_dtau_s: 3.0,
             dh_dtau_h: 4.0,
+            stats: TransientStats::default(),
         };
         let (ts, th) = ev.tangent().unwrap();
         assert!((ts * ts + th * th - 1.0).abs() < 1e-12);
@@ -523,6 +549,7 @@ mod tests {
             h: -4.0,
             dh_dtau_s: 2.0,
             dh_dtau_h: 1.0,
+            stats: TransientStats::default(),
         };
         let (ds, dh) = ev.mpnr_step().unwrap();
         assert!((ds - 1.6).abs() < 1e-12);
@@ -535,6 +562,7 @@ mod tests {
             h: 1.0,
             dh_dtau_s: 0.0,
             dh_dtau_h: 0.0,
+            stats: TransientStats::default(),
         };
         assert!(ev.tangent().is_none());
         assert!(ev.mpnr_step().is_none());

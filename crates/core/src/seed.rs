@@ -77,6 +77,7 @@ pub fn find_first_point(
     problem: &CharacterizationProblem,
     opts: &SeedOptions,
 ) -> Result<MpnrResult> {
+    let _span = shc_obs::span(shc_obs::SpanKind::Seed);
     let reference = problem.reference_params();
     let tau_h = match opts.tau_h {
         Some(t) => t,

@@ -222,6 +222,7 @@ impl SurfaceContour {
 /// - [`CharError::BadOption`] for degenerate grids;
 /// - propagated simulation failures.
 pub fn generate(problem: &CharacterizationProblem, opts: &SurfaceOptions) -> Result<OutputSurface> {
+    let _span = shc_obs::span(shc_obs::SpanKind::Surface);
     if opts.n < 2 {
         return Err(CharError::BadOption {
             reason: "surface grid needs at least 2 points per axis",

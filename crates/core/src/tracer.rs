@@ -9,6 +9,7 @@
 
 use serde::{Deserialize, Serialize};
 use shc_cells::Register;
+use shc_spice::transient::TransientStats;
 use shc_spice::waveform::Params;
 
 use crate::mpnr::{self, MpnrOptions};
@@ -137,6 +138,38 @@ impl Contour {
     }
 }
 
+/// Emits the journal event for one traced contour point (no-op when
+/// telemetry is off).
+#[allow(clippy::too_many_arguments)]
+fn journal_point(
+    point: usize,
+    tau: Params,
+    residual: f64,
+    jacobian: [f64; 2],
+    tangent: (f64, f64),
+    corrector_iterations: usize,
+    alpha: f64,
+    stats: TransientStats,
+) {
+    if !shc_obs::enabled() {
+        return;
+    }
+    shc_obs::journal(&shc_obs::JournalEvent {
+        point: point as u64,
+        level: shc_obs::journal_level(),
+        tau_s: tau.tau_s,
+        tau_h: tau.tau_h,
+        residual,
+        jacobian_norm: (jacobian[0] * jacobian[0] + jacobian[1] * jacobian[1]).sqrt(),
+        tangent: [tangent.0, tangent.1],
+        corrector_iterations: corrector_iterations as u64,
+        alpha,
+        transient_steps: stats.steps as u64,
+        newton_iterations: stats.newton_iterations as u64,
+        rejected_steps: stats.rejected_steps as u64,
+    });
+}
+
 /// Traces `n` points of the constant clock-to-Q contour starting from a
 /// point already on the curve (use [`crate::seed`] to obtain it).
 ///
@@ -151,6 +184,7 @@ pub fn trace(
     n: usize,
     opts: &TracerOptions,
 ) -> Result<Contour> {
+    let _span = shc_obs::span(shc_obs::SpanKind::Trace);
     let sims_before = problem.simulation_count();
     let mut points: Vec<ContourPoint> = Vec::with_capacity(n);
     let mut total_iters = 0usize;
@@ -172,6 +206,16 @@ pub fn trace(
         corrector_iterations: 0,
         residual: ev0.h.abs(),
     });
+    journal_point(
+        0,
+        seed,
+        ev0.h.abs(),
+        [ev0.dh_dtau_s, ev0.dh_dtau_h],
+        tangent,
+        0,
+        0.0,
+        ev0.stats,
+    );
 
     let mut current = seed;
     let mut alpha = opts.alpha;
@@ -198,6 +242,7 @@ pub fn trace(
                     h: 0.0,
                     dh_dtau_s: corrected.jacobian[0],
                     dh_dtau_h: corrected.jacobian[1],
+                    stats: corrected.transient,
                 };
                 let mut t_new = match ev.tangent() {
                     Some(t) => t,
@@ -207,6 +252,16 @@ pub fn trace(
                     t_new = (-t_new.0, -t_new.1);
                 }
                 tangent = t_new;
+                journal_point(
+                    points.len(),
+                    corrected.params,
+                    corrected.residual,
+                    corrected.jacobian,
+                    tangent,
+                    corrected.iterations,
+                    alpha,
+                    corrected.transient,
+                );
                 if tangent.1.abs() < opts.min_tangent_hold {
                     // Reached the flat asymptote: record the point, stop.
                     total_iters += corrected.iterations;
@@ -227,16 +282,21 @@ pub fn trace(
                     residual: corrected.residual,
                 });
                 // Step-length adaptation.
-                if corrected.iterations <= opts.easy_iters {
-                    alpha = (alpha * 1.25).min(opts.alpha_max);
+                let adapted = if corrected.iterations <= opts.easy_iters {
+                    (alpha * 1.25).min(opts.alpha_max)
                 } else {
-                    alpha = (alpha * 0.5).max(opts.alpha_min);
+                    (alpha * 0.5).max(opts.alpha_min)
+                };
+                if adapted != alpha {
+                    shc_obs::count(shc_obs::Metric::AlphaAdaptations, 1);
                 }
+                alpha = adapted;
             }
             Err(CharError::Simulation(e)) => return Err(CharError::Simulation(e)),
             Err(_) => {
                 // Corrector failed: retry with a shorter predictor step.
                 alpha *= 0.5;
+                shc_obs::count(shc_obs::Metric::AlphaAdaptations, 1);
             }
         }
     }
@@ -248,6 +308,7 @@ pub fn trace(
         });
     }
 
+    shc_obs::count(shc_obs::Metric::ContourPoints, points.len() as u64);
     Ok(Contour {
         points,
         simulations: problem.simulation_count() - sims_before,
@@ -315,7 +376,11 @@ pub fn trace_batch<F>(
 where
     F: Fn() -> Register + Sync,
 {
+    let _span = shc_obs::span(shc_obs::SpanKind::TraceBatch);
     parallel::run_indexed(opts.parallelism, degradations.len(), |i| {
+        // Tag this level's journal events with its index so batch
+        // journals stay attributable regardless of worker interleaving.
+        let _level = shc_obs::with_journal_level(i as u64);
         let degradation = degradations[i];
         let problem = CharacterizationProblem::builder(build())
             .degradation(degradation)
@@ -429,6 +494,40 @@ mod tests {
         // A looser degradation criterion gives a later capture deadline,
         // so the two levels must land on genuinely different contours.
         assert_ne!(serial[0].contour.points()[0], serial[1].contour.points()[0]);
+    }
+
+    #[test]
+    fn batch_journal_is_identical_serial_and_parallel() {
+        use std::sync::Arc;
+
+        use shc_obs::{Collector, JournalEvent, MemorySink, Sink};
+
+        // Run a two-level batch under a journaling collector and return
+        // the events sorted by (level, point) — the order-free identity.
+        let journal_of = |parallelism: Parallelism| -> Vec<JournalEvent> {
+            let sink = Arc::new(MemorySink::new());
+            let collector = Collector::with_sink(Arc::clone(&sink) as Arc<dyn Sink>);
+            let _guard = shc_obs::install_scoped(&collector);
+            let build = || tspc_register_with(&Technology::default_250nm(), ClockSpec::fast());
+            let opts = BatchOptions {
+                points: 5,
+                parallelism,
+                ..BatchOptions::default()
+            };
+            let batch = trace_batch(build, &[0.05, 0.10], &opts).unwrap();
+            let mut events = sink.events();
+            events.sort_by_key(JournalEvent::sort_key);
+            let traced: usize = batch.iter().map(|b| b.contour.points().len()).sum();
+            assert_eq!(events.len(), traced, "one journal event per traced point");
+            events
+        };
+
+        let serial = journal_of(Parallelism::Serial);
+        let fanned = journal_of(Parallelism::Threads(2));
+        assert_eq!(serial, fanned, "journal must not depend on fan-out");
+        // Every batch event carries its degradation-level index.
+        assert!(serial.iter().all(|e| matches!(e.level, Some(0 | 1))));
+        assert!(serial.iter().any(|e| e.level == Some(1)));
     }
 
     #[test]

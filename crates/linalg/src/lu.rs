@@ -47,6 +47,7 @@ impl LuFactor {
             return Err(LinalgError::NotSquare { shape: a.shape() });
         }
         let n = a.rows();
+        shc_obs::count(shc_obs::Metric::LuFactorizations, 1);
         let mut factor = LuFactor {
             lu: a.clone(),
             perm: (0..n).collect(),
@@ -74,6 +75,7 @@ impl LuFactor {
             return Err(LinalgError::NotSquare { shape: a.shape() });
         }
         let n = a.rows();
+        shc_obs::count(shc_obs::Metric::LuRefactors, 1);
         if self.dim() == n {
             self.lu.copy_from(a)?;
         } else {
@@ -159,6 +161,7 @@ impl LuFactor {
     /// Returns [`LinalgError::ShapeMismatch`] if `b` or `x` has length
     /// other than `dim()`.
     pub fn solve_into(&self, b: &Vector, x: &mut Vector) -> Result<()> {
+        shc_obs::count(shc_obs::Metric::LuSolves, 1);
         let n = self.dim();
         if b.len() != n || x.len() != n {
             return Err(LinalgError::ShapeMismatch {
@@ -197,6 +200,7 @@ impl LuFactor {
     ///
     /// Returns [`LinalgError::ShapeMismatch`] if `b.len() != dim()`.
     pub fn solve_transposed(&self, b: &Vector) -> Result<Vector> {
+        shc_obs::count(shc_obs::Metric::LuSolves, 1);
         let n = self.dim();
         if b.len() != n {
             return Err(LinalgError::ShapeMismatch {

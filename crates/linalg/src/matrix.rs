@@ -69,6 +69,7 @@ impl Matrix {
     /// Single funnel for freshly allocated backing buffers.
     fn tracked(rows: usize, cols: usize, data: Vec<f64>) -> Self {
         MATRIX_ALLOCATIONS.with(|c| c.set(c.get() + 1));
+        shc_obs::count(shc_obs::Metric::MatrixAllocations, 1);
         Matrix { rows, cols, data }
     }
 

@@ -45,6 +45,7 @@ pub struct PseudoInverse {
 /// # }
 /// ```
 pub fn pinv_fat(a: &Matrix) -> Result<Matrix> {
+    shc_obs::count(shc_obs::Metric::PinvSolves, 1);
     let (m, n) = a.shape();
     if m > n {
         return Err(LinalgError::InvalidInput {

@@ -1,0 +1,168 @@
+//! Minimal hand-rolled JSON formatting and scanning.
+//!
+//! The build environment is fully offline and the vendored `serde` is a
+//! marker-trait stub, so every JSON byte this workspace emits is written by
+//! hand. This module centralizes the two halves the telemetry layer needs:
+//! formatting `f64`s so they round-trip (and never emit invalid tokens like
+//! `NaN`), and a tiny flat-object key scanner for reading journal lines back
+//! in tests and validation tools.
+
+use std::fmt::Write as _;
+
+/// Formats an `f64` as a JSON value.
+///
+/// Uses the shortest round-trip representation; non-finite values become
+/// `null` (JSON has no NaN/Infinity tokens).
+#[must_use]
+pub fn fmt_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:?}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Appends `"key":value` (plus a leading comma unless first) to `out`.
+pub fn push_f64_field(out: &mut String, first: &mut bool, key: &str, v: f64) {
+    push_sep(out, first);
+    let _ = write!(out, "\"{key}\":{}", fmt_f64(v));
+}
+
+/// Appends an unsigned integer field.
+pub fn push_u64_field(out: &mut String, first: &mut bool, key: &str, v: u64) {
+    push_sep(out, first);
+    let _ = write!(out, "\"{key}\":{v}");
+}
+
+/// Appends a JSON-escaped string field.
+pub fn push_str_field(out: &mut String, first: &mut bool, key: &str, v: &str) {
+    push_sep(out, first);
+    let _ = write!(out, "\"{key}\":");
+    push_json_string(out, v);
+}
+
+/// Appends a raw (pre-rendered) field value, e.g. an array or `null`.
+pub fn push_raw_field(out: &mut String, first: &mut bool, key: &str, raw: &str) {
+    push_sep(out, first);
+    let _ = write!(out, "\"{key}\":{raw}");
+}
+
+/// Appends a JSON string literal with the escapes JSON requires.
+pub fn push_json_string(out: &mut String, v: &str) {
+    out.push('"');
+    for c in v.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Returns the raw text of `"key":<value>` in a flat JSON object, or `None`
+/// if the key is absent.
+///
+/// Only intended for the flat objects this crate itself emits (no nested
+/// objects behind the scanned key, values are numbers, `null`, or flat
+/// arrays of numbers).
+#[must_use]
+pub fn raw_value<'a>(json: &'a str, key: &str) -> Option<&'a str> {
+    let needle = format!("\"{key}\":");
+    let start = json.find(&needle)? + needle.len();
+    let rest = &json[start..];
+    let mut depth = 0usize;
+    for (i, c) in rest.char_indices() {
+        match c {
+            '[' => depth += 1,
+            ']' if depth > 0 => depth -= 1,
+            ',' | '}' | ']' if depth == 0 => return Some(rest[..i].trim()),
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Scans a finite `f64` value for `key`; `null` and absence return `None`.
+#[must_use]
+pub fn scan_f64(json: &str, key: &str) -> Option<f64> {
+    let raw = raw_value(json, key)?;
+    if raw == "null" {
+        return None;
+    }
+    raw.parse().ok()
+}
+
+/// Scans a `u64` value for `key`.
+#[must_use]
+pub fn scan_u64(json: &str, key: &str) -> Option<u64> {
+    raw_value(json, key)?.parse().ok()
+}
+
+/// Scans a flat array of `f64`s for `key`.
+#[must_use]
+pub fn scan_f64_array(json: &str, key: &str) -> Option<Vec<f64>> {
+    let raw = raw_value(json, key)?;
+    let inner = raw.strip_prefix('[')?.strip_suffix(']')?;
+    if inner.trim().is_empty() {
+        return Some(Vec::new());
+    }
+    inner
+        .split(',')
+        .map(|s| s.trim().parse().ok())
+        .collect::<Option<Vec<f64>>>()
+}
+
+fn push_sep(out: &mut String, first: &mut bool) {
+    if *first {
+        *first = false;
+    } else {
+        out.push(',');
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f64_round_trips_shortest() {
+        assert_eq!(fmt_f64(1.5), "1.5");
+        assert_eq!(fmt_f64(1e-9), "1e-9");
+        assert_eq!(fmt_f64(f64::NAN), "null");
+        assert_eq!(fmt_f64(f64::INFINITY), "null");
+        let v = 0.123_456_789_012_345_67_f64;
+        let parsed: f64 = fmt_f64(v).parse().unwrap();
+        assert_eq!(parsed.to_bits(), v.to_bits());
+    }
+
+    #[test]
+    fn scanner_reads_back_fields() {
+        let mut s = String::from("{");
+        let mut first = true;
+        push_u64_field(&mut s, &mut first, "point", 3);
+        push_f64_field(&mut s, &mut first, "tau_s", 1.25e-10);
+        push_raw_field(&mut s, &mut first, "level", "null");
+        push_raw_field(&mut s, &mut first, "tangent", "[0.5,-0.25]");
+        push_str_field(&mut s, &mut first, "note", "a \"b\"\n");
+        s.push('}');
+        assert_eq!(scan_u64(&s, "point"), Some(3));
+        assert_eq!(scan_f64(&s, "tau_s"), Some(1.25e-10));
+        assert_eq!(scan_f64(&s, "level"), None);
+        assert_eq!(scan_f64_array(&s, "tangent"), Some(vec![0.5, -0.25]));
+        assert_eq!(raw_value(&s, "note"), Some("\"a \\\"b\\\"\\n\""));
+        assert_eq!(scan_u64(&s, "missing"), None);
+    }
+
+    #[test]
+    fn scanner_stops_at_object_end() {
+        let s = "{\"a\":1}";
+        assert_eq!(scan_u64(s, "a"), Some(1));
+    }
+}

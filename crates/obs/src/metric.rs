@@ -1,0 +1,184 @@
+//! The fixed metric and span taxonomies.
+//!
+//! Both enums are closed sets so the collector can back every series with a
+//! fixed-size atomic array: recording a sample is a couple of relaxed
+//! `fetch_add`s, never an allocation or a lock.
+
+/// A monotonically increasing counter (optionally with a log-scale
+/// histogram of per-observation values, see [`crate::observe`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(usize)]
+pub enum Metric {
+    /// Completed transient runs (calibration + characterization).
+    TransientRuns,
+    /// Accepted integration steps across all transient runs.
+    TransientSteps,
+    /// Inner Newton iterations across all transient steps.
+    NewtonIterations,
+    /// Steps rejected by the local-truncation-error controller.
+    LteRejections,
+    /// Fresh LU factorizations (allocating).
+    LuFactorizations,
+    /// In-place LU refactorizations (allocation-free).
+    LuRefactors,
+    /// LU forward/back substitutions.
+    LuSolves,
+    /// Moore-Penrose pseudo-inverse solves (MPNR corrector steps).
+    PinvSolves,
+    /// Dense matrix buffer allocations (mirrors
+    /// `shc_linalg::matrix_allocations`).
+    MatrixAllocations,
+    /// MPNR corrector invocations.
+    MpnrSolves,
+    /// MPNR corrector iterations (histogram: iterations per solve).
+    MpnrIterations,
+    /// MPNR solves that failed to converge.
+    MpnrFailures,
+    /// Predictor step-length (alpha) adaptations in the tracer.
+    AlphaAdaptations,
+    /// Contour points successfully traced.
+    ContourPoints,
+    /// Journal events emitted to the sink.
+    JournalEvents,
+}
+
+impl Metric {
+    /// Number of metric variants; sizes the collector's atomic arrays.
+    pub const COUNT: usize = 15;
+
+    /// All variants, in `repr` order.
+    pub const ALL: [Metric; Metric::COUNT] = [
+        Metric::TransientRuns,
+        Metric::TransientSteps,
+        Metric::NewtonIterations,
+        Metric::LteRejections,
+        Metric::LuFactorizations,
+        Metric::LuRefactors,
+        Metric::LuSolves,
+        Metric::PinvSolves,
+        Metric::MatrixAllocations,
+        Metric::MpnrSolves,
+        Metric::MpnrIterations,
+        Metric::MpnrFailures,
+        Metric::AlphaAdaptations,
+        Metric::ContourPoints,
+        Metric::JournalEvents,
+    ];
+
+    /// Stable snake_case name used in reports and JSON output.
+    #[must_use]
+    pub const fn name(self) -> &'static str {
+        match self {
+            Metric::TransientRuns => "transient_runs",
+            Metric::TransientSteps => "transient_steps",
+            Metric::NewtonIterations => "newton_iterations",
+            Metric::LteRejections => "lte_rejections",
+            Metric::LuFactorizations => "lu_factorizations",
+            Metric::LuRefactors => "lu_refactors",
+            Metric::LuSolves => "lu_solves",
+            Metric::PinvSolves => "pinv_solves",
+            Metric::MatrixAllocations => "matrix_allocations",
+            Metric::MpnrSolves => "mpnr_solves",
+            Metric::MpnrIterations => "mpnr_iterations",
+            Metric::MpnrFailures => "mpnr_failures",
+            Metric::AlphaAdaptations => "alpha_adaptations",
+            Metric::ContourPoints => "contour_points",
+            Metric::JournalEvents => "journal_events",
+        }
+    }
+}
+
+/// A timed region of the solver stack.
+///
+/// Spans nest: the collector records wall-clock time per `(parent, child)`
+/// edge, so e.g. transient time spent under the MPNR corrector is separated
+/// from transient time spent during calibration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(usize)]
+pub enum SpanKind {
+    /// Whole CLI invocation.
+    CliRun,
+    /// Problem-builder reference (calibration) simulation.
+    Calibration,
+    /// First-point search (hold bisection + setup bracketing + polish).
+    Seed,
+    /// One Euler-Newton contour trace.
+    Trace,
+    /// One MPNR corrector solve.
+    MpnrSolve,
+    /// One transient simulation run.
+    Transient,
+    /// Brute-force surface generation sweep.
+    Surface,
+    /// Monte Carlo sweep.
+    MonteCarlo,
+    /// PVT corner sweep.
+    Corners,
+    /// Batch contour tracing over degradation levels.
+    TraceBatch,
+}
+
+impl SpanKind {
+    /// Number of span variants; sizes the collector's edge matrices.
+    pub const COUNT: usize = 10;
+
+    /// All variants, in `repr` order.
+    pub const ALL: [SpanKind; SpanKind::COUNT] = [
+        SpanKind::CliRun,
+        SpanKind::Calibration,
+        SpanKind::Seed,
+        SpanKind::Trace,
+        SpanKind::MpnrSolve,
+        SpanKind::Transient,
+        SpanKind::Surface,
+        SpanKind::MonteCarlo,
+        SpanKind::Corners,
+        SpanKind::TraceBatch,
+    ];
+
+    /// Stable snake_case name used in reports and JSON output.
+    #[must_use]
+    pub const fn name(self) -> &'static str {
+        match self {
+            SpanKind::CliRun => "cli_run",
+            SpanKind::Calibration => "calibration",
+            SpanKind::Seed => "seed",
+            SpanKind::Trace => "trace",
+            SpanKind::MpnrSolve => "mpnr_solve",
+            SpanKind::Transient => "transient",
+            SpanKind::Surface => "surface",
+            SpanKind::MonteCarlo => "monte_carlo",
+            SpanKind::Corners => "corners",
+            SpanKind::TraceBatch => "trace_batch",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn metric_all_matches_repr_order() {
+        for (i, m) in Metric::ALL.iter().enumerate() {
+            assert_eq!(*m as usize, i, "{}", m.name());
+        }
+    }
+
+    #[test]
+    fn span_all_matches_repr_order() {
+        for (i, k) in SpanKind::ALL.iter().enumerate() {
+            assert_eq!(*k as usize, i, "{}", k.name());
+        }
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<&str> = Metric::ALL.iter().map(|m| m.name()).collect();
+        names.extend(SpanKind::ALL.iter().map(|k| k.name()));
+        let before = names.len();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), before);
+    }
+}

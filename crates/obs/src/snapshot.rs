@@ -1,0 +1,266 @@
+//! Point-in-time metrics snapshot with human- and machine-readable views.
+
+use std::fmt;
+
+use crate::json;
+use crate::metric::{Metric, SpanKind};
+
+/// Histogram buckets per metric: bucket 0 holds zero-valued observations,
+/// bucket `b >= 1` holds values in `[2^(b-1), 2^b)`.
+pub const HIST_BUCKETS: usize = 32;
+
+/// Maps an observed value to its log2 bucket.
+#[must_use]
+pub fn bucket_of(value: u64) -> usize {
+    if value == 0 {
+        0
+    } else {
+        ((64 - value.leading_zeros()) as usize).min(HIST_BUCKETS - 1)
+    }
+}
+
+/// Lower bound of a bucket's value range (see [`HIST_BUCKETS`]).
+#[must_use]
+pub fn bucket_low(bucket: usize) -> u64 {
+    if bucket == 0 {
+        0
+    } else {
+        1u64 << (bucket - 1)
+    }
+}
+
+/// One `(parent, child)` span edge: how many times `kind` ran directly
+/// under `parent` (or as a thread root when `parent` is `None`), and the
+/// total wall-clock time spent there.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanEdge {
+    /// Enclosing span on the recording thread, if any.
+    pub parent: Option<SpanKind>,
+    /// The span that ran.
+    pub kind: SpanKind,
+    /// Number of completed spans on this edge.
+    pub count: u64,
+    /// Total wall-clock nanoseconds on this edge.
+    pub nanos: u64,
+}
+
+/// All metrics at one point in time; produced by
+/// [`crate::Collector::snapshot`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// Counter totals, indexed by `Metric as usize`.
+    pub counters: [u64; Metric::COUNT],
+    /// Log2 histograms, indexed by `Metric as usize`.
+    pub histograms: [[u64; HIST_BUCKETS]; Metric::COUNT],
+    /// Non-empty span edges.
+    pub spans: Vec<SpanEdge>,
+}
+
+impl MetricsSnapshot {
+    /// Total for one counter.
+    #[must_use]
+    pub fn counter(&self, metric: Metric) -> u64 {
+        self.counters[metric as usize]
+    }
+
+    /// Histogram buckets for one metric.
+    #[must_use]
+    pub fn histogram(&self, metric: Metric) -> &[u64; HIST_BUCKETS] {
+        &self.histograms[metric as usize]
+    }
+
+    /// Number of observations recorded into `metric`'s histogram.
+    #[must_use]
+    pub fn observations(&self, metric: Metric) -> u64 {
+        self.histogram(metric).iter().sum()
+    }
+
+    /// Renders the snapshot as a flat JSON object (counters, histograms
+    /// with non-empty buckets, span edges).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(1024);
+        s.push_str("{\"counters\":{");
+        let mut first = true;
+        for m in Metric::ALL {
+            json::push_u64_field(&mut s, &mut first, m.name(), self.counter(m));
+        }
+        s.push_str("},\"histograms\":{");
+        let mut first_metric = true;
+        for m in Metric::ALL {
+            if self.observations(m) == 0 {
+                continue;
+            }
+            if first_metric {
+                first_metric = false;
+            } else {
+                s.push(',');
+            }
+            s.push('"');
+            s.push_str(m.name());
+            s.push_str("\":[");
+            let hist = self.histogram(m);
+            let mut first_bucket = true;
+            for (b, &n) in hist.iter().enumerate() {
+                if n == 0 {
+                    continue;
+                }
+                if first_bucket {
+                    first_bucket = false;
+                } else {
+                    s.push(',');
+                }
+                s.push_str(&format!("{{\"low\":{},\"count\":{}}}", bucket_low(b), n));
+            }
+            s.push(']');
+        }
+        s.push_str("},\"spans\":[");
+        for (i, edge) in self.spans.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push('{');
+            let mut first = true;
+            json::push_str_field(&mut s, &mut first, "kind", edge.kind.name());
+            match edge.parent {
+                Some(p) => json::push_str_field(&mut s, &mut first, "parent", p.name()),
+                None => json::push_raw_field(&mut s, &mut first, "parent", "null"),
+            }
+            json::push_u64_field(&mut s, &mut first, "count", edge.count);
+            json::push_u64_field(&mut s, &mut first, "nanos", edge.nanos);
+            s.push('}');
+        }
+        s.push_str("]}");
+        s
+    }
+}
+
+fn fmt_duration_ns(ns: u64) -> String {
+    let secs = ns as f64 / 1e9;
+    if secs >= 1.0 {
+        format!("{secs:.2} s")
+    } else if secs >= 1e-3 {
+        format!("{:.2} ms", secs * 1e3)
+    } else {
+        format!("{:.1} us", secs * 1e6)
+    }
+}
+
+fn fmt_histogram(hist: &[u64; HIST_BUCKETS]) -> String {
+    let mut parts = Vec::new();
+    for (b, &n) in hist.iter().enumerate() {
+        if n == 0 {
+            continue;
+        }
+        let low = bucket_low(b);
+        let high = if b == 0 { 0 } else { bucket_low(b + 1) - 1 };
+        if low == high {
+            parts.push(format!("{low}:{n}"));
+        } else {
+            parts.push(format!("{low}-{high}:{n}"));
+        }
+    }
+    parts.join("  ")
+}
+
+impl fmt::Display for MetricsSnapshot {
+    /// Human-readable end-of-run summary table.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "telemetry summary")?;
+        writeln!(f, "  counters")?;
+        for m in Metric::ALL {
+            let total = self.counter(m);
+            if total == 0 {
+                continue;
+            }
+            write!(f, "    {:<20} {:>12}", m.name(), total)?;
+            let observations = self.observations(m);
+            if observations > 0 {
+                write!(f, "   dist {}", fmt_histogram(self.histogram(m)))?;
+            }
+            writeln!(f)?;
+        }
+        if !self.spans.is_empty() {
+            writeln!(f, "  spans (kind <- parent: count, total wall time)")?;
+            let mut spans = self.spans.clone();
+            spans.sort_by_key(|edge| std::cmp::Reverse(edge.nanos));
+            for edge in &spans {
+                let parent = edge.parent.map_or("(root)", SpanKind::name);
+                writeln!(
+                    f,
+                    "    {:<12} <- {:<12} {:>8}x  {:>10}",
+                    edge.kind.name(),
+                    parent,
+                    edge.count,
+                    fmt_duration_ns(edge.nanos),
+                )?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_cover_powers_of_two() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(u64::MAX), HIST_BUCKETS - 1);
+        for b in 1..HIST_BUCKETS - 1 {
+            assert_eq!(bucket_of(bucket_low(b)), b);
+            assert_eq!(bucket_of(2 * bucket_low(b) - 1), b);
+        }
+    }
+
+    fn sample() -> MetricsSnapshot {
+        let mut snap = MetricsSnapshot {
+            counters: [0; Metric::COUNT],
+            histograms: [[0; HIST_BUCKETS]; Metric::COUNT],
+            spans: vec![
+                SpanEdge {
+                    parent: None,
+                    kind: SpanKind::Trace,
+                    count: 1,
+                    nanos: 2_000_000,
+                },
+                SpanEdge {
+                    parent: Some(SpanKind::Trace),
+                    kind: SpanKind::MpnrSolve,
+                    count: 19,
+                    nanos: 1_500_000,
+                },
+            ],
+        };
+        snap.counters[Metric::TransientRuns as usize] = 42;
+        snap.counters[Metric::MpnrIterations as usize] = 40;
+        snap.histograms[Metric::MpnrIterations as usize][2] = 19; // 2-3 iters
+        snap
+    }
+
+    #[test]
+    fn display_lists_nonzero_counters_and_spans() {
+        let text = sample().to_string();
+        assert!(text.contains("transient_runs"), "{text}");
+        assert!(text.contains("42"), "{text}");
+        assert!(text.contains("dist 2-3:19"), "{text}");
+        assert!(text.contains("mpnr_solve"), "{text}");
+        assert!(text.contains("<- trace"), "{text}");
+        assert!(!text.contains("lu_solves"), "zero counters hidden: {text}");
+    }
+
+    #[test]
+    fn json_is_scannable() {
+        let snap = sample();
+        let js = snap.to_json();
+        assert_eq!(json::scan_u64(&js, "transient_runs"), Some(42));
+        assert!(js.contains("\"mpnr_iterations\":[{\"low\":2,\"count\":19}]"));
+        assert!(js.contains("\"kind\":\"mpnr_solve\",\"parent\":\"trace\""));
+        assert!(js.contains("\"parent\":null"));
+    }
+}

@@ -377,6 +377,10 @@ impl<'a> TransientAnalysis<'a> {
         params: &Params,
         scratch: &mut TransientScratch,
     ) -> Result<TransientResult> {
+        // One span + one counter flush per *run* (not per step): the
+        // stepping loop itself stays untouched by telemetry.
+        let _span = shc_obs::span(shc_obs::SpanKind::Transient);
+        shc_obs::count(shc_obs::Metric::TransientRuns, 1);
         let circuit = self.circuit;
         let opts = &self.opts;
         let n = circuit.unknown_count();
@@ -652,6 +656,14 @@ impl<'a> TransientAnalysis<'a> {
             }
         }
 
+        if shc_obs::enabled() {
+            shc_obs::observe(shc_obs::Metric::TransientSteps, stats.steps as u64);
+            shc_obs::observe(
+                shc_obs::Metric::NewtonIterations,
+                stats.newton_iterations as u64,
+            );
+            shc_obs::observe(shc_obs::Metric::LteRejections, stats.rejected_steps as u64);
+        }
         Ok(TransientResult {
             times,
             states,
@@ -989,6 +1001,49 @@ mod tests {
                 res.stats().steps
             );
         }
+    }
+
+    /// Telemetry must be free where it matters: with a collector installed
+    /// the warm stepping loop still allocates zero matrices, produces a
+    /// bitwise-identical final state, and the collector's per-run flush
+    /// sees the true step counts.
+    #[test]
+    fn telemetry_keeps_warm_loop_allocation_free_and_bitwise_identical() {
+        let (c, _) = rc_circuit();
+        // Pin the initial condition so the (allocating) DC operating-point
+        // solve stays out of the measured loop, as in the test above.
+        let opts = TransientOptions::builder(2e-6)
+            .dt(2e-9)
+            .integrator(Integrator::Gear2)
+            .initial(InitialCondition::Given(Vector::zeros(c.unknown_count())))
+            .build();
+        let analysis = TransientAnalysis::new(&c, opts);
+        let params = Params::default();
+        let mut scratch = TransientScratch::new(c.unknown_count());
+        let quiet = analysis.run_with_scratch(&params, &mut scratch).unwrap();
+        let quiet_state = quiet.final_state().clone();
+        let quiet_stats = *quiet.stats();
+
+        let collector = shc_obs::Collector::new();
+        let _guard = shc_obs::install_scoped(&collector);
+        let before = shc_linalg::matrix_allocations();
+        let observed = analysis.run_with_scratch(&params, &mut scratch).unwrap();
+        let allocated = shc_linalg::matrix_allocations() - before;
+
+        assert_eq!(allocated, 0, "telemetry allocated {allocated} matrices");
+        assert_eq!(observed.final_state().as_slice(), quiet_state.as_slice());
+        assert_eq!(*observed.stats(), quiet_stats);
+        let snap = collector.snapshot();
+        assert_eq!(snap.counter(shc_obs::Metric::TransientRuns), 1);
+        assert_eq!(
+            snap.counter(shc_obs::Metric::TransientSteps),
+            quiet_stats.steps as u64
+        );
+        assert_eq!(
+            snap.counter(shc_obs::Metric::NewtonIterations),
+            quiet_stats.newton_iterations as u64
+        );
+        assert_eq!(snap.counter(shc_obs::Metric::MatrixAllocations), 0);
     }
 
     /// `run` and `run_with_scratch` must be observably identical.

@@ -4,10 +4,13 @@
 //! live here so they are unit-testable.
 
 use std::fmt;
+use std::path::Path;
+use std::sync::Arc;
 
 use shc_cells::{OutputTransition, Register};
 use shc_core::report::ContourTable;
 use shc_core::CharacterizationProblem;
+use shc_obs::{Collector, FileSink, Sink};
 use shc_spice::netlist;
 
 /// Parsed command-line configuration.
@@ -33,6 +36,10 @@ pub struct CliConfig {
     pub points: usize,
     /// Reference setup skew override (needed for transparent latches).
     pub reference_setup: Option<f64>,
+    /// JSONL run-journal path (one event per traced contour point).
+    pub journal: Option<String>,
+    /// End-of-run metrics JSON path.
+    pub metrics: Option<String>,
 }
 
 /// A CLI usage error.
@@ -65,7 +72,21 @@ options:
   --degradation <frac>  clock-to-Q degradation    [0.1]
   --points <n>          contour points to trace   [20]
   --reference-setup <t> reference setup skew (transparent latches need a
-                        near-edge value, e.g. 0.12n)";
+                        near-edge value, e.g. 0.12n)
+telemetry:
+  --journal <path>      write a JSONL run journal: one event per traced
+                        contour point (tau_s, tau_h, residual, Jacobian
+                        norm, tangent, corrector iterations, transient
+                        step/rejection counts)
+  --metrics <path>      write end-of-run solver metrics (counters, log2
+                        histograms, span timings) as JSON
+
+--degradation picks the contour (capture deadline t_f = t_edge +
+(1 + degradation) * t_CQ); --points bounds how far the Euler-Newton walk
+follows that contour, so the journal holds at most --points events — fewer
+if the walk stops early at a skew bound. With --journal or --metrics the
+telemetry summary is printed even when tracing fails partway; the journal
+then holds the points traced before the failure.";
 
 /// Parses CLI arguments (without the program name).
 ///
@@ -85,6 +106,8 @@ pub fn parse_args(args: &[String]) -> Result<CliConfig, UsageError> {
         degradation: 0.1,
         points: 20,
         reference_setup: None,
+        journal: None,
+        metrics: None,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -140,6 +163,8 @@ pub fn parse_args(args: &[String]) -> Result<CliConfig, UsageError> {
                         .ok_or_else(|| UsageError(format!("bad --reference-setup value '{v}'")))?,
                 );
             }
+            "--journal" => cfg.journal = Some(value_for("--journal")?),
+            "--metrics" => cfg.metrics = Some(value_for("--metrics")?),
             "--points" => {
                 let v = value_for("--points")?;
                 cfg.points = v
@@ -197,10 +222,58 @@ pub fn build_register(deck: &str, cfg: &CliConfig) -> Result<Register, Box<dyn s
 
 /// Runs the full characterization pipeline and renders the report.
 ///
+/// With `--journal`/`--metrics` a telemetry collector is installed for the
+/// duration of the run; the journal is flushed and the metrics summary
+/// produced on *both* the success and the failure path, so a run that
+/// dies mid-contour still leaves the points traced so far on disk and
+/// reports where the simulation budget went (the error message then
+/// carries the summary table).
+///
 /// # Errors
 ///
 /// Propagates netlist, configuration, and characterization failures.
 pub fn run(deck: &str, cfg: &CliConfig) -> Result<String, Box<dyn std::error::Error>> {
+    let collector = if cfg.journal.is_some() || cfg.metrics.is_some() {
+        Some(match &cfg.journal {
+            Some(path) => {
+                let sink: Arc<dyn Sink> = Arc::new(FileSink::create(Path::new(path))?);
+                Collector::with_sink(sink)
+            }
+            None => Collector::new(),
+        })
+    } else {
+        None
+    };
+    let _telemetry = collector.as_ref().map(shc_obs::install_scoped);
+
+    let outcome = run_pipeline(deck, cfg);
+    let Some(collector) = collector else {
+        return outcome;
+    };
+
+    // Finalize telemetry regardless of the pipeline outcome: a partial
+    // journal and a metrics summary are exactly what a failed run needs.
+    let flushed = collector.flush();
+    let snapshot = collector.snapshot();
+    let metrics_written = match &cfg.metrics {
+        Some(path) => std::fs::write(path, snapshot.to_json()),
+        None => Ok(()),
+    };
+    match outcome {
+        Ok(mut out) => {
+            flushed?;
+            metrics_written?;
+            out.push('\n');
+            out.push_str(&snapshot.to_string());
+            Ok(out)
+        }
+        Err(e) => Err(format!("{e}\n\n{snapshot}").into()),
+    }
+}
+
+/// The characterization pipeline proper (no telemetry plumbing).
+fn run_pipeline(deck: &str, cfg: &CliConfig) -> Result<String, Box<dyn std::error::Error>> {
+    let _span = shc_obs::span(shc_obs::SpanKind::CliRun);
     let register = build_register(deck, cfg)?;
     let mut builder = CharacterizationProblem::builder(register).degradation(cfg.degradation);
     if let Some(rs) = cfg.reference_setup {
@@ -216,9 +289,10 @@ pub fn run(deck: &str, cfg: &CliConfig) -> Result<String, Box<dyn std::error::Er
     let contour = problem.trace_contour(cfg.points)?;
     out.push_str(&ContourTable::from_contour("custom", &contour).to_string());
     out.push_str(&format!(
-        "\n{} points, {} transient simulations, {:.1} MPNR iterations/point\n",
+        "\n{} points, {} transient simulations (+{} calibration), {:.1} MPNR iterations/point\n",
         contour.points().len(),
         problem.simulation_count(),
+        problem.calibration_simulations(),
         contour.mean_corrector_iterations(),
     ));
     Ok(out)

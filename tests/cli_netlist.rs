@@ -35,6 +35,8 @@ fn latch_config() -> CliConfig {
         degradation: 0.1,
         points: 8,
         reference_setup: Some(0.12e-9),
+        journal: None,
+        metrics: None,
     }
 }
 
@@ -93,6 +95,69 @@ fn cli_matches_builtin_dlatch_fixture() {
 }
 
 #[test]
+fn journal_and_metrics_files_capture_the_run() {
+    let dir = std::env::temp_dir();
+    let journal = dir.join(format!("shc_cli_journal_{}.jsonl", std::process::id()));
+    let metrics = dir.join(format!("shc_cli_metrics_{}.json", std::process::id()));
+    let cfg = CliConfig {
+        journal: Some(journal.to_string_lossy().into_owned()),
+        metrics: Some(metrics.to_string_lossy().into_owned()),
+        ..latch_config()
+    };
+    let report = cli::run(DLATCH_DECK, &cfg).expect("pipeline runs");
+    assert!(report.contains("telemetry summary"), "report: {report}");
+
+    // One valid JSONL event per traced contour point, in walk order.
+    let rows = report
+        .lines()
+        .filter(|l| {
+            let fields: Vec<&str> = l.split_whitespace().collect();
+            fields.len() == 2 && fields.iter().all(|f| f.parse::<f64>().is_ok())
+        })
+        .count();
+    let text = std::fs::read_to_string(&journal).expect("journal written");
+    let events: Vec<shc_obs::JournalEvent> = text
+        .lines()
+        .map(|l| shc_obs::JournalEvent::from_json(l).expect("valid JSONL event"))
+        .collect();
+    assert_eq!(events.len(), rows, "one journal event per contour row");
+    assert!(events.len() <= cfg.points, "--points bounds the journal");
+    for (i, e) in events.iter().enumerate() {
+        assert_eq!(e.point, i as u64);
+        assert_eq!(e.level, None, "single trace has no batch level");
+        assert!(
+            e.residual < 5e-3,
+            "point {i}: loose residual {}",
+            e.residual
+        );
+        assert!(e.transient_steps > 0, "point {i}: no transient work?");
+    }
+
+    // Metrics must reconcile with the report's own simulation accounting:
+    // "<n> points, <sims> transient simulations (+<cal> calibration), ...".
+    let line = report
+        .lines()
+        .find(|l| l.contains("transient simulations"))
+        .expect("summary line");
+    let nums: Vec<u64> = line
+        .split(|c: char| !c.is_ascii_digit())
+        .filter(|s| !s.is_empty())
+        .filter_map(|s| s.parse().ok())
+        .collect();
+    let (points, sims, calibration) = (nums[0], nums[1], nums[2]);
+    assert_eq!(points as usize, rows);
+    let mtext = std::fs::read_to_string(&metrics).expect("metrics written");
+    let counter = |key: &str| shc_obs::json::scan_u64(&mtext, key).unwrap_or(0);
+    assert_eq!(counter("transient_runs"), sims + calibration);
+    assert_eq!(counter("journal_events"), events.len() as u64);
+    assert_eq!(counter("contour_points"), events.len() as u64);
+    assert!(counter("mpnr_solves") > 0);
+
+    std::fs::remove_file(&journal).ok();
+    std::fs::remove_file(&metrics).ok();
+}
+
+#[test]
 fn bad_deck_is_reported_with_line() {
     let err = cli::run("R1 a 0 garbage\n.end", &latch_config()).unwrap_err();
     assert!(err.to_string().contains("line 1"), "got: {err}");
@@ -143,6 +208,8 @@ fn hierarchical_tspc_deck_matches_builtin_fixture() {
         degradation: 0.1,
         points: 4,
         reference_setup: None,
+        journal: None,
+        metrics: None,
     };
     let deck_problem =
         CharacterizationProblem::builder(cli::build_register(TSPC_DECK_FAST, &cfg).unwrap())
