@@ -136,8 +136,10 @@ pub fn sweep(
     results.extend(parallel::run_indexed(opts.parallelism, slots.len(), |i| {
         let (label, register) = slots[i]
             .lock()
+            // lint: allow(no-panic, reason = "poisoned slot means a sibling corner already panicked; unwinding is the only option left")
             .expect("corner slot poisoned")
             .take()
+            // lint: allow(no-panic, reason = "run_indexed dispatches each index exactly once")
             .expect("corner job ran twice");
         run_corner(label, register, opts, Some(anchor_params)).map(|(result, _)| result)
     })?);

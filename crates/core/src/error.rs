@@ -46,6 +46,13 @@ pub enum CharError {
         /// Description of the offending option.
         reason: &'static str,
     },
+    /// An internal invariant was violated (a result that was requested
+    /// upstream is missing). Surfaced as an error instead of a panic so
+    /// one bad point cannot abort a batch characterization run.
+    Internal {
+        /// Which invariant broke.
+        reason: &'static str,
+    },
 }
 
 impl fmt::Display for CharError {
@@ -77,6 +84,9 @@ impl fmt::Display for CharError {
                 reason,
             } => write!(f, "trace aborted after {points_found} points: {reason}"),
             CharError::BadOption { reason } => write!(f, "bad option: {reason}"),
+            CharError::Internal { reason } => {
+                write!(f, "internal invariant violated: {reason}")
+            }
         }
     }
 }

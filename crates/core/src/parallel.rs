@@ -125,6 +125,7 @@ where
                     }
                     local.push((i, result));
                 }
+                // lint: allow(no-panic, reason = "poisoning means a sibling worker panicked; unwinding propagates that panic")
                 let mut slots = slots.lock().expect("worker panicked holding results");
                 for (i, r) in local {
                     slots[i] = Some(r);
@@ -133,6 +134,7 @@ where
         }
     });
 
+    // lint: allow(no-panic, reason = "scope has joined all workers; poisoning means one panicked and the panic is already propagating")
     let slots = slots.into_inner().expect("worker panicked holding results");
     let mut out = Vec::with_capacity(count);
     for (i, slot) in slots.into_iter().enumerate() {
@@ -142,6 +144,7 @@ where
         match slot {
             Some(Ok(value)) => out.push(value),
             Some(Err(e)) => return Err(e),
+            // lint: allow(no-panic, reason = "monotone index claiming guarantees an Err precedes any skipped slot; see comment above")
             None => unreachable!("job {i} skipped without a preceding error"),
         }
     }

@@ -208,10 +208,14 @@ impl CharacterizationProblem {
         let out = self.register.output_unknown();
         let ms = res
             .final_sensitivity(Param::Setup)
-            .expect("setup sensitivity requested");
+            .ok_or(CharError::Internal {
+                reason: "transient ran with sensitivities on but returned no setup sensitivity",
+            })?;
         let mh = res
             .final_sensitivity(Param::Hold)
-            .expect("hold sensitivity requested");
+            .ok_or(CharError::Internal {
+                reason: "transient ran with sensitivities on but returned no hold sensitivity",
+            })?;
         Ok(HEvaluation {
             h: res.final_state()[out] - self.r,
             dh_dtau_s: ms[out],
@@ -250,8 +254,12 @@ impl CharacterizationProblem {
         )?;
         Ok(HEvaluation {
             h: res.final_state()[out] - self.r,
-            dh_dtau_s: adj.gradient(Param::Setup).expect("setup requested"),
-            dh_dtau_h: adj.gradient(Param::Hold).expect("hold requested"),
+            dh_dtau_s: adj.gradient(Param::Setup).ok_or(CharError::Internal {
+                reason: "adjoint sweep over Param::ALL returned no setup gradient",
+            })?,
+            dh_dtau_h: adj.gradient(Param::Hold).ok_or(CharError::Internal {
+                reason: "adjoint sweep over Param::ALL returned no hold gradient",
+            })?,
             stats: *res.stats(),
         })
     }

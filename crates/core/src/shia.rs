@@ -147,9 +147,12 @@ impl SetupHoldModel {
     /// The classic single-point characterization this model generalizes:
     /// `(setup at most generous hold, hold at most generous setup)`.
     pub fn independent_times(&self) -> (f64, f64) {
-        let first = self.pairs.first().expect("model is nonempty");
-        let last = self.pairs.last().expect("model is nonempty");
-        (first.0, last.1)
+        // Constructors reject empty models, but degrade to (0, 0) rather
+        // than panicking if that ever changes.
+        match (self.pairs.first(), self.pairs.last()) {
+            (Some(first), Some(last)) => (first.0, last.1),
+            _ => (0.0, 0.0),
+        }
     }
 
     /// Renders Liberty-flavoured lookup rows (`index_1` = hold, values =

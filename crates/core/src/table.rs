@@ -94,8 +94,11 @@ impl CellTable {
                         .loads
                         .iter()
                         .enumerate()
-                        .map(|(j, _)| {
-                            format!("{:.4}", f(self.entry(i, j).expect("dense grid")) * 1e9)
+                        .map(|(j, _)| match self.entry(i, j) {
+                            Some(e) => format!("{:.4}", f(e) * 1e9),
+                            // A hole in the grid renders as NaN rather
+                            // than aborting the whole table export.
+                            None => "NaN".to_string(),
                         })
                         .collect();
                     format!("  \"{}\"", row.join(", "))

@@ -125,6 +125,7 @@ impl LuFactor {
             for i in (k + 1)..n {
                 let factor = lu[(i, k)] / pivot;
                 lu[(i, k)] = factor;
+                // lint: allow(float-eq, reason = "exact-zero skip is a sparsity fast path; any nonzero factor must be applied")
                 if factor != 0.0 {
                     for j in (k + 1)..n {
                         let delta = factor * lu[(k, j)];
@@ -258,6 +259,7 @@ impl LuFactor {
             max_u = max_u.max(u);
             min_u = min_u.min(u);
         }
+        // lint: allow(float-eq, reason = "an exactly-zero pivot is the definition of a singular U; tolerance belongs to the caller")
         if min_u == 0.0 {
             f64::INFINITY
         } else {

@@ -1,0 +1,235 @@
+//! The ratchet baseline: committed per-(rule, file) counts for the
+//! ratcheted rules (`no-panic`, `float-eq`). Findings at or below the
+//! baseline count pass; the count may only go down over time.
+//!
+//! The file format is a small fixed-shape JSON document that this module
+//! both writes and reads (one entry object per line), so the reader is a
+//! simple line scanner rather than a general JSON parser.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::report::{json_escape, Finding};
+use crate::rules::RATCHETED_RULES;
+
+/// Allowed finding counts keyed by (rule, file).
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct Baseline {
+    pub entries: BTreeMap<(String, String), usize>,
+}
+
+/// Outcome of filtering findings through the baseline.
+#[derive(Debug, Default)]
+pub struct RatchetResult {
+    /// Findings that must fail the run (non-ratcheted rules, plus
+    /// ratcheted groups that exceeded their allowance).
+    pub new_findings: Vec<Finding>,
+    /// Count of findings absorbed by the baseline.
+    pub baselined: usize,
+    /// Groups now strictly below their allowance: (rule, file, count,
+    /// allowed). The baseline should be re-tightened with
+    /// `--update-baseline`.
+    pub improved: Vec<(String, String, usize, usize)>,
+}
+
+impl Baseline {
+    /// Parses the committed `lint-baseline.json`. Returns `Err` on any
+    /// line that looks like an entry but does not parse — a corrupt
+    /// baseline must not silently allow findings.
+    pub fn parse(text: &str) -> Result<Baseline, String> {
+        let mut entries = BTreeMap::new();
+        for (lineno, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if !line.contains("\"rule\"") {
+                continue;
+            }
+            let rule = extract_str(line, "rule")
+                .ok_or_else(|| format!("baseline line {}: missing \"rule\"", lineno + 1))?;
+            let file = extract_str(line, "file")
+                .ok_or_else(|| format!("baseline line {}: missing \"file\"", lineno + 1))?;
+            let count = extract_usize(line, "count")
+                .ok_or_else(|| format!("baseline line {}: missing \"count\"", lineno + 1))?;
+            entries.insert((rule, file), count);
+        }
+        Ok(Baseline { entries })
+    }
+
+    /// Serializes in the fixed one-entry-per-line shape `parse` expects.
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n  \"version\": 1,\n  \"entries\": [\n");
+        let n = self.entries.len();
+        for (i, ((rule, file), count)) in self.entries.iter().enumerate() {
+            let comma = if i + 1 == n { "" } else { "," };
+            let _ = writeln!(
+                s,
+                "    {{ \"rule\": \"{}\", \"file\": \"{}\", \"count\": {} }}{comma}",
+                json_escape(rule),
+                json_escape(file),
+                count
+            );
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+
+    /// Builds a fresh baseline from the current findings (the
+    /// `--update-baseline` path). Only ratcheted rules are recorded.
+    pub fn from_findings(findings: &[Finding]) -> Baseline {
+        let mut entries: BTreeMap<(String, String), usize> = BTreeMap::new();
+        for f in findings {
+            if RATCHETED_RULES.contains(&f.rule) {
+                *entries
+                    .entry((f.rule.to_string(), f.file.clone()))
+                    .or_insert(0) += 1;
+            }
+        }
+        Baseline { entries }
+    }
+
+    /// Splits findings into baselined and new. Ratcheted groups are
+    /// all-or-nothing: if a (rule, file) exceeds its allowance, every
+    /// finding in the group is reported so the offending sites are
+    /// visible (the allowance is a count, not a set of lines).
+    pub fn apply(&self, findings: Vec<Finding>) -> RatchetResult {
+        let mut res = RatchetResult::default();
+        let mut groups: BTreeMap<(String, String), Vec<Finding>> = BTreeMap::new();
+        for f in findings {
+            if RATCHETED_RULES.contains(&f.rule) {
+                groups
+                    .entry((f.rule.to_string(), f.file.clone()))
+                    .or_default()
+                    .push(f);
+            } else {
+                res.new_findings.push(f);
+            }
+        }
+        // Baseline entries for files that now have zero findings are the
+        // best kind of improvement; report them so the baseline gets
+        // re-tightened.
+        for ((rule, file), &allowed) in &self.entries {
+            if allowed > 0 && !groups.contains_key(&(rule.clone(), file.clone())) {
+                res.improved.push((rule.clone(), file.clone(), 0, allowed));
+            }
+        }
+        for ((rule, file), group) in groups {
+            let allowed = self
+                .entries
+                .get(&(rule.clone(), file.clone()))
+                .copied()
+                .unwrap_or(0);
+            let count = group.len();
+            if count > allowed {
+                for mut f in group {
+                    f.message = format!(
+                        "{} ({} findings in this file vs {} baselined)",
+                        f.message, count, allowed
+                    );
+                    res.new_findings.push(f);
+                }
+            } else {
+                res.baselined += count;
+                if count < allowed {
+                    res.improved.push((rule, file, count, allowed));
+                }
+            }
+        }
+        res.new_findings
+            .sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+        res
+    }
+}
+
+/// Extracts `"key": "value"` from a single line.
+fn extract_str(line: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\"");
+    let after = &line[line.find(&pat)? + pat.len()..];
+    let after = after.trim_start().strip_prefix(':')?.trim_start();
+    let after = after.strip_prefix('"')?;
+    let mut out = String::new();
+    let mut chars = after.chars();
+    while let Some(c) = chars.next() {
+        match c {
+            '"' => return Some(out),
+            '\\' => match chars.next()? {
+                'n' => out.push('\n'),
+                't' => out.push('\t'),
+                other => out.push(other),
+            },
+            c => out.push(c),
+        }
+    }
+    None
+}
+
+/// Extracts `"key": 123` from a single line.
+fn extract_usize(line: &str, key: &str) -> Option<usize> {
+    let pat = format!("\"{key}\"");
+    let after = &line[line.find(&pat)? + pat.len()..];
+    let after = after.trim_start().strip_prefix(':')?.trim_start();
+    let digits: String = after.chars().take_while(|c| c.is_ascii_digit()).collect();
+    digits.parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(rule: &'static str, file: &str, line: u32) -> Finding {
+        Finding::new(rule, file.to_string(), line, "m".to_string())
+    }
+
+    #[test]
+    fn round_trip() {
+        let findings = vec![
+            finding("no-panic", "crates/core/src/a.rs", 1),
+            finding("no-panic", "crates/core/src/a.rs", 2),
+            finding("float-eq", "crates/linalg/src/lu.rs", 9),
+            finding("unsafe-audit", "src/x.rs", 3), // not ratcheted: excluded
+        ];
+        let b = Baseline::from_findings(&findings);
+        assert_eq!(b.entries.len(), 2);
+        let parsed = Baseline::parse(&b.render()).unwrap();
+        assert_eq!(parsed, b);
+    }
+
+    #[test]
+    fn ratchet_allows_at_or_below_count_and_fails_above() {
+        let mut b = Baseline::default();
+        b.entries
+            .insert(("no-panic".into(), "crates/core/src/a.rs".into()), 2);
+
+        let at = b.apply(vec![
+            finding("no-panic", "crates/core/src/a.rs", 1),
+            finding("no-panic", "crates/core/src/a.rs", 2),
+        ]);
+        assert!(at.new_findings.is_empty());
+        assert_eq!(at.baselined, 2);
+
+        let above = b.apply(vec![
+            finding("no-panic", "crates/core/src/a.rs", 1),
+            finding("no-panic", "crates/core/src/a.rs", 2),
+            finding("no-panic", "crates/core/src/a.rs", 3),
+        ]);
+        assert_eq!(above.new_findings.len(), 3);
+        assert!(above.new_findings[0].message.contains("3 findings"));
+
+        let below = b.apply(vec![finding("no-panic", "crates/core/src/a.rs", 1)]);
+        assert!(below.new_findings.is_empty());
+        assert_eq!(below.improved.len(), 1);
+    }
+
+    #[test]
+    fn non_ratcheted_rules_always_fail() {
+        let mut b = Baseline::default();
+        b.entries
+            .insert(("hot-loop-alloc".into(), "x.rs".into()), 5);
+        let res = b.apply(vec![finding("hot-loop-alloc", "x.rs", 1)]);
+        assert_eq!(res.new_findings.len(), 1, "hard rules cannot be baselined");
+    }
+
+    #[test]
+    fn corrupt_baseline_is_an_error() {
+        assert!(Baseline::parse("{ \"entries\": [ { \"rule\": \"x\" } ] }").is_err());
+    }
+}

@@ -1,0 +1,219 @@
+//! Workspace walker and the `check` entry point used by both the
+//! `shc-lint` binary and the self-check integration test.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use crate::baseline::{Baseline, RatchetResult};
+use crate::report::{render_json, Finding};
+use crate::rules::{self, SourceFile, Workspace};
+
+/// Name of the committed ratchet file at the workspace root.
+pub const BASELINE_FILE: &str = "lint-baseline.json";
+
+/// Options for one `check` run.
+#[derive(Debug, Default, Clone)]
+pub struct CheckOptions {
+    /// Emit the machine-readable JSON report instead of human lines.
+    pub json: bool,
+    /// Rewrite `lint-baseline.json` from the current findings.
+    pub update_baseline: bool,
+    /// Workspace root; discovered from the current directory when unset.
+    pub root: Option<PathBuf>,
+}
+
+/// Outcome of a `check` run, for callers that want the data rather than
+/// the printed report (the self-check test).
+#[derive(Debug)]
+pub struct CheckOutcome {
+    pub new_findings: Vec<Finding>,
+    pub baselined: usize,
+    pub improved: usize,
+    pub files_checked: usize,
+}
+
+/// Ascends from `start` to the first directory that looks like the
+/// workspace root (has both `Cargo.toml` and a `crates/` directory).
+pub fn find_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = start.to_path_buf();
+    loop {
+        if dir.join("Cargo.toml").is_file() && dir.join("crates").is_dir() {
+            return Some(dir);
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+/// Collects every `.rs` file under the workspace `src/` trees: the root
+/// package plus each `crates/*` member. Paths come back repo-relative
+/// with forward slashes, sorted for deterministic reports.
+pub fn collect_workspace(root: &Path) -> Result<Workspace, String> {
+    let mut files = Vec::new();
+    let mut src_dirs = vec![root.join("src")];
+    let crates_dir = root.join("crates");
+    let entries = fs::read_dir(&crates_dir)
+        .map_err(|e| format!("cannot read {}: {e}", crates_dir.display()))?;
+    let mut members: Vec<PathBuf> = entries
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.is_dir())
+        .collect();
+    members.sort();
+    for member in members {
+        src_dirs.push(member.join("src"));
+    }
+    for dir in src_dirs {
+        if dir.is_dir() {
+            walk_rs(&dir, root, &mut files)?;
+        }
+    }
+    files.sort_by(|a, b| a.path.cmp(&b.path));
+    let design_md = fs::read_to_string(root.join("DESIGN.md")).ok();
+    Ok(Workspace { files, design_md })
+}
+
+fn walk_rs(dir: &Path, root: &Path, out: &mut Vec<SourceFile>) -> Result<(), String> {
+    let entries = fs::read_dir(dir).map_err(|e| format!("cannot read {}: {e}", dir.display()))?;
+    for entry in entries {
+        let path = entry.map_err(|e| e.to_string())?.path();
+        if path.is_dir() {
+            walk_rs(&path, root, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            let text = fs::read_to_string(&path)
+                .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .to_string_lossy()
+                .replace('\\', "/");
+            out.push(SourceFile { path: rel, text });
+        }
+    }
+    Ok(())
+}
+
+/// Runs the full lint over the workspace rooted at `root` and filters
+/// through the committed baseline. Does not print.
+pub fn check_workspace(root: &Path) -> Result<CheckOutcome, String> {
+    let ws = collect_workspace(root)?;
+    let files_checked = ws.files.len();
+    let findings = rules::run(&ws);
+    let baseline_path = root.join(BASELINE_FILE);
+    let baseline = match fs::read_to_string(&baseline_path) {
+        Ok(text) => Baseline::parse(&text)?,
+        Err(_) => Baseline::default(),
+    };
+    let RatchetResult {
+        new_findings,
+        baselined,
+        improved,
+    } = baseline.apply(findings);
+    Ok(CheckOutcome {
+        new_findings,
+        baselined,
+        improved: improved.len(),
+        files_checked,
+    })
+}
+
+/// The CLI `check` subcommand. Prints the report and returns the process
+/// exit code: 0 when clean (or after a baseline update), 1 on findings,
+/// 2 on usage/IO errors.
+pub fn run_check(opts: &CheckOptions) -> u8 {
+    let root = match &opts.root {
+        Some(r) => r.clone(),
+        None => {
+            let cwd = match std::env::current_dir() {
+                Ok(c) => c,
+                Err(e) => {
+                    eprintln!("shc-lint: cannot determine current directory: {e}");
+                    return 2;
+                }
+            };
+            match find_root(&cwd) {
+                Some(r) => r,
+                None => {
+                    eprintln!(
+                        "shc-lint: no workspace root (Cargo.toml + crates/) above {}",
+                        cwd.display()
+                    );
+                    return 2;
+                }
+            }
+        }
+    };
+
+    let ws = match collect_workspace(&root) {
+        Ok(ws) => ws,
+        Err(e) => {
+            eprintln!("shc-lint: {e}");
+            return 2;
+        }
+    };
+    let files_checked = ws.files.len();
+    let findings = rules::run(&ws);
+
+    if opts.update_baseline {
+        let baseline = Baseline::from_findings(&findings);
+        let path = root.join(BASELINE_FILE);
+        if let Err(e) = fs::write(&path, baseline.render()) {
+            eprintln!("shc-lint: cannot write {}: {e}", path.display());
+            return 2;
+        }
+        println!(
+            "shc-lint: wrote {} ({} ratcheted entr{})",
+            path.display(),
+            baseline.entries.len(),
+            if baseline.entries.len() == 1 {
+                "y"
+            } else {
+                "ies"
+            }
+        );
+        // Fall through and report against the fresh baseline: hard-rule
+        // findings still fail even right after an update.
+    }
+
+    let baseline_path = root.join(BASELINE_FILE);
+    let baseline = match fs::read_to_string(&baseline_path) {
+        Ok(text) => match Baseline::parse(&text) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("shc-lint: {e}");
+                return 2;
+            }
+        },
+        Err(_) => Baseline::default(),
+    };
+    let RatchetResult {
+        new_findings,
+        baselined,
+        improved,
+    } = baseline.apply(findings);
+
+    if opts.json {
+        print!("{}", render_json(&new_findings, baselined, files_checked));
+    } else {
+        for f in &new_findings {
+            println!("{}", f.render());
+        }
+        for (rule, file, count, allowed) in &improved {
+            println!(
+                "shc-lint: note: {file} is below its `{rule}` baseline ({count} < {allowed}); run `cargo run -p shc-lint -- check --update-baseline` to ratchet down"
+            );
+        }
+        println!(
+            "shc-lint: {} files checked, {} finding{} baselined, {} new",
+            files_checked,
+            baselined,
+            if baselined == 1 { "" } else { "s" },
+            new_findings.len()
+        );
+    }
+    if new_findings.is_empty() {
+        0
+    } else {
+        1
+    }
+}

@@ -1,0 +1,536 @@
+//! A hand-rolled Rust lexer sufficient for token-pattern linting.
+//!
+//! This is not a full parser: it produces a flat token stream with line
+//! numbers, which is exactly what the rules in [`crate::rules`] need.
+//! What it *must* get right — and what plain regex scanning cannot — is
+//! skipping text that merely *looks* like code:
+//!
+//! - line comments (`//`), doc comments (`///`, `//!`), and **nested**
+//!   block comments (`/* /* */ */`), kept as tokens because lint
+//!   annotations (`// lint: allow(...)`, `// SAFETY:`) live in them;
+//! - string literals, including raw strings `r#"…"#` with any number of
+//!   hashes, byte strings `b"…"`, and raw byte strings `br#"…"#`;
+//! - char literals with escapes (`'\''`, `'\u{1F600}'`) versus
+//!   lifetimes (`'a`), which both start with a single quote;
+//! - numeric literals with underscores, suffixes, and signed exponents
+//!   (`1_000`, `2.5e-12`, `0x_FF`, `1f64`), with float-ness preserved so
+//!   the float-eq rule can use it.
+//!
+//! Multi-character operators (`::`, `==`, `!=`, `..=`, …) are combined by
+//! maximal munch so rules can match on operator text directly.
+
+/// Lexical class of a [`Token`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`fn`, `unwrap`, `r#type`).
+    Ident,
+    /// Lifetime (`'a`, `'static`) — *not* a char literal.
+    Lifetime,
+    /// Numeric literal (`42`, `2.5e-12`, `0xFF`, `1_000u64`).
+    Number,
+    /// String literal of any flavour (`"…"`, `r#"…"#`, `b"…"`).
+    Str,
+    /// Char or byte literal (`'x'`, `'\n'`, `b'\0'`).
+    Char,
+    /// `// …` comment, including its `//` prefix.
+    LineComment,
+    /// `/// …` or `//! …` doc comment.
+    DocComment,
+    /// `/* … */` comment (nested comments are one token).
+    BlockComment,
+    /// Operator or delimiter; multi-char operators are a single token.
+    Punct,
+}
+
+/// One lexed token: classification, source text, and 1-based line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Token<'a> {
+    /// Lexical class.
+    pub kind: TokenKind,
+    /// Exact source text of the token.
+    pub text: &'a str,
+    /// 1-based line number of the token's first character.
+    pub line: u32,
+}
+
+impl<'a> Token<'a> {
+    /// True for comment tokens of any flavour.
+    pub fn is_comment(&self) -> bool {
+        matches!(
+            self.kind,
+            TokenKind::LineComment | TokenKind::DocComment | TokenKind::BlockComment
+        )
+    }
+}
+
+/// Multi-character operators, longest first (maximal munch).
+const OPERATORS: &[&str] = &[
+    "<<=", ">>=", "...", "..=", "::", "->", "=>", "==", "!=", "<=", ">=", "&&", "||", "<<", ">>",
+    "+=", "-=", "*=", "/=", "%=", "^=", "&=", "|=", "..",
+];
+
+/// Lexes `source` into a token stream.
+///
+/// Unterminated literals/comments are tolerated (the rest of the file
+/// becomes one token): the linter must keep going on code rustc would
+/// reject, because it also runs on known-bad fixtures.
+pub fn lex(source: &str) -> Vec<Token<'_>> {
+    Lexer {
+        src: source,
+        bytes: source.as_bytes(),
+        pos: 0,
+        line: 1,
+        tokens: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer<'a> {
+    src: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+    line: u32,
+    tokens: Vec<Token<'a>>,
+}
+
+impl<'a> Lexer<'a> {
+    fn run(mut self) -> Vec<Token<'a>> {
+        while self.pos < self.bytes.len() {
+            let start = self.pos;
+            let line = self.line;
+            let b = self.bytes[self.pos];
+            match b {
+                b' ' | b'\t' | b'\r' => self.pos += 1,
+                b'\n' => {
+                    self.pos += 1;
+                    self.line += 1;
+                }
+                b'/' if self.peek(1) == Some(b'/') => self.line_comment(start, line),
+                b'/' if self.peek(1) == Some(b'*') => self.block_comment(start, line),
+                b'r' | b'b' | b'c' if self.raw_or_byte_string(start, line) => {}
+                b'"' => self.string_literal(start, line),
+                b'\'' => self.char_or_lifetime(start, line),
+                b'0'..=b'9' => self.number(start, line),
+                _ if is_ident_start(b) => self.ident(start, line),
+                _ => self.punct(start, line),
+            }
+        }
+        self.tokens
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.bytes.get(self.pos + ahead).copied()
+    }
+
+    fn emit(&mut self, kind: TokenKind, start: usize, line: u32) {
+        self.tokens.push(Token {
+            kind,
+            text: &self.src[start..self.pos],
+            line,
+        });
+    }
+
+    /// Advances past `n` bytes, counting newlines.
+    fn advance_counting(&mut self, n: usize) {
+        for _ in 0..n {
+            if self.bytes.get(self.pos) == Some(&b'\n') {
+                self.line += 1;
+            }
+            self.pos += 1;
+        }
+    }
+
+    fn line_comment(&mut self, start: usize, line: u32) {
+        while self.pos < self.bytes.len() && self.bytes[self.pos] != b'\n' {
+            self.pos += 1;
+        }
+        let text = &self.src[start..self.pos];
+        // `////…` is a plain comment in rustc; only exactly-`///` and
+        // `//!` are docs.
+        let kind =
+            if (text.starts_with("///") && !text.starts_with("////")) || text.starts_with("//!") {
+                TokenKind::DocComment
+            } else {
+                TokenKind::LineComment
+            };
+        self.emit(kind, start, line);
+    }
+
+    fn block_comment(&mut self, start: usize, line: u32) {
+        self.pos += 2; // consume "/*"
+        let mut depth = 1usize;
+        while self.pos < self.bytes.len() && depth > 0 {
+            if self.bytes[self.pos] == b'/' && self.peek(1) == Some(b'*') {
+                depth += 1;
+                self.pos += 2;
+            } else if self.bytes[self.pos] == b'*' && self.peek(1) == Some(b'/') {
+                depth -= 1;
+                self.pos += 2;
+            } else {
+                if self.bytes[self.pos] == b'\n' {
+                    self.line += 1;
+                }
+                self.pos += 1;
+            }
+        }
+        self.emit(TokenKind::BlockComment, start, line);
+    }
+
+    /// Handles `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#`, `b'…'`, `c"…"`.
+    /// Returns false (consuming nothing) when the prefix is an ordinary
+    /// identifier (`radius`, `result`, `r#type`).
+    fn raw_or_byte_string(&mut self, start: usize, line: u32) -> bool {
+        let rest = &self.bytes[self.pos..];
+        // Longest literal prefixes first.
+        for prefix in [&b"br"[..], &b"rb"[..], &b"r"[..], &b"b"[..], &b"c"[..]] {
+            if !rest.starts_with(prefix) {
+                continue;
+            }
+            let after = &rest[prefix.len()..];
+            let raw = prefix.contains(&b'r');
+            if raw {
+                // Count hashes, then require a quote.
+                let hashes = after.iter().take_while(|&&c| c == b'#').count();
+                if after.get(hashes) == Some(&b'"') {
+                    self.pos += prefix.len() + hashes + 1;
+                    self.raw_string_body(hashes);
+                    self.emit(TokenKind::Str, start, line);
+                    return true;
+                }
+            } else if after.first() == Some(&b'"') {
+                self.pos += prefix.len();
+                self.string_literal(start, line);
+                return true;
+            } else if prefix == b"b" && after.first() == Some(&b'\'') {
+                self.pos += 1; // the 'b'; char_or_lifetime sees the quote
+                self.char_or_lifetime(start, line);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Consumes a raw-string body up to `"###…` with `hashes` hashes.
+    fn raw_string_body(&mut self, hashes: usize) {
+        while self.pos < self.bytes.len() {
+            if self.bytes[self.pos] == b'"' {
+                let close = &self.bytes[self.pos + 1..];
+                if close.len() >= hashes && close[..hashes].iter().all(|&c| c == b'#') {
+                    self.pos += 1 + hashes;
+                    return;
+                }
+            }
+            if self.bytes[self.pos] == b'\n' {
+                self.line += 1;
+            }
+            self.pos += 1;
+        }
+    }
+
+    /// Consumes `"…"` with escapes; `self.pos` is at the opening quote.
+    fn string_literal(&mut self, start: usize, line: u32) {
+        self.pos += 1;
+        while self.pos < self.bytes.len() {
+            match self.bytes[self.pos] {
+                b'\\' => self.advance_counting(2),
+                b'"' => {
+                    self.pos += 1;
+                    break;
+                }
+                _ => self.advance_counting(1),
+            }
+        }
+        self.emit(TokenKind::Str, start, line);
+    }
+
+    /// Disambiguates lifetimes from char literals, both starting `'`.
+    fn char_or_lifetime(&mut self, start: usize, line: u32) {
+        self.pos += 1; // the quote
+                       // `'a`, `'static`, `'_` are lifetimes when NOT followed by a
+                       // closing quote ('a' is a char).
+        if self.bytes.get(self.pos).is_some_and(|&b| is_ident_start(b)) {
+            let mut end = self.pos + 1;
+            while self.bytes.get(end).is_some_and(|&b| is_ident_continue(b)) {
+                end += 1;
+            }
+            if self.bytes.get(end) != Some(&b'\'') {
+                self.pos = end;
+                self.emit(TokenKind::Lifetime, start, line);
+                return;
+            }
+        }
+        // Char literal: consume one (possibly escaped) char then the quote.
+        while self.pos < self.bytes.len() {
+            match self.bytes[self.pos] {
+                b'\\' => self.advance_counting(2),
+                b'\'' => {
+                    self.pos += 1;
+                    break;
+                }
+                _ => self.advance_counting(1),
+            }
+        }
+        self.emit(TokenKind::Char, start, line);
+    }
+
+    fn number(&mut self, start: usize, line: u32) {
+        let base_prefixed = self
+            .peek(1)
+            .is_some_and(|b| matches!(b, b'x' | b'o' | b'b'))
+            && self.bytes[self.pos] == b'0';
+        self.pos += 1;
+        while self.pos < self.bytes.len() {
+            let b = self.bytes[self.pos];
+            if b.is_ascii_alphanumeric() || b == b'_' {
+                self.pos += 1;
+            } else if b == b'.' {
+                // Only part of the number when followed by a digit:
+                // `1.5` yes; `1..n` and `1.method()` no.
+                if self.peek(1).is_some_and(|n| n.is_ascii_digit()) {
+                    self.pos += 1;
+                } else {
+                    break;
+                }
+            } else if (b == b'+' || b == b'-')
+                && !base_prefixed
+                && matches!(self.bytes[self.pos - 1], b'e' | b'E')
+                && self.peek(1).is_some_and(|n| n.is_ascii_digit())
+            {
+                // Signed exponent: 2.5e-12.
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        self.emit(TokenKind::Number, start, line);
+    }
+
+    fn ident(&mut self, start: usize, line: u32) {
+        self.pos += 1;
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|&b| is_ident_continue(b))
+        {
+            self.pos += 1;
+        }
+        self.emit(TokenKind::Ident, start, line);
+    }
+
+    fn punct(&mut self, start: usize, line: u32) {
+        let rest = &self.src[self.pos..];
+        for op in OPERATORS {
+            if rest.starts_with(op) {
+                self.pos += op.len();
+                self.emit(TokenKind::Punct, start, line);
+                return;
+            }
+        }
+        // Single byte (multi-byte UTF-8 chars only appear inside literals
+        // and comments in valid Rust; consume the full char regardless).
+        let ch_len = rest.chars().next().map_or(1, char::len_utf8);
+        self.pos += ch_len;
+        self.emit(TokenKind::Punct, start, line);
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_'
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// True when a [`TokenKind::Number`] token denotes a float.
+///
+/// Decimal literals containing a fractional dot, an exponent, or an
+/// explicit `f32`/`f64` suffix count; integer and base-prefixed literals
+/// do not.
+pub fn is_float_literal(text: &str) -> bool {
+    if text.starts_with("0x")
+        || text.starts_with("0X")
+        || text.starts_with("0b")
+        || text.starts_with("0o")
+    {
+        return false;
+    }
+    if text.ends_with("f32") || text.ends_with("f64") {
+        return true;
+    }
+    if text.contains('.') {
+        return true;
+    }
+    // Exponent: an 'e'/'E' followed by digits or a signed exponent.
+    let bytes = text.as_bytes();
+    for (i, &b) in bytes.iter().enumerate() {
+        if (b == b'e' || b == b'E') && i > 0 {
+            let next = bytes.get(i + 1);
+            if next.is_some_and(|&n| n.is_ascii_digit() || n == b'+' || n == b'-') {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, &str)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn idents_numbers_and_operators() {
+        let toks = kinds("let x = a::b != 2.5e-3;");
+        assert_eq!(
+            toks,
+            vec![
+                (TokenKind::Ident, "let"),
+                (TokenKind::Ident, "x"),
+                (TokenKind::Punct, "="),
+                (TokenKind::Ident, "a"),
+                (TokenKind::Punct, "::"),
+                (TokenKind::Ident, "b"),
+                (TokenKind::Punct, "!="),
+                (TokenKind::Number, "2.5e-3"),
+                (TokenKind::Punct, ";"),
+            ]
+        );
+    }
+
+    #[test]
+    fn nested_block_comments_are_one_token() {
+        let toks = kinds("a /* outer /* inner */ still outer */ b");
+        assert_eq!(toks.len(), 3);
+        assert_eq!(toks[0], (TokenKind::Ident, "a"));
+        assert_eq!(toks[1].0, TokenKind::BlockComment);
+        assert!(toks[1].1.contains("inner"));
+        assert_eq!(toks[2], (TokenKind::Ident, "b"));
+    }
+
+    #[test]
+    fn block_comment_tracks_line_numbers() {
+        let toks = lex("/* one\ntwo\nthree */ x");
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[1].text, "x");
+        assert_eq!(toks[1].line, 3);
+    }
+
+    #[test]
+    fn doc_comments_are_distinguished() {
+        let toks = lex("/// doc\n//! inner\n// plain\n//// plain too");
+        let kinds: Vec<TokenKind> = toks.iter().map(|t| t.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                TokenKind::DocComment,
+                TokenKind::DocComment,
+                TokenKind::LineComment,
+                TokenKind::LineComment,
+            ]
+        );
+    }
+
+    #[test]
+    fn raw_strings_with_hashes_swallow_quotes() {
+        let toks = kinds(r####"x = r#"contains "quotes" and \ slashes"# ;"####);
+        assert_eq!(toks[2].0, TokenKind::Str);
+        assert!(toks[2].1.contains("quotes"));
+        assert_eq!(toks[3], (TokenKind::Punct, ";"));
+    }
+
+    #[test]
+    fn raw_string_with_two_hashes() {
+        let toks = kinds("r##\"one \"# two\"## end");
+        assert_eq!(toks[0].0, TokenKind::Str);
+        assert_eq!(toks[1], (TokenKind::Ident, "end"));
+    }
+
+    #[test]
+    fn byte_and_raw_byte_strings() {
+        let toks = kinds(r##"b"bytes" br#"raw bytes"# b'\xff'"##);
+        assert_eq!(toks[0].0, TokenKind::Str);
+        assert_eq!(toks[1].0, TokenKind::Str);
+        assert_eq!(toks[2].0, TokenKind::Char);
+    }
+
+    #[test]
+    fn r_prefixed_identifiers_are_not_strings() {
+        let toks = kinds("radius + b + result + r#type");
+        assert_eq!(toks[0], (TokenKind::Ident, "radius"));
+        assert_eq!(toks[2], (TokenKind::Ident, "b"));
+        assert_eq!(toks[4], (TokenKind::Ident, "result"));
+        // Raw identifier lexes as ident-ish tokens, not a string.
+        assert!(toks[6..].iter().all(|t| t.0 != TokenKind::Str));
+    }
+
+    #[test]
+    fn char_literals_with_escapes_vs_lifetimes() {
+        let toks = kinds(r"'a' '\'' '\\' '\u{1F600}' 'static 'a");
+        assert_eq!(toks[0].0, TokenKind::Char);
+        assert_eq!(toks[1], (TokenKind::Char, r"'\''"));
+        assert_eq!(toks[2], (TokenKind::Char, r"'\\'"));
+        assert_eq!(toks[3].0, TokenKind::Char);
+        assert_eq!(toks[4], (TokenKind::Lifetime, "'static"));
+        assert_eq!(toks[5], (TokenKind::Lifetime, "'a"));
+    }
+
+    #[test]
+    fn strings_hide_code_like_text() {
+        let toks = kinds(r#"let s = "x.unwrap() == 0.0 // not code";"#);
+        assert_eq!(
+            toks.iter().filter(|t| t.0 == TokenKind::Ident).count(),
+            2,
+            "only `let` and `s` are idents"
+        );
+        assert!(toks.iter().any(|t| t.0 == TokenKind::Str));
+    }
+
+    #[test]
+    fn numbers_with_suffixes_exponents_and_ranges() {
+        let toks = kinds("1_000u64 2.5e-12 1e9 0xFFu8 0..n 1.0f64 x.0");
+        assert_eq!(toks[0], (TokenKind::Number, "1_000u64"));
+        assert_eq!(toks[1], (TokenKind::Number, "2.5e-12"));
+        assert_eq!(toks[2], (TokenKind::Number, "1e9"));
+        assert_eq!(toks[3], (TokenKind::Number, "0xFFu8"));
+        assert_eq!(toks[4], (TokenKind::Number, "0"));
+        assert_eq!(toks[5], (TokenKind::Punct, ".."));
+        assert_eq!(toks[6], (TokenKind::Ident, "n"));
+        assert_eq!(toks[7], (TokenKind::Number, "1.0f64"));
+        // Tuple access `x.0` is ident, dot, number.
+        assert_eq!(toks[9], (TokenKind::Punct, "."));
+        assert_eq!(toks[10], (TokenKind::Number, "0"));
+    }
+
+    #[test]
+    fn float_literal_classification() {
+        for f in ["1.0", "2.5e-12", "1e9", "3f64", "0.5f32", "1E+3"] {
+            assert!(is_float_literal(f), "{f} should be float");
+        }
+        for i in ["1", "1_000u64", "0xFF", "0b1010", "0o777", "0xEE"] {
+            assert!(!is_float_literal(i), "{i} should not be float");
+        }
+    }
+
+    #[test]
+    fn line_numbers_are_accurate() {
+        let src = "a\nb\n  c // tail\nd";
+        let toks: Vec<(u32, &str)> = lex(src)
+            .into_iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| (t.line, t.text))
+            .collect();
+        assert_eq!(toks, vec![(1, "a"), (2, "b"), (3, "c"), (4, "d")]);
+    }
+
+    #[test]
+    fn unterminated_literals_do_not_hang() {
+        assert!(!lex("\"unterminated").is_empty());
+        assert!(!lex("r#\"unterminated").is_empty());
+        assert!(!lex("/* unterminated").is_empty());
+        assert!(!lex("'").is_empty());
+    }
+}

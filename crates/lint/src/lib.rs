@@ -1,0 +1,20 @@
+//! `shc-lint`: workspace static analysis for the characterization stack.
+//!
+//! Enforces project-specific invariants that clippy cannot express:
+//! panic-freedom in the solver crates (ratcheted), allocation-freedom in
+//! annotated hot-loop regions, no float `==`, telemetry hygiene
+//! (metric-name declarations, journal schema vs DESIGN.md, `enabled()`
+//! gating), and `// SAFETY:` comments on `unsafe`.
+//!
+//! The crate is zero-dependency by design: it must build and run before
+//! anything else in the workspace does. Everything is built on a
+//! hand-rolled Rust lexer ([`lexer`]) so rules see a token stream in
+//! which comments and string contents can never produce false matches.
+//!
+//! Run it with `cargo run -p shc-lint -- check [--json] [--update-baseline]`.
+
+pub mod baseline;
+pub mod driver;
+pub mod lexer;
+pub mod report;
+pub mod rules;

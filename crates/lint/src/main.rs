@@ -1,0 +1,56 @@
+//! `shc-lint` CLI: `shc-lint check [--json] [--update-baseline] [--root DIR]`.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use shc_lint::driver::{run_check, CheckOptions};
+
+const USAGE: &str = "\
+usage: shc-lint check [--json] [--update-baseline] [--root DIR]
+
+Walks every workspace src/ tree and enforces the project lint rules.
+Exit codes: 0 clean, 1 findings, 2 usage or I/O error.
+
+  --json              machine-readable report on stdout (for CI)
+  --update-baseline   rewrite lint-baseline.json from current findings
+  --root DIR          workspace root (default: discovered from cwd)
+";
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let Some(cmd) = args.next() else {
+        eprint!("{USAGE}");
+        return ExitCode::from(2);
+    };
+    if cmd == "--help" || cmd == "-h" || cmd == "help" {
+        print!("{USAGE}");
+        return ExitCode::SUCCESS;
+    }
+    if cmd != "check" {
+        eprintln!("shc-lint: unknown command `{cmd}`\n");
+        eprint!("{USAGE}");
+        return ExitCode::from(2);
+    }
+
+    let mut opts = CheckOptions::default();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => opts.json = true,
+            "--update-baseline" => opts.update_baseline = true,
+            "--root" => match args.next() {
+                Some(dir) => opts.root = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("shc-lint: --root requires a directory\n");
+                    eprint!("{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            other => {
+                eprintln!("shc-lint: unknown flag `{other}`\n");
+                eprint!("{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    ExitCode::from(run_check(&opts))
+}

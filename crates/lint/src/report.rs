@@ -1,0 +1,111 @@
+//! Finding type and the human/JSON renderers.
+//!
+//! JSON is emitted by hand: the lint crate is deliberately
+//! zero-dependency so it builds and runs before anything else in the
+//! workspace does (the vendored `serde` is a no-op stub anyway).
+
+use std::fmt::Write as _;
+
+/// One lint violation, anchored to a file and line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Rule identifier, e.g. `no-panic`.
+    pub rule: &'static str,
+    /// Repo-relative path with forward slashes.
+    pub file: String,
+    /// 1-based line number.
+    pub line: u32,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl Finding {
+    pub fn new(rule: &'static str, file: String, line: u32, message: String) -> Self {
+        Finding {
+            rule,
+            file,
+            line,
+            message,
+        }
+    }
+
+    /// `file:line: [rule] message` — the grep/editor-friendly form.
+    pub fn render(&self) -> String {
+        format!(
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// Escapes a string for embedding in a JSON document.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders the machine-readable report consumed by CI.
+pub fn render_json(new: &[Finding], baselined: usize, files_checked: usize) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    let _ = writeln!(s, "  \"version\": 1,");
+    let _ = writeln!(s, "  \"files_checked\": {files_checked},");
+    let _ = writeln!(s, "  \"baselined\": {baselined},");
+    let _ = writeln!(s, "  \"new_findings\": {},", new.len());
+    s.push_str("  \"findings\": [\n");
+    for (i, f) in new.iter().enumerate() {
+        let comma = if i + 1 == new.len() { "" } else { "," };
+        let _ = writeln!(
+            s,
+            "    {{ \"rule\": \"{}\", \"file\": \"{}\", \"line\": {}, \"message\": \"{}\" }}{comma}",
+            json_escape(f.rule),
+            json_escape(&f.file),
+            f.line,
+            json_escape(&f.message),
+        );
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_is_editor_clickable() {
+        let f = Finding::new("no-panic", "crates/core/src/a.rs".into(), 7, "msg".into());
+        assert_eq!(f.render(), "crates/core/src/a.rs:7: [no-panic] msg");
+    }
+
+    #[test]
+    fn json_escaping_covers_quotes_and_control_chars() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn json_report_shape() {
+        let f = vec![Finding::new("float-eq", "x.rs".into(), 1, "m \"q\"".into())];
+        let j = render_json(&f, 3, 10);
+        assert!(j.contains("\"new_findings\": 1"));
+        assert!(j.contains("\"baselined\": 3"));
+        assert!(j.contains("\\\"q\\\""));
+        // Empty findings list still renders valid JSON.
+        let j = render_json(&[], 0, 0);
+        assert!(j.contains("\"findings\": [\n  ]"));
+    }
+}

@@ -1,0 +1,1084 @@
+//! The rule catalog: project-specific invariants clippy cannot express.
+//!
+//! | rule | scope | enforcement |
+//! |------|-------|-------------|
+//! | `no-panic` | non-test lib code of `shc-linalg`/`shc-spice`/`shc-core` | ratchet |
+//! | `float-eq` | non-test lib code of the same numeric crates | ratchet |
+//! | `hot-loop-alloc` | `// lint: hot-loop` … `// lint: end-hot-loop` regions | error |
+//! | `telemetry-hygiene` | whole workspace + DESIGN.md schema table | error |
+//! | `unsafe-audit` | whole workspace | error |
+//! | `lint-annotation` | the lint annotations themselves | error |
+//!
+//! Ratcheted rules are compared against `lint-baseline.json` (counts may
+//! only go down); the rest are hard errors. Any rule can be silenced at a
+//! single site with `// lint: allow(<rule>, reason = "…")` — the reason is
+//! mandatory, an allow without one is itself a `lint-annotation` error.
+
+use std::collections::BTreeSet;
+
+use crate::lexer::{self, is_float_literal, Token, TokenKind};
+use crate::report::Finding;
+
+/// Rules whose counts are ratcheted against the committed baseline
+/// instead of failing outright.
+pub const RATCHETED_RULES: &[&str] = &["no-panic", "float-eq"];
+
+/// All rule identifiers accepted by `// lint: allow(<rule>, …)`.
+pub const ALL_RULES: &[&str] = &[
+    "no-panic",
+    "float-eq",
+    "hot-loop-alloc",
+    "telemetry-hygiene",
+    "unsafe-audit",
+    "lint-annotation",
+];
+
+/// Crates whose library code must not panic and must not compare floats
+/// with `==`/`!=`: the solver stack that batch runs depend on.
+const SOLVER_CRATE_PREFIXES: &[&str] = &[
+    "crates/linalg/src/",
+    "crates/spice/src/",
+    "crates/core/src/",
+];
+
+/// Macro names that abort the process.
+const PANIC_MACROS: &[&str] = &[
+    "panic",
+    "unreachable",
+    "todo",
+    "unimplemented",
+    "assert",
+    "assert_eq",
+    "assert_ne",
+];
+
+/// Method names that panic on `None`/`Err`.
+const PANIC_METHODS: &[&str] = &["unwrap", "expect"];
+
+/// Allocating method calls forbidden inside hot-loop regions.
+const ALLOC_METHODS: &[&str] = &["clone", "to_vec", "to_string", "to_owned", "collect"];
+
+/// Allocating macros forbidden inside hot-loop regions.
+const ALLOC_MACROS: &[&str] = &["vec", "format"];
+
+/// Allocating `Type::constructor` pairs forbidden inside hot-loop regions.
+const ALLOC_CTORS: &[(&str, &str)] = &[
+    ("Vec", "new"),
+    ("Vec", "with_capacity"),
+    ("Vec", "from"),
+    ("Box", "new"),
+    ("String", "new"),
+    ("String", "from"),
+    ("String", "with_capacity"),
+    ("Matrix", "zeros"),
+    ("Matrix", "identity"),
+    ("Matrix", "from_rows"),
+    ("Vector", "zeros"),
+    ("Vector", "from_slice"),
+    ("Vector", "unit"),
+    ("LuFactor", "new"),
+    ("Stamps", "new"),
+    ("NewtonWorkspace", "new"),
+    ("TransientScratch", "new"),
+    ("HashMap", "new"),
+    ("BTreeMap", "new"),
+    ("VecDeque", "new"),
+];
+
+/// One source file handed to the linter, with a repo-relative path.
+#[derive(Debug, Clone)]
+pub struct SourceFile {
+    /// Repo-relative path with forward slashes, e.g. `crates/spice/src/transient.rs`.
+    pub path: String,
+    /// Full file contents.
+    pub text: String,
+}
+
+/// Everything the rules need to see at once.
+#[derive(Debug, Default)]
+pub struct Workspace {
+    /// All `.rs` files under the workspace `src/` trees.
+    pub files: Vec<SourceFile>,
+    /// Contents of `DESIGN.md`, when present (enables the journal-schema
+    /// cross-check).
+    pub design_md: Option<String>,
+}
+
+/// A site-level `// lint: allow(rule, reason = "…")` escape hatch.
+#[derive(Debug)]
+struct Allow {
+    line: u32,
+    rule: String,
+    has_reason: bool,
+    /// Set when a finding was suppressed by this allow.
+    used: std::cell::Cell<bool>,
+}
+
+/// Per-file lexed view plus the lint annotations found in its comments.
+struct FileCtx<'a> {
+    path: &'a str,
+    /// Code tokens only (comments stripped).
+    code: Vec<Token<'a>>,
+    allows: Vec<Allow>,
+    /// Inclusive line ranges bounded by hot-loop markers.
+    hot: Vec<(u32, u32)>,
+    /// Inclusive line ranges of `#[cfg(test)] mod … { … }` bodies.
+    tests: Vec<(u32, u32)>,
+    /// Annotation problems found while building the context.
+    annotation_findings: Vec<Finding>,
+    /// All comment tokens, for the SAFETY-comment lookup.
+    comments: Vec<(u32, &'a str)>,
+}
+
+impl<'a> FileCtx<'a> {
+    fn build(file: &'a SourceFile) -> FileCtx<'a> {
+        let all = lexer::lex(&file.text);
+        let mut code = Vec::with_capacity(all.len());
+        let mut comments = Vec::new();
+        let mut allows = Vec::new();
+        let mut annotation_findings = Vec::new();
+        let mut hot = Vec::new();
+        let mut hot_open: Option<u32> = None;
+
+        for t in &all {
+            if !t.is_comment() {
+                code.push(*t);
+                continue;
+            }
+            comments.push((t.line, t.text));
+            let Some(directive) = lint_directive(t.text) else {
+                continue;
+            };
+            match parse_directive(directive) {
+                Directive::HotLoop => {
+                    if let Some(open) = hot_open {
+                        annotation_findings.push(Finding::new(
+                            "lint-annotation",
+                            file.path.clone(),
+                            t.line,
+                            format!("nested `lint: hot-loop` (previous region opened on line {open} is still open)"),
+                        ));
+                    }
+                    hot_open = Some(t.line);
+                }
+                Directive::EndHotLoop => match hot_open.take() {
+                    Some(start) => hot.push((start, t.line)),
+                    None => annotation_findings.push(Finding::new(
+                        "lint-annotation",
+                        file.path.clone(),
+                        t.line,
+                        "`lint: end-hot-loop` without a matching `lint: hot-loop`".to_string(),
+                    )),
+                },
+                Directive::Allow { rule, has_reason } => {
+                    if !ALL_RULES.contains(&rule.as_str()) {
+                        annotation_findings.push(Finding::new(
+                            "lint-annotation",
+                            file.path.clone(),
+                            t.line,
+                            format!("`lint: allow({rule})` names an unknown rule"),
+                        ));
+                    }
+                    allows.push(Allow {
+                        line: t.line,
+                        rule,
+                        has_reason,
+                        used: std::cell::Cell::new(false),
+                    });
+                }
+                Directive::Malformed(msg) => annotation_findings.push(Finding::new(
+                    "lint-annotation",
+                    file.path.clone(),
+                    t.line,
+                    msg,
+                )),
+            }
+        }
+        if let Some(open) = hot_open {
+            annotation_findings.push(Finding::new(
+                "lint-annotation",
+                file.path.clone(),
+                open,
+                "`lint: hot-loop` region is never closed with `lint: end-hot-loop`".to_string(),
+            ));
+        }
+
+        let tests = cfg_test_ranges(&code);
+        FileCtx {
+            path: &file.path,
+            code,
+            allows,
+            hot,
+            tests,
+            annotation_findings,
+            comments,
+        }
+    }
+
+    fn in_tests(&self, line: u32) -> bool {
+        self.tests.iter().any(|&(a, b)| line >= a && line <= b)
+    }
+
+    fn in_hot(&self, line: u32) -> bool {
+        self.hot.iter().any(|&(a, b)| line >= a && line <= b)
+    }
+
+    /// Emits `finding` unless a matching allow (same rule, on the same
+    /// line or the line directly above) suppresses it.
+    fn push(&self, out: &mut Vec<Finding>, rule: &'static str, line: u32, message: String) {
+        for allow in &self.allows {
+            if allow.rule == rule && (allow.line == line || allow.line + 1 == line) {
+                allow.used.set(true);
+                return; // suppressed; reason-less allows error separately
+            }
+        }
+        out.push(Finding::new(rule, self.path.to_string(), line, message));
+    }
+
+    /// True when a comment containing `SAFETY:` sits within `window` lines
+    /// above (or on) `line`.
+    fn has_safety_comment(&self, line: u32, window: u32) -> bool {
+        self.comments
+            .iter()
+            .any(|&(l, text)| l <= line && l + window >= line && text.contains("SAFETY:"))
+    }
+}
+
+/// Extracts the text after `lint:` in a lint-directive comment.
+fn lint_directive(comment: &str) -> Option<&str> {
+    let body = comment
+        .trim_start_matches('/')
+        .trim_start_matches('!')
+        .trim();
+    let rest = body.strip_prefix("lint:")?;
+    Some(rest.trim())
+}
+
+enum Directive {
+    HotLoop,
+    EndHotLoop,
+    Allow { rule: String, has_reason: bool },
+    Malformed(String),
+}
+
+fn parse_directive(text: &str) -> Directive {
+    if text == "hot-loop" {
+        return Directive::HotLoop;
+    }
+    if text == "end-hot-loop" {
+        return Directive::EndHotLoop;
+    }
+    if let Some(args) = text
+        .strip_prefix("allow(")
+        .and_then(|s| s.strip_suffix(')'))
+    {
+        let (rule, tail) = match args.split_once(',') {
+            Some((r, tail)) => (r.trim(), tail.trim()),
+            None => (args.trim(), ""),
+        };
+        let has_reason = tail
+            .strip_prefix("reason")
+            .map(|t| {
+                t.trim_start().strip_prefix('=').is_some_and(|v| {
+                    let v = v.trim();
+                    v.len() > 2 && v.starts_with('"') && v.ends_with('"')
+                })
+            })
+            .unwrap_or(false);
+        return Directive::Allow {
+            rule: rule.to_string(),
+            has_reason,
+        };
+    }
+    Directive::Malformed(format!(
+        "unrecognized lint directive `{text}` (expected `hot-loop`, `end-hot-loop`, or `allow(<rule>, reason = \"…\")`)"
+    ))
+}
+
+/// Inclusive line ranges of `#[cfg(test)] mod … { … }` bodies, located by
+/// token matching and brace counting.
+fn cfg_test_ranges(code: &[Token<'_>]) -> Vec<(u32, u32)> {
+    let mut ranges = Vec::new();
+    let mut i = 0;
+    while i + 6 < code.len() {
+        let is_cfg_test = code[i].text == "#"
+            && code[i + 1].text == "["
+            && code[i + 2].text == "cfg"
+            && code[i + 3].text == "("
+            && code[i + 4].text == "test"
+            && code[i + 5].text == ")"
+            && code[i + 6].text == "]";
+        if !is_cfg_test {
+            i += 1;
+            continue;
+        }
+        // Find `mod` within the next few tokens (other attributes may sit
+        // between); bail out if the cfg gates something else (fn, use, …).
+        let mut j = i + 7;
+        while j < code.len() && code[j].text == "#" {
+            // Skip a following attribute group `#[…]`.
+            j += 1;
+            if j < code.len() && code[j].text == "[" {
+                let mut depth = 0usize;
+                while j < code.len() {
+                    match code[j].text {
+                        "[" => depth += 1,
+                        "]" => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                j += 1;
+            }
+        }
+        if code.get(j).map(|t| t.text) != Some("mod") {
+            i += 1;
+            continue;
+        }
+        // Find the opening brace, then its match.
+        while j < code.len() && code[j].text != "{" {
+            j += 1;
+        }
+        let start_line = code[i].line;
+        let mut depth = 0usize;
+        while j < code.len() {
+            match code[j].text {
+                "{" => depth += 1,
+                "}" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        let end_line = code.get(j).map_or(u32::MAX, |t| t.line);
+        ranges.push((start_line, end_line));
+        i = j + 1;
+    }
+    ranges
+}
+
+fn in_solver_crate(path: &str) -> bool {
+    SOLVER_CRATE_PREFIXES.iter().any(|p| path.starts_with(p))
+}
+
+/// Runs every rule over the workspace and returns all findings
+/// (baseline filtering happens later, in the driver).
+pub fn run(ws: &Workspace) -> Vec<Finding> {
+    let ctxs: Vec<(FileCtx<'_>, &SourceFile)> =
+        ws.files.iter().map(|f| (FileCtx::build(f), f)).collect();
+    let mut findings = Vec::new();
+
+    for (ctx, _) in &ctxs {
+        findings.extend(ctx.annotation_findings.iter().cloned());
+        no_panic(ctx, &mut findings);
+        float_eq(ctx, &mut findings);
+        hot_loop_alloc(ctx, &mut findings);
+        unsafe_audit(ctx, &mut findings);
+    }
+    telemetry_hygiene(ws, &ctxs, &mut findings);
+
+    // Escape hatches require a reason regardless of whether they fired.
+    for (ctx, _) in &ctxs {
+        for allow in &ctx.allows {
+            if !allow.has_reason {
+                findings.push(Finding::new(
+                    "lint-annotation",
+                    ctx.path.to_string(),
+                    allow.line,
+                    format!(
+                        "`lint: allow({})` requires a reason: `// lint: allow({}, reason = \"…\")`",
+                        allow.rule, allow.rule
+                    ),
+                ));
+            }
+        }
+    }
+
+    findings.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    findings
+}
+
+/// `no-panic`: `panic!`-family macros and `.unwrap()`/`.expect()` in
+/// non-test library code of the solver crates.
+fn no_panic(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
+    if !in_solver_crate(ctx.path) {
+        return;
+    }
+    let code = &ctx.code;
+    for i in 0..code.len() {
+        let t = code[i];
+        if t.kind != TokenKind::Ident || ctx.in_tests(t.line) {
+            continue;
+        }
+        if PANIC_MACROS.contains(&t.text) && code.get(i + 1).map(|n| n.text) == Some("!") {
+            ctx.push(
+                out,
+                "no-panic",
+                t.line,
+                format!(
+                    "`{}!` aborts the batch run; return an error instead",
+                    t.text
+                ),
+            );
+        }
+        if PANIC_METHODS.contains(&t.text)
+            && i > 0
+            && code[i - 1].text == "."
+            && code.get(i + 1).map(|n| n.text) == Some("(")
+        {
+            ctx.push(
+                out,
+                "no-panic",
+                t.line,
+                format!(
+                    "`.{}()` panics on the failure path; propagate with `?`",
+                    t.text
+                ),
+            );
+        }
+    }
+}
+
+/// `float-eq`: `==`/`!=` against a float literal (or `f64::NAN`-style
+/// constant) in non-test library code of the solver crates.
+fn float_eq(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
+    if !in_solver_crate(ctx.path) {
+        return;
+    }
+    let code = &ctx.code;
+    let float_const = |i: usize| -> bool {
+        // `f64 :: NAN | INFINITY | NEG_INFINITY | EPSILON`
+        matches!(code.get(i).map(|t| t.text), Some("f64") | Some("f32"))
+            && code.get(i + 1).map(|t| t.text) == Some("::")
+            && matches!(
+                code.get(i + 2).map(|t| t.text),
+                Some("NAN") | Some("INFINITY") | Some("NEG_INFINITY") | Some("EPSILON")
+            )
+    };
+    for i in 0..code.len() {
+        let t = code[i];
+        if t.kind != TokenKind::Punct || (t.text != "==" && t.text != "!=") || ctx.in_tests(t.line)
+        {
+            continue;
+        }
+        let prev_float = i > 0
+            && ((code[i - 1].kind == TokenKind::Number && is_float_literal(code[i - 1].text))
+                || (i >= 3 && float_const(i - 3)));
+        let next_float = code
+            .get(i + 1)
+            .is_some_and(|n| n.kind == TokenKind::Number && is_float_literal(n.text))
+            || float_const(i + 1);
+        if prev_float || next_float {
+            ctx.push(
+                out,
+                "float-eq",
+                t.line,
+                format!(
+                    "`{}` against a float literal is exact bitwise comparison; use a tolerance or an ordered comparison",
+                    t.text
+                ),
+            );
+        }
+    }
+}
+
+/// `hot-loop-alloc`: allocating token patterns inside annotated regions.
+fn hot_loop_alloc(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
+    if ctx.hot.is_empty() {
+        return;
+    }
+    let code = &ctx.code;
+    for i in 0..code.len() {
+        let t = code[i];
+        if t.kind != TokenKind::Ident || !ctx.in_hot(t.line) {
+            continue;
+        }
+        if ALLOC_MACROS.contains(&t.text) && code.get(i + 1).map(|n| n.text) == Some("!") {
+            ctx.push(
+                out,
+                "hot-loop-alloc",
+                t.line,
+                format!("`{}!` allocates inside a hot-loop region", t.text),
+            );
+            continue;
+        }
+        if ALLOC_METHODS.contains(&t.text)
+            && i > 0
+            && code[i - 1].text == "."
+            && code.get(i + 1).map(|n| n.text) == Some("(")
+        {
+            ctx.push(
+                out,
+                "hot-loop-alloc",
+                t.line,
+                format!("`.{}()` allocates inside a hot-loop region", t.text),
+            );
+            continue;
+        }
+        // `Type::ctor(` with an optional turbofish: `Vec::<f64>::new(`.
+        if ALLOC_CTORS.iter().any(|&(ty, _)| ty == t.text)
+            && code.get(i + 1).map(|n| n.text) == Some("::")
+        {
+            let mut j = i + 2;
+            if code.get(j).map(|n| n.text) == Some("<") {
+                let mut depth = 0usize;
+                while j < code.len() {
+                    match code[j].text {
+                        "<" => depth += 1,
+                        ">" => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                j += 1;
+                if code.get(j).map(|n| n.text) != Some("::") {
+                    continue;
+                }
+                j += 1;
+            }
+            let Some(ctor) = code.get(j) else { continue };
+            if ALLOC_CTORS.contains(&(t.text, ctor.text))
+                && code.get(j + 1).map(|n| n.text) == Some("(")
+            {
+                ctx.push(
+                    out,
+                    "hot-loop-alloc",
+                    t.line,
+                    format!(
+                        "`{}::{}` allocates inside a hot-loop region",
+                        t.text, ctor.text
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// `unsafe-audit`: every `unsafe` keyword needs a `// SAFETY:` comment
+/// within the three preceding lines.
+fn unsafe_audit(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
+    for (i, t) in ctx.code.iter().enumerate() {
+        if t.kind != TokenKind::Ident || t.text != "unsafe" {
+            continue;
+        }
+        // `unsafe` inside an attribute (`#[unsafe(no_mangle)]`) still
+        // deserves the comment; no exclusions.
+        let _ = i;
+        if !ctx.has_safety_comment(t.line, 3) {
+            ctx.push(
+                out,
+                "unsafe-audit",
+                t.line,
+                "`unsafe` without a `// SAFETY:` comment in the 3 lines above".to_string(),
+            );
+        }
+    }
+}
+
+/// `telemetry-hygiene`: metric declarations, journal schema cross-checks,
+/// and the enabled()-gate requirement for journal-event construction.
+fn telemetry_hygiene(ws: &Workspace, ctxs: &[(FileCtx<'_>, &SourceFile)], out: &mut Vec<Finding>) {
+    let metric_file = ctxs.iter().find(|(c, _)| {
+        c.path.ends_with("crates/obs/src/metric.rs") || c.path == "crates/obs/src/metric.rs"
+    });
+    let journal_file = ctxs.iter().find(|(c, _)| {
+        c.path.ends_with("crates/obs/src/journal.rs") || c.path == "crates/obs/src/journal.rs"
+    });
+
+    // --- Metric/SpanKind declarations ---------------------------------
+    let mut declared: BTreeSet<&str> = BTreeSet::new();
+    if let Some((ctx, _)) = metric_file {
+        let mut names: Vec<(&str, u32)> = Vec::new();
+        let mut variants = 0usize;
+        for enum_name in ["Metric", "SpanKind"] {
+            let vs = enum_variants(&ctx.code, enum_name);
+            variants += vs.len();
+            declared.extend(vs);
+        }
+        // Every `name()` arm string, across both impls.
+        names.extend(name_fn_strings(&ctx.code));
+        let mut seen: BTreeSet<&str> = BTreeSet::new();
+        for &(n, line) in &names {
+            if !seen.insert(n) {
+                ctx.push(
+                    out,
+                    "telemetry-hygiene",
+                    line,
+                    format!("metric name \"{n}\" is declared more than once"),
+                );
+            }
+        }
+        if names.len() != variants {
+            ctx.push(
+                out,
+                "telemetry-hygiene",
+                1,
+                format!(
+                    "metric.rs declares {variants} Metric/SpanKind variants but {} name() strings; every variant needs exactly one stable name",
+                    names.len()
+                ),
+            );
+        }
+    }
+
+    // --- Journal schema: DESIGN.md table vs journal.rs vs construction ---
+    let schema: Option<Vec<String>> = ws.design_md.as_deref().map(design_schema_keys);
+    if let (Some(schema), Some((jctx, _))) = (schema.as_ref(), journal_file) {
+        if schema.is_empty() {
+            jctx.push(
+                out,
+                "telemetry-hygiene",
+                1,
+                "DESIGN.md has no journal-schema table (expected between `<!-- journal-schema:begin -->` and `<!-- journal-schema:end -->` markers)"
+                    .to_string(),
+            );
+        } else {
+            let schema_set: BTreeSet<&str> = schema.iter().map(String::as_str).collect();
+            let emitted = journal_keys(
+                &jctx.code,
+                &["push_u64_field", "push_f64_field", "push_raw_field"],
+            );
+            let parsed = journal_keys(&jctx.code, &["scan_u64", "scan_f64", "scan_f64_array"]);
+            for (key, line) in &emitted {
+                if !schema_set.contains(key.as_str()) {
+                    jctx.push(
+                        out,
+                        "telemetry-hygiene",
+                        *line,
+                        format!("journal key \"{key}\" is emitted but missing from the DESIGN.md schema table"),
+                    );
+                }
+            }
+            let emitted_set: BTreeSet<&str> = emitted.iter().map(|(k, _)| k.as_str()).collect();
+            let parsed_set: BTreeSet<&str> = parsed.iter().map(|(k, _)| k.as_str()).collect();
+            for key in &schema_set {
+                if !emitted_set.contains(key) {
+                    jctx.push(
+                        out,
+                        "telemetry-hygiene",
+                        1,
+                        format!("journal key \"{key}\" is in the DESIGN.md schema table but never emitted by to_json_line"),
+                    );
+                }
+                if !parsed_set.is_empty() && !parsed_set.contains(key) {
+                    jctx.push(
+                        out,
+                        "telemetry-hygiene",
+                        1,
+                        format!("journal key \"{key}\" is in the schema but not parsed back by from_json"),
+                    );
+                }
+            }
+        }
+    }
+
+    // --- Per-file uses: undeclared variants + ungated construction ------
+    let schema_set: Option<BTreeSet<&str>> = schema
+        .as_ref()
+        .map(|s| s.iter().map(String::as_str).collect());
+    for (ctx, _) in ctxs {
+        let in_obs = ctx.path.starts_with("crates/obs/");
+        let code = &ctx.code;
+        for i in 0..code.len() {
+            let t = code[i];
+            if t.kind != TokenKind::Ident {
+                continue;
+            }
+            // Undeclared Metric::X / SpanKind::X uses.
+            if !declared.is_empty()
+                && !ctx.path.ends_with("metric.rs")
+                && (t.text == "Metric" || t.text == "SpanKind")
+                && code.get(i + 1).map(|n| n.text) == Some("::")
+            {
+                if let Some(variant) = code.get(i + 2) {
+                    // Variants are UpperCamelCase; a lowercase ident is an
+                    // associated function (`SpanKind::name`), not a variant.
+                    if variant.kind == TokenKind::Ident
+                        && variant.text.starts_with(|c: char| c.is_ascii_uppercase())
+                        && !matches!(variant.text, "COUNT" | "ALL")
+                        && !declared.contains(variant.text)
+                    {
+                        ctx.push(
+                            out,
+                            "telemetry-hygiene",
+                            t.line,
+                            format!(
+                                "{}::{} is not declared in crates/obs/src/metric.rs",
+                                t.text, variant.text
+                            ),
+                        );
+                    }
+                }
+            }
+            // JournalEvent construction outside shc-obs must be gated.
+            if t.text == "JournalEvent"
+                && !in_obs
+                && !ctx.in_tests(t.line)
+                && code.get(i + 1).map(|n| n.text) == Some("{")
+                && (i == 0
+                    || !matches!(
+                        code[i - 1].text,
+                        "struct" | "impl" | "enum" | "trait" | "union" | "mod" | "for"
+                    ))
+            {
+                check_journal_literal(ctx, code, i, schema_set.as_ref(), out);
+            }
+        }
+    }
+}
+
+/// Validates one `JournalEvent { … }` literal: enabled() gate in the
+/// enclosing function, and field names against the schema.
+fn check_journal_literal(
+    ctx: &FileCtx<'_>,
+    code: &[Token<'_>],
+    idx: usize,
+    schema: Option<&BTreeSet<&str>>,
+    out: &mut Vec<Finding>,
+) {
+    let line = code[idx].line;
+    // Gate: an `enabled` identifier must appear between the enclosing
+    // `fn` and the literal — constructing the event costs real work, so
+    // it must be skipped when telemetry is off.
+    let fn_idx = code[..idx].iter().rposition(|t| t.text == "fn");
+    let gated = fn_idx.is_some_and(|f| code[f..idx].iter().any(|t| t.text == "enabled"));
+    if !gated {
+        ctx.push(
+            out,
+            "telemetry-hygiene",
+            line,
+            "JournalEvent constructed without a preceding shc_obs::enabled() gate in the same function".to_string(),
+        );
+    }
+
+    let Some(schema) = schema else { return };
+    if schema.is_empty() {
+        return;
+    }
+    // Collect depth-1 field names of the literal.
+    let mut fields: Vec<(&str, u32)> = Vec::new();
+    let mut depth = 0usize;
+    let mut j = idx + 1;
+    let mut spread = false;
+    while j < code.len() {
+        match code[j].text {
+            "{" | "(" | "[" => depth += 1,
+            "}" | ")" | "]" => {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            ".." if depth == 1 => spread = true,
+            _ => {}
+        }
+        if depth == 1
+            && code[j].kind == TokenKind::Ident
+            && code.get(j + 1).map(|n| n.text) == Some(":")
+            && code.get(j - 1).map(|p| p.text) != Some(":")
+        {
+            fields.push((code[j].text, code[j].line));
+        } else if depth == 1
+            && code[j].kind == TokenKind::Ident
+            && matches!(code.get(j + 1).map(|n| n.text), Some(",") | Some("}"))
+            && matches!(code.get(j - 1).map(|p| p.text), Some("{") | Some(","))
+        {
+            // Field-init shorthand.
+            fields.push((code[j].text, code[j].line));
+        }
+        j += 1;
+    }
+    for &(f, fline) in &fields {
+        if !schema.contains(f) {
+            ctx.push(
+                out,
+                "telemetry-hygiene",
+                fline,
+                format!("JournalEvent field `{f}` is not in the DESIGN.md journal schema"),
+            );
+        }
+    }
+    if !spread {
+        for key in schema {
+            if !fields.iter().any(|&(f, _)| f == *key) {
+                ctx.push(
+                    out,
+                    "telemetry-hygiene",
+                    line,
+                    format!("JournalEvent literal is missing schema field `{key}`"),
+                );
+            }
+        }
+    }
+}
+
+/// Variant identifiers of `enum <name> { … }` (fieldless enums only).
+fn enum_variants<'a>(code: &[Token<'a>], name: &str) -> Vec<&'a str> {
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i + 2 < code.len() {
+        if code[i].text == "enum" && code[i + 1].text == name && code[i + 2].text == "{" {
+            let mut depth = 0usize;
+            let mut j = i + 2;
+            while j < code.len() {
+                match code[j].text {
+                    "{" | "(" | "[" => depth += 1,
+                    "}" | ")" | "]" => {
+                        depth -= 1;
+                        if depth == 0 {
+                            return variants;
+                        }
+                    }
+                    _ => {}
+                }
+                if depth == 1
+                    && code[j].kind == TokenKind::Ident
+                    && matches!(code.get(j + 1).map(|n| n.text), Some(",") | Some("}"))
+                {
+                    variants.push(code[j].text);
+                }
+                j += 1;
+            }
+        }
+        i += 1;
+    }
+    variants
+}
+
+/// String literals returned by `fn name` bodies (the stable metric names),
+/// with their lines.
+fn name_fn_strings<'a>(code: &[Token<'a>]) -> Vec<(&'a str, u32)> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i + 1 < code.len() {
+        if code[i].text == "fn" && code[i + 1].text == "name" {
+            // Skip to the body and collect strings until the brace closes.
+            let mut j = i + 2;
+            while j < code.len() && code[j].text != "{" {
+                j += 1;
+            }
+            let mut depth = 0usize;
+            while j < code.len() {
+                match code[j].text {
+                    "{" => depth += 1,
+                    "}" => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                if code[j].kind == TokenKind::Str {
+                    out.push((code[j].text.trim_matches('"'), code[j].line));
+                }
+                j += 1;
+            }
+            i = j;
+        }
+        i += 1;
+    }
+    out
+}
+
+/// First string argument of each call to one of `fns` — the journal keys
+/// passed to the JSON field helpers / scanners.
+fn journal_keys(code: &[Token<'_>], fns: &[&str]) -> Vec<(String, u32)> {
+    let mut out = Vec::new();
+    for i in 0..code.len() {
+        if code[i].kind != TokenKind::Ident
+            || !fns.contains(&code[i].text)
+            || code.get(i + 1).map(|n| n.text) != Some("(")
+        {
+            continue;
+        }
+        let mut depth = 0usize;
+        let mut j = i + 1;
+        while j < code.len() {
+            match code[j].text {
+                "(" | "{" | "[" => depth += 1,
+                ")" | "}" | "]" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            if code[j].kind == TokenKind::Str {
+                out.push((code[j].text.trim_matches('"').to_string(), code[j].line));
+                break;
+            }
+            j += 1;
+        }
+    }
+    out
+}
+
+/// Keys of the journal-schema table in DESIGN.md, taken from the first
+/// backticked cell of each table row between the schema markers.
+pub fn design_schema_keys(design: &str) -> Vec<String> {
+    let mut keys = Vec::new();
+    let mut inside = false;
+    for line in design.lines() {
+        if line.contains("<!-- journal-schema:begin -->") {
+            inside = true;
+            continue;
+        }
+        if line.contains("<!-- journal-schema:end -->") {
+            break;
+        }
+        if !inside {
+            continue;
+        }
+        let trimmed = line.trim();
+        if !trimmed.starts_with('|') {
+            continue;
+        }
+        let Some(cell) = trimmed.trim_start_matches('|').split('|').next() else {
+            continue;
+        };
+        let cell = cell.trim();
+        if let Some(key) = cell.strip_prefix('`').and_then(|c| c.strip_suffix('`')) {
+            keys.push(key.to_string());
+        }
+    }
+    keys
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_one(path: &str, text: &str) -> Vec<Finding> {
+        run(&Workspace {
+            files: vec![SourceFile {
+                path: path.to_string(),
+                text: text.to_string(),
+            }],
+            design_md: None,
+        })
+    }
+
+    #[test]
+    fn unwrap_flagged_only_in_solver_crates() {
+        let src = "pub fn f(x: Option<u8>) -> u8 { x.unwrap() }";
+        assert_eq!(run_one("crates/linalg/src/a.rs", src).len(), 1);
+        assert_eq!(run_one("crates/cells/src/a.rs", src).len(), 0);
+    }
+
+    #[test]
+    fn unwrap_in_cfg_test_module_is_ignored() {
+        let src = "pub fn f() {}\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { Some(1).unwrap(); assert!(true); }\n}\n";
+        assert!(run_one("crates/core/src/a.rs", src).is_empty());
+    }
+
+    #[test]
+    fn unwrap_like_identifiers_do_not_match() {
+        let src = "pub fn f(x: Option<u8>) -> u8 { x.unwrap_or(3) }\nfn expectation() {}\n";
+        assert!(run_one("crates/core/src/a.rs", src).is_empty());
+    }
+
+    #[test]
+    fn allow_with_reason_suppresses_without_reason_errors() {
+        let with = "pub fn f(x: Option<u8>) -> u8 {\n    // lint: allow(no-panic, reason = \"checked above\")\n    x.unwrap()\n}\n";
+        assert!(run_one("crates/core/src/a.rs", with).is_empty());
+        let without =
+            "pub fn f(x: Option<u8>) -> u8 {\n    // lint: allow(no-panic)\n    x.unwrap()\n}\n";
+        let f = run_one("crates/core/src/a.rs", without);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "lint-annotation");
+    }
+
+    #[test]
+    fn float_eq_needs_a_literal_operand() {
+        let bad = "fn f(x: f64) -> bool { x == 0.0 }";
+        let f = run_one("crates/linalg/src/a.rs", bad);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "float-eq");
+        // Comparisons without a float literal are invisible to the lexer.
+        assert!(run_one(
+            "crates/linalg/src/a.rs",
+            "fn f(a: f64, b: f64) -> bool { a == b }"
+        )
+        .is_empty());
+        // Integer comparisons are fine.
+        assert!(run_one(
+            "crates/linalg/src/a.rs",
+            "fn f(n: usize) -> bool { n == 0 }"
+        )
+        .is_empty());
+        // NAN comparisons are flagged.
+        let nan = run_one(
+            "crates/linalg/src/a.rs",
+            "fn f(x: f64) -> bool { x == f64::NAN }",
+        );
+        assert_eq!(nan.len(), 1);
+    }
+
+    #[test]
+    fn hot_loop_alloc_catches_ctor_macro_and_method() {
+        let src = "fn step() {\n    // lint: hot-loop\n    let v: Vec<f64> = Vec::new();\n    let w = vec![0.0];\n    let c = w.clone();\n    let t = Vec::<f64>::with_capacity(4);\n    // lint: end-hot-loop\n    let outside = Vec::new();\n}\n";
+        let f = run_one("crates/spice/src/a.rs", src);
+        let rules: Vec<&str> = f.iter().map(|x| x.rule).collect();
+        assert_eq!(rules, vec!["hot-loop-alloc"; 4], "{f:?}");
+    }
+
+    #[test]
+    fn unmatched_hot_loop_markers_error() {
+        let f = run_one("crates/spice/src/a.rs", "// lint: hot-loop\nfn f() {}\n");
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "lint-annotation");
+        let f = run_one(
+            "crates/spice/src/a.rs",
+            "fn f() {}\n// lint: end-hot-loop\n",
+        );
+        assert_eq!(f.len(), 1);
+    }
+
+    #[test]
+    fn unsafe_requires_safety_comment() {
+        let bad = "fn f() { unsafe { std::hint::unreachable_unchecked() } }";
+        let f = run_one("src/a.rs", bad);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "unsafe-audit");
+        let good = "fn f() {\n    // SAFETY: provably unreachable, guarded above.\n    unsafe { std::hint::unreachable_unchecked() }\n}";
+        assert!(run_one("src/a.rs", good).is_empty());
+    }
+
+    #[test]
+    fn journal_event_needs_enabled_gate() {
+        let bad = "fn emit() {\n    shc_obs::journal(&shc_obs::JournalEvent { point: 0 });\n}\n";
+        let f = run_one("crates/core/src/a.rs", bad);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "telemetry-hygiene");
+        let good = "fn emit() {\n    if !shc_obs::enabled() { return; }\n    shc_obs::journal(&shc_obs::JournalEvent { point: 0 });\n}\n";
+        assert!(run_one("crates/core/src/a.rs", good).is_empty());
+    }
+
+    #[test]
+    fn schema_keys_parse_from_markdown() {
+        let md = "# x\n<!-- journal-schema:begin -->\n| key | type |\n|---|---|\n| `point` | u64 |\n| `tau_s` | f64 |\n<!-- journal-schema:end -->\n";
+        assert_eq!(design_schema_keys(md), vec!["point", "tau_s"]);
+    }
+
+    #[test]
+    fn comments_and_strings_never_fire_rules() {
+        let src = "// x.unwrap() and panic! in a comment\nfn f() { let s = \"y.unwrap() == 0.0\"; let _ = s; }\n/* vec![0.0] Vec::new() */\n";
+        assert!(run_one("crates/linalg/src/a.rs", src).is_empty());
+    }
+}

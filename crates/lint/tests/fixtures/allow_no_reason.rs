@@ -1,0 +1,9 @@
+// Fixture: must trigger `lint-annotation` (reason-less allow) and
+// nothing else — the allow suppresses the no-panic finding, but is
+// itself an error because it carries no reason.
+// Linted as if it lived at crates/core/src/.
+
+pub fn suppressed_without_reason(x: Option<u8>) -> u8 {
+    // lint: allow(no-panic)
+    x.unwrap()
+}

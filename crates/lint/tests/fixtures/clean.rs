@@ -1,0 +1,34 @@
+// Fixture: must produce zero findings even at a solver-crate path,
+// despite being full of text that looks like violations to a regex.
+
+/// Doc comment mentioning x.unwrap() and panic!("no").
+pub fn tricky_strings() -> &'static str {
+    // A line comment with vec![0.0] and Vec::new() and y == 0.0.
+    let s = "a.unwrap() == 0.0 && panic!(\"in a string\")";
+    let raw = r#"b.expect("also a string") != 1.5"#;
+    /* block comment: c.clone() inside a /* nested */ comment */
+    if s.len() > raw.len() {
+        s
+    } else {
+        raw
+    }
+}
+
+pub fn allowed_with_reason(x: Option<u8>) -> u8 {
+    // lint: allow(no-panic, reason = "fixture demonstrates a justified escape hatch")
+    x.unwrap()
+}
+
+pub fn float_compare_with_tolerance(a: f64, b: f64) -> bool {
+    (a - b).abs() < 1e-12
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_may_panic_and_compare() {
+        let x: Option<u8> = Some(1);
+        assert_eq!(x.unwrap(), 1);
+        assert!(0.0 == 0.0);
+    }
+}

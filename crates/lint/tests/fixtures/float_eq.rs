@@ -1,0 +1,16 @@
+// Fixture: must trigger `float-eq` (two sites) and nothing else.
+// Linted as if it lived at crates/linalg/src/.
+
+pub fn literal_compare(x: f64) -> bool {
+    x == 0.0
+}
+
+pub fn nan_compare(x: f64) -> bool {
+    x != f64::NAN
+}
+
+pub fn fine(n: usize, a: f64, b: f64) -> bool {
+    // No float literal on either side: invisible to the lexer, and
+    // integer comparisons are always fine.
+    n == 0 && a < b
+}

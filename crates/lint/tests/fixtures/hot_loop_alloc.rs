@@ -1,0 +1,16 @@
+// Fixture: must trigger `hot-loop-alloc` (four sites) and nothing else.
+
+pub fn step(xs: &[f64]) -> f64 {
+    let mut acc = 0.0;
+    // lint: hot-loop
+    for &x in xs {
+        let v: Vec<f64> = Vec::new();
+        let w = vec![x];
+        let copied = w.clone();
+        let sized = Vec::<f64>::with_capacity(4);
+        acc += x + v.len() as f64 + copied.len() as f64 + sized.capacity() as f64;
+    }
+    // lint: end-hot-loop
+    let fine_outside: Vec<f64> = Vec::new();
+    acc + fine_outside.len() as f64
+}

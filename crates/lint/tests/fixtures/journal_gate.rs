@@ -1,0 +1,22 @@
+// Fixture: must trigger `telemetry-hygiene` (ungated JournalEvent
+// construction) and nothing else. Linted as if it lived outside
+// crates/obs, e.g. crates/bench/src/.
+
+pub fn emit_ungated(tau_s: f64, tau_h: f64) {
+    shc_obs::journal(&shc_obs::JournalEvent {
+        point: 0,
+        tau_s,
+        tau_h,
+    });
+}
+
+pub fn emit_gated(tau_s: f64, tau_h: f64) {
+    if !shc_obs::enabled() {
+        return;
+    }
+    shc_obs::journal(&shc_obs::JournalEvent {
+        point: 1,
+        tau_s,
+        tau_h,
+    });
+}

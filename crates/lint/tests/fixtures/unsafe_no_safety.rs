@@ -1,0 +1,10 @@
+// Fixture: must trigger `unsafe-audit` (one site) and nothing else.
+
+pub fn undocumented(p: *const u8) -> u8 {
+    unsafe { *p }
+}
+
+pub fn documented(p: *const u8) -> u8 {
+    // SAFETY: the caller guarantees `p` is valid for reads.
+    unsafe { *p }
+}

@@ -1,0 +1,203 @@
+//! Fixture-based rule tests plus the workspace self-check.
+//!
+//! Each fixture under `tests/fixtures/` is a known-bad (or known-clean)
+//! snippet; it must trigger exactly its intended rule and nothing else,
+//! with correct `file:line` anchors. The self-check runs the full lint
+//! over the real workspace and asserts zero non-baselined findings — so
+//! `cargo test` alone catches lint regressions locally.
+
+use std::collections::BTreeSet;
+use std::path::Path;
+
+use shc_lint::driver;
+use shc_lint::rules::{self, SourceFile, Workspace};
+
+/// Lints one fixture as if it lived at `path` inside the workspace.
+fn lint_fixture(path: &str, text: &str) -> Vec<shc_lint::report::Finding> {
+    rules::run(&Workspace {
+        files: vec![SourceFile {
+            path: path.to_string(),
+            text: text.to_string(),
+        }],
+        design_md: None,
+    })
+}
+
+/// Asserts every finding is `rule`, anchored in `path`, at exactly `lines`.
+fn assert_only(findings: &[shc_lint::report::Finding], rule: &str, path: &str, lines: &[u32]) {
+    let rules_seen: BTreeSet<&str> = findings.iter().map(|f| f.rule).collect();
+    assert_eq!(
+        rules_seen,
+        BTreeSet::from([rule]),
+        "expected only `{rule}`, got {findings:#?}"
+    );
+    assert!(findings.iter().all(|f| f.file == path), "{findings:#?}");
+    let mut seen: Vec<u32> = findings.iter().map(|f| f.line).collect();
+    seen.sort_unstable();
+    assert_eq!(seen, lines, "wrong line anchors: {findings:#?}");
+}
+
+#[test]
+fn panic_fixture_triggers_only_no_panic() {
+    let findings = lint_fixture(
+        "crates/core/src/fixture.rs",
+        include_str!("fixtures/panic_in_solver.rs"),
+    );
+    assert_only(
+        &findings,
+        "no-panic",
+        "crates/core/src/fixture.rs",
+        &[5, 9, 13],
+    );
+}
+
+#[test]
+fn panic_fixture_is_clean_outside_solver_crates() {
+    let findings = lint_fixture(
+        "crates/bench/src/fixture.rs",
+        include_str!("fixtures/panic_in_solver.rs"),
+    );
+    assert!(findings.is_empty(), "{findings:#?}");
+}
+
+#[test]
+fn hot_loop_fixture_triggers_only_hot_loop_alloc() {
+    let findings = lint_fixture(
+        "crates/spice/src/fixture.rs",
+        include_str!("fixtures/hot_loop_alloc.rs"),
+    );
+    assert_only(
+        &findings,
+        "hot-loop-alloc",
+        "crates/spice/src/fixture.rs",
+        &[7, 8, 9, 10],
+    );
+}
+
+#[test]
+fn float_eq_fixture_triggers_only_float_eq() {
+    let findings = lint_fixture(
+        "crates/linalg/src/fixture.rs",
+        include_str!("fixtures/float_eq.rs"),
+    );
+    assert_only(
+        &findings,
+        "float-eq",
+        "crates/linalg/src/fixture.rs",
+        &[5, 9],
+    );
+}
+
+#[test]
+fn unsafe_fixture_triggers_only_unsafe_audit() {
+    let findings = lint_fixture(
+        "crates/bench/src/fixture.rs",
+        include_str!("fixtures/unsafe_no_safety.rs"),
+    );
+    assert_only(
+        &findings,
+        "unsafe-audit",
+        "crates/bench/src/fixture.rs",
+        &[4],
+    );
+}
+
+#[test]
+fn reasonless_allow_triggers_only_lint_annotation() {
+    let findings = lint_fixture(
+        "crates/core/src/fixture.rs",
+        include_str!("fixtures/allow_no_reason.rs"),
+    );
+    // The unwrap itself is suppressed by the allow; the reason-less allow
+    // is the one error, anchored at the annotation line.
+    assert_only(
+        &findings,
+        "lint-annotation",
+        "crates/core/src/fixture.rs",
+        &[7],
+    );
+}
+
+#[test]
+fn ungated_journal_triggers_only_telemetry_hygiene() {
+    let findings = lint_fixture(
+        "crates/bench/src/fixture.rs",
+        include_str!("fixtures/journal_gate.rs"),
+    );
+    assert_only(
+        &findings,
+        "telemetry-hygiene",
+        "crates/bench/src/fixture.rs",
+        &[6],
+    );
+}
+
+#[test]
+fn clean_fixture_produces_zero_findings() {
+    let findings = lint_fixture(
+        "crates/linalg/src/fixture.rs",
+        include_str!("fixtures/clean.rs"),
+    );
+    assert!(findings.is_empty(), "{findings:#?}");
+}
+
+/// The committed tree must lint clean: all hard rules pass and the
+/// ratcheted rules sit at or below `lint-baseline.json`.
+#[test]
+fn self_check_real_workspace_has_no_new_findings() {
+    let root = driver::find_root(Path::new(env!("CARGO_MANIFEST_DIR")))
+        .expect("workspace root above crates/lint");
+    let outcome = driver::check_workspace(&root).expect("lint runs");
+    assert!(
+        outcome.files_checked > 50,
+        "walker found only {} files — src/ discovery is broken",
+        outcome.files_checked
+    );
+    assert!(
+        outcome.new_findings.is_empty(),
+        "workspace has non-baselined lint findings:\n{}",
+        outcome
+            .new_findings
+            .iter()
+            .map(|f| f.render())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+/// End-to-end ratchet check against a synthetic workspace on disk: a
+/// fresh violation fails `run_check` (exit 1), `--update-baseline`
+/// absorbs it (exit 0), and a second violation fails again.
+#[test]
+fn ratchet_lifecycle_on_synthetic_workspace() {
+    let dir = std::env::temp_dir().join(format!("shc-lint-test-{}", std::process::id()));
+    let src = dir.join("crates/core/src");
+    std::fs::create_dir_all(&src).expect("mkdir");
+    std::fs::write(dir.join("Cargo.toml"), "[workspace]\n").expect("write");
+    let one = "pub fn f(x: Option<u8>) -> u8 { x.unwrap() }\n";
+    let two = "pub fn f(x: Option<u8>) -> u8 { x.unwrap() }\npub fn g(x: Option<u8>) -> u8 { x.unwrap() }\n";
+    std::fs::write(src.join("lib.rs"), one).expect("write");
+
+    let opts = driver::CheckOptions {
+        json: false,
+        update_baseline: false,
+        root: Some(dir.clone()),
+    };
+    assert_eq!(driver::run_check(&opts), 1, "fresh violation must fail");
+
+    let update = driver::CheckOptions {
+        update_baseline: true,
+        ..opts.clone()
+    };
+    assert_eq!(driver::run_check(&update), 0, "baselined violation passes");
+    assert_eq!(driver::run_check(&opts), 0, "and stays passing");
+
+    std::fs::write(src.join("lib.rs"), two).expect("write");
+    assert_eq!(
+        driver::run_check(&opts),
+        1,
+        "count above baseline must fail"
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}

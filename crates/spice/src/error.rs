@@ -41,6 +41,14 @@ pub enum SpiceError {
         /// Simulation time of the blow-up.
         time: f64,
     },
+    /// The netlist text could not be parsed. Malformed input must surface
+    /// as an error, never abort a batch run.
+    Parse {
+        /// 1-based line number in the (expanded) deck.
+        line: usize,
+        /// Description of the syntax or semantic problem.
+        message: String,
+    },
 }
 
 impl fmt::Display for SpiceError {
@@ -65,6 +73,9 @@ impl fmt::Display for SpiceError {
             SpiceError::NumericalBlowup { time } => {
                 write!(f, "non-finite value produced at t = {time:.6e}s")
             }
+            SpiceError::Parse { line, message } => {
+                write!(f, "netlist line {line}: {message}")
+            }
         }
     }
 }
@@ -81,6 +92,15 @@ impl std::error::Error for SpiceError {
 impl From<LinalgError> for SpiceError {
     fn from(e: LinalgError) -> Self {
         SpiceError::Linalg(e)
+    }
+}
+
+impl From<crate::netlist::NetlistError> for SpiceError {
+    fn from(e: crate::netlist::NetlistError) -> Self {
+        SpiceError::Parse {
+            line: e.line,
+            message: e.message,
+        }
     }
 }
 

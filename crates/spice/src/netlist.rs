@@ -446,7 +446,10 @@ fn expand_instance(
         let Some(first) = btokens.first().cloned() else {
             continue;
         };
-        let letter = first.chars().next().expect("nonempty token");
+        let Some(letter) = first.chars().next() else {
+            // tokenize() never yields empty tokens; skip rather than panic.
+            continue;
+        };
         if letter == '.' {
             // .model cards are collected globally; other directives are
             // not allowed inside a body.
@@ -535,7 +538,11 @@ pub fn parse(deck: &str) -> Result<Circuit, NetlistError> {
                 Ok(())
             }
         };
-        match card.chars().next().expect("nonempty token") {
+        let Some(kind) = card.chars().next() else {
+            // tokenize() never yields empty tokens; skip rather than panic.
+            continue;
+        };
+        match kind {
             '.' => {
                 match card.as_str() {
                     ".model" => {} // handled in the first pass

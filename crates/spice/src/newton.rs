@@ -167,6 +167,9 @@ where
     ws.x.copy_from(x0);
     let mut last_norm = f64::INFINITY;
 
+    // Every iteration works in workspace buffers sized at construction;
+    // the only allocation is the one-time LU factor below.
+    // lint: hot-loop
     for iter in 1..=opts.max_iters {
         assemble(&ws.x, &mut ws.residual, &mut ws.jacobian)?;
         if !ws.residual.is_finite() || !ws.jacobian.is_finite() {
@@ -177,6 +180,7 @@ where
                 lu.refactor(&ws.jacobian)?;
                 lu
             }
+            // lint: allow(hot-loop-alloc, reason = "cold path: the factor is built on the workspace's first solve and refactored in place after")
             None => ws.lu.insert(LuFactor::new(&ws.jacobian)?),
         };
         lu.solve_into(&ws.residual, &mut ws.delta)?;
@@ -197,6 +201,7 @@ where
             return Ok(iter);
         }
     }
+    // lint: end-hot-loop
 
     Err(SpiceError::NewtonDiverged {
         context: "newton solve",

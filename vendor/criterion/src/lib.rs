@@ -60,6 +60,9 @@ pub struct Bencher {
 
 impl Bencher {
     /// Times `sample_size` executions of `routine` (after one warm-up).
+    // A benchmark harness is the other sanctioned wall-clock reader
+    // besides shc-obs spans (see the workspace clippy.toml).
+    #[allow(clippy::disallowed_methods)]
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
         black_box(routine()); // warm-up: populate caches, JIT-free but fair
         self.samples.clear();
