@@ -1,0 +1,139 @@
+//! Fault-matrix harness for CI.
+//!
+//! Walks the full injection matrix (site × fault kind), runs a compressed
+//! TSPC trace under each plan, and asserts the solver stack absorbs every
+//! injected fault *gracefully*: the trace either recovers to a complete
+//! contour, degrades to a clean partial contour, or surfaces a typed error
+//! — it never panics. Any panic (or a vacuous cell where nothing was
+//! injected) fails the run.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p shc-bench --bin fault_matrix
+//! cargo run --release -p shc-bench --bin fault_matrix -- --canary-panic
+//! ```
+//!
+//! `--canary-panic` replaces the matrix with one deliberately panicking
+//! cell to prove the harness converts panics into a nonzero exit (CI
+//! asserts this without paying for a second full matrix run).
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::process::ExitCode;
+
+use shc_bench::{Cell, Timing};
+use shc_core::seed::find_first_point;
+use shc_core::tracer::trace_session;
+use shc_core::{SeedOptions, TraceOutcome, TraceStart, TracerOptions};
+use shc_fault::{FaultKind, FaultPlan, Injector, Site};
+
+/// Contour resolution per matrix cell (small: the matrix has 20 cells).
+const MATRIX_POINTS: usize = 8;
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("fault_matrix: error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<ExitCode, Box<dyn std::error::Error>> {
+    if std::env::args().any(|a| a == "--canary-panic") {
+        let result = catch_unwind(AssertUnwindSafe(|| -> usize {
+            panic!("fault_matrix canary: deliberate panic");
+        }));
+        assert!(result.is_err());
+        eprintln!("canary: PANIC caught and converted to a failing exit");
+        return Ok(ExitCode::FAILURE);
+    }
+
+    // Build the fixture and seed the trace fault-free: the matrix probes
+    // the *solver stack's* resilience, not the calibration path.
+    let problem = Cell::Tspc.problem(Timing::Fast)?;
+    let seed = find_first_point(&problem, &SeedOptions::default())?.params;
+    let opts = TracerOptions::default();
+
+    println!(
+        "{:<12} {:<16} {:>9} {:>8}  outcome",
+        "site", "kind", "injected", "points"
+    );
+    let mut failures = 0usize;
+    for site in Site::ALL {
+        for kind in FaultKind::ALL {
+            let plan = FaultPlan {
+                probability: site_probability(site),
+                site: Some(site),
+                kind,
+                // Vary the stream per cell so the matrix doesn't probe the
+                // same call indices twenty times.
+                seed: 0x5AFE_0000 + (site.name().len() as u64) * 131 + kind.name().len() as u64,
+            };
+            let injector = Injector::new(plan);
+            let result = {
+                let _guard = shc_fault::install_scoped(&injector);
+                catch_unwind(AssertUnwindSafe(|| {
+                    trace_session(&problem, TraceStart::Seed(seed), MATRIX_POINTS, &opts, None)
+                }))
+            };
+            let injected = injector.injected();
+            let (outcome, graceful) = match &result {
+                Ok(Ok(TraceOutcome::Complete(c))) => {
+                    (format!("complete ({} pts)", c.points().len()), true)
+                }
+                Ok(Ok(TraceOutcome::Partial { contour, failure })) => (
+                    format!("partial ({} pts): {failure}", contour.points().len()),
+                    true,
+                ),
+                Ok(Err(e)) => (format!("typed error: {e}"), true),
+                Err(_) => ("PANIC".to_string(), false),
+            };
+            let points = match &result {
+                Ok(Ok(outcome)) => outcome.contour().points().len(),
+                _ => 0,
+            };
+            let vacuous = injected == 0;
+            if !graceful || vacuous {
+                failures += 1;
+            }
+            println!(
+                "{:<12} {:<16} {:>9} {:>8}  {}{}",
+                site.name(),
+                kind.name(),
+                injected,
+                points,
+                outcome,
+                if vacuous {
+                    "  [VACUOUS: nothing injected]"
+                } else {
+                    ""
+                },
+            );
+        }
+    }
+
+    if failures > 0 {
+        eprintln!("fault matrix: {failures} cell(s) failed (panic or vacuous injection)");
+        return Ok(ExitCode::FAILURE);
+    }
+    println!(
+        "fault matrix: all {} cells graceful",
+        Site::COUNT * FaultKind::COUNT
+    );
+    Ok(ExitCode::SUCCESS)
+}
+
+/// Per-site injection probability, scaled inversely to how often the site
+/// fires: LU/Newton sites run thousands of times per trace, the transient
+/// site once per simulation, the MPNR site once per corrector solve. Each
+/// probability is high enough that every matrix cell injects at least once
+/// under its fixed seed.
+fn site_probability(site: Site) -> f64 {
+    match site {
+        Site::LuFactor | Site::LuSolve | Site::Newton => 0.002,
+        Site::Transient => 0.35,
+        Site::Mpnr => 0.45,
+    }
+}

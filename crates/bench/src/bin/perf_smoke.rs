@@ -1,0 +1,164 @@
+//! Perf-regression smoke gate for CI.
+//!
+//! Runs quick-mode (compressed clock) traces of the paper's two cells under
+//! a telemetry collector and compares the deterministic work counters —
+//! transient runs, tracer simulations, points traced — against the
+//! committed `BENCH_baseline.json`. Counter drift beyond ±10% fails the
+//! run: a cheap, wall-clock-free canary for algorithmic perf regressions
+//! (extra Newton retries, corrector iterations, LTE rejections all show up
+//! as more transient runs).
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p shc-bench --bin perf_smoke                      # gate
+//! cargo run --release -p shc-bench --bin perf_smoke -- --write-baseline  # re-pin
+//! cargo run --release -p shc-bench --bin perf_smoke -- --report perf-smoke.json
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use shc_bench::{Cell, Timing};
+use shc_obs::{json, Collector, Metric};
+
+/// Contour resolution the smoke trace uses.
+const SMOKE_POINTS: usize = 12;
+/// Allowed drift on counter ratios, both directions (re-pin on purpose).
+const RATCHET: f64 = 0.10;
+
+struct CellCounters {
+    cell: &'static str,
+    points_traced: u64,
+    trace_simulations: u64,
+    transient_runs: u64,
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("perf_smoke: error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<ExitCode, Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().collect();
+    let flag_value = |flag: &str| {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let write_baseline = args.iter().any(|a| a == "--write-baseline");
+    let baseline_path = PathBuf::from(flag_value("--baseline").unwrap_or_else(|| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_baseline.json").to_string()
+    }));
+    let report_path =
+        PathBuf::from(flag_value("--report").unwrap_or_else(|| "perf-smoke-report.json".into()));
+
+    let mut measured = Vec::new();
+    for cell in Cell::PAPER {
+        measured.push(measure(cell)?);
+    }
+
+    if write_baseline {
+        std::fs::write(&baseline_path, render(&measured, "shc-perf-baseline-v1"))?;
+        println!("wrote {}", baseline_path.display());
+        return Ok(ExitCode::SUCCESS);
+    }
+
+    let baseline = std::fs::read_to_string(&baseline_path).map_err(|e| {
+        format!(
+            "cannot read {} (run --write-baseline?): {e}",
+            baseline_path.display()
+        )
+    })?;
+    let mut ok = true;
+    for m in &measured {
+        for (metric, value) in [
+            ("points_traced", m.points_traced),
+            ("trace_simulations", m.trace_simulations),
+            ("transient_runs", m.transient_runs),
+        ] {
+            let key = format!("{}_{metric}", m.cell);
+            let base = json::scan_u64(&baseline, &key)
+                .ok_or_else(|| format!("baseline missing key '{key}'"))?;
+            let pass = if metric == "points_traced" {
+                value == base
+            } else {
+                let ratio = value as f64 / base.max(1) as f64;
+                (1.0 - RATCHET..=1.0 + RATCHET).contains(&ratio)
+            };
+            if pass {
+                println!("{key}: {value} (baseline {base}) OK");
+            } else {
+                ok = false;
+                eprintln!(
+                    "{key}: {value} vs baseline {base} — outside the ±{:.0}% ratchet",
+                    RATCHET * 100.0
+                );
+            }
+        }
+    }
+    std::fs::write(&report_path, render(&measured, "shc-perf-smoke-v1"))?;
+    println!("wrote {}", report_path.display());
+    if !ok {
+        eprintln!(
+            "perf smoke gate failed; if the counter change is intentional, \
+             re-pin with --write-baseline and commit BENCH_baseline.json"
+        );
+        return Ok(ExitCode::FAILURE);
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+/// Traces one cell under a private collector and extracts its counters.
+fn measure(cell: Cell) -> Result<CellCounters, Box<dyn std::error::Error>> {
+    let problem = cell.problem(Timing::Fast)?;
+    problem.reset_simulation_count();
+    let collector = Collector::new();
+    let contour = {
+        let _telemetry = shc_obs::install_scoped(&collector);
+        problem.trace_contour(SMOKE_POINTS)?
+    };
+    let snapshot = collector.snapshot();
+    Ok(CellCounters {
+        cell: cell.name(),
+        points_traced: contour.points().len() as u64,
+        trace_simulations: problem.simulation_count() as u64,
+        transient_runs: snapshot.counter(Metric::TransientRuns),
+    })
+}
+
+fn render(cells: &[CellCounters], schema: &str) -> String {
+    let mut out = String::from("{");
+    let mut first = true;
+    json::push_str_field(&mut out, &mut first, "schema", schema);
+    json::push_str_field(&mut out, &mut first, "clock", "fast");
+    json::push_u64_field(&mut out, &mut first, "smoke_points", SMOKE_POINTS as u64);
+    for m in cells {
+        json::push_u64_field(
+            &mut out,
+            &mut first,
+            &format!("{}_points_traced", m.cell),
+            m.points_traced,
+        );
+        json::push_u64_field(
+            &mut out,
+            &mut first,
+            &format!("{}_trace_simulations", m.cell),
+            m.trace_simulations,
+        );
+        json::push_u64_field(
+            &mut out,
+            &mut first,
+            &format!("{}_transient_runs", m.cell),
+            m.transient_runs,
+        );
+    }
+    out.push_str("}\n");
+    out
+}

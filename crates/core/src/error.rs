@@ -46,6 +46,11 @@ pub enum CharError {
         /// Description of the offending option.
         reason: &'static str,
     },
+    /// A trace checkpoint could not be written or read.
+    Checkpoint {
+        /// Description of the I/O or format failure.
+        reason: String,
+    },
     /// An internal invariant was violated (a result that was requested
     /// upstream is missing). Surfaced as an error instead of a panic so
     /// one bad point cannot abort a batch characterization run.
@@ -84,6 +89,7 @@ impl fmt::Display for CharError {
                 reason,
             } => write!(f, "trace aborted after {points_found} points: {reason}"),
             CharError::BadOption { reason } => write!(f, "bad option: {reason}"),
+            CharError::Checkpoint { reason } => write!(f, "checkpoint i/o failed: {reason}"),
             CharError::Internal { reason } => {
                 write!(f, "internal invariant violated: {reason}")
             }

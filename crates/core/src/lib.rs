@@ -71,7 +71,8 @@ pub use problem::{CharacterizationProblem, HEvaluation, ProblemBuilder};
 pub use seed::SeedOptions;
 pub use surface::{OutputSurface, SurfaceContour, SurfaceOptions};
 pub use tracer::{
-    trace_batch, BatchContour, BatchOptions, Contour, ContourPoint, TraceDirection, TracerOptions,
+    trace_batch, trace_session, BatchContour, BatchOptions, CheckpointConfig, Contour,
+    ContourPoint, RecoveryOptions, TraceDirection, TraceOutcome, TraceStart, TracerOptions,
 };
 
 /// Result alias used throughout this crate.

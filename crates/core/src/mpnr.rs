@@ -71,6 +71,10 @@ pub fn solve(
 ) -> Result<MpnrResult> {
     let _span = shc_obs::span(shc_obs::SpanKind::MpnrSolve);
     shc_obs::count(shc_obs::Metric::MpnrSolves, 1);
+    if let Some(e) = injected_fault(initial) {
+        shc_obs::count(shc_obs::Metric::MpnrFailures, 1);
+        return Err(e);
+    }
     let mut tau = initial;
     let mut last_h = f64::INFINITY;
     let mut transient = TransientStats::default();
@@ -114,6 +118,134 @@ pub fn solve(
         iterations: opts.max_iters,
         h_value: last_h,
     })
+}
+
+/// Consults the ambient fault injector for the MPNR site (no-op unless a
+/// [`shc_fault::Injector`] is installed on this thread).
+fn injected_fault(tau: Params) -> Option<CharError> {
+    let kind = shc_fault::check(shc_fault::Site::Mpnr)?;
+    shc_obs::count(shc_obs::Metric::FaultsInjected, 1);
+    Some(match kind {
+        shc_fault::FaultKind::SingularMatrix => CharError::VanishingJacobian {
+            tau_s: tau.tau_s,
+            tau_h: tau.tau_h,
+        },
+        shc_fault::FaultKind::NanResidual => CharError::MpnrDiverged {
+            iterations: 0,
+            h_value: f64::NAN,
+        },
+        shc_fault::FaultKind::NonConvergence | shc_fault::FaultKind::LteStall => {
+            CharError::MpnrDiverged {
+                iterations: 0,
+                h_value: f64::INFINITY,
+            }
+        }
+    })
+}
+
+/// Bisection fallback along the hold-skew axis, used by the tracer when
+/// the MPNR corrector diverges at a predicted point.
+///
+/// The setup skew is frozen at the predicted value and the scalar equation
+/// `h(τs, τh) = 0` is solved in τh alone: an expanding search (toward the
+/// last on-curve `anchor` first, then away from it) brackets a sign change
+/// of `h`, which bisection then shrinks below the MPNR update tolerance.
+/// Bisection needs only sign information, so it is robust exactly where
+/// the pseudo-inverse step is not — at the cost of more simulations.
+///
+/// # Errors
+///
+/// [`CharError::MpnrDiverged`] when no sign change is found within
+/// `8 × max_step` of the predicted hold skew or the evaluation budget
+/// (`3 × max_iters`) runs out; simulation failures propagate.
+pub fn bisect_fallback(
+    problem: &CharacterizationProblem,
+    anchor: Params,
+    predicted: Params,
+    opts: &MpnrOptions,
+) -> Result<MpnrResult> {
+    let _span = shc_obs::span(shc_obs::SpanKind::MpnrSolve);
+    let tau_s = predicted.tau_s;
+    let budget = opts.max_iters.max(5) * 3;
+    let mut transient = TransientStats::default();
+    let mut evals = 0usize;
+    let eval = |tau_h: f64,
+                transient: &mut TransientStats,
+                evals: &mut usize|
+     -> Result<crate::HEvaluation> {
+        *evals += 1;
+        let ev = problem.evaluate_with_jacobian(&Params::new(tau_s, tau_h))?;
+        transient.steps += ev.stats.steps;
+        transient.newton_iterations += ev.stats.newton_iterations;
+        transient.rejected_steps += ev.stats.rejected_steps;
+        Ok(ev)
+    };
+
+    let ev0 = eval(predicted.tau_h, &mut transient, &mut evals)?;
+    let h0 = ev0.h;
+
+    // Expanding search for a sign change of h along τh.
+    let seed_step = (anchor.tau_h - predicted.tau_h)
+        .abs()
+        .max(opts.max_step / 64.0);
+    let toward = if anchor.tau_h >= predicted.tau_h {
+        1.0
+    } else {
+        -1.0
+    };
+    let mut bracket: Option<(f64, f64, f64)> = None; // (a, ha, b)
+    'directions: for dir in [toward, -toward] {
+        let mut prev_tau = predicted.tau_h;
+        let mut prev_h = h0;
+        let mut step = seed_step;
+        while (prev_tau - predicted.tau_h).abs() < 8.0 * opts.max_step {
+            if evals >= budget {
+                return Err(CharError::MpnrDiverged {
+                    iterations: evals,
+                    h_value: prev_h.abs(),
+                });
+            }
+            let tau_h = prev_tau + dir * step;
+            let ev = eval(tau_h, &mut transient, &mut evals)?;
+            if ev.h * prev_h < 0.0 {
+                bracket = Some((prev_tau, prev_h, tau_h));
+                break 'directions;
+            }
+            prev_tau = tau_h;
+            prev_h = ev.h;
+            step *= 2.0;
+        }
+    }
+    let (mut a, mut ha, mut b) = bracket.ok_or(CharError::MpnrDiverged {
+        iterations: evals,
+        h_value: h0.abs(),
+    })?;
+
+    // Bisect to the MPNR update tolerance. The returned point is the last
+    // evaluated midpoint, so the residual and Jacobian describe it exactly
+    // (the same ε-close convention as [`solve`]).
+    loop {
+        let mid = 0.5 * (a + b);
+        let ev = eval(mid, &mut transient, &mut evals)?;
+        if ev.h * ha < 0.0 {
+            b = mid;
+        } else {
+            a = mid;
+            ha = ev.h;
+        }
+        let tol = opts.reltol * mid.abs() + opts.abstol;
+        if (b - a).abs() <= 2.0 * tol || evals >= budget {
+            shc_obs::count(shc_obs::Metric::MpnrFallbacks, 1);
+            shc_obs::observe(shc_obs::Metric::MpnrIterations, evals as u64);
+            return Ok(MpnrResult {
+                params: Params::new(tau_s, mid),
+                iterations: evals,
+                residual: ev.h.abs(),
+                jacobian: [ev.dh_dtau_s, ev.dh_dtau_h],
+                transient,
+            });
+        }
+    }
 }
 
 #[cfg(test)]

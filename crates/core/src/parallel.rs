@@ -104,12 +104,16 @@ where
     // Telemetry follows the work: capture the caller's collector (if any)
     // and install it on every worker so counters, spans, and journal
     // events from parallel jobs land in the same collector as serial runs.
+    // The fault injector rides along the same way, so an injection plan
+    // covers fanned-out jobs too (each site's cursor stream is shared).
     let collector = shc_obs::current();
+    let injector = shc_fault::current();
 
     std::thread::scope(|scope| {
         for _ in 0..threads {
             scope.spawn(|| {
                 let _telemetry = collector.as_ref().map(shc_obs::install_scoped);
+                let _faults = injector.as_ref().map(shc_fault::install_scoped);
                 let mut local: Vec<(usize, std::result::Result<T, E>)> = Vec::new();
                 loop {
                     if failed.load(Ordering::Relaxed) {

@@ -6,6 +6,18 @@
 //! (paper eq. (16)) by a step length α (the Euler predictor), then correct
 //! back onto the curve with MPNR. The step length adapts: it shrinks when
 //! the corrector struggles and grows after easy corrections.
+//!
+//! Corrector failures no longer abort the trace outright. A bounded
+//! recovery ladder kicks in instead — predictor step-halving, a bisection
+//! fallback along the hold axis ([`crate::mpnr::bisect_fallback`]), and a
+//! limited number of full restarts with the step length reset — and when
+//! everything is exhausted the points accepted so far are returned as a
+//! [`TraceOutcome::Partial`] rather than thrown away. The tracer can also
+//! persist its walking state to a JSONL checkpoint file every K accepted
+//! points and later resume from it ([`TraceStart::Resume`]), reproducing
+//! the uninterrupted contour bit for bit.
+
+use std::path::PathBuf;
 
 use serde::{Deserialize, Serialize};
 use shc_cells::Register;
@@ -31,6 +43,29 @@ pub enum TraceDirection {
     IncreasingHold,
 }
 
+/// Bounds on the tracer's recovery ladder (what happens when the MPNR
+/// corrector fails at a predicted point).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RecoveryOptions {
+    /// Full restarts allowed per trace: after step-halving and the
+    /// bisection fallback have both failed, α is reset to its initial
+    /// value and the walk retried from the last accepted point, at most
+    /// this many times.
+    pub max_restarts: usize,
+    /// Whether to try bisection along the hold axis when MPNR diverges
+    /// and step-halving has bottomed out at `alpha_min`.
+    pub bisection_fallback: bool,
+}
+
+impl Default for RecoveryOptions {
+    fn default() -> Self {
+        RecoveryOptions {
+            max_restarts: 2,
+            bisection_fallback: true,
+        }
+    }
+}
+
 /// Options for the Euler-Newton tracer.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct TracerOptions {
@@ -53,6 +88,8 @@ pub struct TracerOptions {
     pub min_tangent_hold: f64,
     /// MPNR corrector settings.
     pub mpnr: MpnrOptions,
+    /// Recovery-ladder bounds for corrector failures.
+    pub recovery: RecoveryOptions,
 }
 
 impl Default for TracerOptions {
@@ -66,6 +103,7 @@ impl Default for TracerOptions {
             skew_bound: 2e-9,
             min_tangent_hold: 0.0,
             mpnr: MpnrOptions::default(),
+            recovery: RecoveryOptions::default(),
         }
     }
 }
@@ -138,6 +176,81 @@ impl Contour {
     }
 }
 
+/// How a trace ended: with everything it was asked for, or with whatever
+/// it managed before recovery ran out.
+#[derive(Debug, Clone, PartialEq)]
+#[allow(clippy::large_enum_variant)]
+pub enum TraceOutcome {
+    /// The trace reached the requested point count or a clean stop
+    /// (skew bound, step-length floor, flat asymptote).
+    Complete(Contour),
+    /// The recovery ladder was exhausted mid-trace; the points accepted so
+    /// far (≥ 2) are kept instead of being discarded.
+    Partial {
+        /// The contour traced before the failure.
+        contour: Contour,
+        /// The corrector or simulation failure that ended the walk.
+        failure: CharError,
+    },
+}
+
+impl TraceOutcome {
+    /// The traced contour, complete or not.
+    pub fn contour(&self) -> &Contour {
+        match self {
+            TraceOutcome::Complete(c) => c,
+            TraceOutcome::Partial { contour, .. } => contour,
+        }
+    }
+
+    /// Consumes the outcome, returning the contour and discarding any
+    /// failure annotation.
+    pub fn into_contour(self) -> Contour {
+        match self {
+            TraceOutcome::Complete(c) => c,
+            TraceOutcome::Partial { contour, .. } => contour,
+        }
+    }
+
+    /// `true` for [`TraceOutcome::Complete`].
+    pub fn is_complete(&self) -> bool {
+        matches!(self, TraceOutcome::Complete(_))
+    }
+
+    /// The failure that truncated the trace, if any.
+    pub fn failure(&self) -> Option<&CharError> {
+        match self {
+            TraceOutcome::Complete(_) => None,
+            TraceOutcome::Partial { failure, .. } => Some(failure),
+        }
+    }
+}
+
+/// Where a trace begins.
+#[derive(Debug, Clone)]
+pub enum TraceStart {
+    /// Start from a point already on the curve (use [`crate::seed`] to
+    /// obtain one).
+    Seed(Params),
+    /// Continue from a checkpoint written by a previous (possibly killed)
+    /// trace of the *same* problem. The walking state — last accepted
+    /// point, tangent, α, accepted points, fault-injection cursors — is
+    /// restored exactly, so the resumed contour is bitwise identical to an
+    /// uninterrupted one.
+    Resume(shc_obs::TraceCheckpoint),
+}
+
+/// Where and how often [`trace_session`] persists its walking state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckpointConfig {
+    /// JSONL file checkpoints are appended to (one object per line; the
+    /// last complete line wins on resume).
+    pub path: PathBuf,
+    /// Write a checkpoint after every `every`-th accepted point. Must be
+    /// at least 1.
+    pub every: usize,
+}
+
 /// Emits the journal event for one traced contour point (no-op when
 /// telemetry is off).
 #[allow(clippy::too_many_arguments)]
@@ -150,6 +263,7 @@ fn journal_point(
     corrector_iterations: usize,
     alpha: f64,
     stats: TransientStats,
+    recovery_attempts: usize,
 ) {
     if !shc_obs::enabled() {
         return;
@@ -167,11 +281,59 @@ fn journal_point(
         transient_steps: stats.steps as u64,
         newton_iterations: stats.newton_iterations as u64,
         rejected_steps: stats.rejected_steps as u64,
+        recovery_attempts: recovery_attempts as u64,
     });
+}
+
+/// Serializes the tracer's mid-walk state and appends it to the
+/// checkpoint file.
+#[allow(clippy::too_many_arguments)]
+fn write_checkpoint(
+    cfg: &CheckpointConfig,
+    points: &[ContourPoint],
+    current: Params,
+    tangent: (f64, f64),
+    alpha: f64,
+    total_iters: usize,
+    simulations: usize,
+    restarts: usize,
+) -> Result<()> {
+    let checkpoint = shc_obs::TraceCheckpoint {
+        tau_s: current.tau_s,
+        tau_h: current.tau_h,
+        tangent: [tangent.0, tangent.1],
+        alpha,
+        total_corrector_iterations: total_iters as u64,
+        simulations: simulations as u64,
+        restarts: restarts as u64,
+        fault_cursors: shc_fault::current()
+            .map(|inj| inj.cursors().to_vec())
+            .unwrap_or_default(),
+        points: points
+            .iter()
+            .map(|p| shc_obs::CheckpointPoint {
+                tau_s: p.tau_s,
+                tau_h: p.tau_h,
+                corrector_iterations: p.corrector_iterations as u64,
+                residual: p.residual,
+            })
+            .collect(),
+    };
+    checkpoint
+        .append_to(&cfg.path)
+        .map_err(|e| CharError::Checkpoint {
+            reason: e.to_string(),
+        })?;
+    shc_obs::count(shc_obs::Metric::CheckpointsWritten, 1);
+    Ok(())
 }
 
 /// Traces `n` points of the constant clock-to-Q contour starting from a
 /// point already on the curve (use [`crate::seed`] to obtain it).
+///
+/// Compatibility wrapper over [`trace_session`]: partial contours are
+/// returned as plain `Ok` unless the underlying failure was a simulation
+/// error, which propagates as it always did.
 ///
 /// # Errors
 ///
@@ -184,41 +346,131 @@ pub fn trace(
     n: usize,
     opts: &TracerOptions,
 ) -> Result<Contour> {
+    match trace_session(problem, TraceStart::Seed(seed), n, opts, None)? {
+        TraceOutcome::Complete(contour) => Ok(contour),
+        TraceOutcome::Partial {
+            failure: CharError::Simulation(e),
+            ..
+        } => Err(CharError::Simulation(e)),
+        TraceOutcome::Partial { contour, .. } => Ok(contour),
+    }
+}
+
+/// Traces up to `n` points of the constant clock-to-Q contour with the
+/// full recovery ladder, optional checkpointing, and resume support.
+///
+/// On a corrector failure the ladder runs, cheapest rung first:
+///
+/// 1. **Step-halving** — the Euler predictor step α is halved (down to
+///    `alpha_min`) and the correction retried closer to the last accepted
+///    point. Skipped for simulation failures, which a shorter predictor
+///    step cannot fix.
+/// 2. **Bisection fallback** — [`mpnr::bisect_fallback`] solves
+///    `h(τs, ·) = 0` along the hold axis by sign bisection, which needs no
+///    Jacobian and tolerates the near-singular geometry that defeats MPNR.
+/// 3. **Restart** — α is reset to its initial value and the walk retried
+///    from the last accepted point, at most
+///    [`RecoveryOptions::max_restarts`] times per trace.
+///
+/// Only when every rung fails does the trace stop, and even then the
+/// accepted points are returned as [`TraceOutcome::Partial`] rather than
+/// discarded.
+///
+/// # Errors
+///
+/// - [`CharError::BadOption`] for a zero checkpoint interval or an empty
+///   resume checkpoint;
+/// - [`CharError::Checkpoint`] if a checkpoint cannot be written;
+/// - [`CharError::TraceAborted`] (or the underlying simulation failure)
+///   if recovery is exhausted before two points exist;
+/// - seed-evaluation failures propagate unchanged.
+pub fn trace_session(
+    problem: &CharacterizationProblem,
+    start: TraceStart,
+    n: usize,
+    opts: &TracerOptions,
+    checkpoint: Option<&CheckpointConfig>,
+) -> Result<TraceOutcome> {
     let _span = shc_obs::span(shc_obs::SpanKind::Trace);
+    if let Some(cfg) = checkpoint {
+        if cfg.every == 0 {
+            return Err(CharError::BadOption {
+                reason: "checkpoint interval must be at least 1",
+            });
+        }
+    }
     let sims_before = problem.simulation_count();
     let mut points: Vec<ContourPoint> = Vec::with_capacity(n);
-    let mut total_iters = 0usize;
+    let mut total_iters;
+    let mut current;
+    let mut tangent;
+    let mut alpha;
+    let mut restarts_used;
+    let base_sims;
 
-    // Evaluate at the seed to obtain the starting tangent.
-    let ev0 = problem.evaluate_with_jacobian(&seed)?;
-    let mut tangent = ev0.tangent().ok_or(CharError::VanishingJacobian {
-        tau_s: seed.tau_s,
-        tau_h: seed.tau_h,
-    })?;
-    // Orient the starting tangent.
-    let want_negative_hold = matches!(opts.direction, TraceDirection::DecreasingHold);
-    if (tangent.1 < 0.0) != want_negative_hold {
-        tangent = (-tangent.0, -tangent.1);
+    match start {
+        TraceStart::Seed(seed) => {
+            total_iters = 0;
+            restarts_used = 0;
+            base_sims = 0;
+            alpha = opts.alpha;
+            // Evaluate at the seed to obtain the starting tangent.
+            let ev0 = problem.evaluate_with_jacobian(&seed)?;
+            let mut t0 = ev0.tangent().ok_or(CharError::VanishingJacobian {
+                tau_s: seed.tau_s,
+                tau_h: seed.tau_h,
+            })?;
+            // Orient the starting tangent.
+            let want_negative_hold = matches!(opts.direction, TraceDirection::DecreasingHold);
+            if (t0.1 < 0.0) != want_negative_hold {
+                t0 = (-t0.0, -t0.1);
+            }
+            tangent = t0;
+            current = seed;
+            points.push(ContourPoint {
+                tau_s: seed.tau_s,
+                tau_h: seed.tau_h,
+                corrector_iterations: 0,
+                residual: ev0.h.abs(),
+            });
+            journal_point(
+                0,
+                seed,
+                ev0.h.abs(),
+                [ev0.dh_dtau_s, ev0.dh_dtau_h],
+                tangent,
+                0,
+                0.0,
+                ev0.stats,
+                0,
+            );
+        }
+        TraceStart::Resume(ckpt) => {
+            if ckpt.points.is_empty() {
+                return Err(CharError::BadOption {
+                    reason: "resume checkpoint holds no accepted points",
+                });
+            }
+            if let Some(injector) = shc_fault::current() {
+                injector.restore_cursors(&ckpt.fault_cursors);
+            }
+            points.extend(ckpt.points.iter().map(|p| ContourPoint {
+                tau_s: p.tau_s,
+                tau_h: p.tau_h,
+                corrector_iterations: p.corrector_iterations as usize,
+                residual: p.residual,
+            }));
+            total_iters = ckpt.total_corrector_iterations as usize;
+            restarts_used = ckpt.restarts as usize;
+            base_sims = ckpt.simulations as usize;
+            alpha = ckpt.alpha;
+            tangent = (ckpt.tangent[0], ckpt.tangent[1]);
+            current = Params::new(ckpt.tau_s, ckpt.tau_h);
+        }
     }
-    points.push(ContourPoint {
-        tau_s: seed.tau_s,
-        tau_h: seed.tau_h,
-        corrector_iterations: 0,
-        residual: ev0.h.abs(),
-    });
-    journal_point(
-        0,
-        seed,
-        ev0.h.abs(),
-        [ev0.dh_dtau_s, ev0.dh_dtau_h],
-        tangent,
-        0,
-        0.0,
-        ev0.stats,
-    );
 
-    let mut current = seed;
-    let mut alpha = opts.alpha;
+    let mut attempts_since_accept = 0usize;
+    let mut failure: Option<CharError> = None;
 
     while points.len() < n {
         if alpha < opts.alpha_min {
@@ -233,86 +485,138 @@ pub fn trace(
             break; // walked out of the characterization window
         }
 
-        // MPNR corrector.
-        match mpnr::solve(problem, predicted, &opts.mpnr) {
-            Ok(corrected) => {
-                // Refresh the tangent from the corrected point's Jacobian,
-                // keeping the walking orientation consistent.
-                let ev = crate::HEvaluation {
-                    h: 0.0,
-                    dh_dtau_s: corrected.jacobian[0],
-                    dh_dtau_h: corrected.jacobian[1],
-                    stats: corrected.transient,
-                };
-                let mut t_new = match ev.tangent() {
-                    Some(t) => t,
-                    None => break,
-                };
-                if t_new.0 * tangent.0 + t_new.1 * tangent.1 < 0.0 {
-                    t_new = (-t_new.0, -t_new.1);
-                }
-                tangent = t_new;
-                journal_point(
-                    points.len(),
-                    corrected.params,
-                    corrected.residual,
-                    corrected.jacobian,
-                    tangent,
-                    corrected.iterations,
-                    alpha,
-                    corrected.transient,
-                );
-                if tangent.1.abs() < opts.min_tangent_hold {
-                    // Reached the flat asymptote: record the point, stop.
-                    total_iters += corrected.iterations;
-                    points.push(ContourPoint {
-                        tau_s: corrected.params.tau_s,
-                        tau_h: corrected.params.tau_h,
-                        corrector_iterations: corrected.iterations,
-                        residual: corrected.residual,
-                    });
-                    break;
-                }
-                current = corrected.params;
-                total_iters += corrected.iterations;
-                points.push(ContourPoint {
-                    tau_s: current.tau_s,
-                    tau_h: current.tau_h,
-                    corrector_iterations: corrected.iterations,
-                    residual: corrected.residual,
-                });
-                // Step-length adaptation.
-                let adapted = if corrected.iterations <= opts.easy_iters {
-                    (alpha * 1.25).min(opts.alpha_max)
-                } else {
-                    (alpha * 0.5).max(opts.alpha_min)
-                };
-                if adapted != alpha {
+        // MPNR corrector, with the recovery ladder on failure.
+        let corrected = match mpnr::solve(problem, predicted, &opts.mpnr) {
+            Ok(corrected) => corrected,
+            Err(err) => {
+                attempts_since_accept += 1;
+                let is_simulation = matches!(err, CharError::Simulation(_));
+                // Rung 1: shrink the predictor step and retry closer to
+                // the last accepted point. A simulation failure is not a
+                // geometry problem, so it skips straight past this rung.
+                if !is_simulation && alpha * 0.5 >= opts.alpha_min {
+                    alpha *= 0.5;
                     shc_obs::count(shc_obs::Metric::AlphaAdaptations, 1);
+                    continue;
                 }
-                alpha = adapted;
+                // Rung 2: bisection along the hold axis.
+                let rescued = if opts.recovery.bisection_fallback && !is_simulation {
+                    mpnr::bisect_fallback(problem, current, predicted, &opts.mpnr).ok()
+                } else {
+                    None
+                };
+                match rescued {
+                    Some(corrected) => corrected,
+                    None => {
+                        // Rung 3: bounded restart with α reset.
+                        if restarts_used < opts.recovery.max_restarts {
+                            restarts_used += 1;
+                            alpha = opts.alpha;
+                            shc_obs::count(shc_obs::Metric::TracerRestarts, 1);
+                            continue;
+                        }
+                        failure = Some(err);
+                        break;
+                    }
+                }
             }
-            Err(CharError::Simulation(e)) => return Err(CharError::Simulation(e)),
-            Err(_) => {
-                // Corrector failed: retry with a shorter predictor step.
-                alpha *= 0.5;
-                shc_obs::count(shc_obs::Metric::AlphaAdaptations, 1);
+        };
+
+        // Refresh the tangent from the corrected point's Jacobian,
+        // keeping the walking orientation consistent.
+        let ev = crate::HEvaluation {
+            h: 0.0,
+            dh_dtau_s: corrected.jacobian[0],
+            dh_dtau_h: corrected.jacobian[1],
+            stats: corrected.transient,
+        };
+        let mut t_new = match ev.tangent() {
+            Some(t) => t,
+            None => break,
+        };
+        if t_new.0 * tangent.0 + t_new.1 * tangent.1 < 0.0 {
+            t_new = (-t_new.0, -t_new.1);
+        }
+        tangent = t_new;
+        journal_point(
+            points.len(),
+            corrected.params,
+            corrected.residual,
+            corrected.jacobian,
+            tangent,
+            corrected.iterations,
+            alpha,
+            corrected.transient,
+            attempts_since_accept,
+        );
+        attempts_since_accept = 0;
+        if tangent.1.abs() < opts.min_tangent_hold {
+            // Reached the flat asymptote: record the point, stop.
+            total_iters += corrected.iterations;
+            points.push(ContourPoint {
+                tau_s: corrected.params.tau_s,
+                tau_h: corrected.params.tau_h,
+                corrector_iterations: corrected.iterations,
+                residual: corrected.residual,
+            });
+            break;
+        }
+        current = corrected.params;
+        total_iters += corrected.iterations;
+        points.push(ContourPoint {
+            tau_s: current.tau_s,
+            tau_h: current.tau_h,
+            corrector_iterations: corrected.iterations,
+            residual: corrected.residual,
+        });
+        // Step-length adaptation.
+        let adapted = if corrected.iterations <= opts.easy_iters {
+            (alpha * 1.25).min(opts.alpha_max)
+        } else {
+            (alpha * 0.5).max(opts.alpha_min)
+        };
+        if adapted != alpha {
+            shc_obs::count(shc_obs::Metric::AlphaAdaptations, 1);
+        }
+        alpha = adapted;
+        // Persist the walking state. Written *after* the adaptation and
+        // tangent refresh so the checkpoint is exactly the loop state an
+        // uninterrupted trace would carry into the next iteration.
+        if let Some(cfg) = checkpoint {
+            if points.len().is_multiple_of(cfg.every) {
+                write_checkpoint(
+                    cfg,
+                    &points,
+                    current,
+                    tangent,
+                    alpha,
+                    total_iters,
+                    base_sims + (problem.simulation_count() - sims_before),
+                    restarts_used,
+                )?;
             }
         }
     }
 
     if points.len() < 2 {
-        return Err(CharError::TraceAborted {
-            points_found: points.len(),
-            reason: "could not trace beyond the seed point",
+        return Err(match failure {
+            Some(CharError::Simulation(e)) => CharError::Simulation(e),
+            _ => CharError::TraceAborted {
+                points_found: points.len(),
+                reason: "could not trace beyond the seed point",
+            },
         });
     }
 
     shc_obs::count(shc_obs::Metric::ContourPoints, points.len() as u64);
-    Ok(Contour {
+    let contour = Contour {
         points,
-        simulations: problem.simulation_count() - sims_before,
+        simulations: base_sims + (problem.simulation_count() - sims_before),
         total_corrector_iterations: total_iters,
+    };
+    Ok(match failure {
+        None => TraceOutcome::Complete(contour),
+        Some(failure) => TraceOutcome::Partial { contour, failure },
     })
 }
 
@@ -362,38 +666,44 @@ impl Default for BatchOptions {
 /// Every level rebuilds the cell through `build` because `t_f` and `r` are
 /// fixed when a [`CharacterizationProblem`] is constructed; the factory
 /// must be `Sync` so levels can fan out across threads. Results are
-/// returned in the order of `degradations` regardless of the policy.
-///
-/// # Errors
-///
-/// Propagates the lowest-index level's failure (problem construction,
-/// seeding, MPNR, or tracing).
+/// returned in the order of `degradations` regardless of the policy, one
+/// `Result` per level: a failing level no longer discards its siblings'
+/// completed contours.
 pub fn trace_batch<F>(
     build: F,
     degradations: &[f64],
     opts: &BatchOptions,
-) -> Result<Vec<BatchContour>>
+) -> Vec<Result<BatchContour>>
 where
     F: Fn() -> Register + Sync,
 {
     let _span = shc_obs::span(shc_obs::SpanKind::TraceBatch);
-    parallel::run_indexed(opts.parallelism, degradations.len(), |i| {
+    let run = parallel::run_indexed(opts.parallelism, degradations.len(), |i| {
         // Tag this level's journal events with its index so batch
         // journals stay attributable regardless of worker interleaving.
         let _level = shc_obs::with_journal_level(i as u64);
         let degradation = degradations[i];
-        let problem = CharacterizationProblem::builder(build())
-            .degradation(degradation)
-            .build()?;
-        problem.reset_simulation_count();
-        let contour = problem.trace_contour_with(opts.points, &opts.seed, &opts.tracer)?;
-        Ok(BatchContour {
-            degradation,
-            t_cq: problem.characteristic_delay(),
-            contour,
-            simulations: problem.simulation_count(),
-        })
-    })
+        let level = (|| {
+            let problem = CharacterizationProblem::builder(build())
+                .degradation(degradation)
+                .build()?;
+            problem.reset_simulation_count();
+            let contour = problem.trace_contour_with(opts.points, &opts.seed, &opts.tracer)?;
+            Ok(BatchContour {
+                degradation,
+                t_cq: problem.characteristic_delay(),
+                contour,
+                simulations: problem.simulation_count(),
+            })
+        })();
+        // Per-level failures are payload, not control flow: every level
+        // always runs to its own verdict.
+        Ok::<_, std::convert::Infallible>(level)
+    });
+    match run {
+        Ok(levels) => levels,
+        Err(never) => match never {},
+    }
 }
 
 #[cfg(test)]
@@ -474,6 +784,59 @@ mod tests {
     }
 
     #[test]
+    fn session_checkpoint_and_resume_reproduce_the_contour() {
+        let dir = std::env::temp_dir().join(format!(
+            "shc-tracer-ckpt-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.ckpt.jsonl");
+        let _ = std::fs::remove_file(&path);
+        let cfg = CheckpointConfig {
+            path: path.clone(),
+            every: 2,
+        };
+
+        let problem = fast_problem();
+        let seed = find_first_point(&problem, &SeedOptions::default()).unwrap();
+        let opts = TracerOptions::default();
+
+        // The uninterrupted reference trace.
+        let full = trace_session(&problem, TraceStart::Seed(seed.params), 9, &opts, None)
+            .unwrap()
+            .into_contour();
+
+        // A "killed" first half…
+        let problem2 = fast_problem();
+        let half = trace_session(
+            &problem2,
+            TraceStart::Seed(seed.params),
+            6,
+            &opts,
+            Some(&cfg),
+        )
+        .unwrap()
+        .into_contour();
+        assert_eq!(half.points().len(), 6);
+        let ckpt = shc_obs::TraceCheckpoint::read_last(&path)
+            .unwrap()
+            .expect("checkpoint written");
+        assert_eq!(ckpt.points.len(), 6);
+
+        // …resumed on a fresh problem must continue to the identical
+        // contour, bit for bit, including the simulation budget.
+        let problem3 = fast_problem();
+        let resumed = trace_session(&problem3, TraceStart::Resume(ckpt), 9, &opts, None)
+            .unwrap()
+            .into_contour();
+        assert_eq!(resumed, full);
+
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_dir(&dir).ok();
+    }
+
+    #[test]
     fn batch_levels_are_independent_and_order_free() {
         let build = || tspc_register_with(&Technology::default_250nm(), ClockSpec::fast());
         let levels = [0.05, 0.10];
@@ -485,8 +848,14 @@ mod tests {
             parallelism: Parallelism::Threads(2),
             ..serial_opts
         };
-        let serial = trace_batch(build, &levels, &serial_opts).unwrap();
-        let fanned = trace_batch(build, &levels, &parallel_opts).unwrap();
+        let serial: Vec<BatchContour> = trace_batch(build, &levels, &serial_opts)
+            .into_iter()
+            .collect::<Result<_>>()
+            .unwrap();
+        let fanned: Vec<BatchContour> = trace_batch(build, &levels, &parallel_opts)
+            .into_iter()
+            .collect::<Result<_>>()
+            .unwrap();
         assert_eq!(serial, fanned);
         assert_eq!(serial.len(), 2);
         assert_eq!(serial[0].degradation, 0.05);
@@ -494,6 +863,26 @@ mod tests {
         // A looser degradation criterion gives a later capture deadline,
         // so the two levels must land on genuinely different contours.
         assert_ne!(serial[0].contour.points()[0], serial[1].contour.points()[0]);
+    }
+
+    #[test]
+    fn batch_keeps_completed_levels_when_one_fails() {
+        let build = || tspc_register_with(&Technology::default_250nm(), ClockSpec::fast());
+        // 1.5 fails builder validation; its siblings must still come back.
+        let levels = [0.05, 1.5, 0.10];
+        let opts = BatchOptions {
+            points: 4,
+            ..BatchOptions::default()
+        };
+        let results = trace_batch(build, &levels, &opts);
+        assert_eq!(results.len(), 3);
+        assert!(results[0].is_ok(), "level 0: {:?}", results[0]);
+        assert!(
+            matches!(results[1], Err(CharError::BadOption { .. })),
+            "level 1: {:?}",
+            results[1]
+        );
+        assert!(results[2].is_ok(), "level 2: {:?}", results[2]);
     }
 
     #[test]
@@ -514,7 +903,10 @@ mod tests {
                 parallelism,
                 ..BatchOptions::default()
             };
-            let batch = trace_batch(build, &[0.05, 0.10], &opts).unwrap();
+            let batch: Vec<BatchContour> = trace_batch(build, &[0.05, 0.10], &opts)
+                .into_iter()
+                .collect::<Result<_>>()
+                .unwrap();
             let mut events = sink.events();
             events.sort_by_key(JournalEvent::sort_key);
             let traced: usize = batch.iter().map(|b| b.contour.points().len()).sum();

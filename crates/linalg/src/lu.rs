@@ -3,6 +3,21 @@ use crate::{LinalgError, Matrix, Result, Vector};
 /// Pivot magnitude below which a matrix is declared numerically singular.
 const SINGULARITY_THRESHOLD: f64 = 1e-300;
 
+/// Deterministic fault hook: asks the installed `shc-fault` plan (if any)
+/// whether this call should fail, mapping the fault kind onto this layer's
+/// error vocabulary. A single thread-local read when no plan is installed.
+fn injected_fault(site: shc_fault::Site) -> Option<LinalgError> {
+    let kind = shc_fault::check(site)?;
+    shc_obs::count(shc_obs::Metric::FaultsInjected, 1);
+    // Every LU failure mode presents as a singular pivot; a NaN-residual
+    // fault reports a NaN pivot magnitude, like a real blow-up would.
+    let value = match kind {
+        shc_fault::FaultKind::NanResidual => f64::NAN,
+        _ => 0.0,
+    };
+    Some(LinalgError::Singular { pivot: 0, value })
+}
+
 /// LU factorization with partial (row) pivoting: `P·A = L·U`.
 ///
 /// The factorization is computed once and can then be reused for many
@@ -48,6 +63,9 @@ impl LuFactor {
         }
         let n = a.rows();
         shc_obs::count(shc_obs::Metric::LuFactorizations, 1);
+        if let Some(e) = injected_fault(shc_fault::Site::LuFactor) {
+            return Err(e);
+        }
         let mut factor = LuFactor {
             lu: a.clone(),
             perm: (0..n).collect(),
@@ -76,6 +94,9 @@ impl LuFactor {
         }
         let n = a.rows();
         shc_obs::count(shc_obs::Metric::LuRefactors, 1);
+        if let Some(e) = injected_fault(shc_fault::Site::LuFactor) {
+            return Err(e);
+        }
         if self.dim() == n {
             self.lu.copy_from(a)?;
         } else {
@@ -163,6 +184,9 @@ impl LuFactor {
     /// other than `dim()`.
     pub fn solve_into(&self, b: &Vector, x: &mut Vector) -> Result<()> {
         shc_obs::count(shc_obs::Metric::LuSolves, 1);
+        if let Some(e) = injected_fault(shc_fault::Site::LuSolve) {
+            return Err(e);
+        }
         let n = self.dim();
         if b.len() != n || x.len() != n {
             return Err(LinalgError::ShapeMismatch {
@@ -202,6 +226,9 @@ impl LuFactor {
     /// Returns [`LinalgError::ShapeMismatch`] if `b.len() != dim()`.
     pub fn solve_transposed(&self, b: &Vector) -> Result<Vector> {
         shc_obs::count(shc_obs::Metric::LuSolves, 1);
+        if let Some(e) = injected_fault(shc_fault::Site::LuSolve) {
+            return Err(e);
+        }
         let n = self.dim();
         if b.len() != n {
             return Err(LinalgError::ShapeMismatch {
@@ -393,6 +420,40 @@ mod tests {
         let lu = Matrix::identity(2).lu().unwrap();
         let mut wrong = Vector::zeros(3);
         assert!(lu.solve_into(&Vector::zeros(2), &mut wrong).is_err());
+    }
+
+    #[test]
+    fn injected_factor_fault_surfaces_as_singular_error() {
+        let plan = shc_fault::FaultPlan {
+            probability: 1.0,
+            site: Some(shc_fault::Site::LuFactor),
+            kind: shc_fault::FaultKind::SingularMatrix,
+            seed: 7,
+        };
+        let injector = shc_fault::Injector::new(plan);
+        let _guard = shc_fault::install_scoped(&injector);
+        let a = Matrix::identity(2);
+        assert!(matches!(a.lu(), Err(LinalgError::Singular { .. })));
+        assert_eq!(injector.injected(), 1);
+    }
+
+    #[test]
+    fn injected_solve_fault_spares_the_factorization() {
+        let plan = shc_fault::FaultPlan {
+            probability: 1.0,
+            site: Some(shc_fault::Site::LuSolve),
+            kind: shc_fault::FaultKind::NanResidual,
+            seed: 7,
+        };
+        let lu = Matrix::identity(2).lu().unwrap();
+        let injector = shc_fault::Injector::new(plan);
+        let _guard = shc_fault::install_scoped(&injector);
+        let err = lu.solve(&Vector::zeros(2)).unwrap_err();
+        match err {
+            LinalgError::Singular { value, .. } => assert!(value.is_nan()),
+            other => panic!("expected Singular, got {other:?}"),
+        }
+        assert_eq!(injector.injected(), 1);
     }
 
     #[test]

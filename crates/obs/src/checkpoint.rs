@@ -1,0 +1,309 @@
+//! Trace checkpoints: serialized tracer state for kill/resume.
+//!
+//! The Euler-Newton tracer periodically snapshots everything it needs to
+//! continue a contour walk — the accepted points so far, the current
+//! predictor state (position, tangent, α), accumulated accounting, and the
+//! fault-injection cursors — as one JSON line appended to a checkpoint
+//! file. Resuming reads the *last complete line* (a torn final write from a
+//! killed process is skipped) and re-enters the trace loop with bit-for-bit
+//! identical state: every `f64` is serialized with [`crate::json::fmt_f64`],
+//! whose shortest-round-trip representation parses back to the exact same
+//! bits, so a resumed contour is identical to an uninterrupted one.
+//!
+//! The checkpoint format is versioned ([`TraceCheckpoint::VERSION`]) and
+//! independent of the run-journal schema in [`crate::JournalEvent`]; see
+//! DESIGN.md §10.3.
+
+use std::fs::OpenOptions;
+use std::io::{self, Write};
+use std::path::Path;
+
+use crate::json;
+
+/// One accepted contour point inside a [`TraceCheckpoint`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CheckpointPoint {
+    /// Setup skew, seconds.
+    pub tau_s: f64,
+    /// Hold skew, seconds.
+    pub tau_h: f64,
+    /// MPNR corrector iterations the point needed (0 for the seed).
+    pub corrector_iterations: u64,
+    /// `|h|` at the point.
+    pub residual: f64,
+}
+
+/// A complete snapshot of the Euler-Newton tracer's loop state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceCheckpoint {
+    /// Current walk position (τs, τh) — the last accepted point, seconds.
+    pub tau_s: f64,
+    /// See `tau_s`.
+    pub tau_h: f64,
+    /// Oriented unit tangent at the current position.
+    pub tangent: [f64; 2],
+    /// Current adaptive predictor step length α, seconds.
+    pub alpha: f64,
+    /// MPNR iterations accumulated across all accepted points.
+    pub total_corrector_iterations: u64,
+    /// Transient simulations attributed to the trace so far.
+    pub simulations: u64,
+    /// Tracer restarts already consumed from the recovery budget.
+    pub restarts: u64,
+    /// Per-site `shc-fault` call cursors (empty when no injector was
+    /// installed), so `--resume` replays the remainder of a fault stream.
+    pub fault_cursors: Vec<u64>,
+    /// Every accepted point, in walking order.
+    pub points: Vec<CheckpointPoint>,
+}
+
+impl TraceCheckpoint {
+    /// Checkpoint format version written to (and required from) the file.
+    pub const VERSION: u64 = 1;
+
+    /// Renders the checkpoint as a single JSON line (no trailing newline).
+    #[must_use]
+    pub fn to_json_line(&self) -> String {
+        let mut s = String::with_capacity(128 + 96 * self.points.len());
+        s.push('{');
+        let mut first = true;
+        json::push_u64_field(&mut s, &mut first, "version", Self::VERSION);
+        json::push_f64_field(&mut s, &mut first, "tau_s", self.tau_s);
+        json::push_f64_field(&mut s, &mut first, "tau_h", self.tau_h);
+        let tangent = format!(
+            "[{},{}]",
+            json::fmt_f64(self.tangent[0]),
+            json::fmt_f64(self.tangent[1])
+        );
+        json::push_raw_field(&mut s, &mut first, "tangent", &tangent);
+        json::push_f64_field(&mut s, &mut first, "alpha", self.alpha);
+        json::push_u64_field(
+            &mut s,
+            &mut first,
+            "total_corrector_iterations",
+            self.total_corrector_iterations,
+        );
+        json::push_u64_field(&mut s, &mut first, "simulations", self.simulations);
+        json::push_u64_field(&mut s, &mut first, "restarts", self.restarts);
+        let mut cursors = String::from("[");
+        for (i, c) in self.fault_cursors.iter().enumerate() {
+            if i > 0 {
+                cursors.push(',');
+            }
+            cursors.push_str(&c.to_string());
+        }
+        cursors.push(']');
+        json::push_raw_field(&mut s, &mut first, "fault_cursors", &cursors);
+        let mut pts = String::from("[");
+        for (i, p) in self.points.iter().enumerate() {
+            if i > 0 {
+                pts.push(',');
+            }
+            pts.push_str(&format!(
+                "[{},{},{},{}]",
+                json::fmt_f64(p.tau_s),
+                json::fmt_f64(p.tau_h),
+                p.corrector_iterations,
+                json::fmt_f64(p.residual),
+            ));
+        }
+        pts.push(']');
+        json::push_raw_field(&mut s, &mut first, "points", &pts);
+        s.push('}');
+        s
+    }
+
+    /// Parses a line produced by [`TraceCheckpoint::to_json_line`].
+    ///
+    /// Returns `None` for torn/garbled lines or a version mismatch.
+    #[must_use]
+    pub fn from_json(line: &str) -> Option<TraceCheckpoint> {
+        let line = line.trim();
+        if !line.starts_with('{') || !line.ends_with('}') {
+            return None;
+        }
+        if json::scan_u64(line, "version")? != Self::VERSION {
+            return None;
+        }
+        let tangent = json::scan_f64_array(line, "tangent")?;
+        if tangent.len() != 2 {
+            return None;
+        }
+        let fault_cursors = json::raw_value(line, "fault_cursors").and_then(parse_u64_array)?;
+        let points = json::raw_value(line, "points").and_then(parse_points)?;
+        Some(TraceCheckpoint {
+            tau_s: json::scan_f64(line, "tau_s")?,
+            tau_h: json::scan_f64(line, "tau_h")?,
+            tangent: [tangent[0], tangent[1]],
+            alpha: json::scan_f64(line, "alpha")?,
+            total_corrector_iterations: json::scan_u64(line, "total_corrector_iterations")?,
+            simulations: json::scan_u64(line, "simulations")?,
+            restarts: json::scan_u64(line, "restarts")?,
+            fault_cursors,
+            points,
+        })
+    }
+
+    /// Appends this checkpoint as one line to the file at `path`,
+    /// creating it if needed, and flushes to disk.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error.
+    pub fn append_to(&self, path: &Path) -> io::Result<()> {
+        let mut file = OpenOptions::new().create(true).append(true).open(path)?;
+        writeln!(file, "{}", self.to_json_line())?;
+        file.sync_data()
+    }
+
+    /// Reads the last complete checkpoint from the file at `path`.
+    ///
+    /// Unparseable lines (e.g. a torn final write from a killed process)
+    /// are skipped; `Ok(None)` means the file holds no valid checkpoint.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error (including file-not-found).
+    pub fn read_last(path: &Path) -> io::Result<Option<TraceCheckpoint>> {
+        let body = std::fs::read_to_string(path)?;
+        Ok(body.lines().rev().find_map(TraceCheckpoint::from_json))
+    }
+}
+
+fn parse_u64_array(raw: &str) -> Option<Vec<u64>> {
+    let inner = raw.strip_prefix('[')?.strip_suffix(']')?;
+    if inner.trim().is_empty() {
+        return Some(Vec::new());
+    }
+    inner
+        .split(',')
+        .map(|s| s.trim().parse().ok())
+        .collect::<Option<Vec<u64>>>()
+}
+
+fn parse_points(raw: &str) -> Option<Vec<CheckpointPoint>> {
+    let inner = raw.strip_prefix('[')?.strip_suffix(']')?;
+    let inner = inner.trim();
+    if inner.is_empty() {
+        return Some(Vec::new());
+    }
+    inner
+        .strip_prefix('[')?
+        .strip_suffix(']')?
+        .split("],[")
+        .map(|quad| {
+            let parts: Vec<&str> = quad.split(',').map(str::trim).collect();
+            if parts.len() != 4 {
+                return None;
+            }
+            Some(CheckpointPoint {
+                tau_s: parts[0].parse().ok()?,
+                tau_h: parts[1].parse().ok()?,
+                corrector_iterations: parts[2].parse().ok()?,
+                residual: parts[3].parse().ok()?,
+            })
+        })
+        .collect::<Option<Vec<CheckpointPoint>>>()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> TraceCheckpoint {
+        TraceCheckpoint {
+            tau_s: 1.234_567_890_123e-10,
+            tau_h: -9.87e-11,
+            tangent: [0.123_456_789, -0.992_351_234_567],
+            alpha: 1.25e-11,
+            total_corrector_iterations: 42,
+            simulations: 137,
+            restarts: 1,
+            fault_cursors: vec![3, 0, 917, 12, 55],
+            points: vec![
+                CheckpointPoint {
+                    tau_s: 1.0e-10,
+                    tau_h: 2.0e-10,
+                    corrector_iterations: 0,
+                    residual: 4.2e-16,
+                },
+                CheckpointPoint {
+                    tau_s: 1.1e-10,
+                    tau_h: 1.9e-10,
+                    corrector_iterations: 3,
+                    residual: 7.7e-15,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn round_trips_bitwise() {
+        let ckpt = sample();
+        let line = ckpt.to_json_line();
+        assert!(!line.contains('\n'));
+        let back = TraceCheckpoint::from_json(&line).unwrap();
+        assert_eq!(back, ckpt);
+        assert_eq!(back.tau_s.to_bits(), ckpt.tau_s.to_bits());
+        assert_eq!(back.tangent[1].to_bits(), ckpt.tangent[1].to_bits());
+        for (a, b) in back.points.iter().zip(&ckpt.points) {
+            assert_eq!(a.tau_s.to_bits(), b.tau_s.to_bits());
+            assert_eq!(a.residual.to_bits(), b.residual.to_bits());
+        }
+    }
+
+    #[test]
+    fn empty_collections_round_trip() {
+        let mut ckpt = sample();
+        ckpt.fault_cursors.clear();
+        ckpt.points.clear();
+        let back = TraceCheckpoint::from_json(&ckpt.to_json_line()).unwrap();
+        assert_eq!(back, ckpt);
+    }
+
+    #[test]
+    fn version_mismatch_and_garbage_are_rejected() {
+        let line = sample()
+            .to_json_line()
+            .replace("\"version\":1", "\"version\":99");
+        assert!(TraceCheckpoint::from_json(&line).is_none());
+        assert!(TraceCheckpoint::from_json("not json").is_none());
+        assert!(TraceCheckpoint::from_json("{\"version\":1}").is_none());
+        // A torn write: the tail of the line is missing.
+        let full = sample().to_json_line();
+        assert!(TraceCheckpoint::from_json(&full[..full.len() / 2]).is_none());
+    }
+
+    #[test]
+    fn file_append_and_read_last_skips_torn_tail() {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("shc_obs_ckpt_{}.jsonl", std::process::id()));
+        std::fs::remove_file(&path).ok();
+
+        assert!(TraceCheckpoint::read_last(&path).is_err(), "missing file");
+
+        let first = sample();
+        let mut second = sample();
+        second.restarts = 2;
+        second.points.push(CheckpointPoint {
+            tau_s: 1.2e-10,
+            tau_h: 1.8e-10,
+            corrector_iterations: 2,
+            residual: 1.0e-15,
+        });
+        first.append_to(&path).unwrap();
+        second.append_to(&path).unwrap();
+        // Simulate a kill mid-write: append half a line with no newline.
+        let torn = sample().to_json_line();
+        std::fs::OpenOptions::new()
+            .append(true)
+            .open(&path)
+            .unwrap()
+            .write_all(&torn.as_bytes()[..torn.len() / 2])
+            .unwrap();
+
+        let read = TraceCheckpoint::read_last(&path).unwrap().unwrap();
+        assert_eq!(read, second);
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -353,6 +353,7 @@ mod tests {
             transient_steps: 0,
             newton_iterations: 0,
             rejected_steps: 0,
+            recovery_attempts: 0,
         }
     }
 

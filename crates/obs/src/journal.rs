@@ -42,6 +42,9 @@ pub struct JournalEvent {
     pub newton_iterations: u64,
     /// LTE-rejected steps for this point.
     pub rejected_steps: u64,
+    /// Failed corrector attempts (step halvings, bisection fallbacks,
+    /// tracer restarts) absorbed since the previous accepted point.
+    pub recovery_attempts: u64,
 }
 
 impl JournalEvent {
@@ -81,6 +84,12 @@ impl JournalEvent {
             self.newton_iterations,
         );
         json::push_u64_field(&mut s, &mut first, "rejected_steps", self.rejected_steps);
+        json::push_u64_field(
+            &mut s,
+            &mut first,
+            "recovery_attempts",
+            self.recovery_attempts,
+        );
         s.push('}');
         s
     }
@@ -108,6 +117,7 @@ impl JournalEvent {
             transient_steps: json::scan_u64(line, "transient_steps")?,
             newton_iterations: json::scan_u64(line, "newton_iterations")?,
             rejected_steps: json::scan_u64(line, "rejected_steps")?,
+            recovery_attempts: json::scan_u64(line, "recovery_attempts")?,
         })
     }
 
@@ -241,6 +251,7 @@ mod tests {
             transient_steps: 1234,
             newton_iterations: 4321,
             rejected_steps: 7,
+            recovery_attempts: 1,
         }
     }
 

@@ -33,12 +33,14 @@
 
 #![warn(missing_docs)]
 
+mod checkpoint;
 mod collector;
 mod journal;
 pub mod json;
 mod metric;
 mod snapshot;
 
+pub use checkpoint::{CheckpointPoint, TraceCheckpoint};
 pub use collector::{
     count, current, enabled, install_scoped, journal, journal_level, observe, span,
     with_journal_level, Collector, InstallGuard, LevelGuard, SpanGuard,

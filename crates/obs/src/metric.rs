@@ -40,11 +40,21 @@ pub enum Metric {
     ContourPoints,
     /// Journal events emitted to the sink.
     JournalEvents,
+    /// Faults injected by an installed `shc-fault` plan.
+    FaultsInjected,
+    /// Newton solves rescued by the jittered damped-retry policy.
+    NewtonRecoveries,
+    /// Tracer restarts after the step-halving ladder was exhausted.
+    TracerRestarts,
+    /// Corrector divergences rescued by the bisection-on-`h` fallback.
+    MpnrFallbacks,
+    /// Trace checkpoints written for `--resume`.
+    CheckpointsWritten,
 }
 
 impl Metric {
     /// Number of metric variants; sizes the collector's atomic arrays.
-    pub const COUNT: usize = 15;
+    pub const COUNT: usize = 20;
 
     /// All variants, in `repr` order.
     pub const ALL: [Metric; Metric::COUNT] = [
@@ -63,6 +73,11 @@ impl Metric {
         Metric::AlphaAdaptations,
         Metric::ContourPoints,
         Metric::JournalEvents,
+        Metric::FaultsInjected,
+        Metric::NewtonRecoveries,
+        Metric::TracerRestarts,
+        Metric::MpnrFallbacks,
+        Metric::CheckpointsWritten,
     ];
 
     /// Stable snake_case name used in reports and JSON output.
@@ -84,6 +99,11 @@ impl Metric {
             Metric::AlphaAdaptations => "alpha_adaptations",
             Metric::ContourPoints => "contour_points",
             Metric::JournalEvents => "journal_events",
+            Metric::FaultsInjected => "faults_injected",
+            Metric::NewtonRecoveries => "newton_recoveries",
+            Metric::TracerRestarts => "tracer_restarts",
+            Metric::MpnrFallbacks => "mpnr_fallbacks",
+            Metric::CheckpointsWritten => "checkpoints_written",
         }
     }
 }

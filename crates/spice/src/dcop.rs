@@ -116,6 +116,17 @@ pub fn solve_dc(circuit: &Circuit, params: &Params, opts: &DcOptions) -> Result<
     source_stepping(circuit, params, opts, &x0)
 }
 
+/// Extra attempts granted per inner solve when a fault injector is active.
+///
+/// An injected fault draws a fresh decision on every call, so a retry
+/// usually clears it; genuine divergence is deterministic, so without an
+/// injector a retry would only replay the same failure — the homotopies
+/// are the real recovery there, and fault-free behavior stays untouched.
+/// A homotopy chains up to ~30 inner solves and a trace runs hundreds of
+/// operating points, so the per-solve residual failure rate must be tiny:
+/// at a 10% injection rate, 4 retries leave 1e-5 per solve.
+const DC_FAULT_RETRIES: usize = 4;
+
 fn dc_newton(
     circuit: &Circuit,
     params: &Params,
@@ -125,7 +136,7 @@ fn dc_newton(
     source_scale: f64,
 ) -> Result<(Vector, usize)> {
     let n_nodes = circuit.node_count();
-    let sol = newton::solve(x0, &opts.newton, |x| {
+    let mut assemble = |x: &Vector| {
         let mut stamps = circuit.assemble(x, opts.time, params, source_scale);
         // Shunt gmin on every node (not on branch equations).
         for i in 0..n_nodes {
@@ -133,8 +144,24 @@ fn dc_newton(
             stamps.g.add_at(i, i, gmin);
         }
         Ok((stamps.f, stamps.g))
-    })?;
-    Ok((sol.x, sol.iterations))
+    };
+    let mut attempt = 0;
+    loop {
+        match newton::solve(x0, &opts.newton, &mut assemble) {
+            Ok(sol) => {
+                if attempt > 0 {
+                    shc_obs::count(shc_obs::Metric::NewtonRecoveries, 1);
+                }
+                return Ok((sol.x, sol.iterations));
+            }
+            Err(e)
+                if shc_fault::enabled() && attempt < DC_FAULT_RETRIES && newton::retryable(&e) =>
+            {
+                attempt += 1;
+            }
+            Err(e) => return Err(e),
+        }
+    }
 }
 
 fn gmin_stepping(

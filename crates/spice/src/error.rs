@@ -23,6 +23,8 @@ pub enum SpiceError {
         time: f64,
         /// The rejected step size.
         dt: f64,
+        /// LTE/Newton step rejections accumulated before the abort.
+        rejected_steps: usize,
     },
     /// Circuit construction problem (bad node, duplicate name, empty netlist…).
     BadCircuit {
@@ -63,9 +65,14 @@ impl fmt::Display for SpiceError {
                 f,
                 "newton-raphson diverged in {context} after {iterations} iterations (weighted residual {residual:.3e})"
             ),
-            SpiceError::TimestepTooSmall { time, dt } => {
-                write!(f, "time step underflow at t = {time:.6e}s (dt = {dt:.3e}s)")
-            }
+            SpiceError::TimestepTooSmall {
+                time,
+                dt,
+                rejected_steps,
+            } => write!(
+                f,
+                "time step underflow at t = {time:.6e}s (dt = {dt:.3e}s, {rejected_steps} rejected steps)"
+            ),
             SpiceError::BadCircuit { reason } => write!(f, "bad circuit: {reason}"),
             SpiceError::BadParameter { device, reason } => {
                 write!(f, "bad parameter on device '{device}': {reason}")

@@ -4,6 +4,22 @@ use shc_linalg::{LuFactor, Matrix, Vector};
 
 use crate::{Result, SpiceError};
 
+/// Deterministic fault hook for the Newton site: maps an injected fault
+/// onto this layer's error vocabulary. One thread-local read when no
+/// `shc-fault` plan is installed.
+fn injected_fault() -> Option<SpiceError> {
+    let kind = shc_fault::check(shc_fault::Site::Newton)?;
+    shc_obs::count(shc_obs::Metric::FaultsInjected, 1);
+    Some(match kind {
+        shc_fault::FaultKind::NanResidual => SpiceError::NumericalBlowup { time: f64::NAN },
+        _ => SpiceError::NewtonDiverged {
+            context: "newton solve (injected fault)",
+            iterations: 0,
+            residual: f64::INFINITY,
+        },
+    })
+}
+
 /// Convergence and robustness settings for Newton-Raphson.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct NewtonOptions {
@@ -56,6 +72,9 @@ pub fn solve<F>(x0: &Vector, opts: &NewtonOptions, mut assemble: F) -> Result<Ne
 where
     F: FnMut(&Vector) -> Result<(Vector, Matrix)>,
 {
+    if let Some(e) = injected_fault() {
+        return Err(e);
+    }
     let mut x = x0.clone();
     let mut last_norm = f64::INFINITY;
 
@@ -164,6 +183,9 @@ pub fn solve_in_place<F>(
 where
     F: FnMut(&Vector, &mut Vector, &mut Matrix) -> Result<()>,
 {
+    if let Some(e) = injected_fault() {
+        return Err(e);
+    }
     ws.x.copy_from(x0);
     let mut last_norm = f64::INFINITY;
 
@@ -208,6 +230,108 @@ where
         iterations: opts.max_iters,
         residual: last_norm,
     })
+}
+
+/// Whether a Newton failure is worth retrying from a perturbed start.
+pub(crate) fn retryable(e: &SpiceError) -> bool {
+    matches!(
+        e,
+        SpiceError::NewtonDiverged { .. }
+            | SpiceError::NumericalBlowup { .. }
+            | SpiceError::Linalg(shc_linalg::LinalgError::Singular { .. })
+    )
+}
+
+/// Deterministic start-point jitter for Newton retries: attempt `k`
+/// perturbs every unknown of `base` by a relative offset in `±2⁻ᵏ·10⁻⁴`
+/// (plus a femto-scale absolute floor so exact zeros move too), enough to
+/// leave a stalled basin without changing the converged root.
+fn jitter_into(out: &mut Vector, base: &Vector, attempt: u32) {
+    let scale = 1e-4 * 0.5f64.powi(attempt as i32 - 1);
+    for (i, v) in out.iter_mut().enumerate() {
+        // SplitMix64 finalizer over (attempt, unknown index).
+        let mut z = (u64::from(attempt) << 32 | i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        let unit = (z >> 11) as f64 / (1u64 << 53) as f64; // [0, 1)
+        let eps = (2.0 * unit - 1.0) * scale;
+        *v = base[i] * (1.0 + eps) + eps * 1e-15;
+    }
+}
+
+/// [`solve_in_place`] plus a bounded damped-retry recovery policy.
+///
+/// The first attempt is *exactly* `solve_in_place` — same iterates, same
+/// result — so this wrapper is bitwise-transparent whenever Newton
+/// converges. On a retryable failure (divergence, blow-up, singular
+/// Jacobian) it re-solves up to `retries` more times, each from a
+/// deterministically jittered copy of `x0` with the voltage-limiting step
+/// cap halved (stronger damping), and reports a rescue to telemetry. The
+/// last failure is returned when every retry is exhausted.
+///
+/// # Errors
+///
+/// Same conditions as [`solve_in_place`].
+///
+/// # Panics
+///
+/// Panics if `x0.len() != ws.dim()`.
+pub fn solve_in_place_recovering<F>(
+    ws: &mut NewtonWorkspace,
+    x0: &Vector,
+    opts: &NewtonOptions,
+    retries: usize,
+    mut assemble: F,
+) -> Result<usize>
+where
+    F: FnMut(&Vector, &mut Vector, &mut Matrix) -> Result<()>,
+{
+    match solve_in_place(ws, x0, opts, &mut assemble) {
+        Ok(iters) => Ok(iters),
+        Err(e) if retries > 0 && retryable(&e) => {
+            retry_in_place(ws, x0, opts, retries, e, assemble)
+        }
+        Err(e) => Err(e),
+    }
+}
+
+/// The retry half of [`solve_in_place_recovering`], for callers that have
+/// already run (and seen fail) the plain first attempt: up to `retries`
+/// damped solves from jittered starts. Returns the rescued iteration count
+/// or the last failure (`first` when nothing improved on it).
+pub(crate) fn retry_in_place<F>(
+    ws: &mut NewtonWorkspace,
+    x0: &Vector,
+    opts: &NewtonOptions,
+    retries: usize,
+    first: SpiceError,
+    mut assemble: F,
+) -> Result<usize>
+where
+    F: FnMut(&Vector, &mut Vector, &mut Matrix) -> Result<()>,
+{
+    let mut last = first;
+    if !retryable(&last) {
+        return Err(last);
+    }
+    let mut start = x0.clone();
+    for attempt in 1..=retries as u32 {
+        let damped = NewtonOptions {
+            max_step: opts.max_step * 0.5f64.powi(attempt as i32),
+            ..*opts
+        };
+        jitter_into(&mut start, x0, attempt);
+        match solve_in_place(ws, &start, &damped, &mut assemble) {
+            Ok(iters) => {
+                shc_obs::count(shc_obs::Metric::NewtonRecoveries, 1);
+                return Ok(iters);
+            }
+            Err(e) if retryable(&e) => last = e,
+            Err(e) => return Err(e),
+        }
+    }
+    Err(last)
 }
 
 #[cfg(test)]
@@ -331,6 +455,99 @@ mod tests {
         let before = shc_linalg::matrix_allocations();
         solve_in_place(&mut ws, &x0, &opts, fill).unwrap();
         assert_eq!(shc_linalg::matrix_allocations(), before);
+    }
+
+    fn fill_2d(x: &Vector, f: &mut Vector, j: &mut Matrix) -> Result<()> {
+        f.as_mut_slice()[0] = x[0] * x[0] + x[1] * x[1] - 5.0;
+        f.as_mut_slice()[1] = x[0] * x[1] - 2.0;
+        j[(0, 0)] = 2.0 * x[0];
+        j[(0, 1)] = 2.0 * x[1];
+        j[(1, 0)] = x[1];
+        j[(1, 1)] = x[0];
+        Ok(())
+    }
+
+    #[test]
+    fn recovering_solve_is_transparent_when_newton_converges() {
+        let x0 = Vector::from_slice(&[2.5, 0.5]);
+        let opts = NewtonOptions {
+            max_step: f64::INFINITY,
+            ..NewtonOptions::default()
+        };
+        let mut ws = NewtonWorkspace::new(2);
+        let iters = solve_in_place(&mut ws, &x0, &opts, fill_2d).unwrap();
+        let plain = ws.x().as_slice().to_vec();
+        let mut ws2 = NewtonWorkspace::new(2);
+        let iters2 = solve_in_place_recovering(&mut ws2, &x0, &opts, 3, fill_2d).unwrap();
+        assert_eq!(iters, iters2);
+        assert_eq!(ws2.x().as_slice(), plain.as_slice());
+    }
+
+    #[test]
+    fn injected_fault_fails_plain_solve_and_recovering_solve_rescues_it() {
+        use shc_fault::{FaultKind, FaultPlan, Injector, Site};
+
+        let plan_with = |seed: u64| FaultPlan {
+            probability: 0.5,
+            site: Some(Site::Newton),
+            kind: FaultKind::NonConvergence,
+            seed,
+        };
+        // Find a seed whose Newton fault stream starts (fire, pass): the
+        // first solve is killed, the retry draws a fresh index and runs.
+        let seed = (0..256u64)
+            .find(|&s| {
+                let inj = Injector::new(plan_with(s));
+                let _g = shc_fault::install_scoped(&inj);
+                shc_fault::check(Site::Newton).is_some() && shc_fault::check(Site::Newton).is_none()
+            })
+            .expect("some seed fires then passes");
+
+        let x0 = Vector::from_slice(&[2.5, 0.5]);
+        let opts = NewtonOptions {
+            max_step: f64::INFINITY,
+            ..NewtonOptions::default()
+        };
+
+        // Plain solve: the injected fault surfaces as NewtonDiverged.
+        let inj = Injector::new(plan_with(seed));
+        let guard = shc_fault::install_scoped(&inj);
+        let mut ws = NewtonWorkspace::new(2);
+        let err = solve_in_place(&mut ws, &x0, &opts, fill_2d).unwrap_err();
+        assert!(matches!(err, SpiceError::NewtonDiverged { .. }), "{err:?}");
+        drop(guard);
+
+        // Recovering solve under the same plan: retry rescues, telemetry
+        // records both the injection and the recovery.
+        let collector = shc_obs::Collector::new();
+        let _obs = shc_obs::install_scoped(&collector);
+        let inj = Injector::new(plan_with(seed));
+        let _g = shc_fault::install_scoped(&inj);
+        let mut ws = NewtonWorkspace::new(2);
+        solve_in_place_recovering(&mut ws, &x0, &opts, 2, fill_2d).unwrap();
+        assert!((ws.x()[0] - 2.0).abs() < 1e-6);
+        assert!((ws.x()[1] - 1.0).abs() < 1e-6);
+        assert_eq!(inj.injected(), 1);
+        assert_eq!(collector.counter(shc_obs::Metric::FaultsInjected), 1);
+        assert_eq!(collector.counter(shc_obs::Metric::NewtonRecoveries), 1);
+    }
+
+    #[test]
+    fn recovering_solve_exhausts_retries_and_reports_last_failure() {
+        use shc_fault::{FaultKind, FaultPlan, Injector, Site};
+        let inj = Injector::new(FaultPlan {
+            probability: 1.0,
+            site: Some(Site::Newton),
+            kind: FaultKind::NonConvergence,
+            seed: 0,
+        });
+        let _g = shc_fault::install_scoped(&inj);
+        let x0 = Vector::from_slice(&[2.5, 0.5]);
+        let mut ws = NewtonWorkspace::new(2);
+        let err = solve_in_place_recovering(&mut ws, &x0, &NewtonOptions::default(), 3, fill_2d)
+            .unwrap_err();
+        assert!(matches!(err, SpiceError::NewtonDiverged { .. }));
+        assert_eq!(inj.injected(), 4, "initial attempt + 3 retries");
     }
 
     #[test]

@@ -27,6 +27,54 @@ use crate::stamp::Stamps;
 use crate::waveform::{Param, Params};
 use crate::{Result, SpiceError};
 
+/// Jittered damped-Newton retries granted when a step diverges at the
+/// `dt_min` floor (where there is no smaller step to cut to).
+const NEWTON_FLOOR_RETRIES: usize = 2;
+
+/// Same-`dt` retries granted per diverged step while a fault injector is
+/// installed, *before* the step-cut policy engages.
+///
+/// An injected Newton fault draws a fresh decision on every solve, so a
+/// same-`dt` retry usually clears it and the accepted step sequence — and
+/// with it the trajectory the characterization corrector differentiates —
+/// stays identical to the fault-free run. Cutting `dt` instead would
+/// "recover" but perturb every downstream step, turning a transient fault
+/// into a millivolt-scale bias on the measured state transition. Genuine
+/// divergence is unaffected: retries exhaust quickly and the normal cut
+/// policy below takes over. Sized so that at a 10% per-solve injection
+/// rate the leak-through probability per step is ~1e-7.
+const NEWTON_FAULT_RETRIES: usize = 6;
+
+/// Re-runs a deterministic LU operation when a fault injector is active.
+///
+/// The sensitivity propagation after an accepted step factors and solves
+/// outside the Newton loop, so injected LU faults there would kill the
+/// whole run with no recovery rung. Each re-run draws a fresh fault
+/// decision and recomputes from unchanged inputs, so absorption cannot
+/// alter the result; without an injector the operation runs exactly once.
+fn with_lu_fault_retries<T, E>(
+    mut op: impl FnMut() -> std::result::Result<T, E>,
+) -> std::result::Result<T, E> {
+    let mut last = op();
+    if shc_fault::enabled() {
+        for _ in 0..NEWTON_FAULT_RETRIES {
+            if last.is_ok() {
+                break;
+            }
+            last = op();
+        }
+    }
+    last
+}
+
+/// Relative slack for "is this step at the `dt_min` floor?" tests.
+///
+/// The effective step is `(t_prev + dt) - t_prev`, which re-rounds the
+/// nominal `dt`; near large `t_prev` a floor-sized step can come back a
+/// few ulps *above* `dt_min`, and an exact comparison then keeps cutting
+/// to the same floor value forever instead of engaging the floor policy.
+const DT_FLOOR_SLACK: f64 = 1.0 + 1e-9;
+
 /// Time-integration method.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Integrator {
@@ -378,9 +426,62 @@ impl<'a> TransientAnalysis<'a> {
         scratch: &mut TransientScratch,
     ) -> Result<TransientResult> {
         // One span + one counter flush per *run* (not per step): the
-        // stepping loop itself stays untouched by telemetry.
+        // stepping loop itself stays untouched by telemetry. The flush
+        // happens on success AND failure so counters reconcile with the
+        // work actually performed by aborted runs.
         let _span = shc_obs::span(shc_obs::SpanKind::Transient);
         shc_obs::count(shc_obs::Metric::TransientRuns, 1);
+        let mut stats = TransientStats::default();
+        let result = match self.injected_run_fault() {
+            Some(e) => Err(e),
+            None => self.run_core(params, scratch, &mut stats),
+        };
+        if shc_obs::enabled() {
+            shc_obs::observe(shc_obs::Metric::TransientSteps, stats.steps as u64);
+            shc_obs::observe(
+                shc_obs::Metric::NewtonIterations,
+                stats.newton_iterations as u64,
+            );
+            shc_obs::observe(shc_obs::Metric::LteRejections, stats.rejected_steps as u64);
+        }
+        result
+    }
+
+    /// Deterministic fault hook for the whole-run site: maps an injected
+    /// fault onto the error each real failure mode would produce.
+    fn injected_run_fault(&self) -> Option<SpiceError> {
+        let kind = shc_fault::check(shc_fault::Site::Transient)?;
+        shc_obs::count(shc_obs::Metric::FaultsInjected, 1);
+        Some(match kind {
+            shc_fault::FaultKind::SingularMatrix => {
+                SpiceError::Linalg(shc_linalg::LinalgError::Singular {
+                    pivot: 0,
+                    value: 0.0,
+                })
+            }
+            shc_fault::FaultKind::NanResidual => SpiceError::NumericalBlowup { time: 0.0 },
+            shc_fault::FaultKind::LteStall => SpiceError::TimestepTooSmall {
+                time: 0.0,
+                dt: self.opts.dt_min,
+                rejected_steps: 0,
+            },
+            shc_fault::FaultKind::NonConvergence => SpiceError::NewtonDiverged {
+                context: "transient run (injected fault)",
+                iterations: 0,
+                residual: f64::INFINITY,
+            },
+        })
+    }
+
+    /// The stepping loop proper; accumulates work counters into `stats`
+    /// so [`TransientAnalysis::run_with_scratch`] can flush them to
+    /// telemetry on both the success and the failure path.
+    fn run_core(
+        &self,
+        params: &Params,
+        scratch: &mut TransientScratch,
+        stats: &mut TransientStats,
+    ) -> Result<TransientResult> {
         let circuit = self.circuit;
         let opts = &self.opts;
         let n = circuit.unknown_count();
@@ -401,7 +502,6 @@ impl<'a> TransientAnalysis<'a> {
             }
         };
 
-        let mut stats = TransientStats::default();
         let mut times = vec![0.0];
         let mut states = Vec::new();
         let mut probe = Vec::new();
@@ -482,7 +582,7 @@ impl<'a> TransientAnalysis<'a> {
             // Jacobian are built directly in the workspace buffers; no
             // allocation happens per iteration.
             let integ = opts.integrator;
-            let solve_result = newton::solve_in_place(nw, &x_prev, &opts.newton, |x, r, j| {
+            let mut assemble = |x: &Vector, r: &mut Vector, j: &mut Matrix| {
                 circuit.assemble_into(nr_stamps, x, t_new, params, 1.0);
                 let s = &*nr_stamps;
                 match integ {
@@ -524,11 +624,47 @@ impl<'a> TransientAnalysis<'a> {
                     },
                 }
                 Ok(())
-            });
+            };
+            let solve_result =
+                match newton::solve_in_place(nw, &x_prev, &opts.newton, &mut assemble) {
+                    // At the dt floor there is no smaller step to cut to, so a
+                    // divergence used to kill the whole run; try the damped
+                    // jittered-retry policy before giving up.
+                    Err(e @ SpiceError::NewtonDiverged { .. })
+                        if dt_eff <= opts.dt_min * DT_FLOOR_SLACK =>
+                    {
+                        newton::retry_in_place(
+                            nw,
+                            &x_prev,
+                            &opts.newton,
+                            NEWTON_FLOOR_RETRIES,
+                            e,
+                            &mut assemble,
+                        )
+                    }
+                    // Under fault injection, retry at the same dt first: a fresh
+                    // solve draws a fresh fault decision, so this absorbs the
+                    // injected failure without perturbing the accepted step
+                    // sequence (see `NEWTON_FAULT_RETRIES`). Covers injected
+                    // LU faults surfacing through the solve as well; failures
+                    // that survive the retries fall through to the step-cut
+                    // policy below.
+                    Err(e) if shc_fault::enabled() && newton::retryable(&e) => {
+                        newton::retry_in_place(
+                            nw,
+                            &x_prev,
+                            &opts.newton,
+                            NEWTON_FAULT_RETRIES,
+                            e,
+                            &mut assemble,
+                        )
+                    }
+                    other => other,
+                };
 
             let iterations = match solve_result {
                 Ok(iters) => iters,
-                Err(SpiceError::NewtonDiverged { .. }) if dt_eff > opts.dt_min => {
+                Err(SpiceError::NewtonDiverged { .. }) if dt_eff > opts.dt_min * DT_FLOOR_SLACK => {
                     dt = (dt_eff / 4.0).max(opts.dt_min);
                     stats.rejected_steps += 1;
                     continue;
@@ -554,10 +690,22 @@ impl<'a> TransientAnalysis<'a> {
                         lte_err.copy_from(x_new);
                         lte_err.axpy(-1.0, lte_pred);
                         let norm = lte_err.weighted_norm(x_new, opts.lte_reltol, opts.lte_abstol);
-                        if norm > 1.0 && dt_eff > opts.dt_min {
-                            dt = (dt_eff * 0.5).max(opts.dt_min);
+                        if norm > 1.0 {
+                            if dt_eff > opts.dt_min * DT_FLOOR_SLACK {
+                                dt = (dt_eff * 0.5).max(opts.dt_min);
+                                stats.rejected_steps += 1;
+                                continue;
+                            }
+                            // The LTE is still out of tolerance at the step
+                            // floor: the integration has stalled. Abort with
+                            // a typed diagnostic instead of silently
+                            // accepting an inaccurate step.
                             stats.rejected_steps += 1;
-                            continue;
+                            return Err(SpiceError::TimestepTooSmall {
+                                time: t_prev,
+                                dt: dt_eff,
+                                rejected_steps: stats.rejected_steps,
+                            });
                         }
                         if norm < 0.2 {
                             dt = (dt_eff * 1.5).min(opts.dt_max);
@@ -590,10 +738,10 @@ impl<'a> TransientAnalysis<'a> {
                     .expect("shapes match by construction");
                 let lu = match sens_lu.as_mut() {
                     Some(lu) => {
-                        lu.refactor(sens_jac)?;
+                        with_lu_fault_retries(|| lu.refactor(sens_jac))?;
                         lu
                     }
-                    None => sens_lu.insert(LuFactor::new(sens_jac)?),
+                    None => sens_lu.insert(with_lu_fault_retries(|| LuFactor::new(sens_jac))?),
                 };
                 for (k, (param, m)) in sens.iter_mut().enumerate() {
                     circuit.assemble_dfdp_into(dfdp_tmp, zero_x, t_new, params, *param);
@@ -618,7 +766,7 @@ impl<'a> TransientAnalysis<'a> {
                             sens_rhs.axpy(-dt_eff, dfdp_tmp);
                         }
                     }
-                    lu.solve_into(sens_rhs, sens_tmp)?;
+                    with_lu_fault_retries(|| lu.solve_into(sens_rhs, sens_tmp))?;
                     // Rotate: the pre-update m becomes the two-ago history.
                     mem::swap(&mut hist_sens[k], m);
                     m.copy_from(sens_tmp);
@@ -652,18 +800,14 @@ impl<'a> TransientAnalysis<'a> {
             }
 
             if opts.adaptive && dt < opts.dt_min {
-                return Err(SpiceError::TimestepTooSmall { time: t_prev, dt });
+                return Err(SpiceError::TimestepTooSmall {
+                    time: t_prev,
+                    dt,
+                    rejected_steps: stats.rejected_steps,
+                });
             }
         }
 
-        if shc_obs::enabled() {
-            shc_obs::observe(shc_obs::Metric::TransientSteps, stats.steps as u64);
-            shc_obs::observe(
-                shc_obs::Metric::NewtonIterations,
-                stats.newton_iterations as u64,
-            );
-            shc_obs::observe(shc_obs::Metric::LteRejections, stats.rejected_steps as u64);
-        }
         Ok(TransientResult {
             times,
             states,
@@ -671,7 +815,7 @@ impl<'a> TransientAnalysis<'a> {
             probe_index,
             final_state: x_prev,
             final_sensitivities: sens,
-            stats,
+            stats: *stats,
         })
     }
 }
@@ -1044,6 +1188,59 @@ mod tests {
             quiet_stats.newton_iterations as u64
         );
         assert_eq!(snap.counter(shc_obs::Metric::MatrixAllocations), 0);
+    }
+
+    /// A PWL discontinuity the LTE tolerance cannot absorb even at the
+    /// step floor: the adaptive stepper must abort with a typed
+    /// diagnostic carrying the rejection count, and the telemetry flushed
+    /// on the failure path must reconcile with the work actually done.
+    #[test]
+    fn lte_stall_at_dt_floor_aborts_with_populated_diagnostics() {
+        let mut c = Circuit::new();
+        let vin = c.node("in");
+        let vout = c.node("out");
+        c.add(VoltageSource::new(
+            "V1",
+            vin,
+            Circuit::GROUND,
+            Waveform::Pwl(vec![(0.0, 0.0), (1.0e-6, 0.0), (1.0e-6 + 1e-12, 5.0)]),
+        ));
+        c.add(Resistor::new("R1", vin, vout, 1e3));
+        c.add(Capacitor::new("C1", vout, Circuit::GROUND, 1e-9));
+        let mut opts = TransientOptions::builder(2e-6)
+            .dt(2e-9)
+            .adaptive(1e-9, 1e-8)
+            .build();
+        opts.lte_reltol = 1e-9;
+        opts.lte_abstol = 1e-9;
+
+        let collector = shc_obs::Collector::new();
+        let err = {
+            let _guard = shc_obs::install_scoped(&collector);
+            TransientAnalysis::new(&c, opts)
+                .run(&Params::default())
+                .unwrap_err()
+        };
+        match err {
+            SpiceError::TimestepTooSmall {
+                time,
+                dt,
+                rejected_steps,
+            } => {
+                assert!(rejected_steps >= 1, "rejections {rejected_steps}");
+                assert!(dt <= 1e-9 * (1.0 + 1e-9), "dt {dt}");
+                assert!(time > 0.5e-6, "stalled at t = {time}");
+                let snap = collector.snapshot();
+                assert_eq!(snap.counter(shc_obs::Metric::TransientRuns), 1);
+                assert_eq!(
+                    snap.counter(shc_obs::Metric::LteRejections),
+                    rejected_steps as u64,
+                    "every rejection must be flushed despite the abort"
+                );
+                assert!(snap.counter(shc_obs::Metric::TransientSteps) > 0);
+            }
+            other => panic!("expected TimestepTooSmall, got {other}"),
+        }
     }
 
     /// `run` and `run_with_scratch` must be observably identical.

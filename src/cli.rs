@@ -4,12 +4,16 @@
 //! live here so they are unit-testable.
 
 use std::fmt;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 use shc_cells::{OutputTransition, Register};
 use shc_core::report::ContourTable;
-use shc_core::CharacterizationProblem;
+use shc_core::seed::find_first_point;
+use shc_core::tracer::trace_session;
+use shc_core::{
+    CharacterizationProblem, CheckpointConfig, SeedOptions, TraceOutcome, TraceStart, TracerOptions,
+};
 use shc_obs::{Collector, FileSink, Sink};
 use shc_spice::netlist;
 
@@ -40,6 +44,14 @@ pub struct CliConfig {
     pub journal: Option<String>,
     /// End-of-run metrics JSON path.
     pub metrics: Option<String>,
+    /// Deterministic fault-injection plan (`--fault-plan`).
+    pub fault_plan: Option<shc_fault::FaultPlan>,
+    /// JSONL trace-checkpoint path (`--checkpoint`).
+    pub checkpoint: Option<String>,
+    /// Accepted points between checkpoints (`--checkpoint-every`).
+    pub checkpoint_every: usize,
+    /// Checkpoint file to resume a killed trace from (`--resume`).
+    pub resume: Option<String>,
 }
 
 /// A CLI usage error.
@@ -80,6 +92,20 @@ telemetry:
                         step/rejection counts)
   --metrics <path>      write end-of-run solver metrics (counters, log2
                         histograms, span timings) as JSON
+fault injection & recovery:
+  --fault-plan <spec>   install a deterministic fault injector for the run,
+                        e.g. p=0.1,site=newton,kind=non_convergence,seed=42
+                        (sites: lu_factor lu_solve newton transient mpnr, or
+                        all; kinds: singular_matrix non_convergence
+                        nan_residual lte_stall); the tracer's recovery
+                        ladder absorbs injected faults where possible
+  --checkpoint <path>   append a JSONL trace checkpoint (last accepted
+                        point, tangent, step length, RNG cursors) every K
+                        accepted points
+  --checkpoint-every <k>  checkpoint interval, in accepted points  [5]
+  --resume <ckpt>       continue a killed trace from the last complete
+                        checkpoint in <ckpt> instead of re-seeding; the
+                        resumed contour is identical to an uninterrupted one
 
 --degradation picks the contour (capture deadline t_f = t_edge +
 (1 + degradation) * t_CQ); --points bounds how far the Euler-Newton walk
@@ -108,6 +134,10 @@ pub fn parse_args(args: &[String]) -> Result<CliConfig, UsageError> {
         reference_setup: None,
         journal: None,
         metrics: None,
+        fault_plan: None,
+        checkpoint: None,
+        checkpoint_every: 5,
+        resume: None,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -165,6 +195,23 @@ pub fn parse_args(args: &[String]) -> Result<CliConfig, UsageError> {
             }
             "--journal" => cfg.journal = Some(value_for("--journal")?),
             "--metrics" => cfg.metrics = Some(value_for("--metrics")?),
+            "--fault-plan" => {
+                let v = value_for("--fault-plan")?;
+                cfg.fault_plan = Some(
+                    shc_fault::FaultPlan::parse(&v)
+                        .map_err(|e| UsageError(format!("bad --fault-plan '{v}': {e}")))?,
+                );
+            }
+            "--checkpoint" => cfg.checkpoint = Some(value_for("--checkpoint")?),
+            "--checkpoint-every" => {
+                let v = value_for("--checkpoint-every")?;
+                cfg.checkpoint_every = v
+                    .parse()
+                    .ok()
+                    .filter(|&k| k >= 1)
+                    .ok_or_else(|| UsageError(format!("bad --checkpoint-every value '{v}'")))?;
+            }
+            "--resume" => cfg.resume = Some(value_for("--resume")?),
             "--points" => {
                 let v = value_for("--points")?;
                 cfg.points = v
@@ -233,6 +280,11 @@ pub fn build_register(deck: &str, cfg: &CliConfig) -> Result<Register, Box<dyn s
 ///
 /// Propagates netlist, configuration, and characterization failures.
 pub fn run(deck: &str, cfg: &CliConfig) -> Result<String, Box<dyn std::error::Error>> {
+    // Install the fault injector (if any) outermost so every solver layer
+    // below — LU, Newton, transient, MPNR — sees the same plan, and so the
+    // tracer can snapshot its cursors into checkpoints.
+    let injector = cfg.fault_plan.map(shc_fault::Injector::new);
+    let _faults = injector.as_ref().map(shc_fault::install_scoped);
     let collector = if cfg.journal.is_some() || cfg.metrics.is_some() {
         Some(match &cfg.journal {
             Some(path) => {
@@ -247,6 +299,13 @@ pub fn run(deck: &str, cfg: &CliConfig) -> Result<String, Box<dyn std::error::Er
     let _telemetry = collector.as_ref().map(shc_obs::install_scoped);
 
     let outcome = run_pipeline(deck, cfg);
+    let outcome = match (outcome, injector.as_ref()) {
+        (Ok(mut out), Some(inj)) => {
+            out.push_str(&format!("fault injection: {} injected\n", inj.injected()));
+            Ok(out)
+        }
+        (other, _) => other,
+    };
     let Some(collector) = collector else {
         return outcome;
     };
@@ -286,7 +345,33 @@ fn run_pipeline(deck: &str, cfg: &CliConfig) -> Result<String, Box<dyn std::erro
         problem.t_f() * 1e9,
         problem.r(),
     );
-    let contour = problem.trace_contour(cfg.points)?;
+    let start = match &cfg.resume {
+        Some(path) => {
+            let ckpt = shc_obs::TraceCheckpoint::read_last(Path::new(path))
+                .map_err(|e| UsageError(format!("cannot read --resume checkpoint '{path}': {e}")))?
+                .ok_or_else(|| UsageError(format!("no checkpoint found in '{path}'")))?;
+            TraceStart::Resume(ckpt)
+        }
+        None => {
+            let seed = find_first_point(&problem, &SeedOptions::default())?;
+            TraceStart::Seed(seed.params)
+        }
+    };
+    let checkpoint_cfg = cfg.checkpoint.as_ref().map(|p| CheckpointConfig {
+        path: PathBuf::from(p),
+        every: cfg.checkpoint_every,
+    });
+    let outcome = trace_session(
+        &problem,
+        start,
+        cfg.points,
+        &TracerOptions::default(),
+        checkpoint_cfg.as_ref(),
+    )?;
+    let (contour, failure) = match outcome {
+        TraceOutcome::Complete(contour) => (contour, None),
+        TraceOutcome::Partial { contour, failure } => (contour, Some(failure)),
+    };
     out.push_str(&ContourTable::from_contour("custom", &contour).to_string());
     out.push_str(&format!(
         "\n{} points, {} transient simulations (+{} calibration), {:.1} MPNR iterations/point\n",
@@ -295,6 +380,11 @@ fn run_pipeline(deck: &str, cfg: &CliConfig) -> Result<String, Box<dyn std::erro
         problem.calibration_simulations(),
         contour.mean_corrector_iterations(),
     ));
+    if let Some(failure) = failure {
+        out.push_str(&format!(
+            "partial contour: recovery exhausted, trace stopped early ({failure})\n"
+        ));
+    }
     Ok(out)
 }
 
@@ -335,6 +425,60 @@ mod tests {
         assert_eq!(cfg.points, 8);
         assert_eq!(cfg.fraction, 0.9);
         assert_eq!(cfg.degradation, 0.2);
+    }
+
+    #[test]
+    fn parses_fault_and_checkpoint_flags() {
+        let cfg = parse_args(&args(&[
+            "cell.sp",
+            "--output",
+            "q",
+            "--edge",
+            "1n",
+            "--fault-plan",
+            "p=0.1,site=newton,kind=non_convergence,seed=42",
+            "--checkpoint",
+            "trace.ckpt",
+            "--checkpoint-every",
+            "3",
+            "--resume",
+            "old.ckpt",
+        ]))
+        .unwrap();
+        let plan = cfg.fault_plan.unwrap();
+        assert_eq!(plan.probability, 0.1);
+        assert_eq!(plan.site, Some(shc_fault::Site::Newton));
+        assert_eq!(plan.kind, shc_fault::FaultKind::NonConvergence);
+        assert_eq!(plan.seed, 42);
+        assert_eq!(cfg.checkpoint.as_deref(), Some("trace.ckpt"));
+        assert_eq!(cfg.checkpoint_every, 3);
+        assert_eq!(cfg.resume.as_deref(), Some("old.ckpt"));
+    }
+
+    #[test]
+    fn rejects_bad_fault_plan_and_checkpoint_interval() {
+        let e = parse_args(&args(&[
+            "cell.sp",
+            "--output",
+            "q",
+            "--edge",
+            "1n",
+            "--fault-plan",
+            "p=0.1,site=warp_core",
+        ]))
+        .unwrap_err();
+        assert!(e.to_string().contains("--fault-plan"));
+        let e = parse_args(&args(&[
+            "cell.sp",
+            "--output",
+            "q",
+            "--edge",
+            "1n",
+            "--checkpoint-every",
+            "0",
+        ]))
+        .unwrap_err();
+        assert!(e.to_string().contains("--checkpoint-every"));
     }
 
     #[test]

@@ -34,5 +34,6 @@ pub mod cli;
 
 pub use shc_cells as cells;
 pub use shc_core as core;
+pub use shc_fault as fault;
 pub use shc_linalg as linalg;
 pub use shc_spice as spice;

@@ -37,6 +37,10 @@ fn latch_config() -> CliConfig {
         reference_setup: Some(0.12e-9),
         journal: None,
         metrics: None,
+        fault_plan: None,
+        checkpoint: None,
+        checkpoint_every: 5,
+        resume: None,
     }
 }
 
@@ -55,6 +59,54 @@ fn netlist_deck_characterizes_through_cli_pipeline() {
         })
         .count();
     assert!(rows >= 4, "only {rows} contour rows in report: {report}");
+}
+
+#[test]
+fn fault_and_checkpoint_flags_thread_through_the_pipeline() {
+    use shc::fault::{FaultKind, FaultPlan};
+
+    let dir = std::env::temp_dir().join(format!(
+        "shc-cli-ckpt-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    std::fs::create_dir_all(&dir).unwrap();
+    let ckpt = dir.join("cli.ckpt.jsonl");
+    let _ = std::fs::remove_file(&ckpt);
+
+    // A zero-probability plan exercises the full injector plumbing (install,
+    // cursor bookkeeping, report line) without perturbing the trace.
+    let cfg = CliConfig {
+        fault_plan: Some(FaultPlan {
+            probability: 0.0,
+            site: None,
+            kind: FaultKind::NonConvergence,
+            seed: 1,
+        }),
+        checkpoint: Some(ckpt.to_string_lossy().into_owned()),
+        checkpoint_every: 2,
+        ..latch_config()
+    };
+    let report = cli::run(DLATCH_DECK, &cfg).expect("pipeline runs");
+    assert!(
+        report.contains("fault injection: 0 injected"),
+        "report: {report}"
+    );
+    let ckpt_text = std::fs::read_to_string(&ckpt).expect("checkpoint written");
+    assert!(ckpt_text.lines().count() >= 1, "no checkpoint rows");
+
+    // --resume picks the trace back up from the last checkpoint and renders
+    // the same kind of report (the contour is already complete here, so the
+    // resumed session just re-emits it).
+    let cfg2 = CliConfig {
+        resume: Some(ckpt.to_string_lossy().into_owned()),
+        ..latch_config()
+    };
+    let report2 = cli::run(DLATCH_DECK, &cfg2).expect("resume runs");
+    assert!(report2.contains(" points,"), "report: {report2}");
+
+    std::fs::remove_file(&ckpt).ok();
+    std::fs::remove_dir(&dir).ok();
 }
 
 #[test]
@@ -210,6 +262,10 @@ fn hierarchical_tspc_deck_matches_builtin_fixture() {
         reference_setup: None,
         journal: None,
         metrics: None,
+        fault_plan: None,
+        checkpoint: None,
+        checkpoint_every: 5,
+        resume: None,
     };
     let deck_problem =
         CharacterizationProblem::builder(cli::build_register(TSPC_DECK_FAST, &cfg).unwrap())
