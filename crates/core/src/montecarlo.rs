@@ -63,10 +63,13 @@ pub struct SampleResult {
     /// Sample index.
     pub index: usize,
     /// Characteristic clock-to-Q delay, seconds.
+    /// unit: s
     pub t_cq: f64,
     /// Setup skew of the contour point at the pinned hold skew, seconds.
+    /// unit: s
     pub tau_s: f64,
     /// The pinned hold skew, seconds.
+    /// unit: s
     pub tau_h: f64,
     /// Simulations consumed by this sample.
     pub simulations: usize,

@@ -13,19 +13,31 @@ use shc_spice::waveform::Params;
 
 use crate::{CharError, CharacterizationProblem, Result};
 
+/// How far the hold-side bracket search may wander from the predicted
+/// skew, in units of `max_step`. Beyond this span the predictor was so
+/// far off that bisection would converge to the wrong sheet.
+const BRACKET_SPAN_FACTOR: f64 = 8.0;
+
+/// Bisection stops when the bracket width falls below this multiple of
+/// the update tolerance, matching the Newton convergence criterion.
+const BISECT_WIDTH_FACTOR: f64 = 2.0;
+
 /// Convergence settings for MPNR.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct MpnrOptions {
     /// Relative tolerance on the skew update.
+    /// unit: 1
     pub reltol: f64,
     /// Absolute tolerance on the skew update, in seconds. The paper quotes
     /// contour points "accurate up to 5 digits"; the default (0.01 ps
     /// against ~100 ps skews) comfortably achieves that.
+    /// unit: s
     pub abstol: f64,
     /// Maximum iterations.
     pub max_iters: usize,
     /// Cap on a single update's length, in seconds (guards against wild
     /// steps from a nearly flat `h`).
+    /// unit: s
     pub max_step: f64,
 }
 
@@ -48,6 +60,7 @@ pub struct MpnrResult {
     /// Iterations (= transient simulations with sensitivities) used.
     pub iterations: usize,
     /// `|h|` at the converged point, in volts.
+    /// unit: V
     pub residual: f64,
     /// Jacobian at the converged point, `[∂h/∂τs, ∂h/∂τh]`.
     pub jacobian: [f64; 2],
@@ -198,7 +211,7 @@ pub fn bisect_fallback(
         let mut prev_tau = predicted.tau_h;
         let mut prev_h = h0;
         let mut step = seed_step;
-        while (prev_tau - predicted.tau_h).abs() < 8.0 * opts.max_step {
+        while (prev_tau - predicted.tau_h).abs() < BRACKET_SPAN_FACTOR * opts.max_step {
             if evals >= budget {
                 return Err(CharError::MpnrDiverged {
                     iterations: evals,
@@ -234,7 +247,7 @@ pub fn bisect_fallback(
             ha = ev.h;
         }
         let tol = opts.reltol * mid.abs() + opts.abstol;
-        if (b - a).abs() <= 2.0 * tol || evals >= budget {
+        if (b - a).abs() <= BISECT_WIDTH_FACTOR * tol || evals >= budget {
             shc_obs::count(shc_obs::Metric::MpnrFallbacks, 1);
             shc_obs::observe(shc_obs::Metric::MpnrIterations, evals as u64);
             return Ok(MpnrResult {

@@ -14,10 +14,13 @@ use crate::{CharError, Result};
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct HEvaluation {
     /// `h(τs, τh) = cᵀx(t_f) − r`.
+    /// unit: V
     pub h: f64,
     /// `∂h/∂τs` from forward sensitivity analysis.
+    /// unit: V/s
     pub dh_dtau_s: f64,
     /// `∂h/∂τh` from forward sensitivity analysis.
+    /// unit: V/s
     pub dh_dtau_h: f64,
     /// Work counters of the transient run behind this evaluation.
     pub stats: TransientStats,

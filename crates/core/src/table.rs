@@ -17,14 +17,19 @@ use crate::{CharError, CharacterizationProblem, Result};
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct TableEntry {
     /// Clock transition (rise/fall) time, seconds.
+    /// unit: s
     pub clock_slew: f64,
     /// Output load capacitance, farads.
+    /// unit: F
     pub load: f64,
     /// Characteristic clock-to-Q delay, seconds.
+    /// unit: s
     pub t_cq: f64,
     /// Setup time (at generous hold), seconds.
+    /// unit: s
     pub setup: f64,
     /// Hold time (at generous setup), seconds.
+    /// unit: s
     pub hold: f64,
     /// Transient simulations this entry consumed.
     pub simulations: usize,

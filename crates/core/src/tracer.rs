@@ -29,6 +29,14 @@ use crate::parallel::{self, Parallelism};
 use crate::seed::SeedOptions;
 use crate::{CharError, CharacterizationProblem, Result};
 
+/// Predictor step-length multiplier used both by the recovery ladder
+/// (rung 1 halves `α` after a corrector failure) and by the post-accept
+/// adaptation when the corrector needed more than `easy_iters`
+/// iterations. Halving keeps the retried point inside the previous
+/// step's trust region while shedding length quickly under repeated
+/// failures.
+const ALPHA_BACKOFF: f64 = 0.5;
+
 /// Which way to walk the contour from the seed point.
 ///
 /// The contour in the (τs, τh) plane runs from large-setup/small-hold to
@@ -112,12 +120,15 @@ impl Default for TracerOptions {
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct ContourPoint {
     /// Setup skew, in seconds.
+    /// unit: s
     pub tau_s: f64,
     /// Hold skew, in seconds.
+    /// unit: s
     pub tau_h: f64,
     /// MPNR corrector iterations this point needed (0 for the seed).
     pub corrector_iterations: usize,
     /// `|h|` at the point, in volts.
+    /// unit: V
     pub residual: f64,
 }
 
@@ -494,8 +505,8 @@ pub fn trace_session(
                 // Rung 1: shrink the predictor step and retry closer to
                 // the last accepted point. A simulation failure is not a
                 // geometry problem, so it skips straight past this rung.
-                if !is_simulation && alpha * 0.5 >= opts.alpha_min {
-                    alpha *= 0.5;
+                if !is_simulation && alpha * ALPHA_BACKOFF >= opts.alpha_min {
+                    alpha *= ALPHA_BACKOFF;
                     shc_obs::count(shc_obs::Metric::AlphaAdaptations, 1);
                     continue;
                 }
@@ -573,7 +584,7 @@ pub fn trace_session(
         let adapted = if corrected.iterations <= opts.easy_iters {
             (alpha * 1.25).min(opts.alpha_max)
         } else {
-            (alpha * 0.5).max(opts.alpha_min)
+            (alpha * ALPHA_BACKOFF).max(opts.alpha_min)
         };
         if adapted != alpha {
             shc_obs::count(shc_obs::Metric::AlphaAdaptations, 1);

@@ -68,6 +68,7 @@ impl Clone for Matrix {
 impl Matrix {
     /// Single funnel for freshly allocated backing buffers.
     fn tracked(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        // lint: allow(thread-local-discipline, reason = "monotonic per-thread counter, not an installable override; read back only by this thread's tests")
         MATRIX_ALLOCATIONS.with(|c| c.set(c.get() + 1));
         shc_obs::count(shc_obs::Metric::MatrixAllocations, 1);
         Matrix { rows, cols, data }

@@ -1,0 +1,514 @@
+//! The lightweight per-file AST produced by [`crate::parser`].
+//!
+//! This is not a faithful Rust grammar: it models exactly what the
+//! flow-aware rules need — function items with parameters and return
+//! types, impl blocks, call and method-call expressions, field accesses,
+//! binary operators, closures, loops — and *skims* everything else
+//! (types, patterns, macro bodies) as raw token ranges. Every node
+//! carries a byte [`Span`] into the original source so findings anchor
+//! to exact `file:line` frames and the whole-workspace parse test can
+//! assert byte-exact round-trips.
+//!
+//! All names are owned `String`s: analyses built from this AST cross
+//! thread boundaries in the parallel driver without borrowing the
+//! source text.
+
+/// Half-open byte range `[start, end)` into the source of one file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Span {
+    pub start: usize,
+    pub end: usize,
+}
+
+impl Span {
+    /// Slices the span back out of the source it was parsed from.
+    pub fn slice<'a>(&self, src: &'a str) -> &'a str {
+        &src[self.start..self.end]
+    }
+}
+
+/// A parse problem. The workspace parse test requires zero of these on
+/// every committed file; the parser recovers and keeps going regardless.
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    pub line: u32,
+    pub message: String,
+}
+
+/// One parsed source file.
+#[derive(Debug, Default)]
+pub struct File {
+    pub items: Vec<Item>,
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+/// An item, at module level or nested in a block/impl/trait.
+#[derive(Debug)]
+pub struct Item {
+    pub span: Span,
+    pub line: u32,
+    pub kind: ItemKind,
+}
+
+#[derive(Debug)]
+pub enum ItemKind {
+    Fn(FnItem),
+    Impl(ImplBlock),
+    Struct(StructItem),
+    Enum {
+        name: String,
+    },
+    Trait {
+        name: String,
+        items: Vec<Item>,
+    },
+    Mod {
+        name: String,
+        items: Vec<Item>,
+    },
+    Const {
+        name: String,
+        init: Option<Expr>,
+    },
+    Static {
+        name: String,
+    },
+    /// Item-position macro invocation (`thread_local! { … }`,
+    /// `macro_rules! … { … }`); the body is kept as raw text.
+    MacroItem {
+        name: String,
+        raw: String,
+    },
+    Use,
+    TypeAlias,
+    /// `extern` blocks, `union`s, and anything else skimmed wholesale.
+    Other,
+}
+
+/// A `fn` item (free, impl member, or trait member).
+#[derive(Debug)]
+pub struct FnItem {
+    pub name: String,
+    pub is_pub: bool,
+    /// Doc-comment lines directly above the item, `///` prefixes stripped.
+    pub doc: Vec<String>,
+    pub params: Vec<Param>,
+    /// Raw return-type text after `->`, when present.
+    pub ret: Option<String>,
+    /// `None` for bodiless trait methods.
+    pub body: Option<Block>,
+}
+
+/// One function parameter. `name` is empty for destructuring patterns.
+#[derive(Debug)]
+pub struct Param {
+    pub name: String,
+    /// Raw type text; empty for `self` receivers.
+    pub ty: String,
+    pub line: u32,
+}
+
+/// An `impl` block, inherent or trait.
+#[derive(Debug)]
+pub struct ImplBlock {
+    /// Last path segment of the implemented-on type (`Matrix`).
+    pub self_ty: String,
+    /// Last path segment of the trait, for `impl Trait for Type`.
+    pub trait_name: Option<String>,
+    pub items: Vec<Item>,
+}
+
+/// A `struct` item with named or tuple fields.
+#[derive(Debug)]
+pub struct StructItem {
+    pub name: String,
+    pub is_pub: bool,
+    pub fields: Vec<FieldDef>,
+}
+
+/// One struct field; tuple fields are named `0`, `1`, ….
+#[derive(Debug)]
+pub struct FieldDef {
+    pub name: String,
+    pub ty: String,
+    /// Doc-comment lines directly above the field.
+    pub doc: Vec<String>,
+    pub line: u32,
+}
+
+/// A `{ … }` block of statements.
+#[derive(Debug)]
+pub struct Block {
+    pub span: Span,
+    pub stmts: Vec<Stmt>,
+}
+
+#[derive(Debug)]
+pub enum Stmt {
+    Let {
+        span: Span,
+        line: u32,
+        /// Single-identifier binding name; `None` for `_` or
+        /// destructuring patterns.
+        name: Option<String>,
+        /// `true` for a literal `_` pattern (guard dropped immediately).
+        wildcard: bool,
+        init: Option<Expr>,
+        /// `let … else { … }` diverging block.
+        else_block: Option<Block>,
+    },
+    Expr {
+        expr: Expr,
+        /// Whether a trailing `;` was present.
+        semi: bool,
+    },
+    Item(Item),
+}
+
+/// An expression node: a span, the line of its first token, and a kind.
+#[derive(Debug)]
+pub struct Expr {
+    pub span: Span,
+    pub line: u32,
+    pub kind: ExprKind,
+}
+
+#[derive(Debug)]
+pub enum ExprKind {
+    /// Numeric literal.
+    Lit {
+        text: String,
+        is_float: bool,
+    },
+    /// String or char literal.
+    StrLit,
+    /// Path expression (`x`, `f64::EPSILON`, `Vec::<f64>::new`); turbofish
+    /// segments are dropped.
+    Path {
+        segments: Vec<String>,
+    },
+    Unary {
+        op: String,
+        expr: Box<Expr>,
+    },
+    Binary {
+        op: String,
+        lhs: Box<Expr>,
+        rhs: Box<Expr>,
+    },
+    Assign {
+        op: String,
+        lhs: Box<Expr>,
+        rhs: Box<Expr>,
+    },
+    Call {
+        callee: Box<Expr>,
+        args: Vec<Expr>,
+    },
+    MethodCall {
+        recv: Box<Expr>,
+        method: String,
+        args: Vec<Expr>,
+    },
+    Field {
+        base: Box<Expr>,
+        name: String,
+    },
+    Index {
+        base: Box<Expr>,
+        index: Box<Expr>,
+    },
+    /// `expr as Type`; the type is skimmed.
+    Cast {
+        expr: Box<Expr>,
+    },
+    /// Expression-position macro call; the body is skimmed.
+    MacroCall {
+        name: String,
+    },
+    Block(Block),
+    If {
+        cond: Box<Expr>,
+        then: Block,
+        else_: Option<Box<Expr>>,
+    },
+    While {
+        cond: Box<Expr>,
+        body: Block,
+    },
+    Loop {
+        body: Block,
+    },
+    For {
+        iter: Box<Expr>,
+        body: Block,
+    },
+    Match {
+        scrutinee: Box<Expr>,
+        arms: Vec<Arm>,
+    },
+    Closure {
+        body: Box<Expr>,
+    },
+    StructLit {
+        path: Vec<String>,
+        /// `(name, value)`; shorthand fields carry `None`.
+        fields: Vec<(String, Option<Expr>)>,
+        /// `..base` functional-update expression.
+        base: Option<Box<Expr>>,
+    },
+    Tuple {
+        elems: Vec<Expr>,
+    },
+    Array {
+        elems: Vec<Expr>,
+    },
+    Repeat {
+        elem: Box<Expr>,
+        len: Box<Expr>,
+    },
+    Range {
+        lo: Option<Box<Expr>>,
+        hi: Option<Box<Expr>>,
+    },
+    Ref {
+        expr: Box<Expr>,
+    },
+    Try {
+        expr: Box<Expr>,
+    },
+    Return {
+        value: Option<Box<Expr>>,
+    },
+    Break {
+        value: Option<Box<Expr>>,
+    },
+    Continue,
+    Paren {
+        expr: Box<Expr>,
+    },
+    /// Anything intentionally unmodelled (`_` in expression position,
+    /// qualified-path roots); still spanned.
+    Other,
+}
+
+/// One `match` arm; the pattern is skimmed.
+#[derive(Debug)]
+pub struct Arm {
+    pub guard: Option<Expr>,
+    pub body: Expr,
+}
+
+impl Expr {
+    /// Last segment of a path expression, if this is one.
+    pub fn path_tail(&self) -> Option<&str> {
+        match &self.kind {
+            ExprKind::Path { segments } => segments.last().map(String::as_str),
+            _ => None,
+        }
+    }
+}
+
+/// Pre-order walk over every expression reachable from `e`, including
+/// closure bodies, match guards, and nested blocks.
+pub fn walk_expr<'a>(e: &'a Expr, f: &mut dyn FnMut(&'a Expr)) {
+    f(e);
+    match &e.kind {
+        ExprKind::Lit { .. }
+        | ExprKind::StrLit
+        | ExprKind::Path { .. }
+        | ExprKind::MacroCall { .. }
+        | ExprKind::Continue
+        | ExprKind::Other => {}
+        ExprKind::Unary { expr, .. }
+        | ExprKind::Cast { expr }
+        | ExprKind::Ref { expr }
+        | ExprKind::Try { expr }
+        | ExprKind::Paren { expr } => walk_expr(expr, f),
+        ExprKind::Binary { lhs, rhs, .. } | ExprKind::Assign { lhs, rhs, .. } => {
+            walk_expr(lhs, f);
+            walk_expr(rhs, f);
+        }
+        ExprKind::Call { callee, args } => {
+            walk_expr(callee, f);
+            for a in args {
+                walk_expr(a, f);
+            }
+        }
+        ExprKind::MethodCall { recv, args, .. } => {
+            walk_expr(recv, f);
+            for a in args {
+                walk_expr(a, f);
+            }
+        }
+        ExprKind::Field { base, .. } => walk_expr(base, f),
+        ExprKind::Index { base, index } => {
+            walk_expr(base, f);
+            walk_expr(index, f);
+        }
+        ExprKind::Block(b) => walk_block(b, f),
+        ExprKind::If { cond, then, else_ } => {
+            walk_expr(cond, f);
+            walk_block(then, f);
+            if let Some(e2) = else_ {
+                walk_expr(e2, f);
+            }
+        }
+        ExprKind::While { cond, body } => {
+            walk_expr(cond, f);
+            walk_block(body, f);
+        }
+        ExprKind::Loop { body } => walk_block(body, f),
+        ExprKind::For { iter, body } => {
+            walk_expr(iter, f);
+            walk_block(body, f);
+        }
+        ExprKind::Match { scrutinee, arms } => {
+            walk_expr(scrutinee, f);
+            for arm in arms {
+                if let Some(g) = &arm.guard {
+                    walk_expr(g, f);
+                }
+                walk_expr(&arm.body, f);
+            }
+        }
+        ExprKind::Closure { body } => walk_expr(body, f),
+        ExprKind::StructLit { fields, base, .. } => {
+            for (_, v) in fields {
+                if let Some(v) = v {
+                    walk_expr(v, f);
+                }
+            }
+            if let Some(b) = base {
+                walk_expr(b, f);
+            }
+        }
+        ExprKind::Tuple { elems } | ExprKind::Array { elems } => {
+            for el in elems {
+                walk_expr(el, f);
+            }
+        }
+        ExprKind::Repeat { elem, len } => {
+            walk_expr(elem, f);
+            walk_expr(len, f);
+        }
+        ExprKind::Range { lo, hi } => {
+            if let Some(lo) = lo {
+                walk_expr(lo, f);
+            }
+            if let Some(hi) = hi {
+                walk_expr(hi, f);
+            }
+        }
+        ExprKind::Return { value } | ExprKind::Break { value } => {
+            if let Some(v) = value {
+                walk_expr(v, f);
+            }
+        }
+    }
+}
+
+/// Pre-order walk over every expression in a block.
+pub fn walk_block<'a>(b: &'a Block, f: &mut dyn FnMut(&'a Expr)) {
+    for stmt in &b.stmts {
+        match stmt {
+            Stmt::Let {
+                init, else_block, ..
+            } => {
+                if let Some(e) = init {
+                    walk_expr(e, f);
+                }
+                if let Some(b) = else_block {
+                    walk_block(b, f);
+                }
+            }
+            Stmt::Expr { expr, .. } => walk_expr(expr, f),
+            Stmt::Item(item) => walk_item_exprs(item, f),
+        }
+    }
+}
+
+/// Pre-order walk over every expression in an item (fn bodies, const
+/// initializers), recursing into impl/trait/mod members.
+pub fn walk_item_exprs<'a>(item: &'a Item, f: &mut dyn FnMut(&'a Expr)) {
+    match &item.kind {
+        ItemKind::Fn(fi) => {
+            if let Some(b) = &fi.body {
+                walk_block(b, f);
+            }
+        }
+        ItemKind::Impl(ib) => {
+            for it in &ib.items {
+                walk_item_exprs(it, f);
+            }
+        }
+        ItemKind::Trait { items, .. } | ItemKind::Mod { items, .. } => {
+            for it in items {
+                walk_item_exprs(it, f);
+            }
+        }
+        ItemKind::Const { init: Some(e), .. } => walk_expr(e, f),
+        _ => {}
+    }
+}
+
+/// Collects the spans of every item, block, statement, and expression in
+/// the file, for the span-integrity test.
+pub fn collect_spans(file: &File) -> Vec<Span> {
+    let mut out = Vec::new();
+    for item in &file.items {
+        collect_item_spans(item, &mut out);
+    }
+    out
+}
+
+fn collect_item_spans(item: &Item, out: &mut Vec<Span>) {
+    out.push(item.span);
+    match &item.kind {
+        ItemKind::Fn(fi) => {
+            if let Some(b) = &fi.body {
+                collect_block_spans(b, out);
+            }
+        }
+        ItemKind::Impl(ib) => {
+            for it in &ib.items {
+                collect_item_spans(it, out);
+            }
+        }
+        ItemKind::Trait { items, .. } | ItemKind::Mod { items, .. } => {
+            for it in items {
+                collect_item_spans(it, out);
+            }
+        }
+        ItemKind::Const { init: Some(e), .. } => collect_expr_spans(e, out),
+        _ => {}
+    }
+}
+
+fn collect_block_spans(b: &Block, out: &mut Vec<Span>) {
+    out.push(b.span);
+    for stmt in &b.stmts {
+        match stmt {
+            Stmt::Let {
+                span,
+                init,
+                else_block,
+                ..
+            } => {
+                out.push(*span);
+                if let Some(e) = init {
+                    collect_expr_spans(e, out);
+                }
+                if let Some(b) = else_block {
+                    collect_block_spans(b, out);
+                }
+            }
+            Stmt::Expr { expr, .. } => collect_expr_spans(expr, out),
+            Stmt::Item(item) => collect_item_spans(item, out),
+        }
+    }
+}
+
+fn collect_expr_spans(e: &Expr, out: &mut Vec<Span>) {
+    walk_expr(e, &mut |x| out.push(x.span));
+}

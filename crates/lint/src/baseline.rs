@@ -1,6 +1,12 @@
-//! The ratchet baseline: committed per-(rule, file) counts for the
-//! ratcheted rules (`no-panic`, `float-eq`). Findings at or below the
-//! baseline count pass; the count may only go down over time.
+//! The ratchet baseline: committed per-(rule, file[, api]) counts for
+//! the ratcheted rules (`no-panic`, `float-eq`, `panic-reachability`).
+//! Findings at or below the baseline count pass; the count may only go
+//! down over time.
+//!
+//! Schema `version: 2` adds an optional `"api"` key to each entry so
+//! `panic-reachability` ratchets per public API rather than per file.
+//! The loader still accepts version-1 files (no `api` keys); the next
+//! `--update-baseline` rewrites them as version 2.
 //!
 //! The file format is a small fixed-shape JSON document that this module
 //! both writes and reads (one entry object per line), so the reader is a
@@ -12,10 +18,14 @@ use std::fmt::Write as _;
 use crate::report::{json_escape, Finding};
 use crate::rules::RATCHETED_RULES;
 
-/// Allowed finding counts keyed by (rule, file).
+/// One ratchet group: rule + file + optional qualified API name (empty
+/// for the per-file rules).
+pub type GroupKey = (String, String, String);
+
+/// Allowed finding counts keyed by (rule, file, api).
 #[derive(Debug, Default, Clone, PartialEq, Eq)]
 pub struct Baseline {
-    pub entries: BTreeMap<(String, String), usize>,
+    pub entries: BTreeMap<GroupKey, usize>,
 }
 
 /// Outcome of filtering findings through the baseline.
@@ -26,16 +36,23 @@ pub struct RatchetResult {
     pub new_findings: Vec<Finding>,
     /// Count of findings absorbed by the baseline.
     pub baselined: usize,
-    /// Groups now strictly below their allowance: (rule, file, count,
-    /// allowed). The baseline should be re-tightened with
-    /// `--update-baseline`.
-    pub improved: Vec<(String, String, usize, usize)>,
+    /// Groups now strictly below their allowance: (key, count, allowed).
+    /// The baseline should be re-tightened with `--update-baseline`.
+    pub improved: Vec<(GroupKey, usize, usize)>,
+}
+
+fn key_of(f: &Finding) -> GroupKey {
+    (
+        f.rule.to_string(),
+        f.file.clone(),
+        f.api.clone().unwrap_or_default(),
+    )
 }
 
 impl Baseline {
-    /// Parses the committed `lint-baseline.json`. Returns `Err` on any
-    /// line that looks like an entry but does not parse — a corrupt
-    /// baseline must not silently allow findings.
+    /// Parses the committed `lint-baseline.json` (version 1 or 2).
+    /// Returns `Err` on any line that looks like an entry but does not
+    /// parse — a corrupt baseline must not silently allow findings.
     pub fn parse(text: &str) -> Result<Baseline, String> {
         let mut entries = BTreeMap::new();
         for (lineno, line) in text.lines().enumerate() {
@@ -49,21 +66,29 @@ impl Baseline {
                 .ok_or_else(|| format!("baseline line {}: missing \"file\"", lineno + 1))?;
             let count = extract_usize(line, "count")
                 .ok_or_else(|| format!("baseline line {}: missing \"count\"", lineno + 1))?;
-            entries.insert((rule, file), count);
+            // v1 entries have no "api" key; treat it as empty.
+            let api = extract_str(line, "api").unwrap_or_default();
+            entries.insert((rule, file, api), count);
         }
         Ok(Baseline { entries })
     }
 
     /// Serializes in the fixed one-entry-per-line shape `parse` expects.
+    /// Always writes schema version 2.
     pub fn render(&self) -> String {
         let mut s = String::new();
-        s.push_str("{\n  \"version\": 1,\n  \"entries\": [\n");
+        s.push_str("{\n  \"version\": 2,\n  \"entries\": [\n");
         let n = self.entries.len();
-        for (i, ((rule, file), count)) in self.entries.iter().enumerate() {
+        for (i, ((rule, file, api), count)) in self.entries.iter().enumerate() {
             let comma = if i + 1 == n { "" } else { "," };
+            let api_field = if api.is_empty() {
+                String::new()
+            } else {
+                format!(", \"api\": \"{}\"", json_escape(api))
+            };
             let _ = writeln!(
                 s,
-                "    {{ \"rule\": \"{}\", \"file\": \"{}\", \"count\": {} }}{comma}",
+                "    {{ \"rule\": \"{}\", \"file\": \"{}\"{api_field}, \"count\": {} }}{comma}",
                 json_escape(rule),
                 json_escape(file),
                 count
@@ -76,53 +101,44 @@ impl Baseline {
     /// Builds a fresh baseline from the current findings (the
     /// `--update-baseline` path). Only ratcheted rules are recorded.
     pub fn from_findings(findings: &[Finding]) -> Baseline {
-        let mut entries: BTreeMap<(String, String), usize> = BTreeMap::new();
+        let mut entries: BTreeMap<GroupKey, usize> = BTreeMap::new();
         for f in findings {
             if RATCHETED_RULES.contains(&f.rule) {
-                *entries
-                    .entry((f.rule.to_string(), f.file.clone()))
-                    .or_insert(0) += 1;
+                *entries.entry(key_of(f)).or_insert(0) += 1;
             }
         }
         Baseline { entries }
     }
 
     /// Splits findings into baselined and new. Ratcheted groups are
-    /// all-or-nothing: if a (rule, file) exceeds its allowance, every
-    /// finding in the group is reported so the offending sites are
-    /// visible (the allowance is a count, not a set of lines).
+    /// all-or-nothing: if a (rule, file, api) exceeds its allowance,
+    /// every finding in the group is reported so the offending sites
+    /// are visible (the allowance is a count, not a set of lines).
     pub fn apply(&self, findings: Vec<Finding>) -> RatchetResult {
         let mut res = RatchetResult::default();
-        let mut groups: BTreeMap<(String, String), Vec<Finding>> = BTreeMap::new();
+        let mut groups: BTreeMap<GroupKey, Vec<Finding>> = BTreeMap::new();
         for f in findings {
             if RATCHETED_RULES.contains(&f.rule) {
-                groups
-                    .entry((f.rule.to_string(), f.file.clone()))
-                    .or_default()
-                    .push(f);
+                groups.entry(key_of(&f)).or_default().push(f);
             } else {
                 res.new_findings.push(f);
             }
         }
-        // Baseline entries for files that now have zero findings are the
+        // Baseline entries for groups that now have zero findings are the
         // best kind of improvement; report them so the baseline gets
         // re-tightened.
-        for ((rule, file), &allowed) in &self.entries {
-            if allowed > 0 && !groups.contains_key(&(rule.clone(), file.clone())) {
-                res.improved.push((rule.clone(), file.clone(), 0, allowed));
+        for (key, &allowed) in &self.entries {
+            if allowed > 0 && !groups.contains_key(key) {
+                res.improved.push((key.clone(), 0, allowed));
             }
         }
-        for ((rule, file), group) in groups {
-            let allowed = self
-                .entries
-                .get(&(rule.clone(), file.clone()))
-                .copied()
-                .unwrap_or(0);
+        for (key, group) in groups {
+            let allowed = self.entries.get(&key).copied().unwrap_or(0);
             let count = group.len();
             if count > allowed {
                 for mut f in group {
                     f.message = format!(
-                        "{} ({} findings in this file vs {} baselined)",
+                        "{} ({} findings in this group vs {} baselined)",
                         f.message, count, allowed
                     );
                     res.new_findings.push(f);
@@ -130,12 +146,13 @@ impl Baseline {
             } else {
                 res.baselined += count;
                 if count < allowed {
-                    res.improved.push((rule, file, count, allowed));
+                    res.improved.push((key, count, allowed));
                 }
             }
         }
-        res.new_findings
-            .sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+        res.new_findings.sort_by(|a, b| {
+            (&a.file, a.line, a.rule, &a.api).cmp(&(&b.file, b.line, b.rule, &b.api))
+        });
         res
     }
 }
@@ -186,18 +203,42 @@ mod tests {
             finding("no-panic", "crates/core/src/a.rs", 2),
             finding("float-eq", "crates/linalg/src/lu.rs", 9),
             finding("unsafe-audit", "src/x.rs", 3), // not ratcheted: excluded
+            finding("panic-reachability", "crates/linalg/src/lu.rs", 14)
+                .with_api("LuFactor::solve".into()),
         ];
         let b = Baseline::from_findings(&findings);
-        assert_eq!(b.entries.len(), 2);
-        let parsed = Baseline::parse(&b.render()).unwrap();
+        assert_eq!(b.entries.len(), 3);
+        let rendered = b.render();
+        assert!(rendered.contains("\"version\": 2"));
+        assert!(rendered.contains("\"api\": \"LuFactor::solve\""));
+        let parsed = Baseline::parse(&rendered).unwrap();
         assert_eq!(parsed, b);
+    }
+
+    #[test]
+    fn v1_files_parse_with_empty_api() {
+        let v1 = "{\n  \"version\": 1,\n  \"entries\": [\n    { \"rule\": \"no-panic\", \"file\": \"a.rs\", \"count\": 2 }\n  ]\n}\n";
+        let b = Baseline::parse(v1).unwrap();
+        assert_eq!(
+            b.entries
+                .get(&("no-panic".into(), "a.rs".into(), String::new())),
+            Some(&2)
+        );
+        // Re-rendering upgrades to v2.
+        assert!(b.render().contains("\"version\": 2"));
     }
 
     #[test]
     fn ratchet_allows_at_or_below_count_and_fails_above() {
         let mut b = Baseline::default();
-        b.entries
-            .insert(("no-panic".into(), "crates/core/src/a.rs".into()), 2);
+        b.entries.insert(
+            (
+                "no-panic".into(),
+                "crates/core/src/a.rs".into(),
+                String::new(),
+            ),
+            2,
+        );
 
         let at = b.apply(vec![
             finding("no-panic", "crates/core/src/a.rs", 1),
@@ -220,10 +261,31 @@ mod tests {
     }
 
     #[test]
+    fn apis_ratchet_independently_within_one_file() {
+        let mut b = Baseline::default();
+        b.entries.insert(
+            (
+                "panic-reachability".into(),
+                "a.rs".into(),
+                "Matrix::solve".into(),
+            ),
+            1,
+        );
+        // The baselined API passes; a new API in the same file fails.
+        let res = b.apply(vec![
+            finding("panic-reachability", "a.rs", 3).with_api("Matrix::solve".into()),
+            finding("panic-reachability", "a.rs", 9).with_api("Matrix::invert".into()),
+        ]);
+        assert_eq!(res.baselined, 1);
+        assert_eq!(res.new_findings.len(), 1);
+        assert_eq!(res.new_findings[0].api.as_deref(), Some("Matrix::invert"));
+    }
+
+    #[test]
     fn non_ratcheted_rules_always_fail() {
         let mut b = Baseline::default();
         b.entries
-            .insert(("hot-loop-alloc".into(), "x.rs".into()), 5);
+            .insert(("hot-loop-alloc".into(), "x.rs".into(), String::new()), 5);
         let res = b.apply(vec![finding("hot-loop-alloc", "x.rs", 1)]);
         assert_eq!(res.new_findings.len(), 1, "hard rules cannot be baselined");
     }

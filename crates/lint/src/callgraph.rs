@@ -1,0 +1,261 @@
+//! Conservative workspace call graph and panic reachability.
+//!
+//! Edges are name-resolved: a call to `foo(…)` or `.foo(…)` points at
+//! *every* workspace function named `foo`. Trait dispatch, function
+//! pointers through locals, and cross-crate std calls are therefore
+//! over-approximated (extra edges) or invisible (std panics only count
+//! when spelled at a call site we can see: `unwrap`, `expect`,
+//! `panic!`-family macros, and indexing inside annotated hot regions).
+//! Over-approximation is the right failure mode for a ratchet: the
+//! reachable set can only shrink as real panics are removed.
+
+use crate::ast::{walk_expr, Expr, ExprKind};
+use crate::symbols::SymbolTable;
+use std::collections::{HashMap, HashSet, VecDeque};
+
+/// A direct panic site inside one function body.
+#[derive(Debug, Clone)]
+pub struct PanicSite {
+    pub line: u32,
+    /// Human-readable shape: `unwrap()`, `panic!`, `indexing`.
+    pub what: String,
+}
+
+/// The call graph over [`SymbolTable`] ids.
+pub struct CallGraph {
+    /// Forward edges: caller id -> callee ids (deduped, sorted).
+    pub calls: Vec<Vec<usize>>,
+    /// Direct panic sites per fn id.
+    pub panics: Vec<Vec<PanicSite>>,
+}
+
+/// Macros whose expansion panics. Mirrors the token-level `no-panic`
+/// rule so the two layers agree on what counts.
+pub(crate) const PANIC_MACROS: &[&str] = &[
+    "panic",
+    "unreachable",
+    "todo",
+    "unimplemented",
+    "assert",
+    "assert_eq",
+    "assert_ne",
+];
+
+pub(crate) const PANIC_METHODS: &[&str] = &["unwrap", "expect"];
+
+impl CallGraph {
+    /// Builds edges and panic sites. `in_hot` reports whether a line of
+    /// a file sits inside a `// lint: hot-loop` region (where indexing
+    /// counts as a panic site). `may_call` prunes name-collision edges
+    /// that are structurally impossible (caller file, callee file) —
+    /// e.g. library code "calling" a same-named fn in a binary target
+    /// or in a crate that does not appear in its dependency closure.
+    pub fn build(
+        table: &SymbolTable<'_>,
+        in_hot: &dyn Fn(&str, u32) -> bool,
+        may_call: &dyn Fn(&str, &str) -> bool,
+    ) -> Self {
+        let mut calls = Vec::with_capacity(table.defs.len());
+        let mut panics = Vec::with_capacity(table.defs.len());
+        for def in &table.defs {
+            let mut callees: HashSet<usize> = HashSet::new();
+            let mut sites: Vec<PanicSite> = Vec::new();
+            // Test code neither contributes panic sites nor edges: a
+            // prod fn sharing a name with a test helper must not
+            // inherit the helper's asserts.
+            if let (false, Some(body)) = (def.in_tests, &def.item.body) {
+                crate::ast::walk_block(body, &mut |e: &Expr| {
+                    collect_from_expr(
+                        e,
+                        table,
+                        def.file,
+                        in_hot,
+                        may_call,
+                        &mut callees,
+                        &mut sites,
+                    );
+                });
+            }
+            // A function never calls itself for reachability purposes:
+            // self-recursion adds no new panic evidence.
+            callees.remove(&def.id);
+            let mut callees: Vec<usize> = callees.into_iter().collect();
+            callees.sort_unstable();
+            calls.push(callees);
+            panics.push(sites);
+        }
+        CallGraph { calls, panics }
+    }
+
+    /// Ids of every fn from which a panic site is transitively
+    /// reachable (including fns with a direct site).
+    pub fn panic_reachable(&self) -> HashSet<usize> {
+        let n = self.calls.len();
+        // Reverse edges once, then BFS from every panicking fn.
+        let mut rev: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (caller, callees) in self.calls.iter().enumerate() {
+            for &c in callees {
+                rev[c].push(caller);
+            }
+        }
+        let mut seen: HashSet<usize> = HashSet::new();
+        let mut queue: VecDeque<usize> = (0..n).filter(|&i| !self.panics[i].is_empty()).collect();
+        seen.extend(queue.iter().copied());
+        while let Some(id) = queue.pop_front() {
+            for &caller in &rev[id] {
+                if seen.insert(caller) {
+                    queue.push_back(caller);
+                }
+            }
+        }
+        seen
+    }
+
+    /// Shortest call chain from `start` to any direct panic site:
+    /// `Some((ids along the path, terminal site))`. Ties break toward
+    /// the lowest fn id at each BFS layer, so chains are deterministic.
+    pub fn shortest_panic_chain(&self, start: usize) -> Option<(Vec<usize>, &PanicSite)> {
+        let mut parent: HashMap<usize, usize> = HashMap::new();
+        let mut queue: VecDeque<usize> = VecDeque::new();
+        queue.push_back(start);
+        parent.insert(start, start);
+        while let Some(id) = queue.pop_front() {
+            if let Some(site) = self.panics[id].first() {
+                let mut path = vec![id];
+                let mut cur = id;
+                while parent[&cur] != cur {
+                    cur = parent[&cur];
+                    path.push(cur);
+                }
+                path.reverse();
+                return Some((path, site));
+            }
+            for &callee in &self.calls[id] {
+                if let std::collections::hash_map::Entry::Vacant(e) = parent.entry(callee) {
+                    e.insert(id);
+                    queue.push_back(callee);
+                }
+            }
+        }
+        None
+    }
+}
+
+fn collect_from_expr(
+    e: &Expr,
+    table: &SymbolTable<'_>,
+    file: &str,
+    in_hot: &dyn Fn(&str, u32) -> bool,
+    may_call: &dyn Fn(&str, &str) -> bool,
+    callees: &mut HashSet<usize>,
+    sites: &mut Vec<PanicSite>,
+) {
+    let resolve_into = |name: &str, callees: &mut HashSet<usize>| {
+        callees.extend(
+            table
+                .resolve(name)
+                .iter()
+                .copied()
+                .filter(|&id| !table.defs[id].in_tests && may_call(file, table.defs[id].file)),
+        );
+    };
+    match &e.kind {
+        ExprKind::Call { callee, .. } => {
+            if let Some(name) = callee.path_tail() {
+                resolve_into(name, callees);
+            }
+        }
+        ExprKind::MethodCall { method, .. } => {
+            if PANIC_METHODS.contains(&method.as_str()) {
+                sites.push(PanicSite {
+                    line: e.line,
+                    what: format!("{method}()"),
+                });
+            } else {
+                resolve_into(method, callees);
+            }
+        }
+        ExprKind::MacroCall { name } if PANIC_MACROS.contains(&name.as_str()) => {
+            sites.push(PanicSite {
+                line: e.line,
+                what: format!("{name}!"),
+            });
+        }
+        ExprKind::Index { .. } if in_hot(file, e.line) => {
+            sites.push(PanicSite {
+                line: e.line,
+                what: "indexing".to_string(),
+            });
+        }
+        _ => {}
+    }
+    let _ = walk_expr; // traversal is driven by the caller's walk_block
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::parser::parse_file;
+
+    fn graph(src: &str) -> (crate::ast::File, Vec<String>) {
+        let f = parse_file(src, &lex(src));
+        assert!(f.diagnostics.is_empty(), "{:?}", f.diagnostics);
+        let names = Vec::new();
+        (f, names)
+    }
+
+    #[test]
+    fn reachability_crosses_function_boundaries() {
+        let (file, _) = graph(
+            "pub fn api(x: Option<u32>) -> u32 { helper(x) }\n\
+             fn helper(x: Option<u32>) -> u32 { x.unwrap() }\n\
+             pub fn safe(x: u32) -> u32 { x + 1 }\n",
+        );
+        let files = [("a.rs", &file)];
+        let table = SymbolTable::build(files.iter().map(|(p, f)| (*p, *f)), &|_, _| false);
+        let cg = CallGraph::build(&table, &|_, _| false, &|_, _| true);
+        let reach = cg.panic_reachable();
+        let idx = |name: &str| table.defs.iter().position(|d| d.name() == name).unwrap();
+        assert!(reach.contains(&idx("api")));
+        assert!(reach.contains(&idx("helper")));
+        assert!(!reach.contains(&idx("safe")));
+        let (path, site) = cg.shortest_panic_chain(idx("api")).unwrap();
+        assert_eq!(path, vec![idx("api"), idx("helper")]);
+        assert_eq!(site.what, "unwrap()");
+    }
+
+    #[test]
+    fn hot_indexing_counts_only_inside_hot_regions() {
+        let (file, _) = graph("pub fn f(v: &[f64]) -> f64 { v[0] }\n");
+        let files = [("a.rs", &file)];
+        let table = SymbolTable::build(files.iter().map(|(p, f)| (*p, *f)), &|_, _| false);
+        let cold = CallGraph::build(&table, &|_, _| false, &|_, _| true);
+        assert!(cold.panic_reachable().is_empty());
+        let hot = CallGraph::build(&table, &|_, _| true, &|_, _| true);
+        assert_eq!(hot.panic_reachable().len(), 1);
+    }
+
+    #[test]
+    fn may_call_prunes_structurally_impossible_edges() {
+        let (lib, _) = graph("pub fn api(x: Option<u32>) -> u32 { helper(x) }\n");
+        let (bin, _) = graph("fn helper(x: Option<u32>) -> u32 { x.unwrap() }\n");
+        let files = [
+            ("crates/a/src/lib.rs", &lib),
+            ("crates/a/src/bin/tool.rs", &bin),
+        ];
+        let table = SymbolTable::build(files.iter().map(|(p, f)| (*p, *f)), &|_, _| false);
+        // Permissive: the lib fn inherits the binary's unwrap by name.
+        let loose = CallGraph::build(&table, &|_, _| false, &|_, _| true);
+        assert_eq!(loose.panic_reachable().len(), 2);
+        // Pruned: binaries are link roots, never callees.
+        let strict = CallGraph::build(&table, &|_, _| false, &|_, callee: &str| {
+            !callee.contains("/src/bin/")
+        });
+        assert_eq!(
+            strict.panic_reachable().len(),
+            1,
+            "only the bin's own helper"
+        );
+    }
+}

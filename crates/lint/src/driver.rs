@@ -5,8 +5,9 @@ use std::fs;
 use std::path::{Path, PathBuf};
 
 use crate::baseline::{Baseline, RatchetResult};
-use crate::report::{render_json, Finding};
+use crate::report::{render_json, Finding, PanicApi};
 use crate::rules::{self, SourceFile, Workspace};
+use shc_core::parallel::Parallelism;
 
 /// Name of the committed ratchet file at the workspace root.
 pub const BASELINE_FILE: &str = "lint-baseline.json";
@@ -20,6 +21,9 @@ pub struct CheckOptions {
     pub update_baseline: bool,
     /// Workspace root; discovered from the current directory when unset.
     pub root: Option<PathBuf>,
+    /// Phase-A fan-out (`--threads N`); the report is byte-identical
+    /// for every setting.
+    pub parallelism: Parallelism,
 }
 
 /// Outcome of a `check` run, for callers that want the data rather than
@@ -30,6 +34,8 @@ pub struct CheckOutcome {
     pub baselined: usize,
     pub improved: usize,
     pub files_checked: usize,
+    /// Full panic-reachability report (baselined APIs included).
+    pub panic_apis: Vec<PanicApi>,
 }
 
 /// Ascends from `start` to the first directory that looks like the
@@ -96,9 +102,14 @@ fn walk_rs(dir: &Path, root: &Path, out: &mut Vec<SourceFile>) -> Result<(), Str
 /// Runs the full lint over the workspace rooted at `root` and filters
 /// through the committed baseline. Does not print.
 pub fn check_workspace(root: &Path) -> Result<CheckOutcome, String> {
+    check_workspace_with(root, Parallelism::Serial)
+}
+
+/// [`check_workspace`] with explicit phase-A parallelism.
+pub fn check_workspace_with(root: &Path, parallelism: Parallelism) -> Result<CheckOutcome, String> {
     let ws = collect_workspace(root)?;
     let files_checked = ws.files.len();
-    let findings = rules::run(&ws);
+    let output = rules::run(&ws, parallelism);
     let baseline_path = root.join(BASELINE_FILE);
     let baseline = match fs::read_to_string(&baseline_path) {
         Ok(text) => Baseline::parse(&text)?,
@@ -108,12 +119,13 @@ pub fn check_workspace(root: &Path) -> Result<CheckOutcome, String> {
         new_findings,
         baselined,
         improved,
-    } = baseline.apply(findings);
+    } = baseline.apply(output.findings);
     Ok(CheckOutcome {
         new_findings,
         baselined,
         improved: improved.len(),
         files_checked,
+        panic_apis: output.panic_apis,
     })
 }
 
@@ -152,10 +164,10 @@ pub fn run_check(opts: &CheckOptions) -> u8 {
         }
     };
     let files_checked = ws.files.len();
-    let findings = rules::run(&ws);
+    let output = rules::run(&ws, opts.parallelism);
 
     if opts.update_baseline {
-        let baseline = Baseline::from_findings(&findings);
+        let baseline = Baseline::from_findings(&output.findings);
         let path = root.join(BASELINE_FILE);
         if let Err(e) = fs::write(&path, baseline.render()) {
             eprintln!("shc-lint: cannot write {}: {e}", path.display());
@@ -190,25 +202,39 @@ pub fn run_check(opts: &CheckOptions) -> u8 {
         new_findings,
         baselined,
         improved,
-    } = baseline.apply(findings);
+    } = baseline.apply(output.findings);
 
     if opts.json {
-        print!("{}", render_json(&new_findings, baselined, files_checked));
+        print!(
+            "{}",
+            render_json(&new_findings, baselined, files_checked, &output.panic_apis)
+        );
     } else {
         for f in &new_findings {
             println!("{}", f.render());
         }
-        for (rule, file, count, allowed) in &improved {
+        for ((rule, file, api), count, allowed) in &improved {
+            let what = if api.is_empty() {
+                file.clone()
+            } else {
+                format!("{file} `{api}`")
+            };
             println!(
-                "shc-lint: note: {file} is below its `{rule}` baseline ({count} < {allowed}); run `cargo run -p shc-lint -- check --update-baseline` to ratchet down"
+                "shc-lint: note: {what} is below its `{rule}` baseline ({count} < {allowed}); run `cargo run -p shc-lint -- check --update-baseline` to ratchet down"
             );
         }
         println!(
-            "shc-lint: {} files checked, {} finding{} baselined, {} new",
+            "shc-lint: {} files checked, {} finding{} baselined, {} new, {} panic-reachable API{}",
             files_checked,
             baselined,
             if baselined == 1 { "" } else { "s" },
-            new_findings.len()
+            new_findings.len(),
+            output.panic_apis.len(),
+            if output.panic_apis.len() == 1 {
+                ""
+            } else {
+                "s"
+            },
         );
     }
     if new_findings.is_empty() {
@@ -216,4 +242,97 @@ pub fn run_check(opts: &CheckOptions) -> u8 {
     } else {
         1
     }
+}
+
+/// Per-rule rationale and escape hatch for `--explain <rule>`.
+pub fn explain(rule: &str) -> Option<&'static str> {
+    Some(match rule {
+        "no-panic" => {
+            "no-panic (ratcheted)\n\
+             Why: `panic!`-family macros and `.unwrap()`/`.expect()` abort an entire\n\
+             batch characterization run from one bad operating point. Solver crates\n\
+             must propagate errors instead.\n\
+             Escape hatch: `// lint: allow(no-panic, reason = \"…\")` on the line\n\
+             above, or accept the current count in lint-baseline.json and ratchet\n\
+             it down over time."
+        }
+        "panic-reachability" => {
+            "panic-reachability (ratcheted per API)\n\
+             Why: a panic buried three calls deep still takes down every public\n\
+             entry point above it. The call graph (name-resolved, conservative)\n\
+             computes which public solver APIs can transitively reach a panic site\n\
+             and reports the shortest chain as clickable file:line frames.\n\
+             Escape hatch: the reachable-API set is ratcheted in lint-baseline.json\n\
+             (v2, per-API `api` key); it may only shrink. A single API can be\n\
+             excused with `// lint: allow(panic-reachability, reason = \"…\")` on\n\
+             its `fn` line."
+        }
+        "float-eq" => {
+            "float-eq (ratcheted)\n\
+             Why: `==`/`!=` against a float literal is an exact bitwise comparison\n\
+             that breaks under rounding; convergence logic needs tolerances.\n\
+             Escape hatch: `// lint: allow(float-eq, reason = \"…\")` or the\n\
+             baseline ratchet."
+        }
+        "units" => {
+            "units (hard error)\n\
+             Why: every quantity fed into h(tau_s, tau_h) is a physical unit —\n\
+             seconds, volts, farads. Adding a time to a voltage corrupts the\n\
+             characterization silently; no test catches it. Fields and fn params\n\
+             annotated `/// unit: s` (or `unit(dt): s`, `unit(return): V/s`) are\n\
+             propagated through arithmetic: `+`/`-`/comparisons require equal\n\
+             units, `*`//` compose exponents.\n\
+             Escape hatch: `// lint: allow(units, reason = \"…\")`, or drop the\n\
+             annotation from the quantity (unannotated values are never flagged)."
+        }
+        "thread-local-discipline" => {
+            "thread-local-discipline (hard error)\n\
+             Why: telemetry Collectors and fault Injectors install into\n\
+             thread-local state. parallel::run_indexed re-installs per worker; a\n\
+             raw set/replace or an immediately-dropped guard leaks state across\n\
+             workers and corrupts cross-thread aggregation.\n\
+             Escape hatch: bind guards to a named local (`let _guard = …`); for\n\
+             deliberate raw access, `// lint: allow(thread-local-discipline,\n\
+             reason = \"…\")`."
+        }
+        "tolerance-hygiene" => {
+            "tolerance-hygiene (hard error)\n\
+             Why: a float literal inside a convergence predicate (comparisons in\n\
+             the loops of mpnr.rs, tracer.rs, transient.rs) silently defines what\n\
+             \"converged\" means. Such thresholds must be named, documented\n\
+             constants so they are visible, greppable, and reviewed.\n\
+             Escape hatch: hoist the literal into a `const`; else\n\
+             `// lint: allow(tolerance-hygiene, reason = \"…\")`."
+        }
+        "hot-loop-alloc" => {
+            "hot-loop-alloc (hard error)\n\
+             Why: regions marked `// lint: hot-loop` are the per-Newton-iteration\n\
+             inner loops; an allocation there multiplies across every corner,\n\
+             sample, and contour point.\n\
+             Escape hatch: move the allocation out of the region, or\n\
+             `// lint: allow(hot-loop-alloc, reason = \"…\")`."
+        }
+        "telemetry-hygiene" => {
+            "telemetry-hygiene (hard error)\n\
+             Why: metric names, journal keys, and the DESIGN.md schema table must\n\
+             agree, and JournalEvent construction must be gated on\n\
+             shc_obs::enabled() so telemetry-off runs pay nothing.\n\
+             Escape hatch: declare the variant/key, or\n\
+             `// lint: allow(telemetry-hygiene, reason = \"…\")`."
+        }
+        "unsafe-audit" => {
+            "unsafe-audit (hard error)\n\
+             Why: every `unsafe` needs a `// SAFETY:` comment within the three\n\
+             lines above explaining why the invariants hold.\n\
+             Escape hatch: write the SAFETY comment (there is no allow that\n\
+             skips the explanation)."
+        }
+        "lint-annotation" => {
+            "lint-annotation (hard error)\n\
+             Why: the lint's own escape hatches are load-bearing; a malformed\n\
+             directive or a reason-less allow silently changes what is checked.\n\
+             Escape hatch: none — fix the annotation."
+        }
+        _ => return None,
+    })
 }

@@ -42,13 +42,16 @@ pub enum TokenKind {
     Punct,
 }
 
-/// One lexed token: classification, source text, and 1-based line.
+/// One lexed token: classification, source text, byte offset, and
+/// 1-based line.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Token<'a> {
     /// Lexical class.
     pub kind: TokenKind,
     /// Exact source text of the token.
     pub text: &'a str,
+    /// Byte offset of the token's first character in the source.
+    pub start: usize,
     /// 1-based line number of the token's first character.
     pub line: u32,
 }
@@ -60,6 +63,12 @@ impl<'a> Token<'a> {
             self.kind,
             TokenKind::LineComment | TokenKind::DocComment | TokenKind::BlockComment
         )
+    }
+
+    /// Byte offset one past the token's last character: `text` is exactly
+    /// `&source[start..end]`.
+    pub fn end(&self) -> usize {
+        self.start + self.text.len()
     }
 }
 
@@ -126,6 +135,7 @@ impl<'a> Lexer<'a> {
         self.tokens.push(Token {
             kind,
             text: &self.src[start..self.pos],
+            start,
             line,
         });
     }
@@ -524,6 +534,14 @@ mod tests {
             .map(|t| (t.line, t.text))
             .collect();
         assert_eq!(toks, vec![(1, "a"), (2, "b"), (3, "c"), (4, "d")]);
+    }
+
+    #[test]
+    fn byte_offsets_round_trip_to_source_slices() {
+        let src = "fn f(x: f64) -> f64 {\n    // note\n    x * 2.5e-3 /* mid */ + \"s\".len() as f64\n}\n";
+        for t in lex(src) {
+            assert_eq!(&src[t.start..t.end()], t.text, "offset drift at {t:?}");
+        }
     }
 
     #[test]

@@ -1,20 +1,37 @@
 //! `shc-lint`: workspace static analysis for the characterization stack.
 //!
 //! Enforces project-specific invariants that clippy cannot express:
-//! panic-freedom in the solver crates (ratcheted), allocation-freedom in
-//! annotated hot-loop regions, no float `==`, telemetry hygiene
-//! (metric-name declarations, journal schema vs DESIGN.md, `enabled()`
-//! gating), and `// SAFETY:` comments on `unsafe`.
+//! panic-freedom in the solver crates (ratcheted, with call-graph
+//! reachability chains to the public API), allocation-freedom in
+//! annotated hot-loop regions, no float `==`, physical-unit consistency
+//! (`/// unit:` annotations propagated through arithmetic), scoped-guard
+//! discipline for thread-local installs, named-constant convergence
+//! tolerances, telemetry hygiene (metric-name declarations, journal
+//! schema vs DESIGN.md, `enabled()` gating), and `// SAFETY:` comments
+//! on `unsafe`.
 //!
-//! The crate is zero-dependency by design: it must build and run before
-//! anything else in the workspace does. Everything is built on a
-//! hand-rolled Rust lexer ([`lexer`]) so rules see a token stream in
-//! which comments and string contents can never produce false matches.
+//! The crate uses no third-party dependencies by design: it must build
+//! and run before anything else in the workspace does. Its only
+//! dependency is `shc-core`, for the `parallel::run_indexed` fan-out
+//! the driver uses to lint files concurrently. Everything is built on a
+//! hand-rolled Rust lexer ([`lexer`]) and a tolerant recursive-descent
+//! parser ([`parser`]) producing a per-file AST ([`ast`]), so rules see
+//! real syntax — call expressions, field accesses, loops — in which
+//! comments and string contents can never produce false matches. A
+//! workspace [`symbols`] table and conservative [`callgraph`] sit on
+//! top for the flow-aware rules.
 //!
-//! Run it with `cargo run -p shc-lint -- check [--json] [--update-baseline]`.
+//! Run it with `cargo run -p shc-lint -- check [--json]
+//! [--update-baseline] [--threads N]`, or `--explain <rule>` for any
+//! rule's rationale and escape hatch.
 
+pub mod ast;
 pub mod baseline;
+pub mod callgraph;
 pub mod driver;
 pub mod lexer;
+pub mod parser;
 pub mod report;
 pub mod rules;
+pub mod symbols;
+pub mod units;

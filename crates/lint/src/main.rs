@@ -1,12 +1,16 @@
-//! `shc-lint` CLI: `shc-lint check [--json] [--update-baseline] [--root DIR]`.
+//! `shc-lint` CLI: `shc-lint check [--json] [--update-baseline]
+//! [--root DIR] [--threads N]`, plus `shc-lint --explain <rule>`.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use shc_lint::driver::{run_check, CheckOptions};
+use shc_core::parallel::Parallelism;
+use shc_lint::driver::{explain, run_check, CheckOptions};
+use shc_lint::rules::ALL_RULES;
 
 const USAGE: &str = "\
-usage: shc-lint check [--json] [--update-baseline] [--root DIR]
+usage: shc-lint check [--json] [--update-baseline] [--root DIR] [--threads N]
+       shc-lint --explain <rule>
 
 Walks every workspace src/ tree and enforces the project lint rules.
 Exit codes: 0 clean, 1 findings, 2 usage or I/O error.
@@ -14,7 +18,26 @@ Exit codes: 0 clean, 1 findings, 2 usage or I/O error.
   --json              machine-readable report on stdout (for CI)
   --update-baseline   rewrite lint-baseline.json from current findings
   --root DIR          workspace root (default: discovered from cwd)
+  --threads N         lint files on N threads (0 = auto, 1 = serial;
+                      output is byte-identical for every setting)
+  --explain <rule>    print a rule's rationale and escape hatch
 ";
+
+fn run_explain(rule: &str) -> ExitCode {
+    match explain(rule) {
+        Some(text) => {
+            println!("{text}");
+            ExitCode::SUCCESS
+        }
+        None => {
+            eprintln!(
+                "shc-lint: unknown rule `{rule}` (known: {})",
+                ALL_RULES.join(", ")
+            );
+            ExitCode::from(2)
+        }
+    }
+}
 
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
@@ -25,6 +48,14 @@ fn main() -> ExitCode {
     if cmd == "--help" || cmd == "-h" || cmd == "help" {
         print!("{USAGE}");
         return ExitCode::SUCCESS;
+    }
+    if cmd == "--explain" {
+        let Some(rule) = args.next() else {
+            eprintln!("shc-lint: --explain requires a rule name\n");
+            eprint!("{USAGE}");
+            return ExitCode::from(2);
+        };
+        return run_explain(&rule);
     }
     if cmd != "check" {
         eprintln!("shc-lint: unknown command `{cmd}`\n");
@@ -41,6 +72,22 @@ fn main() -> ExitCode {
                 Some(dir) => opts.root = Some(PathBuf::from(dir)),
                 None => {
                     eprintln!("shc-lint: --root requires a directory\n");
+                    eprint!("{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--threads" => match args.next().and_then(|n| n.parse::<usize>().ok()) {
+                Some(n) => opts.parallelism = Parallelism::from_thread_arg(n),
+                None => {
+                    eprintln!("shc-lint: --threads requires a number\n");
+                    eprint!("{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--explain" => match args.next() {
+                Some(rule) => return run_explain(&rule),
+                None => {
+                    eprintln!("shc-lint: --explain requires a rule name\n");
                     eprint!("{USAGE}");
                     return ExitCode::from(2);
                 }

@@ -1,8 +1,8 @@
 //! Finding type and the human/JSON renderers.
 //!
-//! JSON is emitted by hand: the lint crate is deliberately
-//! zero-dependency so it builds and runs before anything else in the
-//! workspace does (the vendored `serde` is a no-op stub anyway).
+//! JSON is emitted by hand: the lint crate deliberately uses no
+//! third-party dependencies so it builds and runs before anything
+//! external is trusted (the vendored `serde` is a no-op stub anyway).
 
 use std::fmt::Write as _;
 
@@ -17,6 +17,10 @@ pub struct Finding {
     pub line: u32,
     /// Human-readable explanation.
     pub message: String,
+    /// For `panic-reachability`: the qualified public API this finding
+    /// is about. Ratcheting keys on it so each API is tracked
+    /// individually rather than as a per-file count.
+    pub api: Option<String>,
 }
 
 impl Finding {
@@ -26,7 +30,14 @@ impl Finding {
             file,
             line,
             message,
+            api: None,
         }
+    }
+
+    /// Attaches the qualified API name (panic-reachability findings).
+    pub fn with_api(mut self, api: String) -> Self {
+        self.api = Some(api);
+        self
     }
 
     /// `file:line: [rule] message` — the grep/editor-friendly form.
@@ -36,6 +47,20 @@ impl Finding {
             self.file, self.line, self.rule, self.message
         )
     }
+}
+
+/// One public API from which a panic site is reachable, with its
+/// shortest call chain. Reported as a JSON section (and uploaded as a
+/// CI artifact) independently of whether the finding is baselined.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PanicApi {
+    /// Qualified name, e.g. `Matrix::solve` or `trace_contour`.
+    pub api: String,
+    /// File and line of the API definition.
+    pub file: String,
+    pub line: u32,
+    /// Rendered shortest chain: `api (file:line) -> … -> unwrap() (file:line)`.
+    pub chain: String,
 }
 
 /// Escapes a string for embedding in a JSON document.
@@ -58,23 +83,45 @@ pub fn json_escape(s: &str) -> String {
 }
 
 /// Renders the machine-readable report consumed by CI.
-pub fn render_json(new: &[Finding], baselined: usize, files_checked: usize) -> String {
+pub fn render_json(
+    new: &[Finding],
+    baselined: usize,
+    files_checked: usize,
+    panic_apis: &[PanicApi],
+) -> String {
     let mut s = String::new();
     s.push_str("{\n");
-    let _ = writeln!(s, "  \"version\": 1,");
+    let _ = writeln!(s, "  \"version\": 2,");
     let _ = writeln!(s, "  \"files_checked\": {files_checked},");
     let _ = writeln!(s, "  \"baselined\": {baselined},");
     let _ = writeln!(s, "  \"new_findings\": {},", new.len());
     s.push_str("  \"findings\": [\n");
     for (i, f) in new.iter().enumerate() {
         let comma = if i + 1 == new.len() { "" } else { "," };
+        let api = match &f.api {
+            Some(a) => format!(", \"api\": \"{}\"", json_escape(a)),
+            None => String::new(),
+        };
         let _ = writeln!(
             s,
-            "    {{ \"rule\": \"{}\", \"file\": \"{}\", \"line\": {}, \"message\": \"{}\" }}{comma}",
+            "    {{ \"rule\": \"{}\", \"file\": \"{}\", \"line\": {}, \"message\": \"{}\"{api} }}{comma}",
             json_escape(f.rule),
             json_escape(&f.file),
             f.line,
             json_escape(&f.message),
+        );
+    }
+    s.push_str("  ],\n");
+    s.push_str("  \"panic_apis\": [\n");
+    for (i, p) in panic_apis.iter().enumerate() {
+        let comma = if i + 1 == panic_apis.len() { "" } else { "," };
+        let _ = writeln!(
+            s,
+            "    {{ \"api\": \"{}\", \"file\": \"{}\", \"line\": {}, \"chain\": \"{}\" }}{comma}",
+            json_escape(&p.api),
+            json_escape(&p.file),
+            p.line,
+            json_escape(&p.chain),
         );
     }
     s.push_str("  ]\n}\n");
@@ -100,12 +147,31 @@ mod tests {
     #[test]
     fn json_report_shape() {
         let f = vec![Finding::new("float-eq", "x.rs".into(), 1, "m \"q\"".into())];
-        let j = render_json(&f, 3, 10);
+        let j = render_json(&f, 3, 10, &[]);
+        assert!(j.contains("\"version\": 2"));
         assert!(j.contains("\"new_findings\": 1"));
         assert!(j.contains("\"baselined\": 3"));
         assert!(j.contains("\\\"q\\\""));
         // Empty findings list still renders valid JSON.
-        let j = render_json(&[], 0, 0);
+        let j = render_json(&[], 0, 0, &[]);
         assert!(j.contains("\"findings\": [\n  ]"));
+    }
+
+    #[test]
+    fn json_report_includes_api_and_panic_chains() {
+        let f = vec![
+            Finding::new("panic-reachability", "a.rs".into(), 3, "m".into())
+                .with_api("Matrix::solve".into()),
+        ];
+        let apis = vec![PanicApi {
+            api: "Matrix::solve".into(),
+            file: "a.rs".into(),
+            line: 3,
+            chain: "Matrix::solve (a.rs:3) -> unwrap() (a.rs:9)".into(),
+        }];
+        let j = render_json(&f, 0, 1, &apis);
+        assert!(j.contains("\"api\": \"Matrix::solve\""));
+        assert!(j.contains("\"panic_apis\": ["));
+        assert!(j.contains("unwrap() (a.rs:9)"));
     }
 }

@@ -3,7 +3,11 @@
 //! | rule | scope | enforcement |
 //! |------|-------|-------------|
 //! | `no-panic` | non-test lib code of `shc-linalg`/`shc-spice`/`shc-core` | ratchet |
+//! | `panic-reachability` | public APIs of the same crates, via the call graph | ratchet (per API) |
 //! | `float-eq` | non-test lib code of the same numeric crates | ratchet |
+//! | `units` | `/// unit:`-annotated quantities in the numeric crates | error |
+//! | `thread-local-discipline` | Collector/Injector installs, workspace-wide | error |
+//! | `tolerance-hygiene` | convergence loops of `mpnr.rs`/`tracer.rs`/`transient.rs` | error |
 //! | `hot-loop-alloc` | `// lint: hot-loop` … `// lint: end-hot-loop` regions | error |
 //! | `telemetry-hygiene` | whole workspace + DESIGN.md schema table | error |
 //! | `unsafe-audit` | whole workspace | error |
@@ -13,20 +17,38 @@
 //! only go down); the rest are hard errors. Any rule can be silenced at a
 //! single site with `// lint: allow(<rule>, reason = "…")` — the reason is
 //! mandatory, an allow without one is itself a `lint-annotation` error.
+//!
+//! Execution is two-phase. Phase A lexes and parses each file exactly
+//! once and runs every per-file rule on the shared AST; it fans out
+//! over files with `shc_core::parallel::run_indexed`. Phase B runs the
+//! workspace-global rules (symbol table, call graph, unit maps,
+//! telemetry cross-checks) serially over the phase-A products. Findings
+//! are fully sorted at the end, so parallel output is byte-identical to
+//! serial output.
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeSet, HashMap};
 
+use crate::ast::{self, Expr, ExprKind, ItemKind, Stmt};
+use crate::callgraph::{CallGraph, PANIC_MACROS, PANIC_METHODS};
 use crate::lexer::{self, is_float_literal, Token, TokenKind};
-use crate::report::Finding;
+use crate::parser;
+use crate::report::{Finding, PanicApi};
+use crate::symbols::SymbolTable;
+use crate::units::{self, Unit};
+use shc_core::parallel::{run_indexed, Parallelism};
 
 /// Rules whose counts are ratcheted against the committed baseline
 /// instead of failing outright.
-pub const RATCHETED_RULES: &[&str] = &["no-panic", "float-eq"];
+pub const RATCHETED_RULES: &[&str] = &["no-panic", "float-eq", "panic-reachability"];
 
 /// All rule identifiers accepted by `// lint: allow(<rule>, …)`.
 pub const ALL_RULES: &[&str] = &[
     "no-panic",
+    "panic-reachability",
     "float-eq",
+    "units",
+    "thread-local-discipline",
+    "tolerance-hygiene",
     "hot-loop-alloc",
     "telemetry-hygiene",
     "unsafe-audit",
@@ -41,19 +63,24 @@ const SOLVER_CRATE_PREFIXES: &[&str] = &[
     "crates/core/src/",
 ];
 
-/// Macro names that abort the process.
-const PANIC_MACROS: &[&str] = &[
-    "panic",
-    "unreachable",
-    "todo",
-    "unimplemented",
-    "assert",
-    "assert_eq",
-    "assert_ne",
+/// Files whose convergence loops are subject to `tolerance-hygiene`:
+/// the MPNR corrector, the Euler-Newton tracer, and the transient
+/// integrator — the three places where a magic tolerance silently
+/// changes what "converged" means.
+const TOLERANCE_FILES: &[&str] = &[
+    "crates/core/src/mpnr.rs",
+    "crates/core/src/tracer.rs",
+    "crates/spice/src/transient.rs",
 ];
 
-/// Method names that panic on `None`/`Err`.
-const PANIC_METHODS: &[&str] = &["unwrap", "expect"];
+/// Files allowed to mutate thread-local observability state directly:
+/// the collector/injector implementations themselves, whose guards are
+/// the blessed pattern everyone else must go through.
+const THREAD_LOCAL_OWNERS: &[&str] = &["crates/obs/src/collector.rs", "crates/fault/src/lib.rs"];
+
+/// Functions that return a scope guard which must be bound to a named
+/// local (dropping it immediately uninstalls / restores the state).
+const GUARD_FNS: &[&str] = &["install_scoped", "with_journal_level", "install"];
 
 /// Allocating method calls forbidden inside hot-loop regions.
 const ALLOC_METHODS: &[&str] = &["clone", "to_vec", "to_string", "to_owned", "collect"];
@@ -131,8 +158,7 @@ struct FileCtx<'a> {
 }
 
 impl<'a> FileCtx<'a> {
-    fn build(file: &'a SourceFile) -> FileCtx<'a> {
-        let all = lexer::lex(&file.text);
+    fn build(file: &'a SourceFile, all: &[Token<'a>]) -> FileCtx<'a> {
         let mut code = Vec::with_capacity(all.len());
         let mut comments = Vec::new();
         let mut allows = Vec::new();
@@ -140,7 +166,7 @@ impl<'a> FileCtx<'a> {
         let mut hot = Vec::new();
         let mut hot_open: Option<u32> = None;
 
-        for t in &all {
+        for t in all {
             if !t.is_comment() {
                 code.push(*t);
                 continue;
@@ -233,6 +259,25 @@ impl<'a> FileCtx<'a> {
             }
         }
         out.push(Finding::new(rule, self.path.to_string(), line, message));
+    }
+
+    /// [`FileCtx::push`] for findings that carry a qualified API name
+    /// (panic-reachability): same allow handling, api attached.
+    fn push_with_api(
+        &self,
+        out: &mut Vec<Finding>,
+        rule: &'static str,
+        line: u32,
+        message: String,
+        api: String,
+    ) {
+        for allow in &self.allows {
+            if allow.rule == rule && (allow.line == line || allow.line + 1 == line) {
+                allow.used.set(true);
+                return;
+            }
+        }
+        out.push(Finding::new(rule, self.path.to_string(), line, message).with_api(api));
     }
 
     /// True when a comment containing `SAFETY:` sits within `window` lines
@@ -370,29 +415,76 @@ fn in_solver_crate(path: &str) -> bool {
     SOLVER_CRATE_PREFIXES.iter().any(|p| path.starts_with(p))
 }
 
+/// Phase-A product for one file: the lexed/parsed views plus every
+/// finding the per-file rules produced. Built in parallel, consumed by
+/// the serial phase-B rules.
+pub struct FileAnalysis<'a> {
+    ctx: FileCtx<'a>,
+    /// The parsed AST. Parse diagnostics are tolerated here (rules see
+    /// whatever parsed); the whole-workspace parse test pins them to
+    /// zero on the real tree.
+    pub ast: ast::File,
+    findings: Vec<Finding>,
+}
+
+/// Everything `run` produces: the sorted findings plus the full
+/// panic-reachability report (every reachable API with its shortest
+/// chain, including baselined ones — CI uploads this as an artifact).
+pub struct RunOutput {
+    pub findings: Vec<Finding>,
+    pub panic_apis: Vec<PanicApi>,
+}
+
+/// Phase A: lex + parse once, then run every per-file rule.
+fn analyze_file(file: &SourceFile) -> FileAnalysis<'_> {
+    let all = lexer::lex(&file.text);
+    let parsed = parser::parse_file(&file.text, &all);
+    let ctx = FileCtx::build(file, &all);
+    let mut findings = ctx.annotation_findings.clone();
+    no_panic(&ctx, &mut findings);
+    float_eq(&ctx, &mut findings);
+    hot_loop_alloc(&ctx, &mut findings);
+    unsafe_audit(&ctx, &mut findings);
+    tolerance_hygiene(&ctx, &parsed, &mut findings);
+    thread_local_discipline(&ctx, &parsed, &mut findings);
+    FileAnalysis {
+        ctx,
+        ast: parsed,
+        findings,
+    }
+}
+
 /// Runs every rule over the workspace and returns all findings
 /// (baseline filtering happens later, in the driver).
-pub fn run(ws: &Workspace) -> Vec<Finding> {
-    let ctxs: Vec<(FileCtx<'_>, &SourceFile)> =
-        ws.files.iter().map(|f| (FileCtx::build(f), f)).collect();
-    let mut findings = Vec::new();
+///
+/// `parallelism` only affects phase-A scheduling; the output is sorted
+/// and phase B is serial, so results are identical for every setting.
+pub fn run(ws: &Workspace, parallelism: Parallelism) -> RunOutput {
+    // Phase A: per-file, fanned out. The job is infallible; the merge
+    // preserves file order regardless of completion order.
+    let analyses: Vec<FileAnalysis<'_>> = match run_indexed(parallelism, ws.files.len(), |i| {
+        Ok::<_, std::convert::Infallible>(analyze_file(&ws.files[i]))
+    }) {
+        Ok(a) => a,
+        Err(e) => match e {},
+    };
 
-    for (ctx, _) in &ctxs {
-        findings.extend(ctx.annotation_findings.iter().cloned());
-        no_panic(ctx, &mut findings);
-        float_eq(ctx, &mut findings);
-        hot_loop_alloc(ctx, &mut findings);
-        unsafe_audit(ctx, &mut findings);
+    // Phase B: workspace-global rules over the shared ASTs, serial.
+    let mut findings: Vec<Finding> = Vec::new();
+    for a in &analyses {
+        findings.extend(a.findings.iter().cloned());
     }
-    telemetry_hygiene(ws, &ctxs, &mut findings);
+    telemetry_hygiene(ws, &analyses, &mut findings);
+    units_rule(&analyses, &mut findings);
+    let panic_apis = panic_reachability(&analyses, &mut findings);
 
     // Escape hatches require a reason regardless of whether they fired.
-    for (ctx, _) in &ctxs {
-        for allow in &ctx.allows {
+    for a in &analyses {
+        for allow in &a.ctx.allows {
             if !allow.has_reason {
                 findings.push(Finding::new(
                     "lint-annotation",
-                    ctx.path.to_string(),
+                    a.ctx.path.to_string(),
                     allow.line,
                     format!(
                         "`lint: allow({})` requires a reason: `// lint: allow({}, reason = \"…\")`",
@@ -403,8 +495,12 @@ pub fn run(ws: &Workspace) -> Vec<Finding> {
         }
     }
 
-    findings.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
     findings
+        .sort_by(|a, b| (&a.file, a.line, a.rule, &a.api).cmp(&(&b.file, b.line, b.rule, &b.api)));
+    RunOutput {
+        findings,
+        panic_apis,
+    }
 }
 
 /// `no-panic`: `panic!`-family macros and `.unwrap()`/`.expect()` in
@@ -589,19 +685,531 @@ fn unsafe_audit(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
     }
 }
 
+/// `tolerance-hygiene`: float literals inside comparison operands of
+/// convergence loops must be named constants. Only the three
+/// convergence-critical files are scanned; the descent into comparison
+/// operands crosses arithmetic (`2.0 * tol`) but not call boundaries
+/// (`.max(1.0)` is a clamp, not a tolerance).
+fn tolerance_hygiene(ctx: &FileCtx<'_>, file: &ast::File, out: &mut Vec<Finding>) {
+    if !TOLERANCE_FILES
+        .iter()
+        .any(|f| ctx.path == *f || ctx.path.ends_with(f))
+    {
+        return;
+    }
+    // (line, literal) pairs; BTreeSet both dedups literals shared by
+    // nested loops and fixes the emission order.
+    let mut hits: BTreeSet<(u32, String)> = BTreeSet::new();
+    for item in &file.items {
+        ast::walk_item_exprs(item, &mut |e: &Expr| {
+            let (cond, body) = match &e.kind {
+                ExprKind::While { cond, body } => (Some(cond.as_ref()), body),
+                ExprKind::Loop { body } => (None, body),
+                ExprKind::For { body, .. } => (None, body),
+                _ => return,
+            };
+            let mut scan = |root: &Expr| {
+                ast::walk_expr(root, &mut |inner: &Expr| {
+                    if let ExprKind::Binary { op, lhs, rhs } = &inner.kind {
+                        if matches!(op.as_str(), "==" | "!=" | "<" | ">" | "<=" | ">=") {
+                            collect_tolerance_literals(lhs, &mut hits);
+                            collect_tolerance_literals(rhs, &mut hits);
+                        }
+                    }
+                });
+            };
+            if let Some(c) = cond {
+                scan(c);
+            }
+            for stmt in &body.stmts {
+                match stmt {
+                    Stmt::Let { init: Some(i), .. } => scan(i),
+                    Stmt::Expr { expr, .. } => scan(expr),
+                    _ => {}
+                }
+            }
+        });
+    }
+    for (line, lit) in hits {
+        if ctx.in_tests(line) {
+            continue;
+        }
+        ctx.push(
+            out,
+            "tolerance-hygiene",
+            line,
+            format!(
+                "inline tolerance `{lit}` in a convergence predicate; hoist it into a named, documented constant"
+            ),
+        );
+    }
+}
+
+/// Float literals that act as thresholds: descends through arithmetic,
+/// negation, parens, and casts, but not into calls or indexing.
+fn collect_tolerance_literals(e: &Expr, hits: &mut BTreeSet<(u32, String)>) {
+    match &e.kind {
+        ExprKind::Lit { text, is_float } if *is_float && !units::is_zero_literal(text) => {
+            hits.insert((e.line, text.clone()));
+        }
+        ExprKind::Binary { op, lhs, rhs } if matches!(op.as_str(), "+" | "-" | "*" | "/" | "%") => {
+            collect_tolerance_literals(lhs, hits);
+            collect_tolerance_literals(rhs, hits);
+        }
+        ExprKind::Unary { expr, .. }
+        | ExprKind::Paren { expr }
+        | ExprKind::Ref { expr }
+        | ExprKind::Cast { expr } => collect_tolerance_literals(expr, hits),
+        _ => {}
+    }
+}
+
+/// `thread-local-discipline`: Collector/Injector installs must flow
+/// through the scoped-guard pattern. Two shapes are flagged: a guard
+/// returned by `install_scoped`/`with_journal_level`/`install` that is
+/// immediately dropped (bare expression statement or `let _ =`), and
+/// raw `.set`/`.replace`/`.borrow_mut` mutation of a `thread_local!`
+/// static outside the owning collector/injector modules.
+fn thread_local_discipline(ctx: &FileCtx<'_>, file: &ast::File, out: &mut Vec<Finding>) {
+    // Thread-local static names declared in this file.
+    let mut tl_names: Vec<String> = Vec::new();
+    collect_thread_local_names(&file.items, &mut tl_names);
+    let is_owner = THREAD_LOCAL_OWNERS
+        .iter()
+        .any(|f| ctx.path == *f || ctx.path.ends_with(f));
+
+    for item in &file.items {
+        visit_blocks(item, &mut |stmts: &[Stmt]| {
+            for stmt in stmts {
+                let (discarded, init, via_wildcard) = match stmt {
+                    Stmt::Expr { expr, semi: true } => (true, expr, false),
+                    Stmt::Let {
+                        wildcard: true,
+                        init: Some(i),
+                        ..
+                    } => (true, i, true),
+                    _ => continue,
+                };
+                if !discarded {
+                    continue;
+                }
+                if let Some(name) = guard_call_name(init) {
+                    if ctx.in_tests(init.line) {
+                        continue;
+                    }
+                    let shape = if via_wildcard {
+                        "bound to `_`"
+                    } else {
+                        "dropped as a statement"
+                    };
+                    ctx.push(
+                        out,
+                        "thread-local-discipline",
+                        init.line,
+                        format!(
+                            "guard returned by `{name}` is {shape}, so it uninstalls immediately; bind it to a named local (`let _guard = …`) for the scope it must cover"
+                        ),
+                    );
+                }
+            }
+        });
+    }
+
+    if tl_names.is_empty() || is_owner {
+        return;
+    }
+    for item in &file.items {
+        ast::walk_item_exprs(item, &mut |e: &Expr| {
+            let ExprKind::MethodCall { recv, method, args } = &e.kind else {
+                return;
+            };
+            let Some(root) = receiver_root(recv) else {
+                return;
+            };
+            if !tl_names.iter().any(|n| n == root) || ctx.in_tests(e.line) {
+                return;
+            }
+            let mutation = if matches!(method.as_str(), "set" | "replace" | "borrow_mut") {
+                Some(method.clone())
+            } else if method == "with" {
+                let mut found = None;
+                for a in args {
+                    ast::walk_expr(a, &mut |inner: &Expr| {
+                        if let ExprKind::MethodCall { method: m, .. } = &inner.kind {
+                            if matches!(m.as_str(), "set" | "replace" | "borrow_mut")
+                                && found.is_none()
+                            {
+                                found = Some(m.clone());
+                            }
+                        }
+                    });
+                }
+                found
+            } else {
+                None
+            };
+            if let Some(m) = mutation {
+                ctx.push(
+                    out,
+                    "thread-local-discipline",
+                    e.line,
+                    format!(
+                        "raw `.{m}` on thread-local `{root}` can leak state across parallel workers; route the install through a scoped guard (see shc-obs `install_scoped`)"
+                    ),
+                );
+            }
+        });
+    }
+}
+
+/// `static NAME` occurrences inside `thread_local! { … }` item macros,
+/// recursing into modules.
+fn collect_thread_local_names(items: &[ast::Item], out: &mut Vec<String>) {
+    for item in items {
+        match &item.kind {
+            ItemKind::MacroItem { name, raw } if name == "thread_local" => {
+                let words: Vec<&str> = raw.split_whitespace().collect();
+                for w in words.windows(2) {
+                    if w[0] == "static" {
+                        out.push(w[1].to_string());
+                    }
+                }
+            }
+            ItemKind::Mod { items, .. } => collect_thread_local_names(items, out),
+            _ => {}
+        }
+    }
+}
+
+/// The function name when `e` is a call to one of [`GUARD_FNS`]
+/// (directly, through a path, or as a method).
+fn guard_call_name(e: &Expr) -> Option<&str> {
+    match &e.kind {
+        ExprKind::Call { callee, .. } => callee.path_tail().filter(|n| GUARD_FNS.contains(n)),
+        ExprKind::MethodCall { method, .. } if GUARD_FNS.contains(&method.as_str()) => {
+            Some(method.as_str())
+        }
+        _ => None,
+    }
+}
+
+/// Root identifier of a receiver chain: `FOO.with(…)` → `FOO`,
+/// `self.stack.borrow_mut()` → `self`.
+fn receiver_root(e: &Expr) -> Option<&str> {
+    match &e.kind {
+        ExprKind::Path { segments } => segments.last().map(String::as_str),
+        ExprKind::MethodCall { recv, .. }
+        | ExprKind::Field { base: recv, .. }
+        | ExprKind::Paren { expr: recv }
+        | ExprKind::Ref { expr: recv }
+        | ExprKind::Try { expr: recv } => receiver_root(recv),
+        _ => None,
+    }
+}
+
+/// `units`: workspace annotation maps plus per-function local inference
+/// (see [`crate::units`] for the algebra).
+fn units_rule(analyses: &[FileAnalysis<'_>], out: &mut Vec<Finding>) {
+    let by_path: HashMap<&str, &FileAnalysis<'_>> =
+        analyses.iter().map(|a| (a.ctx.path, a)).collect();
+
+    // Workspace field-name map. A name annotated with two different
+    // units in different structs is ambiguous and dropped.
+    let mut fields: HashMap<String, Unit> = HashMap::new();
+    let mut ambiguous: BTreeSet<String> = BTreeSet::new();
+    for a in analyses {
+        visit_structs(&a.ast.items, &mut |s: &ast::StructItem| {
+            for f in &s.fields {
+                let Some(ann) = units::field_annotation(&f.doc) else {
+                    continue;
+                };
+                match units::parse_unit(ann) {
+                    Some(u) => match fields.get(&f.name) {
+                        Some(prev) if *prev != u => {
+                            ambiguous.insert(f.name.clone());
+                        }
+                        _ => {
+                            fields.insert(f.name.clone(), u);
+                        }
+                    },
+                    None => a.ctx.push(
+                        out,
+                        "units",
+                        f.line,
+                        format!("unrecognized unit annotation `{ann}` (expected s, V, A, F, Ω/Ohm, 1, or a `*`/`/`/`^` compound)"),
+                    ),
+                }
+            }
+        });
+    }
+    for name in &ambiguous {
+        fields.remove(name);
+    }
+
+    let table = SymbolTable::build(
+        analyses.iter().map(|a| (a.ctx.path, &a.ast)),
+        &|path, line| by_path.get(path).is_some_and(|a| a.ctx.in_tests(line)),
+    );
+
+    // Return-unit map by fn name; conflicting annotations drop out.
+    let mut returns: HashMap<String, Unit> = HashMap::new();
+    let mut ret_ambiguous: BTreeSet<String> = BTreeSet::new();
+    for def in &table.defs {
+        for (target, ann) in units::fn_annotations(&def.item.doc) {
+            if target != "return" {
+                continue;
+            }
+            if let Some(u) = units::parse_unit(&ann) {
+                match returns.get(def.name()) {
+                    Some(prev) if *prev != u => {
+                        ret_ambiguous.insert(def.name().to_string());
+                    }
+                    _ => {
+                        returns.insert(def.name().to_string(), u);
+                    }
+                }
+            }
+        }
+    }
+    for name in &ret_ambiguous {
+        returns.remove(name);
+    }
+
+    // Per-function local inference, numeric crates only.
+    for def in &table.defs {
+        if def.in_tests || !in_solver_crate(def.file) {
+            continue;
+        }
+        let Some(body) = &def.item.body else { continue };
+        let ctx = &by_path[def.file].ctx;
+        let mut params: HashMap<String, Unit> = HashMap::new();
+        for (target, ann) in units::fn_annotations(&def.item.doc) {
+            if target == "return" {
+                continue;
+            }
+            match units::parse_unit(&ann) {
+                Some(u) => {
+                    if def.item.params.iter().any(|p| p.name == target) {
+                        params.insert(target, u);
+                    } else {
+                        ctx.push(
+                            out,
+                            "units",
+                            def.line,
+                            format!("`unit({target})` names no parameter of `{}`", def.name()),
+                        );
+                    }
+                }
+                None => ctx.push(
+                    out,
+                    "units",
+                    def.line,
+                    format!("unrecognized unit annotation `{ann}` on `{}`", def.name()),
+                ),
+            }
+        }
+        let mut env = units::UnitEnv::new(params, &fields, &returns);
+        env.check_stmts(&body.stmts);
+        for (line, message) in env.findings {
+            ctx.push(out, "units", line, message);
+        }
+    }
+}
+
+/// Structs at any module depth.
+fn visit_structs(items: &[ast::Item], f: &mut impl FnMut(&ast::StructItem)) {
+    for item in items {
+        match &item.kind {
+            ItemKind::Struct(s) => f(s),
+            ItemKind::Mod { items, .. } => visit_structs(items, f),
+            _ => {}
+        }
+    }
+}
+
+/// Every statement list in an item, recursing through nested blocks,
+/// closures, and control flow.
+fn visit_blocks(item: &ast::Item, f: &mut impl FnMut(&[Stmt])) {
+    fn expr_blocks(e: &Expr, f: &mut impl FnMut(&[Stmt])) {
+        ast::walk_expr(e, &mut |inner: &Expr| {
+            match &inner.kind {
+                ExprKind::Block(b)
+                | ExprKind::Loop { body: b }
+                | ExprKind::While { body: b, .. }
+                | ExprKind::For { body: b, .. } => f(&b.stmts),
+                ExprKind::If { then, .. } => f(&then.stmts),
+                _ => {}
+            };
+        });
+    }
+    match &item.kind {
+        ItemKind::Fn(fi) => {
+            if let Some(b) = &fi.body {
+                f(&b.stmts);
+                for stmt in &b.stmts {
+                    match stmt {
+                        Stmt::Let {
+                            init, else_block, ..
+                        } => {
+                            if let Some(i) = init {
+                                expr_blocks(i, f);
+                            }
+                            if let Some(eb) = else_block {
+                                f(&eb.stmts);
+                            }
+                        }
+                        Stmt::Expr { expr, .. } => expr_blocks(expr, f),
+                        Stmt::Item(sub) => visit_blocks(sub, f),
+                    }
+                }
+            }
+        }
+        ItemKind::Impl(ib) => {
+            for sub in &ib.items {
+                visit_blocks(sub, f);
+            }
+        }
+        ItemKind::Trait { items, .. } | ItemKind::Mod { items, .. } => {
+            for sub in items {
+                visit_blocks(sub, f);
+            }
+        }
+        ItemKind::Const { init: Some(e), .. } => expr_blocks(e, f),
+        _ => {}
+    }
+}
+
+/// Direct `shc-*` dependencies of each workspace crate, mirrored from
+/// the crates' `Cargo.toml` files. Name-based call resolution is
+/// pruned with this DAG: an edge from crate A into crate B is only
+/// kept when B is in A's transitive dependency closure, so a name
+/// collision cannot route a chain backwards through the workspace
+/// (e.g. `shc-core` "calling" a same-named fn in `shc-lint`). A crate
+/// missing from this table resolves permissively.
+const CRATE_DEPS: &[(&str, &[&str])] = &[
+    (
+        "bench",
+        &["cells", "core", "fault", "linalg", "obs", "spice"],
+    ),
+    ("cells", &["spice"]),
+    ("core", &["cells", "fault", "linalg", "obs", "spice"]),
+    ("fault", &[]),
+    ("linalg", &["fault", "obs"]),
+    ("lint", &["core"]),
+    ("obs", &[]),
+    ("spice", &["fault", "linalg", "obs"]),
+];
+
+fn crate_of(path: &str) -> Option<&str> {
+    path.strip_prefix("crates/")?.split('/').next()
+}
+
+/// Whether a fn in `caller_file` can structurally call one in
+/// `callee_file`: binaries and examples are link roots (never
+/// callees), and cross-crate edges must follow the dependency DAG.
+fn may_call(caller_file: &str, callee_file: &str) -> bool {
+    if callee_file.contains("/src/bin/") || callee_file.contains("/examples/") {
+        return false;
+    }
+    let (Some(a), Some(b)) = (crate_of(caller_file), crate_of(callee_file)) else {
+        return true;
+    };
+    if a == b {
+        return true;
+    }
+    let Some((_, direct)) = CRATE_DEPS.iter().find(|(c, _)| *c == a) else {
+        return true;
+    };
+    // The table lists direct deps; walk the closure (the DAG is tiny).
+    let mut stack: Vec<&str> = direct.to_vec();
+    let mut seen: Vec<&str> = Vec::new();
+    while let Some(c) = stack.pop() {
+        if c == b {
+            return true;
+        }
+        if seen.contains(&c) {
+            continue;
+        }
+        seen.push(c);
+        if let Some((_, more)) = CRATE_DEPS.iter().find(|(d, _)| *d == c) {
+            stack.extend(more.iter().copied());
+        }
+    }
+    false
+}
+
+/// `panic-reachability`: reverse reachability from every direct panic
+/// site over the conservative call graph; one finding per reachable
+/// public API of the solver crates, carrying the shortest chain.
+/// Returns the full report (including baselined APIs) for the CI
+/// artifact.
+fn panic_reachability(analyses: &[FileAnalysis<'_>], out: &mut Vec<Finding>) -> Vec<PanicApi> {
+    let by_path: HashMap<&str, &FileAnalysis<'_>> =
+        analyses.iter().map(|a| (a.ctx.path, a)).collect();
+    let table = SymbolTable::build(
+        analyses.iter().map(|a| (a.ctx.path, &a.ast)),
+        &|path, line| by_path.get(path).is_some_and(|a| a.ctx.in_tests(line)),
+    );
+    let cg = CallGraph::build(
+        &table,
+        &|path, line| by_path.get(path).is_some_and(|a| a.ctx.in_hot(line)),
+        &may_call,
+    );
+    let reachable = cg.panic_reachable();
+
+    let mut apis = Vec::new();
+    for def in &table.defs {
+        if !def.is_pub || def.in_tests || !in_solver_crate(def.file) {
+            continue;
+        }
+        if !reachable.contains(&def.id) {
+            continue;
+        }
+        let Some((path, site)) = cg.shortest_panic_chain(def.id) else {
+            continue;
+        };
+        let mut frames: Vec<String> = path
+            .iter()
+            .map(|&id| {
+                let d = &table.defs[id];
+                format!("{} ({}:{})", d.qualified_name(), d.file, d.line)
+            })
+            .collect();
+        let last = &table.defs[*path.last().unwrap_or(&def.id)];
+        frames.push(format!("{} ({}:{})", site.what, last.file, site.line));
+        let chain = frames.join(" -> ");
+        let api = def.qualified_name();
+        apis.push(PanicApi {
+            api: api.clone(),
+            file: def.file.to_string(),
+            line: def.line,
+            chain: chain.clone(),
+        });
+        let ctx = &by_path[def.file].ctx;
+        ctx.push_with_api(
+            out,
+            "panic-reachability",
+            def.line,
+            format!("public API `{api}` can reach a panic: {chain}"),
+            api,
+        );
+    }
+    apis
+}
+
 /// `telemetry-hygiene`: metric declarations, journal schema cross-checks,
 /// and the enabled()-gate requirement for journal-event construction.
-fn telemetry_hygiene(ws: &Workspace, ctxs: &[(FileCtx<'_>, &SourceFile)], out: &mut Vec<Finding>) {
-    let metric_file = ctxs.iter().find(|(c, _)| {
+fn telemetry_hygiene(ws: &Workspace, analyses: &[FileAnalysis<'_>], out: &mut Vec<Finding>) {
+    let metric_file = analyses.iter().map(|a| &a.ctx).find(|c| {
         c.path.ends_with("crates/obs/src/metric.rs") || c.path == "crates/obs/src/metric.rs"
     });
-    let journal_file = ctxs.iter().find(|(c, _)| {
+    let journal_file = analyses.iter().map(|a| &a.ctx).find(|c| {
         c.path.ends_with("crates/obs/src/journal.rs") || c.path == "crates/obs/src/journal.rs"
     });
 
     // --- Metric/SpanKind declarations ---------------------------------
     let mut declared: BTreeSet<&str> = BTreeSet::new();
-    if let Some((ctx, _)) = metric_file {
+    if let Some(ctx) = metric_file {
         let mut names: Vec<(&str, u32)> = Vec::new();
         let mut variants = 0usize;
         for enum_name in ["Metric", "SpanKind"] {
@@ -637,7 +1245,7 @@ fn telemetry_hygiene(ws: &Workspace, ctxs: &[(FileCtx<'_>, &SourceFile)], out: &
 
     // --- Journal schema: DESIGN.md table vs journal.rs vs construction ---
     let schema: Option<Vec<String>> = ws.design_md.as_deref().map(design_schema_keys);
-    if let (Some(schema), Some((jctx, _))) = (schema.as_ref(), journal_file) {
+    if let (Some(schema), Some(jctx)) = (schema.as_ref(), journal_file) {
         if schema.is_empty() {
             jctx.push(
                 out,
@@ -690,7 +1298,8 @@ fn telemetry_hygiene(ws: &Workspace, ctxs: &[(FileCtx<'_>, &SourceFile)], out: &
     let schema_set: Option<BTreeSet<&str>> = schema
         .as_ref()
         .map(|s| s.iter().map(String::as_str).collect());
-    for (ctx, _) in ctxs {
+    for a in analyses {
+        let ctx = &a.ctx;
         let in_obs = ctx.path.starts_with("crates/obs/");
         let code = &ctx.code;
         for i in 0..code.len() {
@@ -965,19 +1574,29 @@ mod tests {
     use super::*;
 
     fn run_one(path: &str, text: &str) -> Vec<Finding> {
-        run(&Workspace {
-            files: vec![SourceFile {
-                path: path.to_string(),
-                text: text.to_string(),
-            }],
-            design_md: None,
-        })
+        run(
+            &Workspace {
+                files: vec![SourceFile {
+                    path: path.to_string(),
+                    text: text.to_string(),
+                }],
+                design_md: None,
+            },
+            Parallelism::Serial,
+        )
+        .findings
     }
 
     #[test]
     fn unwrap_flagged_only_in_solver_crates() {
         let src = "pub fn f(x: Option<u8>) -> u8 { x.unwrap() }";
-        assert_eq!(run_one("crates/linalg/src/a.rs", src).len(), 1);
+        // In a solver crate the unwrap fires twice: the token-level
+        // `no-panic` site and the call-graph `panic-reachability` on
+        // the public API.
+        let f = run_one("crates/linalg/src/a.rs", src);
+        let mut rules: Vec<&str> = f.iter().map(|x| x.rule).collect();
+        rules.sort_unstable();
+        assert_eq!(rules, vec!["no-panic", "panic-reachability"], "{f:?}");
         assert_eq!(run_one("crates/cells/src/a.rs", src).len(), 0);
     }
 
@@ -995,10 +1614,12 @@ mod tests {
 
     #[test]
     fn allow_with_reason_suppresses_without_reason_errors() {
-        let with = "pub fn f(x: Option<u8>) -> u8 {\n    // lint: allow(no-panic, reason = \"checked above\")\n    x.unwrap()\n}\n";
+        // Non-pub so the call-graph panic-reachability rule (which only
+        // reports public APIs) stays out of this allow-semantics test.
+        let with = "fn f(x: Option<u8>) -> u8 {\n    // lint: allow(no-panic, reason = \"checked above\")\n    x.unwrap()\n}\n";
         assert!(run_one("crates/core/src/a.rs", with).is_empty());
         let without =
-            "pub fn f(x: Option<u8>) -> u8 {\n    // lint: allow(no-panic)\n    x.unwrap()\n}\n";
+            "fn f(x: Option<u8>) -> u8 {\n    // lint: allow(no-panic)\n    x.unwrap()\n}\n";
         let f = run_one("crates/core/src/a.rs", without);
         assert_eq!(f.len(), 1, "{f:?}");
         assert_eq!(f[0].rule, "lint-annotation");

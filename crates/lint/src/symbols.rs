@@ -1,0 +1,113 @@
+//! Workspace symbol table: every fn/method defined across the parsed
+//! workspace, indexed by name for the conservative call graph.
+//!
+//! Definitions borrow the per-file ASTs, so the table is rebuilt each
+//! run (cheap: one vector push per fn) and rules can walk bodies
+//! without cloning them.
+
+use crate::ast::{File, FnItem, Item, ItemKind};
+use std::collections::HashMap;
+
+/// One function or method definition. `container` is the impl
+/// self-type or enclosing trait name for methods, empty for free
+/// functions.
+#[derive(Debug, Clone, Copy)]
+pub struct FnDef<'a> {
+    pub file: &'a str,
+    pub line: u32,
+    pub container: &'a str,
+    pub is_pub: bool,
+    pub item: &'a FnItem,
+    /// Index into [`SymbolTable::defs`] — stable id used by the call
+    /// graph.
+    pub id: usize,
+    /// True when the definition sits inside a `#[cfg(test)]` region.
+    pub in_tests: bool,
+}
+
+impl FnDef<'_> {
+    pub fn name(&self) -> &str {
+        &self.item.name
+    }
+
+    /// `Container::name` for methods, bare `name` for free functions.
+    pub fn qualified_name(&self) -> String {
+        if self.container.is_empty() {
+            self.item.name.clone()
+        } else {
+            format!("{}::{}", self.container, self.item.name)
+        }
+    }
+}
+
+/// All function definitions in the workspace plus a name index.
+#[derive(Debug, Default)]
+pub struct SymbolTable<'a> {
+    pub defs: Vec<FnDef<'a>>,
+    /// name -> ids of every fn/method with that name. Trait impls and
+    /// inherent methods collapse together: resolution is conservative.
+    by_name: HashMap<&'a str, Vec<usize>>,
+}
+
+impl<'a> SymbolTable<'a> {
+    /// Builds the table from parsed files. `in_tests` decides, per
+    /// file and line, whether a definition is inside `#[cfg(test)]`.
+    pub fn build(
+        files: impl Iterator<Item = (&'a str, &'a File)>,
+        in_tests: &dyn Fn(&str, u32) -> bool,
+    ) -> Self {
+        let mut table = SymbolTable::default();
+        for (path, file) in files {
+            for item in &file.items {
+                table.collect_item(path, item, "", in_tests);
+            }
+        }
+        table
+    }
+
+    fn collect_item(
+        &mut self,
+        path: &'a str,
+        item: &'a Item,
+        container: &'a str,
+        in_tests: &dyn Fn(&str, u32) -> bool,
+    ) {
+        match &item.kind {
+            ItemKind::Fn(f) => {
+                let id = self.defs.len();
+                self.defs.push(FnDef {
+                    file: path,
+                    line: item.line,
+                    container,
+                    is_pub: f.is_pub,
+                    item: f,
+                    id,
+                    in_tests: in_tests(path, item.line),
+                });
+                self.by_name.entry(&f.name).or_default().push(id);
+            }
+            ItemKind::Impl(ib) => {
+                for sub in &ib.items {
+                    self.collect_item(path, sub, &ib.self_ty, in_tests);
+                }
+            }
+            ItemKind::Trait { name, items } => {
+                for sub in items {
+                    self.collect_item(path, sub, name, in_tests);
+                }
+            }
+            ItemKind::Mod { items, .. } => {
+                for sub in items {
+                    self.collect_item(path, sub, container, in_tests);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// All definitions sharing `name` (conservative over-approximation
+    /// of what a call to `name` might reach).
+    pub fn resolve(&self, name: &str) -> &[usize] {
+        self.by_name.get(name).map_or(&[], Vec::as_slice)
+    }
+}

@@ -1,0 +1,623 @@
+//! Physical-unit annotations and local unit inference.
+//!
+//! Quantities in the characterization stack are annotated in doc
+//! comments:
+//!
+//! ```text
+//! /// Setup skew.
+//! /// unit: s
+//! pub tau_s: f64,
+//! ```
+//!
+//! and on functions, per parameter and for the return value:
+//!
+//! ```text
+//! /// unit(dt): s
+//! /// unit(return): V
+//! fn slew(dt: f64) -> f64 { … }
+//! ```
+//!
+//! The grammar is `base ('^' int)? (('*'|'/') base ('^' int)?)*` over
+//! the base units `s`, `V`, `A`, the derived units `F` (= A·s/V) and
+//! `Ω` (= V/A, ASCII alias `Ohm`), and the dimensionless `1`. Units
+//! form exponent vectors over (s, V, A): `*` adds exponents, `/`
+//! subtracts, and `+`/`-`/comparisons demand equality. Inference is
+//! deliberately local and optimistic — an unannotated operand never
+//! fires a finding except when a dimensionful value is compared against
+//! a bare non-zero float literal (a magic number in physical clothing).
+
+use crate::ast::{Expr, ExprKind, Stmt};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Exponents over the base vector (seconds, volts, amperes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Unit {
+    pub s: i8,
+    pub v: i8,
+    pub a: i8,
+}
+
+pub const DIMENSIONLESS: Unit = Unit { s: 0, v: 0, a: 0 };
+pub const SECOND: Unit = Unit { s: 1, v: 0, a: 0 };
+pub const VOLT: Unit = Unit { s: 0, v: 1, a: 0 };
+pub const AMPERE: Unit = Unit { s: 0, v: 0, a: 1 };
+/// Farad: charge per volt = A·s / V.
+pub const FARAD: Unit = Unit { s: 1, v: -1, a: 1 };
+/// Ohm: volts per ampere.
+pub const OHM: Unit = Unit { s: 0, v: 1, a: -1 };
+
+// Not the std operator traits on purpose: unit composition is a plain
+// value computation inside the checker and `u1.mul(u2)` keeps the call
+// sites grep-able.
+#[allow(clippy::should_implement_trait)]
+impl Unit {
+    pub fn mul(self, rhs: Unit) -> Unit {
+        Unit {
+            s: self.s + rhs.s,
+            v: self.v + rhs.v,
+            a: self.a + rhs.a,
+        }
+    }
+
+    pub fn div(self, rhs: Unit) -> Unit {
+        Unit {
+            s: self.s - rhs.s,
+            v: self.v - rhs.v,
+            a: self.a - rhs.a,
+        }
+    }
+
+    pub fn pow(self, n: i8) -> Unit {
+        Unit {
+            s: self.s * n,
+            v: self.v * n,
+            a: self.a * n,
+        }
+    }
+
+    pub fn is_dimensionless(self) -> bool {
+        self == DIMENSIONLESS
+    }
+}
+
+impl fmt::Display for Unit {
+    /// Canonical rendering: numerator factors then `/` denominator,
+    /// e.g. `V/s`, `s^2`, `1`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut num: Vec<String> = Vec::new();
+        let mut den: Vec<String> = Vec::new();
+        for (sym, e) in [("s", self.s), ("V", self.v), ("A", self.a)] {
+            let (list, mag) = if e > 0 {
+                (&mut num, e)
+            } else if e < 0 {
+                (&mut den, -e)
+            } else {
+                continue;
+            };
+            if mag == 1 {
+                list.push(sym.to_string());
+            } else {
+                list.push(format!("{sym}^{mag}"));
+            }
+        }
+        if num.is_empty() && den.is_empty() {
+            return write!(f, "1");
+        }
+        let n = if num.is_empty() {
+            "1".to_string()
+        } else {
+            num.join("*")
+        };
+        if den.is_empty() {
+            write!(f, "{n}")
+        } else {
+            write!(f, "{}/{}", n, den.join("*"))
+        }
+    }
+}
+
+/// Parses an annotation body like `s`, `V/s`, `s^2`, `F`, `Ω`, `1`.
+/// Returns `None` on anything unrecognized (the rule reports those).
+pub fn parse_unit(text: &str) -> Option<Unit> {
+    let mut unit = DIMENSIONLESS;
+    let mut dividing = false;
+    let mut rest = text.trim();
+    if rest.is_empty() {
+        return None;
+    }
+    loop {
+        let (base, after) = take_base(rest)?;
+        let (exp, after) = take_exponent(after)?;
+        unit = if dividing {
+            unit.div(base.pow(exp))
+        } else {
+            unit.mul(base.pow(exp))
+        };
+        rest = after.trim_start();
+        if rest.is_empty() {
+            return Some(unit);
+        }
+        let op = rest.chars().next()?;
+        match op {
+            '*' | '·' => dividing = false,
+            '/' => dividing = true,
+            _ => return None,
+        }
+        rest = rest[op.len_utf8()..].trim_start();
+    }
+}
+
+fn take_base(s: &str) -> Option<(Unit, &str)> {
+    for (name, unit) in [
+        ("Ohm", OHM),
+        ("Ω", OHM),
+        ("s", SECOND),
+        ("V", VOLT),
+        ("A", AMPERE),
+        ("F", FARAD),
+        ("1", DIMENSIONLESS),
+    ] {
+        if let Some(rest) = s.strip_prefix(name) {
+            // `s` must not eat the head of a longer identifier.
+            if rest
+                .chars()
+                .next()
+                .is_none_or(|c| !c.is_ascii_alphanumeric())
+                || name == "1"
+            {
+                return Some((unit, rest));
+            }
+        }
+    }
+    None
+}
+
+fn take_exponent(s: &str) -> Option<(i8, &str)> {
+    let Some(rest) = s.strip_prefix('^') else {
+        return Some((1, s));
+    };
+    let (sign, rest) = match rest.strip_prefix('-') {
+        Some(r) => (-1i8, r),
+        None => (1i8, rest),
+    };
+    let digits: String = rest.chars().take_while(char::is_ascii_digit).collect();
+    if digits.is_empty() {
+        return None;
+    }
+    let n: i8 = digits.parse().ok()?;
+    Some((sign * n, &rest[digits.len()..]))
+}
+
+/// Extracts `unit: X` from a field's doc lines.
+pub fn field_annotation(doc: &[String]) -> Option<&str> {
+    doc.iter()
+        .find_map(|l| l.trim().strip_prefix("unit:"))
+        .map(str::trim)
+}
+
+/// Extracts `unit(name): X` entries from a fn's doc lines; `return`
+/// names the return value.
+pub fn fn_annotations(doc: &[String]) -> Vec<(String, String)> {
+    let mut out = Vec::new();
+    for line in doc {
+        let line = line.trim();
+        let Some(rest) = line.strip_prefix("unit(") else {
+            continue;
+        };
+        let Some((name, after)) = rest.split_once(')') else {
+            continue;
+        };
+        let Some(ann) = after.trim_start().strip_prefix(':') else {
+            continue;
+        };
+        out.push((name.trim().to_string(), ann.trim().to_string()));
+    }
+    out
+}
+
+/// A unit finding produced during inference: `(line, message)`.
+pub type UnitFinding = (u32, String);
+
+/// Local inference over one function body.
+pub struct UnitEnv<'a> {
+    /// Parameter and `let`-bound local units.
+    locals: HashMap<String, Unit>,
+    /// Workspace-wide field-name map (unambiguous names only).
+    fields: &'a HashMap<String, Unit>,
+    /// Return units of workspace fns by name (unambiguous only).
+    returns: &'a HashMap<String, Unit>,
+    pub findings: Vec<UnitFinding>,
+}
+
+/// Methods that preserve the unit of their receiver.
+const UNIT_PRESERVING: &[&str] = &[
+    "abs", "max", "min", "clamp", "floor", "ceil", "round", "copysign", "signum", "to_owned",
+    "clone",
+];
+
+impl<'a> UnitEnv<'a> {
+    pub fn new(
+        params: HashMap<String, Unit>,
+        fields: &'a HashMap<String, Unit>,
+        returns: &'a HashMap<String, Unit>,
+    ) -> Self {
+        UnitEnv {
+            locals: params,
+            fields,
+            returns,
+            findings: Vec::new(),
+        }
+    }
+
+    /// Infers units across a whole statement list, binding `let` names
+    /// as it goes and reporting mismatches into `self.findings`.
+    pub fn check_stmts(&mut self, stmts: &[Stmt]) {
+        for stmt in stmts {
+            match stmt {
+                Stmt::Let {
+                    name,
+                    init,
+                    else_block,
+                    ..
+                } => {
+                    let unit = init.as_ref().and_then(|e| self.infer(e));
+                    if let (Some(n), Some(u)) = (name, unit) {
+                        self.locals.insert(n.clone(), u);
+                    }
+                    if let Some(b) = else_block {
+                        self.check_stmts(&b.stmts);
+                    }
+                }
+                Stmt::Expr { expr, .. } => {
+                    self.infer(expr);
+                }
+                Stmt::Item(_) => {}
+            }
+        }
+    }
+
+    /// Recursive inference; emits findings as a side effect. `None`
+    /// means "unknown", which never fires on its own.
+    pub fn infer(&mut self, e: &Expr) -> Option<Unit> {
+        match &e.kind {
+            ExprKind::Lit { is_float, text } => {
+                // Integer literals are counts; floats are unknown
+                // magnitudes (possibly unit-polymorphic zeros).
+                if *is_float {
+                    None
+                } else {
+                    let _ = text;
+                    Some(DIMENSIONLESS)
+                }
+            }
+            ExprKind::Path { segments } => {
+                if segments.len() == 1 {
+                    self.locals.get(&segments[0]).copied()
+                } else {
+                    None
+                }
+            }
+            ExprKind::Field { base, name } => {
+                self.infer(base);
+                self.fields.get(name).copied()
+            }
+            ExprKind::Unary { expr, .. }
+            | ExprKind::Paren { expr }
+            | ExprKind::Ref { expr }
+            | ExprKind::Try { expr }
+            | ExprKind::Cast { expr } => self.infer(expr),
+            ExprKind::Binary { op, lhs, rhs } => self.infer_binary(e.line, op, lhs, rhs),
+            ExprKind::Assign { lhs, rhs, op } => {
+                let lu = self.infer(lhs);
+                let ru = self.infer(rhs);
+                if op == "=" || op == "+=" || op == "-=" {
+                    if let (Some(a), Some(b)) = (lu, ru) {
+                        if a != b {
+                            self.findings
+                                .push((e.line, format!("assignment mixes units `{a}` and `{b}`")));
+                        }
+                    }
+                }
+                None
+            }
+            ExprKind::MethodCall { recv, method, args } => {
+                let ru = self.infer(recv);
+                for a in args {
+                    self.infer(a);
+                }
+                if UNIT_PRESERVING.contains(&method.as_str()) {
+                    ru
+                } else if method == "sqrt" {
+                    ru.and_then(|u| {
+                        (u.s % 2 == 0 && u.v % 2 == 0 && u.a % 2 == 0).then_some(Unit {
+                            s: u.s / 2,
+                            v: u.v / 2,
+                            a: u.a / 2,
+                        })
+                    })
+                } else if method == "powi" || method == "powf" {
+                    None
+                } else {
+                    self.returns.get(method).copied()
+                }
+            }
+            ExprKind::Call { callee, args } => {
+                for a in args {
+                    self.infer(a);
+                }
+                callee
+                    .path_tail()
+                    .and_then(|name| self.returns.get(name).copied())
+            }
+            ExprKind::If {
+                cond, then, else_, ..
+            } => {
+                self.infer(cond);
+                self.check_stmts(&then.stmts);
+                if let Some(el) = else_ {
+                    self.infer(el);
+                }
+                None
+            }
+            ExprKind::While { cond, body } => {
+                self.infer(cond);
+                self.check_stmts(&body.stmts);
+                None
+            }
+            ExprKind::Loop { body } | ExprKind::Block(body) => {
+                self.check_stmts(&body.stmts);
+                None
+            }
+            ExprKind::For { iter, body } => {
+                self.infer(iter);
+                self.check_stmts(&body.stmts);
+                None
+            }
+            ExprKind::Match { scrutinee, arms } => {
+                self.infer(scrutinee);
+                for arm in arms {
+                    if let Some(g) = &arm.guard {
+                        self.infer(g);
+                    }
+                    self.infer(&arm.body);
+                }
+                None
+            }
+            ExprKind::Closure { body } => {
+                self.infer(body);
+                None
+            }
+            ExprKind::StructLit { fields, base, .. } => {
+                for (name, value) in fields {
+                    if let Some(v) = value {
+                        let vu = self.infer(v);
+                        if let (Some(fu), Some(vu)) = (self.fields.get(name).copied(), vu) {
+                            if fu != vu {
+                                self.findings.push((
+                                    e.line,
+                                    format!(
+                                        "field `{name}` expects unit `{fu}` but initializer has `{vu}`"
+                                    ),
+                                ));
+                            }
+                        }
+                    }
+                }
+                if let Some(b) = base {
+                    self.infer(b);
+                }
+                None
+            }
+            ExprKind::Tuple { elems } | ExprKind::Array { elems } => {
+                for el in elems {
+                    self.infer(el);
+                }
+                None
+            }
+            ExprKind::Repeat { elem, len } => {
+                self.infer(elem);
+                self.infer(len);
+                None
+            }
+            ExprKind::Range { lo, hi } => {
+                if let Some(l) = lo {
+                    self.infer(l);
+                }
+                if let Some(h) = hi {
+                    self.infer(h);
+                }
+                None
+            }
+            ExprKind::Index { base, index } => {
+                let bu = self.infer(base);
+                self.infer(index);
+                // Indexing a slice of annotated quantities keeps the
+                // element unit only when the base itself carries one.
+                bu
+            }
+            ExprKind::Return { value } | ExprKind::Break { value } => {
+                if let Some(v) = value {
+                    self.infer(v);
+                }
+                None
+            }
+            ExprKind::MacroCall { .. }
+            | ExprKind::StrLit
+            | ExprKind::Continue
+            | ExprKind::Other => None,
+        }
+    }
+
+    fn infer_binary(&mut self, line: u32, op: &str, lhs: &Expr, rhs: &Expr) -> Option<Unit> {
+        let lu = self.infer(lhs);
+        let ru = self.infer(rhs);
+        match op {
+            "*" => match (lu, ru) {
+                (Some(a), Some(b)) => Some(a.mul(b)),
+                _ => None,
+            },
+            "/" => match (lu, ru) {
+                (Some(a), Some(b)) => Some(a.div(b)),
+                _ => None,
+            },
+            "+" | "-" => match (lu, ru) {
+                (Some(a), Some(b)) if a != b => {
+                    self.findings
+                        .push((line, format!("`{op}` mixes units `{a}` and `{b}`")));
+                    None
+                }
+                (Some(a), Some(_)) => Some(a),
+                (Some(a), None) | (None, Some(a)) => Some(a),
+                (None, None) => None,
+            },
+            "==" | "!=" | "<" | ">" | "<=" | ">=" => {
+                match (lu, ru) {
+                    (Some(a), Some(b)) if a != b => {
+                        self.findings
+                            .push((line, format!("comparison mixes units `{a}` and `{b}`")));
+                    }
+                    (Some(u), None) if !u.is_dimensionless() => {
+                        self.flag_magic_literal(line, u, rhs);
+                    }
+                    (None, Some(u)) if !u.is_dimensionless() => {
+                        self.flag_magic_literal(line, u, lhs);
+                    }
+                    _ => {}
+                }
+                Some(DIMENSIONLESS)
+            }
+            _ => None,
+        }
+    }
+
+    /// A dimensionful quantity compared against a bare non-zero float
+    /// literal: the literal silently assumes the unit.
+    fn flag_magic_literal(&mut self, line: u32, unit: Unit, other: &Expr) {
+        if let ExprKind::Lit { text, is_float } = &other.kind {
+            if *is_float && !is_zero_literal(text) {
+                self.findings.push((
+                    line,
+                    format!(
+                        "quantity with unit `{unit}` compared against bare literal `{text}`; \
+                         name it as a documented constant with a `/// unit:` annotation"
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// `0.0`, `0.`, `0e0`, `0_000.0` — floats with an all-zero mantissa
+/// (unit-polymorphic and never a magic tolerance).
+pub fn is_zero_literal(text: &str) -> bool {
+    let mantissa = text
+        .split(['e', 'E'])
+        .next()
+        .unwrap_or(text)
+        .replace('_', "");
+    mantissa.chars().all(|c| matches!(c, '0' | '.' | '-' | '+'))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_base_derived_and_compound_units() {
+        assert_eq!(parse_unit("s"), Some(SECOND));
+        assert_eq!(parse_unit("V"), Some(VOLT));
+        assert_eq!(parse_unit("A"), Some(AMPERE));
+        assert_eq!(parse_unit("F"), Some(FARAD));
+        assert_eq!(parse_unit("Ω"), Some(OHM));
+        assert_eq!(parse_unit("Ohm"), Some(OHM));
+        assert_eq!(parse_unit("1"), Some(DIMENSIONLESS));
+        assert_eq!(parse_unit("V/s"), Some(VOLT.div(SECOND)));
+        assert_eq!(parse_unit("s^2"), Some(SECOND.mul(SECOND)));
+        assert_eq!(parse_unit("V*A"), Some(VOLT.mul(AMPERE)));
+        assert_eq!(parse_unit("F*Ohm"), Some(SECOND)); // RC time constant
+        assert_eq!(parse_unit("seconds"), None);
+        assert_eq!(parse_unit("bogus"), None);
+    }
+
+    #[test]
+    fn display_is_canonical() {
+        assert_eq!(SECOND.to_string(), "s");
+        assert_eq!(VOLT.div(SECOND).to_string(), "V/s");
+        assert_eq!(SECOND.mul(SECOND).to_string(), "s^2");
+        assert_eq!(DIMENSIONLESS.to_string(), "1");
+        assert_eq!(FARAD.to_string(), "s*A/V");
+    }
+
+    #[test]
+    fn annotation_extraction() {
+        let doc = vec!["Setup skew.".to_string(), "unit: s".to_string()];
+        assert_eq!(field_annotation(&doc), Some("s"));
+        let fn_doc = vec![
+            "Slew rate.".to_string(),
+            "unit(dt): s".to_string(),
+            "unit(return): V/s".to_string(),
+        ];
+        let anns = fn_annotations(&fn_doc);
+        assert_eq!(anns.len(), 2);
+        assert_eq!(anns[0], ("dt".to_string(), "s".to_string()));
+        assert_eq!(anns[1], ("return".to_string(), "V/s".to_string()));
+    }
+
+    fn run_body(src: &str, params: &[(&str, Unit)]) -> Vec<UnitFinding> {
+        use crate::lexer::lex;
+        use crate::parser::parse_file;
+        let full = format!("fn probe() {{ {src} }}");
+        let file = parse_file(&full, &lex(&full));
+        assert!(file.diagnostics.is_empty(), "{:?}", file.diagnostics);
+        let crate::ast::ItemKind::Fn(f) = &file.items[0].kind else {
+            panic!()
+        };
+        let fields = HashMap::new();
+        let returns = HashMap::new();
+        let mut env = UnitEnv::new(
+            params.iter().map(|(n, u)| ((*n).to_string(), *u)).collect(),
+            &fields,
+            &returns,
+        );
+        env.check_stmts(&f.body.as_ref().unwrap().stmts);
+        env.findings
+    }
+
+    #[test]
+    fn addition_of_mismatched_units_fires() {
+        let f = run_body("let _x = t + v;", &[("t", SECOND), ("v", VOLT)]);
+        assert_eq!(f.len(), 1);
+        assert!(
+            f[0].1.contains("`s`") && f[0].1.contains("`V`"),
+            "{}",
+            f[0].1
+        );
+    }
+
+    #[test]
+    fn division_composes_instead_of_firing() {
+        let f = run_body(
+            "let r = v / i; let _p = r * i;",
+            &[("v", VOLT), ("i", AMPERE)],
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn magic_literal_comparison_fires_but_zero_is_fine() {
+        let f = run_body("if t > 0.35 { }", &[("t", SECOND)]);
+        assert_eq!(f.len(), 1, "{f:?}");
+        let f = run_body("if t > 0.0 { }", &[("t", SECOND)]);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn let_binding_propagates_units() {
+        let f = run_body(
+            "let dt = a - b; if dt > 1.5 { }",
+            &[("a", SECOND), ("b", SECOND)],
+        );
+        assert_eq!(f.len(), 1, "{f:?}");
+    }
+}

@@ -3,7 +3,7 @@
 // itself an error because it carries no reason.
 // Linted as if it lived at crates/core/src/.
 
-pub fn suppressed_without_reason(x: Option<u8>) -> u8 {
+fn suppressed_without_reason(x: Option<u8>) -> u8 {
     // lint: allow(no-panic)
     x.unwrap()
 }

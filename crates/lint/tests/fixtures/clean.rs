@@ -14,7 +14,7 @@ pub fn tricky_strings() -> &'static str {
     }
 }
 
-pub fn allowed_with_reason(x: Option<u8>) -> u8 {
+fn allowed_with_reason(x: Option<u8>) -> u8 {
     // lint: allow(no-panic, reason = "fixture demonstrates a justified escape hatch")
     x.unwrap()
 }

@@ -1,0 +1,13 @@
+// Fixture: must trigger `panic-reachability` on the public API only —
+// the direct site's `no-panic` finding is suppressed by an allow, but
+// the transitive reachability of `api` is not.
+// Linted as if it lived at crates/core/src/.
+
+pub fn api(x: Option<u8>) -> u8 {
+    helper(x)
+}
+
+fn helper(x: Option<u8>) -> u8 {
+    // lint: allow(no-panic, reason = "fixture: the chain is the subject")
+    x.unwrap()
+}

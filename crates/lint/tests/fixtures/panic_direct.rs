@@ -1,0 +1,9 @@
+// Fixture: must trigger `panic-reachability` anchored at the public
+// API when the panic site sits in its own body; clean outside the
+// solver crates.
+// Linted as if it lived at crates/linalg/src/.
+
+pub fn direct(x: Option<u8>) -> u8 {
+    // lint: allow(no-panic, reason = "fixture: the chain is the subject")
+    x.unwrap()
+}

@@ -1,14 +1,14 @@
 // Fixture: must trigger `no-panic` (three sites) and nothing else.
 // Linted as if it lived at crates/core/src/.
 
-pub fn unwrap_site(x: Option<u8>) -> u8 {
+fn unwrap_site(x: Option<u8>) -> u8 {
     x.unwrap()
 }
 
-pub fn expect_site(x: Result<u8, ()>) -> u8 {
+fn expect_site(x: Result<u8, ()>) -> u8 {
     x.expect("fixture")
 }
 
-pub fn panic_site() {
+fn panic_site() {
     panic!("fixture");
 }

@@ -1,0 +1,13 @@
+// Fixture: must trigger `thread-local-discipline` once — a raw `.set`
+// on a locally declared thread-local outside the owning modules.
+// Linted as if it lived at crates/core/src/.
+
+use std::cell::Cell;
+
+thread_local! {
+    static DEPTH: Cell<u64> = const { Cell::new(0) };
+}
+
+fn bump() {
+    DEPTH.with(|c| c.set(c.get() + 1));
+}

@@ -1,0 +1,23 @@
+// Fixture: must trigger `tolerance-hygiene` twice — inline float
+// tolerances in loop convergence predicates. Clean when linted at a
+// path outside the designated solver-loop files.
+// Linted as if it lived at crates/core/src/mpnr.rs.
+
+fn converge(mut x: f64) -> f64 {
+    while x.abs() > 1e-9 {
+        x *= 0.5;
+    }
+    x
+}
+
+fn fixed(mut err: f64, tol: f64) -> u32 {
+    let mut n = 0;
+    loop {
+        if err < 2.0 * tol {
+            break;
+        }
+        err *= 0.5;
+        n += 1;
+    }
+    n
+}

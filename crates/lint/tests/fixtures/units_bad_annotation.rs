@@ -1,0 +1,8 @@
+// Fixture: must trigger `units` once — the annotation does not parse
+// as a unit expression.
+// Linted as if it lived at crates/spice/src/.
+
+pub struct Bad {
+    /// unit: parsec
+    pub distance: f64,
+}

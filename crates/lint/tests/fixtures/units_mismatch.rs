@@ -1,0 +1,18 @@
+// Fixture: must trigger `units` twice — adding seconds to volts, and
+// comparing a dimensionful field against a bare magic literal.
+// Linted as if it lived at crates/core/src/.
+
+pub struct Reading {
+    /// unit: s
+    pub tau: f64,
+    /// unit: V
+    pub level: f64,
+}
+
+fn mixed(r: &Reading) -> f64 {
+    r.tau + r.level
+}
+
+fn magic(r: &Reading) -> bool {
+    r.tau < 1.5e-12
+}

@@ -1,26 +1,34 @@
-//! Fixture-based rule tests plus the workspace self-check.
+//! Fixture-based rule tests plus the workspace self-checks.
 //!
 //! Each fixture under `tests/fixtures/` is a known-bad (or known-clean)
 //! snippet; it must trigger exactly its intended rule and nothing else,
-//! with correct `file:line` anchors. The self-check runs the full lint
-//! over the real workspace and asserts zero non-baselined findings — so
+//! with correct `file:line` anchors. The self-checks run the full lint
+//! over the real workspace: every src/ file must parse with zero
+//! diagnostics and byte-tight spans, serial and parallel runs must be
+//! byte-identical, and there must be no non-baselined findings — so
 //! `cargo test` alone catches lint regressions locally.
 
 use std::collections::BTreeSet;
 use std::path::Path;
 
+use shc_core::parallel::Parallelism;
 use shc_lint::driver;
 use shc_lint::rules::{self, SourceFile, Workspace};
+use shc_lint::{ast, lexer, parser};
 
 /// Lints one fixture as if it lived at `path` inside the workspace.
 fn lint_fixture(path: &str, text: &str) -> Vec<shc_lint::report::Finding> {
-    rules::run(&Workspace {
-        files: vec![SourceFile {
-            path: path.to_string(),
-            text: text.to_string(),
-        }],
-        design_md: None,
-    })
+    rules::run(
+        &Workspace {
+            files: vec![SourceFile {
+                path: path.to_string(),
+                text: text.to_string(),
+            }],
+            design_md: None,
+        },
+        Parallelism::Serial,
+    )
+    .findings
 }
 
 /// Asserts every finding is `rule`, anchored in `path`, at exactly `lines`.
@@ -141,6 +149,162 @@ fn clean_fixture_produces_zero_findings() {
     assert!(findings.is_empty(), "{findings:#?}");
 }
 
+#[test]
+fn transitive_panic_chain_triggers_panic_reachability() {
+    let findings = lint_fixture(
+        "crates/core/src/fixture.rs",
+        include_str!("fixtures/panic_chain.rs"),
+    );
+    assert_only(
+        &findings,
+        "panic-reachability",
+        "crates/core/src/fixture.rs",
+        &[6],
+    );
+    assert_eq!(findings[0].api.as_deref(), Some("api"));
+    assert!(
+        findings[0].message.contains("helper") && findings[0].message.contains("unwrap()"),
+        "chain must walk through the helper to the site: {}",
+        findings[0].message
+    );
+}
+
+#[test]
+fn direct_panic_site_triggers_panic_reachability_in_solver_crates_only() {
+    let findings = lint_fixture(
+        "crates/linalg/src/fixture.rs",
+        include_str!("fixtures/panic_direct.rs"),
+    );
+    assert_only(
+        &findings,
+        "panic-reachability",
+        "crates/linalg/src/fixture.rs",
+        &[6],
+    );
+    let outside = lint_fixture(
+        "crates/cells/src/fixture.rs",
+        include_str!("fixtures/panic_direct.rs"),
+    );
+    assert!(outside.is_empty(), "{outside:#?}");
+}
+
+#[test]
+fn unit_mismatch_and_magic_literal_trigger_units() {
+    let findings = lint_fixture(
+        "crates/core/src/fixture.rs",
+        include_str!("fixtures/units_mismatch.rs"),
+    );
+    assert_only(&findings, "units", "crates/core/src/fixture.rs", &[13, 17]);
+}
+
+#[test]
+fn unparseable_annotation_triggers_units() {
+    let findings = lint_fixture(
+        "crates/spice/src/fixture.rs",
+        include_str!("fixtures/units_bad_annotation.rs"),
+    );
+    assert_only(&findings, "units", "crates/spice/src/fixture.rs", &[7]);
+}
+
+#[test]
+fn raw_thread_local_set_triggers_discipline() {
+    let findings = lint_fixture(
+        "crates/core/src/fixture.rs",
+        include_str!("fixtures/thread_local_raw_set.rs"),
+    );
+    assert_only(
+        &findings,
+        "thread-local-discipline",
+        "crates/core/src/fixture.rs",
+        &[12],
+    );
+}
+
+#[test]
+fn discarded_guards_trigger_discipline() {
+    let findings = lint_fixture(
+        "crates/core/src/fixture.rs",
+        include_str!("fixtures/thread_local_guard_drop.rs"),
+    );
+    assert_only(
+        &findings,
+        "thread-local-discipline",
+        "crates/core/src/fixture.rs",
+        &[6, 7],
+    );
+}
+
+#[test]
+fn inline_tolerances_trigger_hygiene_in_designated_files_only() {
+    let findings = lint_fixture(
+        "crates/core/src/mpnr.rs",
+        include_str!("fixtures/tolerance_magic.rs"),
+    );
+    assert_only(
+        &findings,
+        "tolerance-hygiene",
+        "crates/core/src/mpnr.rs",
+        &[7, 16],
+    );
+    let outside = lint_fixture(
+        "crates/core/src/other.rs",
+        include_str!("fixtures/tolerance_magic.rs"),
+    );
+    assert!(outside.is_empty(), "{outside:#?}");
+}
+
+/// Every real src/ file must parse with zero diagnostics, and every
+/// recorded span must be a byte-tight slice of its source (in bounds,
+/// no leading/trailing whitespace).
+#[test]
+fn whole_workspace_parses_clean_with_tight_spans() {
+    let root = driver::find_root(Path::new(env!("CARGO_MANIFEST_DIR")))
+        .expect("workspace root above crates/lint");
+    let ws = driver::collect_workspace(&root).expect("workspace loads");
+    assert!(ws.files.len() > 50, "only {} files found", ws.files.len());
+    for file in &ws.files {
+        let toks = lexer::lex(&file.text);
+        let parsed = parser::parse_file(&file.text, &toks);
+        assert!(
+            parsed.diagnostics.is_empty(),
+            "{} has parse diagnostics: {:?}",
+            file.path,
+            parsed.diagnostics
+        );
+        for span in ast::collect_spans(&parsed) {
+            assert!(
+                span.start <= span.end && span.end <= file.text.len(),
+                "{}: span {span:?} out of bounds",
+                file.path
+            );
+            let slice = &file.text[span.start..span.end];
+            assert_eq!(
+                slice,
+                slice.trim(),
+                "{}: span {span:?} is not token-tight",
+                file.path
+            );
+        }
+    }
+}
+
+/// Serial and parallel runs over the real workspace must agree on the
+/// ordered findings and on the exact JSON report bytes.
+#[test]
+fn serial_and_parallel_runs_are_byte_identical() {
+    let root = driver::find_root(Path::new(env!("CARGO_MANIFEST_DIR")))
+        .expect("workspace root above crates/lint");
+    let ws = driver::collect_workspace(&root).expect("workspace loads");
+    let serial = rules::run(&ws, Parallelism::Serial);
+    let parallel = rules::run(&ws, Parallelism::Auto);
+    assert_eq!(serial.findings, parallel.findings);
+    assert_eq!(serial.panic_apis, parallel.panic_apis);
+    let json = |out: &rules::RunOutput| {
+        shc_lint::report::render_json(&out.findings, 0, ws.files.len(), &out.panic_apis)
+    };
+    assert_eq!(json(&serial).into_bytes(), json(&parallel).into_bytes());
+}
+
 /// The committed tree must lint clean: all hard rules pass and the
 /// ratcheted rules sit at or below `lint-baseline.json`.
 #[test]
@@ -174,14 +338,14 @@ fn ratchet_lifecycle_on_synthetic_workspace() {
     let src = dir.join("crates/core/src");
     std::fs::create_dir_all(&src).expect("mkdir");
     std::fs::write(dir.join("Cargo.toml"), "[workspace]\n").expect("write");
-    let one = "pub fn f(x: Option<u8>) -> u8 { x.unwrap() }\n";
-    let two = "pub fn f(x: Option<u8>) -> u8 { x.unwrap() }\npub fn g(x: Option<u8>) -> u8 { x.unwrap() }\n";
+    let one = "fn f(x: Option<u8>) -> u8 { x.unwrap() }\n";
+    let two =
+        "fn f(x: Option<u8>) -> u8 { x.unwrap() }\nfn g(x: Option<u8>) -> u8 { x.unwrap() }\n";
     std::fs::write(src.join("lib.rs"), one).expect("write");
 
     let opts = driver::CheckOptions {
-        json: false,
-        update_baseline: false,
         root: Some(dir.clone()),
+        ..Default::default()
     };
     assert_eq!(driver::run_check(&opts), 1, "fresh violation must fail");
 

@@ -12,6 +12,7 @@ pub struct Capacitor {
     name: String,
     a: Node,
     b: Node,
+    /// unit: F
     capacitance: f64,
 }
 

@@ -75,6 +75,22 @@ fn with_lu_fault_retries<T, E>(
 /// to the same floor value forever instead of engaging the floor policy.
 const DT_FLOOR_SLACK: f64 = 1.0 + 1e-9;
 
+/// Relative endpoint slack for the outer time loop: integration stops
+/// once `t_prev` is within this fraction of `tstop` (scaled by
+/// `tstop.max(1.0)` so a zero-length window still terminates). Guards
+/// against a final ulp-sized step that Newton would reject.
+const TSTOP_ENDPOINT_SLACK: f64 = 1e-18;
+
+/// A step is accepted when the weighted LTE norm is at or below this
+/// value — the norm is already scaled by `lte_reltol`/`lte_abstol`, so
+/// 1.0 means "error exactly at tolerance".
+const LTE_ACCEPT_NORM: f64 = 1.0;
+
+/// Below this weighted LTE norm the step size is allowed to grow: the
+/// error is far enough under tolerance that a larger step will likely
+/// still be accepted, and re-stamping cost dominates.
+const LTE_GROW_NORM: f64 = 0.2;
+
 /// Time-integration method.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Integrator {
@@ -562,7 +578,7 @@ impl<'a> TransientAnalysis<'a> {
 
         let mut dt = opts.dt.min(opts.tstop);
 
-        while t_prev < opts.tstop - 1e-18 * opts.tstop.max(1.0) {
+        while t_prev < opts.tstop - TSTOP_ENDPOINT_SLACK * opts.tstop.max(1.0) {
             let t_new = (t_prev + dt).min(opts.tstop);
             let dt_eff = t_new - t_prev;
 
@@ -690,7 +706,7 @@ impl<'a> TransientAnalysis<'a> {
                         lte_err.copy_from(x_new);
                         lte_err.axpy(-1.0, lte_pred);
                         let norm = lte_err.weighted_norm(x_new, opts.lte_reltol, opts.lte_abstol);
-                        if norm > 1.0 {
+                        if norm > LTE_ACCEPT_NORM {
                             if dt_eff > opts.dt_min * DT_FLOOR_SLACK {
                                 dt = (dt_eff * 0.5).max(opts.dt_min);
                                 stats.rejected_steps += 1;
@@ -707,7 +723,7 @@ impl<'a> TransientAnalysis<'a> {
                                 rejected_steps: stats.rejected_steps,
                             });
                         }
-                        if norm < 0.2 {
+                        if norm < LTE_GROW_NORM {
                             dt = (dt_eff * 1.5).min(opts.dt_max);
                         }
                     }

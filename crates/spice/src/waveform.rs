@@ -32,8 +32,10 @@ impl Param {
 #[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
 pub struct Params {
     /// Setup skew `τs` in seconds.
+    /// unit: s
     pub tau_s: f64,
     /// Hold skew `τh` in seconds.
+    /// unit: s
     pub tau_h: f64,
 }
 
