@@ -1,0 +1,179 @@
+//! Dense-vs-sparse wall-time benchmark for CI.
+//!
+//! Two measurements, both gated:
+//!
+//! 1. **Register bank** (the >100-unknown cell-zoo workload): the same
+//!    capture transient runs once per solver backend; the sparse-direct
+//!    path must be at least [`MIN_BANK_SPEEDUP`]× faster than the dense
+//!    one, and the two final states must agree to solver tolerance.
+//! 2. **Seed cells** (TSPC, C²MOS, TG, D-latch): a 12-point contour traced
+//!    with the default auto dispatch must be no slower than the forced
+//!    dense path beyond a generous noise allowance — auto keeps small
+//!    circuits dense, so this is a dispatch-overhead canary.
+//!
+//! Writes `BENCH_sparse.json` with the measured wall times.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p shc-bench --bin bench_sparse
+//! cargo run --release -p shc-bench --bin bench_sparse -- --out BENCH_sparse.json
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Instant;
+
+use shc_bench::{bank_register, d_latch_problem, run_bank_transient, Cell, Timing};
+use shc_obs::json;
+use shc_spice::SolverChoice;
+
+/// Bank width for the wall-time comparison: twice the cell default, deep
+/// into the regime where the dense `O(n³)` refactor dominates each step.
+const BANK_BITS: usize = 32;
+/// Required sparse speedup on the register-bank transient.
+const MIN_BANK_SPEEDUP: f64 = 3.0;
+/// Auto may be at most this factor slower than dense on seed cells
+/// (pure timer noise: the two runs execute the same dense code).
+const MAX_SEED_SLOWDOWN: f64 = 1.25;
+/// Wall-time repetitions; the minimum is reported.
+const REPS: usize = 3;
+/// Contour resolution for the seed-cell timings.
+const CONTOUR_POINTS: usize = 12;
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("bench_sparse: error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// This binary exists to measure wall-clock (the sparse-vs-dense gate),
+/// so it gets its own sanctioned timer beside shc-obs spans (clippy.toml).
+#[allow(clippy::disallowed_methods)]
+fn min_time<F: FnMut() -> Result<(), Box<dyn std::error::Error>>>(
+    mut f: F,
+) -> Result<f64, Box<dyn std::error::Error>> {
+    let mut best = f64::INFINITY;
+    for _ in 0..REPS {
+        let t0 = Instant::now();
+        f()?;
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    Ok(best)
+}
+
+fn run() -> Result<ExitCode, Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().collect();
+    let out_path = PathBuf::from(
+        args.iter()
+            .position(|a| a == "--out")
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+            .unwrap_or_else(|| {
+                concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sparse.json").to_string()
+            }),
+    );
+    let mut ok = true;
+    let mut out = String::from("{");
+    let mut first = true;
+    json::push_str_field(&mut out, &mut first, "schema", "shc-bench-sparse-v1");
+    json::push_str_field(&mut out, &mut first, "clock", "fast");
+
+    // 1. Register bank: dense vs sparse on the identical transient.
+    let bank = bank_register(Timing::Fast, BANK_BITS);
+    let n = bank.circuit().unknown_count();
+    let dense_res = run_bank_transient(&bank, SolverChoice::Dense)?;
+    let sparse_res = run_bank_transient(&bank, SolverChoice::Sparse)?;
+    let diff = dense_res
+        .final_state()
+        .sub(sparse_res.final_state())
+        .norm_inf();
+    if diff > 1e-9 {
+        ok = false;
+        eprintln!("bank: dense and sparse final states differ by {diff:.2e}");
+    }
+    let t_dense = min_time(|| Ok(run_bank_transient(&bank, SolverChoice::Dense).map(|_| ())?))?;
+    let t_sparse = min_time(|| Ok(run_bank_transient(&bank, SolverChoice::Sparse).map(|_| ())?))?;
+    let speedup = t_dense / t_sparse;
+    json::push_u64_field(&mut out, &mut first, "bank_bits", BANK_BITS as u64);
+    json::push_u64_field(&mut out, &mut first, "bank_unknowns", n as u64);
+    json::push_u64_field(
+        &mut out,
+        &mut first,
+        "bank_steps",
+        dense_res.stats().steps as u64,
+    );
+    json::push_f64_field(&mut out, &mut first, "bank_dense_seconds", t_dense);
+    json::push_f64_field(&mut out, &mut first, "bank_sparse_seconds", t_sparse);
+    json::push_f64_field(&mut out, &mut first, "bank_sparse_speedup", speedup);
+    json::push_f64_field(&mut out, &mut first, "bank_state_deviation", diff);
+    println!(
+        "bank ({BANK_BITS} bits, {n} unknowns): dense {t_dense:.3} s, \
+         sparse {t_sparse:.3} s — {speedup:.1}x"
+    );
+    if speedup < MIN_BANK_SPEEDUP {
+        ok = false;
+        eprintln!("bank: sparse speedup {speedup:.2}x below the required {MIN_BANK_SPEEDUP}x");
+    }
+
+    // 2. Seed cells: auto dispatch must not cost anything vs forced dense.
+    let seed_problem = |name: &str, solver| match name {
+        "tspc" => Cell::Tspc.problem_with_solver(Timing::Fast, solver),
+        "c2mos" => Cell::C2mos.problem_with_solver(Timing::Fast, solver),
+        "tg" => Cell::Tg.problem_with_solver(Timing::Fast, solver),
+        _ => d_latch_problem(Timing::Fast, solver),
+    };
+    for name in ["tspc", "c2mos", "tg", "dlatch"] {
+        let trace = |solver| -> Result<f64, Box<dyn std::error::Error>> {
+            let problem = seed_problem(name, solver)?;
+            min_time(|| {
+                problem
+                    .trace_contour(CONTOUR_POINTS)
+                    .map(|_| ())
+                    .map_err(Into::into)
+            })
+        };
+        let t_dense = trace(SolverChoice::Dense)?;
+        let t_auto = trace(SolverChoice::Auto)?;
+        let ratio = t_auto / t_dense;
+        json::push_f64_field(
+            &mut out,
+            &mut first,
+            &format!("{name}_dense_seconds"),
+            t_dense,
+        );
+        json::push_f64_field(
+            &mut out,
+            &mut first,
+            &format!("{name}_auto_seconds"),
+            t_auto,
+        );
+        json::push_f64_field(
+            &mut out,
+            &mut first,
+            &format!("{name}_auto_over_dense"),
+            ratio,
+        );
+        println!("{name}: dense {t_dense:.3} s, auto {t_auto:.3} s (ratio {ratio:.2})");
+        if ratio > MAX_SEED_SLOWDOWN {
+            ok = false;
+            eprintln!(
+                "{name}: auto dispatch {ratio:.2}x slower than dense \
+                 (allowance {MAX_SEED_SLOWDOWN}x)"
+            );
+        }
+    }
+
+    out.push_str("}\n");
+    std::fs::write(&out_path, &out)?;
+    println!("wrote {}", out_path.display());
+    if !ok {
+        eprintln!("sparse benchmark gate failed");
+        return Ok(ExitCode::FAILURE);
+    }
+    Ok(ExitCode::SUCCESS)
+}

@@ -8,6 +8,12 @@
 //! (extra Newton retries, corrector iterations, LTE rejections all show up
 //! as more transient runs).
 //!
+//! The v2 baseline adds the sparse-direct solver's work counters: a
+//! register-bank transient pins symbolic analyses (exactly one per
+//! topology), numeric factors/refactors, and solves, while the seed-cell
+//! traces assert *zero* sparse work — the auto dispatch must keep them on
+//! the dense, bitwise-reproducible path.
+//!
 //! Usage:
 //!
 //! ```text
@@ -19,8 +25,9 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use shc_bench::{Cell, Timing};
+use shc_bench::{bank_register, run_bank_transient, Cell, Timing, REGISTER_BANK_DEFAULT_BITS};
 use shc_obs::{json, Collector, Metric};
+use shc_spice::SolverChoice;
 
 /// Contour resolution the smoke trace uses.
 const SMOKE_POINTS: usize = 12;
@@ -32,6 +39,19 @@ struct CellCounters {
     points_traced: u64,
     trace_simulations: u64,
     transient_runs: u64,
+    /// Sparse-LU work done while tracing this (seed) cell. Must stay zero:
+    /// the auto dispatch keeps seed cells on the dense, bitwise-reproducible
+    /// path, and this counter is the canary that proves it.
+    sparse_work: u64,
+}
+
+/// Work counters of the register-bank transient (the sparse-path workload).
+struct BankCounters {
+    transient_steps: u64,
+    sparse_analyses: u64,
+    sparse_factors: u64,
+    sparse_refactors: u64,
+    sparse_solves: u64,
 }
 
 fn main() -> ExitCode {
@@ -63,9 +83,13 @@ fn run() -> Result<ExitCode, Box<dyn std::error::Error>> {
     for cell in Cell::PAPER {
         measured.push(measure(cell)?);
     }
+    let bank = measure_bank()?;
 
     if write_baseline {
-        std::fs::write(&baseline_path, render(&measured, "shc-perf-baseline-v1"))?;
+        std::fs::write(
+            &baseline_path,
+            render(&measured, &bank, "shc-perf-baseline-v2"),
+        )?;
         println!("wrote {}", baseline_path.display());
         return Ok(ExitCode::SUCCESS);
     }
@@ -102,8 +126,49 @@ fn run() -> Result<ExitCode, Box<dyn std::error::Error>> {
                 );
             }
         }
+        // Hard identity check, not baselined: seed cells must never touch
+        // the sparse path under the auto dispatch.
+        if m.sparse_work == 0 {
+            println!("{}_sparse_work: 0 (dense path) OK", m.cell);
+        } else {
+            ok = false;
+            eprintln!(
+                "{}_sparse_work: {} — seed cell took the sparse path; \
+                 auto dispatch threshold regressed",
+                m.cell, m.sparse_work
+            );
+        }
     }
-    std::fs::write(&report_path, render(&measured, "shc-perf-smoke-v1"))?;
+    // Every bank counter is deterministic for a fixed netlist and step
+    // grid; the analysis count is pinned exactly (one per topology — more
+    // means the pattern-reuse guard broke), the rest ride the ratchet.
+    for (metric, value, exact) in [
+        ("transient_steps", bank.transient_steps, false),
+        ("sparse_analyses", bank.sparse_analyses, true),
+        ("sparse_factors", bank.sparse_factors, false),
+        ("sparse_refactors", bank.sparse_refactors, false),
+        ("sparse_solves", bank.sparse_solves, false),
+    ] {
+        let key = format!("bank_{metric}");
+        let base = json::scan_u64(&baseline, &key)
+            .ok_or_else(|| format!("baseline missing key '{key}'"))?;
+        let pass = if exact {
+            value == base
+        } else {
+            let ratio = value as f64 / base.max(1) as f64;
+            (1.0 - RATCHET..=1.0 + RATCHET).contains(&ratio)
+        };
+        if pass {
+            println!("{key}: {value} (baseline {base}) OK");
+        } else {
+            ok = false;
+            eprintln!(
+                "{key}: {value} vs baseline {base} — outside the ±{:.0}% ratchet",
+                RATCHET * 100.0
+            );
+        }
+    }
+    std::fs::write(&report_path, render(&measured, &bank, "shc-perf-smoke-v2"))?;
     println!("wrote {}", report_path.display());
     if !ok {
         eprintln!(
@@ -130,10 +195,37 @@ fn measure(cell: Cell) -> Result<CellCounters, Box<dyn std::error::Error>> {
         points_traced: contour.points().len() as u64,
         trace_simulations: problem.simulation_count() as u64,
         transient_runs: snapshot.counter(Metric::TransientRuns),
+        sparse_work: snapshot.counter(Metric::SparseAnalyses)
+            + snapshot.counter(Metric::SparseFactors)
+            + snapshot.counter(Metric::SparseRefactors)
+            + snapshot.counter(Metric::SparseSolves),
     })
 }
 
-fn render(cells: &[CellCounters], schema: &str) -> String {
+/// Runs the register-bank transient (auto dispatch → sparse path) under a
+/// private collector and extracts the sparse work counters.
+fn measure_bank() -> Result<BankCounters, Box<dyn std::error::Error>> {
+    let bank = bank_register(Timing::Fast, REGISTER_BANK_DEFAULT_BITS);
+    let collector = Collector::new();
+    let result = {
+        let _telemetry = shc_obs::install_scoped(&collector);
+        run_bank_transient(&bank, SolverChoice::Auto)?
+    };
+    let snapshot = collector.snapshot();
+    let counters = BankCounters {
+        transient_steps: result.stats().steps as u64,
+        sparse_analyses: snapshot.counter(Metric::SparseAnalyses),
+        sparse_factors: snapshot.counter(Metric::SparseFactors),
+        sparse_refactors: snapshot.counter(Metric::SparseRefactors),
+        sparse_solves: snapshot.counter(Metric::SparseSolves),
+    };
+    if counters.sparse_solves == 0 {
+        return Err("bank transient did no sparse solves — auto dispatch regressed".into());
+    }
+    Ok(counters)
+}
+
+fn render(cells: &[CellCounters], bank: &BankCounters, schema: &str) -> String {
     let mut out = String::from("{");
     let mut first = true;
     json::push_str_field(&mut out, &mut first, "schema", schema);
@@ -158,7 +250,43 @@ fn render(cells: &[CellCounters], schema: &str) -> String {
             &format!("{}_transient_runs", m.cell),
             m.transient_runs,
         );
+        json::push_u64_field(
+            &mut out,
+            &mut first,
+            &format!("{}_sparse_work", m.cell),
+            m.sparse_work,
+        );
     }
+    json::push_u64_field(
+        &mut out,
+        &mut first,
+        "bank_transient_steps",
+        bank.transient_steps,
+    );
+    json::push_u64_field(
+        &mut out,
+        &mut first,
+        "bank_sparse_analyses",
+        bank.sparse_analyses,
+    );
+    json::push_u64_field(
+        &mut out,
+        &mut first,
+        "bank_sparse_factors",
+        bank.sparse_factors,
+    );
+    json::push_u64_field(
+        &mut out,
+        &mut first,
+        "bank_sparse_refactors",
+        bank.sparse_refactors,
+    );
+    json::push_u64_field(
+        &mut out,
+        &mut first,
+        "bank_sparse_solves",
+        bank.sparse_solves,
+    );
     out.push_str("}\n");
     out
 }

@@ -20,6 +20,7 @@ use std::process::ExitCode;
 use shc_bench::{Cell, Timing};
 use shc_core::ContourPoint;
 use shc_obs::json;
+use shc_spice::SolverChoice;
 
 /// Contour resolution the goldens pin.
 const GOLDEN_POINTS: usize = 12;
@@ -89,6 +90,32 @@ fn run() -> Result<ExitCode, Box<dyn std::error::Error>> {
             eprintln!("{}: DRIFT — {}", cell.name(), report.message);
         }
     }
+    if !generate {
+        // sparse_vs_dense identity canary: the TSPC contour traced with the
+        // sparse-direct solver forced on must still hit the (dense-traced)
+        // golden within the same tolerance. This pins the two linear-solver
+        // backends to each other, not just the dense path to history.
+        let golden_path = goldens_dir.join(format!("{}_contour.json", Cell::Tspc.name()));
+        let golden = std::fs::read_to_string(&golden_path)
+            .map_err(|e| format!("cannot read {}: {e}", golden_path.display()))?;
+        let points = trace_cell_with(Cell::Tspc, SolverChoice::Sparse)?;
+        let mut report = compare(Cell::Tspc, &golden, &points, rtol)?;
+        report.json = report
+            .json
+            .replacen("\"tspc\"", "\"tspc_sparse_vs_dense\"", 1);
+        diff.push(',');
+        diff.push_str(&report.json);
+        if report.ok {
+            println!(
+                "tspc (sparse solver): OK ({} points, max relative deviation {:.3e})",
+                points.len(),
+                report.max_rel
+            );
+        } else {
+            drifted = true;
+            eprintln!("tspc (sparse solver): DRIFT — {}", report.message);
+        }
+    }
     diff.push_str("]}\n");
 
     if generate {
@@ -109,7 +136,14 @@ fn default_goldens_dir() -> String {
 }
 
 fn trace_cell(cell: Cell) -> Result<Vec<ContourPoint>, Box<dyn std::error::Error>> {
-    let problem = cell.problem(Timing::Fast)?;
+    trace_cell_with(cell, SolverChoice::Auto)
+}
+
+fn trace_cell_with(
+    cell: Cell,
+    solver: SolverChoice,
+) -> Result<Vec<ContourPoint>, Box<dyn std::error::Error>> {
+    let problem = cell.problem_with_solver(Timing::Fast, solver)?;
     let contour = problem.trace_contour(GOLDEN_POINTS)?;
     Ok(contour.points().to_vec())
 }

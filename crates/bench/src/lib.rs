@@ -14,11 +14,15 @@
 //!   10 ns clock) and prints the paper-vs-measured rows that EXPERIMENTS.md
 //!   records. Pass `--fast` to use the compressed clock.
 
+pub use shc_cells::REGISTER_BANK_DEFAULT_BITS;
 use shc_cells::{
-    c2mos_register_with, tg_register_with, tspc_register_with, ClockSpec, Register, Technology,
-    C2MOS_CLKB_SKEW,
+    c2mos_register_with, d_latch_with, register_bank_with, tg_register_with, tspc_register_with,
+    ClockSpec, Register, Technology, C2MOS_CLKB_SKEW,
 };
 use shc_core::{CharError, CharacterizationProblem};
+use shc_spice::transient::{TransientAnalysis, TransientOptions, TransientResult};
+use shc_spice::waveform::Params;
+use shc_spice::SolverChoice;
 
 /// Which clock timing a fixture uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -82,10 +86,66 @@ impl Cell {
     ///
     /// Propagates problem-construction failures.
     pub fn problem(self, timing: Timing) -> Result<CharacterizationProblem, CharError> {
+        self.problem_with_solver(timing, SolverChoice::Auto)
+    }
+
+    /// [`Cell::problem`] with an explicit linear-solver backend — used by
+    /// the sparse-vs-dense gates, which trace the same cell on both paths.
+    ///
+    /// # Errors
+    ///
+    /// Propagates problem-construction failures.
+    pub fn problem_with_solver(
+        self,
+        timing: Timing,
+        solver: SolverChoice,
+    ) -> Result<CharacterizationProblem, CharError> {
         CharacterizationProblem::builder(self.register(timing))
             .degradation(0.10)
+            .solver(solver)
             .build()
     }
+}
+
+/// Builds the N-bit register-bank transient workload: the cell-zoo netlist
+/// whose unknown count (>100 at the default width) puts it on the
+/// sparse-direct side of the auto dispatch.
+pub fn bank_register(timing: Timing, n_bits: usize) -> Register {
+    register_bank_with(&Technology::default_250nm(), timing.clock(), n_bits)
+}
+
+/// Runs the register-bank capture transient with the given solver backend:
+/// generous setup so the data ripples through the whole chain, simulated
+/// past the closing edge. Returns the full result so callers can compare
+/// final states and work counters across backends.
+///
+/// # Errors
+///
+/// Propagates simulation failures.
+pub fn run_bank_transient(
+    bank: &Register,
+    solver: SolverChoice,
+) -> shc_spice::Result<TransientResult> {
+    // The bank's reference-setup hint scales with its width: lead the
+    // closing edge by 1.5x that so the data edge has time to ripple.
+    let tau_s = 1.5 * bank.reference_setup_hint().unwrap_or(0.5e-9);
+    let opts = TransientOptions::builder(bank.active_edge_time() + 0.5e-9)
+        .dt(4e-12)
+        .solver(solver)
+        .build();
+    TransientAnalysis::new(bank.circuit(), opts).run(&Params::new(tau_s, 0.5e-9))
+}
+
+/// The extra seed cells (beyond [`Cell::ALL`]) the sparse benchmark runs
+/// auto-vs-dense contours on.
+pub fn d_latch_problem(
+    timing: Timing,
+    solver: SolverChoice,
+) -> Result<CharacterizationProblem, CharError> {
+    CharacterizationProblem::builder(d_latch_with(&Technology::default_250nm(), timing.clock()))
+        .degradation(0.10)
+        .solver(solver)
+        .build()
 }
 
 #[cfg(test)]

@@ -17,7 +17,10 @@
 //!   that creates clock overlap and a positive hold time;
 //! - [`tg_register`] — a static transmission-gate master-slave flip-flop
 //!   (extra validation cell beyond the paper's two);
-//! - [`d_latch`] — a level-sensitive dynamic D latch.
+//! - [`d_latch`] — a level-sensitive dynamic D latch;
+//! - [`register_bank`] — a parameterized N-bit chain of latch slices with
+//!   RC wire-load parasitics, large enough to exercise the sparse-direct
+//!   linear-solver path.
 //!
 //! # Example
 //!
@@ -29,10 +32,12 @@
 //! assert!(reg.active_edge_time() > 0.0);
 //! ```
 
+mod bank;
 mod extra;
 mod register;
 mod tech;
 
+pub use bank::{register_bank, register_bank_with, REGISTER_BANK_DEFAULT_BITS};
 pub use extra::{pulsed_latch, pulsed_latch_with, saff_register, saff_register_with};
 pub use register::{
     c2mos_register, c2mos_register_with, d_latch, d_latch_with, tg_register, tg_register_with,

@@ -117,6 +117,8 @@ pub(crate) enum CellKind {
     DLatch,
     Saff,
     PulsedLatch,
+    /// N-bit register bank (carries its bit width for rebuilds).
+    Bank(usize),
     Custom,
 }
 
@@ -238,6 +240,7 @@ impl Register {
             CellKind::DLatch => d_latch_with(&self.tech, clock),
             CellKind::Saff => crate::extra::saff_register_with(&self.tech, clock),
             CellKind::PulsedLatch => crate::extra::pulsed_latch_with(&self.tech, clock),
+            CellKind::Bank(bits) => crate::bank::register_bank_with(&self.tech, clock, bits),
             CellKind::Custom => {
                 panic!("custom registers embed their stimulus; rebuild the fixture instead")
             }
@@ -359,6 +362,10 @@ impl Register {
             "pulsed_latch" => CellKind::PulsedLatch,
             _ => CellKind::Custom,
         };
+        Register::from_parts_with_kind(parts, kind)
+    }
+
+    pub(crate) fn from_parts_with_kind(parts: RegisterParts, kind: CellKind) -> Register {
         Register {
             circuit: parts.circuit,
             output: parts.output,
@@ -395,7 +402,7 @@ pub(crate) fn cell_base(
 
 /// [`cell_base`] with an explicit data-pulse center time (latches close on
 /// the falling edge, so their data pulse is centered there instead).
-fn cell_base_at(
+pub(crate) fn cell_base_at(
     tech: &Technology,
     clock: &ClockSpec,
     data_rest: f64,

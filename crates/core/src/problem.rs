@@ -7,6 +7,7 @@ use shc_spice::transient::{
     CrossingDirection, Integrator, RecordMode, TransientAnalysis, TransientOptions, TransientStats,
 };
 use shc_spice::waveform::{Param, Params};
+use shc_spice::SolverChoice;
 
 use crate::{CharError, Result};
 
@@ -75,6 +76,7 @@ pub struct CharacterizationProblem {
     capture_fraction: f64,
     dt: f64,
     integrator: Integrator,
+    solver: SolverChoice,
     reference: Params,
     t_cq: f64,
     tf: f64,
@@ -102,6 +104,7 @@ impl CharacterizationProblem {
             capture_fraction: None,
             dt: None,
             integrator: Integrator::BackwardEuler,
+            solver: SolverChoice::Auto,
             reference_skew: None,
             reference_setup: None,
         }
@@ -178,6 +181,7 @@ impl CharacterizationProblem {
         let mut builder = TransientOptions::builder(self.tf)
             .dt(self.dt)
             .integrator(self.integrator)
+            .solver(self.solver)
             .record(RecordMode::FinalOnly);
         if with_sensitivities {
             builder = builder.sensitivities(&Param::ALL);
@@ -244,6 +248,7 @@ impl CharacterizationProblem {
         self.sim_count.fetch_add(1, Ordering::Relaxed);
         let opts = TransientOptions::builder(self.tf)
             .dt(self.dt)
+            .solver(self.solver)
             .record(RecordMode::Full)
             .build();
         let res = TransientAnalysis::new(self.register.circuit(), opts).run(params)?;
@@ -306,6 +311,7 @@ pub struct ProblemBuilder {
     capture_fraction: Option<f64>,
     dt: Option<f64>,
     integrator: Integrator,
+    solver: SolverChoice,
     reference_skew: Option<f64>,
     reference_setup: Option<f64>,
 }
@@ -335,6 +341,14 @@ impl ProblemBuilder {
     /// Selects the integration method (default Backward Euler).
     pub fn integrator(mut self, integrator: Integrator) -> Self {
         self.integrator = integrator;
+        self
+    }
+
+    /// Selects the linear-solver backend for every transient this problem
+    /// runs (default [`SolverChoice::Auto`]: dense for the seed-cell-sized
+    /// circuits, sparse-direct above the dispatch threshold).
+    pub fn solver(mut self, solver: SolverChoice) -> Self {
+        self.solver = solver;
         self
     }
 
@@ -407,6 +421,7 @@ impl ProblemBuilder {
         let settle = 0.45 * register.clock().period;
         let opts = TransientOptions::builder(edge + settle)
             .dt(dt)
+            .solver(self.solver)
             .record(RecordMode::Probe(register.output_unknown()))
             .build();
         let params = Params::new(reference_setup, reference_hold);
@@ -430,6 +445,7 @@ impl ProblemBuilder {
             capture_fraction,
             dt,
             integrator: self.integrator,
+            solver: self.solver,
             reference: params,
             t_cq,
             tf,
@@ -451,6 +467,11 @@ impl CharacterizationProblem {
     /// The integration method in effect.
     pub fn integrator(&self) -> Integrator {
         self.integrator
+    }
+
+    /// The linear-solver backend in effect.
+    pub fn solver(&self) -> SolverChoice {
+        self.solver
     }
 }
 

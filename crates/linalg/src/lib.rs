@@ -9,8 +9,11 @@
 //! - [`Matrix`] and [`Vector`]: row-major dense storage with the usual
 //!   arithmetic and iteration APIs;
 //! - [`LuFactor`]: LU factorization with partial pivoting, solves, the
-//!   determinant, and a cheap condition-number estimate — this backs every
-//!   Newton-Raphson linear solve in the simulator;
+//!   determinant, and a cheap condition-number estimate — this backs the
+//!   small-circuit Newton-Raphson linear solves in the simulator;
+//! - [`SparseLu`]: KLU-style sparse-direct LU over [`CsrMatrix`] storage —
+//!   fill-reducing ordering, one-time symbolic analysis, allocation-free
+//!   value-only refactorization — the large-circuit solve path;
 //! - [`QrFactor`]: Householder QR, used for least-squares and for the
 //!   general Moore-Penrose pseudo-inverse;
 //! - [`pinv`]: Moore-Penrose pseudo-inverse for full-row-rank "fat"
@@ -38,6 +41,7 @@ mod matrix;
 mod pinv;
 mod qr;
 mod sparse;
+mod sparse_lu;
 mod vector;
 
 pub use error::LinalgError;
@@ -45,7 +49,11 @@ pub use lu::LuFactor;
 pub use matrix::{matrix_allocations, Matrix};
 pub use pinv::{pinv, pinv_fat, PseudoInverse};
 pub use qr::QrFactor;
-pub use sparse::{gmres, CsrMatrix, GmresOptions, GmresResult, Ilu0};
+// The retired ILU(0)/GMRES iterative stack stays in `sparse` (compiled and
+// unit-tested) but is deliberately not re-exported; `SparseLu` is the
+// supported sparse solve path.
+pub use sparse::CsrMatrix;
+pub use sparse_lu::SparseLu;
 pub use vector::Vector;
 
 /// Result alias used throughout this crate.

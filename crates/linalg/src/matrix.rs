@@ -11,18 +11,33 @@ thread_local! {
     static MATRIX_ALLOCATIONS: Cell<u64> = const { Cell::new(0) };
 }
 
-/// Number of `Matrix` buffer allocations performed by the *current thread*
-/// so far.
+/// Number of linear-algebra buffer allocations performed by the *current
+/// thread* so far.
 ///
-/// Every constructor that allocates a fresh backing buffer (`zeros`,
-/// `from_*`, `identity`, the out-of-place arithmetic ops, and `Clone`)
-/// increments this counter; in-place operations (`copy_from`, `axpy`,
-/// `scale_mut`, `fill_zero`, …) do not. Tests use the difference between
-/// two readings to pin down "no allocation in this hot loop" guarantees.
-/// The counter is thread-local so concurrent tests and parallel sweep
-/// workers cannot perturb each other's readings.
+/// Every constructor that allocates a fresh backing buffer increments this
+/// counter; in-place operations (`copy_from`, `axpy`, `scale_mut`,
+/// `fill_zero`, …) do not. Dense `Matrix` buffers (`zeros`, `from_*`,
+/// `identity`, the out-of-place arithmetic ops, and `Clone`) and sparse
+/// buffers (`CsrMatrix` construction and `Clone`, `SparseLu` symbolic
+/// analysis and fresh numeric factors) all pass through the same funnel, so
+/// a warm loop that is clean under this counter allocates on *neither*
+/// path. Tests use the difference between two readings to pin down "no
+/// allocation in this hot loop" guarantees. The counter is thread-local so
+/// concurrent tests and parallel sweep workers cannot perturb each other's
+/// readings.
 pub fn matrix_allocations() -> u64 {
     MATRIX_ALLOCATIONS.with(|c| c.get())
+}
+
+/// Shared funnel for every buffer-allocating constructor in this crate:
+/// bumps the thread-local counter and mirrors it to telemetry. Dense
+/// [`Matrix`] construction, sparse `CsrMatrix` construction, and `SparseLu`
+/// symbolic/numeric factor storage all report here so the warm-loop
+/// allocation assertions see sparse and dense buffers alike.
+pub(crate) fn note_buffer_allocation() {
+    // lint: allow(thread-local-discipline, reason = "monotonic per-thread counter, not an installable override; read back only by this thread's tests")
+    MATRIX_ALLOCATIONS.with(|c| c.set(c.get() + 1));
+    shc_obs::count(shc_obs::Metric::MatrixAllocations, 1);
 }
 
 /// A dense, row-major matrix of `f64`.
@@ -68,9 +83,7 @@ impl Clone for Matrix {
 impl Matrix {
     /// Single funnel for freshly allocated backing buffers.
     fn tracked(rows: usize, cols: usize, data: Vec<f64>) -> Self {
-        // lint: allow(thread-local-discipline, reason = "monotonic per-thread counter, not an installable override; read back only by this thread's tests")
-        MATRIX_ALLOCATIONS.with(|c| c.set(c.get() + 1));
-        shc_obs::count(shc_obs::Metric::MatrixAllocations, 1);
+        note_buffer_allocation();
         Matrix { rows, cols, data }
     }
 

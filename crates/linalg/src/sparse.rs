@@ -1,12 +1,17 @@
-//! Sparse linear algebra: CSR storage, ILU(0) preconditioning, and
-//! restarted GMRES.
+//! Sparse linear algebra: CSR storage plus a retired iterative stack.
 //!
 //! The dense LU path is ideal for the tens-of-unknowns latch circuits this
-//! project characterizes, but a production characterization tool also
-//! meets post-layout netlists with thousands of parasitic nodes. This
-//! module provides the standard sparse iterative stack used for such
-//! systems: compressed-sparse-row matrices, a zero-fill incomplete-LU
-//! preconditioner, and left-preconditioned GMRES(m).
+//! project characterizes, but register banks and post-layout parasitic
+//! netlists need a sparse path. [`CsrMatrix`] is the storage shared by the
+//! sparse-direct factorization in [`crate::SparseLu`] and by the
+//! pattern-preserving Jacobian gather in the simulator.
+//!
+//! The ILU(0)/GMRES iterative stack below predates the sparse-direct
+//! solver and is no longer wired into any solve path: the circuit matrices
+//! here are far too small and too ill-scaled for an iterative method to
+//! beat a direct factorization with a fill-reducing ordering. It is kept
+//! compiling and unit-tested as reference material but is deliberately
+//! excluded from the crate's public prelude.
 
 use crate::{LinalgError, Matrix, Result, Vector};
 
@@ -24,13 +29,39 @@ use crate::{LinalgError, Matrix, Result, Vector};
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, PartialEq)]
 pub struct CsrMatrix {
     rows: usize,
     cols: usize,
     row_ptr: Vec<usize>,
     col_idx: Vec<usize>,
     values: Vec<f64>,
+}
+
+// `Clone` is implemented by hand (not derived) so that clones pass through
+// the same allocation counter as dense `Matrix` buffers: a warm loop that
+// clones a sparse matrix is just as guilty as one that clones a dense one.
+impl Clone for CsrMatrix {
+    fn clone(&self) -> Self {
+        crate::matrix::note_buffer_allocation();
+        CsrMatrix {
+            rows: self.rows,
+            cols: self.cols,
+            row_ptr: self.row_ptr.clone(),
+            col_idx: self.col_idx.clone(),
+            values: self.values.clone(),
+        }
+    }
+
+    fn clone_from(&mut self, source: &Self) {
+        if self.rows == source.rows && self.cols == source.cols && self.nnz() == source.nnz() {
+            self.row_ptr.copy_from_slice(&source.row_ptr);
+            self.col_idx.copy_from_slice(&source.col_idx);
+            self.values.copy_from_slice(&source.values);
+        } else {
+            *self = source.clone();
+        }
+    }
 }
 
 impl CsrMatrix {
@@ -83,6 +114,7 @@ impl CsrMatrix {
             }
             row_ptr.push(col_idx.len());
         }
+        crate::matrix::note_buffer_allocation();
         Ok(CsrMatrix {
             rows,
             cols,
@@ -127,6 +159,31 @@ impl CsrMatrix {
         self.values.len()
     }
 
+    /// Row-pointer array (`rows + 1` entries): row `i`'s entries occupy
+    /// `row_ptr()[i]..row_ptr()[i + 1]` of [`Self::col_indices`] /
+    /// [`Self::values`].
+    pub fn row_ptr(&self) -> &[usize] {
+        &self.row_ptr
+    }
+
+    /// Column index of each stored entry, row-major, ascending within a
+    /// row.
+    pub fn col_indices(&self) -> &[usize] {
+        &self.col_idx
+    }
+
+    /// Stored entry values, in [`Self::col_indices`] order.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Mutable entry values, for pattern-preserving updates: overwrite
+    /// values in place without touching the structure, the idiom behind
+    /// "values change, pattern doesn't" refactorization.
+    pub fn values_mut(&mut self) -> &mut [f64] {
+        &mut self.values
+    }
+
     /// Sparse matrix–vector product `A·v`.
     ///
     /// # Panics
@@ -169,12 +226,18 @@ impl CsrMatrix {
 
 /// Zero-fill incomplete LU factorization (ILU(0)): the classic smoother /
 /// preconditioner that factors only on the sparsity pattern of `A`.
+///
+/// Retired scaffolding: superseded by the sparse-direct [`crate::SparseLu`]
+/// and no longer re-exported from the crate prelude (see the module docs).
+#[doc(hidden)]
+#[allow(dead_code)]
 #[derive(Debug, Clone)]
 pub struct Ilu0 {
     lu: CsrMatrix,
     diag_ptr: Vec<usize>,
 }
 
+#[allow(dead_code)]
 impl Ilu0 {
     /// Computes ILU(0) of a square CSR matrix.
     ///
@@ -282,6 +345,10 @@ impl Ilu0 {
 }
 
 /// Options for [`gmres`].
+///
+/// Retired scaffolding alongside [`Ilu0`]; see the module docs.
+#[doc(hidden)]
+#[allow(dead_code)]
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct GmresOptions {
     /// Krylov subspace dimension before restarting.
@@ -303,6 +370,10 @@ impl Default for GmresOptions {
 }
 
 /// Outcome of a GMRES solve.
+///
+/// Retired scaffolding alongside [`Ilu0`]; see the module docs.
+#[doc(hidden)]
+#[allow(dead_code)]
 #[derive(Debug, Clone, PartialEq)]
 pub struct GmresResult {
     /// The solution estimate.
@@ -316,11 +387,15 @@ pub struct GmresResult {
 /// Left-preconditioned restarted GMRES: solves `A·x = b` using `precond`
 /// (e.g. [`Ilu0::apply`]) as `M⁻¹`.
 ///
+/// Retired scaffolding alongside [`Ilu0`]; see the module docs.
+///
 /// # Errors
 ///
 /// Returns [`LinalgError::InvalidInput`] on dimension mismatch and
 /// [`LinalgError::RankDeficient`] if the tolerance is not reached within
 /// the iteration budget.
+#[doc(hidden)]
+#[allow(dead_code)]
 pub fn gmres<P>(
     a: &CsrMatrix,
     b: &Vector,

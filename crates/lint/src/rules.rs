@@ -110,6 +110,10 @@ const ALLOC_CTORS: &[(&str, &str)] = &[
     ("HashMap", "new"),
     ("BTreeMap", "new"),
     ("VecDeque", "new"),
+    ("CsrMatrix", "from_triplets"),
+    ("CsrMatrix", "from_dense"),
+    ("SparseLu", "new"),
+    ("SparseJacSolver", "new"),
 ];
 
 /// One source file handed to the linter, with a repo-relative path.

@@ -50,11 +50,22 @@ pub enum Metric {
     MpnrFallbacks,
     /// Trace checkpoints written for `--resume`.
     CheckpointsWritten,
+    /// Sparse-LU symbolic analyses (fill-reducing ordering + pattern).
+    SparseAnalyses,
+    /// Sparse-LU fresh numeric factorizations (allocating).
+    SparseFactors,
+    /// Sparse-LU value-only refactorizations (allocation-free).
+    SparseRefactors,
+    /// Sparse-LU forward/back substitutions.
+    SparseSolves,
+    /// Fill-in produced by symbolic analysis (histogram: nnz(L+U) −
+    /// nnz(A) per analysis).
+    SparseFillNnz,
 }
 
 impl Metric {
     /// Number of metric variants; sizes the collector's atomic arrays.
-    pub const COUNT: usize = 20;
+    pub const COUNT: usize = 25;
 
     /// All variants, in `repr` order.
     pub const ALL: [Metric; Metric::COUNT] = [
@@ -78,6 +89,11 @@ impl Metric {
         Metric::TracerRestarts,
         Metric::MpnrFallbacks,
         Metric::CheckpointsWritten,
+        Metric::SparseAnalyses,
+        Metric::SparseFactors,
+        Metric::SparseRefactors,
+        Metric::SparseSolves,
+        Metric::SparseFillNnz,
     ];
 
     /// Stable snake_case name used in reports and JSON output.
@@ -104,6 +120,11 @@ impl Metric {
             Metric::TracerRestarts => "tracer_restarts",
             Metric::MpnrFallbacks => "mpnr_fallbacks",
             Metric::CheckpointsWritten => "checkpoints_written",
+            Metric::SparseAnalyses => "sparse_analyses",
+            Metric::SparseFactors => "sparse_factors",
+            Metric::SparseRefactors => "sparse_refactors",
+            Metric::SparseSolves => "sparse_solves",
+            Metric::SparseFillNnz => "sparse_fill_nnz",
         }
     }
 }
@@ -136,11 +157,13 @@ pub enum SpanKind {
     Corners,
     /// Batch contour tracing over degradation levels.
     TraceBatch,
+    /// One sparse-LU symbolic analysis (cold, once per topology).
+    SparseAnalyze,
 }
 
 impl SpanKind {
     /// Number of span variants; sizes the collector's edge matrices.
-    pub const COUNT: usize = 10;
+    pub const COUNT: usize = 11;
 
     /// All variants, in `repr` order.
     pub const ALL: [SpanKind; SpanKind::COUNT] = [
@@ -154,6 +177,7 @@ impl SpanKind {
         SpanKind::MonteCarlo,
         SpanKind::Corners,
         SpanKind::TraceBatch,
+        SpanKind::SparseAnalyze,
     ];
 
     /// Stable snake_case name used in reports and JSON output.
@@ -170,6 +194,7 @@ impl SpanKind {
             SpanKind::MonteCarlo => "monte_carlo",
             SpanKind::Corners => "corners",
             SpanKind::TraceBatch => "trace_batch",
+            SpanKind::SparseAnalyze => "sparse_analyze",
         }
     }
 }

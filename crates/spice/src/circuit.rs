@@ -226,6 +226,109 @@ impl Circuit {
         }
     }
 
+    /// Like [`Circuit::assemble_into`] but clears the Jacobian workspaces
+    /// via [`Stamps::clear_pattern`] — `O(nnz)` instead of `O(n²)` — so the
+    /// sparse-direct Newton path pays no dense bookkeeping per iteration.
+    ///
+    /// `pattern` must cover this circuit's [`Circuit::jacobian_pattern`],
+    /// and `stamps` must not hold nonzeros outside that pattern (give it a
+    /// full [`Stamps::clear`] first when its history is unknown).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the workspace dimension does not match the circuit.
+    pub fn assemble_sparse_into(
+        &self,
+        stamps: &mut Stamps,
+        x: &Vector,
+        t: f64,
+        params: &Params,
+        source_scale: f64,
+        pattern: &[(usize, usize)],
+    ) {
+        assert_eq!(
+            stamps.dim(),
+            self.unknown_count(),
+            "stamps workspace has wrong dimension"
+        );
+        stamps.clear_pattern(pattern);
+        let ctx = EvalContext {
+            x,
+            t,
+            params,
+            source_scale,
+            node_offset: self.node_count(),
+        };
+        let mut stamper = Stamper::new(stamps);
+        for device in &self.devices {
+            device.stamp(&mut stamper, &ctx);
+        }
+    }
+
+    /// Records the sparsity pattern of the step Jacobian `C·a + G`.
+    ///
+    /// Device stamping is pattern-preserving — the set of `(eq, var)`
+    /// positions touched depends only on the topology — so a single probe
+    /// assembly at `x = 0`, `t = 0` captures the structure for every
+    /// evaluation point. Every diagonal position is included as well
+    /// (integrators and the DC `gmin` shunt stamp the diagonal, and sparse
+    /// LU pivoting prefers a structurally present diagonal). The result is
+    /// sorted by `(row, col)` and duplicate-free, which matches the storage
+    /// order of [`shc_linalg::CsrMatrix::from_triplets`].
+    pub fn jacobian_pattern(&self, params: &Params) -> Vec<(usize, usize)> {
+        let n = self.unknown_count();
+        let mut stamps = Stamps::new(n);
+        let x = Vector::zeros(n);
+        let mut entries = Vec::new();
+        self.assemble_pattern_into(&mut stamps, &x, params, &mut entries);
+        entries
+    }
+
+    /// Like [`Circuit::jacobian_pattern`] but writes into caller-provided
+    /// buffers so per-run pattern re-probes stay allocation-free (beyond
+    /// `entries` growth). `x_zero` must be an all-zero vector of the
+    /// unknown count; `stamps` is clobbered as scratch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a buffer dimension does not match the circuit.
+    pub fn assemble_pattern_into(
+        &self,
+        stamps: &mut Stamps,
+        x_zero: &Vector,
+        params: &Params,
+        entries: &mut Vec<(usize, usize)>,
+    ) {
+        assert_eq!(
+            stamps.dim(),
+            self.unknown_count(),
+            "stamps workspace has wrong dimension"
+        );
+        assert_eq!(
+            x_zero.len(),
+            self.unknown_count(),
+            "x workspace has wrong dimension"
+        );
+        stamps.clear();
+        entries.clear();
+        let ctx = EvalContext {
+            x: x_zero,
+            t: 0.0,
+            params,
+            source_scale: 1.0,
+            node_offset: self.node_count(),
+        };
+        let mut stamper = Stamper::with_pattern(stamps, entries);
+        for device in &self.devices {
+            device.stamp(&mut stamper, &ctx);
+        }
+        for i in 0..self.unknown_count() {
+            entries.push((i, i));
+        }
+        entries.sort_unstable();
+        entries.dedup();
+    }
+
     /// Assembles the parameter derivative of the residual,
     /// `∂f/∂param = b_d · z(t)` in the paper's notation (eqs. (9), (12)).
     pub fn assemble_dfdp(&self, t: f64, params: &Params, param: Param) -> Vector {

@@ -8,10 +8,12 @@
 //! methods — the same family of ideas as the Euler-Newton contour tracing
 //! this simulator exists to support.
 
-use shc_linalg::Vector;
+use shc_linalg::{Matrix, Vector};
 
 use crate::circuit::Circuit;
 use crate::newton::{self, NewtonOptions};
+use crate::solver::{SolverChoice, SparseJacSolver};
+use crate::stamp::Stamps;
 use crate::waveform::Params;
 use crate::{Result, SpiceError};
 
@@ -30,6 +32,9 @@ pub struct DcOptions {
     pub source_steps: usize,
     /// Time at which source waveforms are evaluated (usually `0.0`).
     pub time: f64,
+    /// Linear-solver backend for the inner Newton solves. Small circuits
+    /// stay on the (bitwise-reproducible) dense path under `Auto`.
+    pub solver: SolverChoice,
 }
 
 impl Default for DcOptions {
@@ -41,6 +46,7 @@ impl Default for DcOptions {
             gmin_factor: 0.1,
             source_steps: 20,
             time: 0.0,
+            solver: SolverChoice::Auto,
         }
     }
 }
@@ -98,8 +104,30 @@ pub fn solve_dc(circuit: &Circuit, params: &Params, opts: &DcOptions) -> Result<
     let n = circuit.unknown_count();
     let x0 = Vector::zeros(n);
 
+    // One sparse workspace (pattern probe + symbolic analysis) shared by
+    // every inner solve of every homotopy strategy; `None` keeps the
+    // classic dense path, bit for bit.
+    let mut sparse = if opts.solver.wants_sparse(n) {
+        let mut ws = newton::NewtonWorkspace::new(n);
+        ws.set_sparse_solver(Some(SparseJacSolver::new(circuit, params)?));
+        Some(DcSparse {
+            ws,
+            stamps: Stamps::new(n),
+        })
+    } else {
+        None
+    };
+
     // Strategy 1: plain Newton with the residual gmin.
-    if let Ok(sol) = dc_newton(circuit, params, opts, &x0, opts.gmin_final, 1.0) {
+    if let Ok(sol) = dc_newton(
+        circuit,
+        params,
+        opts,
+        &x0,
+        opts.gmin_final,
+        1.0,
+        &mut sparse,
+    ) {
         return Ok(DcSolution {
             x: sol.0,
             strategy: DcStrategy::Direct,
@@ -108,12 +136,12 @@ pub fn solve_dc(circuit: &Circuit, params: &Params, opts: &DcOptions) -> Result<
     }
 
     // Strategy 2: gmin stepping.
-    if let Ok(sol) = gmin_stepping(circuit, params, opts, &x0) {
+    if let Ok(sol) = gmin_stepping(circuit, params, opts, &x0, &mut sparse) {
         return Ok(sol);
     }
 
     // Strategy 3: source stepping.
-    source_stepping(circuit, params, opts, &x0)
+    source_stepping(circuit, params, opts, &x0, &mut sparse)
 }
 
 /// Extra attempts granted per inner solve when a fault injector is active.
@@ -127,6 +155,16 @@ pub fn solve_dc(circuit: &Circuit, params: &Params, opts: &DcOptions) -> Result<
 /// at a 10% injection rate, 4 retries leave 1e-5 per solve.
 const DC_FAULT_RETRIES: usize = 4;
 
+/// Sparse-path workspace shared by every inner DC solve: the Newton
+/// buffers (with the [`SparseJacSolver`] installed) plus assembly stamps.
+/// Large circuits would otherwise pay a dense `O(n³)` factorization per
+/// Newton iteration per homotopy step.
+#[derive(Debug)]
+struct DcSparse {
+    ws: newton::NewtonWorkspace,
+    stamps: Stamps,
+}
+
 fn dc_newton(
     circuit: &Circuit,
     params: &Params,
@@ -134,8 +172,41 @@ fn dc_newton(
     x0: &Vector,
     gmin: f64,
     source_scale: f64,
+    sparse: &mut Option<DcSparse>,
 ) -> Result<(Vector, usize)> {
     let n_nodes = circuit.node_count();
+    let mut attempt = 0;
+    if let Some(DcSparse { ws, stamps }) = sparse.as_mut() {
+        let mut assemble = |x: &Vector, f: &mut Vector, j: &mut Matrix| -> Result<()> {
+            circuit.assemble_into(stamps, x, opts.time, params, source_scale);
+            // Shunt gmin on every node (not on branch equations).
+            for i in 0..n_nodes {
+                stamps.f[i] += gmin * x[i];
+                stamps.g.add_at(i, i, gmin);
+            }
+            f.copy_from(&stamps.f);
+            j.copy_from(&stamps.g)?;
+            Ok(())
+        };
+        loop {
+            match newton::solve_in_place(ws, x0, &opts.newton, &mut assemble) {
+                Ok(iters) => {
+                    if attempt > 0 {
+                        shc_obs::count(shc_obs::Metric::NewtonRecoveries, 1);
+                    }
+                    return Ok((ws.x().clone(), iters));
+                }
+                Err(e)
+                    if shc_fault::enabled()
+                        && attempt < DC_FAULT_RETRIES
+                        && newton::retryable(&e) =>
+                {
+                    attempt += 1;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
     let mut assemble = |x: &Vector| {
         let mut stamps = circuit.assemble(x, opts.time, params, source_scale);
         // Shunt gmin on every node (not on branch equations).
@@ -145,7 +216,6 @@ fn dc_newton(
         }
         Ok((stamps.f, stamps.g))
     };
-    let mut attempt = 0;
     loop {
         match newton::solve(x0, &opts.newton, &mut assemble) {
             Ok(sol) => {
@@ -169,12 +239,13 @@ fn gmin_stepping(
     params: &Params,
     opts: &DcOptions,
     x0: &Vector,
+    sparse: &mut Option<DcSparse>,
 ) -> Result<DcSolution> {
     let mut x = x0.clone();
     let mut gmin = opts.gmin_start;
     let mut total = 0;
     loop {
-        let (xn, iters) = dc_newton(circuit, params, opts, &x, gmin, 1.0)?;
+        let (xn, iters) = dc_newton(circuit, params, opts, &x, gmin, 1.0, sparse)?;
         x = xn;
         total += iters;
         if gmin <= opts.gmin_final {
@@ -193,13 +264,14 @@ fn source_stepping(
     params: &Params,
     opts: &DcOptions,
     x0: &Vector,
+    sparse: &mut Option<DcSparse>,
 ) -> Result<DcSolution> {
     let mut x = x0.clone();
     let mut total = 0;
     let steps = opts.source_steps.max(1);
     for k in 1..=steps {
         let scale = k as f64 / steps as f64;
-        match dc_newton(circuit, params, opts, &x, opts.gmin_final, scale) {
+        match dc_newton(circuit, params, opts, &x, opts.gmin_final, scale, sparse) {
             Ok((xn, iters)) => {
                 x = xn;
                 total += iters;
@@ -336,6 +408,48 @@ mod tests {
     }
 
     #[test]
+    fn sparse_dc_matches_dense_on_large_ladder() {
+        // A ladder big enough that `Sparse` is the honest production
+        // config; compare its operating point against the dense solve.
+        let mut c = Circuit::new();
+        let mut prev = c.node("in");
+        c.add(VoltageSource::new(
+            "V1",
+            prev,
+            Circuit::GROUND,
+            Waveform::dc(1.0),
+        ));
+        for s in 0..80 {
+            let node = c.node(&format!("n{s}"));
+            c.add(Resistor::new(&format!("R{s}"), prev, node, 1e3));
+            c.add(Resistor::new(&format!("Rg{s}"), node, Circuit::GROUND, 1e5));
+            prev = node;
+        }
+        let params = Params::default();
+        let dense = solve_dc(
+            &c,
+            &params,
+            &DcOptions {
+                solver: SolverChoice::Dense,
+                ..DcOptions::default()
+            },
+        )
+        .unwrap();
+        let sparse = solve_dc(
+            &c,
+            &params,
+            &DcOptions {
+                solver: SolverChoice::Sparse,
+                ..DcOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(dense.strategy, sparse.strategy);
+        let diff = dense.x.sub(&sparse.x).norm_inf();
+        assert!(diff < 1e-10, "sparse vs dense dc diverged: {diff:e}");
+    }
+
+    #[test]
     fn source_stepping_recovers_when_asked_directly() {
         let mut c = Circuit::new();
         let a = c.node("a");
@@ -351,6 +465,7 @@ mod tests {
             &Params::default(),
             &DcOptions::default(),
             &Vector::zeros(c.unknown_count()),
+            &mut None,
         )
         .unwrap();
         assert_eq!(sol.strategy, DcStrategy::SourceStepping);

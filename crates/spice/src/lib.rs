@@ -57,6 +57,7 @@ mod error;
 pub mod measure;
 pub mod netlist;
 pub mod newton;
+pub mod solver;
 pub mod stamp;
 pub mod transient;
 pub mod waveform;
@@ -67,6 +68,7 @@ pub use devices::{
     Vcvs, VoltageSource,
 };
 pub use error::SpiceError;
+pub use solver::SolverChoice;
 pub use waveform::{Param, Params, RampShape, Waveform};
 
 /// Result alias used throughout this crate.

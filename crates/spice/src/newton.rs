@@ -2,6 +2,7 @@
 
 use shc_linalg::{LuFactor, Matrix, Vector};
 
+use crate::solver::SparseJacSolver;
 use crate::{Result, SpiceError};
 
 /// Deterministic fault hook for the Newton site: maps an injected fault
@@ -127,10 +128,13 @@ pub struct NewtonWorkspace {
     residual: Vector,
     jacobian: Matrix,
     lu: Option<LuFactor>,
+    /// When installed, linear solves go through the sparse-direct path
+    /// instead of the dense `lu` (see [`crate::solver::SolverChoice`]).
+    sparse: Option<SparseJacSolver>,
 }
 
 impl NewtonWorkspace {
-    /// Creates a workspace for systems of dimension `n`.
+    /// Creates a workspace for systems of dimension `n` (dense solves).
     pub fn new(n: usize) -> Self {
         NewtonWorkspace {
             x: Vector::zeros(n),
@@ -138,6 +142,7 @@ impl NewtonWorkspace {
             residual: Vector::zeros(n),
             jacobian: Matrix::zeros(n, n),
             lu: None,
+            sparse: None,
         }
     }
 
@@ -153,9 +158,30 @@ impl NewtonWorkspace {
     }
 
     /// LU factors of the most recently factored Jacobian, if any —
-    /// reusable for sensitivity solves without re-factoring.
+    /// reusable for sensitivity solves without re-factoring. `None`
+    /// whenever the sparse path is active (use
+    /// [`NewtonWorkspace::sparse_solver_mut`] there).
     pub fn jacobian_lu(&self) -> Option<&LuFactor> {
         self.lu.as_ref()
+    }
+
+    /// Installs (or removes) the sparse solve path. Passing `Some`
+    /// drops any dense factors; passing `None` restores dense solves.
+    pub fn set_sparse_solver(&mut self, solver: Option<SparseJacSolver>) {
+        if solver.is_some() {
+            self.lu = None;
+        }
+        self.sparse = solver;
+    }
+
+    /// The installed sparse solver, if any.
+    pub fn sparse_solver(&self) -> Option<&SparseJacSolver> {
+        self.sparse.as_ref()
+    }
+
+    /// Mutable access to the installed sparse solver, if any.
+    pub fn sparse_solver_mut(&mut self) -> Option<&mut SparseJacSolver> {
+        self.sparse.as_mut()
     }
 }
 
@@ -194,18 +220,29 @@ where
     // lint: hot-loop
     for iter in 1..=opts.max_iters {
         assemble(&ws.x, &mut ws.residual, &mut ws.jacobian)?;
-        if !ws.residual.is_finite() || !ws.jacobian.is_finite() {
+        if !ws.residual.is_finite() {
             return Err(SpiceError::NumericalBlowup { time: f64::NAN });
         }
-        let lu = match ws.lu.as_mut() {
-            Some(lu) => {
-                lu.refactor(&ws.jacobian)?;
-                lu
-            }
-            // lint: allow(hot-loop-alloc, reason = "cold path: the factor is built on the workspace's first solve and refactored in place after")
-            None => ws.lu.insert(LuFactor::new(&ws.jacobian)?),
-        };
-        lu.solve_into(&ws.residual, &mut ws.delta)?;
+        if let Some(sp) = ws.sparse.as_mut() {
+            // Sparse-direct path: gather + allocation-free refactor (the
+            // first call performs the one-time analysis inside the solver).
+            // Jacobian blow-up is detected on the gathered O(nnz) values
+            // inside `factor_from`; the O(n²) dense scan is skipped.
+            sp.factor_from(&ws.jacobian)?;
+            sp.solve_into(&ws.residual, &mut ws.delta)?;
+        } else if !ws.jacobian.is_finite() {
+            return Err(SpiceError::NumericalBlowup { time: f64::NAN });
+        } else {
+            let lu = match ws.lu.as_mut() {
+                Some(lu) => {
+                    lu.refactor(&ws.jacobian)?;
+                    lu
+                }
+                // lint: allow(hot-loop-alloc, reason = "cold path: the factor is built on the workspace's first solve and refactored in place after")
+                None => ws.lu.insert(LuFactor::new(&ws.jacobian)?),
+            };
+            lu.solve_into(&ws.residual, &mut ws.delta)?;
+        }
         // Newton step is x ← x − J⁻¹F.
         for d in ws.delta.iter_mut() {
             *d = -*d;
@@ -372,6 +409,57 @@ mod tests {
         .unwrap();
         assert!((sol.x[0] - 2.0).abs() < 1e-8);
         assert!((sol.x[1] - 1.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn sparse_workspace_matches_dense_workspace_on_circuit_solve() {
+        use crate::devices::{Resistor, VoltageSource};
+        use crate::solver::SparseJacSolver;
+        use crate::waveform::{Params, Waveform};
+
+        // A resistive ladder behind a voltage source (MNA: the branch row
+        // has a zero diagonal, so this also exercises sparse pivoting).
+        let mut c = crate::Circuit::new();
+        let mut prev = c.node("in");
+        c.add(VoltageSource::new(
+            "V1",
+            prev,
+            crate::Circuit::GROUND,
+            Waveform::dc(1.0),
+        ));
+        for s in 0..20 {
+            let node = c.node(&format!("n{s}"));
+            c.add(Resistor::new(&format!("R{s}"), prev, node, 1e3));
+            prev = node;
+        }
+        c.add(Resistor::new("Rload", prev, crate::Circuit::GROUND, 1e3));
+        let params = Params::default();
+        let n = c.unknown_count();
+        let x0 = Vector::zeros(n);
+        let opts = NewtonOptions {
+            max_step: f64::INFINITY,
+            ..NewtonOptions::default()
+        };
+        let assemble = |x: &Vector, f: &mut Vector, j: &mut Matrix| -> Result<()> {
+            let stamps = c.assemble(x, 0.0, &params, 1.0);
+            f.copy_from(&stamps.f);
+            j.copy_from(&stamps.g).unwrap();
+            Ok(())
+        };
+
+        let mut dense_ws = NewtonWorkspace::new(n);
+        solve_in_place(&mut dense_ws, &x0, &opts, assemble).unwrap();
+
+        let mut sparse_ws = NewtonWorkspace::new(n);
+        sparse_ws.set_sparse_solver(Some(SparseJacSolver::new(&c, &params).unwrap()));
+        assert!(sparse_ws.sparse_solver().is_some());
+        assert!(sparse_ws.jacobian_lu().is_none());
+        solve_in_place(&mut sparse_ws, &x0, &opts, assemble).unwrap();
+
+        let diff = sparse_ws.x().sub(dense_ws.x()).norm_inf();
+        assert!(diff < 1e-10, "sparse vs dense newton diverged: {diff:e}");
+        // The ladder divides 1 V evenly: node s sits at (20 − s)/21 V.
+        assert!((sparse_ws.x()[1] - 20.0 / 21.0).abs() < 1e-9);
     }
 
     #[test]

@@ -49,6 +49,22 @@ impl Stamps {
         self.c.fill_zero();
         self.g.fill_zero();
     }
+
+    /// Zeroes the vectors fully but the Jacobians only at the given
+    /// positions — `O(nnz)` instead of `O(n²)`, the sparse hot path's
+    /// per-iteration clear.
+    ///
+    /// Sound only under the pattern-preserving stamping invariant: every
+    /// `C`/`G` write since the last full [`Stamps::clear`] must have hit a
+    /// position inside `pattern`, so everything outside it is still zero.
+    pub fn clear_pattern(&mut self, pattern: &[(usize, usize)]) {
+        self.q.fill_zero();
+        self.f.fill_zero();
+        for &(i, j) in pattern {
+            self.c[(i, j)] = 0.0;
+            self.g[(i, j)] = 0.0;
+        }
+    }
 }
 
 /// Evaluation context handed to devices while stamping.
@@ -92,15 +108,35 @@ impl<'a> EvalContext<'a> {
 /// All methods accept `Option<usize>` equation/variable indices so that
 /// ground connections (`None`) are silently dropped, exactly as in
 /// textbook MNA stamping.
+///
+/// Device stamping is *pattern-preserving*: the set of `(eq, var)`
+/// positions a device touches depends only on the topology, never on the
+/// evaluation point. [`Stamper::with_pattern`] exploits that to record the
+/// step-Jacobian sparsity structure from a single probe assembly.
 #[derive(Debug)]
 pub struct Stamper<'a> {
     stamps: &'a mut Stamps,
+    /// When present, every `C`/`G` position stamped is appended here
+    /// (duplicates included; callers sort + dedup afterwards).
+    pattern: Option<&'a mut Vec<(usize, usize)>>,
 }
 
 impl<'a> Stamper<'a> {
     /// Wraps a workspace for stamping.
     pub fn new(stamps: &'a mut Stamps) -> Self {
-        Stamper { stamps }
+        Stamper {
+            stamps,
+            pattern: None,
+        }
+    }
+
+    /// Wraps a workspace and records every Jacobian position stamped via
+    /// [`Stamper::add_c`]/[`Stamper::add_g`] into `pattern`.
+    pub fn with_pattern(stamps: &'a mut Stamps, pattern: &'a mut Vec<(usize, usize)>) -> Self {
+        Stamper {
+            stamps,
+            pattern: Some(pattern),
+        }
     }
 
     /// Adds `value` to the charge vector at equation `eq`.
@@ -121,6 +157,9 @@ impl<'a> Stamper<'a> {
     pub fn add_c(&mut self, eq: Option<usize>, var: Option<usize>, value: f64) {
         if let (Some(i), Some(j)) = (eq, var) {
             self.stamps.c.add_at(i, j, value);
+            if let Some(pattern) = self.pattern.as_deref_mut() {
+                pattern.push((i, j));
+            }
         }
     }
 
@@ -128,6 +167,9 @@ impl<'a> Stamper<'a> {
     pub fn add_g(&mut self, eq: Option<usize>, var: Option<usize>, value: f64) {
         if let (Some(i), Some(j)) = (eq, var) {
             self.stamps.g.add_at(i, j, value);
+            if let Some(pattern) = self.pattern.as_deref_mut() {
+                pattern.push((i, j));
+            }
         }
     }
 
@@ -186,6 +228,20 @@ mod tests {
         let mut st = Stamper::new(&mut s);
         st.stamp_capacitance(Some(0), None, 1e-12);
         assert_eq!(s.c[(0, 0)], 1e-12);
+    }
+
+    #[test]
+    fn pattern_recording_captures_jacobian_positions_only() {
+        let mut s = Stamps::new(3);
+        let mut pattern = Vec::new();
+        let mut st = Stamper::with_pattern(&mut s, &mut pattern);
+        st.stamp_conductance(Some(0), Some(1), 2.0);
+        st.add_c(Some(2), Some(2), 1e-15);
+        st.add_g(None, Some(1), 1.0); // ground: dropped from values AND pattern
+        st.add_f(Some(2), 1.0); // residual writes are not Jacobian structure
+        pattern.sort_unstable();
+        pattern.dedup();
+        assert_eq!(pattern, vec![(0, 0), (0, 1), (1, 0), (1, 1), (2, 2)]);
     }
 
     #[test]

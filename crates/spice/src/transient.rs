@@ -23,6 +23,7 @@ use shc_linalg::{LuFactor, Matrix, Vector};
 use crate::circuit::Circuit;
 use crate::dcop::{self, DcOptions};
 use crate::newton::{self, NewtonOptions};
+use crate::solver::{SolverChoice, SparseJacSolver};
 use crate::stamp::Stamps;
 use crate::waveform::{Param, Params};
 use crate::{Result, SpiceError};
@@ -156,6 +157,9 @@ pub struct TransientOptions {
     pub lte_reltol: f64,
     /// LTE absolute tolerance in volts (adaptive mode).
     pub lte_abstol: f64,
+    /// Linear-solver backend for the per-step Newton solves (and, via
+    /// [`DcOptions::solver`], the DC operating point).
+    pub solver: SolverChoice,
 }
 
 impl TransientOptions {
@@ -176,6 +180,7 @@ impl TransientOptions {
                 initial: InitialCondition::default(),
                 lte_reltol: 1e-3,
                 lte_abstol: 1e-4,
+                solver: SolverChoice::Auto,
             },
         }
     }
@@ -229,6 +234,14 @@ impl TransientOptionsBuilder {
     /// Overrides the per-step Newton options.
     pub fn newton(mut self, newton: NewtonOptions) -> Self {
         self.opts.newton = newton;
+        self
+    }
+
+    /// Selects the linear-solver backend for both the transient Newton
+    /// solves and the DC operating point.
+    pub fn solver(mut self, solver: SolverChoice) -> Self {
+        self.opts.solver = solver;
+        self.opts.dc.solver = solver;
         self
     }
 
@@ -502,6 +515,7 @@ impl<'a> TransientAnalysis<'a> {
         let opts = &self.opts;
         let n = circuit.unknown_count();
         scratch.ensure(n, opts.sensitivities.len());
+        scratch.configure_solver(circuit, params, opts.solver)?;
 
         let x0 = match &opts.initial {
             InitialCondition::DcOperatingPoint => dcop::solve_dc(circuit, params, &opts.dc)?.x,
@@ -550,6 +564,7 @@ impl<'a> TransientAnalysis<'a> {
             stamps_hist,
             sens_jac,
             sens_lu,
+            sens_sparse,
             sens_rhs,
             sens_tmp,
             cg_tmp,
@@ -559,7 +574,14 @@ impl<'a> TransientAnalysis<'a> {
             lte_err,
             hist_x,
             hist_sens,
+            jac_pattern,
         } = scratch;
+
+        // Sparse fast path: with the solver installed, every stamp clear
+        // and Jacobian combine below touches only the probed pattern
+        // positions — O(nnz) per Newton iteration instead of O(n²).
+        let pattern: Option<&[(usize, usize)]> =
+            nw.sparse_solver().is_some().then_some(&jac_pattern[..]);
 
         // Previous-step quantities for the recursions.
         let mut x_prev = x0;
@@ -599,15 +621,17 @@ impl<'a> TransientAnalysis<'a> {
             // allocation happens per iteration.
             let integ = opts.integrator;
             let mut assemble = |x: &Vector, r: &mut Vector, j: &mut Matrix| {
-                circuit.assemble_into(nr_stamps, x, t_new, params, 1.0);
+                match pattern {
+                    Some(p) => circuit.assemble_sparse_into(nr_stamps, x, t_new, params, 1.0, p),
+                    None => circuit.assemble_into(nr_stamps, x, t_new, params, 1.0),
+                }
                 let s = &*nr_stamps;
-                match integ {
+                let (c_scale, a) = match integ {
                     Integrator::BackwardEuler => {
                         r.copy_from(&s.q);
                         r.axpy(-1.0, &stamps_prev.q);
                         r.axpy(dt_eff, &s.f);
-                        j.copy_from(&s.c).expect("shapes match by construction");
-                        j.axpy(dt_eff, &s.g).expect("shapes match by construction");
+                        (None, dt_eff)
                     }
                     Integrator::Trapezoidal => {
                         let half = 0.5 * dt_eff;
@@ -615,8 +639,7 @@ impl<'a> TransientAnalysis<'a> {
                         r.axpy(-1.0, &stamps_prev.q);
                         r.axpy(half, &s.f);
                         r.axpy(half, &stamps_prev.f);
-                        j.copy_from(&s.c).expect("shapes match by construction");
-                        j.axpy(half, &s.g).expect("shapes match by construction");
+                        (None, half)
                     }
                     Integrator::Gear2 => match gear_coeffs {
                         Some((c0, c1, c2)) => {
@@ -625,20 +648,18 @@ impl<'a> TransientAnalysis<'a> {
                             r.axpy(-c1, &stamps_prev.q);
                             r.axpy(c2, &stamps_hist.q);
                             r.axpy(dt_eff, &s.f);
-                            j.copy_from(&s.c).expect("shapes match by construction");
-                            j.scale_mut(c0);
-                            j.axpy(dt_eff, &s.g).expect("shapes match by construction");
+                            (Some(c0), dt_eff)
                         }
                         None => {
                             // First step: Backward Euler.
                             r.copy_from(&s.q);
                             r.axpy(-1.0, &stamps_prev.q);
                             r.axpy(dt_eff, &s.f);
-                            j.copy_from(&s.c).expect("shapes match by construction");
-                            j.axpy(dt_eff, &s.g).expect("shapes match by construction");
+                            (None, dt_eff)
                         }
                     },
-                }
+                };
+                combine_step_jacobian_into(j, &s.c, &s.g, c_scale, a, pattern);
                 Ok(())
             };
             let solve_result =
@@ -732,7 +753,10 @@ impl<'a> TransientAnalysis<'a> {
 
             // Accepted: re-stamp at the converged point for exact C_i, G_i,
             // q_i, f_i and the sensitivity solves.
-            circuit.assemble_into(stamps_new, x_new, t_new, params, 1.0);
+            match pattern {
+                Some(p) => circuit.assemble_sparse_into(stamps_new, x_new, t_new, params, 1.0, p),
+                None => circuit.assemble_into(stamps_new, x_new, t_new, params, 1.0),
+            }
             if !sens.is_empty() {
                 let gear_sens_coeffs = if matches!(opts.integrator, Integrator::Gear2) {
                     gear_coeffs
@@ -740,24 +764,45 @@ impl<'a> TransientAnalysis<'a> {
                     None
                 };
                 let (c_scale, a) = match (opts.integrator, &gear_sens_coeffs) {
-                    (Integrator::BackwardEuler, _) => (1.0, dt_eff),
-                    (Integrator::Trapezoidal, _) => (1.0, 0.5 * dt_eff),
-                    (Integrator::Gear2, Some((c0, _, _))) => (*c0, dt_eff),
-                    (Integrator::Gear2, None) => (1.0, dt_eff), // first step: BE
+                    (Integrator::BackwardEuler, _) => (None, dt_eff),
+                    (Integrator::Trapezoidal, _) => (None, 0.5 * dt_eff),
+                    (Integrator::Gear2, Some((c0, _, _))) => (Some(*c0), dt_eff),
+                    (Integrator::Gear2, None) => (None, dt_eff), // first step: BE
                 };
-                sens_jac
-                    .copy_from(&stamps_new.c)
-                    .expect("shapes match by construction");
-                sens_jac.scale_mut(c_scale);
-                sens_jac
-                    .axpy(a, &stamps_new.g)
-                    .expect("shapes match by construction");
-                let lu = match sens_lu.as_mut() {
-                    Some(lu) => {
-                        with_lu_fault_retries(|| lu.refactor(sens_jac))?;
-                        lu
-                    }
-                    None => sens_lu.insert(with_lu_fault_retries(|| LuFactor::new(sens_jac))?),
+                combine_step_jacobian_into(
+                    sens_jac,
+                    &stamps_new.c,
+                    &stamps_new.g,
+                    c_scale,
+                    a,
+                    pattern,
+                );
+                // The sensitivity solves reuse whichever backend the
+                // Newton path runs on, factoring the sensitivity Jacobian
+                // once per accepted step and back-substituting per
+                // parameter.
+                enum SensSolver<'s> {
+                    Dense(&'s mut LuFactor),
+                    Sparse(&'s mut SparseJacSolver),
+                }
+                let mut sens_solver = if let Some(src) = nw.sparse_solver() {
+                    let sp = match sens_sparse.as_mut() {
+                        Some(sp) => sp,
+                        // Cold, once per scratch lifetime: the clone
+                        // shares the Newton solver's symbolic analysis.
+                        None => sens_sparse.insert(src.clone()),
+                    };
+                    with_lu_fault_retries(|| sp.factor_from(sens_jac))?;
+                    SensSolver::Sparse(sp)
+                } else {
+                    let lu = match sens_lu.as_mut() {
+                        Some(lu) => {
+                            with_lu_fault_retries(|| lu.refactor(sens_jac))?;
+                            lu
+                        }
+                        None => sens_lu.insert(with_lu_fault_retries(|| LuFactor::new(sens_jac))?),
+                    };
+                    SensSolver::Dense(lu)
                 };
                 for (k, (param, m)) in sens.iter_mut().enumerate() {
                     circuit.assemble_dfdp_into(dfdp_tmp, zero_x, t_new, params, *param);
@@ -782,7 +827,14 @@ impl<'a> TransientAnalysis<'a> {
                             sens_rhs.axpy(-dt_eff, dfdp_tmp);
                         }
                     }
-                    with_lu_fault_retries(|| lu.solve_into(sens_rhs, sens_tmp))?;
+                    match &mut sens_solver {
+                        SensSolver::Dense(lu) => {
+                            with_lu_fault_retries(|| lu.solve_into(sens_rhs, sens_tmp))?;
+                        }
+                        SensSolver::Sparse(sp) => {
+                            with_lu_fault_retries(|| sp.solve_into(sens_rhs, sens_tmp))?;
+                        }
+                    }
                     // Rotate: the pre-update m becomes the two-ago history.
                     mem::swap(&mut hist_sens[k], m);
                     m.copy_from(sens_tmp);
@@ -836,6 +888,37 @@ impl<'a> TransientAnalysis<'a> {
     }
 }
 
+/// Writes the step Jacobian `c_scale·C + a·G` into `j` (`c_scale` is
+/// `None` for the integrators whose charge term is unscaled): densely, or
+/// — when the sparse path supplies the probed pattern — only at the
+/// pattern positions, leaving the structurally-zero remainder untouched.
+/// The dense branch preserves the exact copy/scale/axpy arithmetic order
+/// so the dense path stays bitwise identical to its golden history.
+fn combine_step_jacobian_into(
+    j: &mut Matrix,
+    c: &Matrix,
+    g: &Matrix,
+    c_scale: Option<f64>,
+    a: f64,
+    pattern: Option<&[(usize, usize)]>,
+) {
+    match pattern {
+        Some(entries) => {
+            let s = c_scale.unwrap_or(1.0);
+            for &(row, col) in entries {
+                j[(row, col)] = s * c[(row, col)] + a * g[(row, col)];
+            }
+        }
+        None => {
+            j.copy_from(c).expect("shapes match by construction");
+            if let Some(s) = c_scale {
+                j.scale_mut(s);
+            }
+            j.axpy(a, g).expect("shapes match by construction");
+        }
+    }
+}
+
 /// Reusable per-run workspace for [`TransientAnalysis::run_with_scratch`].
 ///
 /// A characterization sweep performs thousands of transient runs over a
@@ -854,6 +937,9 @@ pub struct TransientScratch {
     stamps_hist: Stamps,
     sens_jac: Matrix,
     sens_lu: Option<LuFactor>,
+    /// Sparse-path sensitivity solver; created (cold) by cloning the
+    /// Newton solver so both share one symbolic analysis.
+    sens_sparse: Option<SparseJacSolver>,
     sens_rhs: Vector,
     sens_tmp: Vector,
     cg_tmp: Vector,
@@ -863,6 +949,11 @@ pub struct TransientScratch {
     lte_err: Vector,
     hist_x: Vector,
     hist_sens: Vec<Vector>,
+    /// Copy of the sparse solver's Jacobian pattern (empty on the dense
+    /// path), held outside the Newton workspace so the assembly closure
+    /// can address the stamp matrices sparsely while the workspace is
+    /// mutably borrowed by the solve.
+    jac_pattern: Vec<(usize, usize)>,
 }
 
 impl TransientScratch {
@@ -876,6 +967,7 @@ impl TransientScratch {
             stamps_hist: Stamps::new(n),
             sens_jac: Matrix::zeros(n, n),
             sens_lu: None,
+            sens_sparse: None,
             sens_rhs: Vector::zeros(n),
             sens_tmp: Vector::zeros(n),
             cg_tmp: Vector::zeros(n),
@@ -885,6 +977,7 @@ impl TransientScratch {
             lte_err: Vector::zeros(n),
             hist_x: Vector::zeros(n),
             hist_sens: Vec::new(),
+            jac_pattern: Vec::new(),
         }
     }
 
@@ -902,6 +995,53 @@ impl TransientScratch {
         if self.hist_sens.len() != n_sens {
             self.hist_sens = (0..n_sens).map(|_| Vector::zeros(n)).collect();
         }
+    }
+
+    /// Installs or validates the sparse solve path for one run.
+    ///
+    /// The guard is one pattern probe per run (an assembly at `x = 0`,
+    /// no allocation once the probe buffer is warm); the symbolic
+    /// analysis carried by an already-installed solver is reused whenever
+    /// the circuit still probes to the same pattern, so repeated runs
+    /// over one topology analyze exactly once.
+    fn configure_solver(
+        &mut self,
+        circuit: &Circuit,
+        params: &Params,
+        choice: SolverChoice,
+    ) -> Result<()> {
+        if choice.wants_sparse(circuit.unknown_count()) {
+            let reuse = match self.newton.sparse_solver_mut() {
+                Some(sp) => sp.matches_pattern(circuit, &mut self.nr_stamps, &self.zero_x, params),
+                None => false,
+            };
+            if !reuse {
+                self.newton
+                    .set_sparse_solver(Some(SparseJacSolver::new(circuit, params)?));
+                self.sens_sparse = None;
+            }
+            // The hot loop addresses the stamp and Jacobian matrices only
+            // at the pattern positions (O(nnz) per iteration); copy the
+            // pattern out of the solver so the assembly closure can use it
+            // while the Newton workspace is mutably borrowed, and give
+            // every assembly buffer one full O(n²) clear per run to
+            // establish the zero-outside-pattern invariant (a previous
+            // dense run over a different same-size circuit may have left
+            // stale off-pattern entries).
+            let sp = self.newton.sparse_solver().expect("installed above");
+            self.jac_pattern.clear();
+            self.jac_pattern.extend_from_slice(sp.pattern());
+            self.nr_stamps.clear();
+            self.stamps_prev.clear();
+            self.stamps_new.clear();
+            self.stamps_hist.clear();
+            self.sens_jac.fill_zero();
+        } else {
+            self.newton.set_sparse_solver(None);
+            self.sens_sparse = None;
+            self.jac_pattern.clear();
+        }
+        Ok(())
     }
 }
 
@@ -1161,6 +1301,133 @@ mod tests {
                 res.stats().steps
             );
         }
+    }
+
+    /// Builds an RC delay chain behind the parameterized data pulse so
+    /// sensitivity propagation has something real to track.
+    fn rc_chain_with_pulse(stages: usize) -> Circuit {
+        let mut c = Circuit::new();
+        let mut prev = c.node("in");
+        let pulse = DataPulse {
+            v_rest: 0.0,
+            v_active: 1.0,
+            t_edge: 2e-7,
+            rise: 1e-7,
+            fall: 1e-7,
+            shape: RampShape::Smoothstep,
+        };
+        c.add(VoltageSource::new(
+            "Vd",
+            prev,
+            Circuit::GROUND,
+            Waveform::Data(pulse),
+        ));
+        for s in 0..stages {
+            let node = c.node(&format!("n{s}"));
+            c.add(Resistor::new(&format!("R{s}"), prev, node, 1e3));
+            c.add(Capacitor::new(
+                &format!("C{s}"),
+                node,
+                Circuit::GROUND,
+                1e-11,
+            ));
+            prev = node;
+        }
+        c
+    }
+
+    /// The sparse path must reproduce the dense trajectory (state AND
+    /// sensitivities) to solver tolerance on the same circuit, and the
+    /// warm sparse stepping loop must stay matrix-allocation-free —
+    /// including the per-run pattern re-probe and the shared-symbolic
+    /// sensitivity solver.
+    #[test]
+    fn sparse_transient_matches_dense_and_keeps_warm_loop_allocation_free() {
+        let c = rc_chain_with_pulse(30);
+        let n = c.unknown_count();
+        let params = Params::new(1e-7, 1e-7);
+        let run = |choice: crate::SolverChoice, scratch: &mut TransientScratch| {
+            let opts = TransientOptions::builder(6e-7)
+                .dt(2e-9)
+                .sensitivities(&Param::ALL)
+                .record(RecordMode::FinalOnly)
+                .initial(InitialCondition::Given(Vector::zeros(n)))
+                .solver(choice)
+                .build();
+            TransientAnalysis::new(&c, opts)
+                .run_with_scratch(&params, scratch)
+                .unwrap()
+        };
+
+        let mut scratch = TransientScratch::new(n);
+        let dense = run(crate::SolverChoice::Dense, &mut scratch);
+        let sparse = run(crate::SolverChoice::Sparse, &mut scratch);
+        assert_eq!(dense.stats().steps, sparse.stats().steps);
+        let diff = dense.final_state().sub(sparse.final_state()).norm_inf();
+        assert!(diff < 1e-9, "sparse vs dense final state: {diff:e}");
+        for p in Param::ALL {
+            let md = dense.final_sensitivity(p).unwrap();
+            let ms = sparse.final_sensitivity(p).unwrap();
+            let sdiff = md.sub(ms).norm_inf();
+            assert!(sdiff < 1e-6 * md.norm_inf().max(1.0), "{p:?}: {sdiff:e}");
+        }
+
+        // The sparse scratch is warm now: a repeat run (pattern re-probe,
+        // Newton refactors, sensitivity solves) must allocate nothing.
+        let before = shc_linalg::matrix_allocations();
+        let warm = run(crate::SolverChoice::Sparse, &mut scratch);
+        let allocated = shc_linalg::matrix_allocations() - before;
+        assert!(warm.stats().steps > 100, "test wants a real stepping loop");
+        assert_eq!(
+            allocated, 0,
+            "warm sparse run allocated {allocated} matrix/sparse buffers"
+        );
+    }
+
+    /// The sparse work counters must reconcile with the run shape: one
+    /// analysis per topology, one fresh factor, refactors on every later
+    /// Newton iteration, and a solve per iteration plus two per accepted
+    /// step for the sensitivities.
+    #[test]
+    fn sparse_transient_work_counters_reconcile() {
+        let c = rc_chain_with_pulse(20);
+        let n = c.unknown_count();
+        let params = Params::new(1e-7, 1e-7);
+        let opts = TransientOptions::builder(4e-7)
+            .dt(4e-9)
+            .sensitivities(&Param::ALL)
+            .record(RecordMode::FinalOnly)
+            .initial(InitialCondition::Given(Vector::zeros(n)))
+            .solver(crate::SolverChoice::Sparse)
+            .build();
+        let collector = shc_obs::Collector::new();
+        let stats = {
+            let _guard = shc_obs::install_scoped(&collector);
+            *TransientAnalysis::new(&c, opts)
+                .run(&params)
+                .unwrap()
+                .stats()
+        };
+        let snap = collector.snapshot();
+        assert_eq!(snap.counter(shc_obs::Metric::SparseAnalyses), 1);
+        let factors = snap.counter(shc_obs::Metric::SparseFactors);
+        let refactors = snap.counter(shc_obs::Metric::SparseRefactors);
+        let solves = snap.counter(shc_obs::Metric::SparseSolves);
+        // The Newton path factors once per iteration (the first via
+        // `SparseLu::new`, later ones as refactors); the sensitivity
+        // solver — a clone carrying warm factors — refactors once per
+        // accepted step.
+        assert!(factors >= 1, "factors = {factors}");
+        assert_eq!(
+            factors + refactors,
+            stats.newton_iterations as u64 + stats.steps as u64,
+            "factor work must match newton + sensitivity factorizations"
+        );
+        assert_eq!(
+            solves,
+            stats.newton_iterations as u64 + 2 * stats.steps as u64,
+            "solve count must match newton iterations + 2 sens solves/step"
+        );
     }
 
     /// Telemetry must be free where it matters: with a collector installed

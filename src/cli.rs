@@ -15,7 +15,7 @@ use shc_core::{
     CharacterizationProblem, CheckpointConfig, SeedOptions, TraceOutcome, TraceStart, TracerOptions,
 };
 use shc_obs::{Collector, FileSink, Sink};
-use shc_spice::netlist;
+use shc_spice::{netlist, SolverChoice};
 
 /// Parsed command-line configuration.
 #[derive(Debug, Clone, PartialEq)]
@@ -40,6 +40,8 @@ pub struct CliConfig {
     pub points: usize,
     /// Reference setup skew override (needed for transparent latches).
     pub reference_setup: Option<f64>,
+    /// Linear-solver backend (`--solver dense|sparse|auto`).
+    pub solver: SolverChoice,
     /// JSONL run-journal path (one event per traced contour point).
     pub journal: Option<String>,
     /// End-of-run metrics JSON path.
@@ -85,6 +87,10 @@ options:
   --points <n>          contour points to trace   [20]
   --reference-setup <t> reference setup skew (transparent latches need a
                         near-edge value, e.g. 0.12n)
+  --solver <backend>    dense | sparse | auto     [auto]
+                        linear solver behind the Newton loops; auto picks
+                        sparse-direct LU for large netlists and the dense
+                        (bitwise-reproducible) path for small ones
 telemetry:
   --journal <path>      write a JSONL run journal: one event per traced
                         contour point (tau_s, tau_h, residual, Jacobian
@@ -132,6 +138,7 @@ pub fn parse_args(args: &[String]) -> Result<CliConfig, UsageError> {
         degradation: 0.1,
         points: 20,
         reference_setup: None,
+        solver: SolverChoice::Auto,
         journal: None,
         metrics: None,
         fault_plan: None,
@@ -192,6 +199,12 @@ pub fn parse_args(args: &[String]) -> Result<CliConfig, UsageError> {
                     netlist::parse_value(&v)
                         .ok_or_else(|| UsageError(format!("bad --reference-setup value '{v}'")))?,
                 );
+            }
+            "--solver" => {
+                let v = value_for("--solver")?;
+                cfg.solver = v
+                    .parse()
+                    .map_err(|e| UsageError(format!("bad --solver: {e}")))?;
             }
             "--journal" => cfg.journal = Some(value_for("--journal")?),
             "--metrics" => cfg.metrics = Some(value_for("--metrics")?),
@@ -334,7 +347,9 @@ pub fn run(deck: &str, cfg: &CliConfig) -> Result<String, Box<dyn std::error::Er
 fn run_pipeline(deck: &str, cfg: &CliConfig) -> Result<String, Box<dyn std::error::Error>> {
     let _span = shc_obs::span(shc_obs::SpanKind::CliRun);
     let register = build_register(deck, cfg)?;
-    let mut builder = CharacterizationProblem::builder(register).degradation(cfg.degradation);
+    let mut builder = CharacterizationProblem::builder(register)
+        .degradation(cfg.degradation)
+        .solver(cfg.solver);
     if let Some(rs) = cfg.reference_setup {
         builder = builder.reference_setup(rs);
     }
@@ -479,6 +494,28 @@ mod tests {
         ]))
         .unwrap_err();
         assert!(e.to_string().contains("--checkpoint-every"));
+    }
+
+    #[test]
+    fn parses_solver_choices_and_rejects_unknown() {
+        for (v, want) in [
+            ("dense", SolverChoice::Dense),
+            ("sparse", SolverChoice::Sparse),
+            ("auto", SolverChoice::Auto),
+        ] {
+            let cfg = parse_args(&args(&[
+                "cell.sp", "--output", "q", "--edge", "1n", "--solver", v,
+            ]))
+            .unwrap();
+            assert_eq!(cfg.solver, want);
+        }
+        let cfg = parse_args(&args(&["cell.sp", "--output", "q", "--edge", "1n"])).unwrap();
+        assert_eq!(cfg.solver, SolverChoice::Auto);
+        let e = parse_args(&args(&[
+            "cell.sp", "--output", "q", "--edge", "1n", "--solver", "cholesky",
+        ]))
+        .unwrap_err();
+        assert!(e.to_string().contains("--solver"));
     }
 
     #[test]

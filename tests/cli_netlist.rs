@@ -41,6 +41,7 @@ fn latch_config() -> CliConfig {
         checkpoint: None,
         checkpoint_every: 5,
         resume: None,
+        solver: shc::spice::SolverChoice::Auto,
     }
 }
 
@@ -266,6 +267,7 @@ fn hierarchical_tspc_deck_matches_builtin_fixture() {
         checkpoint: None,
         checkpoint_every: 5,
         resume: None,
+        solver: shc::spice::SolverChoice::Auto,
     };
     let deck_problem =
         CharacterizationProblem::builder(cli::build_register(TSPC_DECK_FAST, &cfg).unwrap())

@@ -1,16 +1,15 @@
 //! Large-circuit scaling: an RC-ladder parasitic network with hundreds of
-//! nodes, assembled by the MNA engine and solved through the sparse
-//! iterative stack — the path a post-layout characterization run would
-//! take.
+//! nodes, assembled by the MNA engine and solved through the sparse-direct
+//! stack — the path a post-layout characterization run takes.
 
-use shc::linalg::{gmres, CsrMatrix, GmresOptions, Ilu0, Vector};
+use shc::linalg::{CsrMatrix, SparseLu, Vector};
 use shc::spice::waveform::Params;
-use shc::spice::{Capacitor, Circuit, CurrentSource, Resistor, VoltageSource, Waveform};
+use shc::spice::{
+    Capacitor, Circuit, CurrentSource, Resistor, SolverChoice, VoltageSource, Waveform,
+};
 
 /// RC ladder driven by a current source: a *pure nodal* system, so every
-/// MNA diagonal is structurally nonzero (ILU(0), like most zero-fill
-/// preconditioners, requires that; voltage-source branch rows would need a
-/// reordering pass first).
+/// MNA diagonal is structurally nonzero.
 fn rc_ladder_nodal(n: usize) -> Circuit {
     let mut c = Circuit::new();
     let mut prev = c.node("in");
@@ -36,6 +35,8 @@ fn rc_ladder_nodal(n: usize) -> Circuit {
 }
 
 /// The same ladder driven by an ideal voltage source (for the transient).
+/// The branch-current row has a structurally zero diagonal, exercising the
+/// sparse factorization's partial pivoting.
 fn rc_ladder_vsrc(n: usize) -> Circuit {
     let mut c = Circuit::new();
     let mut prev = c.node("in");
@@ -60,7 +61,7 @@ fn rc_ladder_vsrc(n: usize) -> Circuit {
 }
 
 #[test]
-fn ladder_jacobian_solves_sparse_and_dense_agree() {
+fn ladder_jacobian_sparse_direct_and_dense_agree() {
     let n_sections = 300;
     let circuit = rc_ladder_nodal(n_sections);
     let n = circuit.unknown_count();
@@ -87,27 +88,62 @@ fn ladder_jacobian_solves_sparse_and_dense_agree() {
         sparse.nnz(),
         n
     );
-    let ilu = Ilu0::new(&sparse).expect("ilu0");
-    let result = gmres(
-        &sparse,
-        &rhs,
-        &Vector::zeros(n),
-        |v| ilu.apply(v),
-        &GmresOptions {
-            tol: 1e-12,
-            max_iters: 2000,
-            ..GmresOptions::default()
-        },
-    )
-    .expect("gmres converges");
-
-    let dev = result.x.sub(&dense_x).norm_inf() / dense_x.norm_inf().max(1e-300);
-    assert!(dev < 1e-8, "sparse vs dense relative deviation {dev:.2e}");
-    // Tridiagonal-ish system + ILU(0): convergence should be immediate.
+    let mut lu = SparseLu::new(&sparse).expect("sparse factorization");
+    // The fill-reducing ordering must keep a (near-)tridiagonal system
+    // (near-)fill-free; anything superlinear would defeat the point.
     assert!(
-        result.iterations <= 10,
-        "ILU(0)-preconditioned ladder took {} iterations",
-        result.iterations
+        lu.factor_nnz() < 2 * sparse.nnz() + n,
+        "fill-in exploded: L+U holds {} nonzeros for {} structural",
+        lu.factor_nnz(),
+        sparse.nnz()
+    );
+    let mut sparse_x = Vector::zeros(n);
+    lu.solve_into(&rhs, &mut sparse_x).expect("sparse solve");
+    let dev = sparse_x.sub(&dense_x).norm_inf() / dense_x.norm_inf().max(1e-300);
+    assert!(dev < 1e-8, "sparse vs dense relative deviation {dev:.2e}");
+
+    // Value-only refactor at a different step size must track the dense
+    // solve just as closely.
+    let jac2 = Circuit::combine_jacobian(&stamps.c, &stamps.g, 1.0 / (2.0 * dt));
+    let sparse2 = CsrMatrix::from_dense(&jac2, 0.0).expect("sparse conversion");
+    lu.refactor(&sparse2).expect("refactor");
+    lu.solve_into(&rhs, &mut sparse_x).expect("sparse solve");
+    let dense_x2 = jac2.lu().unwrap().solve(&rhs).unwrap();
+    let dev2 = sparse_x.sub(&dense_x2).norm_inf() / dense_x2.norm_inf().max(1e-300);
+    assert!(
+        dev2 < 1e-8,
+        "refactor vs dense relative deviation {dev2:.2e}"
+    );
+}
+
+#[test]
+fn ladder_transient_identical_on_dense_and_sparse_paths() {
+    use shc::spice::transient::{TransientAnalysis, TransientOptions};
+    let circuit = rc_ladder_vsrc(120);
+    assert!(circuit.unknown_count() > 100);
+    let run = |solver: SolverChoice| {
+        let opts = TransientOptions::builder(2e-10)
+            .dt(1e-12)
+            .solver(solver)
+            .build();
+        TransientAnalysis::new(&circuit, opts)
+            .run(&Params::default())
+            .expect("transient")
+    };
+    let dense = run(SolverChoice::Dense);
+    let sparse = run(SolverChoice::Sparse);
+    assert_eq!(dense.stats().steps, sparse.stats().steps);
+    let diff = dense.final_state().sub(sparse.final_state()).norm_inf();
+    assert!(
+        diff < 1e-9,
+        "dense vs sparse final state differs by {diff:.2e}"
+    );
+    // Auto must pick the sparse path here (same result either way).
+    let auto = run(SolverChoice::Auto);
+    let diff_auto = auto.final_state().sub(sparse.final_state()).norm_inf();
+    assert!(
+        diff_auto < 1e-9,
+        "auto vs sparse differs by {diff_auto:.2e}"
     );
 }
 
