@@ -1,0 +1,73 @@
+//! Benchmark bookkeeping front end.
+//!
+//! ```text
+//! cargo run -p shc-bench --bin bench -- history --rev $(git rev-parse --short HEAD) \
+//!     --timestamp 2026-08-08T12:00:00Z [--root <dir>] [--strict]
+//! ```
+//!
+//! `history` appends the wall-clock figures of the current `BENCH_*.json`
+//! snapshots to `BENCH_history.jsonl` (tagged with the given revision and
+//! timestamp) and prints a `REGRESSION` line for every tracked metric
+//! that slowed down more than 10% against the previous recorded entry.
+//! With `--strict`, regressions also fail the process — the knob CI can
+//! turn when its runners are quiet enough to gate on wall clock.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use shc_bench::history;
+
+const USAGE: &str = "usage: bench history --rev <rev> --timestamp <ts> [--root <dir>] [--strict]";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) != Some("history") {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    }
+    let flag_value = |flag: &str| {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let (Some(rev), Some(timestamp)) = (flag_value("--rev"), flag_value("--timestamp")) else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let root = flag_value("--root").map_or_else(
+        || PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/../..")),
+        PathBuf::from,
+    );
+    let strict = args.iter().any(|a| a == "--strict");
+
+    match history::record(&root, &rev, &timestamp) {
+        Ok((entry, flags)) => {
+            println!(
+                "recorded {} metric(s) at {rev} into {}",
+                entry.metrics.len(),
+                root.join(history::HISTORY_FILE).display()
+            );
+            for (key, v) in &entry.metrics {
+                println!("  {key}: {v:.3} s");
+            }
+            if flags.is_empty() {
+                println!("no throughput regressions vs previous entry");
+                ExitCode::SUCCESS
+            } else {
+                for flag in &flags {
+                    println!("{flag}");
+                }
+                if strict {
+                    ExitCode::FAILURE
+                } else {
+                    ExitCode::SUCCESS
+                }
+            }
+        }
+        Err(e) => {
+            eprintln!("bench history failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

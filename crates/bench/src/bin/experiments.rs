@@ -19,12 +19,18 @@
 //! `--journal <path>` records every traced contour point as one JSONL
 //! event; `--metrics <path>` dumps end-of-run solver counters, histograms,
 //! and span timings as JSON (and prints the human-readable summary).
+//!
+//! `--profile <path>` runs everything under an shc-prof profiler and
+//! writes the phase report as JSON (plus a collapsed-stack `.folded`
+//! flamegraph next to it); `--profile-detail step|iter` picks the
+//! granularity.
 
 use std::path::Path;
+use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::Instant;
 
-use shc_obs::{Collector, FileSink, Sink};
+use shc_obs::{Collector, FileSink, Metric, Sink};
 
 use shc_bench::{Cell, Timing};
 use shc_core::independent::{binary_search, newton, IndependentOptions, SkewAxis};
@@ -40,7 +46,7 @@ fn now() -> Instant {
     Instant::now()
 }
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().collect();
     let timing = if args.iter().any(|a| a == "--fast") {
         Timing::Fast
@@ -68,18 +74,93 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     };
     let journal_path = flag_value("--journal");
     let metrics_path = flag_value("--metrics");
-    let collector = if journal_path.is_some() || metrics_path.is_some() {
-        Some(match &journal_path {
-            Some(path) => {
-                let sink: Arc<dyn Sink> = Arc::new(FileSink::create(Path::new(path))?);
+    let profile_path = flag_value("--profile");
+    let profile_detail = match flag_value("--profile-detail").as_deref() {
+        None | Some("step") => shc_prof::Detail::Step,
+        Some("iter") => shc_prof::Detail::Iter,
+        Some(other) => {
+            eprintln!("--profile-detail must be step or iter, got '{other}'");
+            return ExitCode::FAILURE;
+        }
+    };
+    // A collector is always installed: its transient-run counter feeds
+    // the end-of-run summary line on both the success and failure paths.
+    let collector = match &journal_path {
+        Some(path) => match FileSink::create(Path::new(path)) {
+            Ok(sink) => {
+                let sink: Arc<dyn Sink> = Arc::new(sink);
                 Collector::with_sink(sink)
             }
-            None => Collector::new(),
-        })
-    } else {
-        None
+            Err(e) => {
+                eprintln!("cannot create --journal '{path}': {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => Collector::new(),
     };
-    let _telemetry = collector.as_ref().map(shc_obs::install_scoped);
+    let profiler = profile_path
+        .as_ref()
+        .map(|_| shc_prof::Profiler::with_detail(profile_detail));
+
+    let t0 = now();
+    let result = {
+        let _telemetry = shc_obs::install_scoped(&collector);
+        let _profile = profiler.as_ref().map(shc_prof::install_scoped);
+        run_experiments(
+            timing,
+            surface_n,
+            parallelism,
+            &collector,
+            journal_path.as_deref(),
+            metrics_path.as_deref(),
+        )
+    };
+    let wall_seconds = t0.elapsed().as_secs_f64();
+
+    if let (Some(path), Some(profiler)) = (&profile_path, profiler) {
+        let report = profiler.report("experiments");
+        let folded_path = Path::new(path).with_extension("folded");
+        let written = std::fs::write(path, report.to_json())
+            .and_then(|()| std::fs::write(&folded_path, report.to_folded()));
+        print!("\n{}", report.table());
+        match written {
+            Ok(()) => println!(
+                "profile written to {path} (flamegraph: {})",
+                folded_path.display()
+            ),
+            Err(e) => eprintln!("cannot write --profile '{path}': {e}"),
+        }
+    }
+
+    // One-line accounting on *both* paths: a run that dies mid-table
+    // should still say how much simulation budget it burned and where
+    // it stopped.
+    let simulations = collector.counter(Metric::TransientRuns);
+    match result {
+        Ok(()) => {
+            println!("experiments: {simulations} transient simulations in {wall_seconds:.1} s");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!(
+                "experiments: FAILED after {simulations} transient simulations in {wall_seconds:.1} s"
+            );
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// The evaluation pipeline proper. Telemetry/profiling guards are
+/// installed by `main`, which also owns the end-of-run accounting line.
+fn run_experiments(
+    timing: Timing,
+    surface_n: usize,
+    parallelism: Parallelism,
+    collector: &Collector,
+    journal_path: Option<&str>,
+    metrics_path: Option<&str>,
+) -> Result<(), Box<dyn std::error::Error>> {
     let n_points = 40;
 
     println!("=== shc experiments: DAC 2007 reproduction ({timing:?} clock) ===\n");
@@ -260,14 +341,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     std::fs::write(json_path, json)?;
     println!("wrote {json_path}");
 
-    if let Some(collector) = &collector {
-        collector.flush()?;
+    collector.flush()?;
+    if metrics_path.is_some() || journal_path.is_some() {
         let snapshot = collector.snapshot();
-        if let Some(path) = &metrics_path {
+        if let Some(path) = metrics_path {
             std::fs::write(path, snapshot.to_json())?;
             println!("\nwrote {path}");
         }
-        if let Some(path) = &journal_path {
+        if let Some(path) = journal_path {
             println!("wrote {path}");
         }
         println!("\n{snapshot}");

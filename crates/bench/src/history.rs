@@ -1,0 +1,277 @@
+//! Perf-trajectory consolidation behind `bench history`.
+//!
+//! The repository's benchmark gates each write a standalone snapshot
+//! (`BENCH_sparse.json`, `BENCH_parallel.json`, `BENCH_baseline.json`)
+//! that the next run overwrites, so there is no trend to look at. This
+//! module folds the wall-clock figures of those snapshots into an
+//! append-only `BENCH_history.jsonl` — one line per recorded run, tagged
+//! with the git revision and a caller-supplied timestamp — and flags
+//! throughput regressions against the previous entry.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use shc_obs::json;
+
+/// Schema tag stamped into every history line.
+pub const SCHEMA: &str = "shc-bench-history-v1";
+
+/// Relative slowdown above which a metric is flagged, e.g. `0.10` = 10%.
+pub const REGRESSION_THRESHOLD: f64 = 0.10;
+
+/// History file name, relative to the repository root.
+pub const HISTORY_FILE: &str = "BENCH_history.jsonl";
+
+/// The wall-clock metrics tracked across runs as `(key, source file)`.
+/// All are seconds, so lower is faster for every one of them.
+pub const TRACKED: &[(&str, &str)] = &[
+    ("bank_dense_seconds", "BENCH_sparse.json"),
+    ("bank_sparse_seconds", "BENCH_sparse.json"),
+    ("tspc_dense_seconds", "BENCH_sparse.json"),
+    ("tspc_auto_seconds", "BENCH_sparse.json"),
+    ("c2mos_dense_seconds", "BENCH_sparse.json"),
+    ("c2mos_auto_seconds", "BENCH_sparse.json"),
+    ("serial_seconds", "BENCH_parallel.json"),
+    ("parallel_seconds", "BENCH_parallel.json"),
+];
+
+/// One recorded benchmark run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistoryEntry {
+    /// Git revision the run was taken at (caller-supplied).
+    pub rev: String,
+    /// Timestamp of the run (caller-supplied, any stable format).
+    pub timestamp: String,
+    /// `(metric, seconds)` pairs, in [`TRACKED`] order; metrics whose
+    /// source snapshot was missing are simply absent.
+    pub metrics: Vec<(String, f64)>,
+}
+
+impl HistoryEntry {
+    /// Harvests the tracked metrics from the `BENCH_*.json` snapshots
+    /// under `root`. Missing snapshot files are skipped (their metrics
+    /// are absent from the entry), so a partial bench run still records.
+    ///
+    /// # Errors
+    ///
+    /// Propagates read errors other than "not found".
+    pub fn collect(root: &Path, rev: &str, timestamp: &str) -> io::Result<HistoryEntry> {
+        let mut metrics = Vec::new();
+        let mut cache: Vec<(&str, Option<String>)> = Vec::new();
+        for &(key, file) in TRACKED {
+            let body = match cache.iter().find(|(f, _)| *f == file) {
+                Some((_, body)) => body.clone(),
+                None => {
+                    let body = match fs::read_to_string(root.join(file)) {
+                        Ok(b) => Some(b),
+                        Err(e) if e.kind() == io::ErrorKind::NotFound => None,
+                        Err(e) => return Err(e),
+                    };
+                    cache.push((file, body.clone()));
+                    body
+                }
+            };
+            if let Some(v) = body.as_deref().and_then(|b| json::scan_f64(b, key)) {
+                metrics.push((key.to_string(), v));
+            }
+        }
+        Ok(HistoryEntry {
+            rev: rev.to_string(),
+            timestamp: timestamp.to_string(),
+            metrics,
+        })
+    }
+
+    /// Looks up one metric's seconds.
+    #[must_use]
+    pub fn metric(&self, name: &str) -> Option<f64> {
+        self.metrics
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|&(_, v)| v)
+    }
+
+    /// Renders the entry as one JSONL line (no trailing newline).
+    #[must_use]
+    pub fn to_json_line(&self) -> String {
+        let mut s = String::from("{");
+        let mut first = true;
+        json::push_str_field(&mut s, &mut first, "schema", SCHEMA);
+        json::push_str_field(&mut s, &mut first, "rev", &self.rev);
+        json::push_str_field(&mut s, &mut first, "timestamp", &self.timestamp);
+        for (key, v) in &self.metrics {
+            json::push_f64_field(&mut s, &mut first, key, *v);
+        }
+        s.push('}');
+        s
+    }
+
+    /// Parses a line written by [`HistoryEntry::to_json_line`].
+    #[must_use]
+    pub fn from_json(line: &str) -> Option<HistoryEntry> {
+        let schema = scan_string(line, "schema")?;
+        if schema != SCHEMA {
+            return None;
+        }
+        let mut metrics = Vec::new();
+        for &(key, _) in TRACKED {
+            if let Some(v) = json::scan_f64(line, key) {
+                metrics.push((key.to_string(), v));
+            }
+        }
+        Some(HistoryEntry {
+            rev: scan_string(line, "rev")?,
+            timestamp: scan_string(line, "timestamp")?,
+            metrics,
+        })
+    }
+}
+
+/// Flags every tracked metric that slowed down by more than `threshold`
+/// relative to `previous`. Returns human-readable lines, one per
+/// regression; metrics absent from either entry are not compared.
+#[must_use]
+pub fn regressions(previous: &HistoryEntry, current: &HistoryEntry, threshold: f64) -> Vec<String> {
+    let mut out = Vec::new();
+    for (key, cur) in &current.metrics {
+        let Some(prev) = previous.metric(key) else {
+            continue;
+        };
+        if prev <= 0.0 {
+            continue;
+        }
+        let ratio = cur / prev - 1.0;
+        if ratio > threshold {
+            let mut line = String::new();
+            let _ = write!(
+                line,
+                "REGRESSION {key}: {cur:.3} s vs {prev:.3} s at {} ({:+.1}%, threshold {:.0}%)",
+                previous.rev,
+                100.0 * ratio,
+                100.0 * threshold
+            );
+            out.push(line);
+        }
+    }
+    out
+}
+
+/// The last parseable entry of a history file's contents.
+#[must_use]
+pub fn last_entry(body: &str) -> Option<HistoryEntry> {
+    body.lines()
+        .rev()
+        .find_map(|line| HistoryEntry::from_json(line.trim()))
+}
+
+/// Records one run: harvests the snapshots under `root`, appends the
+/// entry to `BENCH_history.jsonl`, and returns the entry plus any
+/// regression flags against the previous recorded entry.
+///
+/// # Errors
+///
+/// Propagates snapshot-read and history-append I/O errors.
+pub fn record(root: &Path, rev: &str, timestamp: &str) -> io::Result<(HistoryEntry, Vec<String>)> {
+    let entry = HistoryEntry::collect(root, rev, timestamp)?;
+    let path = root.join(HISTORY_FILE);
+    let previous = match fs::read_to_string(&path) {
+        Ok(body) => last_entry(&body),
+        Err(e) if e.kind() == io::ErrorKind::NotFound => None,
+        Err(e) => return Err(e),
+    };
+    let flags = previous
+        .as_ref()
+        .map(|prev| regressions(prev, &entry, REGRESSION_THRESHOLD))
+        .unwrap_or_default();
+    let mut body = entry.to_json_line();
+    body.push('\n');
+    let mut existing = match fs::read_to_string(&path) {
+        Ok(b) => b,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => String::new(),
+        Err(e) => return Err(e),
+    };
+    existing.push_str(&body);
+    fs::write(&path, existing)?;
+    Ok((entry, flags))
+}
+
+/// Scans a JSON string value (the writer never emits escapes in these
+/// fields: revisions and timestamps are plain tokens).
+fn scan_string(text: &str, key: &str) -> Option<String> {
+    let raw = json::raw_value(text, key)?;
+    Some(raw.strip_prefix('"')?.strip_suffix('"')?.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(rev: &str, bank_sparse: f64, serial: f64) -> HistoryEntry {
+        HistoryEntry {
+            rev: rev.to_string(),
+            timestamp: "2026-08-08T00:00:00Z".to_string(),
+            metrics: vec![
+                ("bank_sparse_seconds".to_string(), bank_sparse),
+                ("serial_seconds".to_string(), serial),
+            ],
+        }
+    }
+
+    #[test]
+    fn entry_round_trips_through_jsonl() {
+        let e = entry("abc1234", 0.114, 1.48);
+        let back = HistoryEntry::from_json(&e.to_json_line()).unwrap();
+        assert_eq!(back, e);
+    }
+
+    #[test]
+    fn regressions_flag_only_slowdowns_past_threshold() {
+        let prev = entry("aaa", 1.0, 1.0);
+        // +9% is inside the threshold, +11% is not; speedups never flag.
+        assert!(regressions(&prev, &entry("bbb", 1.09, 0.5), 0.10).is_empty());
+        let flags = regressions(&prev, &entry("ccc", 1.11, 0.5), 0.10);
+        assert_eq!(flags.len(), 1);
+        assert!(flags[0].contains("bank_sparse_seconds"), "{flags:?}");
+        assert!(flags[0].contains("REGRESSION"));
+    }
+
+    #[test]
+    fn incomparable_metrics_are_skipped() {
+        let mut prev = entry("aaa", 1.0, 1.0);
+        prev.metrics.retain(|(k, _)| k != "serial_seconds");
+        let flags = regressions(&prev, &entry("bbb", 1.0, 99.0), 0.10);
+        assert!(flags.is_empty(), "{flags:?}");
+    }
+
+    #[test]
+    fn record_appends_and_flags_against_previous_entry() {
+        let dir = std::env::temp_dir().join(format!("shc_bench_history_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(
+            dir.join("BENCH_sparse.json"),
+            "{\"schema\":\"shc-bench-sparse-v1\",\"bank_sparse_seconds\":0.10,\"bank_dense_seconds\":0.80}",
+        )
+        .unwrap();
+        // BENCH_parallel.json intentionally absent: its metrics skip.
+        let (first, flags) = record(&dir, "rev1", "t1").unwrap();
+        assert!(flags.is_empty());
+        assert_eq!(first.metric("bank_sparse_seconds"), Some(0.10));
+        assert_eq!(first.metric("serial_seconds"), None);
+
+        std::fs::write(
+            dir.join("BENCH_sparse.json"),
+            "{\"schema\":\"shc-bench-sparse-v1\",\"bank_sparse_seconds\":0.15,\"bank_dense_seconds\":0.80}",
+        )
+        .unwrap();
+        let (_, flags) = record(&dir, "rev2", "t2").unwrap();
+        assert_eq!(flags.len(), 1, "{flags:?}");
+        assert!(flags[0].contains("rev1"));
+
+        let body = std::fs::read_to_string(dir.join(HISTORY_FILE)).unwrap();
+        assert_eq!(body.lines().count(), 2);
+        assert_eq!(last_entry(&body).unwrap().rev, "rev2");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

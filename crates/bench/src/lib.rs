@@ -14,6 +14,8 @@
 //!   10 ns clock) and prints the paper-vs-measured rows that EXPERIMENTS.md
 //!   records. Pass `--fast` to use the compressed clock.
 
+pub mod history;
+
 pub use shc_cells::REGISTER_BANK_DEFAULT_BITS;
 use shc_cells::{
     c2mos_register_with, d_latch_with, register_bank_with, tg_register_with, tspc_register_with,

@@ -134,6 +134,7 @@ pub fn sweep(
         rest.map(|corner| Mutex::new(Some(corner))).collect();
     let mut results = vec![anchor];
     results.extend(parallel::run_indexed(opts.parallelism, slots.len(), |i| {
+        let _frame = shc_prof::enter(shc_prof::Phase::Sweep);
         let (label, register) = slots[i]
             .lock()
             // lint: allow(no-panic, reason = "poisoned slot means a sibling corner already panicked; unwinding is the only option left")

@@ -201,7 +201,10 @@ where
         results.extend(parallel::run_indexed(
             opts.parallelism,
             opts.samples - 1,
-            |k| run_sample(base, &build, opts, k + 1, Some(anchor_params)),
+            |k| {
+                let _frame = shc_prof::enter(shc_prof::Phase::Sweep);
+                run_sample(base, &build, opts, k + 1, Some(anchor_params))
+            },
         )?);
     }
 

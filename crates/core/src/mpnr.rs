@@ -83,6 +83,9 @@ pub fn solve(
     opts: &MpnrOptions,
 ) -> Result<MpnrResult> {
     let _span = shc_obs::span(shc_obs::SpanKind::MpnrSolve);
+    // Self-time of this frame is the corrector's own bookkeeping; the
+    // transient evaluations open their own frames beneath it.
+    let _frame = shc_prof::enter(shc_prof::Phase::CorrectorOverhead);
     shc_obs::count(shc_obs::Metric::MpnrSolves, 1);
     if let Some(e) = injected_fault(initial) {
         shc_obs::count(shc_obs::Metric::MpnrFailures, 1);
@@ -93,6 +96,7 @@ pub fn solve(
     let mut transient = TransientStats::default();
 
     for iter in 1..=opts.max_iters {
+        shc_prof::add_work(1);
         let ev = problem.evaluate_with_jacobian(&tau)?;
         transient.steps += ev.stats.steps;
         transient.newton_iterations += ev.stats.newton_iterations;
@@ -178,6 +182,7 @@ pub fn bisect_fallback(
     opts: &MpnrOptions,
 ) -> Result<MpnrResult> {
     let _span = shc_obs::span(shc_obs::SpanKind::MpnrSolve);
+    let _frame = shc_prof::enter(shc_prof::Phase::CorrectorOverhead);
     let tau_s = predicted.tau_s;
     let budget = opts.max_iters.max(5) * 3;
     let mut transient = TransientStats::default();

@@ -108,12 +108,14 @@ where
     // covers fanned-out jobs too (each site's cursor stream is shared).
     let collector = shc_obs::current();
     let injector = shc_fault::current();
+    let profiler = shc_prof::current();
 
     std::thread::scope(|scope| {
         for _ in 0..threads {
             scope.spawn(|| {
                 let _telemetry = collector.as_ref().map(shc_obs::install_scoped);
                 let _faults = injector.as_ref().map(shc_fault::install_scoped);
+                let _profile = profiler.as_ref().map(shc_prof::install_scoped);
                 let mut local: Vec<(usize, std::result::Result<T, E>)> = Vec::new();
                 loop {
                     if failed.load(Ordering::Relaxed) {

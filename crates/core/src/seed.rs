@@ -78,6 +78,7 @@ pub fn find_first_point(
     opts: &SeedOptions,
 ) -> Result<MpnrResult> {
     let _span = shc_obs::span(shc_obs::SpanKind::Seed);
+    let _frame = shc_prof::enter(shc_prof::Phase::SeedSearch);
     let reference = problem.reference_params();
     let tau_h = match opts.tau_h {
         Some(t) => t,

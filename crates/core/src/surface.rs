@@ -245,6 +245,8 @@ pub fn generate(problem: &CharacterizationProblem, opts: &SurfaceOptions) -> Res
     // One job per grid row: big enough to amortize scheduling, small
     // enough to balance n >> threads rows across workers.
     let values = parallel::run_indexed(opts.parallelism, opts.n, |i| {
+        // One sweep frame per grid-row job, on whichever thread runs it.
+        let _frame = shc_prof::enter(shc_prof::Phase::Sweep);
         let s = tau_s[i];
         let mut row = Vec::with_capacity(opts.n);
         for &h in &tau_h {

@@ -262,6 +262,49 @@ pub struct CheckpointConfig {
     pub every: usize,
 }
 
+/// Renders per-point phase-time deltas for the journal from consecutive
+/// [`shc_prof::phase_totals`] snapshots. Inert (every delta is `None`)
+/// when no profiler is installed on this thread.
+struct PhaseLedger {
+    prev: Option<[(u64, u64); shc_prof::Phase::COUNT]>,
+}
+
+impl PhaseLedger {
+    fn new() -> PhaseLedger {
+        PhaseLedger {
+            prev: shc_prof::phase_totals(),
+        }
+    }
+
+    /// Snapshots the thread's phase totals and renders the change since
+    /// the previous snapshot as a compact JSON object — one
+    /// `"name":{"self_ns":…,"count":…}` entry per phase that moved.
+    fn delta_json(&mut self) -> Option<String> {
+        let now = shc_prof::phase_totals()?;
+        let prev = self
+            .prev
+            .replace(now)
+            .unwrap_or([(0, 0); shc_prof::Phase::COUNT]);
+        let mut s = String::from("{");
+        let mut first = true;
+        for (i, phase) in shc_prof::Phase::ALL.iter().enumerate() {
+            let self_ns = now[i].0.saturating_sub(prev[i].0);
+            let count = now[i].1.saturating_sub(prev[i].1);
+            if self_ns == 0 && count == 0 {
+                continue;
+            }
+            shc_obs::json::push_raw_field(
+                &mut s,
+                &mut first,
+                phase.name(),
+                &format!("{{\"self_ns\":{self_ns},\"count\":{count}}}"),
+            );
+        }
+        s.push('}');
+        Some(s)
+    }
+}
+
 /// Emits the journal event for one traced contour point (no-op when
 /// telemetry is off).
 #[allow(clippy::too_many_arguments)]
@@ -275,6 +318,7 @@ fn journal_point(
     alpha: f64,
     stats: TransientStats,
     recovery_attempts: usize,
+    ledger: &mut PhaseLedger,
 ) {
     if !shc_obs::enabled() {
         return;
@@ -293,6 +337,7 @@ fn journal_point(
         newton_iterations: stats.newton_iterations as u64,
         rejected_steps: stats.rejected_steps as u64,
         recovery_attempts: recovery_attempts as u64,
+        phases: ledger.delta_json(),
     });
 }
 
@@ -403,6 +448,10 @@ pub fn trace_session(
     checkpoint: Option<&CheckpointConfig>,
 ) -> Result<TraceOutcome> {
     let _span = shc_obs::span(shc_obs::SpanKind::Trace);
+    // Self-time is the tracer's own bookkeeping (predictor, tangent,
+    // recovery ladder, checkpoints); seed/corrector/transient work opens
+    // child frames.
+    let _frame = shc_prof::enter(shc_prof::Phase::TracerOverhead);
     if let Some(cfg) = checkpoint {
         if cfg.every == 0 {
             return Err(CharError::BadOption {
@@ -411,6 +460,9 @@ pub fn trace_session(
         }
     }
     let sims_before = problem.simulation_count();
+    // Baseline the per-point phase ledger before any simulation runs so
+    // the seed point's journal entry charges only its own work.
+    let mut phase_ledger = PhaseLedger::new();
     let mut points: Vec<ContourPoint> = Vec::with_capacity(n);
     let mut total_iters;
     let mut current;
@@ -454,6 +506,7 @@ pub fn trace_session(
                 0.0,
                 ev0.stats,
                 0,
+                &mut phase_ledger,
             );
         }
         TraceStart::Resume(ckpt) => {
@@ -559,6 +612,7 @@ pub fn trace_session(
             alpha,
             corrected.transient,
             attempts_since_accept,
+            &mut phase_ledger,
         );
         attempts_since_accept = 0;
         if tangent.1.abs() < opts.min_tangent_hold {
@@ -693,6 +747,7 @@ where
         // Tag this level's journal events with its index so batch
         // journals stay attributable regardless of worker interleaving.
         let _level = shc_obs::with_journal_level(i as u64);
+        let _frame = shc_prof::enter(shc_prof::Phase::Sweep);
         let degradation = degradations[i];
         let level = (|| {
             let problem = CharacterizationProblem::builder(build())

@@ -63,6 +63,10 @@ impl LuFactor {
         }
         let n = a.rows();
         shc_obs::count(shc_obs::Metric::LuFactorizations, 1);
+        // Cold, allocating entry point — the warm Newton loop refactors in
+        // place — so a full profiler frame is affordable here.
+        let _frame = shc_prof::enter(shc_prof::Phase::LuFactor);
+        shc_prof::add_work(n as u64);
         if let Some(e) = injected_fault(shc_fault::Site::LuFactor) {
             return Err(e);
         }

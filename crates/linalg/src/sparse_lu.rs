@@ -181,6 +181,10 @@ impl SparseLu {
         let nnz = a.nnz();
         let mut lu = {
             let _span = shc_obs::span(shc_obs::SpanKind::SparseAnalyze);
+            // Cold, once per topology: symbolic analysis allocates anyway,
+            // so a full profiler frame is affordable.
+            let _frame = shc_prof::enter(shc_prof::Phase::SparseAnalyze);
+            shc_prof::add_work(nnz as u64);
             shc_obs::count(shc_obs::Metric::SparseAnalyses, 1);
             let (cc_ptr, cc_row, cc_val, csr_to_csc) = build_csc(a);
             let q = min_degree_order(n, &cc_ptr, &cc_row);
@@ -210,7 +214,13 @@ impl SparseLu {
                 steps: Vec::with_capacity(n),
             }
         };
-        lu.factor(a)?;
+        {
+            // The first numeric factorization grows the factor storage
+            // from empty; frame it as the (cold) fresh-factor phase.
+            let _frame = shc_prof::enter(shc_prof::Phase::SparseFactor);
+            shc_prof::add_work(nnz as u64);
+            lu.factor(a)?;
+        }
         shc_obs::observe(
             shc_obs::Metric::SparseFillNnz,
             (lu.l_val.len() + lu.u_val.len() + n).saturating_sub(nnz) as u64,

@@ -76,7 +76,11 @@ const TOLERANCE_FILES: &[&str] = &[
 /// Files allowed to mutate thread-local observability state directly:
 /// the collector/injector implementations themselves, whose guards are
 /// the blessed pattern everyone else must go through.
-const THREAD_LOCAL_OWNERS: &[&str] = &["crates/obs/src/collector.rs", "crates/fault/src/lib.rs"];
+const THREAD_LOCAL_OWNERS: &[&str] = &[
+    "crates/obs/src/collector.rs",
+    "crates/fault/src/lib.rs",
+    "crates/prof/src/profiler.rs",
+];
 
 /// Functions that return a scope guard which must be bound to a named
 /// local (dropping it immediately uninstalls / restores the state).
@@ -1210,6 +1214,9 @@ fn telemetry_hygiene(ws: &Workspace, analyses: &[FileAnalysis<'_>], out: &mut Ve
     let journal_file = analyses.iter().map(|a| &a.ctx).find(|c| {
         c.path.ends_with("crates/obs/src/journal.rs") || c.path == "crates/obs/src/journal.rs"
     });
+    let phase_file = analyses.iter().map(|a| &a.ctx).find(|c| {
+        c.path.ends_with("crates/prof/src/phase.rs") || c.path == "crates/prof/src/phase.rs"
+    });
 
     // --- Metric/SpanKind declarations ---------------------------------
     let mut declared: BTreeSet<&str> = BTreeSet::new();
@@ -1247,6 +1254,15 @@ fn telemetry_hygiene(ws: &Workspace, analyses: &[FileAnalysis<'_>], out: &mut Ve
         }
     }
 
+    // --- Profiler Phase declarations ----------------------------------
+    // Mirrors the Metric/SpanKind discipline: every `Phase::X` the
+    // workspace instruments with must name a variant declared in
+    // crates/prof/src/phase.rs, so the phase taxonomy stays centralized.
+    let mut phase_declared: BTreeSet<&str> = BTreeSet::new();
+    if let Some(ctx) = phase_file {
+        phase_declared.extend(enum_variants(&ctx.code, "Phase"));
+    }
+
     // --- Journal schema: DESIGN.md table vs journal.rs vs construction ---
     let schema: Option<Vec<String>> = ws.design_md.as_deref().map(design_schema_keys);
     if let (Some(schema), Some(jctx)) = (schema.as_ref(), journal_file) {
@@ -1264,7 +1280,10 @@ fn telemetry_hygiene(ws: &Workspace, analyses: &[FileAnalysis<'_>], out: &mut Ve
                 &jctx.code,
                 &["push_u64_field", "push_f64_field", "push_raw_field"],
             );
-            let parsed = journal_keys(&jctx.code, &["scan_u64", "scan_f64", "scan_f64_array"]);
+            let parsed = journal_keys(
+                &jctx.code,
+                &["scan_u64", "scan_f64", "scan_f64_array", "scan_raw_object"],
+            );
             for (key, line) in &emitted {
                 if !schema_set.contains(key.as_str()) {
                     jctx.push(
@@ -1332,6 +1351,30 @@ fn telemetry_hygiene(ws: &Workspace, analyses: &[FileAnalysis<'_>], out: &mut Ve
                             format!(
                                 "{}::{} is not declared in crates/obs/src/metric.rs",
                                 t.text, variant.text
+                            ),
+                        );
+                    }
+                }
+            }
+            // Undeclared Phase::X uses outside the owning crate.
+            if !phase_declared.is_empty()
+                && !ctx.path.starts_with("crates/prof/")
+                && t.text == "Phase"
+                && code.get(i + 1).map(|n| n.text) == Some("::")
+            {
+                if let Some(variant) = code.get(i + 2) {
+                    if variant.kind == TokenKind::Ident
+                        && variant.text.starts_with(|c: char| c.is_ascii_uppercase())
+                        && !matches!(variant.text, "COUNT" | "ALL")
+                        && !phase_declared.contains(variant.text)
+                    {
+                        ctx.push(
+                            out,
+                            "telemetry-hygiene",
+                            t.line,
+                            format!(
+                                "Phase::{} is not declared in crates/prof/src/phase.rs",
+                                variant.text
                             ),
                         );
                     }
@@ -1693,6 +1736,33 @@ mod tests {
         assert_eq!(f[0].rule, "telemetry-hygiene");
         let good = "fn emit() {\n    if !shc_obs::enabled() { return; }\n    shc_obs::journal(&shc_obs::JournalEvent { point: 0 });\n}\n";
         assert!(run_one("crates/core/src/a.rs", good).is_empty());
+    }
+
+    #[test]
+    fn undeclared_phase_variant_is_flagged() {
+        let phase_rs = "pub enum Phase {\n    Sweep,\n    Transient,\n}\n";
+        let user = "fn f() {\n    let _a = shc_prof::enter(shc_prof::Phase::Transient);\n    let _b = shc_prof::enter(shc_prof::Phase::Bogus);\n    let _n = shc_prof::Phase::COUNT;\n}\n";
+        let f = run(
+            &Workspace {
+                files: vec![
+                    SourceFile {
+                        path: "crates/prof/src/phase.rs".to_string(),
+                        text: phase_rs.to_string(),
+                    },
+                    SourceFile {
+                        path: "crates/core/src/a.rs".to_string(),
+                        text: user.to_string(),
+                    },
+                ],
+                design_md: None,
+            },
+            Parallelism::Serial,
+        )
+        .findings;
+        let hygiene: Vec<&Finding> = f.iter().filter(|x| x.rule == "telemetry-hygiene").collect();
+        assert_eq!(hygiene.len(), 1, "{f:?}");
+        assert!(hygiene[0].message.contains("Phase::Bogus"));
+        assert_eq!(hygiene[0].line, 3);
     }
 
     #[test]

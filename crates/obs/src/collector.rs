@@ -354,6 +354,7 @@ mod tests {
             newton_iterations: 0,
             rejected_steps: 0,
             recovery_attempts: 0,
+            phases: None,
         }
     }
 

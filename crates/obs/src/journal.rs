@@ -45,6 +45,13 @@ pub struct JournalEvent {
     /// Failed corrector attempts (step halvings, bisection fallbacks,
     /// tracer restarts) absorbed since the previous accepted point.
     pub recovery_attempts: u64,
+    /// Optional per-point phase breakdown: a pre-rendered JSON object
+    /// mapping phase names to `{"self_ns":…,"count":…}` deltas accumulated
+    /// since the previous accepted point. Populated by the tracer only
+    /// when an `shc-prof` profiler is installed; `None` (and the field is
+    /// omitted from the line) otherwise. Kept as a raw string because this
+    /// crate must not depend on `shc-prof`.
+    pub phases: Option<String>,
 }
 
 impl JournalEvent {
@@ -90,6 +97,9 @@ impl JournalEvent {
             "recovery_attempts",
             self.recovery_attempts,
         );
+        if let Some(phases) = &self.phases {
+            json::push_raw_field(&mut s, &mut first, "phases", phases);
+        }
         s.push('}');
         s
     }
@@ -118,6 +128,7 @@ impl JournalEvent {
             newton_iterations: json::scan_u64(line, "newton_iterations")?,
             rejected_steps: json::scan_u64(line, "rejected_steps")?,
             recovery_attempts: json::scan_u64(line, "recovery_attempts")?,
+            phases: json::scan_raw_object(line, "phases").map(str::to_string),
         })
     }
 
@@ -252,6 +263,7 @@ mod tests {
             newton_iterations: 4321,
             rejected_steps: 7,
             recovery_attempts: 1,
+            phases: None,
         }
     }
 
@@ -263,6 +275,17 @@ mod tests {
             let back = JournalEvent::from_json(&line).unwrap();
             assert_eq!(back, ev);
         }
+    }
+
+    #[test]
+    fn phase_breakdown_round_trips_and_is_omitted_when_absent() {
+        let mut ev = sample(0, None);
+        assert!(!ev.to_json_line().contains("phases"));
+        ev.phases = Some("{\"newton_overhead\":{\"self_ns\":1200,\"count\":3}}".to_string());
+        let line = ev.to_json_line();
+        assert!(line.contains("\"phases\":{\"newton_overhead\""));
+        let back = JournalEvent::from_json(&line).unwrap();
+        assert_eq!(back, ev);
     }
 
     #[test]

@@ -119,6 +119,47 @@ pub fn scan_f64_array(json: &str, key: &str) -> Option<Vec<f64>> {
         .collect::<Option<Vec<f64>>>()
 }
 
+/// Returns the raw text of a nested `{...}` object value for `key`
+/// (braces included), or `None` if the key is absent or its value is not
+/// an object. Brace-matches with string awareness, so object values may
+/// contain string fields.
+#[must_use]
+pub fn scan_raw_object<'a>(json: &'a str, key: &str) -> Option<&'a str> {
+    let needle = format!("\"{key}\":");
+    let start = json.find(&needle)? + needle.len();
+    let rest = json[start..].trim_start();
+    if !rest.starts_with('{') {
+        return None;
+    }
+    let mut depth = 0usize;
+    let mut in_str = false;
+    let mut escaped = false;
+    for (i, c) in rest.char_indices() {
+        if in_str {
+            if escaped {
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                in_str = false;
+            }
+        } else {
+            match c {
+                '"' => in_str = true,
+                '{' => depth += 1,
+                '}' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return Some(&rest[..=i]);
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    None
+}
+
 fn push_sep(out: &mut String, first: &mut bool) {
     if *first {
         *first = false;
@@ -158,6 +199,18 @@ mod tests {
         assert_eq!(scan_f64_array(&s, "tangent"), Some(vec![0.5, -0.25]));
         assert_eq!(raw_value(&s, "note"), Some("\"a \\\"b\\\"\\n\""));
         assert_eq!(scan_u64(&s, "missing"), None);
+    }
+
+    #[test]
+    fn scan_raw_object_brace_matches_nested_values() {
+        let s = "{\"a\":1,\"phases\":{\"newton\":{\"self_ns\":12,\"count\":3},\"note\":\"x}y\"},\"b\":2}";
+        assert_eq!(
+            scan_raw_object(s, "phases"),
+            Some("{\"newton\":{\"self_ns\":12,\"count\":3},\"note\":\"x}y\"}")
+        );
+        assert_eq!(scan_raw_object(s, "a"), None, "number is not an object");
+        assert_eq!(scan_raw_object(s, "missing"), None);
+        assert_eq!(scan_u64(s, "b"), Some(2), "later keys still scannable");
     }
 
     #[test]

@@ -101,6 +101,9 @@ pub enum DcStrategy {
 /// # }
 /// ```
 pub fn solve_dc(circuit: &Circuit, params: &Params, opts: &DcOptions) -> Result<DcSolution> {
+    // Once per transient run, outside the stepping hot loop: a full
+    // profiler frame is affordable here.
+    let _frame = shc_prof::enter(shc_prof::Phase::DcOp);
     let n = circuit.unknown_count();
     let x0 = Vector::zeros(n);
 

@@ -21,6 +21,28 @@ fn injected_fault() -> Option<SpiceError> {
     })
 }
 
+/// Lap slots of the per-iteration `shc_prof::Laps` accumulator threaded
+/// through [`solve_in_place_lapped`] and the transient assembly closure.
+/// The chain is contiguous: each boundary charges the time since the
+/// previous one, so one clock read per region suffices.
+pub mod lap {
+    /// Device evaluation + stamping (`assemble_into`), ended by the
+    /// assembly closure after the device loop.
+    pub const DEV: usize = 0;
+    /// Residual formation and companion-model combination, ended by the
+    /// assembly closure on exit.
+    pub const STAMP: usize = 1;
+    /// Jacobian factorization (dense refactor or sparse factor).
+    pub const FACTOR: usize = 2;
+    /// Forward/back substitution.
+    pub const SOLVE: usize = 3;
+    /// Discard slot: re-arms the cursor at closure entry so damping,
+    /// norms, and everything between solves is never charged to
+    /// [`DEV`]. Not flushed — Newton self-time is computed as the
+    /// per-step total minus the four regions above.
+    pub const ITER_SELF: usize = 4;
+}
+
 /// Convergence and robustness settings for Newton-Raphson.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct NewtonOptions {
@@ -204,6 +226,36 @@ pub fn solve_in_place<F>(
     ws: &mut NewtonWorkspace,
     x0: &Vector,
     opts: &NewtonOptions,
+    assemble: F,
+) -> Result<usize>
+where
+    F: FnMut(&Vector, &mut Vector, &mut Matrix) -> Result<()>,
+{
+    solve_in_place_lapped(ws, x0, opts, None, assemble)
+}
+
+/// [`solve_in_place`] with an optional per-iteration profiling
+/// accumulator.
+///
+/// With `laps` set, the factor and solve of every iteration close lap
+/// regions ([`lap::FACTOR`], [`lap::SOLVE`]); the assembly closure is
+/// expected to close [`lap::DEV`]/[`lap::STAMP`] itself. The accumulator
+/// only reads clocks — iterates, tolerances, and results are bitwise
+/// identical with or without it, and with profiling off every lap call
+/// is a branch on a struct flag.
+///
+/// # Errors
+///
+/// Same conditions as [`solve`].
+///
+/// # Panics
+///
+/// Panics if `x0.len() != ws.dim()`.
+pub fn solve_in_place_lapped<F>(
+    ws: &mut NewtonWorkspace,
+    x0: &Vector,
+    opts: &NewtonOptions,
+    laps: Option<&shc_prof::Laps>,
     mut assemble: F,
 ) -> Result<usize>
 where
@@ -214,6 +266,13 @@ where
     }
     ws.x.copy_from(x0);
     let mut last_norm = f64::INFINITY;
+    // Work units for the linear-algebra lap slots: factor work follows
+    // the backend (pattern nonzeros sparse, dimension dense).
+    let solve_work = ws.dim() as u64;
+    let factor_work = ws
+        .sparse
+        .as_ref()
+        .map_or(solve_work, |sp| sp.pattern().len() as u64);
 
     // Every iteration works in workspace buffers sized at construction;
     // the only allocation is the one-time LU factor below.
@@ -229,6 +288,10 @@ where
             // Jacobian blow-up is detected on the gathered O(nnz) values
             // inside `factor_from`; the O(n²) dense scan is skipped.
             sp.factor_from(&ws.jacobian)?;
+            if let Some(l) = laps {
+                l.end_region(lap::FACTOR);
+                l.bump(lap::FACTOR, 1, factor_work);
+            }
             sp.solve_into(&ws.residual, &mut ws.delta)?;
         } else if !ws.jacobian.is_finite() {
             return Err(SpiceError::NumericalBlowup { time: f64::NAN });
@@ -241,7 +304,15 @@ where
                 // lint: allow(hot-loop-alloc, reason = "cold path: the factor is built on the workspace's first solve and refactored in place after")
                 None => ws.lu.insert(LuFactor::new(&ws.jacobian)?),
             };
+            if let Some(l) = laps {
+                l.end_region(lap::FACTOR);
+                l.bump(lap::FACTOR, 1, factor_work);
+            }
             lu.solve_into(&ws.residual, &mut ws.delta)?;
+        }
+        if let Some(l) = laps {
+            l.end_region(lap::SOLVE);
+            l.bump(lap::SOLVE, 1, solve_work);
         }
         // Newton step is x ← x − J⁻¹F.
         for d in ws.delta.iter_mut() {

@@ -87,6 +87,75 @@ const TSTOP_ENDPOINT_SLACK: f64 = 1e-18;
 /// 1.0 means "error exactly at tolerance".
 const LTE_ACCEPT_NORM: f64 = 1.0;
 
+/// Per-step lap slots (see `shc_prof::Laps`): the stepping loop is a
+/// contiguous chain NEWTON → LTE → SENS → STEP_SELF, one clock read per
+/// boundary, so the default profiling detail costs ~4 reads per step.
+const LAP_NEWTON: usize = 0;
+/// LTE estimate and step-size control (adaptive mode).
+const LAP_LTE: usize = 1;
+/// Accepted-point re-stamp plus the sensitivity factor/solves — the
+/// re-stamp exists to furnish exact `C_i`, `G_i` for this recursion, so
+/// it is charged here.
+const LAP_SENS: usize = 2;
+/// History rotation and result recording; never flushed — it remains the
+/// `Transient` frame's own self-time.
+const LAP_STEP_SELF: usize = 3;
+
+/// Flushes the per-run lap accumulators into the profile tree, exactly
+/// once, when the run exits — on success, on error returns, and on
+/// fault-injected aborts alike. Lives inside the open
+/// `shc_prof::Phase::Transient` frame so every recorded path lands under
+/// it.
+struct ProfFlush<'l> {
+    step: &'l shc_prof::Laps,
+    iter: &'l shc_prof::Laps,
+    sparse: bool,
+}
+
+impl Drop for ProfFlush<'_> {
+    fn drop(&mut self) {
+        if !(self.step.active() || self.iter.active()) {
+            return;
+        }
+        use crate::newton::lap;
+        use shc_prof::{record, Phase, Sample};
+        let dev = self.iter.sample(lap::DEV);
+        let stamp = self.iter.sample(lap::STAMP);
+        let factor = self.iter.sample(lap::FACTOR);
+        let solve = self.iter.sample(lap::SOLVE);
+        // The iteration slots carry exact counts at every detail level
+        // and ticks only at `Detail::Iter`; phase names follow the
+        // solver backend.
+        let (dev_phase, factor_phase, solve_phase) = if self.sparse {
+            (
+                Phase::AssembleSparse,
+                Phase::SparseRefactor,
+                Phase::SparseSolve,
+            )
+        } else {
+            (Phase::DeviceEval, Phase::LuRefactor, Phase::LuSolve)
+        };
+        record(&[Phase::NewtonOverhead, dev_phase], dev);
+        record(&[Phase::NewtonOverhead, Phase::Stamp], stamp);
+        record(&[Phase::NewtonOverhead, factor_phase], factor);
+        record(&[Phase::NewtonOverhead, solve_phase], solve);
+        // Newton self-time is the per-step lap total minus the four
+        // iteration regions; at `Detail::Step` those are zero and the
+        // whole solve is Newton self.
+        let newton = self.step.sample(LAP_NEWTON);
+        let children = dev.ticks + stamp.ticks + factor.ticks + solve.ticks;
+        record(
+            &[Phase::NewtonOverhead],
+            Sample {
+                ticks: newton.ticks.saturating_sub(children),
+                ..newton
+            },
+        );
+        record(&[Phase::LteControl], self.step.sample(LAP_LTE));
+        record(&[Phase::SensSolve], self.step.sample(LAP_SENS));
+    }
+}
+
 /// Below this weighted LTE norm the step size is allowed to grow: the
 /// error is far enough under tolerance that a larger step will likely
 /// still be accepted, and re-stamping cost dominates.
@@ -457,14 +526,18 @@ impl<'a> TransientAnalysis<'a> {
         // One span + one counter flush per *run* (not per step): the
         // stepping loop itself stays untouched by telemetry. The flush
         // happens on success AND failure so counters reconcile with the
-        // work actually performed by aborted runs.
+        // work actually performed by aborted runs. The profiler frame
+        // follows the same shape: run_core's lap accumulators flush
+        // beneath it before it closes.
         let _span = shc_obs::span(shc_obs::SpanKind::Transient);
+        let _frame = shc_prof::enter(shc_prof::Phase::Transient);
         shc_obs::count(shc_obs::Metric::TransientRuns, 1);
         let mut stats = TransientStats::default();
         let result = match self.injected_run_fault() {
             Some(e) => Err(e),
             None => self.run_core(params, scratch, &mut stats),
         };
+        shc_prof::add_work(stats.steps as u64);
         if shc_obs::enabled() {
             shc_obs::observe(shc_obs::Metric::TransientSteps, stats.steps as u64);
             shc_obs::observe(
@@ -583,6 +656,21 @@ impl<'a> TransientAnalysis<'a> {
         let pattern: Option<&[(usize, usize)]> =
             nw.sparse_solver().is_some().then_some(&jac_pattern[..]);
 
+        // Profiling accumulators, shared by `&` (all-`Cell` state) between
+        // this loop, the assembly closure, and the Newton solver. With no
+        // profiler installed both are inert: every call below reduces to a
+        // branch on a struct flag, no clock read, no thread-local access.
+        // The guard flushes them into the open `Transient` frame on every
+        // exit path, including fault-injected aborts.
+        let lap_step = shc_prof::Laps::step();
+        let lap_iter = shc_prof::Laps::iter();
+        let _prof_flush = ProfFlush {
+            step: &lap_step,
+            iter: &lap_iter,
+            sparse: pattern.is_some(),
+        };
+        let device_work = circuit.device_count() as u64;
+
         // Previous-step quantities for the recursions.
         let mut x_prev = x0;
         let mut t_prev = 0.0;
@@ -621,10 +709,15 @@ impl<'a> TransientAnalysis<'a> {
             // allocation happens per iteration.
             let integ = opts.integrator;
             let mut assemble = |x: &Vector, r: &mut Vector, j: &mut Matrix| {
+                // Re-arm the lap cursor so time between iterations is
+                // never charged to the device loop.
+                lap_iter.end_region(newton::lap::ITER_SELF);
                 match pattern {
                     Some(p) => circuit.assemble_sparse_into(nr_stamps, x, t_new, params, 1.0, p),
                     None => circuit.assemble_into(nr_stamps, x, t_new, params, 1.0),
                 }
+                lap_iter.end_region(newton::lap::DEV);
+                lap_iter.bump(newton::lap::DEV, 1, device_work);
                 let s = &*nr_stamps;
                 let (c_scale, a) = match integ {
                     Integrator::BackwardEuler => {
@@ -660,55 +753,63 @@ impl<'a> TransientAnalysis<'a> {
                     },
                 };
                 combine_step_jacobian_into(j, &s.c, &s.g, c_scale, a, pattern);
+                lap_iter.end_region(newton::lap::STAMP);
+                lap_iter.bump(newton::lap::STAMP, 1, n as u64);
                 Ok(())
             };
-            let solve_result =
-                match newton::solve_in_place(nw, &x_prev, &opts.newton, &mut assemble) {
-                    // At the dt floor there is no smaller step to cut to, so a
-                    // divergence used to kill the whole run; try the damped
-                    // jittered-retry policy before giving up.
-                    Err(e @ SpiceError::NewtonDiverged { .. })
-                        if dt_eff <= opts.dt_min * DT_FLOOR_SLACK =>
-                    {
-                        newton::retry_in_place(
-                            nw,
-                            &x_prev,
-                            &opts.newton,
-                            NEWTON_FLOOR_RETRIES,
-                            e,
-                            &mut assemble,
-                        )
-                    }
-                    // Under fault injection, retry at the same dt first: a fresh
-                    // solve draws a fresh fault decision, so this absorbs the
-                    // injected failure without perturbing the accepted step
-                    // sequence (see `NEWTON_FAULT_RETRIES`). Covers injected
-                    // LU faults surfacing through the solve as well; failures
-                    // that survive the retries fall through to the step-cut
-                    // policy below.
-                    Err(e) if shc_fault::enabled() && newton::retryable(&e) => {
-                        newton::retry_in_place(
-                            nw,
-                            &x_prev,
-                            &opts.newton,
-                            NEWTON_FAULT_RETRIES,
-                            e,
-                            &mut assemble,
-                        )
-                    }
-                    other => other,
-                };
+            let solve_result = match newton::solve_in_place_lapped(
+                nw,
+                &x_prev,
+                &opts.newton,
+                Some(&lap_iter),
+                &mut assemble,
+            ) {
+                // At the dt floor there is no smaller step to cut to, so a
+                // divergence used to kill the whole run; try the damped
+                // jittered-retry policy before giving up.
+                Err(e @ SpiceError::NewtonDiverged { .. })
+                    if dt_eff <= opts.dt_min * DT_FLOOR_SLACK =>
+                {
+                    newton::retry_in_place(
+                        nw,
+                        &x_prev,
+                        &opts.newton,
+                        NEWTON_FLOOR_RETRIES,
+                        e,
+                        &mut assemble,
+                    )
+                }
+                // Under fault injection, retry at the same dt first: a fresh
+                // solve draws a fresh fault decision, so this absorbs the
+                // injected failure without perturbing the accepted step
+                // sequence (see `NEWTON_FAULT_RETRIES`). Covers injected
+                // LU faults surfacing through the solve as well; failures
+                // that survive the retries fall through to the step-cut
+                // policy below.
+                Err(e) if shc_fault::enabled() && newton::retryable(&e) => newton::retry_in_place(
+                    nw,
+                    &x_prev,
+                    &opts.newton,
+                    NEWTON_FAULT_RETRIES,
+                    e,
+                    &mut assemble,
+                ),
+                other => other,
+            };
+            lap_step.end_region(LAP_NEWTON);
 
             let iterations = match solve_result {
                 Ok(iters) => iters,
                 Err(SpiceError::NewtonDiverged { .. }) if dt_eff > opts.dt_min * DT_FLOOR_SLACK => {
                     dt = (dt_eff / 4.0).max(opts.dt_min);
                     stats.rejected_steps += 1;
+                    lap_step.bump(LAP_NEWTON, 1, 0);
                     continue;
                 }
                 Err(e) => return Err(e),
             };
             stats.newton_iterations += iterations;
+            lap_step.bump(LAP_NEWTON, 1, iterations as u64);
             let x_new = nw.x();
             if !x_new.is_finite() {
                 return Err(SpiceError::NumericalBlowup { time: t_new });
@@ -731,6 +832,8 @@ impl<'a> TransientAnalysis<'a> {
                             if dt_eff > opts.dt_min * DT_FLOOR_SLACK {
                                 dt = (dt_eff * 0.5).max(opts.dt_min);
                                 stats.rejected_steps += 1;
+                                lap_step.end_region(LAP_LTE);
+                                lap_step.bump(LAP_LTE, 1, 0);
                                 continue;
                             }
                             // The LTE is still out of tolerance at the step
@@ -749,6 +852,8 @@ impl<'a> TransientAnalysis<'a> {
                         }
                     }
                 }
+                lap_step.end_region(LAP_LTE);
+                lap_step.bump(LAP_LTE, 1, 0);
             }
 
             // Accepted: re-stamp at the converged point for exact C_i, G_i,
@@ -841,6 +946,8 @@ impl<'a> TransientAnalysis<'a> {
                     mem::swap(&mut dfdp_prev[k], dfdp_tmp);
                 }
             }
+            lap_step.end_region(LAP_SENS);
+            lap_step.bump(LAP_SENS, 1, sens.len() as u64);
 
             stats.steps += 1;
             times.push(t_new);
@@ -874,6 +981,7 @@ impl<'a> TransientAnalysis<'a> {
                     rejected_steps: stats.rejected_steps,
                 });
             }
+            lap_step.end_region(LAP_STEP_SELF);
         }
 
         Ok(TransientResult {

@@ -54,6 +54,12 @@ pub struct CliConfig {
     pub checkpoint_every: usize,
     /// Checkpoint file to resume a killed trace from (`--resume`).
     pub resume: Option<String>,
+    /// Profile-report JSON path (`--profile`); a collapsed-stack
+    /// `.folded` flamegraph is written next to it and the phase table is
+    /// appended to the run output.
+    pub profile: Option<String>,
+    /// Profiler detail level (`--profile-detail step|iter`).
+    pub profile_detail: shc_prof::Detail,
 }
 
 /// A CLI usage error.
@@ -98,6 +104,16 @@ telemetry:
                         step/rejection counts)
   --metrics <path>      write end-of-run solver metrics (counters, log2
                         histograms, span timings) as JSON
+  --profile <path>      profile the run with shc-prof: write the phase
+                        report as JSON to <path>, a collapsed-stack
+                        flamegraph next to it (<path stem>.folded, ready
+                        for flamegraph.pl / inferno), and append the
+                        per-phase table to the printed summary
+  --profile-detail <d>  step | iter               [step]
+                        step times whole solver steps (<2% overhead);
+                        iter adds per-Newton-iteration device/stamp/
+                        factor/solve laps (~5% overhead). Neither level
+                        changes any numeric result
 fault injection & recovery:
   --fault-plan <spec>   install a deterministic fault injector for the run,
                         e.g. p=0.1,site=newton,kind=non_convergence,seed=42
@@ -145,6 +161,8 @@ pub fn parse_args(args: &[String]) -> Result<CliConfig, UsageError> {
         checkpoint: None,
         checkpoint_every: 5,
         resume: None,
+        profile: None,
+        profile_detail: shc_prof::Detail::Step,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -225,6 +243,18 @@ pub fn parse_args(args: &[String]) -> Result<CliConfig, UsageError> {
                     .ok_or_else(|| UsageError(format!("bad --checkpoint-every value '{v}'")))?;
             }
             "--resume" => cfg.resume = Some(value_for("--resume")?),
+            "--profile" => cfg.profile = Some(value_for("--profile")?),
+            "--profile-detail" => {
+                cfg.profile_detail = match value_for("--profile-detail")?.as_str() {
+                    "step" => shc_prof::Detail::Step,
+                    "iter" => shc_prof::Detail::Iter,
+                    other => {
+                        return Err(UsageError(format!(
+                            "--profile-detail must be step or iter, got '{other}'"
+                        )))
+                    }
+                };
+            }
             "--points" => {
                 let v = value_for("--points")?;
                 cfg.points = v
@@ -310,14 +340,47 @@ pub fn run(deck: &str, cfg: &CliConfig) -> Result<String, Box<dyn std::error::Er
         None
     };
     let _telemetry = collector.as_ref().map(shc_obs::install_scoped);
+    let profiler = cfg
+        .profile
+        .as_ref()
+        .map(|_| shc_prof::Profiler::with_detail(cfg.profile_detail));
 
-    let outcome = run_pipeline(deck, cfg);
+    // The install guard must drop before reporting (threads merge their
+    // trees on uninstall), so the profiled scope is exactly the pipeline.
+    let outcome = {
+        let _profile = profiler.as_ref().map(shc_prof::install_scoped);
+        run_pipeline(deck, cfg)
+    };
     let outcome = match (outcome, injector.as_ref()) {
         (Ok(mut out), Some(inj)) => {
             out.push_str(&format!("fault injection: {} injected\n", inj.injected()));
             Ok(out)
         }
         (other, _) => other,
+    };
+    // Profile artifacts are written on both paths: a failed run's profile
+    // still shows where the time went before it died.
+    let outcome = match (&cfg.profile, profiler) {
+        (Some(path), Some(profiler)) => {
+            let report = profiler.report("shc_char");
+            let folded_path = Path::new(path).with_extension("folded");
+            let written = std::fs::write(path, report.to_json())
+                .and_then(|()| std::fs::write(&folded_path, report.to_folded()));
+            match outcome {
+                Ok(mut out) => {
+                    written?;
+                    out.push('\n');
+                    out.push_str(&report.table());
+                    out.push_str(&format!(
+                        "profile written to {path} (flamegraph: {})\n",
+                        folded_path.display()
+                    ));
+                    Ok(out)
+                }
+                err => err,
+            }
+        }
+        _ => outcome,
     };
     let Some(collector) = collector else {
         return outcome;
@@ -516,6 +579,38 @@ mod tests {
         ]))
         .unwrap_err();
         assert!(e.to_string().contains("--solver"));
+    }
+
+    #[test]
+    fn parses_profile_flags_and_rejects_unknown_detail() {
+        let cfg = parse_args(&args(&["cell.sp", "--output", "q", "--edge", "1n"])).unwrap();
+        assert_eq!(cfg.profile, None);
+        assert_eq!(cfg.profile_detail, shc_prof::Detail::Step);
+        let cfg = parse_args(&args(&[
+            "cell.sp",
+            "--output",
+            "q",
+            "--edge",
+            "1n",
+            "--profile",
+            "run_profile.json",
+            "--profile-detail",
+            "iter",
+        ]))
+        .unwrap();
+        assert_eq!(cfg.profile.as_deref(), Some("run_profile.json"));
+        assert_eq!(cfg.profile_detail, shc_prof::Detail::Iter);
+        let e = parse_args(&args(&[
+            "cell.sp",
+            "--output",
+            "q",
+            "--edge",
+            "1n",
+            "--profile-detail",
+            "nanosecond",
+        ]))
+        .unwrap_err();
+        assert!(e.to_string().contains("--profile-detail"));
     }
 
     #[test]

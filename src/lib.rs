@@ -36,4 +36,6 @@ pub use shc_cells as cells;
 pub use shc_core as core;
 pub use shc_fault as fault;
 pub use shc_linalg as linalg;
+pub use shc_obs as obs;
+pub use shc_prof as prof;
 pub use shc_spice as spice;

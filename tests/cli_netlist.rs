@@ -42,6 +42,8 @@ fn latch_config() -> CliConfig {
         checkpoint_every: 5,
         resume: None,
         solver: shc::spice::SolverChoice::Auto,
+        profile: None,
+        profile_detail: shc::prof::Detail::Step,
     }
 }
 
@@ -268,6 +270,8 @@ fn hierarchical_tspc_deck_matches_builtin_fixture() {
         checkpoint_every: 5,
         resume: None,
         solver: shc::spice::SolverChoice::Auto,
+        profile: None,
+        profile_detail: shc::prof::Detail::Step,
     };
     let deck_problem =
         CharacterizationProblem::builder(cli::build_register(TSPC_DECK_FAST, &cfg).unwrap())
