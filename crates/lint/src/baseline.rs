@@ -1,12 +1,16 @@
-//! The ratchet baseline: committed per-(rule, file[, api]) counts for
-//! the ratcheted rules (`no-panic`, `float-eq`, `panic-reachability`).
-//! Findings at or below the baseline count pass; the count may only go
-//! down over time.
+//! The ratchet baseline: committed per-(rule, file[, api][, effect])
+//! counts for the ratcheted rules (`no-panic`, `float-eq`,
+//! `panic-reachability`, `hot-path-certify`, `determinism`). Findings at
+//! or below the baseline count pass; the count may only go down over
+//! time.
 //!
-//! Schema `version: 2` adds an optional `"api"` key to each entry so
+//! Schema `version: 2` added an optional `"api"` key to each entry so
 //! `panic-reachability` ratchets per public API rather than per file.
-//! The loader still accepts version-1 files (no `api` keys); the next
-//! `--update-baseline` rewrites them as version 2.
+//! Schema `version: 3` adds an optional `"effect"` key so the effect
+//! rules ratchet per-(root, effect) — excusing a clock read on a hot
+//! root must not also excuse an allocation there. The loader accepts
+//! version-1/2/3 files (missing keys default to empty); the next
+//! `--update-baseline` rewrites them as version 3.
 //!
 //! The file format is a small fixed-shape JSON document that this module
 //! both writes and reads (one entry object per line), so the reader is a
@@ -19,10 +23,11 @@ use crate::report::{json_escape, Finding};
 use crate::rules::RATCHETED_RULES;
 
 /// One ratchet group: rule + file + optional qualified API name (empty
-/// for the per-file rules).
-pub type GroupKey = (String, String, String);
+/// for the per-file rules) + optional effect name (empty for everything
+/// but the effect rules).
+pub type GroupKey = (String, String, String, String);
 
-/// Allowed finding counts keyed by (rule, file, api).
+/// Allowed finding counts keyed by (rule, file, api, effect).
 #[derive(Debug, Default, Clone, PartialEq, Eq)]
 pub struct Baseline {
     pub entries: BTreeMap<GroupKey, usize>,
@@ -46,11 +51,12 @@ fn key_of(f: &Finding) -> GroupKey {
         f.rule.to_string(),
         f.file.clone(),
         f.api.clone().unwrap_or_default(),
+        f.effect.unwrap_or_default().to_string(),
     )
 }
 
 impl Baseline {
-    /// Parses the committed `lint-baseline.json` (version 1 or 2).
+    /// Parses the committed `lint-baseline.json` (version 1, 2, or 3).
     /// Returns `Err` on any line that looks like an entry but does not
     /// parse — a corrupt baseline must not silently allow findings.
     pub fn parse(text: &str) -> Result<Baseline, String> {
@@ -66,29 +72,36 @@ impl Baseline {
                 .ok_or_else(|| format!("baseline line {}: missing \"file\"", lineno + 1))?;
             let count = extract_usize(line, "count")
                 .ok_or_else(|| format!("baseline line {}: missing \"count\"", lineno + 1))?;
-            // v1 entries have no "api" key; treat it as empty.
+            // v1 entries have no "api" key, v1/v2 no "effect"; treat
+            // missing keys as empty.
             let api = extract_str(line, "api").unwrap_or_default();
-            entries.insert((rule, file, api), count);
+            let effect = extract_str(line, "effect").unwrap_or_default();
+            entries.insert((rule, file, api, effect), count);
         }
         Ok(Baseline { entries })
     }
 
     /// Serializes in the fixed one-entry-per-line shape `parse` expects.
-    /// Always writes schema version 2.
+    /// Always writes schema version 3.
     pub fn render(&self) -> String {
         let mut s = String::new();
-        s.push_str("{\n  \"version\": 2,\n  \"entries\": [\n");
+        s.push_str("{\n  \"version\": 3,\n  \"entries\": [\n");
         let n = self.entries.len();
-        for (i, ((rule, file, api), count)) in self.entries.iter().enumerate() {
+        for (i, ((rule, file, api, effect), count)) in self.entries.iter().enumerate() {
             let comma = if i + 1 == n { "" } else { "," };
             let api_field = if api.is_empty() {
                 String::new()
             } else {
                 format!(", \"api\": \"{}\"", json_escape(api))
             };
+            let effect_field = if effect.is_empty() {
+                String::new()
+            } else {
+                format!(", \"effect\": \"{}\"", json_escape(effect))
+            };
             let _ = writeln!(
                 s,
-                "    {{ \"rule\": \"{}\", \"file\": \"{}\"{api_field}, \"count\": {} }}{comma}",
+                "    {{ \"rule\": \"{}\", \"file\": \"{}\"{api_field}{effect_field}, \"count\": {} }}{comma}",
                 json_escape(rule),
                 json_escape(file),
                 count
@@ -151,9 +164,43 @@ impl Baseline {
             }
         }
         res.new_findings.sort_by(|a, b| {
-            (&a.file, a.line, a.rule, &a.api).cmp(&(&b.file, b.line, b.rule, &b.api))
+            (&a.file, a.line, a.rule, &a.api, a.effect)
+                .cmp(&(&b.file, b.line, b.rule, &b.api, b.effect))
         });
         res
+    }
+
+    /// Human-readable diff against `other` (the on-disk baseline), one
+    /// line per changed (rule, file, api, effect) group — what
+    /// `--update-baseline` prints instead of rewriting silently.
+    pub fn diff_against(&self, other: &Baseline) -> Vec<String> {
+        fn label(key: &GroupKey) -> String {
+            let (rule, file, api, effect) = key;
+            let mut s = format!("[{rule}] {file}");
+            if !api.is_empty() {
+                let _ = write!(s, " {api}");
+            }
+            if !effect.is_empty() {
+                let _ = write!(s, " ({effect})");
+            }
+            s
+        }
+        let mut lines = Vec::new();
+        for (key, &new_count) in &self.entries {
+            match other.entries.get(key) {
+                None => lines.push(format!("  + {} = {}", label(key), new_count)),
+                Some(&old) if old != new_count => {
+                    lines.push(format!("  ~ {} = {} (was {})", label(key), new_count, old));
+                }
+                Some(_) => {}
+            }
+        }
+        for (key, &old) in &other.entries {
+            if !self.entries.contains_key(key) {
+                lines.push(format!("  - {} (was {})", label(key), old));
+            }
+        }
+        lines
     }
 }
 
@@ -209,23 +256,38 @@ mod tests {
         let b = Baseline::from_findings(&findings);
         assert_eq!(b.entries.len(), 3);
         let rendered = b.render();
-        assert!(rendered.contains("\"version\": 2"));
+        assert!(rendered.contains("\"version\": 3"));
         assert!(rendered.contains("\"api\": \"LuFactor::solve\""));
         let parsed = Baseline::parse(&rendered).unwrap();
         assert_eq!(parsed, b);
     }
 
     #[test]
-    fn v1_files_parse_with_empty_api() {
+    fn v1_and_v2_files_parse_with_empty_keys() {
         let v1 = "{\n  \"version\": 1,\n  \"entries\": [\n    { \"rule\": \"no-panic\", \"file\": \"a.rs\", \"count\": 2 }\n  ]\n}\n";
         let b = Baseline::parse(v1).unwrap();
         assert_eq!(
-            b.entries
-                .get(&("no-panic".into(), "a.rs".into(), String::new())),
+            b.entries.get(&(
+                "no-panic".into(),
+                "a.rs".into(),
+                String::new(),
+                String::new()
+            )),
             Some(&2)
         );
-        // Re-rendering upgrades to v2.
-        assert!(b.render().contains("\"version\": 2"));
+        // Re-rendering upgrades to v3.
+        assert!(b.render().contains("\"version\": 3"));
+        let v2 = "{\n  \"version\": 2,\n  \"entries\": [\n    { \"rule\": \"panic-reachability\", \"file\": \"a.rs\", \"api\": \"X::y\", \"count\": 1 }\n  ]\n}\n";
+        let b = Baseline::parse(v2).unwrap();
+        assert_eq!(
+            b.entries.get(&(
+                "panic-reachability".into(),
+                "a.rs".into(),
+                "X::y".into(),
+                String::new()
+            )),
+            Some(&1)
+        );
     }
 
     #[test]
@@ -235,6 +297,7 @@ mod tests {
             (
                 "no-panic".into(),
                 "crates/core/src/a.rs".into(),
+                String::new(),
                 String::new(),
             ),
             2,
@@ -268,6 +331,7 @@ mod tests {
                 "panic-reachability".into(),
                 "a.rs".into(),
                 "Matrix::solve".into(),
+                String::new(),
             ),
             1,
         );
@@ -284,10 +348,102 @@ mod tests {
     #[test]
     fn non_ratcheted_rules_always_fail() {
         let mut b = Baseline::default();
-        b.entries
-            .insert(("hot-loop-alloc".into(), "x.rs".into(), String::new()), 5);
+        b.entries.insert(
+            (
+                "hot-loop-alloc".into(),
+                "x.rs".into(),
+                String::new(),
+                String::new(),
+            ),
+            5,
+        );
         let res = b.apply(vec![finding("hot-loop-alloc", "x.rs", 1)]);
         assert_eq!(res.new_findings.len(), 1, "hard rules cannot be baselined");
+    }
+
+    #[test]
+    fn effects_ratchet_independently_per_root() {
+        let mut b = Baseline::default();
+        b.entries.insert(
+            (
+                "hot-path-certify".into(),
+                "a.rs".into(),
+                "SparseLu::refactor".into(),
+                "clock".into(),
+            ),
+            1,
+        );
+        // The baselined (root, effect) passes; a different effect on the
+        // same root fails.
+        let res = b.apply(vec![
+            finding("hot-path-certify", "a.rs", 3)
+                .with_api("SparseLu::refactor".into())
+                .with_effect("clock"),
+            finding("hot-path-certify", "a.rs", 3)
+                .with_api("SparseLu::refactor".into())
+                .with_effect("alloc"),
+        ]);
+        assert_eq!(res.baselined, 1);
+        assert_eq!(res.new_findings.len(), 1);
+        assert_eq!(res.new_findings[0].effect, Some("alloc"));
+        // Rendered entries carry the effect key.
+        let rendered = Baseline::from_findings(&[finding("determinism", "b.rs", 1)
+            .with_api("trace_contour".into())
+            .with_effect("unordered-iter")])
+        .render();
+        assert!(rendered.contains("\"effect\": \"unordered-iter\""));
+    }
+
+    #[test]
+    fn diff_reports_added_removed_and_changed_groups() {
+        let mut old = Baseline::default();
+        old.entries.insert(
+            (
+                "no-panic".into(),
+                "a.rs".into(),
+                String::new(),
+                String::new(),
+            ),
+            2,
+        );
+        old.entries.insert(
+            (
+                "float-eq".into(),
+                "b.rs".into(),
+                String::new(),
+                String::new(),
+            ),
+            1,
+        );
+        let mut new = Baseline::default();
+        new.entries.insert(
+            (
+                "no-panic".into(),
+                "a.rs".into(),
+                String::new(),
+                String::new(),
+            ),
+            1,
+        );
+        new.entries.insert(
+            (
+                "hot-path-certify".into(),
+                "c.rs".into(),
+                "root".into(),
+                "alloc".into(),
+            ),
+            1,
+        );
+        let diff = new.diff_against(&old);
+        assert_eq!(diff.len(), 3);
+        assert!(diff
+            .iter()
+            .any(|l| l.contains("+ [hot-path-certify] c.rs root (alloc) = 1")));
+        assert!(diff
+            .iter()
+            .any(|l| l.contains("~ [no-panic] a.rs = 1 (was 2)")));
+        assert!(diff.iter().any(|l| l.contains("- [float-eq] b.rs (was 1)")));
+        assert!(new.diff_against(&new).is_empty());
     }
 
     #[test]

@@ -1,7 +1,9 @@
 //! Conservative workspace call graph and panic reachability.
 //!
 //! Edges are name-resolved: a call to `foo(…)` or `.foo(…)` points at
-//! *every* workspace function named `foo`. Trait dispatch, function
+//! *every* workspace function named `foo` (qualified paths refine the
+//! candidate set — see [`SymbolTable::resolve_qualified`]). Trait
+//! dispatch, function
 //! pointers through locals, and cross-crate std calls are therefore
 //! over-approximated (extra edges) or invisible (std panics only count
 //! when spelled at a call site we can see: `unwrap`, `expect`,
@@ -150,19 +152,24 @@ fn collect_from_expr(
     callees: &mut HashSet<usize>,
     sites: &mut Vec<PanicSite>,
 ) {
-    let resolve_into = |name: &str, callees: &mut HashSet<usize>| {
+    let admit = |ids: &[usize], callees: &mut HashSet<usize>| {
         callees.extend(
-            table
-                .resolve(name)
-                .iter()
+            ids.iter()
                 .copied()
                 .filter(|&id| !table.defs[id].in_tests && may_call(file, table.defs[id].file)),
         );
     };
     match &e.kind {
         ExprKind::Call { callee, .. } => {
-            if let Some(name) = callee.path_tail() {
-                resolve_into(name, callees);
+            if let ExprKind::Path { segments } = &callee.kind {
+                if let Some(name) = segments.last() {
+                    let qual = segments
+                        .len()
+                        .checked_sub(2)
+                        .map(|i| segments[i].as_str())
+                        .unwrap_or("");
+                    admit(&table.resolve_qualified(qual, name, file), callees);
+                }
             }
         }
         ExprKind::MethodCall { method, .. } => {
@@ -172,7 +179,7 @@ fn collect_from_expr(
                     what: format!("{method}()"),
                 });
             } else {
-                resolve_into(method, callees);
+                admit(&table.resolve_method(method), callees);
             }
         }
         ExprKind::MacroCall { name } if PANIC_MACROS.contains(&name.as_str()) => {

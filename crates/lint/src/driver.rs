@@ -5,7 +5,7 @@ use std::fs;
 use std::path::{Path, PathBuf};
 
 use crate::baseline::{Baseline, RatchetResult};
-use crate::report::{render_json, Finding, PanicApi};
+use crate::report::{render_effects_json, render_json, EffectRow, Finding, PanicApi};
 use crate::rules::{self, SourceFile, Workspace};
 use shc_core::parallel::Parallelism;
 
@@ -24,6 +24,8 @@ pub struct CheckOptions {
     /// Phase-A fan-out (`--threads N`); the report is byte-identical
     /// for every setting.
     pub parallelism: Parallelism,
+    /// When set, write the full effect-summary table (JSON) here.
+    pub effects_out: Option<PathBuf>,
 }
 
 /// Outcome of a `check` run, for callers that want the data rather than
@@ -36,6 +38,8 @@ pub struct CheckOutcome {
     pub files_checked: usize,
     /// Full panic-reachability report (baselined APIs included).
     pub panic_apis: Vec<PanicApi>,
+    /// Full effect-summary table, sorted by (file, line, api).
+    pub effect_rows: Vec<EffectRow>,
 }
 
 /// Ascends from `start` to the first directory that looks like the
@@ -126,34 +130,43 @@ pub fn check_workspace_with(root: &Path, parallelism: Parallelism) -> Result<Che
         improved: improved.len(),
         files_checked,
         panic_apis: output.panic_apis,
+        effect_rows: output.effect_rows,
     })
+}
+
+/// Resolves the workspace root from an explicit `--root` or by ascending
+/// from the current directory. Prints and returns `None` on failure.
+fn resolve_root(explicit: Option<&PathBuf>) -> Option<PathBuf> {
+    match explicit {
+        Some(r) => Some(r.clone()),
+        None => {
+            let cwd = match std::env::current_dir() {
+                Ok(c) => c,
+                Err(e) => {
+                    eprintln!("shc-lint: cannot determine current directory: {e}");
+                    return None;
+                }
+            };
+            match find_root(&cwd) {
+                Some(r) => Some(r),
+                None => {
+                    eprintln!(
+                        "shc-lint: no workspace root (Cargo.toml + crates/) above {}",
+                        cwd.display()
+                    );
+                    None
+                }
+            }
+        }
+    }
 }
 
 /// The CLI `check` subcommand. Prints the report and returns the process
 /// exit code: 0 when clean (or after a baseline update), 1 on findings,
 /// 2 on usage/IO errors.
 pub fn run_check(opts: &CheckOptions) -> u8 {
-    let root = match &opts.root {
-        Some(r) => r.clone(),
-        None => {
-            let cwd = match std::env::current_dir() {
-                Ok(c) => c,
-                Err(e) => {
-                    eprintln!("shc-lint: cannot determine current directory: {e}");
-                    return 2;
-                }
-            };
-            match find_root(&cwd) {
-                Some(r) => r,
-                None => {
-                    eprintln!(
-                        "shc-lint: no workspace root (Cargo.toml + crates/) above {}",
-                        cwd.display()
-                    );
-                    return 2;
-                }
-            }
-        }
+    let Some(root) = resolve_root(opts.root.as_ref()) else {
+        return 2;
     };
 
     let ws = match collect_workspace(&root) {
@@ -166,28 +179,46 @@ pub fn run_check(opts: &CheckOptions) -> u8 {
     let files_checked = ws.files.len();
     let output = rules::run(&ws, opts.parallelism);
 
-    if opts.update_baseline {
-        let baseline = Baseline::from_findings(&output.findings);
-        let path = root.join(BASELINE_FILE);
-        if let Err(e) = fs::write(&path, baseline.render()) {
+    if let Some(path) = &opts.effects_out {
+        if let Err(e) = fs::write(path, render_effects_json(&output.effect_rows)) {
             eprintln!("shc-lint: cannot write {}: {e}", path.display());
             return 2;
         }
+    }
+
+    let baseline_path = root.join(BASELINE_FILE);
+    if opts.update_baseline {
+        // Diff against what is on disk so the rewrite is reviewable,
+        // not silent.
+        let old = match fs::read_to_string(&baseline_path) {
+            Ok(text) => Baseline::parse(&text).unwrap_or_default(),
+            Err(_) => Baseline::default(),
+        };
+        let baseline = Baseline::from_findings(&output.findings);
+        if let Err(e) = fs::write(&baseline_path, baseline.render()) {
+            eprintln!("shc-lint: cannot write {}: {e}", baseline_path.display());
+            return 2;
+        }
+        let diff = baseline.diff_against(&old);
         println!(
-            "shc-lint: wrote {} ({} ratcheted entr{})",
-            path.display(),
+            "shc-lint: wrote {} ({} ratcheted entr{}, {} group{} changed)",
+            baseline_path.display(),
             baseline.entries.len(),
             if baseline.entries.len() == 1 {
                 "y"
             } else {
                 "ies"
-            }
+            },
+            diff.len(),
+            if diff.len() == 1 { "" } else { "s" },
         );
+        for line in &diff {
+            println!("{line}");
+        }
         // Fall through and report against the fresh baseline: hard-rule
         // findings still fail even right after an update.
     }
 
-    let baseline_path = root.join(BASELINE_FILE);
     let baseline = match fs::read_to_string(&baseline_path) {
         Ok(text) => match Baseline::parse(&text) {
             Ok(b) => b,
@@ -213,12 +244,15 @@ pub fn run_check(opts: &CheckOptions) -> u8 {
         for f in &new_findings {
             println!("{}", f.render());
         }
-        for ((rule, file, api), count, allowed) in &improved {
-            let what = if api.is_empty() {
+        for ((rule, file, api, effect), count, allowed) in &improved {
+            let mut what = if api.is_empty() {
                 file.clone()
             } else {
                 format!("{file} `{api}`")
             };
+            if !effect.is_empty() {
+                what.push_str(&format!(" ({effect})"));
+            }
             println!(
                 "shc-lint: note: {what} is below its `{rule}` baseline ({count} < {allowed}); run `cargo run -p shc-lint -- check --update-baseline` to ratchet down"
             );
@@ -242,6 +276,24 @@ pub fn run_check(opts: &CheckOptions) -> u8 {
     } else {
         1
     }
+}
+
+/// The CLI `graph` subcommand: emit the name-resolved call graph as
+/// Graphviz DOT on stdout, optionally colored by effective effect
+/// summary, for debugging analyzer over-approximation.
+pub fn run_graph(root: Option<PathBuf>, effects: bool) -> u8 {
+    let Some(root) = resolve_root(root.as_ref()) else {
+        return 2;
+    };
+    let ws = match collect_workspace(&root) {
+        Ok(ws) => ws,
+        Err(e) => {
+            eprintln!("shc-lint: {e}");
+            return 2;
+        }
+    };
+    print!("{}", rules::render_graph_dot(&ws, effects));
+    0
 }
 
 /// Per-rule rationale and escape hatch for `--explain <rule>`.
@@ -326,6 +378,42 @@ pub fn explain(rule: &str) -> Option<&'static str> {
              lines above explaining why the invariants hold.\n\
              Escape hatch: write the SAFETY comment (there is no allow that\n\
              skips the explanation)."
+        }
+        "hot-path-certify" => {
+            "hot-path-certify (ratcheted per root and effect)\n\
+             Why: the token-level hot-loop rule only sees the lines between the\n\
+             markers, not the functions they call. This rule computes a\n\
+             per-function effect summary (allocates / panics / locks / reads\n\
+             clock / does I/O) as a bottom-up fixed point over the call graph and\n\
+             requires the *transitive closure* of every `// lint: hot-loop`\n\
+             region and `// lint: hot-fn` function to be free of all five.\n\
+             Violations render the shortest call chain to the offending site.\n\
+             Escape hatch: `// lint: allow(hot-path-certify, reason = \"…\")` at\n\
+             the effect site (excuses it everywhere) or at a call site (excuses\n\
+             the callee's effects through that one edge — for documented\n\
+             cold/fallback paths); else the per-(root, effect) baseline ratchet."
+        }
+        "determinism" => {
+            "determinism (ratcheted per API and effect)\n\
+             Why: serial==parallel bitwise identity is what makes golden-contour\n\
+             gating trustworthy, and HashMap/HashSet iteration order (or float\n\
+             accumulation in such an order) silently varies per run/seed. Any\n\
+             result-producing public API of shc-core/shc-spice/shc-linalg that\n\
+             can transitively reach unordered iteration is flagged with the call\n\
+             chain.\n\
+             Escape hatch: iterate a sorted view (BTreeMap, or collect+sort),\n\
+             or `// lint: allow(determinism, reason = \"…\")` at the iteration\n\
+             site when order provably cannot reach the result."
+        }
+        "effect-annotation-drift" => {
+            "effect-annotation-drift (hard error)\n\
+             Why: `/// effects: alloc, clock` (or `/// effects: none`) on a\n\
+             public API makes the inferred contract visible at the signature —\n\
+             but only if it stays true. The annotation is checked against the\n\
+             inferred effective summary (the eight real effect kinds;\n\
+             unknown-callee is exempt) in both directions.\n\
+             Escape hatch: none — update the annotation (or drop it; the\n\
+             annotation is optional)."
         }
         "lint-annotation" => {
             "lint-annotation (hard error)\n\

@@ -29,6 +29,7 @@ pub mod ast;
 pub mod baseline;
 pub mod callgraph;
 pub mod driver;
+pub mod effects;
 pub mod lexer;
 pub mod parser;
 pub mod report;

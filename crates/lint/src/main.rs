@@ -1,15 +1,18 @@
 //! `shc-lint` CLI: `shc-lint check [--json] [--update-baseline]
-//! [--root DIR] [--threads N]`, plus `shc-lint --explain <rule>`.
+//! [--effects-out PATH] [--root DIR] [--threads N]`, `shc-lint graph
+//! --dot [--effects]`, plus `shc-lint --explain <rule>`.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 use shc_core::parallel::Parallelism;
-use shc_lint::driver::{explain, run_check, CheckOptions};
+use shc_lint::driver::{explain, run_check, run_graph, CheckOptions};
 use shc_lint::rules::ALL_RULES;
 
 const USAGE: &str = "\
-usage: shc-lint check [--json] [--update-baseline] [--root DIR] [--threads N]
+usage: shc-lint check [--json] [--update-baseline] [--effects-out PATH]
+                      [--root DIR] [--threads N]
+       shc-lint graph --dot [--effects] [--root DIR]
        shc-lint --explain <rule>
 
 Walks every workspace src/ tree and enforces the project lint rules.
@@ -17,9 +20,14 @@ Exit codes: 0 clean, 1 findings, 2 usage or I/O error.
 
   --json              machine-readable report on stdout (for CI)
   --update-baseline   rewrite lint-baseline.json from current findings
+                      (prints the per-group diff it applied)
+  --effects-out PATH  also write the per-function effect-summary table
+                      (effect-summaries.json) to PATH
   --root DIR          workspace root (default: discovered from cwd)
   --threads N         lint files on N threads (0 = auto, 1 = serial;
                       output is byte-identical for every setting)
+  graph --dot         print the name-resolved call graph as Graphviz DOT
+      --effects       color nodes by their inferred effect class
   --explain <rule>    print a rule's rationale and escape hatch
 ";
 
@@ -57,6 +65,36 @@ fn main() -> ExitCode {
         };
         return run_explain(&rule);
     }
+    if cmd == "graph" {
+        let mut dot = false;
+        let mut effects = false;
+        let mut root: Option<PathBuf> = None;
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--dot" => dot = true,
+                "--effects" => effects = true,
+                "--root" => match args.next() {
+                    Some(dir) => root = Some(PathBuf::from(dir)),
+                    None => {
+                        eprintln!("shc-lint: --root requires a directory\n");
+                        eprint!("{USAGE}");
+                        return ExitCode::from(2);
+                    }
+                },
+                other => {
+                    eprintln!("shc-lint: unknown flag `{other}`\n");
+                    eprint!("{USAGE}");
+                    return ExitCode::from(2);
+                }
+            }
+        }
+        if !dot {
+            eprintln!("shc-lint: graph requires --dot (the only supported format)\n");
+            eprint!("{USAGE}");
+            return ExitCode::from(2);
+        }
+        return ExitCode::from(run_graph(root, effects));
+    }
     if cmd != "check" {
         eprintln!("shc-lint: unknown command `{cmd}`\n");
         eprint!("{USAGE}");
@@ -68,6 +106,14 @@ fn main() -> ExitCode {
         match arg.as_str() {
             "--json" => opts.json = true,
             "--update-baseline" => opts.update_baseline = true,
+            "--effects-out" => match args.next() {
+                Some(path) => opts.effects_out = Some(PathBuf::from(path)),
+                None => {
+                    eprintln!("shc-lint: --effects-out requires a path\n");
+                    eprint!("{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
             "--root" => match args.next() {
                 Some(dir) => opts.root = Some(PathBuf::from(dir)),
                 None => {

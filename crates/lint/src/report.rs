@@ -21,6 +21,10 @@ pub struct Finding {
     /// is about. Ratcheting keys on it so each API is tracked
     /// individually rather than as a per-file count.
     pub api: Option<String>,
+    /// For the effect rules (`hot-path-certify`, `determinism`): the
+    /// effect name (`alloc`, `clock`, …) this finding is about, so the
+    /// v3 baseline can ratchet per-(root, effect).
+    pub effect: Option<&'static str>,
 }
 
 impl Finding {
@@ -31,12 +35,19 @@ impl Finding {
             line,
             message,
             api: None,
+            effect: None,
         }
     }
 
     /// Attaches the qualified API name (panic-reachability findings).
     pub fn with_api(mut self, api: String) -> Self {
         self.api = Some(api);
+        self
+    }
+
+    /// Attaches the effect name (effect-rule findings).
+    pub fn with_effect(mut self, effect: &'static str) -> Self {
+        self.effect = Some(effect);
         self
     }
 
@@ -91,7 +102,7 @@ pub fn render_json(
 ) -> String {
     let mut s = String::new();
     s.push_str("{\n");
-    let _ = writeln!(s, "  \"version\": 2,");
+    let _ = writeln!(s, "  \"version\": 3,");
     let _ = writeln!(s, "  \"files_checked\": {files_checked},");
     let _ = writeln!(s, "  \"baselined\": {baselined},");
     let _ = writeln!(s, "  \"new_findings\": {},", new.len());
@@ -102,9 +113,13 @@ pub fn render_json(
             Some(a) => format!(", \"api\": \"{}\"", json_escape(a)),
             None => String::new(),
         };
+        let effect = match f.effect {
+            Some(e) => format!(", \"effect\": \"{}\"", json_escape(e)),
+            None => String::new(),
+        };
         let _ = writeln!(
             s,
-            "    {{ \"rule\": \"{}\", \"file\": \"{}\", \"line\": {}, \"message\": \"{}\"{api} }}{comma}",
+            "    {{ \"rule\": \"{}\", \"file\": \"{}\", \"line\": {}, \"message\": \"{}\"{api}{effect} }}{comma}",
             json_escape(f.rule),
             json_escape(&f.file),
             f.line,
@@ -122,6 +137,65 @@ pub fn render_json(
             json_escape(&p.file),
             p.line,
             json_escape(&p.chain),
+        );
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+/// One function's effect summary, ready for `effect-summaries.json`.
+/// Rows are produced sorted by `(file, line, api)` so serial and
+/// parallel runs render byte-identical artifacts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EffectRow {
+    /// Qualified name (`SparseLu::refactor`).
+    pub api: String,
+    pub file: String,
+    pub line: u32,
+    /// Effective (allow-pruned) effect names, canonical order.
+    pub effects: Vec<&'static str>,
+    /// Raw effect names; equals `effects` when no allow pruned anything.
+    pub raw: Vec<&'static str>,
+    /// Unresolved, non-allowlisted callee names behind `unknown-callee`.
+    pub unknown: Vec<String>,
+}
+
+/// Renders the full effect-summary table (the `effect-summaries.json`
+/// artifact).
+pub fn render_effects_json(rows: &[EffectRow]) -> String {
+    fn str_list<S: AsRef<str>>(items: &[S]) -> String {
+        let quoted: Vec<String> = items
+            .iter()
+            .map(|i| format!("\"{}\"", json_escape(i.as_ref())))
+            .collect();
+        format!("[{}]", quoted.join(", "))
+    }
+    let mut s = String::new();
+    s.push_str("{\n");
+    let _ = writeln!(s, "  \"version\": 1,");
+    let _ = writeln!(s, "  \"functions\": {},", rows.len());
+    s.push_str("  \"summaries\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let comma = if i + 1 == rows.len() { "" } else { "," };
+        // Keep rows compact: omit "raw" when identical to "effects" and
+        // "unknown" when empty.
+        let raw = if r.raw == r.effects {
+            String::new()
+        } else {
+            format!(", \"raw\": {}", str_list(&r.raw))
+        };
+        let unknown = if r.unknown.is_empty() {
+            String::new()
+        } else {
+            format!(", \"unknown\": {}", str_list(&r.unknown))
+        };
+        let _ = writeln!(
+            s,
+            "    {{ \"api\": \"{}\", \"file\": \"{}\", \"line\": {}, \"effects\": {}{raw}{unknown} }}{comma}",
+            json_escape(&r.api),
+            json_escape(&r.file),
+            r.line,
+            str_list(&r.effects),
         );
     }
     s.push_str("  ]\n}\n");
@@ -148,7 +222,7 @@ mod tests {
     fn json_report_shape() {
         let f = vec![Finding::new("float-eq", "x.rs".into(), 1, "m \"q\"".into())];
         let j = render_json(&f, 3, 10, &[]);
-        assert!(j.contains("\"version\": 2"));
+        assert!(j.contains("\"version\": 3"));
         assert!(j.contains("\"new_findings\": 1"));
         assert!(j.contains("\"baselined\": 3"));
         assert!(j.contains("\\\"q\\\""));
@@ -173,5 +247,45 @@ mod tests {
         assert!(j.contains("\"api\": \"Matrix::solve\""));
         assert!(j.contains("\"panic_apis\": ["));
         assert!(j.contains("unwrap() (a.rs:9)"));
+    }
+
+    #[test]
+    fn json_report_includes_effect_when_present() {
+        let f = vec![
+            Finding::new("hot-path-certify", "a.rs".into(), 3, "m".into())
+                .with_api("SparseLu::solve_into".into())
+                .with_effect("alloc"),
+        ];
+        let j = render_json(&f, 0, 1, &[]);
+        assert!(j.contains("\"effect\": \"alloc\""));
+    }
+
+    #[test]
+    fn effect_summaries_artifact_shape() {
+        let rows = vec![
+            EffectRow {
+                api: "SparseLu::solve_into".into(),
+                file: "crates/linalg/src/sparse_lu.rs".into(),
+                line: 10,
+                effects: vec![],
+                raw: vec!["clock"],
+                unknown: vec![],
+            },
+            EffectRow {
+                api: "run".into(),
+                file: "crates/spice/src/transient.rs".into(),
+                line: 20,
+                effects: vec!["alloc", "panic"],
+                raw: vec!["alloc", "panic"],
+                unknown: vec!["mystery".into()],
+            },
+        ];
+        let j = render_effects_json(&rows);
+        assert!(j.contains("\"functions\": 2"));
+        // raw shown only when it differs from effects.
+        assert!(j.contains("\"effects\": [], \"raw\": [\"clock\"] }"));
+        assert!(j.contains("\"effects\": [\"alloc\", \"panic\"], \"unknown\": [\"mystery\"] }"));
+        // Two renders are byte-identical.
+        assert_eq!(j, render_effects_json(&rows));
     }
 }

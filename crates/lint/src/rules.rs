@@ -9,6 +9,9 @@
 //! | `thread-local-discipline` | Collector/Injector installs, workspace-wide | error |
 //! | `tolerance-hygiene` | convergence loops of `mpnr.rs`/`tracer.rs`/`transient.rs` | error |
 //! | `hot-loop-alloc` | `// lint: hot-loop` … `// lint: end-hot-loop` regions | error |
+//! | `hot-path-certify` | transitive closure of hot-loop/`hot-fn` roots, via effect summaries | ratchet (per root+effect) |
+//! | `determinism` | result-producing public APIs of the solver crates | ratchet (per API+effect) |
+//! | `effect-annotation-drift` | `/// effects:`-annotated fns vs inferred summaries | error |
 //! | `telemetry-hygiene` | whole workspace + DESIGN.md schema table | error |
 //! | `unsafe-audit` | whole workspace | error |
 //! | `lint-annotation` | the lint annotations themselves | error |
@@ -26,20 +29,28 @@
 //! are fully sorted at the end, so parallel output is byte-identical to
 //! serial output.
 
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeSet, HashMap, HashSet};
+use std::fmt::Write as _;
 
 use crate::ast::{self, Expr, ExprKind, ItemKind, Stmt};
 use crate::callgraph::{CallGraph, PANIC_MACROS, PANIC_METHODS};
+use crate::effects::{EffectGraph, EffectKind, EffectSet, CERT_KINDS, DET_KINDS, UNORDERED_TYPES};
 use crate::lexer::{self, is_float_literal, Token, TokenKind};
 use crate::parser;
-use crate::report::{Finding, PanicApi};
+use crate::report::{EffectRow, Finding, PanicApi};
 use crate::symbols::SymbolTable;
 use crate::units::{self, Unit};
 use shc_core::parallel::{run_indexed, Parallelism};
 
 /// Rules whose counts are ratcheted against the committed baseline
 /// instead of failing outright.
-pub const RATCHETED_RULES: &[&str] = &["no-panic", "float-eq", "panic-reachability"];
+pub const RATCHETED_RULES: &[&str] = &[
+    "no-panic",
+    "float-eq",
+    "panic-reachability",
+    "hot-path-certify",
+    "determinism",
+];
 
 /// All rule identifiers accepted by `// lint: allow(<rule>, …)`.
 pub const ALL_RULES: &[&str] = &[
@@ -50,6 +61,9 @@ pub const ALL_RULES: &[&str] = &[
     "thread-local-discipline",
     "tolerance-hygiene",
     "hot-loop-alloc",
+    "hot-path-certify",
+    "determinism",
+    "effect-annotation-drift",
     "telemetry-hygiene",
     "unsafe-audit",
     "lint-annotation",
@@ -93,7 +107,7 @@ const ALLOC_METHODS: &[&str] = &["clone", "to_vec", "to_string", "to_owned", "co
 const ALLOC_MACROS: &[&str] = &["vec", "format"];
 
 /// Allocating `Type::constructor` pairs forbidden inside hot-loop regions.
-const ALLOC_CTORS: &[(&str, &str)] = &[
+pub(crate) const ALLOC_CTORS: &[(&str, &str)] = &[
     ("Vec", "new"),
     ("Vec", "with_capacity"),
     ("Vec", "from"),
@@ -157,6 +171,9 @@ struct FileCtx<'a> {
     allows: Vec<Allow>,
     /// Inclusive line ranges bounded by hot-loop markers.
     hot: Vec<(u32, u32)>,
+    /// Lines of `// lint: hot-fn` markers; each certifies the next fn
+    /// definition below it as a hot-path root.
+    hot_fns: Vec<u32>,
     /// Inclusive line ranges of `#[cfg(test)] mod … { … }` bodies.
     tests: Vec<(u32, u32)>,
     /// Annotation problems found while building the context.
@@ -172,6 +189,7 @@ impl<'a> FileCtx<'a> {
         let mut allows = Vec::new();
         let mut annotation_findings = Vec::new();
         let mut hot = Vec::new();
+        let mut hot_fns = Vec::new();
         let mut hot_open: Option<u32> = None;
 
         for t in all {
@@ -195,6 +213,7 @@ impl<'a> FileCtx<'a> {
                     }
                     hot_open = Some(t.line);
                 }
+                Directive::HotFn => hot_fns.push(t.line),
                 Directive::EndHotLoop => match hot_open.take() {
                     Some(start) => hot.push((start, t.line)),
                     None => annotation_findings.push(Finding::new(
@@ -243,6 +262,7 @@ impl<'a> FileCtx<'a> {
             code,
             allows,
             hot,
+            hot_fns,
             tests,
             annotation_findings,
             comments,
@@ -288,6 +308,31 @@ impl<'a> FileCtx<'a> {
         out.push(Finding::new(rule, self.path.to_string(), line, message).with_api(api));
     }
 
+    /// [`FileCtx::push`] for effect-rule findings, which carry both the
+    /// qualified API and the effect name (the v3 ratchet key).
+    #[allow(clippy::too_many_arguments)]
+    fn push_with_effect(
+        &self,
+        out: &mut Vec<Finding>,
+        rule: &'static str,
+        line: u32,
+        message: String,
+        api: String,
+        effect: &'static str,
+    ) {
+        for allow in &self.allows {
+            if allow.rule == rule && (allow.line == line || allow.line + 1 == line) {
+                allow.used.set(true);
+                return;
+            }
+        }
+        out.push(
+            Finding::new(rule, self.path.to_string(), line, message)
+                .with_api(api)
+                .with_effect(effect),
+        );
+    }
+
     /// True when a comment containing `SAFETY:` sits within `window` lines
     /// above (or on) `line`.
     fn has_safety_comment(&self, line: u32, window: u32) -> bool {
@@ -310,6 +355,7 @@ fn lint_directive(comment: &str) -> Option<&str> {
 enum Directive {
     HotLoop,
     EndHotLoop,
+    HotFn,
     Allow { rule: String, has_reason: bool },
     Malformed(String),
 }
@@ -320,6 +366,9 @@ fn parse_directive(text: &str) -> Directive {
     }
     if text == "end-hot-loop" {
         return Directive::EndHotLoop;
+    }
+    if text == "hot-fn" {
+        return Directive::HotFn;
     }
     if let Some(args) = text
         .strip_prefix("allow(")
@@ -344,7 +393,7 @@ fn parse_directive(text: &str) -> Directive {
         };
     }
     Directive::Malformed(format!(
-        "unrecognized lint directive `{text}` (expected `hot-loop`, `end-hot-loop`, or `allow(<rule>, reason = \"…\")`)"
+        "unrecognized lint directive `{text}` (expected `hot-loop`, `end-hot-loop`, `hot-fn`, or `allow(<rule>, reason = \"…\")`)"
     ))
 }
 
@@ -441,6 +490,9 @@ pub struct FileAnalysis<'a> {
 pub struct RunOutput {
     pub findings: Vec<Finding>,
     pub panic_apis: Vec<PanicApi>,
+    /// Per-function effect summaries, sorted by `(file, line, api)` —
+    /// the `effect-summaries.json` artifact.
+    pub effect_rows: Vec<EffectRow>,
 }
 
 /// Phase A: lex + parse once, then run every per-file rule.
@@ -485,6 +537,7 @@ pub fn run(ws: &Workspace, parallelism: Parallelism) -> RunOutput {
     telemetry_hygiene(ws, &analyses, &mut findings);
     units_rule(&analyses, &mut findings);
     let panic_apis = panic_reachability(&analyses, &mut findings);
+    let effect_rows = effect_rules(&analyses, &mut findings);
 
     // Escape hatches require a reason regardless of whether they fired.
     for a in &analyses {
@@ -503,11 +556,14 @@ pub fn run(ws: &Workspace, parallelism: Parallelism) -> RunOutput {
         }
     }
 
-    findings
-        .sort_by(|a, b| (&a.file, a.line, a.rule, &a.api).cmp(&(&b.file, b.line, b.rule, &b.api)));
+    findings.sort_by(|a, b| {
+        (&a.file, a.line, a.rule, &a.api, a.effect)
+            .cmp(&(&b.file, b.line, b.rule, &b.api, b.effect))
+    });
     RunOutput {
         findings,
         panic_apis,
+        effect_rows,
     }
 }
 
@@ -1097,15 +1153,19 @@ fn visit_blocks(item: &ast::Item, f: &mut impl FnMut(&[Stmt])) {
 const CRATE_DEPS: &[(&str, &[&str])] = &[
     (
         "bench",
-        &["cells", "core", "fault", "linalg", "obs", "spice"],
+        &["cells", "core", "fault", "linalg", "obs", "prof", "spice"],
     ),
     ("cells", &["spice"]),
-    ("core", &["cells", "fault", "linalg", "obs", "spice"]),
+    (
+        "core",
+        &["cells", "fault", "linalg", "obs", "prof", "spice"],
+    ),
     ("fault", &[]),
-    ("linalg", &["fault", "obs"]),
+    ("linalg", &["fault", "obs", "prof"]),
     ("lint", &["core"]),
     ("obs", &[]),
-    ("spice", &["fault", "linalg", "obs"]),
+    ("prof", &["obs"]),
+    ("spice", &["fault", "linalg", "obs", "prof"]),
 ];
 
 fn crate_of(path: &str) -> Option<&str> {
@@ -1117,6 +1177,12 @@ fn crate_of(path: &str) -> Option<&str> {
 /// callees), and cross-crate edges must follow the dependency DAG.
 fn may_call(caller_file: &str, callee_file: &str) -> bool {
     if callee_file.contains("/src/bin/") || callee_file.contains("/examples/") {
+        return false;
+    }
+    // The top-level `src/` tree is the CLI binary: a link root like
+    // `src/bin/`, never a callee. Library code "calling" a same-named
+    // fn there would route chains backwards through the workspace.
+    if crate_of(callee_file).is_none() {
         return false;
     }
     let (Some(a), Some(b)) = (crate_of(caller_file), crate_of(callee_file)) else {
@@ -1203,6 +1269,318 @@ fn panic_reachability(analyses: &[FileAnalysis<'_>], out: &mut Vec<Finding>) -> 
         );
     }
     apis
+}
+
+/// Builds the symbol table plus the interprocedural effect graph over
+/// the phase-A products: workspace unordered-field map, then the two
+/// fixed-point passes (raw and allow-pruned). Shared by the effect
+/// rules and the `graph --dot --effects` export.
+fn build_effect_graph<'a>(analyses: &'a [FileAnalysis<'a>]) -> (SymbolTable<'a>, EffectGraph) {
+    let by_path: HashMap<&str, &FileAnalysis<'_>> =
+        analyses.iter().map(|a| (a.ctx.path, a)).collect();
+    let table = SymbolTable::build(
+        analyses.iter().map(|a| (a.ctx.path, &a.ast)),
+        &|path, line| by_path.get(path).is_some_and(|a| a.ctx.in_tests(line)),
+    );
+
+    // Struct fields whose declared type is an unordered collection:
+    // iterating `self.cache` is as order-dependent as iterating a local.
+    let mut unordered_fields: HashSet<String> = HashSet::new();
+    for a in analyses {
+        visit_structs(&a.ast.items, &mut |s: &ast::StructItem| {
+            for f in &s.fields {
+                if UNORDERED_TYPES.iter().any(|t| f.ty.contains(t)) {
+                    unordered_fields.insert(f.name.clone());
+                }
+            }
+        });
+    }
+
+    // Same-line-or-line-above allow lookup, shared with every other
+    // rule; marking the allow used keeps the unused-allow check honest.
+    let allowed = |file: &str, line: u32, rule: &str| -> bool {
+        let Some(a) = by_path.get(file) else {
+            return false;
+        };
+        for allow in &a.ctx.allows {
+            if allow.rule == rule && (allow.line == line || allow.line + 1 == line) {
+                allow.used.set(true);
+                return true;
+            }
+        }
+        false
+    };
+
+    let graph = EffectGraph::build(&table, &unordered_fields, &may_call, &allowed);
+    (table, graph)
+}
+
+/// Renders the shortest call chain from `root` to a direct site of
+/// `kind`, in the panic-reachability frame format:
+/// `qualified (file:line) -> … -> what (file:line)`.
+fn render_effect_chain(
+    graph: &EffectGraph,
+    table: &SymbolTable<'_>,
+    root: usize,
+    kind: EffectKind,
+) -> String {
+    let Some((path, site)) = graph.shortest_chain(root, kind) else {
+        // Effect arrived only via unknown-callee widening; no concrete
+        // site exists to point at.
+        return "(no concrete site: effect inferred conservatively)".to_string();
+    };
+    let mut frames: Vec<String> = path
+        .iter()
+        .map(|&id| {
+            let d = &table.defs[id];
+            format!("{} ({}:{})", d.qualified_name(), d.file, d.line)
+        })
+        .collect();
+    let last = &table.defs[*path.last().unwrap_or(&root)];
+    frames.push(format!("{} ({}:{})", site.what, last.file, site.line));
+    frames.join(" -> ")
+}
+
+/// The `/// effects: …` doc annotation on a fn, when present.
+fn effect_annotation(doc: &[String]) -> Option<&str> {
+    doc.iter()
+        .find_map(|l| l.trim().strip_prefix("effects:"))
+        .map(str::trim)
+}
+
+/// The three effect rules (`hot-path-certify`, `determinism`,
+/// `effect-annotation-drift`) plus the per-function summary table for
+/// `effect-summaries.json`.
+///
+/// Hot roots are the functions enclosing each `// lint: hot-loop`
+/// region plus every fn directly below a `// lint: hot-fn` marker; a
+/// root plus everything it can reach must be free of the five
+/// certification effects (alloc/panic/lock/clock/io). Determinism
+/// audits every public API of the solver crates for unordered-iteration
+/// and float-accumulation-order effects. Drift compares declared
+/// `/// effects:` annotations against the inferred (allow-pruned)
+/// summaries.
+fn effect_rules(analyses: &[FileAnalysis<'_>], out: &mut Vec<Finding>) -> Vec<EffectRow> {
+    let by_path: HashMap<&str, &FileAnalysis<'_>> =
+        analyses.iter().map(|a| (a.ctx.path, a)).collect();
+    let (table, graph) = build_effect_graph(analyses);
+
+    // --- Hot-root collection ------------------------------------------
+    let mut roots: BTreeSet<usize> = BTreeSet::new();
+    for a in analyses {
+        // A hot-loop region certifies its enclosing function: the last
+        // def that starts at or before the region opens.
+        for &(start, _) in &a.ctx.hot {
+            if let Some(d) = table
+                .defs
+                .iter()
+                .filter(|d| d.file == a.ctx.path && !d.in_tests && d.line <= start)
+                .max_by_key(|d| d.line)
+            {
+                roots.insert(d.id);
+            }
+        }
+        // A hot-fn marker certifies the next function below it.
+        for &line in &a.ctx.hot_fns {
+            match table
+                .defs
+                .iter()
+                .filter(|d| d.file == a.ctx.path && d.line > line)
+                .min_by_key(|d| d.line)
+            {
+                Some(d) if !d.in_tests => {
+                    roots.insert(d.id);
+                }
+                Some(_) => a.ctx.push(
+                    out,
+                    "lint-annotation",
+                    line,
+                    "`lint: hot-fn` marks a #[cfg(test)] function; hot-path certification only covers production code".to_string(),
+                ),
+                None => a.ctx.push(
+                    out,
+                    "lint-annotation",
+                    line,
+                    "`lint: hot-fn` is not followed by a function definition in this file"
+                        .to_string(),
+                ),
+            }
+        }
+    }
+
+    // --- hot-path-certify ---------------------------------------------
+    for &root in &roots {
+        let d = &table.defs[root];
+        let ctx = &by_path[d.file].ctx;
+        for kind in CERT_KINDS {
+            if !graph.effective[root].contains(kind) {
+                continue;
+            }
+            let chain = render_effect_chain(&graph, &table, root, kind);
+            ctx.push_with_effect(
+                out,
+                "hot-path-certify",
+                d.line,
+                format!(
+                    "hot root `{}` can transitively {}: {chain}",
+                    d.qualified_name(),
+                    kind.verb()
+                ),
+                d.qualified_name(),
+                kind.name(),
+            );
+        }
+    }
+
+    // --- determinism --------------------------------------------------
+    for def in &table.defs {
+        if !def.is_pub || def.in_tests || !in_solver_crate(def.file) {
+            continue;
+        }
+        let ctx = &by_path[def.file].ctx;
+        for kind in DET_KINDS {
+            if !graph.effective[def.id].contains(kind) {
+                continue;
+            }
+            let chain = render_effect_chain(&graph, &table, def.id, kind);
+            ctx.push_with_effect(
+                out,
+                "determinism",
+                def.line,
+                format!(
+                    "public API `{}` can {}, so repeated runs may differ: {chain}",
+                    def.qualified_name(),
+                    kind.verb()
+                ),
+                def.qualified_name(),
+                kind.name(),
+            );
+        }
+    }
+
+    // --- effect-annotation-drift --------------------------------------
+    for def in &table.defs {
+        if def.in_tests {
+            continue;
+        }
+        let Some(ann) = effect_annotation(&def.item.doc) else {
+            continue;
+        };
+        let ctx = &by_path[def.file].ctx;
+        let mut declared = EffectSet::EMPTY;
+        let mut malformed = false;
+        if ann != "none" {
+            for name in ann.split(',') {
+                let name = name.trim();
+                match EffectKind::from_name(name) {
+                    Some(EffectKind::UnknownCallee) | None => {
+                        ctx.push(
+                            out,
+                            "lint-annotation",
+                            def.line,
+                            format!(
+                                "`/// effects:` on `{}` names unknown effect `{name}` (known: alloc, panic, assert, lock, clock, io, unordered-iter, float-order, or `none`)",
+                                def.name()
+                            ),
+                        );
+                        malformed = true;
+                    }
+                    Some(k) => declared.add(k),
+                }
+            }
+        }
+        if malformed {
+            continue;
+        }
+        // Unknown-callee is analysis bookkeeping, not a declarable
+        // effect; compare over the eight real kinds.
+        let inferred = graph.effective[def.id].without(EffectSet::of(&[EffectKind::UnknownCallee]));
+        if inferred != declared {
+            let show = |s: EffectSet| -> String {
+                if s.is_empty() {
+                    "none".to_string()
+                } else {
+                    s.names().join(", ")
+                }
+            };
+            ctx.push_with_api(
+                out,
+                "effect-annotation-drift",
+                def.line,
+                format!(
+                    "`/// effects:` on `{}` is stale: declares [{}] but the analysis infers [{}]",
+                    def.qualified_name(),
+                    show(declared),
+                    show(inferred)
+                ),
+                def.qualified_name(),
+            );
+        }
+    }
+
+    // --- Summary table ------------------------------------------------
+    let mut rows: Vec<EffectRow> = table
+        .defs
+        .iter()
+        .filter(|d| !d.in_tests)
+        .map(|d| EffectRow {
+            api: d.qualified_name(),
+            file: d.file.to_string(),
+            line: d.line,
+            effects: graph.effective[d.id].names(),
+            raw: graph.raw[d.id].names(),
+            unknown: graph.unknown[d.id].clone(),
+        })
+        .collect();
+    rows.sort_by(|a, b| (&a.file, a.line, &a.api).cmp(&(&b.file, b.line, &b.api)));
+    rows
+}
+
+/// Renders the workspace call graph as Graphviz DOT
+/// (`shc-lint graph --dot`). With `effects`, nodes are colored by their
+/// effective effect class — red: blocks hot-path certification; amber:
+/// nondeterminism; grey: unknown callees only; green: clean — and
+/// labeled with their effect names.
+pub fn render_graph_dot(ws: &Workspace, effects: bool) -> String {
+    let analyses: Vec<FileAnalysis<'_>> = ws.files.iter().map(analyze_file).collect();
+    let (table, graph) = build_effect_graph(&analyses);
+    let cert = EffectSet::of(&CERT_KINDS);
+    let det = EffectSet::of(&DET_KINDS);
+
+    let mut s = String::new();
+    s.push_str("digraph shc {\n");
+    s.push_str("  rankdir=LR;\n");
+    s.push_str("  node [shape=box, style=filled, fillcolor=white, fontname=\"monospace\"];\n");
+    for def in table.defs.iter().filter(|d| !d.in_tests) {
+        let mut label = format!("{}\\n{}:{}", def.qualified_name(), def.file, def.line);
+        let mut color = "white";
+        if effects {
+            let e = graph.effective[def.id];
+            color = if !e.intersect(cert).is_empty() {
+                "\"#f4cccc\""
+            } else if !e.intersect(det).is_empty() {
+                "\"#fce5cd\""
+            } else if e.contains(EffectKind::UnknownCallee) {
+                "\"#eeeeee\""
+            } else {
+                "\"#d9ead3\""
+            };
+            if !e.is_empty() {
+                let _ = write!(label, "\\n[{}]", e.names().join(", "));
+            }
+        }
+        let _ = writeln!(s, "  n{} [label=\"{label}\", fillcolor={color}];", def.id);
+    }
+    for def in table.defs.iter().filter(|d| !d.in_tests) {
+        let mut seen: BTreeSet<usize> = BTreeSet::new();
+        for e in &graph.edges[def.id] {
+            if seen.insert(e.callee) {
+                let _ = writeln!(s, "  n{} -> n{};", def.id, e.callee);
+            }
+        }
+    }
+    s.push_str("}\n");
+    s
 }
 
 /// `telemetry-hygiene`: metric declarations, journal schema cross-checks,
@@ -1703,7 +2081,11 @@ mod tests {
         let src = "fn step() {\n    // lint: hot-loop\n    let v: Vec<f64> = Vec::new();\n    let w = vec![0.0];\n    let c = w.clone();\n    let t = Vec::<f64>::with_capacity(4);\n    // lint: end-hot-loop\n    let outside = Vec::new();\n}\n";
         let f = run_one("crates/spice/src/a.rs", src);
         let rules: Vec<&str> = f.iter().map(|x| x.rule).collect();
-        assert_eq!(rules, vec!["hot-loop-alloc"; 4], "{f:?}");
+        // The hot-loop region also makes `step` a hot-path-certify root,
+        // and its allocations fail the transitive certification.
+        let mut expected = vec!["hot-path-certify"];
+        expected.extend(vec!["hot-loop-alloc"; 4]);
+        assert_eq!(rules, expected, "{f:?}");
     }
 
     #[test]

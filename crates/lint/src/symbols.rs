@@ -110,4 +110,73 @@ impl<'a> SymbolTable<'a> {
     pub fn resolve(&self, name: &str) -> &[usize] {
         self.by_name.get(name).map_or(&[], Vec::as_slice)
     }
+
+    /// [`SymbolTable::resolve`] refined by the qualifying path segment
+    /// of a `qual::name(…)` call:
+    ///
+    /// - `Type::name` (UpperCamelCase) keeps only methods whose impl or
+    ///   trait container is `Type` — containers are parsed reliably, so
+    ///   an empty result means the callee is external (std/vendored)
+    ///   and produces no edges;
+    /// - `crate`/`self`/`super` keep the caller's own crate;
+    /// - a lowercase qualifier keeps defs in the matching workspace
+    ///   crate (`shc_fault`/`fault` → `crates/fault/`) or the matching
+    ///   module file (`clock::ticks` → `…/clock.rs`). Module aliases
+    ///   and re-exports make lowercase negatives unreliable, so when
+    ///   the filter would discard every candidate it falls back to the
+    ///   unfiltered set instead of under-approximating.
+    ///
+    /// Unqualified calls (`name(…)`) resolve by name alone.
+    pub fn resolve_qualified(&self, qualifier: &str, name: &str, caller_file: &str) -> Vec<usize> {
+        let all = self.resolve(name);
+        if qualifier.is_empty() {
+            return all.to_vec();
+        }
+        if qualifier.starts_with(|c: char| c.is_ascii_uppercase()) {
+            return all
+                .iter()
+                .copied()
+                .filter(|&id| self.defs[id].container == qualifier)
+                .collect();
+        }
+        let target_crate = match qualifier {
+            "crate" | "self" | "super" => path_crate(caller_file),
+            q => Some(q.strip_prefix("shc_").unwrap_or(q)),
+        };
+        let module_file = format!("/{qualifier}.rs");
+        let module_dir = format!("/{qualifier}/mod.rs");
+        let filtered: Vec<usize> = all
+            .iter()
+            .copied()
+            .filter(|&id| {
+                let f = self.defs[id].file;
+                path_crate(f) == target_crate
+                    || f.ends_with(&module_file)
+                    || f.ends_with(&module_dir)
+            })
+            .collect();
+        if filtered.is_empty() {
+            all.to_vec()
+        } else {
+            filtered
+        }
+    }
+
+    /// [`SymbolTable::resolve`] restricted to method definitions (impl or
+    /// trait members). A `recv.name(…)` call can only dispatch to a
+    /// method — never to a free function that happens to share the name —
+    /// so free-fn candidates are soundly dropped.
+    pub fn resolve_method(&self, name: &str) -> Vec<usize> {
+        self.resolve(name)
+            .iter()
+            .copied()
+            .filter(|&id| !self.defs[id].container.is_empty())
+            .collect()
+    }
+}
+
+/// Crate directory name of a `crates/<name>/…` path; `None` for the
+/// top-level `src/` tree.
+fn path_crate(path: &str) -> Option<&str> {
+    path.strip_prefix("crates/")?.split('/').next()
 }

@@ -1,0 +1,8 @@
+//! Fixture: a public solver API whose result folds HashMap iteration
+//! order into a float accumulation — it varies across hash seeds.
+
+use std::collections::HashMap;
+
+pub fn weighted_total(weights: &HashMap<u32, f64>) -> f64 {
+    weights.values().sum()
+}

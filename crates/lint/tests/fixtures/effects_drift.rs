@@ -1,0 +1,9 @@
+//! Fixture: a stale `/// effects:` annotation — the doc declares
+//! `none` but the body allocates through `.collect()`.
+
+/// Doubles every entry into a fresh buffer.
+///
+/// effects: none
+pub fn doubled(xs: &[f64]) -> Vec<f64> {
+    xs.iter().map(|x| x * 2.0).collect()
+}

@@ -1,0 +1,7 @@
+//! Fixture: a `hot-fn` marker with no function definition below it.
+
+pub fn fine(x: f64) -> f64 {
+    x + 1.0
+}
+
+// lint: hot-fn

@@ -1,0 +1,12 @@
+//! Fixture: a `hot-fn`-certified root that looks clean at its own
+//! body but reaches an allocation through a helper one call away.
+
+// lint: hot-fn
+pub fn certified(x: f64) -> f64 {
+    helper(x)
+}
+
+fn helper(x: f64) -> f64 {
+    let v = vec![x];
+    x + (v.len() as f64)
+}

@@ -69,17 +69,27 @@ fn panic_fixture_is_clean_outside_solver_crates() {
 }
 
 #[test]
-fn hot_loop_fixture_triggers_only_hot_loop_alloc() {
+fn hot_loop_fixture_triggers_alloc_sites_and_certification() {
     let findings = lint_fixture(
         "crates/spice/src/fixture.rs",
         include_str!("fixtures/hot_loop_alloc.rs"),
     );
-    assert_only(
-        &findings,
-        "hot-loop-alloc",
-        "crates/spice/src/fixture.rs",
-        &[7, 8, 9, 10],
-    );
+    // The region flags each allocation site, and it also makes `step` a
+    // hot-path-certify root, which fails once for the alloc effect.
+    let mut sites: Vec<u32> = findings
+        .iter()
+        .filter(|f| f.rule == "hot-loop-alloc")
+        .map(|f| f.line)
+        .collect();
+    sites.sort_unstable();
+    assert_eq!(sites, vec![7, 8, 9, 10], "{findings:#?}");
+    let certs: Vec<&shc_lint::report::Finding> = findings
+        .iter()
+        .filter(|f| f.rule == "hot-path-certify")
+        .collect();
+    assert_eq!(certs.len(), 1, "{findings:#?}");
+    assert_eq!((certs[0].line, certs[0].effect), (3, Some("alloc")));
+    assert_eq!(findings.len(), 5, "no other rules may fire: {findings:#?}");
 }
 
 #[test]
@@ -253,6 +263,89 @@ fn inline_tolerances_trigger_hygiene_in_designated_files_only() {
     assert!(outside.is_empty(), "{outside:#?}");
 }
 
+#[test]
+fn hot_fn_with_transitive_alloc_fails_certification() {
+    let findings = lint_fixture(
+        "crates/spice/src/fixture.rs",
+        include_str!("fixtures/hot_fn_transitive_alloc.rs"),
+    );
+    // The root body is clean; the finding comes from the summary of the
+    // helper it calls, anchored at the certified root's definition.
+    assert_only(
+        &findings,
+        "hot-path-certify",
+        "crates/spice/src/fixture.rs",
+        &[5],
+    );
+    assert_eq!(findings[0].api.as_deref(), Some("certified"));
+    assert_eq!(findings[0].effect, Some("alloc"));
+    assert!(
+        findings[0].message.contains("helper") && findings[0].message.contains("vec!"),
+        "chain must walk through the helper to the allocation: {}",
+        findings[0].message
+    );
+}
+
+#[test]
+fn hashmap_fold_in_public_api_triggers_determinism() {
+    let findings = lint_fixture(
+        "crates/core/src/fixture.rs",
+        include_str!("fixtures/determinism_hashmap.rs"),
+    );
+    // Both determinism effects fire on the same API: the unordered
+    // iteration and the float accumulation folded over it.
+    assert_only(
+        &findings,
+        "determinism",
+        "crates/core/src/fixture.rs",
+        &[6, 6],
+    );
+    let effects: BTreeSet<Option<&str>> = findings.iter().map(|f| f.effect).collect();
+    assert_eq!(
+        effects,
+        BTreeSet::from([Some("unordered-iter"), Some("float-order")])
+    );
+    // Outside the solver crates the same code is not audited.
+    let outside = lint_fixture(
+        "crates/bench/src/fixture.rs",
+        include_str!("fixtures/determinism_hashmap.rs"),
+    );
+    assert!(outside.is_empty(), "{outside:#?}");
+}
+
+#[test]
+fn stale_effect_annotation_triggers_drift() {
+    let findings = lint_fixture(
+        "crates/linalg/src/fixture.rs",
+        include_str!("fixtures/effects_drift.rs"),
+    );
+    assert_only(
+        &findings,
+        "effect-annotation-drift",
+        "crates/linalg/src/fixture.rs",
+        &[7],
+    );
+    assert!(
+        findings[0].message.contains("none") && findings[0].message.contains("alloc"),
+        "message must show declared vs inferred: {}",
+        findings[0].message
+    );
+}
+
+#[test]
+fn dangling_hot_fn_marker_triggers_lint_annotation() {
+    let findings = lint_fixture(
+        "crates/core/src/fixture.rs",
+        include_str!("fixtures/hot_fn_dangling.rs"),
+    );
+    assert_only(
+        &findings,
+        "lint-annotation",
+        "crates/core/src/fixture.rs",
+        &[7],
+    );
+}
+
 /// Every real src/ file must parse with zero diagnostics, and every
 /// recorded span must be a byte-tight slice of its source (in bounds,
 /// no leading/trailing whitespace).
@@ -299,10 +392,15 @@ fn serial_and_parallel_runs_are_byte_identical() {
     let parallel = rules::run(&ws, Parallelism::Auto);
     assert_eq!(serial.findings, parallel.findings);
     assert_eq!(serial.panic_apis, parallel.panic_apis);
+    assert_eq!(serial.effect_rows, parallel.effect_rows);
     let json = |out: &rules::RunOutput| {
         shc_lint::report::render_json(&out.findings, 0, ws.files.len(), &out.panic_apis)
     };
     assert_eq!(json(&serial).into_bytes(), json(&parallel).into_bytes());
+    let effects_json = |out: &rules::RunOutput| {
+        shc_lint::report::render_effects_json(&out.effect_rows).into_bytes()
+    };
+    assert_eq!(effects_json(&serial), effects_json(&parallel));
 }
 
 /// The committed tree must lint clean: all hard rules pass and the

@@ -19,7 +19,8 @@
 //!    measurement.
 
 use std::cell::{Cell, RefCell};
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
 
 use crate::clock;
 use crate::phase::Phase;
@@ -86,7 +87,12 @@ impl Tree {
             last = cursor;
             cursor = node.next_sibling;
         }
-        let id = u32::try_from(self.nodes.len()).expect("profile tree exceeds u32 nodes");
+        // A profiler must never abort the run it is measuring: if the
+        // arena ever saturates the u32 id space (pathological phase
+        // nesting), charge the frame to its parent instead of panicking.
+        let Ok(id) = u32::try_from(self.nodes.len()) else {
+            return parent;
+        };
         self.nodes.push(Node::new(repr));
         if last == NONE {
             self.nodes[parent as usize].first_child = id;
@@ -197,6 +203,9 @@ pub enum Detail {
 #[derive(Clone)]
 pub struct Profiler {
     merged: Arc<Mutex<Tree>>,
+    /// Mirrors "any thread has merged frames" so [`Profiler::is_empty`]
+    /// is one atomic load — no lock acquisition, no poison handling.
+    has_frames: Arc<AtomicBool>,
     detail: Detail,
 }
 
@@ -224,6 +233,7 @@ impl Profiler {
     pub fn with_detail(detail: Detail) -> Profiler {
         Profiler {
             merged: Arc::new(Mutex::new(Tree::new())),
+            has_frames: Arc::new(AtomicBool::new(false)),
             detail,
         }
     }
@@ -242,7 +252,7 @@ impl Profiler {
     /// live thread are not included.
     #[must_use]
     pub fn report(&self, label: &str) -> ProfileReport {
-        let tree = self.merged.lock().expect("profiler mutex poisoned");
+        let tree = self.merged.lock().unwrap_or_else(PoisonError::into_inner);
         let nodes = tree.report_nodes();
         let mut phases: Vec<PhaseAgg> = Vec::new();
         let totals = tree.phase_totals();
@@ -280,13 +290,13 @@ impl Profiler {
         }
     }
 
-    /// True when no thread has merged any frames yet.
+    /// True when no thread has merged any frames yet. One atomic load:
+    /// safe to call from certified hot paths (no lock, cannot panic).
+    ///
+    /// effects: none
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.merged
-            .lock()
-            .expect("profiler mutex poisoned")
-            .is_empty()
+        !self.has_frames.load(Ordering::Acquire)
     }
 }
 
@@ -379,11 +389,15 @@ impl Drop for InstallGuard {
             STATE.with(|s| std::mem::replace(&mut *s.borrow_mut(), self.previous.take()));
         if let Some(st) = finished {
             if !st.tree.is_empty() {
+                // Best-effort telemetry: a panic on another thread must
+                // not cascade through the profiler, so recover the data
+                // behind a poisoned mutex instead of re-panicking.
                 st.handle
                     .merged
                     .lock()
-                    .expect("profiler mutex poisoned")
+                    .unwrap_or_else(PoisonError::into_inner)
                     .merge(&st.tree);
+                st.handle.has_frames.store(true, Ordering::Release);
             }
         }
     }

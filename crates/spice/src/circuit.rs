@@ -186,6 +186,8 @@ impl Circuit {
     ///
     /// `source_scale` multiplies all independent sources (used by DC
     /// source-stepping homotopy); pass `1.0` for normal analyses.
+    ///
+    /// effects: alloc, assert
     pub fn assemble(&self, x: &Vector, t: f64, params: &Params, source_scale: f64) -> Stamps {
         let n = self.unknown_count();
         let mut stamps = Stamps::new(n);
@@ -199,6 +201,9 @@ impl Circuit {
     /// # Panics
     ///
     /// Panics if the workspace dimension does not match the circuit.
+    ///
+    /// effects: assert
+    // lint: hot-fn
     pub fn assemble_into(
         &self,
         stamps: &mut Stamps,
@@ -237,6 +242,9 @@ impl Circuit {
     /// # Panics
     ///
     /// Panics if the workspace dimension does not match the circuit.
+    ///
+    /// effects: assert
+    // lint: hot-fn
     pub fn assemble_sparse_into(
         &self,
         stamps: &mut Stamps,
@@ -380,10 +388,15 @@ impl Circuit {
 
     /// Builds the combined Jacobian `C·a + G` used by implicit integrators
     /// (`a = 1/Δt` for BE after scaling, etc.).
-    pub fn combine_jacobian(c: &Matrix, g: &Matrix, a: f64) -> Matrix {
+    ///
+    /// # Errors
+    ///
+    /// [`crate::SpiceError::Linalg`] when `c` and `g` differ in shape —
+    /// i.e. the stamps come from two different circuits.
+    pub fn combine_jacobian(c: &Matrix, g: &Matrix, a: f64) -> crate::Result<Matrix> {
         let mut j = c.scale(a);
-        j.axpy(1.0, g).expect("C and G always share the MNA shape");
-        j
+        j.axpy(1.0, g)?;
+        Ok(j)
     }
 }
 
@@ -487,7 +500,7 @@ mod tests {
     fn combine_jacobian_scales_c() {
         let c = Matrix::identity(2);
         let g = Matrix::identity(2).scale(3.0);
-        let j = Circuit::combine_jacobian(&c, &g, 10.0);
+        let j = Circuit::combine_jacobian(&c, &g, 10.0).unwrap();
         assert_eq!(j[(0, 0)], 13.0);
     }
 }

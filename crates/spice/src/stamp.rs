@@ -158,6 +158,7 @@ impl<'a> Stamper<'a> {
         if let (Some(i), Some(j)) = (eq, var) {
             self.stamps.c.add_at(i, j, value);
             if let Some(pattern) = self.pattern.as_deref_mut() {
+                // lint: allow(hot-path-certify, reason = "probe mode only: `pattern` is `Some` during the one-time sparsity probe and `None` in every per-iteration assembly")
                 pattern.push((i, j));
             }
         }
@@ -168,6 +169,7 @@ impl<'a> Stamper<'a> {
         if let (Some(i), Some(j)) = (eq, var) {
             self.stamps.g.add_at(i, j, value);
             if let Some(pattern) = self.pattern.as_deref_mut() {
+                // lint: allow(hot-path-certify, reason = "probe mode only: `pattern` is `Some` during the one-time sparsity probe and `None` in every per-iteration assembly")
                 pattern.push((i, j));
             }
         }

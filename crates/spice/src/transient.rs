@@ -752,7 +752,7 @@ impl<'a> TransientAnalysis<'a> {
                         }
                     },
                 };
-                combine_step_jacobian_into(j, &s.c, &s.g, c_scale, a, pattern);
+                combine_step_jacobian_into(j, &s.c, &s.g, c_scale, a, pattern)?;
                 lap_iter.end_region(newton::lap::STAMP);
                 lap_iter.bump(newton::lap::STAMP, 1, n as u64);
                 Ok(())
@@ -881,7 +881,7 @@ impl<'a> TransientAnalysis<'a> {
                     c_scale,
                     a,
                     pattern,
-                );
+                )?;
                 // The sensitivity solves reuse whichever backend the
                 // Newton path runs on, factoring the sensitivity Jacobian
                 // once per accepted step and back-substituting per
@@ -1002,6 +1002,7 @@ impl<'a> TransientAnalysis<'a> {
 /// pattern positions, leaving the structurally-zero remainder untouched.
 /// The dense branch preserves the exact copy/scale/axpy arithmetic order
 /// so the dense path stays bitwise identical to its golden history.
+// lint: hot-fn
 fn combine_step_jacobian_into(
     j: &mut Matrix,
     c: &Matrix,
@@ -1009,7 +1010,7 @@ fn combine_step_jacobian_into(
     c_scale: Option<f64>,
     a: f64,
     pattern: Option<&[(usize, usize)]>,
-) {
+) -> Result<()> {
     match pattern {
         Some(entries) => {
             let s = c_scale.unwrap_or(1.0);
@@ -1018,13 +1019,14 @@ fn combine_step_jacobian_into(
             }
         }
         None => {
-            j.copy_from(c).expect("shapes match by construction");
+            j.copy_from(c)?;
             if let Some(s) = c_scale {
                 j.scale_mut(s);
             }
-            j.axpy(a, g).expect("shapes match by construction");
+            j.axpy(a, g)?;
         }
     }
+    Ok(())
 }
 
 /// Reusable per-run workspace for [`TransientAnalysis::run_with_scratch`].
@@ -1136,9 +1138,10 @@ impl TransientScratch {
             // establish the zero-outside-pattern invariant (a previous
             // dense run over a different same-size circuit may have left
             // stale off-pattern entries).
-            let sp = self.newton.sparse_solver().expect("installed above");
             self.jac_pattern.clear();
-            self.jac_pattern.extend_from_slice(sp.pattern());
+            if let Some(sp) = self.newton.sparse_solver() {
+                self.jac_pattern.extend_from_slice(sp.pattern());
+            }
             self.nr_stamps.clear();
             self.stamps_prev.clear();
             self.stamps_new.clear();

@@ -44,7 +44,8 @@ fn sparse_lu_matches_dense_lu_on_every_cell_jacobian() {
         let x = bias(n, tech.vdd);
         let stamps = circuit.assemble(&x, 1e-9, &params, 1.0);
         let dt = 4e-12;
-        let jac = Circuit::combine_jacobian(&stamps.c, &stamps.g, 1.0 / dt);
+        let jac = Circuit::combine_jacobian(&stamps.c, &stamps.g, 1.0 / dt)
+            .expect("C and G share the MNA shape");
 
         let rhs: Vector = (0..n).map(|i| 1e-3 * ((i % 11) as f64 - 5.0)).collect();
         let dense = jac
@@ -62,7 +63,8 @@ fn sparse_lu_matches_dense_lu_on_every_cell_jacobian() {
         assert!(dev < 1e-12, "{name}: sparse vs dense deviation {dev:.2e}");
 
         // Value-only refactor at a different step size must track too.
-        let jac2 = Circuit::combine_jacobian(&stamps.c, &stamps.g, 1.0 / (4.0 * dt));
+        let jac2 = Circuit::combine_jacobian(&stamps.c, &stamps.g, 1.0 / (4.0 * dt))
+            .expect("C and G share the MNA shape");
         let csr2 = CsrMatrix::from_dense(&jac2, 0.0).expect("csr conversion");
         lu.refactor(&csr2)
             .unwrap_or_else(|e| panic!("{name}: refactor: {e}"));
