@@ -16,6 +16,11 @@
 //! (`0` = all CPUs, `1` = serial, the default); the section also writes
 //! `BENCH_parallel.json` to the repository root.
 //!
+//! `--batch auto|scalar|batched` picks the batched-engine policy for every
+//! characterization problem (default `auto`: serial sweeps of supported
+//! circuits run lanes in lockstep; `scalar` forces the per-simulation
+//! path, `batched` asserts the lockstep path engages).
+//!
 //! `--journal <path>` records every traced contour point as one JSONL
 //! event; `--metrics <path>` dumps end-of-run solver counters, histograms,
 //! and span timings as JSON (and prints the human-readable summary).
@@ -36,7 +41,8 @@ use shc_bench::{Cell, Timing};
 use shc_core::independent::{binary_search, newton, IndependentOptions, SkewAxis};
 use shc_core::report::{CellReport, ContourTable, OverlayReport, SpeedupRow};
 use shc_core::{
-    surface, CharacterizationProblem, Parallelism, SeedOptions, SurfaceOptions, TracerOptions,
+    surface, BatchPolicy, CharacterizationProblem, Parallelism, SeedOptions, SurfaceOptions,
+    TracerOptions,
 };
 
 /// This binary exists to measure wall-clock (the paper's speedup table),
@@ -71,6 +77,16 @@ fn main() -> ExitCode {
             .position(|a| a == flag)
             .and_then(|i| args.get(i + 1))
             .cloned()
+    };
+    let batch: BatchPolicy = match flag_value("--batch").as_deref() {
+        None => BatchPolicy::default(),
+        Some(v) => match v.parse() {
+            Ok(policy) => policy,
+            Err(e) => {
+                eprintln!("--batch: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
     };
     let journal_path = flag_value("--journal");
     let metrics_path = flag_value("--metrics");
@@ -110,6 +126,7 @@ fn main() -> ExitCode {
             timing,
             surface_n,
             parallelism,
+            batch,
             &collector,
             journal_path.as_deref(),
             metrics_path.as_deref(),
@@ -153,10 +170,12 @@ fn main() -> ExitCode {
 
 /// The evaluation pipeline proper. Telemetry/profiling guards are
 /// installed by `main`, which also owns the end-of-run accounting line.
+#[allow(clippy::too_many_arguments)]
 fn run_experiments(
     timing: Timing,
     surface_n: usize,
     parallelism: Parallelism,
+    batch: BatchPolicy,
     collector: &Collector,
     journal_path: Option<&str>,
     metrics_path: Option<&str>,
@@ -172,7 +191,7 @@ fn run_experiments(
     println!("---                          C2MOS 90% criterion, r = 0.25 V) ---");
     let mut problems: Vec<(Cell, CharacterizationProblem)> = Vec::new();
     for cell in Cell::ALL {
-        let problem = cell.problem(timing)?;
+        let problem = cell.problem_with_batch(timing, batch)?;
         let report = CellReport {
             cell: cell.name().to_string(),
             t_cq: problem.characteristic_delay(),
@@ -326,16 +345,25 @@ fn run_experiments(
         sims = serial_surface.simulations(),
     );
 
+    // Per-simulation costs make batched gains attributable: the serial
+    // figure reflects the batched engine whenever the policy engages it,
+    // so wall/sims is the honest per-transient price on one core.
     let json = format!(
         "{{\n  \"bench\": \"parallel_surface_generation\",\n  \"cell\": \"tspc\",\n  \
-         \"clock\": \"{timing:?}\",\n  \"surface_n\": {parallel_n},\n  \
+         \"clock\": \"{timing:?}\",\n  \"batch_policy\": \"{batch}\",\n  \
+         \"surface_n\": {parallel_n},\n  \
          \"grid_simulations\": {sims},\n  \"host_cpus\": {cpus},\n  \
          \"worker_threads\": {worker_threads},\n  \
          \"serial_seconds\": {serial_seconds:.6},\n  \
-         \"parallel_seconds\": {parallel_seconds:.6},\n  \"speedup\": {speedup:.3},\n  \
+         \"parallel_seconds\": {parallel_seconds:.6},\n  \
+         \"serial_seconds_per_sim\": {serial_per_sim:.9},\n  \
+         \"parallel_seconds_per_sim\": {parallel_per_sim:.9},\n  \
+         \"speedup\": {speedup:.3},\n  \
          \"bitwise_identical\": {bitwise_identical}\n}}\n",
         sims = serial_surface.simulations(),
         cpus = Parallelism::Auto.thread_count(),
+        serial_per_sim = serial_seconds / serial_surface.simulations() as f64,
+        parallel_per_sim = parallel_seconds / serial_surface.simulations() as f64,
     );
     let json_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_parallel.json");
     std::fs::write(json_path, json)?;

@@ -1,7 +1,8 @@
 //! Perf-trajectory consolidation behind `bench history`.
 //!
 //! The repository's benchmark gates each write a standalone snapshot
-//! (`BENCH_sparse.json`, `BENCH_parallel.json`, `BENCH_baseline.json`)
+//! (`BENCH_sparse.json`, `BENCH_parallel.json`, `BENCH_batched.json`,
+//! `BENCH_baseline.json`)
 //! that the next run overwrites, so there is no trend to look at. This
 //! module folds the wall-clock figures of those snapshots into an
 //! append-only `BENCH_history.jsonl` — one line per recorded run, tagged
@@ -35,6 +36,8 @@ pub const TRACKED: &[(&str, &str)] = &[
     ("c2mos_auto_seconds", "BENCH_sparse.json"),
     ("serial_seconds", "BENCH_parallel.json"),
     ("parallel_seconds", "BENCH_parallel.json"),
+    ("surface_scalar_seconds", "BENCH_batched.json"),
+    ("surface_batched_seconds", "BENCH_batched.json"),
 ];
 
 /// One recorded benchmark run.

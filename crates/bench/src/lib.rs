@@ -21,7 +21,7 @@ use shc_cells::{
     c2mos_register_with, d_latch_with, register_bank_with, tg_register_with, tspc_register_with,
     ClockSpec, Register, Technology, C2MOS_CLKB_SKEW,
 };
-use shc_core::{CharError, CharacterizationProblem};
+use shc_core::{BatchPolicy, CharError, CharacterizationProblem};
 use shc_spice::transient::{TransientAnalysis, TransientOptions, TransientResult};
 use shc_spice::waveform::Params;
 use shc_spice::SolverChoice;
@@ -105,6 +105,24 @@ impl Cell {
         CharacterizationProblem::builder(self.register(timing))
             .degradation(0.10)
             .solver(solver)
+            .build()
+    }
+
+    /// [`Cell::problem`] with an explicit batched-engine policy — used by
+    /// the batched benchmark gate and the CLIs' `--batch` flag, which
+    /// compare the scalar and lockstep paths on the same cell.
+    ///
+    /// # Errors
+    ///
+    /// Propagates problem-construction failures.
+    pub fn problem_with_batch(
+        self,
+        timing: Timing,
+        batch: BatchPolicy,
+    ) -> Result<CharacterizationProblem, CharError> {
+        CharacterizationProblem::builder(self.register(timing))
+            .degradation(0.10)
+            .batch(batch)
             .build()
     }
 }

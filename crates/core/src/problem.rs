@@ -3,6 +3,7 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 use shc_cells::{OutputTransition, Register};
+use shc_spice::batch::{run_lockstep, BatchLane, BatchPolicy};
 use shc_spice::transient::{
     CrossingDirection, Integrator, RecordMode, TransientAnalysis, TransientOptions, TransientStats,
 };
@@ -77,6 +78,7 @@ pub struct CharacterizationProblem {
     dt: f64,
     integrator: Integrator,
     solver: SolverChoice,
+    batch: BatchPolicy,
     reference: Params,
     t_cq: f64,
     tf: f64,
@@ -105,6 +107,7 @@ impl CharacterizationProblem {
             dt: None,
             integrator: Integrator::BackwardEuler,
             solver: SolverChoice::Auto,
+            batch: BatchPolicy::default(),
             reference_skew: None,
             reference_setup: None,
         }
@@ -212,6 +215,87 @@ impl CharacterizationProblem {
         self.sim_count.fetch_add(1, Ordering::Relaxed);
         let res = TransientAnalysis::new(self.register.circuit(), self.transient_options(true))
             .run(params)?;
+        self.jacobian_evaluation(&res)
+    }
+
+    /// Evaluates `h(τs, τh)` at many skew points with one lockstep batch
+    /// (no sensitivities), falling back to a scalar loop whenever the
+    /// problem's [`BatchPolicy`] or the batched engine's envelope says so.
+    /// Results are in input order and bitwise identical to calling
+    /// [`Self::evaluate`] per point.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the lowest-index simulation failure, matching a serial
+    /// left-to-right loop.
+    pub fn evaluate_batch(&self, params: &[Params]) -> Result<Vec<f64>> {
+        let opts = self.transient_options(false);
+        if !self
+            .batch
+            .use_batched(self.register.circuit(), &opts, params.len())
+        {
+            return params.iter().map(|p| self.evaluate(p)).collect();
+        }
+        self.sim_count.fetch_add(params.len(), Ordering::Relaxed);
+        let lanes: Vec<BatchLane<'_>> = params
+            .iter()
+            .map(|&p| BatchLane {
+                circuit: self.register.circuit(),
+                params: p,
+                tstop: self.tf,
+            })
+            .collect();
+        let out = self.register.output_unknown();
+        run_lockstep(&lanes, &opts)
+            .map_err(CharError::from)?
+            .into_iter()
+            .map(|lane| Ok(lane?.final_state()[out] - self.r))
+            .collect()
+    }
+
+    /// Evaluates `h` *and* its Jacobian at many skew points with one
+    /// lockstep batch carrying forward sensitivities, falling back to a
+    /// scalar loop per the problem's [`BatchPolicy`]. Results are in input
+    /// order and bitwise identical to [`Self::evaluate_with_jacobian`] per
+    /// point.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the lowest-index simulation failure, matching a serial
+    /// left-to-right loop.
+    pub fn evaluate_with_jacobian_batch(&self, params: &[Params]) -> Result<Vec<HEvaluation>> {
+        let opts = self.transient_options(true);
+        if !self
+            .batch
+            .use_batched(self.register.circuit(), &opts, params.len())
+        {
+            return params
+                .iter()
+                .map(|p| self.evaluate_with_jacobian(p))
+                .collect();
+        }
+        self.sim_count.fetch_add(params.len(), Ordering::Relaxed);
+        let lanes: Vec<BatchLane<'_>> = params
+            .iter()
+            .map(|&p| BatchLane {
+                circuit: self.register.circuit(),
+                params: p,
+                tstop: self.tf,
+            })
+            .collect();
+        run_lockstep(&lanes, &opts)
+            .map_err(CharError::from)?
+            .into_iter()
+            .map(|lane| self.jacobian_evaluation(&lane?))
+            .collect()
+    }
+
+    /// Extracts an [`HEvaluation`] from a finished final-only transient of
+    /// this problem's circuit (shared by the scalar and batched paths).
+    fn jacobian_evaluation(
+        &self,
+        res: &shc_spice::transient::TransientResult,
+    ) -> Result<HEvaluation> {
         let out = self.register.output_unknown();
         let ms = res
             .final_sensitivity(Param::Setup)
@@ -303,6 +387,71 @@ impl CharacterizationProblem {
     }
 }
 
+/// Whether lockstep evaluation may span all of `problems` at once: the
+/// problems must agree on every option the lanes would share (time step,
+/// integrator, solver, sensitivity set are fixed by construction) and on
+/// the circuit dimension, and the policy must elect batching for this lane
+/// count on the first problem's configuration. Problems built from the
+/// same register factory with the same builder settings always qualify.
+pub(crate) fn lockstep_compatible(
+    problems: &[&CharacterizationProblem],
+    policy: BatchPolicy,
+) -> bool {
+    let Some(first) = problems.first() else {
+        return false;
+    };
+    let n = first.register.circuit().unknown_count();
+    if !problems.iter().all(|p| {
+        p.dt == first.dt
+            && p.integrator == first.integrator
+            && p.solver == first.solver
+            && p.register.circuit().unknown_count() == n
+    }) {
+        return false;
+    }
+    let opts = first.transient_options(true);
+    policy.use_batched(first.register.circuit(), &opts, problems.len())
+}
+
+/// Lockstep evaluation of `h` and its 1×2 Jacobian across *different*
+/// problems: lane `k` evaluates `lanes[k].0` at `lanes[k].1`, each with
+/// its own `t_f` and target level. Callers must have verified
+/// [`lockstep_compatible`] on the involved problems. Per-lane values are
+/// bitwise identical to [`CharacterizationProblem::evaluate_with_jacobian`]
+/// on the same problem; failures are per-lane payload.
+pub(crate) fn evaluate_jacobian_lockstep(
+    lanes: &[(&CharacterizationProblem, Params)],
+) -> Vec<Result<HEvaluation>> {
+    let Some((first, _)) = lanes.first() else {
+        return Vec::new();
+    };
+    let opts = first.transient_options(true);
+    for (problem, _) in lanes {
+        problem.sim_count.fetch_add(1, Ordering::Relaxed);
+    }
+    let batch: Vec<BatchLane<'_>> = lanes
+        .iter()
+        .map(|(problem, params)| BatchLane {
+            circuit: problem.register.circuit(),
+            params: *params,
+            tstop: problem.tf,
+        })
+        .collect();
+    match run_lockstep(&batch, &opts) {
+        Ok(results) => lanes
+            .iter()
+            .zip(results)
+            .map(|((problem, _), lane)| problem.jacobian_evaluation(&lane?))
+            .collect(),
+        // A structural rejection (callers pre-validate, so this is a
+        // defensive arm) fails every lane with the same reason.
+        Err(e) => lanes
+            .iter()
+            .map(|_| Err(CharError::from(e.clone())))
+            .collect(),
+    }
+}
+
 /// Builder for [`CharacterizationProblem`].
 #[derive(Debug)]
 pub struct ProblemBuilder {
@@ -312,6 +461,7 @@ pub struct ProblemBuilder {
     dt: Option<f64>,
     integrator: Integrator,
     solver: SolverChoice,
+    batch: BatchPolicy,
     reference_skew: Option<f64>,
     reference_setup: Option<f64>,
 }
@@ -349,6 +499,15 @@ impl ProblemBuilder {
     /// circuits, sparse-direct above the dispatch threshold).
     pub fn solver(mut self, solver: SolverChoice) -> Self {
         self.solver = solver;
+        self
+    }
+
+    /// Selects the batched-engine policy for this problem's multi-point
+    /// evaluations ([`CharacterizationProblem::evaluate_batch`] and
+    /// friends). Default [`BatchPolicy::Auto`]: batch inside the supported
+    /// envelope unless a fault injector is installed.
+    pub fn batch(mut self, batch: BatchPolicy) -> Self {
+        self.batch = batch;
         self
     }
 
@@ -446,6 +605,7 @@ impl ProblemBuilder {
             dt,
             integrator: self.integrator,
             solver: self.solver,
+            batch: self.batch,
             reference: params,
             t_cq,
             tf,
@@ -472,6 +632,11 @@ impl CharacterizationProblem {
     /// The linear-solver backend in effect.
     pub fn solver(&self) -> SolverChoice {
         self.solver
+    }
+
+    /// The batched-engine policy in effect.
+    pub fn batch(&self) -> BatchPolicy {
+        self.batch
     }
 }
 

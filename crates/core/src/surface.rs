@@ -242,19 +242,41 @@ pub fn generate(problem: &CharacterizationProblem, opts: &SurfaceOptions) -> Res
     let lin = |a: f64, b: f64, k: usize| a + (b - a) * k as f64 / (opts.n - 1) as f64;
     let tau_s: Vec<f64> = (0..opts.n).map(|k| lin(s0, s1, k)).collect();
     let tau_h: Vec<f64> = (0..opts.n).map(|k| lin(h0, h1, k)).collect();
-    // One job per grid row: big enough to amortize scheduling, small
-    // enough to balance n >> threads rows across workers.
-    let values = parallel::run_indexed(opts.parallelism, opts.n, |i| {
-        // One sweep frame per grid-row job, on whichever thread runs it.
-        let _frame = shc_prof::enter(shc_prof::Phase::Sweep);
-        let s = tau_s[i];
-        let mut row = Vec::with_capacity(opts.n);
-        for &h in &tau_h {
-            let hval = problem.evaluate(&Params::new(s, h))?;
-            row.push(hval + problem.r()); // store the raw output level
+    let values = if opts.parallelism.is_serial() {
+        // Serial sweeps route through the lockstep batched engine (per the
+        // problem's `BatchPolicy`; `evaluate_batch` falls back to a scalar
+        // loop outside its envelope): the row-major grid is cut into
+        // lane-group chunks, each advancing in one SoA batch. Lane results
+        // are bitwise identical to scalar evaluations, so this produces
+        // the very same surface, faster.
+        let cells: Vec<Params> = tau_s
+            .iter()
+            .flat_map(|&s| tau_h.iter().map(move |&h| Params::new(s, h)))
+            .collect();
+        let mut flat = Vec::with_capacity(cells.len());
+        for chunk in cells.chunks(shc_spice::batch::DEFAULT_LANES) {
+            // One sweep frame per lane-group chunk.
+            let _frame = shc_prof::enter(shc_prof::Phase::Sweep);
+            for hval in problem.evaluate_batch(chunk)? {
+                flat.push(hval + problem.r()); // store the raw output level
+            }
         }
-        Ok::<Vec<f64>, CharError>(row)
-    })?;
+        flat.chunks(opts.n).map(<[f64]>::to_vec).collect()
+    } else {
+        // One job per grid row: big enough to amortize scheduling, small
+        // enough to balance n >> threads rows across workers.
+        parallel::run_indexed(opts.parallelism, opts.n, |i| {
+            // One sweep frame per grid-row job, on whichever thread runs it.
+            let _frame = shc_prof::enter(shc_prof::Phase::Sweep);
+            let s = tau_s[i];
+            let mut row = Vec::with_capacity(opts.n);
+            for &h in &tau_h {
+                let hval = problem.evaluate(&Params::new(s, h))?;
+                row.push(hval + problem.r()); // store the raw output level
+            }
+            Ok::<Vec<f64>, CharError>(row)
+        })?
+    };
     Ok(OutputSurface {
         tau_s,
         tau_h,

@@ -1,0 +1,340 @@
+use crate::{LinalgError, Result};
+
+/// Pivot magnitude below which a lane's matrix is declared singular.
+/// Must match `lu::SINGULARITY_THRESHOLD` so a batched factorization fails
+/// on exactly the inputs that the scalar [`crate::LuFactor`] rejects.
+const SINGULARITY_THRESHOLD: f64 = 1e-300;
+
+/// Deterministic fault hook, mirroring the scalar `lu` module: one
+/// thread-local read when no plan is installed.
+fn injected_fault(site: shc_fault::Site) -> Option<LinalgError> {
+    let kind = shc_fault::check(site)?;
+    shc_obs::count(shc_obs::Metric::FaultsInjected, 1);
+    let value = match kind {
+        shc_fault::FaultKind::NanResidual => f64::NAN,
+        _ => 0.0,
+    };
+    Some(LinalgError::Singular { pivot: 0, value })
+}
+
+/// Batched dense LU with partial pivoting: `lanes` independent `n×n`
+/// factorizations in one contiguous allocation.
+///
+/// This is the linear-solve substrate of the lockstep batched transient
+/// engine: every lane of a batch shares the same matrix dimension and
+/// stamping pattern, so their factors pack into a single `lanes·n·n` buffer
+/// (lane-major, row-major within a lane) that is allocated once per batch
+/// and refactored in place every Newton iteration.
+///
+/// Per lane, the elimination and substitution arithmetic replicates
+/// [`crate::LuFactor`] operation for operation — same pivot selection
+/// (strict `>`), same singularity threshold, same exact-zero elimination
+/// skip, same substitution order — so a batched solve is bitwise identical
+/// to the scalar path on the same inputs.
+#[derive(Debug, Clone)]
+pub struct BatchLu {
+    /// Matrix dimension shared by every lane.
+    n: usize,
+    /// Number of lanes.
+    lanes: usize,
+    /// Packed L/U factors, `lanes * n * n`, lane-major.
+    lu: Vec<f64>,
+    /// Row permutations, `lanes * n`, lane-major.
+    perm: Vec<usize>,
+}
+
+impl BatchLu {
+    /// Allocates factor storage for `lanes` systems of dimension `n`.
+    ///
+    /// effects: alloc
+    pub fn new(lanes: usize, n: usize) -> Self {
+        BatchLu {
+            n,
+            lanes,
+            lu: vec![0.0; lanes * n * n],
+            perm: vec![0; lanes * n],
+        }
+    }
+
+    /// Matrix dimension shared by every lane.
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Number of lanes.
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// Factors one lane from a row-major `n·n` slice, reusing the lane's
+    /// storage (allocation-free).
+    ///
+    /// On error the lane's factors are unspecified; refactor the lane
+    /// before the next solve.
+    ///
+    /// # Errors
+    ///
+    /// - [`LinalgError::ShapeMismatch`] if `a.len() != dim()²`;
+    /// - [`LinalgError::Singular`] if a pivot magnitude falls below the
+    ///   numerical-singularity threshold.
+    ///
+    /// effects: none
+    // lint: hot-fn
+    pub fn factor_lane(&mut self, lane: usize, a: &[f64]) -> Result<()> {
+        shc_obs::count(shc_obs::Metric::LuRefactors, 1);
+        if let Some(e) = injected_fault(shc_fault::Site::LuFactor) {
+            return Err(e);
+        }
+        let n = self.n;
+        if a.len() != n * n {
+            return Err(LinalgError::ShapeMismatch {
+                op: "batch_lu_factor",
+                lhs: (n, n),
+                rhs: (a.len(), 1),
+            });
+        }
+        let lu = &mut self.lu[lane * n * n..(lane + 1) * n * n];
+        lu.copy_from_slice(a);
+        let perm = &mut self.perm[lane * n..(lane + 1) * n];
+        for (i, p) in perm.iter_mut().enumerate() {
+            *p = i;
+        }
+        // Gaussian elimination with partial pivoting — the exact loop
+        // structure of `LuFactor::factor_in_place` on flat storage.
+        for k in 0..n {
+            let mut pivot_row = k;
+            let mut pivot_mag = lu[k * n + k].abs();
+            for i in (k + 1)..n {
+                let mag = lu[i * n + k].abs();
+                if mag > pivot_mag {
+                    pivot_mag = mag;
+                    pivot_row = i;
+                }
+            }
+            if pivot_mag < SINGULARITY_THRESHOLD || !pivot_mag.is_finite() {
+                return Err(LinalgError::Singular {
+                    pivot: k,
+                    value: pivot_mag,
+                });
+            }
+            if pivot_row != k {
+                for j in 0..n {
+                    lu.swap(k * n + j, pivot_row * n + j);
+                }
+                perm.swap(k, pivot_row);
+            }
+            let pivot = lu[k * n + k];
+            for i in (k + 1)..n {
+                let factor = lu[i * n + k] / pivot;
+                lu[i * n + k] = factor;
+                // lint: allow(float-eq, reason = "exact-zero skip is a sparsity fast path; any nonzero factor must be applied")
+                if factor != 0.0 {
+                    for j in (k + 1)..n {
+                        let delta = factor * lu[k * n + j];
+                        lu[i * n + j] -= delta;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Solves one lane's `A·x = b` into a caller-provided buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if `b` or `x` has length
+    /// other than `dim()`.
+    ///
+    /// effects: none
+    // lint: hot-fn
+    pub fn solve_lane(&self, lane: usize, b: &[f64], x: &mut [f64]) -> Result<()> {
+        shc_obs::count(shc_obs::Metric::LuSolves, 1);
+        if let Some(e) = injected_fault(shc_fault::Site::LuSolve) {
+            return Err(e);
+        }
+        let n = self.n;
+        if b.len() != n || x.len() != n {
+            return Err(LinalgError::ShapeMismatch {
+                op: "batch_lu_solve",
+                lhs: (n, n),
+                rhs: (b.len().max(x.len()), 1),
+            });
+        }
+        let lu = &self.lu[lane * n * n..(lane + 1) * n * n];
+        let perm = &self.perm[lane * n..(lane + 1) * n];
+        // Apply permutation, then forward-substitute L·y = P·b.
+        for i in 0..n {
+            x[i] = b[perm[i]];
+        }
+        for i in 1..n {
+            let mut acc = x[i];
+            for j in 0..i {
+                acc -= lu[i * n + j] * x[j];
+            }
+            x[i] = acc;
+        }
+        // Back-substitute U·x = y.
+        for i in (0..n).rev() {
+            let mut acc = x[i];
+            for j in (i + 1)..n {
+                acc -= lu[i * n + j] * x[j];
+            }
+            x[i] = acc / lu[i * n + i];
+        }
+        Ok(())
+    }
+
+    /// Multi-RHS solve for one lane: `rhs` and `out` hold `k` stacked
+    /// vectors of length `dim()` each. The factors are reused across all
+    /// right-hand sides — the batched analogue of the paper's "factor once,
+    /// solve the Newton step plus both sensitivity systems" pattern.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if `rhs.len() != out.len()`,
+    /// or their common length is not a multiple of `dim()`.
+    ///
+    /// effects: none
+    // lint: hot-fn
+    pub fn solve_lane_multi(&self, lane: usize, rhs: &[f64], out: &mut [f64]) -> Result<()> {
+        let n = self.n;
+        if rhs.len() != out.len() || n == 0 || !rhs.len().is_multiple_of(n) {
+            return Err(LinalgError::ShapeMismatch {
+                op: "batch_lu_solve_multi",
+                lhs: (n, n),
+                rhs: (rhs.len().max(out.len()), 1),
+            });
+        }
+        for (b, x) in rhs.chunks_exact(n).zip(out.chunks_exact_mut(n)) {
+            self.solve_lane(lane, b, x)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{LuFactor, Matrix, Vector};
+
+    fn flat(m: &Matrix) -> Vec<f64> {
+        let (rows, cols) = m.shape();
+        let mut out = Vec::with_capacity(rows * cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                out.push(m[(i, j)]);
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn lane_solve_is_bitwise_identical_to_scalar_lu() {
+        // Matrices that exercise pivoting, negative entries, and wide
+        // magnitude spreads — every lane must match the scalar path to the
+        // last bit.
+        let mats = [
+            Matrix::from_rows(&[&[0.0, 1.0, 2.0], &[3.0, 4.0, 5.0], &[6.0, 8.0, 1.0]]).unwrap(),
+            Matrix::from_rows(&[&[2.0, 1.0, 1.0], &[4.0, -6.0, 0.0], &[-2.0, 7.0, 2.0]]).unwrap(),
+            Matrix::from_rows(&[&[1e-9, 1.0, 0.0], &[1.0, 1e9, 2.0], &[0.5, -3.0, 7.0]]).unwrap(),
+        ];
+        let rhs = [
+            Vector::from_slice(&[1.0, -2.0, 3.0]),
+            Vector::from_slice(&[0.25, 0.5, -0.125]),
+            Vector::from_slice(&[1e6, -1e-6, 2.0]),
+        ];
+        let mut batch = BatchLu::new(mats.len(), 3);
+        for (lane, m) in mats.iter().enumerate() {
+            batch.factor_lane(lane, &flat(m)).unwrap();
+        }
+        for (lane, (m, b)) in mats.iter().zip(rhs.iter()).enumerate() {
+            let scalar = LuFactor::new(m).unwrap().solve(b).unwrap();
+            let mut x = [0.0; 3];
+            batch.solve_lane(lane, b.as_slice(), &mut x).unwrap();
+            assert_eq!(x.as_slice(), scalar.as_slice(), "lane {lane} diverged");
+        }
+    }
+
+    #[test]
+    fn lane_singularity_matches_scalar_verdict() {
+        let singular = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]).unwrap();
+        let good = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 3.0]]).unwrap();
+        let mut batch = BatchLu::new(2, 2);
+        match batch.factor_lane(0, &flat(&singular)) {
+            Err(LinalgError::Singular { .. }) => {}
+            other => panic!("expected Singular, got {other:?}"),
+        }
+        // A failed lane does not poison its neighbours.
+        batch.factor_lane(1, &flat(&good)).unwrap();
+        let mut x = [0.0; 2];
+        batch.solve_lane(1, &[3.0, 4.0], &mut x).unwrap();
+        let scalar = LuFactor::new(&good)
+            .unwrap()
+            .solve(&Vector::from_slice(&[3.0, 4.0]))
+            .unwrap();
+        assert_eq!(x.as_slice(), scalar.as_slice());
+    }
+
+    #[test]
+    fn refactor_lane_reuses_storage() {
+        let a = Matrix::from_rows(&[&[4.0, 1.0], &[1.0, 3.0]]).unwrap();
+        let b = Matrix::from_rows(&[&[0.0, 2.0], &[5.0, 1.0]]).unwrap();
+        let mut batch = BatchLu::new(1, 2);
+        batch.factor_lane(0, &flat(&a)).unwrap();
+        batch.factor_lane(0, &flat(&b)).unwrap();
+        let mut x = [0.0; 2];
+        batch.solve_lane(0, &[1.0, 2.0], &mut x).unwrap();
+        let scalar = LuFactor::new(&b)
+            .unwrap()
+            .solve(&Vector::from_slice(&[1.0, 2.0]))
+            .unwrap();
+        assert_eq!(x.as_slice(), scalar.as_slice());
+    }
+
+    #[test]
+    fn multi_rhs_solve_matches_sequential_solves() {
+        let a = Matrix::from_rows(&[&[3.0, 1.0], &[2.0, 5.0]]).unwrap();
+        let mut batch = BatchLu::new(1, 2);
+        batch.factor_lane(0, &flat(&a)).unwrap();
+        let rhs = [1.0, 2.0, -3.0, 0.5];
+        let mut out = [0.0; 4];
+        batch.solve_lane_multi(0, &rhs, &mut out).unwrap();
+        let lu = LuFactor::new(&a).unwrap();
+        let x0 = lu.solve(&Vector::from_slice(&rhs[..2])).unwrap();
+        let x1 = lu.solve(&Vector::from_slice(&rhs[2..])).unwrap();
+        assert_eq!(&out[..2], x0.as_slice());
+        assert_eq!(&out[2..], x1.as_slice());
+    }
+
+    #[test]
+    fn shape_mismatches_are_rejected() {
+        let mut batch = BatchLu::new(1, 2);
+        assert!(batch.factor_lane(0, &[1.0, 2.0, 3.0]).is_err());
+        batch.factor_lane(0, &[2.0, 0.0, 0.0, 2.0]).unwrap();
+        let mut x = [0.0; 3];
+        assert!(batch.solve_lane(0, &[1.0, 2.0], &mut x).is_err());
+        let mut out = [0.0; 3];
+        assert!(batch
+            .solve_lane_multi(0, &[1.0, 2.0, 3.0], &mut out)
+            .is_err());
+    }
+
+    #[test]
+    fn injected_faults_surface_per_lane() {
+        let plan = shc_fault::FaultPlan {
+            probability: 1.0,
+            site: Some(shc_fault::Site::LuFactor),
+            kind: shc_fault::FaultKind::SingularMatrix,
+            seed: 7,
+        };
+        let injector = shc_fault::Injector::new(plan);
+        let _guard = shc_fault::install_scoped(&injector);
+        let mut batch = BatchLu::new(1, 2);
+        assert!(matches!(
+            batch.factor_lane(0, &[2.0, 0.0, 0.0, 2.0]),
+            Err(LinalgError::Singular { .. })
+        ));
+        assert_eq!(injector.injected(), 1);
+    }
+}

@@ -11,6 +11,14 @@
 //! - [`LuFactor`]: LU factorization with partial pivoting, solves, the
 //!   determinant, and a cheap condition-number estimate — this backs the
 //!   small-circuit Newton-Raphson linear solves in the simulator;
+//! - [`BatchLu`]: many same-dimension dense LU factorizations packed into
+//!   one contiguous allocation, factored one lane per call — used where
+//!   batched work arrives lane-at-a-time (the sensitivity recursion);
+//! - [`SoaLu`]: the structure-of-arrays variant — element-major factors
+//!   processed for *all* lanes per call so the elimination vectorizes
+//!   across lanes (see [`multiversioned!`]) — the linear-solve substrate
+//!   of the lockstep batched sweep engine, bitwise identical per lane to
+//!   [`LuFactor`];
 //! - [`SparseLu`]: KLU-style sparse-direct LU over [`CsrMatrix`] storage —
 //!   fill-reducing ordering, one-time symbolic analysis, allocation-free
 //!   value-only refactorization — the large-circuit solve path;
@@ -35,15 +43,19 @@
 //! # }
 //! ```
 
+mod batch_lu;
 mod error;
 mod lu;
 mod matrix;
 mod pinv;
 mod qr;
+mod simd;
+mod soa_lu;
 mod sparse;
 mod sparse_lu;
 mod vector;
 
+pub use batch_lu::BatchLu;
 pub use error::LinalgError;
 pub use lu::LuFactor;
 pub use matrix::{matrix_allocations, Matrix};
@@ -52,6 +64,7 @@ pub use qr::QrFactor;
 // The retired ILU(0)/GMRES iterative stack stays in `sparse` (compiled and
 // unit-tested) but is deliberately not re-exported; `SparseLu` is the
 // supported sparse solve path.
+pub use soa_lu::SoaLu;
 pub use sparse::CsrMatrix;
 pub use sparse_lu::SparseLu;
 pub use vector::Vector;

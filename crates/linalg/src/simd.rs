@@ -1,0 +1,172 @@
+//! Function multiversioning for the lockstep SoA kernels.
+//!
+//! The batched sweep engine stores every numeric buffer element-major
+//! (`buf[element·lanes + lane]`), so its hot kernels are plain loops whose
+//! innermost dimension runs across lanes with unit stride. Those loops
+//! auto-vectorize — but the workspace compiles for baseline x86-64, which
+//! caps the vectorizer at 2-wide SSE2. [`multiversioned!`] closes that gap
+//! without changing global codegen: it clones a kernel body into AVX-512
+//! and AVX2 `#[target_feature]` wrappers and dispatches on one cached
+//! runtime CPUID check, falling back to the portable build elsewhere.
+//!
+//! Numerically this is transparent: vectorizing *across lanes* never
+//! reorders or refuses any one lane's operation sequence, rustc does not
+//! contract `a*b + c` into FMA, and IEEE-754 `+ − × ÷ √` are exactly
+//! rounded in every width — so a multiversioned kernel is bitwise
+//! identical to its portable build, lane for lane. Keep reductions and
+//! accumulation grouping per lane (never across lanes) when writing
+//! kernel bodies, and that guarantee holds by construction.
+
+/// Compiles a kernel body three ways — portable, AVX2, AVX-512F — and
+/// dispatches on runtime CPU feature detection.
+///
+/// The kernel must be a free function returning `()` whose parameters are
+/// plain types (slices, scalars); generics and `impl Trait` are not
+/// supported. The body is written once: the wider builds are thin
+/// `#[target_feature]` wrappers that the portable body inlines into, so
+/// the vectorizer sees the whole kernel under the wider instruction set.
+///
+/// ```rust
+/// shc_linalg::multiversioned! {
+///     /// `out[l] += a[l]·b[l]` across lanes.
+///     pub fn axpy_lanes(out: &mut [f64], a: &[f64], b: &[f64]) {
+///         for ((o, x), y) in out.iter_mut().zip(a).zip(b) {
+///             *o += x * y;
+///         }
+///     }
+/// }
+/// let (mut o, a, b) = ([1.0, 2.0], [3.0, 4.0], [0.5, 0.25]);
+/// axpy_lanes(&mut o, &a, &b);
+/// assert_eq!(o, [2.5, 3.0]);
+/// ```
+#[macro_export]
+macro_rules! multiversioned {
+    ($(#[$meta:meta])* $vis:vis fn $name:ident( $($arg:ident : $ty:ty),* $(,)? ) $body:block) => {
+        $(#[$meta])*
+        // Kernel arity is the caller's choice; flat argument lists keep
+        // the `#[target_feature]` clones trivially forwardable.
+        #[allow(clippy::too_many_arguments)]
+        $vis fn $name($($arg: $ty),*) {
+            #[inline(always)]
+            #[allow(clippy::too_many_arguments)]
+            fn portable($($arg: $ty),*) $body
+
+            #[cfg(target_arch = "x86_64")]
+            #[target_feature(enable = "avx512f")]
+            #[allow(clippy::too_many_arguments)]
+            // SAFETY: only the dispatch below calls this, after
+            // `is_x86_feature_detected!("avx512f")` returned true.
+            unsafe fn wide512($($arg: $ty),*) {
+                portable($($arg),*)
+            }
+
+            #[cfg(target_arch = "x86_64")]
+            #[target_feature(enable = "avx2")]
+            #[allow(clippy::too_many_arguments)]
+            // SAFETY: only the dispatch below calls this, after
+            // `is_x86_feature_detected!("avx2")` returned true.
+            unsafe fn wide256($($arg: $ty),*) {
+                portable($($arg),*)
+            }
+
+            #[cfg(target_arch = "x86_64")]
+            {
+                if ::std::arch::is_x86_feature_detected!("avx512f") {
+                    // SAFETY: the detection on the line above proves the
+                    // target feature is available on this CPU.
+                    return unsafe { wide512($($arg),*) };
+                }
+                if ::std::arch::is_x86_feature_detected!("avx2") {
+                    // SAFETY: the detection on the line above proves the
+                    // target feature is available on this CPU.
+                    return unsafe { wide256($($arg),*) };
+                }
+            }
+            portable($($arg),*)
+        }
+    };
+}
+
+/// Dispatches a lane-loop kernel call on its runtime lane count so the
+/// common widths become compile-time constants.
+///
+/// The auto-vectorizer builds runtime-length loops for long trip counts:
+/// a wide main loop (often 4×-unrolled vectors) plus a scalar tail. A
+/// lane loop of length 16 or 8 never reaches such a main loop — every
+/// call runs the scalar tail. Dispatching on the lane count and calling
+/// the `#[inline(always)]` kernel body with a *literal* width lets LLVM
+/// const-propagate the trip count and emit exactly the right vector ops,
+/// tail-free. The last argument of the wrapped call must be the lane
+/// count; any other lane count falls back to the runtime-length build.
+///
+/// ```rust
+/// #[inline(always)]
+/// fn scale_impl(v: &mut [f64], s: f64, b: usize) {
+///     for x in v[..b].iter_mut() {
+///         *x *= s;
+///     }
+/// }
+/// let mut v = [1.0, 2.0];
+/// let lanes = v.len();
+/// shc_linalg::lane_dispatch!(lanes, scale_impl(&mut v, 3.0));
+/// assert_eq!(v, [3.0, 6.0]);
+/// ```
+#[macro_export]
+macro_rules! lane_dispatch {
+    ($b:expr, $impl_fn:ident ( $($args:expr),* $(,)? )) => {
+        match $b {
+            16 => $impl_fn($($args,)* 16),
+            8 => $impl_fn($($args,)* 8),
+            4 => $impl_fn($($args,)* 4),
+            1 => $impl_fn($($args,)* 1),
+            other => $impl_fn($($args,)* other),
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    multiversioned! {
+        /// Elementwise `out[i] = a[i]·s + b[i]` test kernel.
+        fn fma_free(out: &mut [f64], a: &[f64], b: &[f64], s: f64) {
+            for ((o, x), y) in out.iter_mut().zip(a).zip(b) {
+                *o = x * s + y;
+            }
+        }
+    }
+
+    #[test]
+    fn dispatched_kernel_matches_portable_arithmetic() {
+        let a: Vec<f64> = (0..67).map(|i| 1.0 + 0.013 * i as f64).collect();
+        let b: Vec<f64> = (0..67).map(|i| -0.5 + 0.007 * i as f64).collect();
+        let mut out = vec![0.0; 67];
+        fma_free(&mut out, &a, &b, 1.75);
+        for i in 0..67 {
+            // The portable expression, spelled inline: mul then add, no
+            // contraction — the dispatched build must agree to the bit.
+            assert_eq!(out[i].to_bits(), (a[i] * 1.75 + b[i]).to_bits());
+        }
+    }
+
+    multiversioned! {
+        /// Select-style kernel exercising if-conversion paths.
+        fn clamp_mag(out: &mut [f64], limit: f64) {
+            for o in out.iter_mut() {
+                if o.abs() > limit {
+                    *o = o.signum() * limit;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn select_kernel_preserves_untouched_values() {
+        let mut v = vec![-3.0, -0.0, 0.5, 2.0, f64::NAN];
+        clamp_mag(&mut v, 1.0);
+        assert_eq!(v[0], -1.0);
+        assert_eq!(v[1].to_bits(), (-0.0f64).to_bits(), "-0.0 must survive");
+        assert_eq!(v[2], 0.5);
+        assert_eq!(v[3], 1.0);
+        assert!(v[4].is_nan());
+    }
+}

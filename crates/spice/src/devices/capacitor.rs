@@ -54,6 +54,14 @@ impl Device for Capacitor {
         stamper.add_q(eb, -q);
         stamper.stamp_capacitance(ea, eb, self.capacitance);
     }
+
+    fn batch_spec(&self) -> Option<crate::batch::DeviceSpec> {
+        Some(crate::batch::DeviceSpec::Capacitor {
+            a: self.a,
+            b: self.b,
+            capacitance: self.capacitance,
+        })
+    }
 }
 
 #[cfg(test)]

@@ -53,4 +53,16 @@ pub trait Device: std::fmt::Debug + Send + Sync {
     /// Adds this device's contribution to `∂f/∂param` (the paper's
     /// `b_d · z(t)`). Default: no dependence.
     fn stamp_param_derivative(&self, _dfdp: &mut Vector, _ctx: &EvalContext<'_>, _param: Param) {}
+
+    /// Value-level descriptor for the lockstep batched engine.
+    ///
+    /// Devices that can be evaluated by the SoA batch stepper return a
+    /// [`crate::batch::DeviceSpec`]; the default `None` opts the whole
+    /// circuit out of batching, so sweeps over it fall back to the scalar
+    /// path. The spec must describe *exactly* the arithmetic of
+    /// [`Device::stamp`] — the batched path is required to be bitwise
+    /// identical to the scalar one.
+    fn batch_spec(&self) -> Option<crate::batch::DeviceSpec> {
+        None
+    }
 }

@@ -62,6 +62,14 @@ impl Device for Resistor {
         stamper.add_f(eb, -i);
         stamper.stamp_conductance(ea, eb, g);
     }
+
+    fn batch_spec(&self) -> Option<crate::batch::DeviceSpec> {
+        Some(crate::batch::DeviceSpec::Resistor {
+            a: self.a,
+            b: self.b,
+            resistance: self.resistance,
+        })
+    }
 }
 
 #[cfg(test)]

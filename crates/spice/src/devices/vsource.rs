@@ -83,6 +83,15 @@ impl Device for VoltageSource {
             dfdp[ctx.branch_index(self.branch)] -= dv * ctx.source_scale;
         }
     }
+
+    fn batch_spec(&self) -> Option<crate::batch::DeviceSpec> {
+        Some(crate::batch::DeviceSpec::VoltageSource {
+            p: self.p,
+            n: self.n,
+            branch: self.branch,
+            waveform: self.waveform.clone(),
+        })
+    }
 }
 
 #[cfg(test)]

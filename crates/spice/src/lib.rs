@@ -50,6 +50,7 @@
 //! ```
 
 pub mod adjoint;
+pub mod batch;
 pub mod circuit;
 pub mod dcop;
 pub mod devices;
@@ -62,6 +63,7 @@ pub mod stamp;
 pub mod transient;
 pub mod waveform;
 
+pub use batch::BatchPolicy;
 pub use circuit::{Circuit, Node};
 pub use devices::{
     Capacitor, CurrentSource, Diode, Inductor, MosParams, MosPolarity, Mosfet, Resistor, Vccs,

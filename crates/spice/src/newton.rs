@@ -8,7 +8,7 @@ use crate::{Result, SpiceError};
 /// Deterministic fault hook for the Newton site: maps an injected fault
 /// onto this layer's error vocabulary. One thread-local read when no
 /// `shc-fault` plan is installed.
-fn injected_fault() -> Option<SpiceError> {
+pub(crate) fn injected_fault() -> Option<SpiceError> {
     let kind = shc_fault::check(shc_fault::Site::Newton)?;
     shc_obs::count(shc_obs::Metric::FaultsInjected, 1);
     Some(match kind {
@@ -355,7 +355,13 @@ pub(crate) fn retryable(e: &SpiceError) -> bool {
 /// perturbs every unknown of `base` by a relative offset in `±2⁻ᵏ·10⁻⁴`
 /// (plus a femto-scale absolute floor so exact zeros move too), enough to
 /// leave a stalled basin without changing the converged root.
-fn jitter_into(out: &mut Vector, base: &Vector, attempt: u32) {
+pub(crate) fn jitter_into(out: &mut Vector, base: &Vector, attempt: u32) {
+    jitter_slice(out.as_mut_slice(), base.as_slice(), attempt);
+}
+
+/// Slice form of [`jitter_into`], shared with the batched engine so
+/// lockstep retries perturb from the identical deterministic stream.
+pub(crate) fn jitter_slice(out: &mut [f64], base: &[f64], attempt: u32) {
     let scale = 1e-4 * 0.5f64.powi(attempt as i32 - 1);
     for (i, v) in out.iter_mut().enumerate() {
         // SplitMix64 finalizer over (attempt, unknown index).

@@ -30,7 +30,7 @@ use crate::{Result, SpiceError};
 
 /// Jittered damped-Newton retries granted when a step diverges at the
 /// `dt_min` floor (where there is no smaller step to cut to).
-const NEWTON_FLOOR_RETRIES: usize = 2;
+pub(crate) const NEWTON_FLOOR_RETRIES: usize = 2;
 
 /// Same-`dt` retries granted per diverged step while a fault injector is
 /// installed, *before* the step-cut policy engages.
@@ -44,7 +44,7 @@ const NEWTON_FLOOR_RETRIES: usize = 2;
 /// divergence is unaffected: retries exhaust quickly and the normal cut
 /// policy below takes over. Sized so that at a 10% per-solve injection
 /// rate the leak-through probability per step is ~1e-7.
-const NEWTON_FAULT_RETRIES: usize = 6;
+pub(crate) const NEWTON_FAULT_RETRIES: usize = 6;
 
 /// Re-runs a deterministic LU operation when a fault injector is active.
 ///
@@ -53,7 +53,7 @@ const NEWTON_FAULT_RETRIES: usize = 6;
 /// whole run with no recovery rung. Each re-run draws a fresh fault
 /// decision and recomputes from unchanged inputs, so absorption cannot
 /// alter the result; without an injector the operation runs exactly once.
-fn with_lu_fault_retries<T, E>(
+pub(crate) fn with_lu_fault_retries<T, E>(
     mut op: impl FnMut() -> std::result::Result<T, E>,
 ) -> std::result::Result<T, E> {
     let mut last = op();
@@ -74,13 +74,13 @@ fn with_lu_fault_retries<T, E>(
 /// nominal `dt`; near large `t_prev` a floor-sized step can come back a
 /// few ulps *above* `dt_min`, and an exact comparison then keeps cutting
 /// to the same floor value forever instead of engaging the floor policy.
-const DT_FLOOR_SLACK: f64 = 1.0 + 1e-9;
+pub(crate) const DT_FLOOR_SLACK: f64 = 1.0 + 1e-9;
 
 /// Relative endpoint slack for the outer time loop: integration stops
 /// once `t_prev` is within this fraction of `tstop` (scaled by
 /// `tstop.max(1.0)` so a zero-length window still terminates). Guards
 /// against a final ulp-sized step that Newton would reject.
-const TSTOP_ENDPOINT_SLACK: f64 = 1e-18;
+pub(crate) const TSTOP_ENDPOINT_SLACK: f64 = 1e-18;
 
 /// A step is accepted when the weighted LTE norm is at or below this
 /// value — the norm is already scaled by `lte_reltol`/`lte_abstol`, so
@@ -353,6 +353,25 @@ pub struct TransientResult {
 }
 
 impl TransientResult {
+    /// Assembles a final-only result from parts — for the batched lockstep
+    /// engine, which builds the same fields outside [`run_core`].
+    pub(crate) fn from_parts(
+        times: Vec<f64>,
+        final_state: Vector,
+        final_sensitivities: Vec<(Param, Vector)>,
+        stats: TransientStats,
+    ) -> Self {
+        TransientResult {
+            times,
+            states: Vec::new(),
+            probe: Vec::new(),
+            probe_index: None,
+            final_state,
+            final_sensitivities,
+            stats,
+        }
+    }
+
     /// Accepted time points (includes `t = 0`).
     pub fn times(&self) -> &[f64] {
         &self.times

@@ -172,6 +172,51 @@ impl DataPulse {
         self.v_rest + (self.v_active - self.v_rest) * excursion
     }
 
+    /// A time `t*` such that two parameterizations of this pulse are
+    /// *identical functions* — values and skew derivatives — on `[0, t*)`.
+    ///
+    /// Two lanes of a sweep differ only through their skew parameters:
+    /// the leading edges first differ where the *later* leading ramp
+    /// begins (`t_edge − max τs − rise/2`), the trailing edges where the
+    /// *earlier* trailing ramp begins (`t_edge + min τh − fall/2`).
+    /// Before the earlier of those times both pulses evaluate the same
+    /// edge expressions on bitwise-equal inputs, so values and the `z_s`/
+    /// `z_h` derivatives agree to the bit. Bitwise-equal skews (including
+    /// equal NaN bits) never constrain the bound; differing non-finite
+    /// skews yield `0.0` (no provable agreement).
+    pub fn agree_until(&self, pa: &Params, pb: &Params) -> f64 {
+        let edge_bound = |a: f64, b: f64, center: f64, width: f64| -> f64 {
+            if a.to_bits() == b.to_bits() {
+                f64::INFINITY
+            } else if a.is_finite() && b.is_finite() {
+                let bound = center - width / 2.0;
+                // Non-finite shape fields poison the bound arithmetic —
+                // and `f64::min` would silently drop a NaN against the
+                // other edge's bound — so claim nothing here.
+                if bound.is_nan() {
+                    0.0
+                } else {
+                    bound
+                }
+            } else {
+                0.0
+            }
+        };
+        let lead = edge_bound(
+            pa.tau_s,
+            pb.tau_s,
+            self.t_edge - pa.tau_s.max(pb.tau_s),
+            self.rise,
+        );
+        let trail = edge_bound(
+            pa.tau_h,
+            pb.tau_h,
+            self.t_edge + pa.tau_h.min(pb.tau_h),
+            self.fall,
+        );
+        lead.min(trail)
+    }
+
     /// Analytic partial derivative `∂u_d/∂param` at time `t` — the paper's
     /// `z_s(t, τs, τh)` (for [`Param::Setup`]) and `z_h` (for
     /// [`Param::Hold`]).
@@ -301,6 +346,57 @@ impl Waveform {
     /// Whether this waveform depends on the skew parameters.
     pub fn depends_on_params(&self) -> bool {
         matches!(self, Waveform::Data(_))
+    }
+
+    /// A time `t*` such that `self.value(t, pa)` / `.derivative(t, pa, ·)`
+    /// and `other.value(t, pb)` / `.derivative(t, pb, ·)` are bitwise
+    /// identical for every `t < t*` — the *agreement horizon* the lockstep
+    /// batched engine uses to run provably identical lane prefixes once.
+    ///
+    /// The bound is conservative: skew-independent variants agree forever
+    /// when their representations match bitwise and are claimed disjoint
+    /// (`0.0`) otherwise; only [`Waveform::Data`] gets the analytic
+    /// edge-position bound of [`DataPulse::agree_until`]. Mismatched
+    /// variants (and any future variant) claim nothing.
+    pub fn agree_until(&self, pa: &Params, other: &Waveform, pb: &Params) -> f64 {
+        let bits_eq = |a: &[f64], b: &[f64]| {
+            a.len() == b.len()
+                && a.iter()
+                    .zip(b.iter())
+                    .all(|(x, y)| x.to_bits() == y.to_bits())
+        };
+        match (self, other) {
+            (Waveform::Dc(a), Waveform::Dc(b)) if a.to_bits() == b.to_bits() => f64::INFINITY,
+            (Waveform::Pulse(a), Waveform::Pulse(b)) => {
+                let fa = [a.v0, a.v1, a.delay, a.rise, a.fall, a.width, a.period];
+                let fb = [b.v0, b.v1, b.delay, b.rise, b.fall, b.width, b.period];
+                if a.shape == b.shape && bits_eq(&fa, &fb) {
+                    f64::INFINITY
+                } else {
+                    0.0
+                }
+            }
+            (Waveform::Pwl(a), Waveform::Pwl(b)) => {
+                let flat = |p: &[(f64, f64)]| -> Vec<f64> {
+                    p.iter().flat_map(|&(t, v)| [t, v]).collect()
+                };
+                if bits_eq(&flat(a), &flat(b)) {
+                    f64::INFINITY
+                } else {
+                    0.0
+                }
+            }
+            (Waveform::Data(a), Waveform::Data(b)) => {
+                let fa = [a.v_rest, a.v_active, a.t_edge, a.rise, a.fall];
+                let fb = [b.v_rest, b.v_active, b.t_edge, b.rise, b.fall];
+                if a.shape == b.shape && bits_eq(&fa, &fb) {
+                    a.agree_until(pa, pb)
+                } else {
+                    0.0
+                }
+            }
+            _ => 0.0,
+        }
     }
 }
 
@@ -514,5 +610,98 @@ mod tests {
     fn only_data_waveform_depends_on_params() {
         assert!(!Waveform::dc(1.0).depends_on_params());
         assert!(Waveform::Data(sample_pulse()).depends_on_params());
+    }
+
+    #[test]
+    fn data_pulse_agreement_is_unbounded_for_identical_skews() {
+        let d = sample_pulse();
+        let p = Params::new(300e-12, 200e-12);
+        assert_eq!(d.agree_until(&p, &p), f64::INFINITY);
+    }
+
+    #[test]
+    fn data_pulse_agreement_bounds_match_the_differing_edge() {
+        let d = sample_pulse();
+        let pa = Params::new(300e-12, 200e-12);
+        // Differing τs only: bound at the start of the *later* leading
+        // ramp, t_edge − max τs − rise/2.
+        let pb = Params::new(250e-12, 200e-12);
+        let lead = d.t_edge - 300e-12 - d.rise / 2.0;
+        assert_eq!(d.agree_until(&pa, &pb), lead);
+        // Differing τh only: bound at the start of the *earlier*
+        // trailing ramp, t_edge + min τh − fall/2.
+        let pc = Params::new(300e-12, 260e-12);
+        let trail = d.t_edge + 200e-12 - d.fall / 2.0;
+        assert_eq!(d.agree_until(&pa, &pc), trail);
+        // Both differ: the earlier of the two bounds wins.
+        let pd = Params::new(250e-12, 260e-12);
+        assert_eq!(d.agree_until(&pa, &pd), lead.min(trail));
+    }
+
+    #[test]
+    fn data_pulse_agreement_is_bitwise_before_the_bound() {
+        let d = sample_pulse();
+        let pa = Params::new(300e-12, 200e-12);
+        let pb = Params::new(150e-12, 350e-12);
+        let t_star = d.agree_until(&pa, &pb);
+        assert!(t_star.is_finite() && t_star > 0.0);
+        // Sample strictly below the bound: values and both skew
+        // derivatives must agree to the bit.
+        for k in 0..100 {
+            let t = t_star * (k as f64) / 100.0;
+            assert_eq!(d.value(t, &pa).to_bits(), d.value(t, &pb).to_bits());
+            for param in [Param::Setup, Param::Hold] {
+                assert_eq!(
+                    d.derivative(t, &pa, param).to_bits(),
+                    d.derivative(t, &pb, param).to_bits()
+                );
+            }
+        }
+        // And the pulses do eventually diverge (the bound is not vacuous).
+        let probe = d.t_edge - 150e-12;
+        assert_ne!(d.value(probe, &pa).to_bits(), d.value(probe, &pb).to_bits());
+    }
+
+    #[test]
+    fn data_pulse_agreement_claims_nothing_for_non_finite_inputs() {
+        let d = sample_pulse();
+        let p = Params::new(300e-12, 200e-12);
+        assert_eq!(d.agree_until(&p, &Params::new(f64::NAN, 200e-12)), 0.0);
+        assert_eq!(d.agree_until(&p, &Params::new(300e-12, f64::INFINITY)), 0.0);
+        // Identical NaN bits are still bitwise-identical computations.
+        let pn = Params::new(f64::NAN, 200e-12);
+        assert_eq!(d.agree_until(&pn, &pn), f64::INFINITY);
+        // A NaN shape field poisons the bound: claim nothing.
+        let mut dn = sample_pulse();
+        dn.t_edge = f64::NAN;
+        assert_eq!(dn.agree_until(&p, &Params::new(250e-12, 200e-12)), 0.0);
+    }
+
+    #[test]
+    fn waveform_agreement_requires_matching_variant_and_fields() {
+        let pa = Params::new(300e-12, 200e-12);
+        let pb = Params::new(250e-12, 200e-12);
+
+        // Skew-independent variants: forever iff bitwise-equal.
+        let dc = Waveform::dc(2.5);
+        assert_eq!(dc.agree_until(&pa, &dc, &pb), f64::INFINITY);
+        assert_eq!(dc.agree_until(&pa, &Waveform::dc(2.4), &pb), 0.0);
+
+        let pwl = Waveform::Pwl(vec![(0.0, 0.0), (1e-9, 2.5)]);
+        assert_eq!(pwl.agree_until(&pa, &pwl.clone(), &pb), f64::INFINITY);
+        let pwl2 = Waveform::Pwl(vec![(0.0, 0.0), (1e-9, 2.4)]);
+        assert_eq!(pwl.agree_until(&pa, &pwl2, &pb), 0.0);
+
+        // Data pulses defer to the analytic bound when the shape fields
+        // match, and claim nothing when they differ.
+        let d = Waveform::Data(sample_pulse());
+        let expect = sample_pulse().agree_until(&pa, &pb);
+        assert_eq!(d.agree_until(&pa, &d, &pb), expect);
+        let mut other = sample_pulse();
+        other.v_active = 2.4;
+        assert_eq!(d.agree_until(&pa, &Waveform::Data(other), &pb), 0.0);
+
+        // Mismatched variants claim nothing.
+        assert_eq!(d.agree_until(&pa, &dc, &pb), 0.0);
     }
 }
