@@ -1,3 +1,4 @@
+// lint: soa-module
 use crate::{LinalgError, Result};
 
 /// Pivot magnitude below which a lane's matrix is declared singular.
@@ -38,8 +39,10 @@ pub struct BatchLu {
     /// Number of lanes.
     lanes: usize,
     /// Packed L/U factors, `lanes * n * n`, lane-major.
+    /// soa: lane-major, scratch
     lu: Vec<f64>,
     /// Row permutations, `lanes * n`, lane-major.
+    /// soa: lane-major, scratch
     perm: Vec<usize>,
 }
 
@@ -143,44 +146,44 @@ impl BatchLu {
     ///
     /// # Errors
     ///
-    /// Returns [`LinalgError::ShapeMismatch`] if `b` or `x` has length
+    /// Returns [`LinalgError::ShapeMismatch`] if `b` or `out` has length
     /// other than `dim()`.
     ///
     /// effects: none
     // lint: hot-fn
-    pub fn solve_lane(&self, lane: usize, b: &[f64], x: &mut [f64]) -> Result<()> {
+    pub fn solve_lane(&self, lane: usize, b: &[f64], out: &mut [f64]) -> Result<()> {
         shc_obs::count(shc_obs::Metric::LuSolves, 1);
         if let Some(e) = injected_fault(shc_fault::Site::LuSolve) {
             return Err(e);
         }
         let n = self.n;
-        if b.len() != n || x.len() != n {
+        if b.len() != n || out.len() != n {
             return Err(LinalgError::ShapeMismatch {
                 op: "batch_lu_solve",
                 lhs: (n, n),
-                rhs: (b.len().max(x.len()), 1),
+                rhs: (b.len().max(out.len()), 1),
             });
         }
         let lu = &self.lu[lane * n * n..(lane + 1) * n * n];
         let perm = &self.perm[lane * n..(lane + 1) * n];
         // Apply permutation, then forward-substitute L·y = P·b.
         for i in 0..n {
-            x[i] = b[perm[i]];
+            out[i] = b[perm[i]];
         }
         for i in 1..n {
-            let mut acc = x[i];
+            let mut acc = out[i];
             for j in 0..i {
-                acc -= lu[i * n + j] * x[j];
+                acc -= lu[i * n + j] * out[j];
             }
-            x[i] = acc;
+            out[i] = acc;
         }
         // Back-substitute U·x = y.
         for i in (0..n).rev() {
-            let mut acc = x[i];
+            let mut acc = out[i];
             for j in (i + 1)..n {
-                acc -= lu[i * n + j] * x[j];
+                acc -= lu[i * n + j] * out[j];
             }
-            x[i] = acc / lu[i * n + i];
+            out[i] = acc / lu[i * n + i];
         }
         Ok(())
     }

@@ -126,6 +126,8 @@ macro_rules! lane_dispatch {
 
 #[cfg(test)]
 mod tests {
+    // SAFETY: expands to `#[target_feature]` clones; each wide clone is
+    // called only after its `is_x86_feature_detected!` check passes.
     multiversioned! {
         /// Elementwise `out[i] = a[i]·s + b[i]` test kernel.
         fn fma_free(out: &mut [f64], a: &[f64], b: &[f64], s: f64) {
@@ -148,6 +150,8 @@ mod tests {
         }
     }
 
+    // SAFETY: expands to `#[target_feature]` clones; each wide clone is
+    // called only after its `is_x86_feature_detected!` check passes.
     multiversioned! {
         /// Select-style kernel exercising if-conversion paths.
         fn clamp_mag(out: &mut [f64], limit: f64) {

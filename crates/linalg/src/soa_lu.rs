@@ -1,3 +1,4 @@
+// lint: soa-module
 use crate::{lane_dispatch, multiversioned, LinalgError};
 
 /// Pivot magnitude below which a lane's matrix is declared singular.
@@ -20,6 +21,8 @@ fn injected_fault(site: shc_fault::Site) -> Option<LinalgError> {
 /// Sentinel in the singularity scratch: "no singular column found".
 const NO_SINGULARITY: usize = usize::MAX;
 
+// SAFETY: expands to `#[target_feature]` clones; each wide clone is
+// called only after its `is_x86_feature_detected!` check passes.
 multiversioned! {
     /// Factors `b` packed `n×n` systems at once from element-major `a`
     /// (`a[(i·n+j)·b + l]` is entry `(i,j)` of lane `l`), writing factors
@@ -47,6 +50,7 @@ multiversioned! {
     }
 }
 
+// lint: soa-kernel
 /// [`factor_kernel`]'s body, called with a literal lane count for the
 /// common widths (see [`lane_dispatch!`]) under each feature level.
 #[allow(clippy::too_many_arguments)]
@@ -166,38 +170,41 @@ fn factor_impl(
     }
 }
 
+// SAFETY: expands to `#[target_feature]` clones; each wide clone is
+// called only after its `is_x86_feature_detected!` check passes.
 multiversioned! {
     /// Solves all lanes' `A·x = rhs` from factors in element-major `lu` /
     /// `perm`: permutation gather, then forward and back substitution in
     /// the scalar `solve` order, vectorized across lanes.
     fn solve_kernel(
-        x: &mut [f64],
+        out: &mut [f64],
         lu: &[f64],
         perm: &[usize],
         rhs: &[f64],
         n: usize,
         b: usize,
     ) {
-        lane_dispatch!(b, solve_impl(x, lu, perm, rhs, n));
+        lane_dispatch!(b, solve_impl(out, lu, perm, rhs, n));
     }
 }
 
+// lint: soa-kernel
 /// [`solve_kernel`]'s body, called with a literal lane count for the
 /// common widths (see [`lane_dispatch!`]) under each feature level.
 #[inline(always)]
-fn solve_impl(x: &mut [f64], lu: &[f64], perm: &[usize], rhs: &[f64], n: usize, b: usize) {
+fn solve_impl(out: &mut [f64], lu: &[f64], perm: &[usize], rhs: &[f64], n: usize, b: usize) {
     {
         // Per-lane permutation gather — data movement only.
         for i in 0..n {
             for l in 0..b {
-                x[i * b + l] = rhs[perm[i * b + l] * b + l];
+                out[i * b + l] = rhs[perm[i * b + l] * b + l];
             }
         }
         // Forward-substitute L·y = P·rhs (unit diagonal). `split_at_mut`
         // separates already-solved rows (read) from row `i` (written);
         // lane loops run over fixed-length windows, bounds-check-free.
         for i in 1..n {
-            let (done, rest) = x.split_at_mut(i * b);
+            let (done, rest) = out.split_at_mut(i * b);
             let xi = &mut rest[..b];
             let lrow = &lu[i * n * b..(i * n + i) * b];
             for (xj, lw) in done.chunks_exact(b).zip(lrow.chunks_exact(b)) {
@@ -208,7 +215,7 @@ fn solve_impl(x: &mut [f64], lu: &[f64], perm: &[usize], rhs: &[f64], n: usize, 
         }
         // Back-substitute U·x = y.
         for i in (0..n).rev() {
-            let (head, tail) = x.split_at_mut((i + 1) * b);
+            let (head, tail) = out.split_at_mut((i + 1) * b);
             let xi = &mut head[i * b..];
             let lrow = &lu[i * n * b..(i + 1) * n * b];
             let urow = &lrow[(i + 1) * b..];
@@ -248,8 +255,10 @@ pub struct SoaLu {
     /// Number of lanes.
     lanes: usize,
     /// Packed L/U factors, `n·n·lanes`, element-major.
+    /// soa: element-major, scratch
     lu: Vec<f64>,
     /// Row permutations, `n·lanes`, element-major.
+    /// soa: element-major, scratch
     perm: Vec<usize>,
     /// Pivot-scan / multiplier scratch, one slot per lane.
     piv_mag: Vec<f64>,
@@ -516,6 +525,63 @@ mod tests {
             .unwrap();
         assert_eq!(x[1].to_bits(), scalar[0].to_bits());
         assert_eq!(x[3].to_bits(), scalar[1].to_bits());
+    }
+
+    /// Satellite width-parity sweep: every lane count the engine can
+    /// hand to [`lane_dispatch!`] — the literal arms 1/4/8/16 *and* the
+    /// runtime-length fallback widths between them — must produce
+    /// bitwise-scalar factors and solutions. A width arm whose body
+    /// drifted from the others (the `kernel-equivalence` bug class)
+    /// shows up here as a bit difference on exactly one width.
+    #[test]
+    fn every_dispatch_width_is_bitwise_identical_to_scalar_lu() {
+        let n = 3;
+        for lanes in 1..=16usize {
+            // Per-lane variation: pivoting order and magnitudes differ
+            // across lanes so a cross-lane mixup cannot cancel out.
+            let mats: Vec<Matrix> = (0..lanes)
+                .map(|l| {
+                    let d = l as f64;
+                    Matrix::from_rows(&[
+                        &[0.5 + 0.25 * d, 1.0, 2.0 - 0.125 * d],
+                        &[3.0, -4.0 + 0.5 * d, 5.0],
+                        &[-1.0, 8.0, 1.0 + d],
+                    ])
+                    .unwrap()
+                })
+                .collect();
+            let rhs: Vec<Vec<f64>> = (0..lanes)
+                .map(|l| {
+                    let d = l as f64;
+                    vec![1.0 - d, -2.0 + 0.5 * d, 3.0 * (d + 1.0)]
+                })
+                .collect();
+            let flats: Vec<Vec<f64>> = mats.iter().map(flat).collect();
+            let a = interleave(&flats);
+            let b_ems = interleave(&rhs);
+            let mut soa = SoaLu::new(lanes, n);
+            let active = vec![true; lanes];
+            let mut errs = vec![None; lanes];
+            soa.factor_all(&a, &active, &mut errs);
+            assert!(errs.iter().all(Option::is_none), "width {lanes}: factor");
+            let mut x = vec![0.0; n * lanes];
+            let mut errs = vec![None; lanes];
+            soa.solve_all(&b_ems, &mut x, &active, &mut errs);
+            assert!(errs.iter().all(Option::is_none), "width {lanes}: solve");
+            for (l, (m, r)) in mats.iter().zip(rhs.iter()).enumerate() {
+                let scalar = LuFactor::new(m)
+                    .unwrap()
+                    .solve(&Vector::from_slice(r))
+                    .unwrap();
+                for i in 0..n {
+                    assert_eq!(
+                        x[i * lanes + l].to_bits(),
+                        scalar[i].to_bits(),
+                        "width {lanes} lane {l} x[{i}] diverged"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -8,9 +8,14 @@
 //! `panic-reachability` ratchets per public API rather than per file.
 //! Schema `version: 3` adds an optional `"effect"` key so the effect
 //! rules ratchet per-(root, effect) — excusing a clock read on a hot
-//! root must not also excuse an allocation there. The loader accepts
-//! version-1/2/3 files (missing keys default to empty); the next
-//! `--update-baseline` rewrites them as version 3.
+//! root must not also excuse an allocation there. Schema `version: 4`
+//! adds no new keys: it marks the baseline as produced by a linter that
+//! ratchets the v4 rules (`kernel-equivalence`, `soa-index-discipline`,
+//! `mask-coverage`, `trunk-divergence-fence`), whose entries reuse the
+//! v3 per-(rule, file, api, effect) shape. The loader accepts
+//! version-1/2/3/4 files (missing keys default to empty) and remembers
+//! the version it read, so `--update-baseline` can print a migration
+//! note; the next rewrite is always version 4.
 //!
 //! The file format is a small fixed-shape JSON document that this module
 //! both writes and reads (one entry object per line), so the reader is a
@@ -27,10 +32,26 @@ use crate::rules::RATCHETED_RULES;
 /// but the effect rules).
 pub type GroupKey = (String, String, String, String);
 
+/// The schema version this linter writes.
+pub const BASELINE_VERSION: u32 = 4;
+
 /// Allowed finding counts keyed by (rule, file, api, effect).
-#[derive(Debug, Default, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Baseline {
     pub entries: BTreeMap<GroupKey, usize>,
+    /// Schema version of the file this baseline was parsed from
+    /// ([`BASELINE_VERSION`] for freshly built ones); lets the driver
+    /// print a migration note when rewriting an older file.
+    pub version: u32,
+}
+
+impl Default for Baseline {
+    fn default() -> Self {
+        Baseline {
+            entries: BTreeMap::new(),
+            version: BASELINE_VERSION,
+        }
+    }
 }
 
 /// Outcome of filtering findings through the baseline.
@@ -56,14 +77,18 @@ fn key_of(f: &Finding) -> GroupKey {
 }
 
 impl Baseline {
-    /// Parses the committed `lint-baseline.json` (version 1, 2, or 3).
+    /// Parses the committed `lint-baseline.json` (version 1–4).
     /// Returns `Err` on any line that looks like an entry but does not
     /// parse — a corrupt baseline must not silently allow findings.
     pub fn parse(text: &str) -> Result<Baseline, String> {
         let mut entries = BTreeMap::new();
+        let mut version = 1;
         for (lineno, line) in text.lines().enumerate() {
             let line = line.trim();
             if !line.contains("\"rule\"") {
+                if let Some(v) = extract_usize(line, "version") {
+                    version = v as u32;
+                }
                 continue;
             }
             let rule = extract_str(line, "rule")
@@ -78,14 +103,17 @@ impl Baseline {
             let effect = extract_str(line, "effect").unwrap_or_default();
             entries.insert((rule, file, api, effect), count);
         }
-        Ok(Baseline { entries })
+        Ok(Baseline { entries, version })
     }
 
     /// Serializes in the fixed one-entry-per-line shape `parse` expects.
-    /// Always writes schema version 3.
+    /// Always writes [`BASELINE_VERSION`].
     pub fn render(&self) -> String {
         let mut s = String::new();
-        s.push_str("{\n  \"version\": 3,\n  \"entries\": [\n");
+        let _ = writeln!(
+            s,
+            "{{\n  \"version\": {BASELINE_VERSION},\n  \"entries\": ["
+        );
         let n = self.entries.len();
         for (i, ((rule, file, api, effect), count)) in self.entries.iter().enumerate() {
             let comma = if i + 1 == n { "" } else { "," };
@@ -120,7 +148,10 @@ impl Baseline {
                 *entries.entry(key_of(f)).or_insert(0) += 1;
             }
         }
-        Baseline { entries }
+        Baseline {
+            entries,
+            version: BASELINE_VERSION,
+        }
     }
 
     /// Splits findings into baselined and new. Ratcheted groups are
@@ -256,16 +287,18 @@ mod tests {
         let b = Baseline::from_findings(&findings);
         assert_eq!(b.entries.len(), 3);
         let rendered = b.render();
-        assert!(rendered.contains("\"version\": 3"));
+        assert!(rendered.contains("\"version\": 4"));
         assert!(rendered.contains("\"api\": \"LuFactor::solve\""));
         let parsed = Baseline::parse(&rendered).unwrap();
         assert_eq!(parsed, b);
+        assert_eq!(parsed.version, BASELINE_VERSION);
     }
 
     #[test]
     fn v1_and_v2_files_parse_with_empty_keys() {
         let v1 = "{\n  \"version\": 1,\n  \"entries\": [\n    { \"rule\": \"no-panic\", \"file\": \"a.rs\", \"count\": 2 }\n  ]\n}\n";
         let b = Baseline::parse(v1).unwrap();
+        assert_eq!(b.version, 1);
         assert_eq!(
             b.entries.get(&(
                 "no-panic".into(),
@@ -275,10 +308,11 @@ mod tests {
             )),
             Some(&2)
         );
-        // Re-rendering upgrades to v3.
-        assert!(b.render().contains("\"version\": 3"));
+        // Re-rendering upgrades to the current version.
+        assert!(b.render().contains("\"version\": 4"));
         let v2 = "{\n  \"version\": 2,\n  \"entries\": [\n    { \"rule\": \"panic-reachability\", \"file\": \"a.rs\", \"api\": \"X::y\", \"count\": 1 }\n  ]\n}\n";
         let b = Baseline::parse(v2).unwrap();
+        assert_eq!(b.version, 2);
         assert_eq!(
             b.entries.get(&(
                 "panic-reachability".into(),
@@ -288,6 +322,32 @@ mod tests {
             )),
             Some(&1)
         );
+    }
+
+    #[test]
+    fn v3_files_migrate_to_v4_and_ratchet_new_rules() {
+        // A committed v3 baseline (pre-v4 linter) loads cleanly…
+        let v3 = "{\n  \"version\": 3,\n  \"entries\": [\n    { \"rule\": \"hot-path-certify\", \"file\": \"a.rs\", \"api\": \"X::y\", \"effect\": \"clock\", \"count\": 1 }\n  ]\n}\n";
+        let b = Baseline::parse(v3).unwrap();
+        assert_eq!(b.version, 3);
+        // …has no entries for the v4 rules, so any v4 finding is new…
+        let res = b.apply(vec![finding("kernel-equivalence", "a.rs", 7)]);
+        assert_eq!(res.new_findings.len(), 1);
+        // …and v4 findings write per-(rule, anchor) entries on rebuild.
+        let rebuilt = Baseline::from_findings(&[
+            finding("soa-index-discipline", "e.rs", 3),
+            finding("trunk-divergence-fence", "e.rs", 9)
+                .with_api("Engine::adopt_trunk".into())
+                .with_effect("lane-divergent"),
+        ]);
+        assert_eq!(rebuilt.version, 4);
+        let rendered = rebuilt.render();
+        assert!(rendered.contains("\"rule\": \"trunk-divergence-fence\""));
+        assert!(rendered.contains("\"effect\": \"lane-divergent\""));
+        // The diff printer labels the new rules like any other group.
+        let diff = rebuilt.diff_against(&b);
+        assert!(diff.iter().any(|l| l
+            .contains("+ [trunk-divergence-fence] e.rs Engine::adopt_trunk (lane-divergent) = 1")));
     }
 
     #[test]

@@ -8,7 +8,25 @@
 //! discipline for thread-local installs, named-constant convergence
 //! tolerances, telemetry hygiene (metric-name declarations, journal
 //! schema vs DESIGN.md, `enabled()` gating), and `// SAFETY:` comments
-//! on `unsafe`.
+//! on `unsafe` — including macro *invocation* sites whose expansion
+//! contains `unsafe`.
+//!
+//! On top of the syntax layer sits an interprocedural [`effects`]
+//! engine (v3): per-function effect inference (allocates, locks, does
+//! I/O, float-nondeterministic, panics, …) propagated over the call
+//! graph, with `/// effects:` declarations ratcheted against drift,
+//! `// lint: hot-path` certification for the solver's inner loops, and
+//! determinism auditing for the replay/checkpoint paths. v4 extends it
+//! to the batched SIMD/SoA engine: `kernel-equivalence` proves every
+//! `multiversioned!` clone and `lane_dispatch!` width arm is
+//! token-identical to the portable baseline (modulo `target_feature`,
+//! names, and the width literal), `soa-index-discipline` enforces
+//! canonical `i * B + l` strides or checked accessors into
+//! element-major buffers, `mask-coverage` requires writes to shared
+//! state rows to be lane-mask guarded or select-preserving, and
+//! `trunk-divergence-fence` certifies that `// lint: trunk-fence`
+//! roots can never transitively read `lane-divergent` (per-lane skew)
+//! state. See DESIGN.md §9.10–§9.13.
 //!
 //! The crate uses no third-party dependencies by design: it must build
 //! and run before anything else in the workspace does. Its only
@@ -22,8 +40,10 @@
 //! top for the flow-aware rules.
 //!
 //! Run it with `cargo run -p shc-lint -- check [--json]
-//! [--update-baseline] [--threads N]`, or `--explain <rule>` for any
-//! rule's rationale and escape hatch.
+//! [--update-baseline] [--threads N]`, `graph [--dot] [--effects]` for
+//! the call graph, or `--explain <rule>` for any rule's rationale and
+//! escape hatch. Findings JSON is schema v4, effects JSON schema v2;
+//! serial and parallel runs are byte-identical.
 
 pub mod ast;
 pub mod baseline;

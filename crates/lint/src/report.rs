@@ -102,7 +102,7 @@ pub fn render_json(
 ) -> String {
     let mut s = String::new();
     s.push_str("{\n");
-    let _ = writeln!(s, "  \"version\": 3,");
+    let _ = writeln!(s, "  \"version\": 4,");
     let _ = writeln!(s, "  \"files_checked\": {files_checked},");
     let _ = writeln!(s, "  \"baselined\": {baselined},");
     let _ = writeln!(s, "  \"new_findings\": {},", new.len());
@@ -172,7 +172,7 @@ pub fn render_effects_json(rows: &[EffectRow]) -> String {
     }
     let mut s = String::new();
     s.push_str("{\n");
-    let _ = writeln!(s, "  \"version\": 1,");
+    let _ = writeln!(s, "  \"version\": 2,");
     let _ = writeln!(s, "  \"functions\": {},", rows.len());
     s.push_str("  \"summaries\": [\n");
     for (i, r) in rows.iter().enumerate() {
@@ -222,7 +222,7 @@ mod tests {
     fn json_report_shape() {
         let f = vec![Finding::new("float-eq", "x.rs".into(), 1, "m \"q\"".into())];
         let j = render_json(&f, 3, 10, &[]);
-        assert!(j.contains("\"version\": 3"));
+        assert!(j.contains("\"version\": 4"));
         assert!(j.contains("\"new_findings\": 1"));
         assert!(j.contains("\"baselined\": 3"));
         assert!(j.contains("\\\"q\\\""));
@@ -281,6 +281,8 @@ mod tests {
             },
         ];
         let j = render_effects_json(&rows);
+        // v2: the schema carries the ten-kind lattice incl. lane-divergent.
+        assert!(j.contains("\"version\": 2"));
         assert!(j.contains("\"functions\": 2"));
         // raw shown only when it differs from effects.
         assert!(j.contains("\"effects\": [], \"raw\": [\"clock\"] }"));

@@ -1,0 +1,37 @@
+// Fixture: multiversion clone drift. The AVX2 clone body silently
+// gained an extra term, and a hand-rolled `#[target_feature]` fn
+// escapes the macro-generated clone set entirely.
+
+macro_rules! drifted_multiversion {
+    () => {
+        fn scale_portable(v: &mut [f64], s: f64) {
+            for x in v.iter_mut() {
+                *x *= s;
+            }
+        }
+
+        #[target_feature(enable = "avx2")]
+        // SAFETY: callers check `is_x86_feature_detected!("avx2")` first.
+        unsafe fn scale_wide256(v: &mut [f64], s: f64) {
+            for x in v.iter_mut() {
+                *x = *x * s + 1.0;
+            }
+        }
+
+        fn scale(v: &mut [f64], s: f64) {
+            if std::arch::is_x86_feature_detected!("avx2") {
+                // SAFETY: the detection above proves avx2 is available.
+                return unsafe { scale_wide256(v, s) };
+            }
+            scale_portable(v, s)
+        }
+    };
+}
+
+#[target_feature(enable = "avx2")]
+// SAFETY: callers must check `is_x86_feature_detected!("avx2")`.
+unsafe fn hand_rolled_wide(v: &mut [f64]) {
+    for x in v.iter_mut() {
+        *x += 1.0;
+    }
+}

@@ -1,0 +1,21 @@
+// Fixture: a macro whose expansion contains `unsafe` — every
+// invocation site must carry its own `// SAFETY:` comment, even though
+// the definition-side token is documented inside the macro body.
+
+macro_rules! read_probe {
+    ($name:ident) => {
+        fn $name() -> u8 {
+            let v = 7u8;
+            // SAFETY: `v` is a live, initialized stack local.
+            unsafe { std::ptr::read_volatile(&v) }
+        }
+    };
+}
+
+// SAFETY: expands to a volatile read of a live stack local.
+read_probe! { probe_documented }
+
+/// This doc comment pads the gap so the documented invocation's
+/// safety-argument line sits outside the 3-line lookback window, and
+/// the undocumented expansion below must fire on its own merits.
+read_probe! { probe_undocumented }

@@ -1,0 +1,24 @@
+// Fixture: a masked lane kernel that overwrites a shared state row
+// without a lane-select, clobbering whatever inactive lanes held.
+// lint: soa-module
+
+struct Rows {
+    /// soa: element-major, state
+    x: Vec<f64>,
+}
+
+// lint: soa-kernel
+fn advance_impl(x: &mut [f64], delta: &[f64], active: &[bool], b: usize) {
+    for l in 0..b {
+        let nx = x[l] + delta[l];
+        x[l] = if active[l] { nx } else { x[l] };
+    }
+}
+
+// lint: soa-kernel
+fn overwrite_impl(x: &mut [f64], delta: &[f64], active: &[bool], b: usize) {
+    for (l, xv) in x[..b].iter_mut().enumerate() {
+        *xv += delta[l];
+        let _ = active[l];
+    }
+}

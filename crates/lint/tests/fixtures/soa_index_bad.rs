@@ -1,0 +1,22 @@
+// Fixture: an element-major batch buffer indexed lane-major, plus a
+// raw unchecked access whose SAFETY comment never names the length
+// invariant that makes it sound.
+// lint: soa-module
+
+struct Batch {
+    /// soa: element-major, scratch
+    residual: Vec<f64>,
+}
+
+fn canonical(residual: &[f64], i: usize, l: usize, b: usize) -> f64 {
+    residual[i * b + l]
+}
+
+fn lane_major_slip(residual: &[f64], i: usize, l: usize, n: usize) -> f64 {
+    residual[l * n + i]
+}
+
+fn raw_undocumented(residual: &[f64], i: usize) -> f64 {
+    // SAFETY: the caller promises this is fine.
+    unsafe { *residual.get_unchecked(i) }
+}

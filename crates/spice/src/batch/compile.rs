@@ -13,6 +13,7 @@
 //! makes the whole circuit uncompilable and the caller falls back to the
 //! scalar path.
 
+// lint: soa-module
 use shc_linalg::{lane_dispatch, multiversioned};
 
 use crate::circuit::Circuit;
@@ -119,20 +120,20 @@ fn stamp_into(v: &mut [f64], eq: Option<usize>, value: f64) {
 }
 
 #[inline]
-fn add_mat(m: &mut [f64], n: usize, eq: Option<usize>, var: Option<usize>, value: f64) {
+fn add_mat(mat: &mut [f64], n: usize, eq: Option<usize>, var: Option<usize>, value: f64) {
     if let (Some(i), Some(j)) = (eq, var) {
-        m[i * n + j] += value;
+        mat[i * n + j] += value;
     }
 }
 
 /// The classic 4-entry two-terminal pattern, in [`crate::stamp::Stamper`]
 /// order: `(a,a) (b,b) (a,b) (b,a)`.
 #[inline]
-fn add_pair(m: &mut [f64], n: usize, a: Option<usize>, b: Option<usize>, value: f64) {
-    add_mat(m, n, a, a, value);
-    add_mat(m, n, b, b, value);
-    add_mat(m, n, a, b, -value);
-    add_mat(m, n, b, a, -value);
+fn add_pair(mat: &mut [f64], n: usize, a: Option<usize>, b: Option<usize>, value: f64) {
+    add_mat(mat, n, a, a, value);
+    add_mat(mat, n, b, b, value);
+    add_mat(mat, n, a, b, -value);
+    add_mat(mat, n, b, a, -value);
 }
 
 impl CompiledCircuit {
@@ -350,14 +351,23 @@ struct SoaMosfet {
     /// requirement).
     sign: f64,
     // Per-lane model constants, one slot per lane.
+    /// soa: per-lane, descriptor
     vt0: Vec<f64>,
+    /// soa: per-lane, descriptor
     eps_c: Vec<f64>,
+    /// soa: per-lane, descriptor
     eps_s: Vec<f64>,
+    /// soa: per-lane, descriptor
     lambda: Vec<f64>,
+    /// soa: per-lane, descriptor
     beta: Vec<f64>,
+    /// soa: per-lane, descriptor
     cgs: Vec<f64>,
+    /// soa: per-lane, descriptor
     cgd: Vec<f64>,
+    /// soa: per-lane, descriptor
     cdb: Vec<f64>,
+    /// soa: per-lane, descriptor
     csb: Vec<f64>,
 }
 
@@ -382,6 +392,7 @@ enum SoaDevice {
         gp: [usize; 4],
         /// Per-lane conductance `1/R`, precomputed exactly as the scalar
         /// assembly computes it.
+        /// soa: per-lane, descriptor
         cond: Vec<f64>,
     },
     Capacitor {
@@ -389,6 +400,7 @@ enum SoaDevice {
         rb: usize,
         /// `C` pair cells in `add_pair` order.
         cp: [usize; 4],
+        /// soa: per-lane, descriptor
         cap: Vec<f64>,
     },
     VoltageSource {
@@ -403,6 +415,7 @@ enum SoaDevice {
         gbp: usize,
         gbn: usize,
         /// Per-lane waveforms, evaluated lane-scalar at each lane's time.
+        /// soa: per-lane, descriptor
         waveforms: Vec<Waveform>,
     },
     Mosfet(SoaMosfet),
@@ -431,6 +444,8 @@ pub struct SoaCircuit {
     lanes: usize,
 }
 
+// SAFETY: expands to `#[target_feature]` clones; each wide clone is
+// called only after its `is_x86_feature_detected!` check passes.
 multiversioned! {
     /// The SoA assembly kernel: zero all four blocks, then stamp every
     /// device slot across all lanes. Free function so [`multiversioned!`]
@@ -450,6 +465,7 @@ multiversioned! {
     }
 }
 
+// lint: soa-kernel
 /// [`assemble_kernel`]'s body, called with a literal lane count for the
 /// common widths (see [`lane_dispatch!`]) under each feature level.
 #[allow(clippy::too_many_arguments)]

@@ -28,6 +28,7 @@
 //! batches — an element-major layout with one lane is exactly the scalar
 //! layout, so per-lane results are unchanged.
 
+// lint: soa-module
 use shc_linalg::{lane_dispatch, multiversioned, BatchLu, SoaLu, Vector};
 
 use crate::batch::compile::{CompiledCircuit, SoaCircuit};
@@ -132,13 +133,25 @@ struct LaneState {
     nw_last_norm: f64,
 }
 
+/// Canonical element-major offset: element `i`'s slot for lane `l` in a
+/// batch of `b` lanes. Cold paths index through this accessor so the
+/// layout convention is spelled once; hot kernels use `chunks_exact`
+/// row windows instead and never index.
+#[inline(always)]
+fn soa_idx(i: usize, l: usize, b: usize) -> usize {
+    debug_assert!(l < b);
+    i * b + l
+}
+
 /// Strided per-lane finiteness check on an element-major block — used on
 /// the cold accept path where only one lane is inspected.
 #[inline]
 fn lane_all_finite(v: &[f64], l: usize, n: usize, b: usize) -> bool {
-    (0..n).all(|i| v[i * b + l].is_finite())
+    (0..n).all(|i| v[soa_idx(i, l, b)].is_finite())
 }
 
+// SAFETY: expands to `#[target_feature]` clones; each wide clone is
+// called only after its `is_x86_feature_detected!` check passes.
 multiversioned! {
     /// Fused Backward-Euler residual and step Jacobian over all lanes:
     /// `r = q − q_prev + dt·f` and `J = C + dt·G`, element-major, in the
@@ -159,6 +172,7 @@ multiversioned! {
     }
 }
 
+// lint: soa-kernel
 /// [`fuse_kernel`]'s body, called with a literal lane count for the
 /// common widths (see [`lane_dispatch!`]) under each feature level.
 #[allow(clippy::too_many_arguments)]
@@ -206,6 +220,8 @@ fn fuse_impl(
     }
 }
 
+// SAFETY: expands to `#[target_feature]` clones; each wide clone is
+// called only after its `is_x86_feature_detected!` check passes.
 multiversioned! {
     /// Per-lane finiteness probe over `rows` element-major rows of `v`:
     /// `out[l]` accumulates `v − v`, which is `+0.0` for every finite
@@ -218,6 +234,7 @@ multiversioned! {
     }
 }
 
+// lint: soa-kernel
 /// [`badness_kernel`]'s body, called with a literal lane count for the
 /// common widths (see [`lane_dispatch!`]) under each feature level.
 #[inline(always)]
@@ -238,6 +255,8 @@ fn badness_impl(out: &mut [f64], v: &[f64], rows: usize, b: usize) {
     }
 }
 
+// SAFETY: expands to `#[target_feature]` clones; each wide clone is
+// called only after its `is_x86_feature_detected!` check passes.
 multiversioned! {
     /// Newton direction post-processing for all lanes: negate (the solve
     /// produces `+J⁻¹F`; the update is `x ← x − J⁻¹F`) and clamp each
@@ -254,6 +273,8 @@ multiversioned! {
     }
 }
 
+// SAFETY: expands to `#[target_feature]` clones; each wide clone is
+// called only after its `is_x86_feature_detected!` check passes.
 multiversioned! {
     /// Per-lane weighted max-norms: `out[l] = max_i |d_i| / (reltol·|x_i|
     /// + abstol)`, folded in row order with `f64::max` from `0.0` —
@@ -271,6 +292,7 @@ multiversioned! {
     }
 }
 
+// lint: soa-kernel
 /// [`weighted_norm_kernel`]'s body, called with a literal lane count for
 /// the common widths (see [`lane_dispatch!`]) under each feature level.
 #[inline(always)]
@@ -295,6 +317,8 @@ fn weighted_norm_impl(
     }
 }
 
+// SAFETY: expands to `#[target_feature]` clones; each wide clone is
+// called only after its `is_x86_feature_detected!` check passes.
 multiversioned! {
     /// Masked Newton update: `x += delta` on active lanes only, spelled
     /// as a select so inactive lanes keep their bits exactly (an
@@ -304,6 +328,7 @@ multiversioned! {
     }
 }
 
+// lint: soa-kernel
 /// [`update_kernel`]'s body, called with a literal lane count for the
 /// common widths (see [`lane_dispatch!`]) under each feature level.
 #[inline(always)]
@@ -319,6 +344,8 @@ fn update_impl(x: &mut [f64], delta: &[f64], active: &[bool], n: usize, b: usize
     }
 }
 
+// SAFETY: expands to `#[target_feature]` clones; each wide clone is
+// called only after its `is_x86_feature_detected!` check passes.
 multiversioned! {
     /// Masked end-of-step history rotation: `q_prev ← q`, `x_prev ← x`
     /// for lanes that accepted a step (selects — non-stepping lanes keep
@@ -336,6 +363,7 @@ multiversioned! {
     }
 }
 
+// lint: soa-kernel
 /// [`rotate_kernel`]'s body, called with a literal lane count for the
 /// common widths (see [`lane_dispatch!`]) under each feature level.
 #[inline(always)]
@@ -554,25 +582,36 @@ struct Engine<'e> {
     soa: SoaCircuit,
     lanes: Vec<LaneState>,
     // Element-major n·b blocks.
+    /// soa: element-major, state
     x_prev: Vec<f64>,
+    /// soa: element-major, scratch
     delta: Vec<f64>,
+    /// soa: element-major, scratch
     residual: Vec<f64>,
+    /// soa: element-major, state
     q_prev: Vec<f64>,
     // Element-major (n+1)·b blocks (assembly spill row).
+    /// soa: element-major, state
     x: Vec<f64>,
+    /// soa: element-major, scratch
     q: Vec<f64>,
+    /// soa: element-major, scratch
     f: Vec<f64>,
     // Element-major matrix blocks, (n²+1)·b (assembly spill cell). The
     // step Jacobian `C + dt·G` has no block of its own: it is fused
     // straight into the [`SoaLu`] factor buffer.
+    /// soa: element-major, scratch
     c: Vec<f64>,
+    /// soa: element-major, scratch
     g: Vec<f64>,
     /// Previous accepted step's `C` per lane, lane-major (sensitivity
     /// recursion only; de-interleaved from `c` on step acceptance).
+    /// soa: lane-major, state
     c_prev: Vec<f64>,
     lu: SoaLu,
     sens_lu: BatchLu,
     /// Sensitivity states, `lanes·n_sens` stacked n-vectors, lane-major.
+    /// soa: lane-major, state
     m: Vec<f64>,
     // Per-lane scratch (length b): assembly times, effective steps, the
     // compute-all commit mask, solver error slots, finiteness probes, and
@@ -686,7 +725,7 @@ impl<'e> Engine<'e> {
                 }
             };
             for (i, v) in x0.as_slice().iter().enumerate() {
-                self.x_prev[i * b + l] = *v;
+                self.x_prev[soa_idx(i, l, b)] = *v;
             }
         }
         {
@@ -721,6 +760,7 @@ impl<'e> Engine<'e> {
         }
     }
 
+    // lint: trunk-fence
     /// Adopts a finished single-lane *trunk* engine's state into every
     /// lane of this batch, replacing [`Engine::init`].
     ///
@@ -739,8 +779,8 @@ impl<'e> Engine<'e> {
         for i in 0..n {
             let (xv, qv) = (trunk.x_prev[i], trunk.q_prev[i]);
             for l in 0..b {
-                self.x_prev[i * b + l] = xv;
-                self.q_prev[i * b + l] = qv;
+                self.x_prev[soa_idx(i, l, b)] = xv;
+                self.q_prev[soa_idx(i, l, b)] = qv;
             }
         }
         if self.n_sens > 0 {
@@ -780,11 +820,11 @@ impl<'e> Engine<'e> {
         let (n, b) = (self.n, self.b);
         if from_start {
             for i in 0..n {
-                self.x[i * b + l] = self.start[i];
+                self.x[soa_idx(i, l, b)] = self.start[i];
             }
         } else {
             for i in 0..n {
-                self.x[i * b + l] = self.x_prev[i * b + l];
+                self.x[soa_idx(i, l, b)] = self.x_prev[soa_idx(i, l, b)];
             }
         }
     }
@@ -1012,7 +1052,7 @@ impl<'e> Engine<'e> {
             self.lanes[l].nw_err = Some(last);
             return;
         }
-        let n = self.n;
+        let b = self.b;
         let base = self.opts.newton;
         for attempt in 1..=retries as u32 {
             let damped = NewtonOptions {
@@ -1020,8 +1060,20 @@ impl<'e> Engine<'e> {
                 ..base
             };
             {
-                let Engine { start, x_prev, .. } = self;
-                newton::jitter_slice(start, &x_prev[l * n..(l + 1) * n], attempt);
+                // `x_prev` is element-major: lane `l`'s previous state is
+                // the stride-`b` column, not a contiguous block. Gather it
+                // first so the retry seed is jittered from the same values
+                // `retry_in_place` would use on the scalar path.
+                let Engine {
+                    start,
+                    sens_tmp,
+                    x_prev,
+                    ..
+                } = self;
+                for (i, v) in sens_tmp.iter_mut().enumerate() {
+                    *v = x_prev[soa_idx(i, l, b)];
+                }
+                newton::jitter_slice(start, sens_tmp, attempt);
             }
             self.newton_start(l, true);
             if self.lanes[l].nw_active {
@@ -1328,7 +1380,7 @@ impl<'e> Engine<'e> {
             .map(|(l, lane)| match lane.status {
                 LaneStatus::Failed => Err(lane.err.expect("failed lane carries its error")),
                 LaneStatus::Done | LaneStatus::Active => {
-                    let final_state = Vector::from_iter((0..n).map(|i| x_prev[i * b + l]));
+                    let final_state = Vector::from_iter((0..n).map(|i| x_prev[soa_idx(i, l, b)]));
                     let sens = (0..n_sens)
                         .map(|k| {
                             let s0 = (l * n_sens + k) * n;
@@ -1354,6 +1406,108 @@ mod tests {
     use crate::transient::{RecordMode, TransientAnalysis};
     use crate::waveform::{DataPulse, Param, RampShape, Waveform};
     use crate::Circuit;
+
+    /// Satellite width-parity sweep for the masked select kernels:
+    /// every [`lane_dispatch!`] width 1..=16 (literal arms and runtime
+    /// fallback) of [`update_kernel`] must match the scalar select
+    /// semantics bit for bit — including `-0.0` preservation on
+    /// inactive lanes (an unconditional `+=` would flip it) and the
+    /// untouched assembly spill row.
+    #[test]
+    fn update_kernel_every_width_matches_scalar_select_bitwise() {
+        let n = 3;
+        for b in 1..=16usize {
+            let mut x = vec![0.0; (n + 1) * b];
+            let mut delta = vec![0.0; n * b];
+            let mut active = vec![false; b];
+            for l in 0..b {
+                active[l] = l % 3 != 1;
+                for i in 0..n {
+                    // `-0.0` on inactive lanes is the bit the select must
+                    // keep; active lanes get lane-distinct values.
+                    x[soa_idx(i, l, b)] = if active[l] {
+                        0.25 * (i as f64) - (l as f64)
+                    } else {
+                        -0.0
+                    };
+                    delta[soa_idx(i, l, b)] = 1.5 * (i as f64 + 1.0) + 0.125 * (l as f64);
+                }
+                // Spill row: must stay exactly +0.0.
+                x[soa_idx(n, l, b)] = 0.0;
+            }
+            let expect: Vec<f64> = (0..(n + 1) * b)
+                .map(|idx| {
+                    let (i, l) = (idx / b, idx % b);
+                    if i < n && active[l] {
+                        x[idx] + delta[idx]
+                    } else {
+                        x[idx]
+                    }
+                })
+                .collect();
+            update_kernel(&mut x, &delta, &active, n, b);
+            for (idx, (got, want)) in x.iter().zip(expect.iter()).enumerate() {
+                assert_eq!(
+                    got.to_bits(),
+                    want.to_bits(),
+                    "width {b} slot {idx} diverged (got {got}, want {want})"
+                );
+            }
+            // The inactive lanes' `-0.0` survived as `-0.0`.
+            for l in 0..b {
+                if !active[l] {
+                    assert!(
+                        x[soa_idx(0, l, b)].is_sign_negative(),
+                        "width {b}: -0.0 flipped"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rotate_kernel_every_width_matches_scalar_select_bitwise() {
+        let n = 2;
+        for b in 1..=16usize {
+            let mut q_prev = vec![0.0; n * b];
+            let mut x_prev = vec![0.0; n * b];
+            let mut q = vec![0.0; n * b];
+            let mut x = vec![0.0; n * b];
+            let mut stepped = vec![false; b];
+            for l in 0..b {
+                stepped[l] = l % 2 == 0;
+                for i in 0..n {
+                    q_prev[soa_idx(i, l, b)] = -0.0;
+                    x_prev[soa_idx(i, l, b)] = 10.0 + i as f64 + 100.0 * l as f64;
+                    q[soa_idx(i, l, b)] = 0.5 * (i as f64) - l as f64;
+                    x[soa_idx(i, l, b)] = -3.0 * (i as f64 + 1.0) + 0.25 * l as f64;
+                }
+            }
+            let (eq, ex): (Vec<f64>, Vec<f64>) = (0..n * b)
+                .map(|idx| {
+                    let l = idx % b;
+                    if stepped[l] {
+                        (q[idx], x[idx])
+                    } else {
+                        (q_prev[idx], x_prev[idx])
+                    }
+                })
+                .unzip();
+            rotate_kernel(&mut q_prev, &mut x_prev, &q, &x, &stepped, n, b);
+            for idx in 0..n * b {
+                assert_eq!(
+                    q_prev[idx].to_bits(),
+                    eq[idx].to_bits(),
+                    "width {b} q_prev[{idx}]"
+                );
+                assert_eq!(
+                    x_prev[idx].to_bits(),
+                    ex[idx].to_bits(),
+                    "width {b} x_prev[{idx}]"
+                );
+            }
+        }
+    }
 
     fn pulse() -> Waveform {
         Waveform::Data(DataPulse {

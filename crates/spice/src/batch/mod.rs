@@ -27,6 +27,19 @@
 //! the scalar sequence exactly. Anything outside the envelope reports
 //! unsupported via [`supported`] and the caller falls back to the scalar
 //! path.
+//!
+//! The invariants that make this soundness argument work are
+//! machine-checked by `shc-lint` v4 (DESIGN.md §9.10–§9.13): the
+//! modules opt in with `// lint: soa-module`, SoA buffers declare
+//! their layout with `/// soa:` annotations so every element-major
+//! index is forced through the canonical `i * B + l` stride or a
+//! checked accessor, masked kernels (`// lint: soa-kernel`) may only
+//! write shared state rows under a lane-mask guard or select, the
+//! `multiversioned!`/`lane_dispatch!` SIMD clones are proven
+//! token-identical to the portable baseline, and the agreement-horizon
+//! trunk adoption (`// lint: trunk-fence`) is certified unreachable
+//! from any per-lane skew read. Each certificate has a
+//! rehearsed-to-fail CI canary.
 
 pub mod compile;
 pub mod engine;
